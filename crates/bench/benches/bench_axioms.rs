@@ -1,0 +1,58 @@
+//! Criterion bench for **Table 2**: per-axiom verification cost versus
+//! lattice size.
+//!
+//! Complements the `table2_axioms` harness: the harness shows *that* the
+//! axioms hold; this bench shows *what it costs to check them*, per axiom,
+//! as the lattice grows — the machine-checkable-axioms story only works if
+//! verification is cheap enough to run after every operation.
+
+use axiombase_core::{Axiom, EngineKind, LatticeConfig};
+use axiombase_workload::LatticeGen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_axiom_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_axiom_check");
+    for &n in &[50usize, 200, 800] {
+        let schema = LatticeGen {
+            types: n,
+            max_parents: 3,
+            props_per_type: 2.0,
+            redeclare_prob: 0.15,
+            seed: n as u64,
+        }
+        .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental)
+        .schema;
+        for ax in Axiom::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("axiom{}_{}", ax.number(), ax.name()), n),
+                &schema,
+                |b, s| b.iter(|| std::hint::black_box(s.check_axiom(ax).len())),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("verify_all", n), &schema, |b, s| {
+            b.iter(|| std::hint::black_box(s.verify().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soundness_completeness_oracle");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        let schema = LatticeGen {
+            types: n,
+            seed: n as u64,
+            ..Default::default()
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental)
+        .schema;
+        group.bench_with_input(BenchmarkId::new("check_schema", n), &schema, |b, s| {
+            b.iter(|| std::hint::black_box(axiombase_core::oracle::check_schema(s).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axiom_checks, bench_oracle);
+criterion_main!(benches);

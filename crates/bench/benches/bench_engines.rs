@@ -1,0 +1,107 @@
+//! Criterion bench for the **§6 ablation**: per-operation latency of the
+//! naive (literal Table 2) engine versus the incremental (down-set) engine,
+//! across lattice sizes and operation kinds.
+//!
+//! Complements the `ablation_engines` harness (which reports work units over
+//! whole traces) with statistically sound single-operation latencies.
+
+use axiombase_core::{EngineKind, LatticeConfig, Schema};
+use axiombase_workload::LatticeGen;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn schema_of(n: usize, engine: EngineKind) -> Schema {
+    LatticeGen {
+        types: n,
+        max_parents: 3,
+        props_per_type: 2.0,
+        redeclare_prob: 0.1,
+        seed: n as u64,
+    }
+    .generate(LatticeConfig::ORION, engine)
+    .schema
+}
+
+fn bench_add_property(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_mt_ab");
+    for &n in &[50usize, 200, 800] {
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let base = schema_of(n, engine);
+            // Mid-lattice target: a type with a real down-set.
+            let target = base.iter_types().nth(base.type_count() / 2).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), n),
+                &base,
+                |b, base| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut s| {
+                            let p = s.add_property("bench_prop");
+                            s.add_essential_property(target, p).unwrap();
+                            s
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_add_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_mt_asr");
+    for &n in &[50usize, 200, 800] {
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let base = schema_of(n, engine);
+            let types: Vec<_> = base.iter_types().collect();
+            // A fresh leaf gaining an edge to a mid-lattice type.
+            let mid = types[types.len() / 2];
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), n),
+                &base,
+                |b, base| {
+                    b.iter_batched(
+                        || {
+                            let mut s = base.clone();
+                            let leaf = s.add_type("bench_leaf", [], []).unwrap();
+                            (s, leaf)
+                        },
+                        |(mut s, leaf)| {
+                            s.add_essential_supertype(leaf, mid).unwrap();
+                            s
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_add_type(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_at");
+    for &n in &[50usize, 200, 800] {
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let base = schema_of(n, engine);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), n),
+                &base,
+                |b, base| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut s| {
+                            s.add_type("bench_new", [], []).unwrap();
+                            s
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_add_property, bench_add_edge, bench_add_type);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion bench for **§5 claim 2**: name-conflict detection through the
+//! minimal immediate supertypes `P(t)` versus the unminimised essential set
+//! `P_e(t)` (what Orion stores), on redundancy-salted lattices.
+
+use axiombase_core::{EngineKind, LatticeConfig, PropId, Schema, TypeId};
+use axiombase_workload::LatticeGen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn salted(n: usize) -> Schema {
+    let mut out = LatticeGen {
+        types: n,
+        max_parents: 3,
+        props_per_type: 2.0,
+        redeclare_prob: 0.0,
+        seed: n as u64,
+    }
+    .generate(LatticeConfig::ORION, EngineKind::Incremental);
+    // Deterministically declare every ancestor at even index essential.
+    let types: Vec<TypeId> = out.schema.iter_types().collect();
+    for &t in &types {
+        let ancestors: Vec<TypeId> = out
+            .schema
+            .super_lattice(t)
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|&a| a != t)
+            .collect();
+        for (i, a) in ancestors.into_iter().enumerate() {
+            if i % 2 == 0 && !out.schema.essential_supertypes(t).unwrap().contains(&a) {
+                out.schema.add_essential_supertype(t, a).unwrap();
+            }
+        }
+    }
+    out.schema
+}
+
+fn conflict_scan(schema: &Schema, supers_of: impl Fn(TypeId) -> BTreeSet<TypeId>) -> usize {
+    let mut total_conflicts = 0;
+    for t in schema.iter_types() {
+        let mut seen: BTreeMap<&str, BTreeSet<PropId>> = BTreeMap::new();
+        for s in supers_of(t) {
+            for &p in schema.interface(s).expect("live") {
+                seen.entry(schema.prop_name(p).expect("live"))
+                    .or_default()
+                    .insert(p);
+            }
+        }
+        total_conflicts += seen.values().filter(|ids| ids.len() > 1).count();
+    }
+    total_conflicts
+}
+
+fn bench_conflict_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec5_conflict_detection");
+    for &n in &[50usize, 200, 800] {
+        let schema = salted(n);
+        group.bench_with_input(BenchmarkId::new("via_minimal_P", n), &schema, |b, s| {
+            b.iter(|| {
+                std::hint::black_box(conflict_scan(s, |t| {
+                    s.immediate_supertypes(t).unwrap().clone()
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via_full_Pe", n), &schema, |b, s| {
+            b.iter(|| {
+                std::hint::black_box(conflict_scan(s, |t| {
+                    s.essential_supertypes(t).unwrap().clone()
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice_drawing(c: &mut Criterion) {
+    // Edge enumeration for graphical display: minimal vs essential.
+    let mut group = c.benchmark_group("sec5_lattice_drawing");
+    for &n in &[200usize, 800] {
+        let schema = salted(n);
+        group.bench_with_input(BenchmarkId::new("minimal_edges", n), &schema, |b, s| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for t in s.iter_types() {
+                    edges += s.immediate_supertypes(t).unwrap().len();
+                }
+                std::hint::black_box(edges)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("essential_edges", n), &schema, |b, s| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for t in s.iter_types() {
+                    edges += s.essential_supertypes(t).unwrap().len();
+                }
+                std::hint::black_box(edges)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_detection, bench_lattice_drawing);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion bench for **Table 3 / §3.3**: throughput of every TIGUKAT
+//! schema-evolution operation against a populated objectbase.
+
+use axiombase_store::Policy;
+use axiombase_tigukat::{FunctionKind, Objectbase};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// A mid-sized objectbase: a 3-level user hierarchy with classes and
+/// instances, on the lazy policy.
+fn fixture() -> Objectbase {
+    let mut ob = Objectbase::with_policy(Policy::Lazy);
+    let mut parents = vec![];
+    for i in 0..10 {
+        let t = ob.at(&format!("L1_{i}"), [], []).unwrap();
+        ob.ac(t).unwrap();
+        let b = ob.ab(&format!("B_l1_{i}"), None);
+        ob.mt_ab(t, b).unwrap();
+        parents.push(t);
+    }
+    for i in 0..20 {
+        let p = parents[i % parents.len()];
+        let t = ob.at(&format!("L2_{i}"), [p], []).unwrap();
+        ob.ac(t).unwrap();
+        for _ in 0..5 {
+            ob.ao(t).unwrap();
+        }
+    }
+    ob
+}
+
+fn bench_type_ops(c: &mut Criterion) {
+    let base = fixture();
+    let mut group = c.benchmark_group("tigukat_type_ops");
+    group.bench_function("AT", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut ob| {
+                ob.at("bench_T", [], []).unwrap();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let victim = base.schema().type_by_name("L2_0").unwrap();
+    group.bench_function("DT", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut ob| {
+                ob.dt(victim).unwrap();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let l1 = base.schema().type_by_name("L1_1").unwrap();
+    group.bench_function("MT-ASR", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut ob| {
+                ob.mt_asr(victim, l1).unwrap();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_behavior_ops(c: &mut Criterion) {
+    let base = fixture();
+    let t = base.schema().type_by_name("L1_0").unwrap();
+    let mut group = c.benchmark_group("tigukat_behavior_ops");
+    group.bench_function("AB+MT-AB", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut ob| {
+                let beh = ob.ab("bench_B", None);
+                ob.mt_ab(t, beh).unwrap();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("MB-CA", |b| {
+        let existing = base
+            .schema()
+            .native_properties(t)
+            .unwrap()
+            .iter()
+            .next()
+            .copied()
+            .unwrap();
+        b.iter_batched(
+            || {
+                let mut ob = base.clone();
+                let f = ob.af("bench_fn", FunctionKind::Stored);
+                (ob, f)
+            },
+            |(mut ob, f)| {
+                ob.mb_ca(t, existing, f).unwrap();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut ob = fixture();
+    let t = ob.schema().type_by_name("L1_0").unwrap();
+    let beh = ob
+        .schema()
+        .native_properties(t)
+        .unwrap()
+        .iter()
+        .next()
+        .copied()
+        .unwrap();
+    let inst = ob.ao(t).unwrap();
+    ob.mo(inst, beh, "v".into()).unwrap();
+    let prim = ob.primitives().clone();
+    let type_obj = ob.type_object(t).unwrap();
+    let mut group = c.benchmark_group("tigukat_apply");
+    group.bench_function("stored_behavior", |b| {
+        b.iter(|| std::hint::black_box(ob.apply(inst, beh, &[]).unwrap()))
+    });
+    group.bench_function("builtin_B_interface", |b| {
+        b.iter(|| std::hint::black_box(ob.apply(type_obj, prim.b_interface, &[]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_type_ops, bench_behavior_ops, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion bench for **§5 claim 1** infrastructure: the cost of dropping a
+//! series of subtype edges in the axiomatic model versus Orion, and of the
+//! fingerprinting used by the order-independence experiment.
+
+use axiombase_core::{EngineKind, LatticeConfig, SchemaError, TypeId};
+use axiombase_orion::{ClassId, OrionError};
+use axiombase_workload::{LatticeGen, OrionGen};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_drop_series_axiomatic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drop_series_axiomatic");
+    for &n in &[50usize, 200] {
+        let out = LatticeGen {
+            types: n,
+            max_parents: 3,
+            props_per_type: 1.0,
+            redeclare_prob: 0.0,
+            seed: n as u64,
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        // Collect up to 10 droppable edges.
+        let mut edges: Vec<(TypeId, TypeId)> = Vec::new();
+        'outer: for t in out.schema.iter_types() {
+            for &s in out.schema.essential_supertypes(t).unwrap() {
+                if Some(s) != out.schema.root() {
+                    edges.push((t, s));
+                    if edges.len() == 10 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &out.schema, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| {
+                    for &(t, sup) in &edges {
+                        match s.drop_essential_supertype(t, sup) {
+                            Ok(()) | Err(SchemaError::NotAnEssentialSupertype { .. }) => {}
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                    s.fingerprint()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_drop_series_orion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drop_series_orion");
+    for &n in &[50usize, 200] {
+        let orion = OrionGen {
+            classes: n,
+            max_supers: 3,
+            props_per_class: 1.0,
+            homonym_prob: 0.0,
+            seed: n as u64,
+        }
+        .generate();
+        let mut edges: Vec<(ClassId, ClassId)> = Vec::new();
+        'outer: for cl in orion.iter_classes() {
+            for &s in orion.superclasses(cl).unwrap() {
+                edges.push((cl, s));
+                if edges.len() == 10 {
+                    break 'outer;
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &orion, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| {
+                    for &(cl, sup) in &edges {
+                        match s.op4_drop_edge(cl, sup) {
+                            Ok(())
+                            | Err(OrionError::NotASuperclass { .. })
+                            | Err(OrionError::LastEdgeToObject { .. }) => {}
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                    s.fingerprint()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint");
+    for &n in &[50usize, 200, 800] {
+        let schema = LatticeGen {
+            types: n,
+            seed: n as u64,
+            ..Default::default()
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental)
+        .schema;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, s| {
+            b.iter(|| std::hint::black_box(s.fingerprint()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_drop_series_axiomatic,
+    bench_drop_series_orion,
+    bench_fingerprint
+);
+criterion_main!(benches);

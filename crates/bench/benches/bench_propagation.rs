@@ -1,0 +1,68 @@
+//! Criterion bench for the **§1 change-propagation taxonomy**: cost of a
+//! schema change (and of subsequent reads) under each propagation policy,
+//! as the instance population grows.
+
+use axiombase_core::{LatticeConfig, Schema};
+use axiombase_store::{ObjectStore, Oid, Policy};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_change_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_change_cost");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        for policy in Policy::ALL {
+            group.bench_with_input(BenchmarkId::new(policy.name(), n), &n, |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut schema = Schema::new(LatticeConfig::ORION);
+                        let root = schema.add_root_type("T_object").unwrap();
+                        let t = schema.add_type("T_part", [root], []).unwrap();
+                        schema.define_property_on(t, "p0").unwrap();
+                        let mut store = ObjectStore::new(policy);
+                        for _ in 0..n {
+                            store.create(&schema, t).unwrap();
+                        }
+                        schema.define_property_on(t, "bench_new").unwrap();
+                        (schema, store, t)
+                    },
+                    |(schema, mut store, t)| {
+                        store.on_schema_change(&schema, &[t]);
+                        store
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_read_after_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_read_after_change");
+    for policy in [Policy::Eager, Policy::Lazy, Policy::Screening] {
+        group.bench_with_input(
+            BenchmarkId::new(policy.name(), 10_000usize),
+            &10_000usize,
+            |b, &n| {
+                // Build once: schema change applied, store notified.
+                let mut schema = Schema::new(LatticeConfig::ORION);
+                let root = schema.add_root_type("T_object").unwrap();
+                let t = schema.add_type("T_part", [root], []).unwrap();
+                let p0 = schema.define_property_on(t, "p0").unwrap();
+                let mut store = ObjectStore::new(policy);
+                let oids: Vec<Oid> = (0..n).map(|_| store.create(&schema, t).unwrap()).collect();
+                let _p1 = schema.define_property_on(t, "p1").unwrap();
+                store.on_schema_change(&schema, &[t]);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 997) % oids.len(); // stride through the set
+                    std::hint::black_box(store.get(&schema, oids[i], p0).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_change_cost, bench_read_after_change);
+criterion_main!(benches);

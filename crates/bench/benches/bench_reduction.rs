@@ -1,0 +1,123 @@
+//! Criterion bench for **§4**: the cost of Orion's fundamental operations
+//! natively versus through the axiomatic reduction (native + mapped image +
+//! recomputation). Quantifies the overhead of keeping the axiomatic image
+//! in lockstep — the price of the common framework.
+
+use axiombase_orion::{OrionOp, OrionProp, OrionPropKind};
+use axiombase_workload::OrionGen;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn prop(name: &str) -> OrionProp {
+    OrionProp {
+        name: name.into(),
+        domain: "OBJECT".into(),
+        kind: OrionPropKind::Attribute,
+    }
+}
+
+fn bench_op1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orion_op1_add_property");
+    for &n in &[20usize, 80, 320] {
+        let gen = OrionGen {
+            classes: n,
+            seed: n as u64,
+            ..Default::default()
+        };
+        let native_base = gen.generate();
+        let classes: Vec<_> = native_base.iter_classes().collect();
+        let target = classes[classes.len() / 2];
+        group.bench_with_input(BenchmarkId::new("native", n), &native_base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| {
+                    s.op1_add_property(target, prop("bench")).unwrap();
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let pair_base = gen.generate_reduced();
+        group.bench_with_input(BenchmarkId::new("reduced", n), &pair_base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut pair| {
+                    pair.apply(&OrionOp::AddProperty {
+                        class: target,
+                        prop: prop("bench"),
+                    })
+                    .unwrap();
+                    pair
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_op4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orion_op4_drop_edge");
+    for &n in &[20usize, 80, 320] {
+        let gen = OrionGen {
+            classes: n,
+            max_supers: 3,
+            seed: n as u64 + 1,
+            ..Default::default()
+        };
+        let pair = gen.generate_reduced();
+        // Find a class with ≥2 superclasses so OP4 is a plain removal.
+        let (target, sup) = pair
+            .orion
+            .iter_classes()
+            .find_map(|cl| {
+                let s = pair.orion.superclasses(cl).unwrap();
+                (s.len() >= 2).then(|| (cl, s[0]))
+            })
+            .expect("generator produces multi-parent classes");
+        group.bench_with_input(BenchmarkId::new("native", n), &pair.orion, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| {
+                    s.op4_drop_edge(target, sup).unwrap();
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("reduced", n), &pair, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut p| {
+                    p.apply(&OrionOp::DropEdge {
+                        class: target,
+                        superclass: sup,
+                    })
+                    .unwrap();
+                    p
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orion_equivalence_check");
+    group.sample_size(20);
+    for &n in &[20usize, 80] {
+        let pair = OrionGen {
+            classes: n,
+            seed: n as u64,
+            ..Default::default()
+        }
+        .generate_reduced();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, p| {
+            b.iter(|| std::hint::black_box(p.check_equivalence().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_op1, bench_op4, bench_equivalence_check);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Reproduction of **§6 (future work)**: "the implementation of schema
+//! evolution ... based on the axiomatic model ... with efficient algorithms
+//! ... will provide the necessary empirical evidence of its performance
+//! characteristics."
+//!
+//! Ablation: the naive engine (literal Table 2 interpretation, whole-lattice
+//! recomputation per change) versus the incremental engine (down-set-scoped
+//! recomputation), across lattice sizes and operation mixes. Reports both
+//! *work units* (per-type derivations, an implementation-independent
+//! complexity measure) and wall-clock time.
+//!
+//! Run: `cargo run -p axiombase-bench --bin ablation_engines` (use
+//! `--release` for representative times)
+//!
+//! Expected shape: naive work grows ~O(|T|) per operation; incremental work
+//! tracks the changed type's down-set (≪ |T| on broad lattices), so the gap
+//! widens with lattice size.
+
+use axiombase_bench::{expect, heading, Table};
+use axiombase_core::{EngineKind, LatticeConfig};
+use axiombase_workload::{apply_random_ops, LatticeGen, OpMix};
+use std::time::Instant;
+
+fn main() {
+    heading("§6 ablation: naive (spec) vs incremental (optimized) derivation engine");
+
+    const OPS: usize = 300;
+    let mixes = [
+        ("balanced", OpMix::BALANCED),
+        ("property churn", OpMix::PROPERTY_CHURN),
+        ("lattice churn", OpMix::LATTICE_CHURN),
+    ];
+
+    for (mix_name, mix) in mixes {
+        heading(&format!("operation mix: {mix_name} ({OPS} ops)"));
+        let mut table = Table::new([
+            "lattice size",
+            "naive derivations",
+            "incr derivations",
+            "work ratio",
+            "naive time",
+            "incr time",
+            "speedup",
+        ]);
+        for &n in &[50usize, 100, 200, 400, 800] {
+            let mut results = Vec::new();
+            for engine in [EngineKind::Naive, EngineKind::Incremental] {
+                let mut out = LatticeGen {
+                    types: n,
+                    max_parents: 3,
+                    props_per_type: 1.5,
+                    redeclare_prob: 0.1,
+                    seed: n as u64,
+                }
+                .generate(LatticeConfig::ORION, engine);
+                out.schema.reset_stats();
+                let start = Instant::now();
+                let stats = apply_random_ops(&mut out.schema, OPS, mix, 7 * n as u64);
+                let elapsed = start.elapsed();
+                assert!(stats.applied > 0);
+                results.push((
+                    out.schema.stats().types_derived,
+                    elapsed,
+                    out.schema.fingerprint(),
+                ));
+            }
+            let (naive_work, naive_time, naive_fp) = results[0];
+            let (incr_work, incr_time, incr_fp) = results[1];
+            expect(
+                naive_fp == incr_fp,
+                &format!("n={n}, {mix_name}: engines produce identical schemas"),
+            );
+            table.row([
+                n.to_string(),
+                naive_work.to_string(),
+                incr_work.to_string(),
+                format!("{:.1}x", naive_work as f64 / incr_work.max(1) as f64),
+                format!("{:.1?}", naive_time),
+                format!("{:.1?}", incr_time),
+                format!(
+                    "{:.1}x",
+                    naive_time.as_secs_f64() / incr_time.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+        table.print();
+    }
+
+    heading("Scaling shape check");
+    // The work ratio must grow with lattice size: incremental work is
+    // bounded by down-set size, naive work by |T|.
+    let ratio_at = |n: usize| -> f64 {
+        let mut works = Vec::new();
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let mut out = LatticeGen {
+                types: n,
+                max_parents: 3,
+                props_per_type: 1.0,
+                redeclare_prob: 0.0,
+                seed: 99,
+            }
+            .generate(LatticeConfig::ORION, engine);
+            out.schema.reset_stats();
+            apply_random_ops(&mut out.schema, 200, OpMix::PROPERTY_CHURN, 123);
+            works.push(out.schema.stats().types_derived as f64);
+        }
+        works[0] / works[1].max(1.0)
+    };
+    let small = ratio_at(50);
+    let large = ratio_at(800);
+    println!("work ratio at n=50: {small:.1}x; at n=800: {large:.1}x");
+    expect(
+        large > small,
+        "the naive/incremental work gap widens with lattice size",
+    );
+    expect(
+        large > 5.0,
+        "incremental wins by >5x at n=800 under property churn",
+    );
+
+    println!("\nablation_engines: all checks passed");
+}

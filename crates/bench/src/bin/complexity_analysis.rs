@@ -1,0 +1,165 @@
+//! Reproduction of the second half of **§6's future work**: "Also of
+//! interest is a formal complexity analysis of our implementation
+//! techniques, which will provide the theoretical evidence of performance."
+//!
+//! Empirical complexity fitting: per-operation derivation *work* (the number
+//! of per-type derivations, an implementation- and hardware-independent
+//! measure) is swept against the three structural parameters — lattice size
+//! `|T|`, depth, and fan-in — and a log-log slope is fitted for each engine.
+//!
+//! Predicted complexity (from the engine design, see `core::engine`):
+//!
+//! * naive per op: `Θ(|T|)` derivations — slope ≈ 1 in `|T|`;
+//! * incremental per op: `Θ(|down-set|)` derivations — on broad random
+//!   lattices with bounded fan-in the mean down-set is `O(1)`-ish in `|T|`
+//!   (slope ≪ 1), while on a pure chain the down-set of a root-adjacent
+//!   edit is the entire chain (slope ≈ 1 in depth — the adversarial case).
+//!
+//! Run: `cargo run --release -p axiombase-bench --bin complexity_analysis`
+
+use axiombase_bench::{expect, heading, Table};
+use axiombase_core::{EngineKind, LatticeConfig, Schema};
+use axiombase_workload::{apply_random_ops, LatticeGen, OpMix};
+
+/// Least-squares slope of ln(y) against ln(x).
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Mean derivations per applied operation on a random lattice of size `n`.
+fn work_per_op(n: usize, engine: EngineKind) -> f64 {
+    const OPS: usize = 200;
+    let mut out = LatticeGen {
+        types: n,
+        max_parents: 3,
+        props_per_type: 1.0,
+        redeclare_prob: 0.0,
+        seed: 17,
+    }
+    .generate(LatticeConfig::ORION, engine);
+    out.schema.reset_stats();
+    let stats = apply_random_ops(&mut out.schema, OPS, OpMix::PROPERTY_CHURN, 23);
+    out.schema.stats().types_derived as f64 / stats.applied.max(1) as f64
+}
+
+/// Mean derivations per property-edit at the top of a chain of depth `d`.
+fn chain_work(d: usize, engine: EngineKind) -> f64 {
+    let mut s = Schema::with_engine(LatticeConfig::ORION, engine);
+    let root = s.add_root_type("root").unwrap();
+    let mut prev = root;
+    for i in 0..d {
+        prev = s.add_type(format!("c{i}"), [prev], []).unwrap();
+    }
+    let top = s.type_by_name("c0").unwrap();
+    s.reset_stats();
+    const EDITS: usize = 20;
+    for k in 0..EDITS {
+        let p = s.add_property(format!("p{k}"));
+        s.add_essential_property(top, p).unwrap();
+    }
+    s.stats().types_derived as f64 / EDITS as f64
+}
+
+fn main() {
+    heading("§6: empirical complexity analysis (derivations per operation)");
+
+    // --- Sweep |T| ---------------------------------------------------------
+    let sizes = [50usize, 100, 200, 400, 800, 1600];
+    let mut t = Table::new(["|T|", "naive work/op", "incremental work/op"]);
+    let mut naive_pts = Vec::new();
+    let mut incr_pts = Vec::new();
+    for &n in &sizes {
+        let w_naive = work_per_op(n, EngineKind::Naive);
+        let w_incr = work_per_op(n, EngineKind::Incremental);
+        naive_pts.push((n as f64, w_naive));
+        incr_pts.push((n as f64, w_incr));
+        t.row([
+            n.to_string(),
+            format!("{w_naive:.1}"),
+            format!("{w_incr:.1}"),
+        ]);
+    }
+    t.print();
+    let naive_slope = loglog_slope(&naive_pts);
+    let incr_slope = loglog_slope(&incr_pts);
+    println!("\nfitted log-log slope in |T| (random lattices, fan-in ≤ 3, property churn):");
+    println!("  naive:       {naive_slope:.2}   (predicted ≈ 1: Θ(|T|) per operation)");
+    println!("  incremental: {incr_slope:.2}   (predicted ≪ 1: Θ(|down-set|) per operation)");
+    expect(
+        (0.85..=1.15).contains(&naive_slope),
+        "naive engine scales linearly in |T| (slope within [0.85, 1.15])",
+    );
+    expect(
+        incr_slope < 0.5,
+        "incremental engine is sublinear in |T| on bounded-fan-in lattices",
+    );
+
+    // --- Sweep depth (the adversarial chain) --------------------------------
+    heading("Adversarial case: property edit at the top of a depth-d chain");
+    let depths = [25usize, 50, 100, 200, 400];
+    let mut t = Table::new(["depth d", "naive work/op", "incremental work/op"]);
+    let mut chain_pts = Vec::new();
+    for &d in &depths {
+        let w_naive = chain_work(d, EngineKind::Naive);
+        let w_incr = chain_work(d, EngineKind::Incremental);
+        chain_pts.push((d as f64, w_incr));
+        t.row([
+            d.to_string(),
+            format!("{w_naive:.1}"),
+            format!("{w_incr:.1}"),
+        ]);
+    }
+    t.print();
+    let chain_slope = loglog_slope(&chain_pts);
+    println!("\nfitted incremental slope in depth: {chain_slope:.2} (predicted ≈ 1 — the");
+    println!("edited type's down-set IS the chain; no engine can beat its own output size)");
+    expect(
+        (0.85..=1.15).contains(&chain_slope),
+        "incremental work tracks the down-set exactly on chains",
+    );
+
+    // --- Sweep fan-in --------------------------------------------------------
+    heading("Effect of fan-in (|T| = 400 fixed)");
+    let mut t = Table::new([
+        "max fan-in",
+        "incremental work/op",
+        "mean |PL| (lattice density)",
+    ]);
+    for &fan in &[1usize, 2, 4, 8] {
+        let mut out = LatticeGen {
+            types: 400,
+            max_parents: fan,
+            props_per_type: 1.0,
+            redeclare_prob: 0.0,
+            seed: 29,
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        let mean_pl: f64 = out
+            .schema
+            .iter_types()
+            .map(|ty| out.schema.super_lattice(ty).unwrap().len() as f64)
+            .sum::<f64>()
+            / out.schema.type_count() as f64;
+        out.schema.reset_stats();
+        let stats = apply_random_ops(&mut out.schema, 200, OpMix::PROPERTY_CHURN, 31);
+        let w = out.schema.stats().types_derived as f64 / stats.applied.max(1) as f64;
+        t.row([fan.to_string(), format!("{w:.1}"), format!("{mean_pl:.1}")]);
+    }
+    t.print();
+    println!(
+        "\nReading: fan-in densifies the lattice (larger PL sets ⇒ larger\n\
+         down-sets), which is what incremental work tracks — the predicted\n\
+         Θ(|down-set|) behaviour, independent of |T|."
+    );
+
+    println!("\ncomplexity_analysis: all checks passed");
+}

@@ -1,0 +1,144 @@
+//! Reproduction of **Figure 1** ("Simple type lattice") and the §2 worked
+//! narrative.
+//!
+//! Builds the university lattice, prints the figure as ASCII, prints every
+//! derived term, then replays the paper's evolution narrative step by step:
+//! the essential supertypes of `T_teachingAssistant`, dropping `T_student`
+//! and `T_employee`, and the `taxBracket` essential-property adoption.
+//!
+//! Run: `cargo run -p axiombase-bench --bin fig1_lattice`
+
+use axiombase_bench::{derived_report, expect, heading, set_of};
+use axiombase_core::EngineKind;
+use axiombase_workload::scenarios::university;
+
+fn main() {
+    heading("Figure 1: simple type lattice");
+    println!(
+        r#"                 T_object
+                /        \
+        T_person          T_taxSource
+        /       \        /
+  T_student      T_employee
+        \       /
+   T_teachingAssistant
+            |
+          T_null (base; drawn in the figure, enforced in the pointed build)
+"#
+    );
+
+    let mut u = university(EngineKind::Naive, false);
+    heading("Derived terms (Table 1) on the Figure 1 lattice");
+    derived_report(&u.schema).print();
+
+    heading("Axiom satisfaction");
+    expect(
+        u.schema.verify().is_empty(),
+        "all nine axioms hold on Figure 1",
+    );
+    expect(
+        axiombase_core::oracle::check_schema(&u.schema).is_empty(),
+        "engine output equals the soundness/completeness oracle",
+    );
+
+    heading("Worked example: P(T_teachingAssistant)");
+    let p = u
+        .schema
+        .immediate_supertypes(u.teaching_assistant)
+        .unwrap()
+        .iter()
+        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+    println!("P(T_teachingAssistant) = {}", set_of(p));
+    expect(
+        u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
+            == &std::collections::BTreeSet::from([u.student, u.employee]),
+        "paper: P(T_teachingAssistant) = {T_student, T_employee}",
+    );
+
+    heading("Narrative: declare essentials of T_teachingAssistant (§2)");
+    u.declare_ta_essentials();
+    let pe = u
+        .schema
+        .essential_supertypes(u.teaching_assistant)
+        .unwrap()
+        .iter()
+        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+    println!("P_e(T_teachingAssistant) = {}", set_of(pe));
+    println!("(essential: student, person, employee, object — NOT taxSource)");
+    expect(
+        u.schema
+            .immediate_supertypes(u.teaching_assistant)
+            .unwrap()
+            .len()
+            == 2,
+        "redundant essentials do not enter P (minimality)",
+    );
+
+    heading("Narrative: drop T_student from P_e(T_teachingAssistant)");
+    u.schema
+        .drop_essential_supertype(u.teaching_assistant, u.student)
+        .unwrap();
+    let p = u
+        .schema
+        .immediate_supertypes(u.teaching_assistant)
+        .unwrap()
+        .iter()
+        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+    println!("P(T_teachingAssistant) = {}", set_of(p));
+    expect(
+        u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
+            == &std::collections::BTreeSet::from([u.employee]),
+        "paper: the new instantiation only includes T_employee",
+    );
+
+    heading("Narrative: drop T_employee as well");
+    u.schema
+        .drop_essential_supertype(u.teaching_assistant, u.employee)
+        .unwrap();
+    let p = u
+        .schema
+        .immediate_supertypes(u.teaching_assistant)
+        .unwrap()
+        .iter()
+        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+    println!("P(T_teachingAssistant) = {}", set_of(p));
+    expect(
+        u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
+            == &std::collections::BTreeSet::from([u.person]),
+        "paper: Axiom 5 instantiates {T_person} as the only immediate supertype",
+    );
+    expect(
+        !u.schema
+            .is_supertype_of(u.tax_source, u.teaching_assistant)
+            .unwrap(),
+        "paper: teaching assistants automatically cease to be taxable sources",
+    );
+
+    heading("Narrative: taxBracket adoption (§2)");
+    let mut u2 = university(EngineKind::Incremental, false);
+    u2.declare_tax_bracket_essential();
+    expect(
+        u2.schema
+            .inherited_properties(u2.employee)
+            .unwrap()
+            .contains(&u2.tax_bracket),
+        "taxBracket is inherited by T_employee while T_taxSource lives",
+    );
+    u2.schema.drop_type(u2.tax_source).unwrap();
+    expect(
+        u2.schema
+            .native_properties(u2.employee)
+            .unwrap()
+            .contains(&u2.tax_bracket),
+        "paper: after deleting T_taxSource, taxBracket is adopted as native",
+    );
+
+    heading("Post-narrative schema state");
+    derived_report(&u2.schema).print();
+    expect(
+        u2.schema.verify().is_empty(),
+        "axioms hold after the narrative",
+    );
+
+    println!("\nfig1_lattice: all checks passed");
+}

@@ -1,0 +1,127 @@
+//! Reproduction of **Figure 2** ("Primitive type system of TIGUKAT").
+//!
+//! Bootstraps the TIGUKAT objectbase, prints the primitive lattice with its
+//! sub/supertype edges, verifies the shape properties the paper states
+//! (rooted at `T_object`, pointed at `T_null`, frozen primitives, schema
+//! behaviors on `T_type`), and exercises the primitive behaviors through
+//! behavior application — the uniform access path.
+//!
+//! Run: `cargo run -p axiombase-bench --bin fig2_primitive`
+
+use axiombase_bench::{expect, heading, set_of, Table};
+use axiombase_store::Value;
+use axiombase_tigukat::Objectbase;
+
+fn main() {
+    let mut ob = Objectbase::new();
+    let prim = ob.primitives().clone();
+    let schema = ob.schema().clone();
+
+    heading("Figure 2: primitive type system (supertype -> subtype edges)");
+    let mut t = Table::new(["type", "immediate supertypes P(t)", "native behaviors N(t)"]);
+    for ty in schema.iter_types() {
+        let supers = set_of(
+            schema
+                .immediate_supertypes(ty)
+                .unwrap()
+                .iter()
+                .map(|&s| schema.type_name(s).unwrap().to_string()),
+        );
+        let native = set_of(
+            schema
+                .native_properties(ty)
+                .unwrap()
+                .iter()
+                .map(|&b| schema.prop_name(b).unwrap().to_string()),
+        );
+        t.row([schema.type_name(ty).unwrap().to_string(), supers, native]);
+    }
+    t.print();
+
+    heading("Shape checks from §3.1");
+    expect(schema.root() == Some(prim.t_object), "T_object is the root");
+    expect(schema.base() == Some(prim.t_null), "T_null is the base");
+    expect(
+        schema.verify().is_empty(),
+        "all nine axioms hold (incl. pointedness)",
+    );
+    expect(schema.type_count() == 16, "16 primitive types bootstrapped");
+    expect(
+        schema
+            .is_supertype_of(prim.t_collection, prim.t_class)
+            .unwrap(),
+        "classes are collections (T_class ⊑ T_collection)",
+    );
+    expect(
+        schema.is_supertype_of(prim.t_real, prim.t_integer).unwrap()
+            && schema
+                .is_supertype_of(prim.t_integer, prim.t_natural)
+                .unwrap(),
+        "atomic chain T_natural ⊑ T_integer ⊑ T_real",
+    );
+    for ty in prim.all_types() {
+        if Some(ty) == schema.root() || Some(ty) == schema.base() {
+            continue;
+        }
+        expect(
+            ob.schema().is_frozen(ty),
+            &format!(
+                "primitive {} is frozen (cannot be dropped)",
+                schema.type_name(ty).unwrap()
+            ),
+        );
+    }
+
+    heading("Schema-evolution behaviors of T_type (§3.1), via behavior application");
+    let type_obj = ob.type_object(prim.t_integer).unwrap();
+    let mut rows = Table::new(["behavior applied to T_integer", "result"]);
+    for (label, b) in [
+        ("B_supertypes", prim.b_supertypes),
+        ("B_super-lattice", prim.b_super_lattice),
+        ("B_subtypes", prim.b_subtypes),
+        ("B_interface", prim.b_interface),
+        ("B_native", prim.b_native),
+        ("B_inherited", prim.b_inherited),
+    ] {
+        let v = ob.apply(type_obj, b, &[]).unwrap();
+        let rendered = match &v {
+            Value::List(xs) => {
+                let names: Vec<String> = xs
+                    .iter()
+                    .map(|x| match x {
+                        Value::Ref(o) => match ob.meta_ref(*o) {
+                            Some(axiombase_tigukat::MetaRef::Type(t)) => {
+                                ob.schema().type_name(t).unwrap().to_string()
+                            }
+                            Some(axiombase_tigukat::MetaRef::Behavior(b)) => {
+                                ob.schema().prop_name(b).unwrap().to_string()
+                            }
+                            _ => x.to_string(),
+                        },
+                        _ => x.to_string(),
+                    })
+                    .collect();
+                set_of(names)
+            }
+            other => other.to_string(),
+        };
+        rows.row([label.to_string(), rendered]);
+    }
+    rows.print();
+
+    let sup = ob.apply(type_obj, prim.b_supertypes, &[]).unwrap();
+    let real_obj = ob.type_object(prim.t_real).unwrap();
+    expect(
+        sup == Value::List(vec![Value::Ref(real_obj)]),
+        "T_integer.B_supertypes = {T_real}",
+    );
+
+    heading("Uniformity: C_type's extent holds the 16 type objects");
+    let extent = ob.store().extent(prim.t_type);
+    expect(extent.len() == 16, "extent(C_type) has 16 members");
+    expect(ob.bso().len() == 9, "BSO = the 9 primitive behaviors");
+    expect(ob.fso().len() == 9, "FSO = their 9 builtin implementations");
+    expect(ob.cso().len() == 16, "CSO = one class per primitive type");
+
+    println!("\nfig2_primitive: all checks passed");
+}

@@ -1,0 +1,83 @@
+//! Reproduction of the **§4 "invariants and rules" comparison**: Orion's
+//! twelve rules, demonstrated live, with each rule's axiomatic counterpart —
+//! the machine-readable form of the paper's argument that the axiomatization
+//! subsumes the rule-based approach.
+//!
+//! Run: `cargo run -p axiombase-bench --bin orion_rules`
+
+use axiombase_bench::{expect, heading, mark, Table};
+use axiombase_orion::{OrionSchema, Rule};
+use axiombase_workload::OrionGen;
+
+fn main() {
+    heading("§4: Orion's twelve rules, demonstrated and mapped to the axioms");
+
+    let mut t = Table::new([
+        "rule",
+        "description",
+        "holds (fresh)",
+        "holds (evolved)",
+        "axiomatic counterpart",
+    ]);
+    let fresh = OrionSchema::new();
+    let evolved = OrionGen {
+        classes: 25,
+        seed: 4,
+        ..Default::default()
+    }
+    .generate();
+    let mut all = true;
+    for rule in Rule::ALL {
+        let on_fresh = rule.holds(&fresh);
+        let on_evolved = rule.holds(&evolved);
+        all &= on_fresh && on_evolved;
+        t.row([
+            format!("R{}", rule.number()),
+            rule.description().to_string(),
+            mark(on_fresh).to_string(),
+            mark(on_evolved).to_string(),
+            rule.axiomatic_counterpart().to_string(),
+        ]);
+    }
+    t.print();
+    expect(
+        all,
+        "all twelve rules hold on fresh and evolved Orion systems",
+    );
+
+    heading("The paper's takeaways");
+    println!(
+        "1. \"The invariants and rules are dependent on the underlying object\n\
+         \u{20}  model\" (§1): eight of the twelve rules dissolve into the nine\n\
+         \u{20}  axioms or the automatic recomputation; the rest are name/ordering\n\
+         \u{20}  details the axiomatization abstracts away.\n\
+         2. The one rule with *different* semantics in the axiomatic model is\n\
+         \u{20}  R8 (last-edge relink): replaced by essential supertypes, which\n\
+         \u{20}  is exactly what makes edge drops order-independent (§5 — see the\n\
+         \u{20}  sec5_order_independence harness).\n\
+         3. The invariants themselves are checkable on both sides:\n\
+         \u{20}  OrionSchema::check_invariants() ⟷ Schema::verify()."
+    );
+
+    heading("Invariant checkers on both sides of the reduction");
+    let pair = OrionGen {
+        classes: 30,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate_reduced();
+    expect(
+        pair.orion.check_invariants().is_empty(),
+        "Orion invariants hold on a 30-class random schema",
+    );
+    expect(
+        pair.reduction.schema.verify().is_empty(),
+        "the nine axioms hold on its reduction",
+    );
+    expect(
+        pair.check_equivalence().is_empty(),
+        "and the two sides are equivalent",
+    );
+
+    println!("\norion_rules: all checks passed");
+}

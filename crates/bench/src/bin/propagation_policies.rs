@@ -1,0 +1,213 @@
+//! Reproduction of the **§1 change-propagation taxonomy** (the half of the
+//! problem the paper defers): "Screening, conversion, and filtering are
+//! techniques for defining when and how coercion takes place."
+//!
+//! Experiment: populate an objectbase with instances, run an evolution
+//! trace interleaved with instance reads under each policy, and report the
+//! work each policy performs where (change time vs read time), plus total
+//! wall-clock. The classic trade-off shape must emerge: eager pays
+//! everything up front, lazy amortises and skips never-read objects,
+//! screening never rewrites, filtering rejects until repaired.
+//!
+//! Run: `cargo run -p axiombase-bench --bin propagation_policies`
+
+use axiombase_bench::{expect, heading, Table};
+use axiombase_core::{LatticeConfig, PropId, Schema, TypeId};
+use axiombase_store::{ObjectStore, Oid, Policy, StoreError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const TYPES: usize = 20;
+const OBJECTS_PER_TYPE: usize = 100;
+const ROUNDS: usize = 30;
+const READS_PER_ROUND: usize = 200;
+/// Fraction of objects that are "hot" (ever read).
+const HOT_FRACTION: f64 = 0.3;
+
+struct Fixture {
+    schema: Schema,
+    types: Vec<TypeId>,
+}
+
+fn fixture() -> Fixture {
+    let mut schema = Schema::new(LatticeConfig::ORION);
+    let root = schema.add_root_type("T_object").unwrap();
+    let mut types = Vec::new();
+    let mut prev = root;
+    for i in 0..TYPES {
+        // A mix of chain and fan to give types real down-sets.
+        let parent = if i % 3 == 0 { root } else { prev };
+        let t = schema.add_type(format!("T_{i}"), [parent], []).unwrap();
+        schema.define_property_on(t, format!("p_{i}")).unwrap();
+        types.push(t);
+        prev = t;
+    }
+    Fixture { schema, types }
+}
+
+struct Outcome {
+    policy: Policy,
+    change_conv: u64,
+    read_conv: u64,
+    screened: u64,
+    rejections: u64,
+    repaired: usize,
+    never_converted: usize,
+    elapsed: std::time::Duration,
+}
+
+fn run(policy: Policy) -> Outcome {
+    let Fixture { mut schema, types } = fixture();
+    let mut store = ObjectStore::new(policy);
+    let mut objects: Vec<Oid> = Vec::new();
+    for &t in &types {
+        for _ in 0..OBJECTS_PER_TYPE {
+            objects.push(store.create(&schema, t).unwrap());
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(0x50FA);
+    let hot: Vec<Oid> = objects
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(HOT_FRACTION))
+        .collect();
+    store.reset_stats();
+    let mut repaired = 0usize;
+
+    let start = Instant::now();
+    for round in 0..ROUNDS {
+        // One schema change per round: add or drop a property on a random
+        // type (MT-AB / MT-DB); affected = the type's down-set.
+        let t = types[rng.gen_range(0..types.len())];
+        if round % 3 == 2 {
+            let ne: Vec<PropId> = schema
+                .essential_properties(t)
+                .unwrap()
+                .iter()
+                .copied()
+                .collect();
+            if let Some(&p) = ne.first() {
+                schema.drop_essential_property(t, p).unwrap();
+            }
+        } else {
+            schema
+                .define_property_on(t, format!("round_{round}"))
+                .unwrap();
+        }
+        let mut affected: Vec<TypeId> = schema.all_subtypes(t).unwrap().into_iter().collect();
+        affected.push(t);
+        store.on_schema_change(&schema, &affected);
+
+        // Hot reads against the live schema.
+        for _ in 0..READS_PER_ROUND {
+            let oid = hot[rng.gen_range(0..hot.len())];
+            let ty = store.type_of(oid).unwrap();
+            let iface: Vec<PropId> = schema.interface(ty).unwrap().iter().copied().collect();
+            if iface.is_empty() {
+                continue;
+            }
+            let p = iface[rng.gen_range(0..iface.len())];
+            match store.get(&schema, oid, p) {
+                Ok(_) => {}
+                Err(StoreError::FilteredOut(_)) => {
+                    // Filtering: the application must repair the object.
+                    store.convert(&schema, oid).unwrap();
+                    repaired += 1;
+                    store.get(&schema, oid, p).unwrap();
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let never_converted = objects
+        .iter()
+        .filter(|&&o| {
+            store
+                .record(o)
+                .map(|r| r.conformance == axiombase_store::Conformance::Stale)
+                .unwrap_or(false)
+        })
+        .count();
+    let s = store.stats();
+    Outcome {
+        policy,
+        change_conv: s.eager_conversions,
+        read_conv: s.lazy_conversions,
+        screened: s.screened_reads,
+        rejections: s.filtered_rejections,
+        repaired,
+        never_converted,
+        elapsed,
+    }
+}
+
+fn main() {
+    heading("Change propagation: screening / conversion / filtering (§1)");
+    println!(
+        "{} types x {} objects, {} schema changes, {} hot reads per change\n",
+        TYPES,
+        TYPES * OBJECTS_PER_TYPE,
+        ROUNDS,
+        READS_PER_ROUND
+    );
+
+    let mut table = Table::new([
+        "policy",
+        "change-time conversions",
+        "read-time conversions",
+        "masked reads",
+        "rejections",
+        "app repairs",
+        "still stale at end",
+        "wall time",
+    ]);
+    let mut outcomes = Vec::new();
+    for policy in Policy::ALL {
+        let o = run(policy);
+        table.row([
+            o.policy.to_string(),
+            o.change_conv.to_string(),
+            o.read_conv.to_string(),
+            o.screened.to_string(),
+            o.rejections.to_string(),
+            o.repaired.to_string(),
+            o.never_converted.to_string(),
+            format!("{:.1?}", o.elapsed),
+        ]);
+        outcomes.push(o);
+    }
+    table.print();
+
+    let by = |p: Policy| outcomes.iter().find(|o| o.policy == p).unwrap();
+    let eager = by(Policy::Eager);
+    let lazy = by(Policy::Lazy);
+    let screen = by(Policy::Screening);
+    let filter = by(Policy::Filtering);
+
+    heading("Shape checks");
+    expect(
+        eager.change_conv > 0 && eager.read_conv == 0 && eager.never_converted == 0,
+        "eager: all coercion at change time, nothing left stale",
+    );
+    expect(
+        lazy.change_conv == 0 && lazy.read_conv > 0 && lazy.never_converted > 0,
+        "lazy: coercion only on access; never-read objects never converted",
+    );
+    expect(
+        lazy.read_conv < eager.change_conv,
+        "lazy performs fewer total conversions than eager (cold objects skipped)",
+    );
+    expect(
+        screen.change_conv == 0 && screen.read_conv == 0 && screen.screened > 0,
+        "screening: no rewrites at all; reads are masked",
+    );
+    expect(
+        filter.rejections > 0 && filter.repaired == filter.rejections as usize,
+        "filtering: stale access rejected until the application repairs the object",
+    );
+
+    println!("\npropagation_policies: all checks passed");
+}

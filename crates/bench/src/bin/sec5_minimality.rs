@@ -1,0 +1,202 @@
+//! Reproduction of **§5, claim 2**: minimality pays.
+//!
+//! "The minimal supertypes and minimal native properties cannot be exploited
+//! in Orion, which can be useful for the efficiency of the system. For
+//! example, to resolve property naming conflicts in a type, it would only be
+//! necessary to iterate through the minimal supertypes of that type because
+//! any conflicts would be detectable in these supertypes alone. Another use
+//! for minimal supertypes is in displaying the type lattice graphically."
+//!
+//! Experiment: on random lattices salted with redundant essential
+//! supertypes (exactly what accumulates under long-lived evolution), compare
+//!  (a) the supertype scans needed for name-conflict detection through the
+//!      minimal `P` versus through the unminimised `P_e` (Orion's stored
+//!      superclass list), and
+//!  (b) the number of edges in the minimal graphical drawing (`Σ|P|`)
+//!      versus the unminimised one (`Σ|P_e|`),
+//! verifying that scanning only the minimal supertypes detects the identical
+//! conflict set.
+//!
+//! Run: `cargo run -p axiombase-bench --bin sec5_minimality`
+
+use axiombase_bench::{expect, heading, Table};
+use axiombase_core::{EngineKind, LatticeConfig, Schema, TypeId};
+use axiombase_workload::LatticeGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Add redundant-but-legal essential supertypes: for each type, each strict
+/// ancestor is declared essential with probability `q` (designers do this
+/// whenever they *care* that TA stays a Person even if Student goes away —
+/// §2's worked example).
+fn salt_redundant_essentials(schema: &mut Schema, q: f64, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let types: Vec<TypeId> = schema.iter_types().collect();
+    for &t in &types {
+        let ancestors: Vec<TypeId> = schema
+            .super_lattice(t)
+            .expect("live")
+            .iter()
+            .copied()
+            .filter(|&a| a != t)
+            .collect();
+        for a in ancestors {
+            if rng.gen_bool(q) && !schema.essential_supertypes(t).expect("live").contains(&a) {
+                schema
+                    .add_essential_supertype(t, a)
+                    .expect("redundant is legal");
+            }
+        }
+    }
+}
+
+/// Name-conflict detection for `t` scanning a given supertype set: returns
+/// the set of names defined by more than one scanned source interface.
+fn conflicts_via(
+    schema: &Schema,
+    t: TypeId,
+    supers: &BTreeSet<TypeId>,
+) -> (BTreeSet<String>, usize) {
+    // A conflict is a name carried by two *distinct* properties (distinct
+    // semantics); re-seeing the same property through a redundant path is
+    // not a conflict — "simple set operations can be used to resolve
+    // conflicts" (§3.1).
+    let mut seen: std::collections::BTreeMap<String, BTreeSet<axiombase_core::PropId>> =
+        Default::default();
+    let mut scans = 0usize;
+    for &s in supers {
+        scans += 1;
+        for &p in schema.interface(s).expect("live") {
+            seen.entry(schema.prop_name(p).expect("live").to_string())
+                .or_default()
+                .insert(p);
+        }
+    }
+    let conflicts = seen
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .map(|(k, _)| k)
+        .collect();
+    let _ = t;
+    (conflicts, scans)
+}
+
+fn main() {
+    heading("§5 claim 2: exploiting minimal supertypes (P) vs the full P_e");
+
+    let mut table = Table::new([
+        "lattice size",
+        "Σ|P| (minimal edges)",
+        "Σ|P_e| (stored edges)",
+        "edge ratio",
+        "conflict scans via P",
+        "via P_e",
+        "scan ratio",
+        "same conflicts",
+    ]);
+
+    for &n in &[50usize, 100, 200, 400] {
+        let mut out = LatticeGen {
+            types: n,
+            max_parents: 3,
+            props_per_type: 1.5,
+            redeclare_prob: 0.0,
+            seed: n as u64,
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        // Long-lived schemas accumulate redundant essentials.
+        salt_redundant_essentials(&mut out.schema, 0.25, n as u64 ^ 0xDEAD);
+        // Salt homonymous properties (the Figure 1 "name"/"name" situation)
+        // so there are real conflicts to detect.
+        {
+            let mut rng = SmallRng::seed_from_u64(n as u64 ^ 0xC0FFEE);
+            let types: Vec<TypeId> = out.schema.iter_types().collect();
+            for h in 0..n / 5 {
+                for _ in 0..2 {
+                    let t = types[rng.gen_range(0..types.len())];
+                    out.schema
+                        .define_property_on(t, format!("homonym_{h}"))
+                        .expect("live");
+                }
+            }
+        }
+        let schema = &out.schema;
+
+        let mut edges_min = 0usize;
+        let mut edges_ess = 0usize;
+        let mut scans_min = 0usize;
+        let mut scans_ess = 0usize;
+        let mut identical = true;
+        for t in schema.iter_types() {
+            let p = schema.immediate_supertypes(t).expect("live");
+            let pe = schema.essential_supertypes(t).expect("live");
+            edges_min += p.len();
+            edges_ess += pe.len();
+            let (c1, s1) = conflicts_via(schema, t, p);
+            let (c2, s2) = conflicts_via(schema, t, pe);
+            scans_min += s1;
+            scans_ess += s2;
+            // The P_e scan may *repeat* conflicts through redundant paths,
+            // but the conflict set itself must coincide with the minimal
+            // scan's — that is the paper's claim.
+            identical &= c1 == c2;
+        }
+        expect(
+            identical,
+            &format!("n={n}: conflicts via minimal P equal conflicts via full P_e"),
+        );
+        table.row([
+            format!("{n}"),
+            edges_min.to_string(),
+            edges_ess.to_string(),
+            format!("{:.2}x", edges_ess as f64 / edges_min.max(1) as f64),
+            scans_min.to_string(),
+            scans_ess.to_string(),
+            format!("{:.2}x", scans_ess as f64 / scans_min.max(1) as f64),
+            "yes".into(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading: Orion stores (and must scan) the unminimised superclass\n\
+         list; the axiomatic model derives the minimal P and detects the\n\
+         identical conflicts with proportionally fewer interface scans, and\n\
+         draws the lattice with proportionally fewer edges (§5)."
+    );
+
+    heading("Figure 1 sanity check");
+    let u = axiombase_workload::scenarios::university(EngineKind::Incremental, false);
+    let mut s = u.schema;
+    // Declare the §2 essentials (redundant person/object on TA).
+    s.add_essential_supertype(u.teaching_assistant, u.person)
+        .unwrap();
+    s.add_essential_supertype(u.teaching_assistant, u.object)
+        .unwrap();
+    let p = s
+        .immediate_supertypes(u.teaching_assistant)
+        .unwrap()
+        .clone();
+    let pe = s
+        .essential_supertypes(u.teaching_assistant)
+        .unwrap()
+        .clone();
+    println!(
+        "|P(T_teachingAssistant)| = {}, |P_e(T_teachingAssistant)| = {}",
+        p.len(),
+        pe.len()
+    );
+    let (c1, _) = conflicts_via(&s, u.teaching_assistant, &p);
+    let (c2, _) = conflicts_via(&s, u.teaching_assistant, &pe);
+    println!("conflicting names via P = {c1:?}, via P_e = {c2:?}");
+    expect(
+        c1 == c2,
+        "the homonymous 'name' conflict is caught by the minimal scan",
+    );
+    expect(
+        c1.contains("name"),
+        "the Figure 1 'name' homonym is detected",
+    );
+
+    println!("\nsec5_minimality: all checks passed");
+}

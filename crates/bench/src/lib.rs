@@ -1,0 +1,197 @@
+//! Shared helpers for the reproduction harnesses: aligned ASCII tables and
+//! section banners, so every harness prints its paper artifact the same way
+//! (EXPERIMENTS.md captures these outputs verbatim).
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded or truncated to the header width).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            out.push_str("| ");
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+                out.push_str(" | ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Print a section banner.
+pub fn heading(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Render a set of names as `{a, b, c}`.
+pub fn set_of(names: impl IntoIterator<Item = String>) -> String {
+    let mut v: Vec<String> = names.into_iter().collect();
+    v.sort();
+    format!("{{{}}}", v.join(", "))
+}
+
+/// Format a boolean as yes/NO for satisfaction matrices.
+pub fn mark(ok: bool) -> &'static str {
+    if ok {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+/// Render every derived term of Table 1 for every live type of a schema —
+/// the standard schema report used by several harnesses.
+pub fn derived_report(schema: &axiombase_core::Schema) -> Table {
+    let names = |props: &std::collections::BTreeSet<axiombase_core::PropId>| {
+        set_of(
+            props
+                .iter()
+                .map(|&p| schema.prop_name(p).unwrap_or("?").to_string()),
+        )
+    };
+    let tnames = |types: &std::collections::BTreeSet<axiombase_core::TypeId>| {
+        set_of(
+            types
+                .iter()
+                .map(|&t| schema.type_name(t).unwrap_or("?").to_string()),
+        )
+    };
+    let mut table = Table::new(["type", "P_e", "P", "PL", "N_e", "N", "H", "I"]);
+    for t in schema.iter_types() {
+        let d = schema.derived(t).expect("live");
+        table.row([
+            schema.type_name(t).expect("live").to_string(),
+            tnames(schema.essential_supertypes(t).expect("live")),
+            tnames(&d.p),
+            tnames(&d.pl),
+            names(schema.essential_properties(t).expect("live")),
+            names(&d.n),
+            names(&d.h),
+            names(&d.iface),
+        ]);
+    }
+    table
+}
+
+/// Assert-and-report helper for harness binaries: prints `ok` lines and
+/// panics loudly on violation so CI catches broken reproductions.
+pub fn expect(cond: bool, what: &str) {
+    if cond {
+        println!("ok   {what}");
+    } else {
+        panic!("FAILED: {what}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_report_covers_all_types() {
+        let mut s = axiombase_core::Schema::new(axiombase_core::LatticeConfig::default());
+        let root = s.add_root_type("root").unwrap();
+        s.add_type("a", [root], []).unwrap();
+        let t = derived_report(&s);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("root"));
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["xxxx", "y"]);
+        t.row(["z", "w"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert!(t.render().contains("| 1 "));
+    }
+
+    #[test]
+    fn set_formatting() {
+        assert_eq!(set_of(["b".to_string(), "a".to_string()]), "{a, b}");
+        assert_eq!(set_of(Vec::<String>::new()), "{}");
+        assert_eq!(mark(true), "yes");
+    }
+}

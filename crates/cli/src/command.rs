@@ -1,0 +1,318 @@
+//! The schema-definition command language.
+//!
+//! The paper imagines the system "may open a dialog with the schema designer
+//! to determine all supertypes and properties that are essential to the new
+//! type" (§2). This module is that dialog's grammar: a small, line-oriented
+//! command language over the axiomatic model. One command per line; `#`
+//! starts a comment.
+//!
+//! ```text
+//! type add TA under Student Employee      # AT: create with essential supers
+//! type add Person                         # AT: defaults to the root
+//! type drop TaxSource                     # DT
+//! type rename TA TeachingAssistant        # relabel (identity unchanged)
+//! type freeze Person                      # primitive-style protection
+//! prop add name on Person                 # MT-AB (defines the property too)
+//! prop drop name on Person                # MT-DB
+//! prop delete name                        # DB: drop everywhere
+//! edge add TA Student                     # MT-ASR
+//! edge drop TA Student                    # MT-DSR
+//! show TA                                 # all Table 1 terms for one type
+//! show lattice                            # the whole lattice
+//! check                                   # run the nine axiom checks
+//! oracle                                  # soundness/completeness oracle
+//! stats                                   # engine statistics
+//! engine naive | engine incremental
+//! save schema.axb                         # text snapshot
+//! load schema.axb
+//! help
+//! quit
+//! ```
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `type add NAME [under SUPER...]`
+    TypeAdd {
+        /// New type name.
+        name: String,
+        /// Essential supertype names (empty = root default).
+        supers: Vec<String>,
+    },
+    /// `type drop NAME`
+    TypeDrop(String),
+    /// `type rename OLD NEW`
+    TypeRename(String, String),
+    /// `type freeze NAME`
+    TypeFreeze(String),
+    /// `prop add PROP on TYPE`
+    PropAdd {
+        /// Property name (created in the registry if new on this type).
+        prop: String,
+        /// Target type name.
+        ty: String,
+    },
+    /// `prop drop PROP on TYPE`
+    PropDrop {
+        /// Property name.
+        prop: String,
+        /// Target type name.
+        ty: String,
+    },
+    /// `prop delete PROP` — drop everywhere (DB).
+    PropDelete(String),
+    /// `edge add SUB SUPER`
+    EdgeAdd(String, String),
+    /// `edge drop SUB SUPER`
+    EdgeDrop(String, String),
+    /// `show TYPE`
+    Show(String),
+    /// `show lattice`
+    ShowLattice,
+    /// `check`
+    Check,
+    /// `oracle`
+    Oracle,
+    /// `stats`
+    Stats,
+    /// `engine naive|incremental`
+    Engine(String),
+    /// `save PATH`
+    Save(String),
+    /// `load PATH`
+    Load(String),
+    /// `project TYPE...` — restrict the schema to the upward closure of the
+    /// named types (starts a fresh history).
+    Project(Vec<String>),
+    /// `undo [N]` — rewind the last N operations (default 1).
+    Undo(usize),
+    /// `log` — show the recorded operation history.
+    Log,
+    /// `diff VERSION` — diff the current schema against a past version.
+    Diff(usize),
+    /// `export dot PATH [essential]` — Graphviz export (minimal edges by
+    /// default; `essential` draws `P_e` with redundant edges dashed).
+    ExportDot {
+        /// Output path.
+        path: String,
+        /// Draw the essential (unminimised) edge set.
+        essential: bool,
+    },
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+    /// Blank line or comment.
+    Nothing,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one input line.
+pub fn parse(line: &str) -> Result<Command, ParseError> {
+    let line = match line.find('#') {
+        Some(ix) => &line[..ix],
+        None => line,
+    };
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let err = |msg: &str| Err(ParseError(msg.to_string()));
+    match words.as_slice() {
+        [] => Ok(Command::Nothing),
+        ["type", "add", name, rest @ ..] => match rest {
+            [] => Ok(Command::TypeAdd {
+                name: name.to_string(),
+                supers: vec![],
+            }),
+            ["under", supers @ ..] if !supers.is_empty() => Ok(Command::TypeAdd {
+                name: name.to_string(),
+                supers: supers.iter().map(|s| s.to_string()).collect(),
+            }),
+            _ => err("usage: type add NAME [under SUPER...]"),
+        },
+        ["type", "drop", name] => Ok(Command::TypeDrop(name.to_string())),
+        ["type", "rename", old, new] => Ok(Command::TypeRename(old.to_string(), new.to_string())),
+        ["type", "freeze", name] => Ok(Command::TypeFreeze(name.to_string())),
+        ["type", ..] => err("usage: type add|drop|rename|freeze ..."),
+        ["prop", "add", prop, "on", ty] => Ok(Command::PropAdd {
+            prop: prop.to_string(),
+            ty: ty.to_string(),
+        }),
+        ["prop", "drop", prop, "on", ty] => Ok(Command::PropDrop {
+            prop: prop.to_string(),
+            ty: ty.to_string(),
+        }),
+        ["prop", "delete", prop] => Ok(Command::PropDelete(prop.to_string())),
+        ["prop", ..] => err("usage: prop add|drop PROP on TYPE | prop delete PROP"),
+        ["edge", "add", sub, sup] => Ok(Command::EdgeAdd(sub.to_string(), sup.to_string())),
+        ["edge", "drop", sub, sup] => Ok(Command::EdgeDrop(sub.to_string(), sup.to_string())),
+        ["edge", ..] => err("usage: edge add|drop SUB SUPER"),
+        ["show", "lattice"] => Ok(Command::ShowLattice),
+        ["show", ty] => Ok(Command::Show(ty.to_string())),
+        ["show", ..] => err("usage: show TYPE | show lattice"),
+        ["check"] => Ok(Command::Check),
+        ["oracle"] => Ok(Command::Oracle),
+        ["stats"] => Ok(Command::Stats),
+        ["engine", which] => Ok(Command::Engine(which.to_string())),
+        ["project", types @ ..] if !types.is_empty() => Ok(Command::Project(
+            types.iter().map(|s| s.to_string()).collect(),
+        )),
+        ["project"] => err("usage: project TYPE..."),
+        ["undo"] => Ok(Command::Undo(1)),
+        ["undo", n] => n
+            .parse()
+            .map(Command::Undo)
+            .map_err(|_| ParseError(format!("bad count {n:?}"))),
+        ["log"] => Ok(Command::Log),
+        ["diff", v] => v
+            .parse()
+            .map(Command::Diff)
+            .map_err(|_| ParseError(format!("bad version {v:?}"))),
+        ["export", "dot", path] => Ok(Command::ExportDot {
+            path: path.to_string(),
+            essential: false,
+        }),
+        ["export", "dot", path, "essential"] => Ok(Command::ExportDot {
+            path: path.to_string(),
+            essential: true,
+        }),
+        ["export", ..] => err("usage: export dot PATH [essential]"),
+        ["save", path] => Ok(Command::Save(path.to_string())),
+        ["load", path] => Ok(Command::Load(path.to_string())),
+        ["help"] => Ok(Command::Help),
+        ["quit"] | ["exit"] => Ok(Command::Quit),
+        other => err(&format!(
+            "unknown command {:?} (try `help`)",
+            other.join(" ")
+        )),
+    }
+}
+
+/// The help text printed by `help`.
+pub const HELP: &str = "\
+axiombase schema-evolution commands (one per line, # for comments):
+  type add NAME [under SUPER...]   create a type (AT); no supers = root
+  type drop NAME                   drop a type (DT)
+  type rename OLD NEW              relabel a type
+  type freeze NAME                 protect a type from structural changes
+  prop add PROP on TYPE            declare an essential property (MT-AB)
+  prop drop PROP on TYPE           drop an essential property (MT-DB)
+  prop delete PROP                 drop a property everywhere (DB)
+  edge add SUB SUPER               add essential supertype (MT-ASR)
+  edge drop SUB SUPER              drop essential supertype (MT-DSR)
+  show TYPE | show lattice         derived terms (Table 1)
+  check                            run the nine axiom checks (Table 2)
+  oracle                           soundness/completeness oracle
+  stats                            derivation-engine statistics
+  engine naive|incremental         switch derivation engines
+  save PATH | load PATH            text snapshots
+  project TYPE...                  restrict to the upward closure of TYPE...
+  undo [N]                         rewind the last N operations (see `log`;
+                                   compound commands may record several)
+  log                              show the recorded history
+  diff VERSION                     diff current schema vs a past version
+  export dot PATH [essential]      Graphviz export of the lattice
+  help | quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_type_commands() {
+        assert_eq!(
+            parse("type add TA under Student Employee").unwrap(),
+            Command::TypeAdd {
+                name: "TA".into(),
+                supers: vec!["Student".into(), "Employee".into()]
+            }
+        );
+        assert_eq!(
+            parse("type add Person").unwrap(),
+            Command::TypeAdd {
+                name: "Person".into(),
+                supers: vec![]
+            }
+        );
+        assert_eq!(parse("type drop X").unwrap(), Command::TypeDrop("X".into()));
+        assert_eq!(
+            parse("type rename A B").unwrap(),
+            Command::TypeRename("A".into(), "B".into())
+        );
+        assert!(parse("type add X under").is_err());
+        assert!(parse("type munge X").is_err());
+    }
+
+    #[test]
+    fn parses_prop_and_edge_commands() {
+        assert_eq!(
+            parse("prop add name on Person").unwrap(),
+            Command::PropAdd {
+                prop: "name".into(),
+                ty: "Person".into()
+            }
+        );
+        assert_eq!(
+            parse("prop drop name on Person").unwrap(),
+            Command::PropDrop {
+                prop: "name".into(),
+                ty: "Person".into()
+            }
+        );
+        assert_eq!(
+            parse("prop delete name").unwrap(),
+            Command::PropDelete("name".into())
+        );
+        assert_eq!(
+            parse("edge add TA Student").unwrap(),
+            Command::EdgeAdd("TA".into(), "Student".into())
+        );
+        assert!(parse("prop add name Person").is_err());
+        assert!(parse("edge add onlyone").is_err());
+    }
+
+    #[test]
+    fn parses_misc_commands() {
+        assert_eq!(parse("show lattice").unwrap(), Command::ShowLattice);
+        assert_eq!(parse("show TA").unwrap(), Command::Show("TA".into()));
+        assert_eq!(parse("check").unwrap(), Command::Check);
+        assert_eq!(parse("oracle").unwrap(), Command::Oracle);
+        assert_eq!(
+            parse("engine naive").unwrap(),
+            Command::Engine("naive".into())
+        );
+        assert_eq!(parse("save x.axb").unwrap(), Command::Save("x.axb".into()));
+        assert_eq!(parse("quit").unwrap(), Command::Quit);
+        assert_eq!(parse("exit").unwrap(), Command::Quit);
+        assert_eq!(parse("help").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        assert_eq!(parse("").unwrap(), Command::Nothing);
+        assert_eq!(parse("   ").unwrap(), Command::Nothing);
+        assert_eq!(parse("# a comment").unwrap(), Command::Nothing);
+        assert_eq!(
+            parse("type add X # trailing").unwrap(),
+            Command::TypeAdd {
+                name: "X".into(),
+                supers: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_command_mentions_help() {
+        let e = parse("frobnicate").unwrap_err();
+        assert!(e.to_string().contains("help"));
+    }
+}

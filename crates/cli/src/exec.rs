@@ -1,0 +1,613 @@
+//! Command execution against a live axiomatic schema.
+//!
+//! The interpreter owns a [`Session`] (schema plus configuration) and writes
+//! human-readable results to any `Write` sink, so the same engine drives the
+//! interactive REPL, script files, and the unit tests.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+
+use axiombase_core::{
+    diff, dot, oracle, EngineKind, History, LatticeConfig, PropId, Schema, TypeId,
+};
+
+use crate::command::{parse, Command, HELP};
+
+/// Interpreter state: the evolving schema with its recorded history.
+pub struct Session {
+    history: History,
+}
+
+/// What the caller should do after executing a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep reading commands.
+    Continue,
+    /// The user asked to quit.
+    Quit,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A fresh session: rooted lattice with a `T_object` root, incremental
+    /// engine.
+    pub fn new() -> Self {
+        let mut history = History::new(LatticeConfig::default());
+        history.add_root_type("T_object").expect("fresh schema");
+        Session { history }
+    }
+
+    /// Read-only access to the schema (for tests and embedding).
+    pub fn schema(&self) -> &Schema {
+        self.history.schema()
+    }
+
+    /// The recorded history (for tests and embedding).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Execute one input line; output goes to `out`. Errors are reported to
+    /// `out` as well (the session never aborts on a rejected operation —
+    /// rejections are the axiomatic model speaking).
+    pub fn execute_line(&mut self, line: &str, out: &mut impl Write) -> std::io::Result<Flow> {
+        match parse(line) {
+            Ok(cmd) => self.execute(cmd, out),
+            Err(e) => {
+                writeln!(out, "{e}")?;
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    fn ty(&self, name: &str) -> Result<TypeId, String> {
+        self.schema()
+            .type_by_name(name)
+            .ok_or_else(|| format!("no type named `{name}`"))
+    }
+
+    /// The property named `prop` that is essential on `t`, if any.
+    fn essential_prop_by_name(&self, t: TypeId, prop: &str) -> Option<PropId> {
+        self.schema()
+            .essential_properties(t)
+            .ok()?
+            .iter()
+            .copied()
+            .find(|&p| self.schema().prop_name(p) == Ok(prop))
+    }
+
+    fn execute(&mut self, cmd: Command, out: &mut impl Write) -> std::io::Result<Flow> {
+        macro_rules! attempt {
+            ($r:expr, $ok:expr) => {
+                match $r {
+                    Ok(_) => writeln!(out, "{}", $ok)?,
+                    Err(e) => writeln!(out, "rejected: {e}")?,
+                }
+            };
+        }
+        match cmd {
+            Command::Nothing => {}
+            Command::Help => writeln!(out, "{HELP}")?,
+            Command::Quit => return Ok(Flow::Quit),
+            Command::TypeAdd { name, supers } => {
+                let mut ids = Vec::new();
+                for s in &supers {
+                    match self.ty(s) {
+                        Ok(t) => ids.push(t),
+                        Err(e) => {
+                            writeln!(out, "rejected: {e}")?;
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                }
+                attempt!(
+                    self.history.add_type(name.clone(), ids, []),
+                    format!("type `{name}` created")
+                );
+            }
+            Command::TypeDrop(name) => match self.ty(&name) {
+                Ok(t) => attempt!(self.history.drop_type(t), format!("type `{name}` dropped")),
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::TypeRename(old, new) => match self.ty(&old) {
+                Ok(t) => attempt!(
+                    self.history.rename_type(t, new.clone()),
+                    format!("`{old}` renamed to `{new}`")
+                ),
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::TypeFreeze(name) => match self.ty(&name) {
+                Ok(t) => attempt!(self.history.freeze_type(t), format!("type `{name}` frozen")),
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::PropAdd { prop, ty } => match self.ty(&ty) {
+                Ok(t) => {
+                    // Reuse a property already essential somewhere above (so
+                    // redeclaration works as in §2); otherwise define fresh.
+                    let existing = self.schema().interface(t).ok().and_then(|i| {
+                        i.iter()
+                            .copied()
+                            .find(|&p| self.schema().prop_name(p) == Ok(prop.as_str()))
+                    });
+                    let p = match existing {
+                        Some(p) => p,
+                        None => self.history.add_property(prop.clone()),
+                    };
+                    attempt!(
+                        self.history.add_essential_property(t, p),
+                        format!("property `{prop}` essential on `{ty}`")
+                    );
+                }
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::PropDrop { prop, ty } => match self.ty(&ty) {
+                Ok(t) => match self.essential_prop_by_name(t, &prop) {
+                    Some(p) => attempt!(
+                        self.history.drop_essential_property(t, p),
+                        format!("property `{prop}` no longer essential on `{ty}`")
+                    ),
+                    None => writeln!(out, "rejected: `{prop}` is not essential on `{ty}`")?,
+                },
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::PropDelete(prop) => {
+                let matches: Vec<PropId> = self.schema().props_by_name(&prop).collect();
+                match matches.as_slice() {
+                    [] => writeln!(out, "rejected: no property named `{prop}`")?,
+                    [p] => attempt!(
+                        self.history.drop_property(*p),
+                        format!("property `{prop}` dropped everywhere")
+                    ),
+                    many => writeln!(
+                        out,
+                        "rejected: `{prop}` is ambiguous ({} homonymous properties); \
+                         drop it per-type with `prop drop`",
+                        many.len()
+                    )?,
+                }
+            }
+            Command::EdgeAdd(sub, sup) => match (self.ty(&sub), self.ty(&sup)) {
+                (Ok(t), Ok(s)) => attempt!(
+                    self.history.add_essential_supertype(t, s),
+                    format!("`{sup}` is now an essential supertype of `{sub}`")
+                ),
+                (Err(e), _) | (_, Err(e)) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::EdgeDrop(sub, sup) => match (self.ty(&sub), self.ty(&sup)) {
+                (Ok(t), Ok(s)) => attempt!(
+                    self.history.drop_essential_supertype(t, s),
+                    format!("`{sup}` dropped as essential supertype of `{sub}`")
+                ),
+                (Err(e), _) | (_, Err(e)) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::Show(name) => match self.ty(&name) {
+                Ok(t) => self.show_type(t, out)?,
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::ShowLattice => {
+                for t in self.schema().iter_types() {
+                    let supers = self.names(self.schema().immediate_supertypes(t).unwrap());
+                    writeln!(
+                        out,
+                        "{}  ⊑  {}",
+                        self.schema().type_name(t).unwrap(),
+                        if supers.is_empty() {
+                            "(root)".into()
+                        } else {
+                            supers
+                        }
+                    )?;
+                }
+            }
+            Command::Check => {
+                let violations = self.schema().verify();
+                if violations.is_empty() {
+                    writeln!(
+                        out,
+                        "all nine axioms hold ({} types)",
+                        self.schema().type_count()
+                    )?;
+                } else {
+                    for v in violations {
+                        writeln!(out, "VIOLATION: {v}")?;
+                    }
+                }
+            }
+            Command::Oracle => {
+                let bad = oracle::check_schema(self.schema());
+                if bad.is_empty() {
+                    writeln!(
+                        out,
+                        "derived state is sound and complete (Theorems 2.1/2.2)"
+                    )?;
+                } else {
+                    writeln!(out, "ORACLE MISMATCH at {bad:?}")?;
+                }
+            }
+            Command::Stats => {
+                let s = self.schema().stats();
+                writeln!(
+                    out,
+                    "engine {:?}: {} full + {} scoped recomputations, {} type derivations \
+                     (last: {})",
+                    self.schema().engine(),
+                    s.full_recomputes,
+                    s.scoped_recomputes,
+                    s.types_derived,
+                    s.last_types_derived
+                )?;
+            }
+            Command::Engine(which) => match which.as_str() {
+                "naive" => {
+                    self.history.set_engine(EngineKind::Naive);
+                    writeln!(out, "engine: naive (literal Table 2 interpretation)")?;
+                }
+                "incremental" => {
+                    self.history.set_engine(EngineKind::Incremental);
+                    writeln!(out, "engine: incremental (down-set recomputation)")?;
+                }
+                other => writeln!(out, "rejected: unknown engine `{other}`")?,
+            },
+            Command::Project(names) => {
+                let mut ids = Vec::new();
+                for n in &names {
+                    match self.ty(n) {
+                        Ok(t) => ids.push(t),
+                        Err(e) => {
+                            writeln!(out, "rejected: {e}")?;
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                }
+                match self.schema().project(ids) {
+                    Ok(p) => {
+                        let kept = p.type_count();
+                        self.history = History::from_schema(p);
+                        writeln!(
+                            out,
+                            "projected to the upward closure: {kept} type(s) kept                              (history restarted)"
+                        )?;
+                    }
+                    Err(e) => writeln!(out, "rejected: {e}")?,
+                }
+            }
+            Command::Undo(n) => {
+                let len = self.history.len();
+                if n == 0 || len == 0 {
+                    writeln!(out, "nothing to undo")?;
+                } else {
+                    let target = len.saturating_sub(n);
+                    match self.history.undo_to(target) {
+                        Ok(()) => writeln!(
+                            out,
+                            "rewound {} operation(s); now at version {target}",
+                            len - target
+                        )?,
+                        Err(e) => writeln!(out, "undo failed: {e}")?,
+                    }
+                }
+            }
+            Command::Log => {
+                if self.history.is_empty() {
+                    writeln!(out, "(no operations recorded)")?;
+                }
+                for (i, op) in self.history.ops().iter().enumerate() {
+                    writeln!(out, "{:>4}: {op:?}", i + 1)?;
+                }
+            }
+            Command::Diff(v) => match self.history.as_of(v) {
+                Ok(old) => {
+                    let d = diff::diff(&old, self.schema());
+                    write!(out, "{d}")?;
+                }
+                Err(e) => writeln!(out, "rejected: {e}")?,
+            },
+            Command::ExportDot { path, essential } => {
+                let edges = if essential {
+                    dot::EdgeSet::Essential
+                } else {
+                    dot::EdgeSet::Minimal
+                };
+                let text = dot::to_dot(self.schema(), edges);
+                match std::fs::write(&path, text) {
+                    Ok(()) => writeln!(out, "wrote DOT lattice to {path}")?,
+                    Err(e) => writeln!(out, "export failed: {e}")?,
+                }
+            }
+            Command::Save(path) => match std::fs::write(&path, self.schema().to_snapshot()) {
+                Ok(()) => writeln!(out, "saved to {path}")?,
+                Err(e) => writeln!(out, "save failed: {e}")?,
+            },
+            Command::Load(path) => match std::fs::read_to_string(&path) {
+                Ok(text) => match Schema::from_snapshot(&text) {
+                    Ok(s) => {
+                        self.history = History::from_schema(s);
+                        writeln!(out, "loaded {path} ({} types)", self.schema().type_count())?;
+                    }
+                    Err(e) => writeln!(out, "load failed: {e}")?,
+                },
+                Err(e) => writeln!(out, "load failed: {e}")?,
+            },
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn names(&self, set: &BTreeSet<TypeId>) -> String {
+        set.iter()
+            .map(|&t| self.schema().type_name(t).unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn show_type(&self, t: TypeId, out: &mut impl Write) -> std::io::Result<()> {
+        let d = self.schema().derived(t).unwrap();
+        let pnames = |set: &BTreeSet<PropId>| {
+            set.iter()
+                .map(|&p| self.schema().prop_name(p).unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(out, "type {}", self.schema().type_name(t).unwrap())?;
+        writeln!(
+            out,
+            "  P_e = {{{}}}",
+            self.names(self.schema().essential_supertypes(t).unwrap())
+        )?;
+        writeln!(out, "  P   = {{{}}}", self.names(&d.p))?;
+        writeln!(out, "  PL  = {{{}}}", self.names(&d.pl))?;
+        writeln!(
+            out,
+            "  N_e = {{{}}}",
+            pnames(self.schema().essential_properties(t).unwrap())
+        )?;
+        writeln!(out, "  N   = {{{}}}", pnames(&d.n))?;
+        writeln!(out, "  H   = {{{}}}", pnames(&d.h))?;
+        writeln!(out, "  I   = {{{}}}", pnames(&d.iface))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, script: &str) -> String {
+        let mut out = Vec::new();
+        for line in script.lines() {
+            session.execute_line(line, &mut out).unwrap();
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn figure1_script_builds_and_verifies() {
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "type add Person\n\
+             type add TaxSource\n\
+             type add Student under Person\n\
+             type add Employee under Person TaxSource\n\
+             type add TA under Student Employee\n\
+             prop add name on Person\n\
+             prop add salary on Employee\n\
+             check",
+        );
+        assert!(out.contains("all nine axioms hold"), "{out}");
+        assert_eq!(s.schema().type_count(), 6);
+        let ta = s.schema().type_by_name("TA").unwrap();
+        assert_eq!(s.schema().immediate_supertypes(ta).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn narrative_via_commands() {
+        let mut s = Session::new();
+        run(
+            &mut s,
+            "type add Person\n\
+             type add Student under Person\n\
+             type add Employee under Person\n\
+             type add TA under Student Employee\n\
+             edge add TA Person\n\
+             edge drop TA Student\n\
+             edge drop TA Employee",
+        );
+        let ta = s.schema().type_by_name("TA").unwrap();
+        let person = s.schema().type_by_name("Person").unwrap();
+        assert_eq!(
+            s.schema().immediate_supertypes(ta).unwrap(),
+            &std::collections::BTreeSet::from([person])
+        );
+    }
+
+    #[test]
+    fn rejections_are_reported_not_fatal() {
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "type add A\n\
+             type add B under A\n\
+             edge add A B\n\
+             type drop T_object\n\
+             edge drop A T_object\n\
+             type add A",
+        );
+        assert!(out.matches("rejected:").count() >= 4, "{out}");
+        assert!(s.schema().verify().is_empty());
+    }
+
+    #[test]
+    fn show_outputs_table1_terms() {
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "type add Person\nprop add name on Person\nshow Person",
+        );
+        for term in ["P_e", "P  ", "PL ", "N_e", "N  ", "H  ", "I  "] {
+            assert!(out.contains(term), "missing {term} in {out}");
+        }
+        assert!(out.contains("name"));
+        let lattice = run(&mut s, "show lattice");
+        assert!(lattice.contains("T_object"));
+        assert!(lattice.contains("(root)"));
+    }
+
+    #[test]
+    fn prop_delete_handles_homonyms() {
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "type add A\n\
+             type add B\n\
+             prop add x on A\n\
+             prop add x on B\n\
+             prop delete x",
+        );
+        // Two distinct properties named x → ambiguous delete.
+        assert!(out.contains("ambiguous"), "{out}");
+        // Per-type drop works.
+        let out = run(&mut s, "prop drop x on A\nprop drop x on B");
+        assert!(!out.contains("rejected"), "{out}");
+    }
+
+    #[test]
+    fn engine_switch_and_stats() {
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "engine naive\ntype add A\nstats\nengine incremental\nstats",
+        );
+        assert!(out.contains("naive"), "{out}");
+        assert!(out.contains("incremental"), "{out}");
+        assert!(out.contains("derivations"), "{out}");
+        let out = run(&mut s, "engine warp");
+        assert!(out.contains("unknown engine"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("axiombase_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.axb");
+        let path_str = path.to_str().unwrap();
+        let mut s = Session::new();
+        run(
+            &mut s,
+            &format!("type add A\nprop add x on A\nsave {path_str}"),
+        );
+        let mut s2 = Session::new();
+        let out = run(&mut s2, &format!("load {path_str}\ncheck"));
+        assert!(out.contains("loaded"), "{out}");
+        assert!(out.contains("all nine axioms hold"), "{out}");
+        assert_eq!(s.schema().fingerprint(), s2.schema().fingerprint());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quit_and_help() {
+        let mut s = Session::new();
+        let mut out = Vec::new();
+        assert_eq!(s.execute_line("help", &mut out).unwrap(), Flow::Continue);
+        assert_eq!(s.execute_line("quit", &mut out).unwrap(), Flow::Quit);
+        assert!(String::from_utf8(out).unwrap().contains("MT-ASR"));
+    }
+
+    #[test]
+    fn shipped_demo_scripts_run_clean() {
+        // The .axb scripts in examples/scripts/ must execute without a
+        // single rejection and leave an axiom-clean schema.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/scripts");
+        for name in ["figure1.axb", "narrative.axb"] {
+            let text = std::fs::read_to_string(root.join(name)).unwrap();
+            let mut s = Session::new();
+            let out = run(&mut s, &text);
+            assert!(!out.contains("rejected"), "{name}: {out}");
+            assert!(!out.contains("VIOLATION"), "{name}: {out}");
+            assert!(s.schema().verify().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn project_restricts_schema() {
+        let mut s = Session::new();
+        run(
+            &mut s,
+            "type add Person\n\
+             type add TaxSource\n\
+             type add Employee under Person TaxSource\n\
+             type add Student under Person",
+        );
+        let out = run(&mut s, "project Employee\ncheck");
+        assert!(out.contains("4 type(s) kept"), "{out}");
+        assert!(out.contains("all nine axioms hold"), "{out}");
+        assert!(s.schema().type_by_name("Student").is_none());
+        assert!(s.schema().type_by_name("TaxSource").is_some());
+        let out = run(&mut s, "project Ghost");
+        assert!(out.contains("rejected"), "{out}");
+    }
+
+    #[test]
+    fn undo_log_and_diff() {
+        let mut s = Session::new();
+        run(&mut s, "type add A\ntype add B under A");
+        assert_eq!(s.schema().type_count(), 3);
+        let out = run(&mut s, "undo");
+        assert!(out.contains("rewound 1"), "{out}");
+        assert_eq!(s.schema().type_count(), 2);
+        let out = run(&mut s, "log");
+        assert!(out.contains("AddRootType"), "{out}");
+        assert!(out.contains("\"A\""), "{out}");
+        // diff against version 1 (just the root) reports A as new.
+        let out = run(&mut s, "diff 1");
+        assert!(out.contains("only in right"), "{out}");
+        // diff against current is empty.
+        let v = s.history().len();
+        let out = run(&mut s, &format!("diff {v}"));
+        assert!(out.contains("identical"), "{out}");
+        // Bad version is rejected gracefully.
+        let out = run(&mut s, "diff 999");
+        assert!(out.contains("rejected"), "{out}");
+        // undo with nothing left is polite.
+        let out = run(&mut s, "undo 99\nundo");
+        assert!(
+            out.contains("rewound") || out.contains("nothing to undo"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn export_dot_writes_file() {
+        let dir = std::env::temp_dir().join("axiombase_cli_dot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("l.dot");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut s = Session::new();
+        run(
+            &mut s,
+            "type add A\ntype add B under A\nedge add B T_object",
+        );
+        let out = run(&mut s, &format!("export dot {path_str} essential"));
+        assert!(out.contains("wrote DOT"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("digraph"));
+        assert!(
+            text.contains("style=dashed"),
+            "redundant edge should be dashed: {text}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oracle_command_confirms_soundness() {
+        let mut s = Session::new();
+        let out = run(&mut s, "type add A\ntype add B under A\noracle");
+        assert!(out.contains("sound and complete"), "{out}");
+    }
+}

@@ -1,0 +1,131 @@
+//! `axiombase` — an interactive schema-evolution shell over the axiomatic
+//! model of Peters & Özsu (ICDE'95).
+//!
+//! Usage:
+//!
+//! ```text
+//! axiombase                # interactive REPL (reads stdin line by line)
+//! axiombase run SCRIPT     # execute a command script, then exit
+//! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
+//! ```
+//!
+//! The command language is documented by `help` (see `command.rs`).
+
+mod command;
+mod exec;
+
+use std::io::{BufRead, Write};
+
+use exec::{Flow, Session};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        [] => repl(),
+        ["run", path] => run_script(path),
+        ["check", path] => check_snapshot(path),
+        _ => {
+            eprintln!("usage: axiombase [run SCRIPT | check SNAPSHOT]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn repl() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut session = Session::new();
+    let _ = writeln!(
+        out,
+        "axiombase — axiomatic dynamic schema evolution (type `help`)"
+    );
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match session.execute_line(&line, &mut out) {
+            Ok(Flow::Quit) => break,
+            Ok(Flow::Continue) => {}
+            Err(e) => {
+                let _ = writeln!(out, "io error: {e}");
+                return 1;
+            }
+        }
+        let _ = out.flush();
+    }
+    0
+}
+
+fn run_script(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut session = Session::new();
+    for line in text.lines() {
+        match session.execute_line(line, &mut out) {
+            Ok(Flow::Quit) => break,
+            Ok(Flow::Continue) => {}
+            Err(e) => {
+                eprintln!("io error: {e}");
+                return 1;
+            }
+        }
+    }
+    // Scripts end with an implicit `check`: a script that leaves the schema
+    // in violation fails loudly.
+    let violations = session.schema().verify();
+    if violations.is_empty() {
+        0
+    } else {
+        for v in violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        1
+    }
+}
+
+fn check_snapshot(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match axiombase_core::Schema::from_snapshot(&text) {
+        Ok(schema) => {
+            let violations = schema.verify();
+            if violations.is_empty() {
+                println!(
+                    "{path}: {} types, {} properties — all nine axioms hold",
+                    schema.type_count(),
+                    schema.prop_count()
+                );
+                0
+            } else {
+                for v in violations {
+                    eprintln!("VIOLATION: {v}");
+                }
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            1
+        }
+    }
+}

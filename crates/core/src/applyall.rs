@@ -1,0 +1,111 @@
+//! The apply-all operation `α_x(f, T')` and the extended union.
+//!
+//! The paper assumes "the availability of an apply-all operation in the
+//! axiomatic model. This operation, denoted `α_x(f, T')`, applies the unary
+//! function `f` to the elements of a set of types `T' ⊆ T`" (§2). The
+//! semantics is to let `x` range over the elements of `T'`, evaluate `f` for
+//! each binding, and collect the results. If `T'` is empty, the empty set is
+//! returned.
+//!
+//! The axioms in Table 2 each combine `α` with the *extended union* `⋃`,
+//! which unions a set of sets; "we define the extended union of the empty
+//! set as the empty set".
+//!
+//! The naive derivation engine interprets the axioms through these
+//! combinators literally, so its code reads one-to-one against Table 2. The
+//! incremental engine computes the same sets with specialised loops — the
+//! engine-agreement property tests pin down that they coincide.
+
+use std::collections::BTreeSet;
+
+/// Apply-all: evaluate `f` at every element of `domain` and collect the
+/// results into a set (the lambda reading: `{ (λx. f x) t | t ∈ T' }`).
+///
+/// Returns the empty set when `domain` is empty, per the paper.
+pub fn apply_all<X, Y, I, F>(f: F, domain: I) -> BTreeSet<Y>
+where
+    I: IntoIterator<Item = X>,
+    Y: Ord,
+    F: FnMut(X) -> Y,
+{
+    domain.into_iter().map(f).collect()
+}
+
+/// Extended union `⋃`: union of a family of sets. The extended union of the
+/// empty family is the empty set.
+pub fn extended_union<T, I>(family: I) -> BTreeSet<T>
+where
+    T: Ord,
+    I: IntoIterator<Item = BTreeSet<T>>,
+{
+    let mut out = BTreeSet::new();
+    for member in family {
+        out.extend(member);
+    }
+    out
+}
+
+/// Convenience composition used by most axioms: `⋃ α_x(f, T')` — apply `f`
+/// (which yields a *set*) to every element of the domain and take the
+/// extended union of the results.
+pub fn union_apply_all<X, T, I, F>(f: F, domain: I) -> BTreeSet<T>
+where
+    I: IntoIterator<Item = X>,
+    T: Ord,
+    F: FnMut(X) -> BTreeSet<T>,
+{
+    extended_union(domain.into_iter().map(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_all_collects_results() {
+        let out = apply_all(|x: u32| x * 2, [1u32, 2, 3]);
+        assert_eq!(out, BTreeSet::from([2, 4, 6]));
+    }
+
+    #[test]
+    fn apply_all_of_empty_domain_is_empty() {
+        let out: BTreeSet<u32> = apply_all(|x: u32| x, std::iter::empty());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn apply_all_deduplicates_like_a_set() {
+        // f need not be injective; the result is a set.
+        let out = apply_all(|x: i32| x.abs(), [-1, 1, -2]);
+        assert_eq!(out, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn extended_union_of_empty_family_is_empty() {
+        let out: BTreeSet<u8> = extended_union(std::iter::empty());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn extended_union_unions_members() {
+        let fam = vec![
+            BTreeSet::from([1, 2]),
+            BTreeSet::from([2, 3]),
+            BTreeSet::new(),
+        ];
+        assert_eq!(extended_union(fam), BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn union_apply_all_matches_manual_composition() {
+        let neighbours = |x: u32| BTreeSet::from([x, x + 1]);
+        let composed = union_apply_all(neighbours, [10u32, 20]);
+        let manual = extended_union(
+            apply_all(neighbours, [10u32, 20])
+                .into_iter()
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(composed, manual);
+        assert_eq!(composed, BTreeSet::from([10, 11, 20, 21]));
+    }
+}

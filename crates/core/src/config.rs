@@ -1,0 +1,100 @@
+//! Lattice shape policies.
+//!
+//! The paper's Axioms of Rootedness (3) and Pointedness (4) "can be relaxed"
+//! (§2): a lattice without a single root is a *forest*; a lattice without a
+//! single base has many *leaves*. Different systems sit at different points:
+//! TIGUKAT is rooted at `T_object` and pointed at `T_null`; Orion is rooted
+//! at `OBJECT` but not pointed ("the Axiom of Pointedness is relaxed since
+//! there is no single class as a base", §4). [`LatticeConfig`] captures this
+//! choice so the same engine serves every reduced system.
+
+/// Whether the Axiom of Rootedness is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Rootedness {
+    /// A single least-defined type `⊤` is the supertype of every type
+    /// (Axiom 3 holds). Operations that would disconnect a type from the
+    /// root instead re-link it, and the root edge cannot be dropped.
+    #[default]
+    Rooted,
+    /// Axiom 3 is relaxed: the lattice may have many roots (a forest).
+    Forest,
+}
+
+/// Whether the Axiom of Pointedness is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Pointedness {
+    /// A single most-defined type `⊥` is the subtype of every type
+    /// (Axiom 4 holds). Newly created types are automatically added to
+    /// `P_e(⊥)` (TIGUKAT's `T_null` rule, §3.3 AT).
+    Pointed,
+    /// Axiom 4 is relaxed: the lattice may have many leaves.
+    #[default]
+    Open,
+}
+
+/// Shape policy for a schema's type lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatticeConfig {
+    /// Rootedness policy (Axiom 3).
+    pub rootedness: Rootedness,
+    /// Pointedness policy (Axiom 4).
+    pub pointedness: Pointedness,
+}
+
+impl LatticeConfig {
+    /// TIGUKAT's configuration: rooted at `T_object`, pointed at `T_null`.
+    pub const TIGUKAT: LatticeConfig = LatticeConfig {
+        rootedness: Rootedness::Rooted,
+        pointedness: Pointedness::Pointed,
+    };
+
+    /// Orion's configuration: rooted at `OBJECT`, pointedness relaxed.
+    pub const ORION: LatticeConfig = LatticeConfig {
+        rootedness: Rootedness::Rooted,
+        pointedness: Pointedness::Open,
+    };
+
+    /// Fully relaxed configuration: a forest with open leaves. Useful for
+    /// modelling fragments and for property tests that exercise Axioms 1, 2,
+    /// and 5–9 independent of the shape axioms.
+    pub const RELAXED: LatticeConfig = LatticeConfig {
+        rootedness: Rootedness::Forest,
+        pointedness: Pointedness::Open,
+    };
+
+    /// Is the Axiom of Rootedness enforced?
+    #[inline]
+    pub fn is_rooted(self) -> bool {
+        self.rootedness == Rootedness::Rooted
+    }
+
+    /// Is the Axiom of Pointedness enforced?
+    #[inline]
+    pub fn is_pointed(self) -> bool {
+        self.pointedness == Pointedness::Pointed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_rooted_open() {
+        let c = LatticeConfig::default();
+        assert!(c.is_rooted());
+        assert!(!c.is_pointed());
+        assert_eq!(c, LatticeConfig::ORION);
+    }
+
+    #[test]
+    fn named_presets_differ() {
+        assert!(LatticeConfig::TIGUKAT.is_pointed());
+        assert!(!LatticeConfig::ORION.is_pointed());
+        assert!(!LatticeConfig::RELAXED.is_rooted());
+        assert_ne!(LatticeConfig::TIGUKAT, LatticeConfig::ORION);
+    }
+}

@@ -1,0 +1,269 @@
+//! Name-conflict detection and resolution over the minimal supertypes.
+//!
+//! The axiomatic model itself has no conflicts — properties are identified
+//! by semantics, so `I(t)` is a plain set union (§3.1). Conflicts appear in
+//! the *name view* that users and Orion-style systems work in: two distinct
+//! properties with the same name visible at one type (Figure 1's `name` on
+//! both `T_person` and `T_taxSource`).
+//!
+//! §5's efficiency claim is that minimality makes this cheap: "to resolve
+//! property naming conflicts in a type, it would only be necessary to
+//! iterate through the minimal supertypes of that type because any conflicts
+//! would be detectable in these supertypes alone." [`name_conflicts`] is
+//! that minimal-scan detector (property-tested against the full `P_e` scan
+//! in the §5 experiments); [`Resolution`] offers the two classical fixes.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::error::Result;
+use crate::ids::{PropId, TypeId};
+use crate::model::Schema;
+
+/// A name carried by more than one distinct property visible at a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameConflict {
+    /// The type at which the conflict is visible.
+    pub at: TypeId,
+    /// The contested name.
+    pub name: String,
+    /// The distinct properties carrying it, each with a *defining* type (a
+    /// type that holds it natively somewhere in `PL(at)`).
+    pub candidates: Vec<(PropId, TypeId)>,
+}
+
+/// How a name view disambiguates a conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Qualify each candidate with its defining type
+    /// (`T_person::name` / `T_taxSource::name`) — nothing is hidden.
+    QualifyByOrigin,
+    /// Pick the candidate whose defining type comes first in the given
+    /// precedence list (Orion's ordered-superclass strategy, expressed over
+    /// the minimal supertypes).
+    FirstWins,
+}
+
+impl Schema {
+    /// Detect all name conflicts visible at `t`, scanning only `t` itself
+    /// and its **minimal** immediate supertypes (§5). Native properties of
+    /// `t` participate: a native/inherited homonym pair is a conflict too.
+    pub fn name_conflicts(&self, t: TypeId) -> Result<Vec<NameConflict>> {
+        self.check_live(t)?;
+        // name -> set of distinct properties seen, each with one defining
+        // type (the scan source that contributed it).
+        let mut seen: BTreeMap<&str, BTreeMap<PropId, TypeId>> = BTreeMap::new();
+        for &p in self.native_properties(t)? {
+            seen.entry(self.prop_name(p)?).or_default().insert(p, t);
+        }
+        for &s in self.immediate_supertypes(t)? {
+            for &p in self.interface(s)? {
+                seen.entry(self.prop_name(p)?)
+                    .or_default()
+                    .entry(p)
+                    .or_insert_with(|| self.defining_type_in(s, p));
+            }
+        }
+        Ok(seen
+            .into_iter()
+            .filter(|(_, cands)| cands.len() > 1)
+            .map(|(name, cands)| NameConflict {
+                at: t,
+                name: name.to_string(),
+                candidates: cands.into_iter().collect(),
+            })
+            .collect())
+    }
+
+    /// The type in `PL(from)` (closest first) that holds `p` natively.
+    /// Falls back to `from` when the property was adopted along a dropped
+    /// path (it is then native on `from` itself by the Axiom of Nativeness).
+    fn defining_type_in(&self, from: TypeId, p: PropId) -> TypeId {
+        // BFS outward from `from` over minimal supertypes.
+        let mut frontier = vec![from];
+        let mut visited = BTreeSet::new();
+        while let Some(batch) = {
+            let next: Vec<TypeId> = frontier
+                .iter()
+                .filter(|&&x| visited.insert(x))
+                .copied()
+                .collect();
+            if next.is_empty() {
+                None
+            } else {
+                Some(next)
+            }
+        } {
+            let mut next_frontier = Vec::new();
+            for x in batch {
+                if self
+                    .native_properties(x)
+                    .map(|n| n.contains(&p))
+                    .unwrap_or(false)
+                {
+                    return x;
+                }
+                if let Ok(sup) = self.immediate_supertypes(x) {
+                    next_frontier.extend(sup.iter().copied());
+                }
+            }
+            frontier = next_frontier;
+        }
+        from
+    }
+
+    /// Resolve the name view of `t`'s interface: every visible property
+    /// mapped to the label a user would see. With
+    /// [`Resolution::QualifyByOrigin`] conflicted names become
+    /// `Origin::name`; with [`Resolution::FirstWins`] the earlier defining
+    /// type in `precedence` (falling back to `TypeId` order) keeps the bare
+    /// name and the losers are omitted.
+    pub fn resolved_name_view(
+        &self,
+        t: TypeId,
+        resolution: Resolution,
+        precedence: &[TypeId],
+    ) -> Result<BTreeMap<String, PropId>> {
+        let conflicts = self.name_conflicts(t)?;
+        let conflicted: BTreeMap<&str, &NameConflict> =
+            conflicts.iter().map(|c| (c.name.as_str(), c)).collect();
+        let mut out = BTreeMap::new();
+        for &p in self.interface(t)? {
+            let name = self.prop_name(p)?;
+            match conflicted.get(name) {
+                None => {
+                    out.insert(name.to_string(), p);
+                }
+                Some(c) => match resolution {
+                    Resolution::QualifyByOrigin => {
+                        let origin = c
+                            .candidates
+                            .iter()
+                            .find(|(q, _)| *q == p)
+                            .map(|(_, o)| *o)
+                            .unwrap_or(t);
+                        out.insert(format!("{}::{}", self.type_name(origin)?, name), p);
+                    }
+                    Resolution::FirstWins => {
+                        let rank = |origin: TypeId| {
+                            precedence
+                                .iter()
+                                .position(|&x| x == origin)
+                                .unwrap_or(usize::MAX)
+                        };
+                        let winner = c
+                            .candidates
+                            .iter()
+                            .min_by_key(|(_, o)| (rank(*o), *o))
+                            .map(|(q, _)| *q);
+                        if winner == Some(p) {
+                            out.insert(name.to_string(), p);
+                        }
+                    }
+                },
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+
+    /// Figure 1 with the homonymous `name` properties.
+    fn figure1() -> (Schema, TypeId, TypeId, TypeId, PropId, PropId) {
+        let mut s = Schema::new(LatticeConfig::default());
+        let object = s.add_root_type("T_object").unwrap();
+        let person = s.add_type("T_person", [object], []).unwrap();
+        let tax = s.add_type("T_taxSource", [object], []).unwrap();
+        let p_name = s.define_property_on(person, "name").unwrap();
+        let t_name = s.define_property_on(tax, "name").unwrap();
+        let employee = s.add_type("T_employee", [person, tax], []).unwrap();
+        (s, person, tax, employee, p_name, t_name)
+    }
+
+    #[test]
+    fn detects_figure1_homonym() {
+        let (s, person, tax, employee, p_name, t_name) = figure1();
+        let conflicts = s.name_conflicts(employee).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        let c = &conflicts[0];
+        assert_eq!(c.name, "name");
+        let map: BTreeMap<PropId, TypeId> = c.candidates.iter().copied().collect();
+        assert_eq!(map.get(&p_name), Some(&person));
+        assert_eq!(map.get(&t_name), Some(&tax));
+        // No conflict at person itself.
+        assert!(s.name_conflicts(person).unwrap().is_empty());
+    }
+
+    #[test]
+    fn native_shadowing_counts_as_conflict() {
+        let (mut s, _, _, employee, ..) = figure1();
+        // Employee defines its own distinct "name" semantics.
+        let own = s.define_property_on(employee, "name").unwrap();
+        let conflicts = s.name_conflicts(employee).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].candidates.len(), 3);
+        assert!(conflicts[0]
+            .candidates
+            .iter()
+            .any(|(p, o)| *p == own && *o == employee));
+    }
+
+    #[test]
+    fn qualify_by_origin_exposes_everything() {
+        let (s, _, _, employee, p_name, t_name) = figure1();
+        let view = s
+            .resolved_name_view(employee, Resolution::QualifyByOrigin, &[])
+            .unwrap();
+        assert_eq!(view.get("T_person::name"), Some(&p_name));
+        assert_eq!(view.get("T_taxSource::name"), Some(&t_name));
+        assert!(!view.contains_key("name"));
+        // Unconflicted names stay bare.
+        assert_eq!(view.len(), s.interface(employee).unwrap().len());
+    }
+
+    #[test]
+    fn first_wins_follows_precedence() {
+        let (s, person, tax, employee, p_name, t_name) = figure1();
+        let view = s
+            .resolved_name_view(employee, Resolution::FirstWins, &[person, tax])
+            .unwrap();
+        assert_eq!(view.get("name"), Some(&p_name));
+        let view = s
+            .resolved_name_view(employee, Resolution::FirstWins, &[tax, person])
+            .unwrap();
+        assert_eq!(view.get("name"), Some(&t_name));
+        // Losers are omitted, so the view is smaller than the interface.
+        assert!(view.len() < s.interface(employee).unwrap().len());
+    }
+
+    #[test]
+    fn adopted_property_reports_local_definer() {
+        // Drop T_taxSource after declaring its name essential on employee:
+        // the adopted property's defining type becomes employee itself.
+        let (mut s, _, tax, employee, _, t_name) = figure1();
+        s.add_essential_property(employee, t_name).unwrap();
+        s.drop_type(tax).unwrap();
+        let conflicts = s.name_conflicts(employee).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert!(conflicts[0]
+            .candidates
+            .iter()
+            .any(|(p, o)| *p == t_name && *o == employee));
+    }
+
+    #[test]
+    fn minimal_scan_matches_full_scan_with_redundant_essentials() {
+        // Salt a redundant essential and verify the conflict set is
+        // unchanged (the §5 claim, unit-sized).
+        let (mut s, _person, _, employee, ..) = figure1();
+        let root = s.root().unwrap();
+        s.add_essential_supertype(employee, root).unwrap();
+        let conflicts = s.name_conflicts(employee).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].candidates.len(), 2);
+    }
+}

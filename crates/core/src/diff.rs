@@ -1,0 +1,314 @@
+//! Structural diff between two schemas.
+//!
+//! Compares the *designer inputs* of two schemas (types by name, `P_e` and
+//! `N_e` by name) and reports what changed. Used by the history module's
+//! replay tests, by the CLI, and generally useful when comparing the
+//! outcomes of alternative evolution paths (e.g. the §5 order experiments:
+//! an empty diff ⇔ equal fingerprints, but the diff *explains* a mismatch).
+//!
+//! Names are the join key because identities ([`TypeId`]/[`crate::ids::PropId`]) are
+//! arena-local: two independently built schemas never share ids. Homonymous
+//! properties are compared as multisets of names per type.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::TypeId;
+use crate::model::Schema;
+
+/// One reported difference.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiffEntry {
+    /// A type present only in the left schema.
+    TypeOnlyInLeft(String),
+    /// A type present only in the right schema.
+    TypeOnlyInRight(String),
+    /// A type whose essential supertype sets differ.
+    EssentialSupertypesDiffer {
+        /// The type name.
+        ty: String,
+        /// Supertype names only on the left.
+        only_left: BTreeSet<String>,
+        /// Supertype names only on the right.
+        only_right: BTreeSet<String>,
+    },
+    /// A type whose essential property multiset differs.
+    EssentialPropertiesDiffer {
+        /// The type name.
+        ty: String,
+        /// Property-name multiset difference (name → left count, right count).
+        counts: BTreeMap<String, (usize, usize)>,
+    },
+    /// Root designation differs.
+    RootDiffers {
+        /// Left root name, if any.
+        left: Option<String>,
+        /// Right root name, if any.
+        right: Option<String>,
+    },
+    /// Base designation differs.
+    BaseDiffers {
+        /// Left base name, if any.
+        left: Option<String>,
+        /// Right base name, if any.
+        right: Option<String>,
+    },
+}
+
+impl std::fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffEntry::TypeOnlyInLeft(n) => write!(f, "type {n:?} only in left"),
+            DiffEntry::TypeOnlyInRight(n) => write!(f, "type {n:?} only in right"),
+            DiffEntry::EssentialSupertypesDiffer {
+                ty,
+                only_left,
+                only_right,
+            } => write!(
+                f,
+                "P_e({ty}) differs: left-only {only_left:?}, right-only {only_right:?}"
+            ),
+            DiffEntry::EssentialPropertiesDiffer { ty, counts } => {
+                write!(f, "N_e({ty}) differs: {counts:?}")
+            }
+            DiffEntry::RootDiffers { left, right } => {
+                write!(f, "root differs: {left:?} vs {right:?}")
+            }
+            DiffEntry::BaseDiffers { left, right } => {
+                write!(f, "base differs: {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+/// A full diff report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaDiff {
+    /// All differences, sorted.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl SchemaDiff {
+    /// No differences?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of differences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl std::fmt::Display for SchemaDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "schemas are structurally identical");
+        }
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+fn name_of(s: &Schema, t: Option<TypeId>) -> Option<String> {
+    t.and_then(|t| s.type_name(t).ok()).map(|n| n.to_string())
+}
+
+fn prop_name_counts(s: &Schema, t: TypeId) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for &p in s.essential_properties(t).expect("live") {
+        *out.entry(s.prop_name(p).expect("live").to_string())
+            .or_default() += 1;
+    }
+    out
+}
+
+/// Compute the structural diff of two schemas (designer inputs only; the
+/// axioms make the derived state a function of the inputs, so equal inputs
+/// ⇒ equal schemas).
+pub fn diff(left: &Schema, right: &Schema) -> SchemaDiff {
+    let mut entries = Vec::new();
+
+    let lnames: BTreeMap<String, TypeId> = left
+        .iter_types()
+        .map(|t| (left.type_name(t).unwrap().to_string(), t))
+        .collect();
+    let rnames: BTreeMap<String, TypeId> = right
+        .iter_types()
+        .map(|t| (right.type_name(t).unwrap().to_string(), t))
+        .collect();
+
+    for name in lnames.keys() {
+        if !rnames.contains_key(name) {
+            entries.push(DiffEntry::TypeOnlyInLeft(name.clone()));
+        }
+    }
+    for name in rnames.keys() {
+        if !lnames.contains_key(name) {
+            entries.push(DiffEntry::TypeOnlyInRight(name.clone()));
+        }
+    }
+
+    for (name, &lt) in &lnames {
+        let Some(&rt) = rnames.get(name) else {
+            continue;
+        };
+        // P_e by name.
+        let lsup: BTreeSet<String> = left
+            .essential_supertypes(lt)
+            .unwrap()
+            .iter()
+            .map(|&s| left.type_name(s).unwrap().to_string())
+            .collect();
+        let rsup: BTreeSet<String> = right
+            .essential_supertypes(rt)
+            .unwrap()
+            .iter()
+            .map(|&s| right.type_name(s).unwrap().to_string())
+            .collect();
+        if lsup != rsup {
+            entries.push(DiffEntry::EssentialSupertypesDiffer {
+                ty: name.clone(),
+                only_left: lsup.difference(&rsup).cloned().collect(),
+                only_right: rsup.difference(&lsup).cloned().collect(),
+            });
+        }
+        // N_e as a name multiset.
+        let lp = prop_name_counts(left, lt);
+        let rp = prop_name_counts(right, rt);
+        if lp != rp {
+            let mut counts = BTreeMap::new();
+            let keys: BTreeSet<&String> = lp.keys().chain(rp.keys()).collect();
+            for k in keys {
+                let (a, b) = (
+                    lp.get(k).copied().unwrap_or(0),
+                    rp.get(k).copied().unwrap_or(0),
+                );
+                if a != b {
+                    counts.insert(k.clone(), (a, b));
+                }
+            }
+            entries.push(DiffEntry::EssentialPropertiesDiffer {
+                ty: name.clone(),
+                counts,
+            });
+        }
+    }
+
+    let (lr, rr) = (name_of(left, left.root()), name_of(right, right.root()));
+    if lr != rr {
+        entries.push(DiffEntry::RootDiffers {
+            left: lr,
+            right: rr,
+        });
+    }
+    let (lb, rb) = (name_of(left, left.base()), name_of(right, right.base()));
+    if lb != rb {
+        entries.push(DiffEntry::BaseDiffers {
+            left: lb,
+            right: rb,
+        });
+    }
+
+    entries.sort();
+    SchemaDiff { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+
+    fn base() -> Schema {
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        let a = s.add_type("A", [root], []).unwrap();
+        s.define_property_on(a, "x").unwrap();
+        s.add_type("B", [a], []).unwrap();
+        s
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        let d = diff(&base(), &base());
+        assert!(d.is_empty(), "{d}");
+        assert_eq!(d.len(), 0);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn detects_missing_type() {
+        let l = base();
+        let mut r = base();
+        let b = r.type_by_name("B").unwrap();
+        r.drop_type(b).unwrap();
+        let d = diff(&l, &r);
+        assert!(d.entries.contains(&DiffEntry::TypeOnlyInLeft("B".into())));
+        let d2 = diff(&r, &l);
+        assert!(d2.entries.contains(&DiffEntry::TypeOnlyInRight("B".into())));
+    }
+
+    #[test]
+    fn detects_edge_and_property_changes() {
+        let l = base();
+        let mut r = base();
+        let root = r.root().unwrap();
+        let b = r.type_by_name("B").unwrap();
+        let a = r.type_by_name("A").unwrap();
+        r.add_essential_supertype(b, root).unwrap();
+        let x = r
+            .essential_properties(a)
+            .unwrap()
+            .iter()
+            .next()
+            .copied()
+            .unwrap();
+        r.drop_essential_property(a, x).unwrap();
+        let d = diff(&l, &r);
+        assert!(d
+            .entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::EssentialSupertypesDiffer { ty, .. } if ty == "B")));
+        assert!(d
+            .entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::EssentialPropertiesDiffer { ty, .. } if ty == "A")));
+    }
+
+    #[test]
+    fn homonym_multisets_compared_by_count() {
+        let mut l = base();
+        let mut r = base();
+        let la = l.type_by_name("A").unwrap();
+        let ra = r.type_by_name("A").unwrap();
+        // Left gets TWO extra "y" homonyms, right gets one.
+        l.define_property_on(la, "y").unwrap();
+        l.define_property_on(la, "y").unwrap();
+        r.define_property_on(ra, "y").unwrap();
+        let d = diff(&l, &r);
+        match d.entries.as_slice() {
+            [DiffEntry::EssentialPropertiesDiffer { ty, counts }] => {
+                assert_eq!(ty, "A");
+                assert_eq!(counts.get("y"), Some(&(2usize, 1usize)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_and_base_differences() {
+        let l = base();
+        let mut r = Schema::new(LatticeConfig::TIGUKAT);
+        r.add_root_type("T_object").unwrap();
+        r.add_base_type("T_null").unwrap();
+        let d = diff(&l, &r);
+        assert!(d
+            .entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::BaseDiffers { .. })));
+        // Equal inputs ⇒ equal fingerprints, and vice versa on same-arena
+        // schemas.
+        assert!(!d.is_empty());
+    }
+}

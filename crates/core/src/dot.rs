@@ -1,0 +1,147 @@
+//! Graphviz (DOT) export of the type lattice.
+//!
+//! §5 motivates minimality for display: "a user would only need to see the
+//! minimal subtype relationships in order to understand the complete
+//! functionality of a type." The exporter can draw either view:
+//!
+//! * [`EdgeSet::Minimal`] — the derived immediate supertypes `P(t)` (what
+//!   the paper recommends showing);
+//! * [`EdgeSet::Essential`] — the raw designer input `P_e(t)` (what an
+//!   Orion-style system would have to draw), with the redundant edges the
+//!   minimal view omits rendered dashed.
+
+use std::fmt::Write as _;
+
+use crate::ids::TypeId;
+use crate::model::Schema;
+
+/// Which edges to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSet {
+    /// Only the minimal immediate-supertype edges `P(t)`.
+    Minimal,
+    /// All essential edges `P_e(t)`; edges not in `P(t)` are dashed.
+    Essential,
+}
+
+/// Render the lattice as a DOT digraph (subtype → supertype arrows, per the
+/// paper's "directed arrow from a subtype (the tail) to its supertype (the
+/// head)").
+pub fn to_dot(schema: &Schema, edges: EdgeSet) -> String {
+    let mut out = String::new();
+    out.push_str("digraph lattice {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for t in schema.iter_types() {
+        let name = schema.type_name(t).expect("live");
+        let mut attrs = Vec::new();
+        if Some(t) == schema.root() {
+            attrs.push("style=bold".to_string());
+        }
+        if Some(t) == schema.base() {
+            attrs.push("style=dotted".to_string());
+        }
+        if schema.is_frozen(t) {
+            attrs.push("color=gray".to_string());
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(out, "  {}{attr_str};", quote_id(name));
+    }
+    for t in schema.iter_types() {
+        let name = schema.type_name(t).expect("live");
+        let minimal = schema.immediate_supertypes(t).expect("live");
+        let draw = |out: &mut String, s: TypeId, dashed: bool| {
+            let sup = schema.type_name(s).expect("live");
+            let style = if dashed {
+                " [style=dashed, color=gray]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {} -> {}{style};", quote_id(name), quote_id(sup));
+        };
+        match edges {
+            EdgeSet::Minimal => {
+                for &s in minimal {
+                    draw(&mut out, s, false);
+                }
+            }
+            EdgeSet::Essential => {
+                for &s in schema.essential_supertypes(t).expect("live") {
+                    draw(&mut out, s, !minimal.contains(&s));
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT identifiers: quote anything that isn't a plain identifier.
+fn quote_id(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit();
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        let a = s.add_type("A", [root], []).unwrap();
+        let b = s.add_type("B-dashed name", [a], []).unwrap();
+        // Redundant essential: root through a.
+        s.add_essential_supertype(b, root).unwrap();
+        s
+    }
+
+    #[test]
+    fn minimal_view_omits_redundant_edges() {
+        let s = sample();
+        let dot = to_dot(&s, EdgeSet::Minimal);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("A -> T_object;"));
+        // B's only minimal edge is to A.
+        assert!(dot.contains("\"B-dashed name\" -> A;"));
+        assert!(!dot.contains("\"B-dashed name\" -> T_object"));
+    }
+
+    #[test]
+    fn essential_view_dashes_redundancy() {
+        let s = sample();
+        let dot = to_dot(&s, EdgeSet::Essential);
+        assert!(dot.contains("\"B-dashed name\" -> T_object [style=dashed"));
+        assert!(dot.contains("\"B-dashed name\" -> A;"));
+    }
+
+    #[test]
+    fn root_is_bold_and_names_are_quoted() {
+        let s = sample();
+        let dot = to_dot(&s, EdgeSet::Minimal);
+        assert!(dot.contains("T_object [style=bold];"));
+        assert!(dot.contains("\"B-dashed name\""));
+    }
+
+    #[test]
+    fn base_and_frozen_styles() {
+        let mut s = Schema::new(LatticeConfig::TIGUKAT);
+        s.add_root_type("T_object").unwrap();
+        let base = s.add_base_type("T_null").unwrap();
+        let a = s.add_type("A", [], []).unwrap();
+        s.freeze_type(a).unwrap();
+        let dot = to_dot(&s, EdgeSet::Minimal);
+        assert!(dot.contains("T_null [style=dotted];"));
+        assert!(dot.contains("A [color=gray];"));
+        let _ = base;
+    }
+}

@@ -1,0 +1,268 @@
+//! Derivation engines: instantiating Axioms 5–9 after a schema change.
+//!
+//! "The axioms provide a consistent and automatic mechanism for re-computing
+//! the entire type lattice structure after a change is made to either the
+//! essential supertypes `P_e` or the essential properties `N_e` of a type"
+//! (§2). The paper notes that "several simplifications ... and several
+//! optimizations can be made to the way in which the axioms generate their
+//! results" but defers them; its future work calls for "efficient algorithms
+//! for schema evolution" and "empirical evidence of performance
+//! characteristics" (§6). This module realises both ends:
+//!
+//! * `naive` — the *specification* engine: re-derives every type from
+//!   scratch through the literal apply-all combinators of Table 2.
+//! * `incremental` — the *optimized* engine: re-derives only the changed
+//!   type's down-set (its transitive subtypes), reading cached derived state
+//!   for everything else, and skips lattice recomputation for property-only
+//!   changes.
+//!
+//! The two engines must produce identical derived state on every reachable
+//! schema; this is pinned by unit tests here and by property tests over
+//! random operation traces.
+
+pub(crate) mod incremental;
+pub(crate) mod naive;
+
+use std::collections::BTreeSet;
+
+use crate::ids::TypeId;
+use crate::model::{DerivedType, Schema, TypeSlot};
+
+/// Which derivation engine a [`Schema`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EngineKind {
+    /// Literal interpretation of Table 2 over the whole lattice on every
+    /// change. O(|T|·work) per operation; serves as the executable spec.
+    Naive,
+    /// Dirty-set recomputation of the changed type's down-set only.
+    #[default]
+    Incremental,
+}
+
+/// Cumulative counters exposed for the engine-ablation experiments
+/// (`ablation_engines` harness, `bench_engines` Criterion bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EngineStats {
+    /// Number of whole-lattice recomputations performed.
+    pub full_recomputes: u64,
+    /// Number of scoped (down-set) recomputations performed.
+    pub scoped_recomputes: u64,
+    /// Total number of per-type derivations across all recomputations.
+    pub types_derived: u64,
+    /// Per-type derivations in the most recent recomputation.
+    pub last_types_derived: u64,
+}
+
+/// The kind of change that triggered a recomputation; lets the incremental
+/// engine skip `P`/`PL` work when only properties changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChangeKind {
+    /// `P_e` of some type changed (or a type was added/dropped): lattice and
+    /// properties must be re-derived.
+    Edges,
+    /// Only `N_e` changed: `P`/`PL` are unaffected.
+    PropsOnly,
+}
+
+/// Recompute the whole lattice with the configured engine.
+pub(crate) fn recompute_all(schema: &mut Schema) {
+    let mut derived = std::mem::take(&mut schema.derived);
+    derived.clear();
+    derived.resize(schema.types.len(), DerivedType::default());
+    let n = match schema.engine {
+        EngineKind::Naive => naive::derive_all(&schema.types, &mut derived),
+        EngineKind::Incremental => incremental::derive_full(&schema.types, &mut derived),
+    };
+    schema.derived = derived;
+    schema.stats.full_recomputes += 1;
+    schema.stats.types_derived += n as u64;
+    schema.stats.last_types_derived = n as u64;
+}
+
+/// Recompute after changes to several types at once (e.g. a type drop edits
+/// `P_e` of every essential subtype).
+///
+/// Must be called *after* the input mutation but relies on the *stale*
+/// derived state to locate the affected down-set; see the module docs of
+/// `incremental` for why that is sound.
+pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind: ChangeKind) {
+    match schema.engine {
+        EngineKind::Naive => {
+            let mut derived = std::mem::take(&mut schema.derived);
+            derived.clear();
+            derived.resize(schema.types.len(), DerivedType::default());
+            let n = naive::derive_all(&schema.types, &mut derived);
+            schema.derived = derived;
+            schema.stats.full_recomputes += 1;
+            schema.stats.types_derived += n as u64;
+            schema.stats.last_types_derived = n as u64;
+        }
+        EngineKind::Incremental => {
+            let mut derived = std::mem::take(&mut schema.derived);
+            derived.resize(schema.types.len(), DerivedType::default());
+            let n = incremental::derive_scoped(&schema.types, &mut derived, changed, kind);
+            schema.derived = derived;
+            schema.stats.scoped_recomputes += 1;
+            schema.stats.types_derived += n as u64;
+            schema.stats.last_types_derived = n as u64;
+        }
+    }
+}
+
+/// Topological order of the live types: every type appears after all of its
+/// essential supertypes. Returns `None` if the `P_e` graph has a cycle
+/// (never the case for schemas built through [`crate::ops`], which reject
+/// cycles up front; deserialized snapshots are validated before install).
+pub(crate) fn topo_order(types: &[TypeSlot]) -> Option<Vec<TypeId>> {
+    let n = types.len();
+    let mut remaining: Vec<usize> = vec![0; n];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut live = 0usize;
+    for (i, slot) in types.iter().enumerate() {
+        if !slot.alive {
+            continue;
+        }
+        live += 1;
+        for s in &slot.pe {
+            debug_assert!(types[s.index()].alive, "P_e references dead type");
+            remaining[i] += 1;
+            children[s.index()].push(i as u32);
+        }
+    }
+    let mut queue: Vec<u32> = (0..n)
+        .filter(|&i| types[i].alive && remaining[i] == 0)
+        .map(|i| i as u32)
+        .collect();
+    let mut order = Vec::with_capacity(live);
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head] as usize;
+        head += 1;
+        order.push(TypeId::from_index(i));
+        for &c in &children[i] {
+            remaining[c as usize] -= 1;
+            if remaining[c as usize] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    (order.len() == live).then_some(order)
+}
+
+/// The down-set of `seeds` under the *stale* derived state: every live type
+/// whose (pre-recompute) supertype lattice contains one of the seeds, plus
+/// the seeds themselves. These are exactly the types whose derived state may
+/// change.
+pub(crate) fn stale_down_set(
+    types: &[TypeSlot],
+    derived: &[DerivedType],
+    seeds: &[TypeId],
+) -> BTreeSet<TypeId> {
+    let seed_set: BTreeSet<TypeId> = seeds
+        .iter()
+        .copied()
+        .filter(|t| types[t.index()].alive)
+        .collect();
+    let mut out = seed_set.clone();
+    for (i, slot) in types.iter().enumerate() {
+        if !slot.alive {
+            continue;
+        }
+        let t = TypeId::from_index(i);
+        if out.contains(&t) {
+            continue;
+        }
+        // derived may be shorter than types if a type was just added; a
+        // just-added type has no stale lattice and is covered by being a seed.
+        if let Some(d) = derived.get(i) {
+            if seed_set.iter().any(|s| d.pl.contains(s)) {
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+    use crate::Schema;
+
+    fn diamond() -> Schema {
+        // root -> a, b -> c (diamond)
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("root").unwrap();
+        let a = s.add_type("a", [root], []).unwrap();
+        let b = s.add_type("b", [root], []).unwrap();
+        s.add_type("c", [a, b], []).unwrap();
+        s
+    }
+
+    #[test]
+    fn topo_order_respects_supertypes() {
+        let s = diamond();
+        let order = topo_order(&s.types).expect("acyclic");
+        let pos = |name: &str| {
+            let t = s.type_by_name(name).unwrap();
+            order.iter().position(|&x| x == t).unwrap()
+        };
+        assert!(pos("root") < pos("a"));
+        assert!(pos("root") < pos("b"));
+        assert!(pos("a") < pos("c"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        let mut s = diamond();
+        // Forge a cycle directly in the inputs (ops would reject this).
+        let a = s.type_by_name("a").unwrap();
+        let c = s.type_by_name("c").unwrap();
+        s.types[a.index()].pe.insert(c);
+        assert!(topo_order(&s.types).is_none());
+    }
+
+    #[test]
+    fn engines_agree_on_diamond() {
+        let mut naive = Schema::with_engine(LatticeConfig::default(), EngineKind::Naive);
+        let mut inc = Schema::with_engine(LatticeConfig::default(), EngineKind::Incremental);
+        for s in [&mut naive, &mut inc] {
+            let root = s.add_root_type("root").unwrap();
+            let p = s.add_property("x");
+            let a = s.add_type("a", [root], [p]).unwrap();
+            let b = s.add_type("b", [root], []).unwrap();
+            s.add_type("c", [a, b], []).unwrap();
+        }
+        for t in naive.iter_types() {
+            assert_eq!(naive.derived(t).unwrap(), inc.derived(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn stale_down_set_covers_subtypes() {
+        let s = diamond();
+        let a = s.type_by_name("a").unwrap();
+        let c = s.type_by_name("c").unwrap();
+        let ds = stale_down_set(&s.types, &s.derived, &[a]);
+        assert!(ds.contains(&a));
+        assert!(ds.contains(&c));
+        assert!(!ds.contains(&s.type_by_name("b").unwrap()));
+        assert!(!ds.contains(&s.type_by_name("root").unwrap()));
+    }
+
+    #[test]
+    fn stats_track_recompute_scope() {
+        let mut s = Schema::with_engine(LatticeConfig::default(), EngineKind::Incremental);
+        let root = s.add_root_type("root").unwrap();
+        let a = s.add_type("a", [root], []).unwrap();
+        let _b = s.add_type("b", [root], []).unwrap();
+        s.reset_stats();
+        let p = s.add_property("x");
+        s.add_essential_property(a, p).unwrap();
+        // Only `a` (no subtypes) should have been re-derived.
+        assert_eq!(s.stats().last_types_derived, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Typed errors for schema-evolution operations.
+//!
+//! The paper specifies several *rejection rules*: MT-ASR rejects changes that
+//! would violate the Axiom of Acyclicity; MT-DSR cannot drop the subtype
+//! relationship to the root under the Axiom of Rootedness; TIGUKAT forbids
+//! dropping primitive types. Every rejected operation leaves the schema
+//! completely unchanged (checked by the failure-injection tests).
+
+use crate::ids::{PropId, TypeId};
+use core::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = SchemaError> = core::result::Result<T, E>;
+
+/// Errors raised by schema-evolution operations on the axiomatic model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The referenced type does not exist or has been dropped.
+    UnknownType(TypeId),
+    /// The referenced property does not exist in the property registry.
+    UnknownProp(PropId),
+    /// A type with this name already exists (names are unique handles in the
+    /// CLI and examples; identity is still the [`TypeId`]).
+    DuplicateTypeName(String),
+    /// Adding `supertype` to `P_e(subtype)` would create a cycle, violating
+    /// the Axiom of Acyclicity (Axiom 2).
+    WouldCreateCycle {
+        /// The type whose essential supertypes were being extended.
+        subtype: TypeId,
+        /// The candidate supertype whose supertype lattice contains `subtype`.
+        supertype: TypeId,
+    },
+    /// A type cannot be declared its own essential supertype.
+    SelfSupertype(TypeId),
+    /// Dropping the subtype relationship to the root type is rejected when
+    /// the lattice obeys the Axiom of Rootedness (TIGUKAT: "a subtype
+    /// relationship to `T_object` cannot be dropped").
+    RootEdgeDrop {
+        /// The type that attempted to drop the root from its `P_e`.
+        subtype: TypeId,
+    },
+    /// The root type itself cannot be dropped while rootedness is enforced.
+    CannotDropRoot(TypeId),
+    /// The base type itself cannot be dropped while pointedness is enforced.
+    CannotDropBase(TypeId),
+    /// The type is frozen (e.g. a TIGUKAT primitive type) and cannot be
+    /// dropped or restructured.
+    FrozenType(TypeId),
+    /// `supertype` is not currently an essential supertype of `subtype`, so
+    /// the drop has nothing to remove.
+    NotAnEssentialSupertype {
+        /// The would-be subtype.
+        subtype: TypeId,
+        /// The type that is not in `P_e(subtype)`.
+        supertype: TypeId,
+    },
+    /// `prop` is not currently an essential property of `ty`.
+    NotAnEssentialProperty {
+        /// The type whose `N_e` was inspected.
+        ty: TypeId,
+        /// The property that is not in `N_e(ty)`.
+        prop: PropId,
+    },
+    /// The edge to add already exists in `P_e(subtype)`.
+    DuplicateSupertype {
+        /// The subtype whose `P_e` already contains `supertype`.
+        subtype: TypeId,
+        /// The already-present supertype.
+        supertype: TypeId,
+    },
+    /// A rooted lattice must designate exactly one root before other types
+    /// can be created.
+    NoRoot,
+    /// A rooted lattice already has a root; a second cannot be designated.
+    RootAlreadyDesignated(TypeId),
+    /// A pointed lattice already has a base; a second cannot be designated.
+    BaseAlreadyDesignated(TypeId),
+    /// No type may be declared a subtype of the base `⊥` — the base is the
+    /// most defined type (Axiom of Pointedness).
+    SubtypeOfBase(TypeId),
+    /// Essential supertypes cannot be dropped from the base `⊥` while
+    /// pointedness is enforced: "all types are essential supertypes of this
+    /// base type" (§3.3).
+    BaseEdgeDrop {
+        /// The supertype whose removal from `P_e(⊥)` was rejected.
+        supertype: TypeId,
+    },
+    /// Operation is only meaningful on a pointed lattice, but none of the
+    /// live types is designated as the base.
+    NoBase,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownType(t) => write!(f, "unknown or dropped type {t}"),
+            SchemaError::UnknownProp(p) => write!(f, "unknown property {p}"),
+            SchemaError::DuplicateTypeName(n) => write!(f, "type name `{n}` already in use"),
+            SchemaError::WouldCreateCycle { subtype, supertype } => write!(
+                f,
+                "adding {supertype} as essential supertype of {subtype} violates the Axiom of Acyclicity"
+            ),
+            SchemaError::SelfSupertype(t) => {
+                write!(f, "type {t} cannot be its own essential supertype")
+            }
+            SchemaError::RootEdgeDrop { subtype } => write!(
+                f,
+                "cannot drop the root from P_e({subtype}): Axiom of Rootedness is enforced"
+            ),
+            SchemaError::CannotDropRoot(t) => {
+                write!(f, "cannot drop root type {t} while the lattice is rooted")
+            }
+            SchemaError::CannotDropBase(t) => {
+                write!(f, "cannot drop base type {t} while the lattice is pointed")
+            }
+            SchemaError::FrozenType(t) => write!(f, "type {t} is frozen (primitive) and cannot be modified structurally"),
+            SchemaError::NotAnEssentialSupertype { subtype, supertype } => {
+                write!(f, "{supertype} is not an essential supertype of {subtype}")
+            }
+            SchemaError::NotAnEssentialProperty { ty, prop } => {
+                write!(f, "{prop} is not an essential property of {ty}")
+            }
+            SchemaError::DuplicateSupertype { subtype, supertype } => {
+                write!(f, "{supertype} is already an essential supertype of {subtype}")
+            }
+            SchemaError::NoRoot => write!(f, "rooted lattice has no designated root type"),
+            SchemaError::RootAlreadyDesignated(t) => {
+                write!(f, "root already designated as {t}")
+            }
+            SchemaError::BaseAlreadyDesignated(t) => {
+                write!(f, "base already designated as {t}")
+            }
+            SchemaError::SubtypeOfBase(t) => write!(
+                f,
+                "cannot subtype the base type {t}: Axiom of Pointedness is enforced"
+            ),
+            SchemaError::BaseEdgeDrop { supertype } => write!(
+                f,
+                "cannot drop {supertype} from P_e(⊥): Axiom of Pointedness is enforced"
+            ),
+            SchemaError::NoBase => write!(f, "pointed lattice has no designated base type"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PropId, TypeId};
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SchemaError::WouldCreateCycle {
+            subtype: TypeId::from_index(1),
+            supertype: TypeId::from_index(2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t1"), "{msg}");
+        assert!(msg.contains("t2"), "{msg}");
+        assert!(msg.contains("Acyclicity"), "{msg}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SchemaError::UnknownProp(PropId::from_index(0)),
+            SchemaError::UnknownProp(PropId::from_index(0))
+        );
+        assert_ne!(SchemaError::NoRoot, SchemaError::NoBase);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SchemaError::NoRoot);
+        assert!(e.to_string().contains("root"));
+    }
+}

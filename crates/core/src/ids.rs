@@ -1,0 +1,118 @@
+//! Stable identifiers for types and properties.
+//!
+//! The axiomatic model (Peters & Özsu, ICDE'95) ranges over a set of types
+//! `T` and a universe of properties. Both are represented here as arena
+//! indices: cheap to copy, hash, and order, and stable across schema
+//! evolution (dropping a type tombstones its slot rather than reusing it, so
+//! a dangling [`TypeId`] can never silently alias a newer type).
+//!
+//! Identity semantics follow the paper: a property is identified by its
+//! *semantics*, not its name ("the axiomatic model assumes that properties
+//! have a given semantics ... simple set operations can be used to resolve
+//! conflicts", §3.1). Two distinct [`PropId`]s may therefore carry the same
+//! name — exactly the situation Orion's name-based conflict resolution has to
+//! deal with and the axiomatic model does not.
+
+use core::fmt;
+
+/// Identifier of a type in the lattice `T`.
+///
+/// Printed as `t42` in debug output. Ordering is by creation order, which
+/// makes `BTreeSet<TypeId>` iteration deterministic — all derived sets in
+/// this crate rely on that for reproducible experiment output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// Raw arena index. Exposed for dense side-tables keyed by type.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for tests and for side-tables
+    /// that round-trip indices obtained from [`TypeId::index`].
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        TypeId(u32::try_from(ix).expect("type arena exceeds u32::MAX entries"))
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a property (the paper's generic term for attributes,
+/// methods, and behaviors).
+///
+/// Printed as `p7` in debug output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropId(pub(crate) u32);
+
+impl PropId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index (see [`TypeId::from_index`]).
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        PropId(u32::try_from(ix).expect("property arena exceeds u32::MAX entries"))
+    }
+}
+
+impl fmt::Debug for PropId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PropId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_id_roundtrip() {
+        let t = TypeId::from_index(17);
+        assert_eq!(t.index(), 17);
+        assert_eq!(format!("{t}"), "t17");
+        assert_eq!(format!("{t:?}"), "t17");
+    }
+
+    #[test]
+    fn prop_id_roundtrip() {
+        let p = PropId::from_index(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(format!("{p}"), "p3");
+    }
+
+    #[test]
+    fn ordering_follows_creation_order() {
+        assert!(TypeId::from_index(1) < TypeId::from_index(2));
+        assert!(PropId::from_index(0) < PropId::from_index(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = TypeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,490 @@
+//! The schema: designer inputs `P_e` / `N_e` and the derived terms of
+//! Table 1.
+//!
+//! A [`Schema`] holds, for every live type `t ∈ T`:
+//!
+//! * the **designer inputs** — essential supertypes `P_e(t)` and essential
+//!   properties `N_e(t)` ("All schema evolution operations can be handled
+//!   through these two terms", §2), and
+//! * the **derived state** — immediate supertypes `P(t)`, the supertype
+//!   lattice `PL(t)`, native properties `N(t)`, inherited properties `H(t)`,
+//!   and the interface `I(t)`, instantiated by the axioms of Table 2 after
+//!   every change.
+//!
+//! Mutations live in [`crate::ops`]; the derivation engines live in
+//! [`crate::engine`]; the axiom checkers in [`crate::axioms`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::config::LatticeConfig;
+use crate::engine::{self, EngineKind, EngineStats};
+use crate::error::{Result, SchemaError};
+use crate::ids::{PropId, TypeId};
+
+/// A property in the registry.
+///
+/// Identity is the [`PropId`] (the paper's "given semantics"); the name is a
+/// human label and need not be unique — name clashes are exactly what
+/// Orion-style conflict resolution deals with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropRecord {
+    pub(crate) name: String,
+    pub(crate) alive: bool,
+}
+
+/// Designer-controlled state of one type: the two inputs of the axiomatic
+/// model plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct TypeSlot {
+    pub(crate) name: String,
+    pub(crate) alive: bool,
+    /// Frozen types (TIGUKAT primitives) reject structural drops.
+    pub(crate) frozen: bool,
+    /// `P_e(t)` — essential supertypes.
+    pub(crate) pe: BTreeSet<TypeId>,
+    /// `N_e(t)` — essential properties.
+    pub(crate) ne: BTreeSet<PropId>,
+}
+
+/// Derived state of one type, instantiated by Axioms 5–9.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DerivedType {
+    /// `P(t)` — immediate supertypes (Axiom of Supertypes).
+    pub p: BTreeSet<TypeId>,
+    /// `PL(t)` — supertype lattice, including `t` (Axiom of Supertype Lattice).
+    pub pl: BTreeSet<TypeId>,
+    /// `N(t)` — native properties (Axiom of Nativeness).
+    pub n: BTreeSet<PropId>,
+    /// `H(t)` — inherited properties (Axiom of Inheritance).
+    pub h: BTreeSet<PropId>,
+    /// `I(t)` — interface (Axiom of Interface). Cached as `N ∪ H`.
+    pub iface: BTreeSet<PropId>,
+}
+
+/// An objectbase schema under the axiomatic model of dynamic schema
+/// evolution.
+///
+/// # Example
+///
+/// ```
+/// use axiombase_core::{Schema, LatticeConfig};
+///
+/// let mut s = Schema::new(LatticeConfig::TIGUKAT);
+/// let object = s.add_root_type("T_object").unwrap();
+/// let name = s.add_property("name");
+/// let person = s.add_type("T_person", [object], [name]).unwrap();
+/// let student = s.add_type("T_student", [person], []).unwrap();
+/// assert!(s.interface(student).unwrap().contains(&name)); // inherited
+/// assert!(s.verify().is_empty()); // all nine axioms hold
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    pub(crate) config: LatticeConfig,
+    pub(crate) types: Vec<TypeSlot>,
+    pub(crate) props: Vec<PropRecord>,
+    pub(crate) by_name: HashMap<String, TypeId>,
+    pub(crate) root: Option<TypeId>,
+    pub(crate) base: Option<TypeId>,
+    pub(crate) derived: Vec<DerivedType>,
+    pub(crate) engine: EngineKind,
+    /// Monotone version counter, bumped on every successful mutation.
+    pub(crate) version: u64,
+    pub(crate) stats: EngineStats,
+}
+
+impl Schema {
+    /// Create an empty schema using the default (incremental) engine.
+    pub fn new(config: LatticeConfig) -> Self {
+        Self::with_engine(config, EngineKind::Incremental)
+    }
+
+    /// Create an empty schema with an explicit derivation engine. The naive
+    /// engine interprets the axioms of Table 2 literally through the
+    /// apply-all combinator; the incremental engine recomputes only affected
+    /// types. They always agree (property-tested).
+    pub fn with_engine(config: LatticeConfig, engine: EngineKind) -> Self {
+        Schema {
+            config,
+            types: Vec::new(),
+            props: Vec::new(),
+            by_name: HashMap::new(),
+            root: None,
+            base: None,
+            derived: Vec::new(),
+            engine,
+            version: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The lattice configuration in force.
+    #[inline]
+    pub fn config(&self) -> LatticeConfig {
+        self.config
+    }
+
+    /// The derivation engine in use.
+    #[inline]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Switch derivation engines. The derived state is fully recomputed so
+    /// the switch is observationally transparent.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+        self.recompute_all();
+    }
+
+    /// Schema version counter: bumped once per successful mutation.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cumulative engine statistics (types re-derived, set operations).
+    #[inline]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Reset the engine statistics (used by benchmarks between phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// The designated root `⊤`, if any.
+    #[inline]
+    pub fn root(&self) -> Option<TypeId> {
+        self.root
+    }
+
+    /// The designated base `⊥`, if any.
+    #[inline]
+    pub fn base(&self) -> Option<TypeId> {
+        self.base
+    }
+
+    /// Number of live types `|T|`.
+    pub fn type_count(&self) -> usize {
+        self.types.iter().filter(|s| s.alive).count()
+    }
+
+    /// Number of live properties in the registry.
+    pub fn prop_count(&self) -> usize {
+        self.props.iter().filter(|p| p.alive).count()
+    }
+
+    /// Iterate over all live types in creation order.
+    pub fn iter_types(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| TypeId::from_index(i))
+    }
+
+    /// Iterate over all live properties in creation order.
+    pub fn iter_props(&self) -> impl Iterator<Item = PropId> + '_ {
+        self.props
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.alive)
+            .map(|(i, _)| PropId::from_index(i))
+    }
+
+    /// Does `t` refer to a live type?
+    #[inline]
+    pub fn is_live(&self, t: TypeId) -> bool {
+        self.types.get(t.index()).is_some_and(|s| s.alive)
+    }
+
+    /// Does `p` refer to a live property?
+    #[inline]
+    pub fn is_live_prop(&self, p: PropId) -> bool {
+        self.props.get(p.index()).is_some_and(|r| r.alive)
+    }
+
+    /// Is `t` frozen (a primitive type that rejects structural changes)?
+    pub fn is_frozen(&self, t: TypeId) -> bool {
+        self.types
+            .get(t.index())
+            .is_some_and(|s| s.alive && s.frozen)
+    }
+
+    /// Name of a live type.
+    pub fn type_name(&self, t: TypeId) -> Result<&str> {
+        self.slot(t).map(|s| s.name.as_str())
+    }
+
+    /// Name of a live property.
+    pub fn prop_name(&self, p: PropId) -> Result<&str> {
+        match self.props.get(p.index()) {
+            Some(r) if r.alive => Ok(r.name.as_str()),
+            _ => Err(SchemaError::UnknownProp(p)),
+        }
+    }
+
+    /// Look up a live type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied().filter(|&t| self.is_live(t))
+    }
+
+    /// Look up live properties by name (names need not be unique).
+    pub fn props_by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = PropId> + 'a {
+        self.iter_props()
+            .filter(move |&p| self.props[p.index()].name == name)
+    }
+
+    // ------------------------------------------------------------------
+    // The terms of Table 1
+    // ------------------------------------------------------------------
+
+    /// `P_e(t)` — the essential supertypes of `t` (designer input).
+    pub fn essential_supertypes(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
+        self.slot(t).map(|s| &s.pe)
+    }
+
+    /// `N_e(t)` — the essential properties of `t` (designer input).
+    pub fn essential_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+        self.slot(t).map(|s| &s.ne)
+    }
+
+    /// `P(t)` — the immediate supertypes of `t` (Axiom of Supertypes):
+    /// exactly the essential supertypes that cannot be reached indirectly
+    /// through some other essential supertype.
+    pub fn immediate_supertypes(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()].p)
+    }
+
+    /// `PL(t)` — the supertype lattice of `t`, including `t` itself (Axiom
+    /// of Supertype Lattice).
+    pub fn super_lattice(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()].pl)
+    }
+
+    /// `N(t)` — the native properties of `t` (Axiom of Nativeness):
+    /// `N_e(t) − H(t)`.
+    pub fn native_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()].n)
+    }
+
+    /// `H(t)` — the inherited properties of `t` (Axiom of Inheritance): the
+    /// union of the interfaces of the immediate supertypes.
+    pub fn inherited_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()].h)
+    }
+
+    /// `I(t)` — the interface of `t` (Axiom of Interface): `N(t) ∪ H(t)`.
+    pub fn interface(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()].iface)
+    }
+
+    /// The full derived record of `t` (all of Table 1 at once).
+    pub fn derived(&self, t: TypeId) -> Result<&DerivedType> {
+        self.check_live(t)?;
+        Ok(&self.derived[t.index()])
+    }
+
+    /// Is `s` a supertype of `t` (i.e. `s ∈ PL(t)`)? Reflexive.
+    pub fn is_supertype_of(&self, s: TypeId, t: TypeId) -> Result<bool> {
+        Ok(self.super_lattice(t)?.contains(&s))
+    }
+
+    /// Immediate subtypes of `t`: the inverse of `P` ("TIGUKAT does define a
+    /// `B_subtypes` behavior for types, so finding all subtypes of a dropped
+    /// type is trivial", §3.3). Computed by a scan of live types — O(|T|).
+    pub fn immediate_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
+        self.check_live(t)?;
+        Ok(self
+            .iter_types()
+            .filter(|&c| self.derived[c.index()].p.contains(&t))
+            .collect())
+    }
+
+    /// All subtypes of `t` (types whose supertype lattice contains `t`),
+    /// excluding `t` itself. O(|T|).
+    pub fn all_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
+        self.check_live(t)?;
+        Ok(self
+            .iter_types()
+            .filter(|&c| c != t && self.derived[c.index()].pl.contains(&t))
+            .collect())
+    }
+
+    /// Types that list `t` among their *essential* supertypes (inverse of
+    /// `P_e`). These are the types whose inputs mention `t` and must be
+    /// edited when `t` is dropped. O(|T|).
+    pub fn essential_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
+        self.check_live(t)?;
+        Ok(self
+            .iter_types()
+            .filter(|&c| self.types[c.index()].pe.contains(&t))
+            .collect())
+    }
+
+    /// All live properties referenced by some type's interface — the
+    /// axiomatic analogue of TIGUKAT's behavior-schema-object set `BSO`
+    /// (`⋃_t I(t)`, which equals `I(⊥)` on a pointed lattice).
+    pub fn referenced_properties(&self) -> BTreeSet<PropId> {
+        let mut out = BTreeSet::new();
+        for t in self.iter_types() {
+            out.extend(self.derived[t.index()].iface.iter().copied());
+        }
+        out
+    }
+
+    /// A structural fingerprint of the live schema: names, inputs, and
+    /// derived sets. Two schemas with equal fingerprints are structurally
+    /// identical — used by the order-independence experiments (§5).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for t in self.iter_types() {
+            let slot = &self.types[t.index()];
+            slot.name.hash(&mut h);
+            slot.pe.hash(&mut h);
+            slot.ne.hash(&mut h);
+            let d = &self.derived[t.index()];
+            d.p.hash(&mut h);
+            d.pl.hash(&mut h);
+            d.n.hash(&mut h);
+            d.h.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers shared with ops/engine/axioms
+    // ------------------------------------------------------------------
+
+    pub(crate) fn slot(&self, t: TypeId) -> Result<&TypeSlot> {
+        match self.types.get(t.index()) {
+            Some(s) if s.alive => Ok(s),
+            _ => Err(SchemaError::UnknownType(t)),
+        }
+    }
+
+    pub(crate) fn slot_mut(&mut self, t: TypeId) -> Result<&mut TypeSlot> {
+        match self.types.get_mut(t.index()) {
+            Some(s) if s.alive => Ok(s),
+            _ => Err(SchemaError::UnknownType(t)),
+        }
+    }
+
+    pub(crate) fn check_live(&self, t: TypeId) -> Result<()> {
+        self.slot(t).map(|_| ())
+    }
+
+    pub(crate) fn check_live_prop(&self, p: PropId) -> Result<()> {
+        match self.props.get(p.index()) {
+            Some(r) if r.alive => Ok(()),
+            _ => Err(SchemaError::UnknownProp(p)),
+        }
+    }
+
+    /// Recompute the derived state for the whole lattice with the configured
+    /// engine.
+    pub(crate) fn recompute_all(&mut self) {
+        engine::recompute_all(self);
+    }
+
+    pub(crate) fn bump_version(&mut self) {
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+
+    fn tiny() -> (Schema, TypeId, TypeId, TypeId) {
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        let a = s.add_type("A", [root], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        (s, root, a, b)
+    }
+
+    #[test]
+    fn empty_schema_has_no_types() {
+        let s = Schema::new(LatticeConfig::default());
+        assert_eq!(s.type_count(), 0);
+        assert_eq!(s.prop_count(), 0);
+        assert!(s.root().is_none());
+        assert_eq!(s.iter_types().count(), 0);
+    }
+
+    #[test]
+    fn table1_accessors_work_on_chain() {
+        let (s, root, a, b) = tiny();
+        assert_eq!(s.immediate_supertypes(b).unwrap(), &BTreeSet::from([a]));
+        assert_eq!(s.super_lattice(b).unwrap(), &BTreeSet::from([root, a, b]));
+        assert!(s.is_supertype_of(root, b).unwrap());
+        assert!(!s.is_supertype_of(b, root).unwrap());
+        assert_eq!(s.immediate_subtypes(root).unwrap(), BTreeSet::from([a]));
+        assert_eq!(s.all_subtypes(root).unwrap(), BTreeSet::from([a, b]));
+    }
+
+    #[test]
+    fn unknown_type_errors() {
+        let (s, ..) = tiny();
+        let bogus = TypeId::from_index(99);
+        assert_eq!(
+            s.super_lattice(bogus).unwrap_err(),
+            SchemaError::UnknownType(bogus)
+        );
+        assert!(!s.is_live(bogus));
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (s, _, a, _) = tiny();
+        assert_eq!(s.type_by_name("A"), Some(a));
+        assert_eq!(s.type_by_name("nope"), None);
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let (s1, ..) = tiny();
+        let (mut s2, ..) = tiny();
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        let p = s2.add_property("x");
+        let b = s2.type_by_name("B").unwrap();
+        s2.add_essential_property(b, p).unwrap();
+        assert_ne!(s1.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let (mut s, _, a, _) = tiny();
+        let v = s.version();
+        let p = s.add_property("x");
+        s.add_essential_property(a, p).unwrap();
+        assert!(s.version() > v);
+    }
+
+    #[test]
+    fn referenced_properties_covers_inheritance() {
+        let (mut s, _, a, b) = tiny();
+        let p = s.add_property("x");
+        s.add_essential_property(a, p).unwrap();
+        // p referenced by both a (native) and b (inherited); set has it once.
+        assert!(s.referenced_properties().contains(&p));
+        assert!(s.interface(b).unwrap().contains(&p));
+    }
+}

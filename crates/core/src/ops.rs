@@ -1,0 +1,654 @@
+//! Schema-evolution operations on the axiomatic model.
+//!
+//! "All schema evolution operations can be handled through these two terms
+//! [`P_e` and `N_e`] ... The axiomatic model takes care of rearranging the
+//! schema to conform to these two inputs" (§2). Every mutation here is an
+//! edit of `P_e`/`N_e` (plus type/property creation and deletion) followed
+//! by recomputation under the axioms. The operations correspond to the
+//! TIGUKAT operation suite of §3.3 as follows:
+//!
+//! | paper op | method |
+//! |---|---|
+//! | MT-AB  | [`Schema::add_essential_property`] |
+//! | MT-DB  | [`Schema::drop_essential_property`] |
+//! | MT-ASR | [`Schema::add_essential_supertype`] |
+//! | MT-DSR | [`Schema::drop_essential_supertype`] |
+//! | AT     | [`Schema::add_type`] / [`Schema::add_root_type`] / [`Schema::add_base_type`] |
+//! | DT     | [`Schema::drop_type`] |
+//! | DB     | [`Schema::drop_property`] |
+//!
+//! (AC/DC, MB-CA, DF, AL/DL concern classes, functions, and collections —
+//! constructs of the full objectbase, implemented in `axiombase-tigukat` on
+//! top of this model.)
+//!
+//! **Failure atomicity**: every operation validates all its rejection rules
+//! *before* mutating; a returned error implies the schema is unchanged. The
+//! failure-injection tests pin this with fingerprint comparisons.
+
+use crate::engine::{self, ChangeKind};
+use crate::error::{Result, SchemaError};
+use crate::ids::{PropId, TypeId};
+use crate::model::{PropRecord, Schema, TypeSlot};
+
+impl Schema {
+    // ------------------------------------------------------------------
+    // Property registry
+    // ------------------------------------------------------------------
+
+    /// Define a new property (the paper's AB: "defining a new behavior does
+    /// not affect the schema because behaviors don't become part of the
+    /// schema until after they are added as essential behaviors of some
+    /// type"). Names need not be unique — identity is the returned
+    /// [`PropId`].
+    pub fn add_property(&mut self, name: impl Into<String>) -> PropId {
+        let id = PropId::from_index(self.props.len());
+        self.props.push(PropRecord {
+            name: name.into(),
+            alive: true,
+        });
+        id
+    }
+
+    /// Rename a property (labels only; identity is unchanged).
+    pub fn rename_property(&mut self, p: PropId, name: impl Into<String>) -> Result<()> {
+        self.check_live_prop(p)?;
+        self.props[p.index()].name = name.into();
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Drop a property in its entirety (the paper's DB): it is removed from
+    /// the `N_e` of every type that declared it essential, then deleted from
+    /// the registry. Returns the types whose inputs were edited.
+    pub fn drop_property(&mut self, p: PropId) -> Result<Vec<TypeId>> {
+        self.check_live_prop(p)?;
+        let holders: Vec<TypeId> = self
+            .iter_types()
+            .filter(|&t| self.types[t.index()].ne.contains(&p))
+            .collect();
+        for &t in &holders {
+            self.types[t.index()].ne.remove(&p);
+        }
+        self.props[p.index()].alive = false;
+        if !holders.is_empty() {
+            engine::recompute_after_many(self, &holders, ChangeKind::PropsOnly);
+        }
+        self.bump_version();
+        Ok(holders)
+    }
+
+    // ------------------------------------------------------------------
+    // Type creation (AT)
+    // ------------------------------------------------------------------
+
+    /// Create the root type `⊤` of a rooted lattice. Must be the first step
+    /// on a [`crate::Rootedness::Rooted`] schema; rejected if a root exists.
+    /// On a forest, this simply creates a parentless type.
+    pub fn add_root_type(&mut self, name: impl Into<String>) -> Result<TypeId> {
+        let name = name.into();
+        if let Some(r) = self.root {
+            if self.config.is_rooted() {
+                return Err(SchemaError::RootAlreadyDesignated(r));
+            }
+        }
+        self.check_fresh_name(&name)?;
+        let t = self.push_type(name, Default::default(), Default::default());
+        if self.config.is_rooted() && self.root.is_none() {
+            self.root = Some(t);
+        }
+        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.bump_version();
+        Ok(t)
+    }
+
+    /// Create the base type `⊥` of a pointed lattice (TIGUKAT's `T_null`).
+    /// Every existing type becomes an essential supertype of the base ("all
+    /// types are essential supertypes of this base type", §3.3), and every
+    /// type created afterwards is added to `P_e(⊥)` automatically.
+    pub fn add_base_type(&mut self, name: impl Into<String>) -> Result<TypeId> {
+        if let Some(b) = self.base {
+            return Err(SchemaError::BaseAlreadyDesignated(b));
+        }
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        if self.config.is_rooted() && self.root.is_none() {
+            return Err(SchemaError::NoRoot);
+        }
+        let pe: std::collections::BTreeSet<TypeId> = self.iter_types().collect();
+        let pe = if pe.is_empty() {
+            // Forest with no types yet: a lone base.
+            pe
+        } else {
+            pe
+        };
+        let t = self.push_type(name, pe, Default::default());
+        self.base = Some(t);
+        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.bump_version();
+        Ok(t)
+    }
+
+    /// AT — create a new type with the given essential supertypes and
+    /// essential properties. "If no supertypes are specified, `T_object` is
+    /// assumed" (§3.3): on a rooted lattice an empty `supertypes` list
+    /// defaults to `{⊤}`. On a pointed lattice the new type is added to
+    /// `P_e(⊥)`.
+    pub fn add_type(
+        &mut self,
+        name: impl Into<String>,
+        supertypes: impl IntoIterator<Item = TypeId>,
+        properties: impl IntoIterator<Item = PropId>,
+    ) -> Result<TypeId> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let mut pe: std::collections::BTreeSet<TypeId> = Default::default();
+        for s in supertypes {
+            self.check_live(s)?;
+            if Some(s) == self.base && self.config.is_pointed() {
+                return Err(SchemaError::SubtypeOfBase(s));
+            }
+            pe.insert(s);
+        }
+        let mut ne: std::collections::BTreeSet<PropId> = Default::default();
+        for p in properties {
+            self.check_live_prop(p)?;
+            ne.insert(p);
+        }
+        if self.config.is_rooted() {
+            let root = self.root.ok_or(SchemaError::NoRoot)?;
+            if pe.is_empty() {
+                pe.insert(root);
+            }
+        }
+        let t = self.push_type(name, pe, ne);
+        let mut changed = vec![t];
+        if self.config.is_pointed() {
+            if let Some(b) = self.base {
+                self.types[b.index()].pe.insert(t);
+                changed.push(b);
+            }
+        }
+        engine::recompute_after_many(self, &changed, ChangeKind::Edges);
+        self.bump_version();
+        Ok(t)
+    }
+
+    /// Rename a type (Orion's OP8). Identity (`TypeId`) and all
+    /// relationships are unchanged — "there is no notion of renaming objects
+    /// in TIGUKAT because objects are created with a unique, immutable
+    /// object identity" (§5); the name here is merely a reference label.
+    pub fn rename_type(&mut self, t: TypeId, new_name: impl Into<String>) -> Result<()> {
+        let new_name = new_name.into();
+        self.check_live(t)?;
+        if self.type_name(t)? == new_name {
+            return Ok(());
+        }
+        self.check_fresh_name(&new_name)?;
+        let old = std::mem::replace(&mut self.types[t.index()].name, new_name.clone());
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name, t);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Mark a type as frozen: it can no longer be dropped or structurally
+    /// re-parented (TIGUKAT: "the primitive types of the model cannot be
+    /// dropped", §3.3). Property evolution remains allowed — the uniform
+    /// model lets users extend primitive types with new behaviors.
+    pub fn freeze_type(&mut self, t: TypeId) -> Result<()> {
+        self.slot_mut(t)?.frozen = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Type deletion (DT)
+    // ------------------------------------------------------------------
+
+    /// Validate the preconditions of [`Schema::drop_type`] without mutating
+    /// anything. Composite operations (e.g. TIGUKAT's DT, which also drops
+    /// the class and extent) call this first so the whole step is atomic.
+    pub fn check_droppable(&self, t: TypeId) -> Result<()> {
+        self.check_live(t)?;
+        if self.types[t.index()].frozen {
+            return Err(SchemaError::FrozenType(t));
+        }
+        if self.config.is_rooted() && Some(t) == self.root {
+            return Err(SchemaError::CannotDropRoot(t));
+        }
+        if self.config.is_pointed() && Some(t) == self.base {
+            return Err(SchemaError::CannotDropBase(t));
+        }
+        Ok(())
+    }
+
+    /// DT — drop a type: "the type is removed from `C_type` and from the
+    /// `P_e` of all subtypes of `t`" (§3.3). Subtypes stay attached to
+    /// whatever else they declared essential; under rootedness a subtype
+    /// whose `P_e` would become empty is re-linked to `⊤`. Essential
+    /// properties that were inherited through the dropped type are adopted
+    /// as native automatically by the Axiom of Nativeness. Returns the
+    /// types whose `P_e` was edited.
+    pub fn drop_type(&mut self, t: TypeId) -> Result<Vec<TypeId>> {
+        self.check_droppable(t)?;
+        let subtypes: Vec<TypeId> = self.essential_subtypes(t)?.into_iter().collect();
+        for &c in &subtypes {
+            self.types[c.index()].pe.remove(&t);
+            if self.types[c.index()].pe.is_empty() {
+                if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
+                    self.types[c.index()].pe.insert(root);
+                }
+            }
+        }
+        let slot = &mut self.types[t.index()];
+        slot.alive = false;
+        slot.pe.clear();
+        slot.ne.clear();
+        let name = slot.name.clone();
+        self.by_name.remove(&name);
+        self.derived[t.index()] = Default::default();
+        if !subtypes.is_empty() {
+            engine::recompute_after_many(self, &subtypes, ChangeKind::Edges);
+        }
+        self.bump_version();
+        Ok(subtypes)
+    }
+
+    // ------------------------------------------------------------------
+    // Subtype relationships (MT-ASR / MT-DSR)
+    // ------------------------------------------------------------------
+
+    /// MT-ASR — add `s` as an essential supertype of `t`. "Due to the axiom
+    /// of acyclicity, the addition of a type as a supertype of another type
+    /// is rejected if it introduces a cycle into the lattice" (§3.3).
+    /// Whether `s` also becomes an *immediate* supertype is decided by the
+    /// Axiom of Supertypes ("it is added to `P(t)` if and only if
+    /// `s ∉ PL(t)` [through another path]", §2).
+    pub fn add_essential_supertype(&mut self, t: TypeId, s: TypeId) -> Result<()> {
+        self.check_live(t)?;
+        self.check_live(s)?;
+        if t == s {
+            return Err(SchemaError::SelfSupertype(t));
+        }
+        if self.types[t.index()].frozen {
+            return Err(SchemaError::FrozenType(t));
+        }
+        if self.config.is_pointed() && Some(s) == self.base {
+            return Err(SchemaError::SubtypeOfBase(s));
+        }
+        if self.types[t.index()].pe.contains(&s) {
+            return Err(SchemaError::DuplicateSupertype {
+                subtype: t,
+                supertype: s,
+            });
+        }
+        // Cycle check: s must not already have t above it.
+        if self.derived[s.index()].pl.contains(&t) {
+            return Err(SchemaError::WouldCreateCycle {
+                subtype: t,
+                supertype: s,
+            });
+        }
+        self.types[t.index()].pe.insert(s);
+        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// MT-DSR — drop `s` as an essential supertype of `t`.
+    ///
+    /// On a rooted lattice, dropping the root edge is rejected when it is
+    /// the *last* essential supertype — that would disconnect `t` and break
+    /// the Axiom of Rootedness. A redundant direct root edge (other
+    /// essential supertypes remain, and each of them reaches `⊤` by the
+    /// rootedness invariant) may be dropped; Orion's OP4 relies on this.
+    /// TIGUKAT's stricter policy — "a subtype relationship to `T_object`
+    /// cannot be dropped" at all (§3.3) — is enforced by
+    /// `axiombase-tigukat`'s MT-DSR on top of this rule. If the drop empties
+    /// `P_e(t)`, the type is re-linked to `⊤` (rootedness preservation).
+    pub fn drop_essential_supertype(&mut self, t: TypeId, s: TypeId) -> Result<()> {
+        self.check_live(t)?;
+        self.check_live(s)?;
+        if self.types[t.index()].frozen {
+            return Err(SchemaError::FrozenType(t));
+        }
+        if !self.types[t.index()].pe.contains(&s) {
+            return Err(SchemaError::NotAnEssentialSupertype {
+                subtype: t,
+                supertype: s,
+            });
+        }
+        if self.config.is_rooted() && Some(s) == self.root && self.types[t.index()].pe.len() == 1 {
+            return Err(SchemaError::RootEdgeDrop { subtype: t });
+        }
+        if self.config.is_pointed() && Some(t) == self.base {
+            return Err(SchemaError::BaseEdgeDrop { supertype: s });
+        }
+        self.types[t.index()].pe.remove(&s);
+        if self.types[t.index()].pe.is_empty() {
+            if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
+                self.types[t.index()].pe.insert(root);
+            }
+        }
+        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.bump_version();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Essential properties (MT-AB / MT-DB)
+    // ------------------------------------------------------------------
+
+    /// MT-AB — add `p` to `N_e(t)`; `N`, `H`, `I` are recomputed. Returns
+    /// `true` if `N_e(t)` actually changed (re-adding is idempotent:
+    /// "defining an already inherited property on a type would not include
+    /// the property in `N`, but would include it in `N_e`", §2).
+    pub fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<bool> {
+        self.check_live(t)?;
+        self.check_live_prop(p)?;
+        let inserted = self.types[t.index()].ne.insert(p);
+        if inserted {
+            engine::recompute_after_many(self, &[t], ChangeKind::PropsOnly);
+            self.bump_version();
+        }
+        Ok(inserted)
+    }
+
+    /// Convenience: define a fresh property and add it as essential to `t`.
+    pub fn define_property_on(&mut self, t: TypeId, name: impl Into<String>) -> Result<PropId> {
+        self.check_live(t)?;
+        let p = self.add_property(name);
+        self.add_essential_property(t, p)?;
+        Ok(p)
+    }
+
+    /// MT-DB — remove `p` from `N_e(t)`; `N`, `H`, `I` are recomputed.
+    /// "Note that this may not actually remove `b` from the interface of `t`
+    /// because `b` may be inherited from one or more supertypes of `t`"
+    /// (§3.3). Dropping a property that is not essential on `t` is an error.
+    pub fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<()> {
+        self.check_live(t)?;
+        self.check_live_prop(p)?;
+        if !self.types[t.index()].ne.remove(&p) {
+            return Err(SchemaError::NotAnEssentialProperty { ty: t, prop: p });
+        }
+        engine::recompute_after_many(self, &[t], ChangeKind::PropsOnly);
+        self.bump_version();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn check_fresh_name(&self, name: &str) -> Result<()> {
+        match self.type_by_name(name) {
+            Some(_) => Err(SchemaError::DuplicateTypeName(name.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    fn push_type(
+        &mut self,
+        name: String,
+        pe: std::collections::BTreeSet<TypeId>,
+        ne: std::collections::BTreeSet<PropId>,
+    ) -> TypeId {
+        let t = TypeId::from_index(self.types.len());
+        self.by_name.insert(name.clone(), t);
+        self.types.push(TypeSlot {
+            name,
+            alive: true,
+            frozen: false,
+            pe,
+            ne,
+        });
+        self.derived.push(Default::default());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LatticeConfig, Pointedness, Rootedness};
+    use std::collections::BTreeSet;
+
+    fn rooted() -> (Schema, TypeId) {
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        (s, root)
+    }
+
+    #[test]
+    fn at_defaults_to_root_supertype() {
+        let (mut s, root) = rooted();
+        let t = s.add_type("A", [], []).unwrap();
+        assert_eq!(s.essential_supertypes(t).unwrap(), &BTreeSet::from([root]));
+        assert_eq!(s.immediate_supertypes(t).unwrap(), &BTreeSet::from([root]));
+    }
+
+    #[test]
+    fn at_requires_root_on_rooted_lattice() {
+        let mut s = Schema::new(LatticeConfig::default());
+        assert_eq!(s.add_type("A", [], []).unwrap_err(), SchemaError::NoRoot);
+    }
+
+    #[test]
+    fn second_root_rejected_when_rooted() {
+        let (mut s, root) = rooted();
+        assert_eq!(
+            s.add_root_type("again").unwrap_err(),
+            SchemaError::RootAlreadyDesignated(root)
+        );
+    }
+
+    #[test]
+    fn forest_allows_many_roots() {
+        let mut s = Schema::new(LatticeConfig::RELAXED);
+        let a = s.add_root_type("A").unwrap();
+        let b = s.add_root_type("B").unwrap();
+        assert_ne!(a, b);
+        assert!(s.root().is_none());
+        // Parentless add_type is fine on a forest.
+        let c = s.add_type("C", [], []).unwrap();
+        assert!(s.essential_supertypes(c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pointed_lattice_tracks_new_types_in_base() {
+        let mut s = Schema::new(LatticeConfig::TIGUKAT);
+        let root = s.add_root_type("T_object").unwrap();
+        let base = s.add_base_type("T_null").unwrap();
+        let a = s.add_type("A", [root], []).unwrap();
+        // AT adds the new type to P_e(T_null).
+        assert!(s.essential_supertypes(base).unwrap().contains(&a));
+        assert!(s.super_lattice(base).unwrap().contains(&a));
+        // Pointedness: base is below everything.
+        assert!(s.is_supertype_of(a, base).unwrap());
+        // And nothing may subtype the base.
+        assert_eq!(
+            s.add_type("B", [base], []).unwrap_err(),
+            SchemaError::SubtypeOfBase(base)
+        );
+    }
+
+    #[test]
+    fn cycle_rejected_and_schema_unchanged() {
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        let fp = s.fingerprint();
+        assert_eq!(
+            s.add_essential_supertype(a, b).unwrap_err(),
+            SchemaError::WouldCreateCycle {
+                subtype: a,
+                supertype: b
+            }
+        );
+        assert_eq!(s.fingerprint(), fp, "rejected op must not mutate");
+        assert_eq!(
+            s.add_essential_supertype(a, a).unwrap_err(),
+            SchemaError::SelfSupertype(a)
+        );
+    }
+
+    #[test]
+    fn root_edge_drop_rejected() {
+        let (mut s, root) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        assert_eq!(
+            s.drop_essential_supertype(a, root).unwrap_err(),
+            SchemaError::RootEdgeDrop { subtype: a }
+        );
+    }
+
+    #[test]
+    fn drop_last_non_root_supertype_relinks_to_root() {
+        let (mut s, root) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        s.drop_essential_supertype(b, a).unwrap();
+        assert_eq!(s.essential_supertypes(b).unwrap(), &BTreeSet::from([root]));
+    }
+
+    #[test]
+    fn drop_type_edits_subtype_inputs() {
+        let (mut s, root) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        let edited = s.drop_type(a).unwrap();
+        assert_eq!(edited, vec![b]);
+        assert!(!s.is_live(a));
+        assert_eq!(s.essential_supertypes(b).unwrap(), &BTreeSet::from([root]));
+        assert_eq!(s.type_by_name("A"), None);
+        // Dangling accessors error.
+        assert_eq!(s.super_lattice(a).unwrap_err(), SchemaError::UnknownType(a));
+    }
+
+    #[test]
+    fn drop_root_and_frozen_rejected() {
+        let (mut s, root) = rooted();
+        assert_eq!(
+            s.drop_type(root).unwrap_err(),
+            SchemaError::CannotDropRoot(root)
+        );
+        let a = s.add_type("A", [], []).unwrap();
+        s.freeze_type(a).unwrap();
+        assert_eq!(s.drop_type(a).unwrap_err(), SchemaError::FrozenType(a));
+        let b = s.add_type("B", [], []).unwrap();
+        assert_eq!(
+            s.add_essential_supertype(a, b).unwrap_err(),
+            SchemaError::FrozenType(a)
+        );
+        // Frozen types may still gain properties (uniform extensibility).
+        let p = s.add_property("x");
+        assert!(s.add_essential_property(a, p).unwrap());
+    }
+
+    #[test]
+    fn essential_property_adoption_on_supertype_drop() {
+        // The paper's §2 example: "taxBracket" defined on T_taxSource,
+        // declared essential on T_employee; deleting T_taxSource adopts it
+        // as native on T_employee.
+        let (mut s, _root) = rooted();
+        let tax = s.add_type("T_taxSource", [], []).unwrap();
+        let bracket = s.define_property_on(tax, "taxBracket").unwrap();
+        let employee = s.add_type("T_employee", [tax], []).unwrap();
+        s.add_essential_property(employee, bracket).unwrap();
+        assert!(s.inherited_properties(employee).unwrap().contains(&bracket));
+        assert!(!s.native_properties(employee).unwrap().contains(&bracket));
+        s.drop_type(tax).unwrap();
+        assert!(s.native_properties(employee).unwrap().contains(&bracket));
+        assert!(s.interface(employee).unwrap().contains(&bracket));
+    }
+
+    #[test]
+    fn drop_property_everywhere() {
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        let p = s.define_property_on(a, "x").unwrap();
+        s.add_essential_property(b, p).unwrap();
+        let holders = s.drop_property(p).unwrap();
+        assert_eq!(holders, vec![a, b]);
+        assert!(!s.is_live_prop(p));
+        assert!(!s.interface(b).unwrap().contains(&p));
+        assert_eq!(s.drop_property(p).unwrap_err(), SchemaError::UnknownProp(p));
+    }
+
+    #[test]
+    fn mt_db_keeps_inherited_property_visible() {
+        // "this may not actually remove b from the interface of t because b
+        // may be inherited" (§3.3).
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        let p = s.define_property_on(a, "x").unwrap();
+        s.add_essential_property(b, p).unwrap();
+        s.drop_essential_property(b, p).unwrap();
+        assert!(s.interface(b).unwrap().contains(&p), "still inherited");
+        // Dropping the defining link removes it entirely.
+        s.drop_essential_property(a, p).unwrap();
+        assert!(!s.interface(b).unwrap().contains(&p));
+    }
+
+    #[test]
+    fn rename_type_preserves_structure() {
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let fp_struct = s.super_lattice(a).unwrap().clone();
+        s.rename_type(a, "A2").unwrap();
+        assert_eq!(s.type_by_name("A2"), Some(a));
+        assert_eq!(s.type_by_name("A"), None);
+        assert_eq!(s.super_lattice(a).unwrap(), &fp_struct);
+        // Renaming to an existing name fails.
+        let b = s.add_type("B", [], []).unwrap();
+        assert_eq!(
+            s.rename_type(b, "A2").unwrap_err(),
+            SchemaError::DuplicateTypeName("A2".into())
+        );
+        // Renaming to own name is a no-op.
+        s.rename_type(b, "B").unwrap();
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let (mut s, root) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        assert_eq!(
+            s.add_essential_supertype(a, root).unwrap_err(),
+            SchemaError::DuplicateSupertype {
+                subtype: a,
+                supertype: root
+            }
+        );
+    }
+
+    #[test]
+    fn add_property_is_idempotent_on_readd() {
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let p = s.add_property("x");
+        assert!(s.add_essential_property(a, p).unwrap());
+        assert!(!s.add_essential_property(a, p).unwrap());
+        assert_eq!(
+            s.drop_essential_property(a, PropId::from_index(99))
+                .unwrap_err(),
+            SchemaError::UnknownProp(PropId::from_index(99))
+        );
+    }
+
+    #[test]
+    fn unpointed_unrooted_combo() {
+        let cfg = LatticeConfig {
+            rootedness: Rootedness::Forest,
+            pointedness: Pointedness::Open,
+        };
+        let mut s = Schema::new(cfg);
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        // Dropping the only supertype leaves B parentless on a forest.
+        s.drop_essential_supertype(b, a).unwrap();
+        assert!(s.essential_supertypes(b).unwrap().is_empty());
+    }
+}

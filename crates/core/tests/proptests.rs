@@ -1,0 +1,460 @@
+//! Property-based evidence for the paper's theorems and claims.
+//!
+//! * Theorems 2.1/2.2 (soundness & completeness): after any valid operation
+//!   trace, the engine-derived `P`, `PL`, `N`, `H`, `I` equal the
+//!   brute-force oracle's specification.
+//! * Engine agreement: the literal (naive) interpretation of Table 2 and
+//!   the incremental engine produce identical schemas on identical traces.
+//! * Axiom preservation: every reachable schema satisfies all nine axioms.
+//! * §5 order-independence: dropping a set of subtype edges produces the
+//!   same lattice under every order.
+//! * Snapshot round-trip: persistence preserves the observable schema.
+
+use axiombase_core::{oracle, EngineKind, LatticeConfig, PropId, Schema, SchemaError, TypeId};
+use proptest::prelude::*;
+
+/// An abstract operation with free indices; [`apply`] maps the indices onto
+/// live targets so most generated operations are applicable, and treats the
+/// paper's documented rejections as no-ops.
+#[derive(Debug, Clone)]
+enum Op {
+    AddType { parents: Vec<u8>, props: Vec<u8> },
+    NewProp,
+    AddEdge(u8, u8),
+    DropEdge(u8, u8),
+    AddProp(u8, u8),
+    DropProp(u8, u8),
+    DropType(u8),
+    DropPropertyEverywhere(u8),
+    Rename(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (proptest::collection::vec(any::<u8>(), 0..3), proptest::collection::vec(any::<u8>(), 0..3))
+            .prop_map(|(parents, props)| Op::AddType { parents, props }),
+        2 => Just(Op::NewProp),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::DropEdge(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddProp(a, b)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::DropProp(a, b)),
+        1 => any::<u8>().prop_map(Op::DropType),
+        1 => any::<u8>().prop_map(Op::DropPropertyEverywhere),
+        1 => any::<u8>().prop_map(Op::Rename),
+    ]
+}
+
+fn pick_type(s: &Schema, ix: u8) -> Option<TypeId> {
+    let live: Vec<TypeId> = s.iter_types().collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[ix as usize % live.len()])
+    }
+}
+
+fn pick_prop(s: &Schema, ix: u8) -> Option<PropId> {
+    let live: Vec<PropId> = s.iter_props().collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[ix as usize % live.len()])
+    }
+}
+
+/// Apply one abstract op; documented rejections (cycles, root-edge drops,
+/// duplicates, …) are tolerated, anything else would fail the test.
+fn apply(s: &mut Schema, op: &Op, counter: &mut u32) {
+    let tolerate = |r: Result<(), SchemaError>| match r {
+        Ok(())
+        | Err(SchemaError::WouldCreateCycle { .. })
+        | Err(SchemaError::SelfSupertype(_))
+        | Err(SchemaError::RootEdgeDrop { .. })
+        | Err(SchemaError::DuplicateSupertype { .. })
+        | Err(SchemaError::NotAnEssentialSupertype { .. })
+        | Err(SchemaError::NotAnEssentialProperty { .. })
+        | Err(SchemaError::CannotDropRoot(_))
+        | Err(SchemaError::CannotDropBase(_))
+        | Err(SchemaError::SubtypeOfBase(_))
+        | Err(SchemaError::BaseEdgeDrop { .. })
+        | Err(SchemaError::FrozenType(_)) => {}
+        Err(other) => panic!("unexpected rejection: {other}"),
+    };
+    match op {
+        Op::AddType { parents, props } => {
+            let ps: Vec<TypeId> = parents.iter().filter_map(|&i| pick_type(s, i)).collect();
+            let ns: Vec<PropId> = props.iter().filter_map(|&i| pick_prop(s, i)).collect();
+            *counter += 1;
+            let name = format!("ty_{counter}");
+            // Dedup parents via set semantics happens inside add_type.
+            tolerate(s.add_type(name, ps, ns).map(|_| ()));
+        }
+        Op::NewProp => {
+            *counter += 1;
+            let _ = s.add_property(format!("prop_{counter}"));
+        }
+        Op::AddEdge(a, b) => {
+            if let (Some(t), Some(sup)) = (pick_type(s, *a), pick_type(s, *b)) {
+                tolerate(s.add_essential_supertype(t, sup));
+            }
+        }
+        Op::DropEdge(a, b) => {
+            if let Some(t) = pick_type(s, *a) {
+                let pe: Vec<TypeId> = s.essential_supertypes(t).unwrap().iter().copied().collect();
+                if !pe.is_empty() {
+                    let sup = pe[*b as usize % pe.len()];
+                    tolerate(s.drop_essential_supertype(t, sup));
+                }
+            }
+        }
+        Op::AddProp(a, b) => {
+            if let (Some(t), Some(p)) = (pick_type(s, *a), pick_prop(s, *b)) {
+                tolerate(s.add_essential_property(t, p).map(|_| ()));
+            }
+        }
+        Op::DropProp(a, b) => {
+            if let Some(t) = pick_type(s, *a) {
+                let ne: Vec<PropId> = s.essential_properties(t).unwrap().iter().copied().collect();
+                if !ne.is_empty() {
+                    let p = ne[*b as usize % ne.len()];
+                    tolerate(s.drop_essential_property(t, p));
+                }
+            }
+        }
+        Op::DropType(a) => {
+            if let Some(t) = pick_type(s, *a) {
+                tolerate(s.drop_type(t).map(|_| ()));
+            }
+        }
+        Op::DropPropertyEverywhere(a) => {
+            if let Some(p) = pick_prop(s, *a) {
+                tolerate(s.drop_property(p).map(|_| ()));
+            }
+        }
+        Op::Rename(a) => {
+            if let Some(t) = pick_type(s, *a) {
+                *counter += 1;
+                tolerate(s.rename_type(t, format!("renamed_{counter}")));
+            }
+        }
+    }
+}
+
+fn build(config: LatticeConfig, engine: EngineKind, trace: &[Op]) -> Schema {
+    let mut s = Schema::with_engine(config, engine);
+    if config.is_rooted() {
+        s.add_root_type("T_object").unwrap();
+    }
+    if config.is_pointed() {
+        s.add_base_type("T_null").unwrap();
+    }
+    let mut counter = 0;
+    for op in trace {
+        apply(&mut s, op, &mut counter);
+    }
+    s
+}
+
+fn configs() -> impl Strategy<Value = LatticeConfig> {
+    prop_oneof![
+        Just(LatticeConfig::TIGUKAT),
+        Just(LatticeConfig::ORION),
+        Just(LatticeConfig::RELAXED),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorems 2.1 & 2.2: engine output equals the oracle specification on
+    /// every reachable schema (soundness = ⊆, completeness = ⊇; we check
+    /// equality).
+    #[test]
+    fn soundness_and_completeness(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let s = build(config, EngineKind::Incremental, &trace);
+        prop_assert!(oracle::check_schema(&s).is_empty());
+    }
+
+    /// Naive (spec) and incremental (optimized) engines agree on every trace.
+    #[test]
+    fn engines_agree(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let a = build(config, EngineKind::Naive, &trace);
+        let b = build(config, EngineKind::Incremental, &trace);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        let ids: Vec<TypeId> = a.iter_types().collect();
+        prop_assert_eq!(&ids, &b.iter_types().collect::<Vec<_>>());
+        for t in ids {
+            prop_assert_eq!(a.derived(t).unwrap(), b.derived(t).unwrap());
+        }
+    }
+
+    /// Every reachable schema satisfies all nine axioms.
+    #[test]
+    fn axioms_preserved(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let s = build(config, EngineKind::Incremental, &trace);
+        let violations = s.verify();
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// §5: "In TIGUKAT, the ordering is irrelevant and the same lattice is
+    /// produced no matter the order in which [edges] are dropped."
+    #[test]
+    fn edge_drops_are_order_independent(
+        trace in proptest::collection::vec(op_strategy(), 0..40),
+        picks in proptest::collection::vec((any::<u8>(), any::<u8>()), 2..5),
+        perm_seed in any::<u64>(),
+    ) {
+        let base = build(LatticeConfig::ORION, EngineKind::Incremental, &trace);
+        // Select distinct droppable edges (non-root) from the built schema.
+        let root = base.root();
+        let mut edges: Vec<(TypeId, TypeId)> = Vec::new();
+        for (a, b) in picks {
+            if let Some(t) = pick_type(&base, a) {
+                let pe: Vec<TypeId> =
+                    base.essential_supertypes(t).unwrap().iter().copied().collect();
+                if pe.is_empty() { continue; }
+                let sup = pe[b as usize % pe.len()];
+                if Some(sup) != root && !edges.contains(&(t, sup)) {
+                    edges.push((t, sup));
+                }
+            }
+        }
+        prop_assume!(edges.len() >= 2);
+
+        let drop_all = |order: &[(TypeId, TypeId)]| {
+            let mut s = base.clone();
+            for &(t, sup) in order {
+                // A drop may have become a no-op error if a prior drop
+                // emptied P_e(t) and re-linking replaced it; tolerate that —
+                // the *final* lattice equality is what the claim is about.
+                match s.drop_essential_supertype(t, sup) {
+                    Ok(())
+                    | Err(SchemaError::NotAnEssentialSupertype { .. })
+                    | Err(SchemaError::BaseEdgeDrop { .. }) => {}
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            s.fingerprint()
+        };
+
+        let forward = drop_all(&edges);
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, drop_all(&reversed));
+        // One pseudo-random permutation as well.
+        let mut perm = edges.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..perm.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        prop_assert_eq!(forward, drop_all(&perm));
+    }
+
+    /// Snapshot round-trip preserves the observable schema.
+    #[test]
+    fn snapshot_roundtrip(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..50),
+    ) {
+        let s = build(config, EngineKind::Incremental, &trace);
+        let r = Schema::from_snapshot(&s.to_snapshot()).unwrap();
+        prop_assert_eq!(s.fingerprint(), r.fingerprint());
+        prop_assert_eq!(s.type_count(), r.type_count());
+        prop_assert!(r.verify().is_empty());
+    }
+
+    /// Rejected operations never mutate the schema (failure atomicity),
+    /// probed by re-running each trace and attempting a forced failure after
+    /// every step.
+    #[test]
+    fn rejections_leave_schema_unchanged(
+        trace in proptest::collection::vec(op_strategy(), 0..30),
+    ) {
+        let mut s = Schema::with_engine(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+        s.add_root_type("T_object").unwrap();
+        s.add_base_type("T_null").unwrap();
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut s, op, &mut counter);
+            let fp = s.fingerprint();
+            let root = s.root().unwrap();
+            let base = s.base().unwrap();
+            // Forced rejections:
+            prop_assert!(s.drop_type(root).is_err());
+            prop_assert!(s.drop_type(base).is_err());
+            prop_assert!(s.add_essential_supertype(root, root).is_err());
+            let other = s.iter_types().find(|&t| t != root && t != base);
+            if let Some(t) = other {
+                let root_name = s.type_name(root).unwrap().to_string();
+                prop_assert!(s.add_type(root_name, [t], []).is_err());
+                // Cycle: root cannot become a subtype of t.
+                prop_assert!(s.add_essential_supertype(root, t).is_err());
+            }
+            prop_assert_eq!(s.fingerprint(), fp);
+        }
+    }
+}
+
+/// History ops mirror schema ops; drive a `History` with the same kind of
+/// randomized trace and check replay fidelity at every prefix.
+mod history_props {
+    use super::*;
+    use axiombase_core::History;
+
+    fn drive(h: &mut History, op: &Op, counter: &mut u32) {
+        // A compact mirror of `apply` over the recorded API (subset: the
+        // operations History exposes).
+        let live: Vec<TypeId> = h.schema().iter_types().collect();
+        let props: Vec<PropId> = h.schema().iter_props().collect();
+        let pick_t = |ix: u8| live.get(ix as usize % live.len().max(1)).copied();
+        let pick_p = |ix: u8| props.get(ix as usize % props.len().max(1)).copied();
+        match op {
+            Op::AddType { parents, props } => {
+                let ps: Vec<TypeId> = parents.iter().filter_map(|&i| pick_t(i)).collect();
+                let ns: Vec<PropId> = props.iter().filter_map(|&i| pick_p(i)).collect();
+                *counter += 1;
+                let _ = h.add_type(format!("h_{counter}"), ps, ns);
+            }
+            Op::NewProp => {
+                *counter += 1;
+                let _ = h.add_property(format!("hp_{counter}"));
+            }
+            Op::AddEdge(a, b) => {
+                if let (Some(t), Some(s)) = (pick_t(*a), pick_t(*b)) {
+                    let _ = h.add_essential_supertype(t, s);
+                }
+            }
+            Op::DropEdge(a, b) => {
+                if let Some(t) = pick_t(*a) {
+                    let pe: Vec<TypeId> = h
+                        .schema()
+                        .essential_supertypes(t)
+                        .unwrap()
+                        .iter()
+                        .copied()
+                        .collect();
+                    if !pe.is_empty() {
+                        let s = pe[*b as usize % pe.len()];
+                        let _ = h.drop_essential_supertype(t, s);
+                    }
+                }
+            }
+            Op::AddProp(a, b) => {
+                if let (Some(t), Some(p)) = (pick_t(*a), pick_p(*b)) {
+                    let _ = h.add_essential_property(t, p);
+                }
+            }
+            Op::DropProp(a, b) => {
+                if let Some(t) = pick_t(*a) {
+                    let ne: Vec<PropId> = h
+                        .schema()
+                        .essential_properties(t)
+                        .unwrap()
+                        .iter()
+                        .copied()
+                        .collect();
+                    if !ne.is_empty() {
+                        let _ = h.drop_essential_property(t, ne[*b as usize % ne.len()]);
+                    }
+                }
+            }
+            Op::DropType(a) => {
+                if let Some(t) = pick_t(*a) {
+                    let _ = h.drop_type(t);
+                }
+            }
+            Op::DropPropertyEverywhere(a) => {
+                if let Some(p) = pick_p(*a) {
+                    let _ = h.drop_property(p);
+                }
+            }
+            Op::Rename(a) => {
+                if let Some(t) = pick_t(*a) {
+                    *counter += 1;
+                    let _ = h.rename_type(t, format!("hr_{counter}"));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn replay_matches_live_at_every_prefix(
+            trace in proptest::collection::vec(op_strategy(), 0..40),
+        ) {
+            let mut h = History::new(LatticeConfig::ORION);
+            h.add_root_type("T_object").unwrap();
+            let mut counter = 0;
+            let mut checkpoints: Vec<(usize, u64)> = vec![(h.len(), h.schema().fingerprint())];
+            for op in &trace {
+                drive(&mut h, op, &mut counter);
+                checkpoints.push((h.len(), h.schema().fingerprint()));
+            }
+            // Full replay equals the live schema.
+            prop_assert_eq!(
+                h.as_of(h.len()).unwrap().fingerprint(),
+                h.schema().fingerprint()
+            );
+            // Every recorded checkpoint is reproducible.
+            for (v, fp) in checkpoints {
+                let replayed = h.as_of(v).unwrap();
+                prop_assert_eq!(replayed.fingerprint(), fp, "version {}", v);
+                prop_assert!(replayed.verify().is_empty());
+            }
+            // Undo to the midpoint, then verify the truncated history still
+            // replays.
+            let mid = h.len() / 2;
+            let expect = h.as_of(mid).unwrap().fingerprint();
+            h.undo_to(mid).unwrap();
+            prop_assert_eq!(h.schema().fingerprint(), expect);
+            prop_assert_eq!(h.as_of(h.len()).unwrap().fingerprint(), expect);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Projection commutes with derivation: for any reachable schema and any
+    /// seed set, every type kept by the projection has identical derived
+    /// state, and the projection satisfies the axioms.
+    #[test]
+    fn projection_commutes_with_derivation(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..40),
+        seeds in proptest::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let s = build(config, EngineKind::Incremental, &trace);
+        let live: Vec<TypeId> = s.iter_types().collect();
+        prop_assume!(!live.is_empty());
+        let chosen: Vec<TypeId> = seeds
+            .iter()
+            .map(|&i| live[i as usize % live.len()])
+            .collect();
+        let p = s.project(chosen.iter().copied()).unwrap();
+        for t in p.iter_types() {
+            prop_assert_eq!(s.derived(t).unwrap(), p.derived(t).unwrap());
+        }
+        prop_assert!(p.verify().is_empty());
+        prop_assert!(oracle::check_schema(&p).is_empty());
+        // The closure really is closed: every kept type's PL is kept.
+        for t in p.iter_types() {
+            for &sup in p.super_lattice(t).unwrap() {
+                prop_assert!(p.is_live(sup));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Round-trip tests for the feature-gated serde support (run with
+//! `--features serde`). serde_json is a dev-dependency only, used purely to
+//! exercise the derives; the crate's own persistence format is the text
+//! snapshot (`snapshot.rs`).
+#![cfg(feature = "serde")]
+
+use axiombase_core::{EngineKind, LatticeConfig, Schema};
+
+fn sample() -> Schema {
+    let mut s = Schema::with_engine(LatticeConfig::TIGUKAT, EngineKind::Naive);
+    let root = s.add_root_type("T_object").unwrap();
+    s.add_base_type("T_null").unwrap();
+    let a = s.add_type("A", [root], []).unwrap();
+    let p = s.define_property_on(a, "x").unwrap();
+    let b = s.add_type("B", [a], []).unwrap();
+    s.add_essential_property(b, p).unwrap();
+    s.freeze_type(a).unwrap();
+    s
+}
+
+#[test]
+fn schema_roundtrips_through_json() {
+    let s = sample();
+    let json = serde_json::to_string(&s).unwrap();
+    let r: Schema = serde_json::from_str(&json).unwrap();
+    assert_eq!(s.fingerprint(), r.fingerprint());
+    assert_eq!(s.engine(), r.engine());
+    assert_eq!(s.root(), r.root());
+    assert_eq!(s.base(), r.base());
+    assert!(r.verify().is_empty());
+    for t in s.iter_types() {
+        assert_eq!(s.derived(t).unwrap(), r.derived(t).unwrap());
+        assert_eq!(s.is_frozen(t), r.is_frozen(t));
+    }
+}
+
+#[test]
+fn ids_and_config_roundtrip() {
+    use axiombase_core::{PropId, TypeId};
+    let t = TypeId::from_index(5);
+    let p = PropId::from_index(7);
+    assert_eq!(
+        serde_json::from_str::<TypeId>(&serde_json::to_string(&t).unwrap()).unwrap(),
+        t
+    );
+    assert_eq!(
+        serde_json::from_str::<PropId>(&serde_json::to_string(&p).unwrap()).unwrap(),
+        p
+    );
+    let c = LatticeConfig::TIGUKAT;
+    assert_eq!(
+        serde_json::from_str::<LatticeConfig>(&serde_json::to_string(&c).unwrap()).unwrap(),
+        c
+    );
+}
+
+#[test]
+fn deserialized_schema_keeps_evolving() {
+    let s = sample();
+    let json = serde_json::to_string(&s).unwrap();
+    let mut r: Schema = serde_json::from_str(&json).unwrap();
+    let b = r.type_by_name("B").unwrap();
+    let c = r.add_type("C", [b], []).unwrap();
+    assert!(r.is_supertype_of(r.root().unwrap(), c).unwrap());
+    assert!(r.verify().is_empty());
+    assert!(axiombase_core::oracle::check_schema(&r).is_empty());
+}

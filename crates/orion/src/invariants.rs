@@ -1,0 +1,317 @@
+//! Orion's invariants.
+//!
+//! "The Orion model is the first system to introduce the invariants and
+//! rules approach as a structured way of describing schema evolution in
+//! OBMSs. Orion defines a complete set of invariants and a set of twelve
+//! accompanying rules for maintaining the invariants over schema changes"
+//! (§4, citing Banerjee et al., SIGMOD'87). The paper contrasts this
+//! informal style with its axiomatization; we implement the invariants as
+//! checkers so the reduction harness can show that (a) every schema
+//! reachable through OP1–OP8 satisfies them, and (b) they correspond to
+//! axioms of the formal model where the paper says they do (closure implied,
+//! acyclicity strict, rootedness with `⊤ = OBJECT`, pointedness relaxed).
+
+use std::collections::BTreeSet;
+
+use crate::model::{ClassId, OrionSchema};
+
+/// The classical Orion invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// Class-lattice invariant: the class structure is a connected DAG
+    /// rooted at `OBJECT` (subsumes the Axioms of Closure, Acyclicity, and
+    /// Rootedness).
+    ClassLattice,
+    /// Distinct-name invariant: class names are unique; property names are
+    /// unique within a class's local definitions.
+    DistinctName,
+    /// Distinct-identity (origin) invariant: every visible property has a
+    /// single defining class after conflict resolution.
+    DistinctOrigin,
+    /// Full-inheritance invariant: a class inherits every visible property
+    /// name of each superclass (conflicts resolved, never silently lost).
+    FullInheritance,
+    /// Domain-compatibility invariant: a local redefinition of an inherited
+    /// property name must narrow (or keep) the domain, where both domains
+    /// resolve to classes in the schema.
+    DomainCompatibility,
+}
+
+impl Invariant {
+    /// All invariants.
+    pub const ALL: [Invariant; 5] = [
+        Invariant::ClassLattice,
+        Invariant::DistinctName,
+        Invariant::DistinctOrigin,
+        Invariant::FullInheritance,
+        Invariant::DomainCompatibility,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::ClassLattice => "class lattice",
+            Invariant::DistinctName => "distinct name",
+            Invariant::DistinctOrigin => "distinct origin",
+            Invariant::FullInheritance => "full inheritance",
+            Invariant::DomainCompatibility => "domain compatibility",
+        }
+    }
+}
+
+/// A concrete invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant.
+    pub invariant: Invariant,
+    /// The class at which it manifests, if localisable.
+    pub at: Option<ClassId>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.at {
+            Some(c) => write!(
+                f,
+                "{} invariant violated at {c}: {}",
+                self.invariant.name(),
+                self.detail
+            ),
+            None => write!(
+                f,
+                "{} invariant violated: {}",
+                self.invariant.name(),
+                self.detail
+            ),
+        }
+    }
+}
+
+impl OrionSchema {
+    /// Check all Orion invariants; empty result = all hold.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        out.extend(self.check_class_lattice());
+        out.extend(self.check_distinct_name());
+        out.extend(self.check_distinct_origin());
+        out.extend(self.check_full_inheritance());
+        out.extend(self.check_domain_compatibility());
+        out
+    }
+
+    fn check_class_lattice(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        for c in self.iter_classes() {
+            // Acyclicity: c must not appear in a proper superclass's ancestry.
+            for &s in self.superclasses(c).expect("live") {
+                if !self.is_live(s) {
+                    out.push(InvariantViolation {
+                        invariant: Invariant::ClassLattice,
+                        at: Some(c),
+                        detail: format!("superclass {s} is not a live class (closure)"),
+                    });
+                    continue;
+                }
+                if self.ancestry(s).expect("live").contains(&c) {
+                    out.push(InvariantViolation {
+                        invariant: Invariant::ClassLattice,
+                        at: Some(c),
+                        detail: format!("cycle through superclass {s}"),
+                    });
+                }
+            }
+            // Rootedness: every class reaches OBJECT.
+            if c != self.object() && !self.ancestry(c).expect("live").contains(&self.object()) {
+                out.push(InvariantViolation {
+                    invariant: Invariant::ClassLattice,
+                    at: Some(c),
+                    detail: "class is disconnected from OBJECT".into(),
+                });
+            }
+        }
+        out
+    }
+
+    fn check_distinct_name(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for c in self.iter_classes() {
+            let name = self.class_name(c).expect("live");
+            if !names.insert(name) {
+                out.push(InvariantViolation {
+                    invariant: Invariant::DistinctName,
+                    at: Some(c),
+                    detail: format!("duplicate class name {name:?}"),
+                });
+            }
+            let mut local: BTreeSet<&str> = BTreeSet::new();
+            for p in self.local_properties(c).expect("live") {
+                if !local.insert(&p.name) {
+                    out.push(InvariantViolation {
+                        invariant: Invariant::DistinctName,
+                        at: Some(c),
+                        detail: format!("duplicate local property {:?}", p.name),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn check_distinct_origin(&self) -> Vec<InvariantViolation> {
+        // resolved_interface maps each name to exactly one origin by
+        // construction; verify the map is internally consistent with the
+        // local definitions (a local name must resolve to the class itself).
+        let mut out = Vec::new();
+        for c in self.iter_classes() {
+            let iface = self.resolved_interface(c).expect("live");
+            for p in self.local_properties(c).expect("live") {
+                match iface.get(&p.name) {
+                    Some(rp) if rp.origin == c => {}
+                    other => out.push(InvariantViolation {
+                        invariant: Invariant::DistinctOrigin,
+                        at: Some(c),
+                        detail: format!(
+                            "local property {:?} resolves to {:?} instead of the class itself",
+                            p.name,
+                            other.map(|r| r.origin)
+                        ),
+                    }),
+                }
+            }
+        }
+        out
+    }
+
+    fn check_full_inheritance(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        for c in self.iter_classes() {
+            let iface = self.resolved_interface(c).expect("live");
+            for &s in self.superclasses(c).expect("live") {
+                for name in self.resolved_interface(s).expect("live").keys() {
+                    if !iface.contains_key(name) {
+                        out.push(InvariantViolation {
+                            invariant: Invariant::FullInheritance,
+                            at: Some(c),
+                            detail: format!("property {name:?} of superclass {s} not inherited"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn check_domain_compatibility(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        for c in self.iter_classes() {
+            for p in self.local_properties(c).expect("live") {
+                // Does any superclass provide the same name?
+                for &s in self.superclasses(c).expect("live") {
+                    if let Some(rp) = self.resolved_interface(s).expect("live").get(&p.name) {
+                        let local_dom = self.class_by_name(&p.domain);
+                        let inherited_dom = self.class_by_name(&rp.prop.domain);
+                        if let (Some(ld), Some(id)) = (local_dom, inherited_dom) {
+                            let ok = ld == id || self.ancestry(ld).expect("live").contains(&id);
+                            if !ok {
+                                out.push(InvariantViolation {
+                                    invariant: Invariant::DomainCompatibility,
+                                    at: Some(c),
+                                    detail: format!(
+                                        "redefinition of {:?} widens domain {:?} to {:?}",
+                                        p.name, rp.prop.domain, p.domain
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OrionProp, OrionPropKind};
+
+    fn prop(name: &str, domain: &str) -> OrionProp {
+        OrionProp {
+            name: name.into(),
+            domain: domain.into(),
+            kind: OrionPropKind::Attribute,
+        }
+    }
+
+    #[test]
+    fn fresh_and_evolved_schemas_satisfy_invariants() {
+        let mut s = OrionSchema::new();
+        assert!(s.check_invariants().is_empty());
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        s.op1_add_property(a, prop("x", "OBJECT")).unwrap();
+        s.op1_add_property(b, prop("y", "A")).unwrap();
+        let root = s.object();
+        s.op3_add_edge(b, root).unwrap(); // redundant but legal direct edge
+        assert!(
+            s.check_invariants().is_empty(),
+            "{:?}",
+            s.check_invariants()
+        );
+    }
+
+    #[test]
+    fn narrowing_redefinition_is_compatible() {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        let holder = s.op6_add_class("H", None).unwrap();
+        let sub = s.op6_add_class("HSub", Some(holder)).unwrap();
+        s.op1_add_property(a, prop("x", "OBJECT")).unwrap();
+        // B narrows x's domain from OBJECT to H — compatible.
+        s.op1_add_property(b, prop("x", "H")).unwrap();
+        assert!(s.check_invariants().is_empty());
+        let _ = sub;
+    }
+
+    #[test]
+    fn widening_redefinition_violates_domain_compatibility() {
+        let mut s = OrionSchema::new();
+        let holder = s.op6_add_class("H", None).unwrap();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        s.op1_add_property(a, prop("x", "H")).unwrap();
+        // B widens x's domain from H to OBJECT — incompatible.
+        s.op1_add_property(b, prop("x", "OBJECT")).unwrap();
+        let v = s.check_invariants();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::DomainCompatibility);
+        assert_eq!(v[0].at, Some(b));
+        let _ = holder;
+    }
+
+    #[test]
+    fn forged_cycle_violates_class_lattice() {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        // Forge a cycle directly (OP3 would reject it).
+        s.classes[a.index()].supers.push(b);
+        let v = s.check_invariants();
+        assert!(v.iter().any(|x| x.invariant == Invariant::ClassLattice));
+    }
+
+    #[test]
+    fn op3_add_edge_direct_to_object_allowed() {
+        // Direct OBJECT edge alongside another path is legal Orion.
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        s.op3_add_edge(b, s.object()).unwrap();
+        assert!(s.check_invariants().is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! The Orion class model (Banerjee et al., SIGMOD'87), as characterised in
+//! §4 of the paper.
+//!
+//! Orion differs from the axiomatic model in exactly the ways §4 and §5
+//! call out:
+//!
+//! * superclasses are an **ordered list** ("the superclasses in Orion are
+//!   ordered for conflict resolution purposes") — here
+//!   [`OrionSchema::superclasses`];
+//! * "there is no notion of the minimal superclasses, `P`, in Orion", nor of
+//!   minimal native properties — a class's stored state is its full ordered
+//!   superclass list and its locally defined/redefined properties;
+//! * properties "have names and domains, which are used in conflict
+//!   resolution" — two inherited properties with the same name conflict and
+//!   the superclass order decides the winner;
+//! * the lattice is rooted at `OBJECT` (Axiom of Rootedness holds with
+//!   `⊤ = OBJECT`) but "the Axiom of Pointedness is relaxed".
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of an Orion class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        ClassId(u32::try_from(ix).expect("class arena exceeds u32::MAX"))
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Attribute or method — "stored properties and computed methods are
+/// separate concepts in Orion and need to be handled separately, while in
+/// TIGUKAT they are treated uniformly as behaviors" (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrionPropKind {
+    /// A stored instance variable.
+    Attribute,
+    /// A computed method.
+    Method,
+}
+
+/// A property defined (or redefined) locally on an Orion class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrionProp {
+    /// Name — the conflict-resolution key.
+    pub name: String,
+    /// Domain — the class name of allowed values (checked by the domain
+    /// compatibility invariant where resolvable).
+    pub domain: String,
+    /// Attribute or method.
+    pub kind: OrionPropKind,
+}
+
+/// A property as seen in a class's resolved interface: its defining class
+/// (origin) plus the definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedProp {
+    /// The class that defines this property locally.
+    pub origin: ClassId,
+    /// The definition.
+    pub prop: OrionProp,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ClassSlot {
+    pub(crate) name: String,
+    pub(crate) alive: bool,
+    /// Ordered superclass list (conflict-resolution order).
+    pub(crate) supers: Vec<ClassId>,
+    /// Locally defined/redefined properties.
+    pub(crate) props: Vec<OrionProp>,
+}
+
+/// Errors raised by Orion operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrionError {
+    /// Unknown or deleted class.
+    UnknownClass(ClassId),
+    /// Class name already in use.
+    DuplicateClassName(String),
+    /// Property name already defined locally on the class (distinct-name
+    /// invariant).
+    DuplicatePropertyName {
+        /// The class.
+        class: ClassId,
+        /// The clashing name.
+        name: String,
+    },
+    /// Property not defined locally on the class.
+    NoSuchProperty {
+        /// The class.
+        class: ClassId,
+        /// The missing name.
+        name: String,
+    },
+    /// OP3 rejected: the edge would create a cycle (class-lattice
+    /// invariant / Axiom of Acyclicity).
+    WouldCreateCycle {
+        /// Would-be subclass.
+        subclass: ClassId,
+        /// Would-be superclass.
+        superclass: ClassId,
+    },
+    /// The class is already a direct superclass.
+    DuplicateEdge {
+        /// Subclass.
+        subclass: ClassId,
+        /// Superclass already in the list.
+        superclass: ClassId,
+    },
+    /// The named class is not a direct superclass.
+    NotASuperclass {
+        /// Subclass.
+        subclass: ClassId,
+        /// The class that is not in its superclass list.
+        superclass: ClassId,
+    },
+    /// OP4 rejected: "if `S` is the last superclass of `C` and `S` is
+    /// OBJECT, the operation is rejected" (§4).
+    LastEdgeToObject {
+        /// The subclass that would be orphaned.
+        subclass: ClassId,
+    },
+    /// OBJECT itself cannot be dropped.
+    CannotDropRoot,
+    /// OBJECT is a system class and cannot be renamed.
+    CannotRenameRoot,
+    /// OP5 rejected: the supplied ordering is not a permutation of the
+    /// current superclass list.
+    BadOrdering {
+        /// The class being reordered.
+        class: ClassId,
+    },
+}
+
+impl std::fmt::Display for OrionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrionError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            OrionError::DuplicateClassName(n) => write!(f, "class name {n:?} already in use"),
+            OrionError::DuplicatePropertyName { class, name } => {
+                write!(f, "property {name:?} already defined on {class}")
+            }
+            OrionError::NoSuchProperty { class, name } => {
+                write!(f, "no local property {name:?} on {class}")
+            }
+            OrionError::WouldCreateCycle {
+                subclass,
+                superclass,
+            } => {
+                write!(f, "edge {subclass} -> {superclass} would create a cycle")
+            }
+            OrionError::DuplicateEdge {
+                subclass,
+                superclass,
+            } => {
+                write!(f, "{superclass} is already a superclass of {subclass}")
+            }
+            OrionError::NotASuperclass {
+                subclass,
+                superclass,
+            } => {
+                write!(f, "{superclass} is not a superclass of {subclass}")
+            }
+            OrionError::LastEdgeToObject { subclass } => {
+                write!(
+                    f,
+                    "cannot remove the last superclass edge of {subclass} to OBJECT"
+                )
+            }
+            OrionError::CannotDropRoot => write!(f, "OBJECT cannot be dropped"),
+            OrionError::CannotRenameRoot => write!(f, "OBJECT cannot be renamed"),
+            OrionError::BadOrdering { class } => {
+                write!(
+                    f,
+                    "ordering for {class} is not a permutation of its superclasses"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrionError {}
+
+/// Result alias for Orion operations.
+pub type Result<T, E = OrionError> = std::result::Result<T, E>;
+
+/// An Orion schema: classes with ordered superclass lists and named,
+/// domained properties.
+#[derive(Debug, Clone)]
+pub struct OrionSchema {
+    pub(crate) classes: Vec<ClassSlot>,
+    pub(crate) by_name: HashMap<String, ClassId>,
+    pub(crate) root: ClassId,
+}
+
+impl Default for OrionSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrionSchema {
+    /// Create a schema containing only the root class `OBJECT`.
+    pub fn new() -> Self {
+        let mut by_name = HashMap::new();
+        by_name.insert("OBJECT".to_string(), ClassId(0));
+        OrionSchema {
+            classes: vec![ClassSlot {
+                name: "OBJECT".to_string(),
+                alive: true,
+                supers: Vec::new(),
+                props: Vec::new(),
+            }],
+            by_name,
+            root: ClassId(0),
+        }
+    }
+
+    /// The root class `OBJECT`.
+    #[inline]
+    pub fn object(&self) -> ClassId {
+        self.root
+    }
+
+    /// Number of live classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.iter().filter(|c| c.alive).count()
+    }
+
+    /// Iterate over live classes in creation order.
+    pub fn iter_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, _)| ClassId::from_index(i))
+    }
+
+    /// Is the class live?
+    pub fn is_live(&self, c: ClassId) -> bool {
+        self.classes.get(c.index()).is_some_and(|s| s.alive)
+    }
+
+    /// Class name.
+    pub fn class_name(&self, c: ClassId) -> Result<&str> {
+        self.slot(c).map(|s| s.name.as_str())
+    }
+
+    /// Look up a live class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied().filter(|&c| self.is_live(c))
+    }
+
+    /// The ordered superclass list of `c` (the reduction's `P_e`, ordered).
+    pub fn superclasses(&self, c: ClassId) -> Result<&[ClassId]> {
+        self.slot(c).map(|s| s.supers.as_slice())
+    }
+
+    /// The locally defined/redefined properties of `c` (the reduction's
+    /// `N_e`).
+    pub fn local_properties(&self, c: ClassId) -> Result<&[OrionProp]> {
+        self.slot(c).map(|s| s.props.as_slice())
+    }
+
+    /// Direct subclasses of `c`.
+    pub fn subclasses(&self, c: ClassId) -> Result<Vec<ClassId>> {
+        self.slot(c)?;
+        Ok(self
+            .iter_classes()
+            .filter(|&x| self.classes[x.index()].supers.contains(&c))
+            .collect())
+    }
+
+    /// All superclasses of `c`, transitively, including `c` (the analogue of
+    /// `PL`). There is "no explicit superclass lattice in Orion, but it is
+    /// implied by the superclass relationships" (§4).
+    pub fn ancestry(&self, c: ClassId) -> Result<BTreeSet<ClassId>> {
+        self.slot(c)?;
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![c];
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) {
+                stack.extend(self.classes[x.index()].supers.iter().copied());
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Every property reachable by `c` **before** name-conflict masking:
+    /// local properties plus the full properties of every superclass, keyed
+    /// by `(origin, name)`. This is the set the axiomatic interface `I(t)`
+    /// corresponds to under the reduction.
+    pub fn full_properties(&self, c: ClassId) -> Result<BTreeSet<(ClassId, String)>> {
+        let mut out = BTreeSet::new();
+        for a in self.ancestry(c)? {
+            for p in &self.classes[a.index()].props {
+                out.insert((a, p.name.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The conflict-resolved (visible) interface of `c`: "local definitions
+    /// override inherited ones; conflicts among superclasses are resolved by
+    /// the superclass order" — the first superclass in the ordered list that
+    /// provides a name wins.
+    pub fn resolved_interface(&self, c: ClassId) -> Result<BTreeMap<String, ResolvedProp>> {
+        self.slot(c)?;
+        let mut on_path = BTreeSet::new();
+        Ok(self.resolved_interface_inner(c, &mut on_path))
+    }
+
+    /// Recursive resolution with a visited guard so that invariant checkers
+    /// can run it on *forged* cyclic graphs without diverging (a cycle is
+    /// reported by the class-lattice invariant, not by a stack overflow).
+    fn resolved_interface_inner(
+        &self,
+        c: ClassId,
+        visited: &mut BTreeSet<ClassId>,
+    ) -> BTreeMap<String, ResolvedProp> {
+        let mut out: BTreeMap<String, ResolvedProp> = BTreeMap::new();
+        if !visited.insert(c) {
+            return out;
+        }
+        // Local definitions first: they always win.
+        for p in &self.classes[c.index()].props {
+            out.insert(
+                p.name.clone(),
+                ResolvedProp {
+                    origin: c,
+                    prop: p.clone(),
+                },
+            );
+        }
+        // Then superclasses in order; earlier superclasses win conflicts.
+        for &s in &self.classes[c.index()].supers {
+            if !self.is_live(s) {
+                continue; // closure violation, reported by the invariant
+            }
+            for (name, rp) in self.resolved_interface_inner(s, visited) {
+                out.entry(name).or_insert(rp);
+            }
+        }
+        out
+    }
+
+    /// The inherited part of the resolved interface (visible properties not
+    /// defined locally).
+    pub fn resolved_inherited(&self, c: ClassId) -> Result<BTreeMap<String, ResolvedProp>> {
+        let mut all = self.resolved_interface(c)?;
+        all.retain(|_, rp| rp.origin != c);
+        Ok(all)
+    }
+
+    /// A structural fingerprint (names, ordered superclass lists, local
+    /// properties, resolved interfaces) for order-dependence experiments.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for c in self.iter_classes() {
+            let slot = &self.classes[c.index()];
+            slot.name.hash(&mut h);
+            slot.supers.hash(&mut h);
+            for p in &slot.props {
+                p.name.hash(&mut h);
+                p.domain.hash(&mut h);
+            }
+            for (name, rp) in self.resolved_interface(c).expect("live class") {
+                name.hash(&mut h);
+                rp.origin.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    pub(crate) fn slot(&self, c: ClassId) -> Result<&ClassSlot> {
+        match self.classes.get(c.index()) {
+            Some(s) if s.alive => Ok(s),
+            _ => Err(OrionError::UnknownClass(c)),
+        }
+    }
+
+    pub(crate) fn slot_mut(&mut self, c: ClassId) -> Result<&mut ClassSlot> {
+        match self.classes.get_mut(c.index()) {
+            Some(s) if s.alive => Ok(s),
+            _ => Err(OrionError::UnknownClass(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::tests_support::*;
+
+    #[test]
+    fn new_schema_has_object_root() {
+        let s = OrionSchema::new();
+        assert_eq!(s.class_count(), 1);
+        assert_eq!(s.class_name(s.object()).unwrap(), "OBJECT");
+        assert_eq!(s.class_by_name("OBJECT"), Some(s.object()));
+        assert!(s.superclasses(s.object()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ancestry_is_reflexive_transitive() {
+        let (s, ids) = diamond();
+        let [a, b, c] = [ids["A"], ids["B"], ids["C"]];
+        let anc = s.ancestry(c).unwrap();
+        assert!(anc.contains(&c) && anc.contains(&a) && anc.contains(&b));
+        assert!(anc.contains(&s.object()));
+        assert_eq!(anc.len(), 4);
+    }
+
+    #[test]
+    fn conflict_resolution_prefers_first_superclass() {
+        // A and B both define "x"; C lists [A, B] so A's x wins.
+        let (s, ids) = diamond_with_conflict();
+        let [a, _b, c] = [ids["A"], ids["B"], ids["C"]];
+        let iface = s.resolved_interface(c).unwrap();
+        assert_eq!(iface["x"].origin, a);
+        // But the full (unmasked) property set sees both.
+        assert_eq!(
+            s.full_properties(c)
+                .unwrap()
+                .iter()
+                .filter(|(_, n)| n == "x")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn local_definition_shadows_inherited() {
+        let (mut s, ids) = diamond_with_conflict();
+        let c = ids["C"];
+        s.op1_add_property(
+            c,
+            OrionProp {
+                name: "x".into(),
+                domain: "OBJECT".into(),
+                kind: OrionPropKind::Attribute,
+            },
+        )
+        .unwrap();
+        let iface = s.resolved_interface(c).unwrap();
+        assert_eq!(iface["x"].origin, c);
+        assert!(!s.resolved_inherited(c).unwrap().contains_key("x"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Orion's eight fundamental schema-change operations (§4).
+//!
+//! "Orion defines eight fundamental operations that are declared as being
+//! inclusive of all 'interesting' schema changes." Each method below
+//! implements the native Orion semantics exactly as the paper states it —
+//! including the OP4 relink algorithm whose order-dependence §5 contrasts
+//! with the axiomatic model.
+
+use crate::model::{ClassId, ClassSlot, OrionError, OrionProp, OrionSchema, Result};
+
+impl OrionSchema {
+    /// OP1 — "Add a new property `v` to a class `C`: Add `v` to `N_e(C)`.
+    /// ... The same operation is performed whether `v` is an attribute or a
+    /// method." Rejected if a property of that name is already defined
+    /// locally (distinct-name invariant); shadowing an *inherited* name is
+    /// allowed and resolved by conflict resolution.
+    pub fn op1_add_property(&mut self, c: ClassId, prop: OrionProp) -> Result<()> {
+        let slot = self.slot(c)?;
+        if slot.props.iter().any(|p| p.name == prop.name) {
+            return Err(OrionError::DuplicatePropertyName {
+                class: c,
+                name: prop.name,
+            });
+        }
+        self.slot_mut(c)?.props.push(prop);
+        Ok(())
+    }
+
+    /// OP2 — "Drop an existing property `v` from a class `C`: Drop `v` from
+    /// `N_e(C)`. Perform conflict resolution as necessary." Only locally
+    /// defined properties can be dropped; a previously shadowed inherited
+    /// property becomes visible again through conflict resolution.
+    pub fn op2_drop_property(&mut self, c: ClassId, name: &str) -> Result<OrionProp> {
+        let slot = self.slot_mut(c)?;
+        match slot.props.iter().position(|p| p.name == name) {
+            Some(ix) => Ok(slot.props.remove(ix)),
+            None => Err(OrionError::NoSuchProperty {
+                class: c,
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// OP3 — "Add an edge to make class `S` a superclass of class `C`: Add
+    /// `S` to the end of ordered `P_e(C)`. ... If the Axiom of Acyclicity is
+    /// violated, the operation is rejected."
+    pub fn op3_add_edge(&mut self, c: ClassId, s: ClassId) -> Result<()> {
+        self.slot(s)?;
+        let slot = self.slot(c)?;
+        if slot.supers.contains(&s) {
+            return Err(OrionError::DuplicateEdge {
+                subclass: c,
+                superclass: s,
+            });
+        }
+        if self.ancestry(s)?.contains(&c) {
+            return Err(OrionError::WouldCreateCycle {
+                subclass: c,
+                superclass: s,
+            });
+        }
+        self.slot_mut(c)?.supers.push(s);
+        Ok(())
+    }
+
+    /// OP4 — "Drop an edge to remove class `S` as a superclass of class `C`:
+    /// Remove `S` from `P_e(C)` **unless** `S` is the last superclass of
+    /// `C`, in which case `C` is linked to the superclasses of `S`. If `S`
+    /// is the last superclass of `C` and `S` is OBJECT, the operation is
+    /// rejected" (§4, verbatim algorithm).
+    ///
+    /// The relink step is what makes Orion's edge drops order-dependent
+    /// (§5): the lattice that results from dropping several edges depends on
+    /// which drop happens to be "last" for a class.
+    pub fn op4_drop_edge(&mut self, c: ClassId, s: ClassId) -> Result<()> {
+        let slot = self.slot(c)?;
+        if !slot.supers.contains(&s) {
+            return Err(OrionError::NotASuperclass {
+                subclass: c,
+                superclass: s,
+            });
+        }
+        if slot.supers.len() == 1 {
+            // Last superclass of C?
+            if s == self.object() {
+                return Err(OrionError::LastEdgeToObject { subclass: c });
+            }
+            // Link C to the superclasses of S.
+            let inherited_supers = self.slot(s)?.supers.clone();
+            self.slot_mut(c)?.supers = inherited_supers;
+        } else {
+            self.slot_mut(c)?.supers.retain(|&x| x != s);
+        }
+        Ok(())
+    }
+
+    /// OP5 — "Change the ordering of superclasses of a class `C`: Simply
+    /// change the ordering of classes in `P_e(C)`." The new order must be a
+    /// permutation of the current list.
+    pub fn op5_reorder_superclasses(&mut self, c: ClassId, order: Vec<ClassId>) -> Result<()> {
+        let slot = self.slot(c)?;
+        let mut cur: Vec<ClassId> = slot.supers.clone();
+        let mut proposed = order.clone();
+        cur.sort();
+        proposed.sort();
+        if cur != proposed {
+            return Err(OrionError::BadOrdering { class: c });
+        }
+        self.slot_mut(c)?.supers = order;
+        Ok(())
+    }
+
+    /// OP6 — "Add a new class `C` as the subclass of a class `S`: Create `C`
+    /// and add `S` to `P_e(C)`. If `S` is not specified, then `S = OBJECT`
+    /// by default. In Orion, additional superclasses can be added to `C`
+    /// using OP3."
+    pub fn op6_add_class(&mut self, name: &str, s: Option<ClassId>) -> Result<ClassId> {
+        let sup = match s {
+            Some(x) => {
+                self.slot(x)?;
+                x
+            }
+            None => self.object(),
+        };
+        if self.class_by_name(name).is_some() {
+            return Err(OrionError::DuplicateClassName(name.to_string()));
+        }
+        let c = ClassId::from_index(self.classes.len());
+        self.by_name.insert(name.to_string(), c);
+        self.classes.push(ClassSlot {
+            name: name.to_string(),
+            alive: true,
+            supers: vec![sup],
+            props: Vec::new(),
+        });
+        Ok(c)
+    }
+
+    /// OP7 — "Drop an existing class `S`: For all subclasses `C` of `S`,
+    /// remove `S` as a superclass of `C` using OP4." OBJECT cannot be
+    /// dropped.
+    pub fn op7_drop_class(&mut self, s: ClassId) -> Result<()> {
+        self.slot(s)?;
+        if s == self.object() {
+            return Err(OrionError::CannotDropRoot);
+        }
+        for c in self.subclasses(s)? {
+            // OP4 can only fail here when S is the last superclass AND S is
+            // OBJECT — impossible since s != OBJECT.
+            self.op4_drop_edge(c, s)
+                .expect("OP4 cannot fail for non-OBJECT");
+        }
+        let slot = &mut self.classes[s.index()];
+        slot.alive = false;
+        let name = slot.name.clone();
+        slot.supers.clear();
+        slot.props.clear();
+        self.by_name.remove(&name);
+        Ok(())
+    }
+
+    /// OP8 — "Change the name of a class `C`: Change every occurrence of `C`
+    /// in the `P_e`'s of the various classes to the new name." With
+    /// identity-based references the relationships are untouched; only the
+    /// label changes (the contrast §5 draws with TIGUKAT's immutable
+    /// identities).
+    pub fn op8_rename_class(&mut self, c: ClassId, new_name: &str) -> Result<()> {
+        self.slot(c)?;
+        if c == self.object() {
+            return Err(OrionError::CannotRenameRoot);
+        }
+        if self.class_name(c)? == new_name {
+            return Ok(());
+        }
+        if self.class_by_name(new_name).is_some() {
+            return Err(OrionError::DuplicateClassName(new_name.to_string()));
+        }
+        let old = std::mem::replace(&mut self.classes[c.index()].name, new_name.to_string());
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name.to_string(), c);
+        Ok(())
+    }
+}
+
+/// Builders shared by the crate's unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::model::OrionPropKind;
+    use std::collections::HashMap;
+
+    /// OBJECT ← A, B; C ⊑ A, B (ordered [A, B]).
+    pub fn diamond() -> (OrionSchema, HashMap<&'static str, ClassId>) {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", None).unwrap();
+        let c = s.op6_add_class("C", Some(a)).unwrap();
+        s.op3_add_edge(c, b).unwrap();
+        let mut ids = HashMap::new();
+        ids.insert("A", a);
+        ids.insert("B", b);
+        ids.insert("C", c);
+        (s, ids)
+    }
+
+    /// The diamond with homonymous properties "x" on A and B.
+    pub fn diamond_with_conflict() -> (OrionSchema, HashMap<&'static str, ClassId>) {
+        let (mut s, ids) = diamond();
+        for k in ["A", "B"] {
+            s.op1_add_property(
+                ids[k],
+                OrionProp {
+                    name: "x".into(),
+                    domain: "OBJECT".into(),
+                    kind: OrionPropKind::Attribute,
+                },
+            )
+            .unwrap();
+        }
+        (s, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::*;
+    use super::*;
+    use crate::model::OrionPropKind;
+
+    fn prop(name: &str) -> OrionProp {
+        OrionProp {
+            name: name.into(),
+            domain: "OBJECT".into(),
+            kind: OrionPropKind::Attribute,
+        }
+    }
+
+    #[test]
+    fn op1_rejects_local_duplicates_allows_shadowing() {
+        let (mut s, ids) = diamond_with_conflict();
+        let c = ids["C"];
+        s.op1_add_property(c, prop("x")).unwrap(); // shadows inherited
+        assert!(matches!(
+            s.op1_add_property(c, prop("x")),
+            Err(OrionError::DuplicatePropertyName { .. })
+        ));
+    }
+
+    #[test]
+    fn op2_unshadows_inherited() {
+        let (mut s, ids) = diamond_with_conflict();
+        let (a, c) = (ids["A"], ids["C"]);
+        s.op1_add_property(c, prop("x")).unwrap();
+        assert_eq!(s.resolved_interface(c).unwrap()["x"].origin, c);
+        s.op2_drop_property(c, "x").unwrap();
+        assert_eq!(s.resolved_interface(c).unwrap()["x"].origin, a);
+        assert!(matches!(
+            s.op2_drop_property(c, "nope"),
+            Err(OrionError::NoSuchProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn op3_rejects_cycles_and_duplicates() {
+        let (mut s, ids) = diamond();
+        let (a, c) = (ids["A"], ids["C"]);
+        assert!(matches!(
+            s.op3_add_edge(a, c),
+            Err(OrionError::WouldCreateCycle { .. })
+        ));
+        assert!(matches!(
+            s.op3_add_edge(c, a),
+            Err(OrionError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn op4_simple_removal_when_not_last() {
+        let (mut s, ids) = diamond();
+        let (a, b, c) = (ids["A"], ids["B"], ids["C"]);
+        s.op4_drop_edge(c, a).unwrap();
+        assert_eq!(s.superclasses(c).unwrap(), &[b]);
+    }
+
+    #[test]
+    fn op4_relinks_to_superclasses_of_last() {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        let b = s.op6_add_class("B", Some(a)).unwrap();
+        let c = s.op6_add_class("C", Some(b)).unwrap();
+        // B is the last superclass of C; dropping it relinks C to supers(B) = [A].
+        s.op4_drop_edge(c, b).unwrap();
+        assert_eq!(s.superclasses(c).unwrap(), &[a]);
+    }
+
+    #[test]
+    fn op4_rejects_last_edge_to_object() {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        assert_eq!(
+            s.op4_drop_edge(a, s.object()).unwrap_err(),
+            OrionError::LastEdgeToObject { subclass: a }
+        );
+    }
+
+    #[test]
+    fn op4_order_dependence_demonstrated() {
+        // §5: "Dropping a series of edges in Orion can produce a different
+        // lattice depending on the order in which the edges are dropped."
+        let build = || {
+            let mut s = OrionSchema::new();
+            let pa = s.op6_add_class("PA", None).unwrap();
+            let pb = s.op6_add_class("PB", None).unwrap();
+            let a = s.op6_add_class("A", Some(pa)).unwrap();
+            let b = s.op6_add_class("B", Some(pb)).unwrap();
+            let c = s.op6_add_class("C", Some(a)).unwrap();
+            s.op3_add_edge(c, b).unwrap();
+            (s, a, b, c, pa, pb)
+        };
+        // Order 1: drop (C,A) then (C,B) → relink to supers(B) = [PB].
+        let (mut s1, a1, b1, c1, _pa1, pb1) = build();
+        s1.op4_drop_edge(c1, a1).unwrap();
+        s1.op4_drop_edge(c1, b1).unwrap();
+        assert_eq!(s1.superclasses(c1).unwrap(), &[pb1]);
+        // Order 2: drop (C,B) then (C,A) → relink to supers(A) = [PA].
+        let (mut s2, a2, b2, c2, pa2, _pb2) = build();
+        s2.op4_drop_edge(c2, b2).unwrap();
+        s2.op4_drop_edge(c2, a2).unwrap();
+        assert_eq!(s2.superclasses(c2).unwrap(), &[pa2]);
+        assert_ne!(s1.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn op5_reorder_changes_conflict_winner() {
+        let (mut s, ids) = diamond_with_conflict();
+        let (a, b, c) = (ids["A"], ids["B"], ids["C"]);
+        assert_eq!(s.resolved_interface(c).unwrap()["x"].origin, a);
+        s.op5_reorder_superclasses(c, vec![b, a]).unwrap();
+        assert_eq!(s.resolved_interface(c).unwrap()["x"].origin, b);
+        assert!(matches!(
+            s.op5_reorder_superclasses(c, vec![a]),
+            Err(OrionError::BadOrdering { .. })
+        ));
+    }
+
+    #[test]
+    fn op6_defaults_to_object() {
+        let mut s = OrionSchema::new();
+        let a = s.op6_add_class("A", None).unwrap();
+        assert_eq!(s.superclasses(a).unwrap(), &[s.object()]);
+        assert!(matches!(
+            s.op6_add_class("A", None),
+            Err(OrionError::DuplicateClassName(_))
+        ));
+    }
+
+    #[test]
+    fn op7_drop_class_uses_op4_per_subclass() {
+        let (mut s, ids) = diamond();
+        let (a, b, c) = (ids["A"], ids["B"], ids["C"]);
+        s.op7_drop_class(a).unwrap();
+        assert!(!s.is_live(a));
+        // C had [A, B]; A was not last, so C keeps [B].
+        assert_eq!(s.superclasses(c).unwrap(), &[b]);
+        assert_eq!(
+            s.op7_drop_class(s.object()).unwrap_err(),
+            OrionError::CannotDropRoot
+        );
+        // Drop B too: B is last for C, relink to supers(B) = [OBJECT].
+        s.op7_drop_class(b).unwrap();
+        assert_eq!(s.superclasses(c).unwrap(), &[s.object()]);
+    }
+
+    #[test]
+    fn op8_rename_only_changes_label() {
+        let (mut s, ids) = diamond();
+        let c = ids["C"];
+        let anc = s.ancestry(c).unwrap();
+        s.op8_rename_class(c, "C2").unwrap();
+        assert_eq!(s.class_by_name("C2"), Some(c));
+        assert_eq!(s.class_by_name("C"), None);
+        assert_eq!(s.ancestry(c).unwrap(), anc);
+        assert!(matches!(
+            s.op8_rename_class(c, "A"),
+            Err(OrionError::DuplicateClassName(_))
+        ));
+    }
+}

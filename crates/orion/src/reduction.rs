@@ -1,0 +1,609 @@
+//! Reduction of Orion to the axiomatic model (§4).
+//!
+//! "In mapping the Orion class structure to the axiomatic model, `P_e`
+//! represents the superclasses of an Orion class ... `N_e` represents the
+//! defined or redefined properties of an Orion class." Orion property
+//! identity is `(origin class, name)` — names and domains "can be part of
+//! the semantics, which in turn can be used for conflict resolution".
+//!
+//! Two artifacts are provided:
+//!
+//! * [`reduce`] — a static reduction: map a whole [`OrionSchema`] onto a
+//!   fresh axiomatic [`Schema`] (Orion's lattice configuration: rooted at
+//!   `OBJECT`, pointedness relaxed).
+//! * [`OrionOp`] + [`ReducedOrion::apply`] — the dynamic reduction: each of
+//!   OP1–OP8 applied simultaneously to a native Orion schema and to its
+//!   axiomatic image through the §4 operation mappings, with
+//!   [`ReducedOrion::check_equivalence`] verifying after every step that the
+//!   two agree. "Since each of the fundamental operations have an equivalent
+//!   semantics in the axiomatic model, the soundness and completeness of
+//!   these operations are preserved. Thus, Orion is reducible to the
+//!   axiomatic model."
+//!
+//! The converse reduction is impossible — "Orion does not maintain minimal
+//! superclasses or native properties of classes" — which the
+//! `sec5_minimality` harness quantifies.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use axiombase_core::{LatticeConfig, PropId, Schema, SchemaError, TypeId};
+
+use crate::model::{ClassId, OrionError, OrionProp, OrionSchema, Result};
+
+/// An Orion fundamental operation (OP1–OP8), as data, so the same trace can
+/// drive both the native and the reduced system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrionOp {
+    /// OP1 — add property to class.
+    AddProperty {
+        /// Target class.
+        class: ClassId,
+        /// The property definition.
+        prop: OrionProp,
+    },
+    /// OP2 — drop property from class.
+    DropProperty {
+        /// Target class.
+        class: ClassId,
+        /// Local property name.
+        name: String,
+    },
+    /// OP3 — add superclass edge.
+    AddEdge {
+        /// Subclass.
+        class: ClassId,
+        /// New superclass (appended to the ordered list).
+        superclass: ClassId,
+    },
+    /// OP4 — drop superclass edge (with the relink algorithm).
+    DropEdge {
+        /// Subclass.
+        class: ClassId,
+        /// Superclass to remove.
+        superclass: ClassId,
+    },
+    /// OP5 — reorder superclasses.
+    Reorder {
+        /// Target class.
+        class: ClassId,
+        /// Permutation of the current superclass list.
+        order: Vec<ClassId>,
+    },
+    /// OP6 — add class.
+    AddClass {
+        /// New class name.
+        name: String,
+        /// Initial superclass (`OBJECT` if `None`).
+        superclass: Option<ClassId>,
+    },
+    /// OP7 — drop class.
+    DropClass {
+        /// Class to drop.
+        class: ClassId,
+    },
+    /// OP8 — rename class.
+    RenameClass {
+        /// Class to rename.
+        class: ClassId,
+        /// New name.
+        name: String,
+    },
+}
+
+impl OrionOp {
+    /// The paper's operation number (1–8).
+    pub fn number(&self) -> u8 {
+        match self {
+            OrionOp::AddProperty { .. } => 1,
+            OrionOp::DropProperty { .. } => 2,
+            OrionOp::AddEdge { .. } => 3,
+            OrionOp::DropEdge { .. } => 4,
+            OrionOp::Reorder { .. } => 5,
+            OrionOp::AddClass { .. } => 6,
+            OrionOp::DropClass { .. } => 7,
+            OrionOp::RenameClass { .. } => 8,
+        }
+    }
+}
+
+/// The static reduction of an Orion schema to the axiomatic model.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The axiomatic image.
+    pub schema: Schema,
+    /// Orion class → axiomatic type.
+    pub class_map: BTreeMap<ClassId, TypeId>,
+    /// Orion property `(origin, name)` → axiomatic property.
+    pub prop_map: BTreeMap<(ClassId, String), PropId>,
+}
+
+/// Map a whole Orion schema onto a fresh axiomatic schema.
+pub fn reduce(orion: &OrionSchema) -> Reduction {
+    let mut schema = Schema::new(LatticeConfig::ORION);
+    let mut class_map = BTreeMap::new();
+    let mut prop_map = BTreeMap::new();
+
+    // Topological order over the superclass relation (acyclic by the class
+    // lattice invariant).
+    let order = topo_classes(orion);
+
+    for c in order {
+        let name = orion.class_name(c).expect("live").to_string();
+        let t = if c == orion.object() {
+            schema.add_root_type(name).expect("fresh schema")
+        } else {
+            let pe: BTreeSet<TypeId> = orion
+                .superclasses(c)
+                .expect("live")
+                .iter()
+                .map(|s| class_map[s])
+                .collect();
+            schema.add_type(name, pe, []).expect("valid Orion schema")
+        };
+        class_map.insert(c, t);
+        for p in orion.local_properties(c).expect("live") {
+            let pid = schema.add_property(p.name.clone());
+            schema.add_essential_property(t, pid).expect("live type");
+            prop_map.insert((c, p.name.clone()), pid);
+        }
+    }
+
+    Reduction {
+        schema,
+        class_map,
+        prop_map,
+    }
+}
+
+fn topo_classes(orion: &OrionSchema) -> Vec<ClassId> {
+    let mut order = Vec::new();
+    let mut seen = BTreeSet::new();
+    fn visit(
+        orion: &OrionSchema,
+        c: ClassId,
+        seen: &mut BTreeSet<ClassId>,
+        order: &mut Vec<ClassId>,
+    ) {
+        if !seen.insert(c) {
+            return;
+        }
+        for &s in orion.superclasses(c).expect("live") {
+            visit(orion, s, seen, order);
+        }
+        order.push(c);
+    }
+    for c in orion.iter_classes() {
+        visit(orion, c, &mut seen, &mut order);
+    }
+    order
+}
+
+/// A live pair of (native Orion schema, axiomatic image) evolving in
+/// lockstep through the §4 operation mappings.
+#[derive(Debug, Clone)]
+pub struct ReducedOrion {
+    /// The native Orion system.
+    pub orion: OrionSchema,
+    /// The axiomatic image and identity maps.
+    pub reduction: Reduction,
+}
+
+impl Default for ReducedOrion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReducedOrion {
+    /// A fresh pair containing only `OBJECT`.
+    pub fn new() -> Self {
+        let orion = OrionSchema::new();
+        let reduction = reduce(&orion);
+        ReducedOrion { orion, reduction }
+    }
+
+    /// Apply one fundamental operation to both systems. An operation the
+    /// native side rejects must also be rejected (or be inapplicable) on the
+    /// reduced side; in that case the error is returned and neither system
+    /// changes.
+    pub fn apply(&mut self, op: &OrionOp) -> Result<()> {
+        // Validate natively first; native rejection = reduced rejection.
+        let mut orion = self.orion.clone();
+        match op {
+            OrionOp::AddProperty { class, prop } => {
+                orion.op1_add_property(*class, prop.clone())?;
+                let t = self.ty(*class)?;
+                let pid = self.reduction.schema.add_property(prop.name.clone());
+                self.reduction
+                    .schema
+                    .add_essential_property(t, pid)
+                    .expect("native op validated");
+                self.reduction
+                    .prop_map
+                    .insert((*class, prop.name.clone()), pid);
+            }
+            OrionOp::DropProperty { class, name } => {
+                orion.op2_drop_property(*class, name)?;
+                let t = self.ty(*class)?;
+                let pid = self
+                    .reduction
+                    .prop_map
+                    .remove(&(*class, name.clone()))
+                    .expect("maps in sync");
+                self.reduction
+                    .schema
+                    .drop_essential_property(t, pid)
+                    .expect("native op validated");
+            }
+            OrionOp::AddEdge { class, superclass } => {
+                orion.op3_add_edge(*class, *superclass)?;
+                let (t, s) = (self.ty(*class)?, self.ty(*superclass)?);
+                self.reduction
+                    .schema
+                    .add_essential_supertype(t, s)
+                    .expect("native op validated");
+            }
+            OrionOp::DropEdge { class, superclass } => {
+                orion.op4_drop_edge(*class, *superclass)?;
+                self.reduced_op4(*class, *superclass);
+            }
+            OrionOp::Reorder { class, order } => {
+                orion.op5_reorder_superclasses(*class, order.clone())?;
+                // "This is an implementation detail that was abstracted out
+                // in the axiomatization" (§5): P_e is a set; nothing to do.
+            }
+            OrionOp::AddClass { name, superclass } => {
+                let c = orion.op6_add_class(name, *superclass)?;
+                let sup = superclass.unwrap_or(self.orion.object());
+                let s = self.ty(sup)?;
+                let t = self
+                    .reduction
+                    .schema
+                    .add_type(name.clone(), [s], [])
+                    .expect("native op validated");
+                self.reduction.class_map.insert(c, t);
+            }
+            OrionOp::DropClass { class } => {
+                // Native OP7 = OP4 per subclass, then delete. Mirror exactly.
+                let subs = orion.subclasses(*class)?;
+                orion.op7_drop_class(*class)?;
+                for c in subs {
+                    self.reduced_op4(c, *class);
+                }
+                let t = self.ty(*class)?;
+                self.reduction
+                    .schema
+                    .drop_type(t)
+                    .expect("native op validated");
+                self.reduction.class_map.remove(class);
+                self.reduction.prop_map.retain(|(c, _), _| c != class);
+            }
+            OrionOp::RenameClass { class, name } => {
+                orion.op8_rename_class(*class, name)?;
+                let t = self.ty(*class)?;
+                match self.reduction.schema.rename_type(t, name.clone()) {
+                    Ok(()) => {}
+                    Err(SchemaError::DuplicateTypeName(_)) => unreachable!("native validated"),
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }
+        self.orion = orion;
+        Ok(())
+    }
+
+    /// The §4 OP4 algorithm applied to the axiomatic image:
+    ///
+    /// ```text
+    /// if P_e(C) = {S} then            // Last superclass of C?
+    ///     if S = OBJECT then REJECT
+    ///     else P_e(C) = P_e(S)        // Link C to superclasses
+    /// else remove S from P_e(C)
+    /// ```
+    ///
+    /// (Rejection is handled by the native side before this runs.)
+    fn reduced_op4(&mut self, class: ClassId, superclass: ClassId) {
+        let t = self.reduction.class_map[&class];
+        let s = self.reduction.class_map[&superclass];
+        let pe = self
+            .reduction
+            .schema
+            .essential_supertypes(t)
+            .expect("live")
+            .clone();
+        if pe.len() == 1 && pe.contains(&s) {
+            // Link C to the superclasses of S, then remove S.
+            let parents: Vec<TypeId> = self
+                .reduction
+                .schema
+                .essential_supertypes(s)
+                .expect("live")
+                .iter()
+                .copied()
+                .collect();
+            for p in parents {
+                match self.reduction.schema.add_essential_supertype(t, p) {
+                    Ok(()) | Err(SchemaError::DuplicateSupertype { .. }) => {}
+                    Err(e) => panic!("unexpected during OP4 relink: {e}"),
+                }
+            }
+            self.reduction
+                .schema
+                .drop_essential_supertype(t, s)
+                .expect("edge exists");
+        } else {
+            self.reduction
+                .schema
+                .drop_essential_supertype(t, s)
+                .expect("edge exists");
+        }
+    }
+
+    fn ty(&self, c: ClassId) -> Result<TypeId> {
+        self.reduction
+            .class_map
+            .get(&c)
+            .copied()
+            .ok_or(OrionError::UnknownClass(c))
+    }
+
+    /// Verify that the native schema and its axiomatic image agree:
+    ///
+    /// * the superclass sets equal `P_e`;
+    /// * the transitive ancestry equals `PL`;
+    /// * the local properties equal `N_e` (and `N` — under the reduction a
+    ///   locally defined property is never inherited, since identity is
+    ///   `(origin, name)`);
+    /// * the full unmasked property set equals `I`, and its inherited part
+    ///   equals `H` ("inherited properties of a class C in Orion is
+    ///   equivalent to `I(C) − N_e(C)` in the axiomatic model", §4).
+    ///
+    /// Returns human-readable mismatch descriptions (empty = equivalent).
+    pub fn check_equivalence(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let schema = &self.reduction.schema;
+
+        let classes: Vec<ClassId> = self.orion.iter_classes().collect();
+        if classes.len() != schema.type_count() {
+            bad.push(format!(
+                "class count {} != type count {}",
+                classes.len(),
+                schema.type_count()
+            ));
+        }
+
+        for &c in &classes {
+            let Some(&t) = self.reduction.class_map.get(&c) else {
+                bad.push(format!("no type mapped for {c}"));
+                continue;
+            };
+            // Names agree.
+            let cname = self.orion.class_name(c).expect("live");
+            if schema.type_name(t).ok() != Some(cname) {
+                bad.push(format!("name mismatch at {c}"));
+            }
+            // P_e = superclass set.
+            let supers: BTreeSet<TypeId> = self
+                .orion
+                .superclasses(c)
+                .expect("live")
+                .iter()
+                .map(|s| self.reduction.class_map[s])
+                .collect();
+            if &supers != schema.essential_supertypes(t).expect("live") {
+                bad.push(format!("P_e mismatch at {cname}"));
+            }
+            // PL = ancestry.
+            let anc: BTreeSet<TypeId> = self
+                .orion
+                .ancestry(c)
+                .expect("live")
+                .iter()
+                .map(|s| self.reduction.class_map[s])
+                .collect();
+            if &anc != schema.super_lattice(t).expect("live") {
+                bad.push(format!("PL mismatch at {cname}"));
+            }
+            // N_e = N = local properties.
+            let local: BTreeSet<PropId> = self
+                .orion
+                .local_properties(c)
+                .expect("live")
+                .iter()
+                .map(|p| self.reduction.prop_map[&(c, p.name.clone())])
+                .collect();
+            if &local != schema.essential_properties(t).expect("live") {
+                bad.push(format!("N_e mismatch at {cname}"));
+            }
+            if &local != schema.native_properties(t).expect("live") {
+                bad.push(format!("N mismatch at {cname}"));
+            }
+            // I = full property set; H = I − N_e.
+            let full: BTreeSet<PropId> = self
+                .orion
+                .full_properties(c)
+                .expect("live")
+                .iter()
+                .map(|k| self.reduction.prop_map[k])
+                .collect();
+            if &full != schema.interface(t).expect("live") {
+                bad.push(format!("I mismatch at {cname}"));
+            }
+            let inherited: BTreeSet<PropId> = full.difference(&local).copied().collect();
+            if &inherited != schema.inherited_properties(t).expect("live") {
+                bad.push(format!("H mismatch at {cname}"));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OrionPropKind;
+
+    fn prop(name: &str) -> OrionProp {
+        OrionProp {
+            name: name.into(),
+            domain: "OBJECT".into(),
+            kind: OrionPropKind::Attribute,
+        }
+    }
+
+    #[test]
+    fn static_reduction_of_diamond_is_equivalent() {
+        let mut orion = OrionSchema::new();
+        let a = orion.op6_add_class("A", None).unwrap();
+        let b = orion.op6_add_class("B", None).unwrap();
+        let c = orion.op6_add_class("C", Some(a)).unwrap();
+        orion.op3_add_edge(c, b).unwrap();
+        orion.op1_add_property(a, prop("x")).unwrap();
+        orion.op1_add_property(b, prop("x")).unwrap();
+        let reduction = reduce(&orion);
+        let pair = ReducedOrion { orion, reduction };
+        assert!(
+            pair.check_equivalence().is_empty(),
+            "{:?}",
+            pair.check_equivalence()
+        );
+        assert!(pair.reduction.schema.verify().is_empty());
+    }
+
+    #[test]
+    fn dynamic_reduction_tracks_all_eight_ops() {
+        let mut pair = ReducedOrion::new();
+        let ops = |pair: &ReducedOrion| pair.orion.clone();
+        let _ = ops;
+        pair.apply(&OrionOp::AddClass {
+            name: "A".into(),
+            superclass: None,
+        })
+        .unwrap();
+        let a = pair.orion.class_by_name("A").unwrap();
+        pair.apply(&OrionOp::AddClass {
+            name: "B".into(),
+            superclass: None,
+        })
+        .unwrap();
+        let b = pair.orion.class_by_name("B").unwrap();
+        pair.apply(&OrionOp::AddClass {
+            name: "C".into(),
+            superclass: Some(a),
+        })
+        .unwrap();
+        let c = pair.orion.class_by_name("C").unwrap();
+        pair.apply(&OrionOp::AddEdge {
+            class: c,
+            superclass: b,
+        })
+        .unwrap();
+        pair.apply(&OrionOp::AddProperty {
+            class: a,
+            prop: prop("x"),
+        })
+        .unwrap();
+        pair.apply(&OrionOp::AddProperty {
+            class: c,
+            prop: prop("x"),
+        })
+        .unwrap();
+        pair.apply(&OrionOp::Reorder {
+            class: c,
+            order: vec![b, a],
+        })
+        .unwrap();
+        pair.apply(&OrionOp::RenameClass {
+            class: b,
+            name: "B2".into(),
+        })
+        .unwrap();
+        assert!(
+            pair.check_equivalence().is_empty(),
+            "{:?}",
+            pair.check_equivalence()
+        );
+        pair.apply(&OrionOp::DropProperty {
+            class: c,
+            name: "x".into(),
+        })
+        .unwrap();
+        pair.apply(&OrionOp::DropEdge {
+            class: c,
+            superclass: b,
+        })
+        .unwrap();
+        assert!(
+            pair.check_equivalence().is_empty(),
+            "{:?}",
+            pair.check_equivalence()
+        );
+        pair.apply(&OrionOp::DropClass { class: a }).unwrap();
+        assert!(
+            pair.check_equivalence().is_empty(),
+            "{:?}",
+            pair.check_equivalence()
+        );
+        assert!(pair.reduction.schema.verify().is_empty());
+    }
+
+    #[test]
+    fn op4_relink_matches_native_semantics() {
+        let mut pair = ReducedOrion::new();
+        pair.apply(&OrionOp::AddClass {
+            name: "A".into(),
+            superclass: None,
+        })
+        .unwrap();
+        let a = pair.orion.class_by_name("A").unwrap();
+        pair.apply(&OrionOp::AddClass {
+            name: "B".into(),
+            superclass: Some(a),
+        })
+        .unwrap();
+        let b = pair.orion.class_by_name("B").unwrap();
+        pair.apply(&OrionOp::AddClass {
+            name: "C".into(),
+            superclass: Some(b),
+        })
+        .unwrap();
+        let c = pair.orion.class_by_name("C").unwrap();
+        // Dropping C's last superclass B relinks C to supers(B) = [A].
+        pair.apply(&OrionOp::DropEdge {
+            class: c,
+            superclass: b,
+        })
+        .unwrap();
+        assert_eq!(pair.orion.superclasses(c).unwrap(), &[a]);
+        assert!(
+            pair.check_equivalence().is_empty(),
+            "{:?}",
+            pair.check_equivalence()
+        );
+    }
+
+    #[test]
+    fn native_rejection_leaves_both_systems_unchanged() {
+        let mut pair = ReducedOrion::new();
+        pair.apply(&OrionOp::AddClass {
+            name: "A".into(),
+            superclass: None,
+        })
+        .unwrap();
+        let a = pair.orion.class_by_name("A").unwrap();
+        let fp_orion = pair.orion.fingerprint();
+        let fp_schema = pair.reduction.schema.fingerprint();
+        let root = pair.orion.object();
+        // OP4 on the last OBJECT edge is rejected.
+        let err = pair
+            .apply(&OrionOp::DropEdge {
+                class: a,
+                superclass: root,
+            })
+            .unwrap_err();
+        assert_eq!(err, OrionError::LastEdgeToObject { subclass: a });
+        assert_eq!(pair.orion.fingerprint(), fp_orion);
+        assert_eq!(pair.reduction.schema.fingerprint(), fp_schema);
+    }
+}

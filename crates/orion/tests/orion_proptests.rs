@@ -1,0 +1,202 @@
+//! Property tests for the Orion baseline: invariants and rules are
+//! preserved under arbitrary OP1–OP8 traces, and the reduction stays in
+//! lockstep (the broad version of the §4 theorem).
+
+use axiombase_orion::{
+    ClassId, OrionError, OrionProp, OrionPropKind, OrionSchema, ReducedOrion, Rule,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Op1(u8, u8),
+    Op2(u8, u8),
+    Op3(u8, u8),
+    Op4(u8, u8),
+    Op5(u8, u8),
+    Op6(u8),
+    Op7(u8),
+    Op8(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Op1(a, b)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Op2(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Op3(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Op4(a, b)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Op5(a, b)),
+        3 => any::<u8>().prop_map(Op::Op6),
+        1 => any::<u8>().prop_map(Op::Op7),
+        1 => any::<u8>().prop_map(Op::Op8),
+    ]
+}
+
+fn pick(classes: &[ClassId], ix: u8) -> Option<ClassId> {
+    if classes.is_empty() {
+        None
+    } else {
+        Some(classes[ix as usize % classes.len()])
+    }
+}
+
+fn tolerate(r: Result<(), OrionError>) {
+    match r {
+        Ok(())
+        | Err(OrionError::WouldCreateCycle { .. })
+        | Err(OrionError::DuplicateEdge { .. })
+        | Err(OrionError::NotASuperclass { .. })
+        | Err(OrionError::LastEdgeToObject { .. })
+        | Err(OrionError::CannotDropRoot)
+        | Err(OrionError::CannotRenameRoot)
+        | Err(OrionError::DuplicatePropertyName { .. })
+        | Err(OrionError::NoSuchProperty { .. })
+        | Err(OrionError::DuplicateClassName(_))
+        | Err(OrionError::BadOrdering { .. }) => {}
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+/// Translate an abstract op to a concrete OrionOp against the current state
+/// and apply it through the lockstep pair.
+fn apply(pair: &mut ReducedOrion, op: &Op, counter: &mut u32) {
+    use axiombase_orion::OrionOp::*;
+    let classes: Vec<ClassId> = pair.orion.iter_classes().collect();
+    let prop = |name: String| OrionProp {
+        name,
+        domain: "OBJECT".into(),
+        kind: OrionPropKind::Attribute,
+    };
+    let concrete = match op {
+        Op::Op1(a, b) => pick(&classes, *a).map(|c| {
+            // Half the time reuse an existing name elsewhere (homonyms).
+            *counter += 1;
+            let name = if *b % 2 == 0 {
+                format!("p{}", *b % 8)
+            } else {
+                format!("p_{counter}")
+            };
+            AddProperty {
+                class: c,
+                prop: prop(name),
+            }
+        }),
+        Op::Op2(a, b) => pick(&classes, *a).and_then(|c| {
+            let props = pair.orion.local_properties(c).unwrap();
+            if props.is_empty() {
+                None
+            } else {
+                Some(DropProperty {
+                    class: c,
+                    name: props[*b as usize % props.len()].name.clone(),
+                })
+            }
+        }),
+        Op::Op3(a, b) => match (pick(&classes, *a), pick(&classes, *b)) {
+            (Some(c), Some(s)) => Some(AddEdge {
+                class: c,
+                superclass: s,
+            }),
+            _ => None,
+        },
+        Op::Op4(a, b) => pick(&classes, *a).and_then(|c| {
+            let supers = pair.orion.superclasses(c).unwrap();
+            if supers.is_empty() {
+                None
+            } else {
+                Some(DropEdge {
+                    class: c,
+                    superclass: supers[*b as usize % supers.len()],
+                })
+            }
+        }),
+        Op::Op5(a, b) => pick(&classes, *a).and_then(|c| {
+            let mut order: Vec<ClassId> = pair.orion.superclasses(c).unwrap().to_vec();
+            if order.len() < 2 {
+                None
+            } else {
+                let n = order.len();
+                order.swap(0, *b as usize % n);
+                Some(Reorder { class: c, order })
+            }
+        }),
+        Op::Op6(a) => {
+            *counter += 1;
+            Some(AddClass {
+                name: format!("c_{counter}"),
+                superclass: pick(&classes, *a),
+            })
+        }
+        Op::Op7(a) => pick(&classes, *a)
+            .filter(|&c| c != pair.orion.object())
+            .map(|c| DropClass { class: c }),
+        Op::Op8(a) => pick(&classes, *a)
+            .filter(|&c| c != pair.orion.object())
+            .map(|c| {
+                *counter += 1;
+                RenameClass {
+                    class: c,
+                    name: format!("r_{counter}"),
+                }
+            }),
+    };
+    if let Some(op) = concrete {
+        tolerate(pair.apply(&op));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The §4 theorem, broadly: equivalence, invariants, and axioms hold at
+    /// every point of every random OP1–OP8 trace.
+    #[test]
+    fn lockstep_reduction_survives_random_traces(
+        trace in proptest::collection::vec(op_strategy(), 0..100),
+    ) {
+        let mut pair = ReducedOrion::new();
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut pair, op, &mut counter);
+        }
+        prop_assert!(pair.check_equivalence().is_empty(), "{:?}", pair.check_equivalence());
+        prop_assert!(pair.orion.check_invariants().is_empty());
+        prop_assert!(pair.reduction.schema.verify().is_empty());
+    }
+
+    /// The twelve rules hold on every reachable Orion schema (the rules are
+    /// probes over clones, so this also re-exercises every operation).
+    #[test]
+    fn twelve_rules_hold_on_reachable_schemas(
+        trace in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut pair = ReducedOrion::new();
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut pair, op, &mut counter);
+        }
+        for rule in Rule::ALL {
+            prop_assert!(rule.holds(&pair.orion), "R{} failed", rule.number());
+        }
+    }
+
+    /// Conflict resolution is deterministic: resolving twice gives the same
+    /// binding, and reordering superclasses (OP5) is the ONLY operation that
+    /// can change a conflict winner without touching properties.
+    #[test]
+    fn conflict_resolution_deterministic(
+        trace in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut pair = ReducedOrion::new();
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut pair, op, &mut counter);
+        }
+        let orion: &OrionSchema = &pair.orion;
+        for c in orion.iter_classes() {
+            let a = orion.resolved_interface(c).unwrap();
+            let b = orion.resolved_interface(c).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Object identity and encapsulated state.
+//!
+//! "Objects consist of a unique identity and an encapsulated state" (§3.1).
+//! Identity is a monotonically assigned [`Oid`] that is never reused;
+//! "objects are created with a unique, immutable object identity" (§5). The
+//! state is a slot map from property identity to [`Value`] — the concrete
+//! realisation of the stored side of properties, which the high-level
+//! axiomatic model abstracts away.
+
+use std::collections::BTreeMap;
+
+use axiombase_core::{PropId, TypeId};
+
+use crate::value::Value;
+
+/// Unique, immutable object identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// Construct from a raw id (tests and serializers).
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        Oid(raw)
+    }
+
+    /// The raw id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// How an instance relates to the *current* schema version — driven by the
+/// change-propagation policy in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conformance {
+    /// Slots match the type's current interface exactly.
+    Conforming,
+    /// The schema changed under this object and the policy deferred its
+    /// conversion (lazy conversion / screening).
+    Stale,
+}
+
+/// One stored object: its type, slots, and conformance bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectRecord {
+    /// The type this object was created from (its class membership).
+    pub ty: TypeId,
+    /// Encapsulated state: one slot per interface property.
+    pub slots: BTreeMap<PropId, Value>,
+    /// Conformance with respect to the current schema version.
+    pub conformance: Conformance,
+    /// Schema version the slots were last made to conform to.
+    pub conforms_to_version: u64,
+}
+
+impl ObjectRecord {
+    /// Create a record with the given slots, conforming at `version`.
+    pub fn new(ty: TypeId, slots: BTreeMap<PropId, Value>, version: u64) -> Self {
+        ObjectRecord {
+            ty,
+            slots,
+            conformance: Conformance::Conforming,
+            conforms_to_version: version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_roundtrip_and_display() {
+        let o = Oid::from_raw(42);
+        assert_eq!(o.raw(), 42);
+        assert_eq!(o.to_string(), "o42");
+        assert!(Oid::from_raw(1) < Oid::from_raw(2));
+    }
+
+    #[test]
+    fn record_starts_conforming() {
+        let r = ObjectRecord::new(TypeId::from_index(0), BTreeMap::new(), 7);
+        assert_eq!(r.conformance, Conformance::Conforming);
+        assert_eq!(r.conforms_to_version, 7);
+    }
+}

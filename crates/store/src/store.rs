@@ -1,0 +1,510 @@
+//! The object store: instances, extents, and propagation-aware access.
+//!
+//! A class "is responsible for managing all instances of a particular type
+//! (i.e., the type extent)" (§3.1). [`ObjectStore`] manages those extents
+//! and coerces instances across schema changes according to the configured
+//! [`Policy`]. It is deliberately schema-agnostic: every access takes the
+//! current [`Schema`] so the store always judges conformance against the
+//! live interface — the essence of *dynamic* schema evolution.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use axiombase_core::{PropId, Schema, TypeId};
+
+use crate::object::{Conformance, ObjectRecord, Oid};
+use crate::propagation::{Policy, PropagationStats};
+use crate::value::Value;
+
+/// Errors raised by instance-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// No object with this identity exists (or it was deleted).
+    UnknownObject(Oid),
+    /// The object's type does not expose this property in its *current*
+    /// interface.
+    NotInInterface {
+        /// The object accessed.
+        oid: Oid,
+        /// The property that is not in the interface.
+        prop: PropId,
+    },
+    /// The filtering policy rejected access to a non-conforming instance.
+    FilteredOut(Oid),
+    /// A schema-level error surfaced during an instance operation.
+    Schema(axiombase_core::SchemaError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            StoreError::NotInInterface { oid, prop } => {
+                write!(
+                    f,
+                    "property {prop} is not in the current interface of {oid}'s type"
+                )
+            }
+            StoreError::FilteredOut(o) => {
+                write!(
+                    f,
+                    "object {o} does not conform to the current schema (filtering policy)"
+                )
+            }
+            StoreError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<axiombase_core::SchemaError> for StoreError {
+    fn from(e: axiombase_core::SchemaError) -> Self {
+        StoreError::Schema(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T, E = StoreError> = std::result::Result<T, E>;
+
+/// An instance store with per-type extents and a change-propagation policy.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<Oid, ObjectRecord>,
+    extents: HashMap<TypeId, BTreeSet<Oid>>,
+    next: u64,
+    policy: Policy,
+    stats: PropagationStats,
+}
+
+impl ObjectStore {
+    /// Create an empty store with the given propagation policy.
+    pub fn new(policy: Policy) -> Self {
+        ObjectStore {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// The propagation policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Cumulative propagation statistics.
+    pub fn stats(&self) -> &PropagationStats {
+        &self.stats
+    }
+
+    /// Reset the propagation statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PropagationStats::default();
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create an instance of `ty`, with one `Null` slot per interface
+    /// property, and add it to the type's extent.
+    pub fn create(&mut self, schema: &Schema, ty: TypeId) -> Result<Oid> {
+        let iface = schema.interface(ty)?;
+        let slots: BTreeMap<PropId, Value> = iface.iter().map(|&p| (p, Value::Null)).collect();
+        let oid = Oid::from_raw(self.next);
+        self.next += 1;
+        self.objects
+            .insert(oid, ObjectRecord::new(ty, slots, schema.version()));
+        self.extents.entry(ty).or_default().insert(oid);
+        Ok(oid)
+    }
+
+    /// Delete an object and remove it from its extent.
+    pub fn delete(&mut self, oid: Oid) -> Result<()> {
+        let rec = self
+            .objects
+            .remove(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        if let Some(ext) = self.extents.get_mut(&rec.ty) {
+            ext.remove(&oid);
+        }
+        Ok(())
+    }
+
+    /// The raw record (no propagation handling) — for inspection and tests.
+    pub fn record(&self, oid: Oid) -> Result<&ObjectRecord> {
+        self.objects.get(&oid).ok_or(StoreError::UnknownObject(oid))
+    }
+
+    /// The type an object was created from.
+    pub fn type_of(&self, oid: Oid) -> Result<TypeId> {
+        self.record(oid).map(|r| r.ty)
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation-aware access
+    // ------------------------------------------------------------------
+
+    /// Read a slot through the propagation policy. For a stale object this
+    /// converts (lazy), masks (screening), or rejects (filtering) before the
+    /// read; properties outside the *current* interface are never readable.
+    pub fn get(&mut self, schema: &Schema, oid: Oid, prop: PropId) -> Result<Value> {
+        self.touch(schema, oid)?;
+        let rec = self
+            .objects
+            .get(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        let iface = schema.interface(rec.ty)?;
+        if !iface.contains(&prop) {
+            return Err(StoreError::NotInInterface { oid, prop });
+        }
+        match rec.slots.get(&prop) {
+            Some(v) => Ok(v.clone()),
+            // Screening: slot materially absent but in interface → Null.
+            None => {
+                self.stats.screened_reads += 1;
+                Ok(Value::Null)
+            }
+        }
+    }
+
+    /// Write a slot through the propagation policy. Writes to properties
+    /// outside the current interface are rejected.
+    pub fn set(&mut self, schema: &Schema, oid: Oid, prop: PropId, value: Value) -> Result<()> {
+        self.touch(schema, oid)?;
+        let rec = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        let iface = schema.interface(rec.ty)?;
+        if !iface.contains(&prop) {
+            return Err(StoreError::NotInInterface { oid, prop });
+        }
+        rec.slots.insert(prop, value);
+        Ok(())
+    }
+
+    /// Apply policy-specific handling for a possibly stale object before an
+    /// access. Screening reads count against the mask in [`Self::get`].
+    fn touch(&mut self, schema: &Schema, oid: Oid) -> Result<()> {
+        let rec = self
+            .objects
+            .get(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        if rec.conformance == Conformance::Conforming {
+            return Ok(());
+        }
+        match self.policy {
+            Policy::Eager | Policy::Lazy => {
+                self.convert(schema, oid)?;
+                self.stats.lazy_conversions += 1;
+            }
+            Policy::Screening => {
+                // Leave the record as-is; get/set mask through the interface.
+            }
+            Policy::Filtering => {
+                self.stats.filtered_rejections += 1;
+                return Err(StoreError::FilteredOut(oid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Coerce an object's slots to its type's current interface: drop slots
+    /// for removed properties, add `Null` slots for new ones, and mark the
+    /// object conforming. Explicit conversion is always allowed, under any
+    /// policy (it is how filtered-out objects are repaired).
+    pub fn convert(&mut self, schema: &Schema, oid: Oid) -> Result<()> {
+        let rec = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        let iface = schema.interface(rec.ty)?;
+        let before = rec.slots.len();
+        rec.slots.retain(|p, _| iface.contains(p));
+        self.stats.slots_dropped += (before - rec.slots.len()) as u64;
+        for &p in iface {
+            if let std::collections::btree_map::Entry::Vacant(e) = rec.slots.entry(p) {
+                e.insert(Value::Null);
+                self.stats.slots_added += 1;
+            }
+        }
+        rec.conformance = Conformance::Conforming;
+        rec.conforms_to_version = schema.version();
+        Ok(())
+    }
+
+    /// Notify the store that the schema changed and the interfaces of
+    /// `affected_types` (typically the changed type's down-set, as reported
+    /// by the schema operations) may have moved. Eager conversion coerces
+    /// every affected instance now; the other policies mark them stale.
+    pub fn on_schema_change(&mut self, schema: &Schema, affected_types: &[TypeId]) {
+        let affected: BTreeSet<TypeId> = affected_types.iter().copied().collect();
+        let oids: Vec<Oid> = self
+            .objects
+            .iter()
+            .filter(|(_, r)| affected.contains(&r.ty))
+            .map(|(&o, _)| o)
+            .collect();
+        match self.policy {
+            Policy::Eager => {
+                for oid in oids {
+                    // Only count real work: convert touches every record.
+                    self.convert(schema, oid).expect("object exists");
+                    self.stats.eager_conversions += 1;
+                }
+            }
+            Policy::Lazy | Policy::Screening | Policy::Filtering => {
+                for oid in oids {
+                    let rec = self.objects.get_mut(&oid).expect("object exists");
+                    if rec.conformance == Conformance::Conforming {
+                        rec.conformance = Conformance::Stale;
+                        self.stats.marked_stale += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Extents
+    // ------------------------------------------------------------------
+
+    /// The shallow extent of `ty`: objects created from exactly this type.
+    pub fn extent(&self, ty: TypeId) -> BTreeSet<Oid> {
+        self.extents.get(&ty).cloned().unwrap_or_default()
+    }
+
+    /// The deep extent of `ty`: instances of `ty` and of every subtype
+    /// (classes are "homogeneous up to inclusion polymorphism", §3.1).
+    pub fn deep_extent(&self, schema: &Schema, ty: TypeId) -> Result<BTreeSet<Oid>> {
+        let mut out = self.extent(ty);
+        for sub in schema.all_subtypes(ty)? {
+            out.extend(self.extent(sub));
+        }
+        Ok(out)
+    }
+
+    /// Objects whose type is `ty`, removed wholesale — the instance-level
+    /// effect of DT/DC: "The extent managed by a dropped class is also
+    /// dropped" (§3.3). Returns the deleted oids.
+    pub fn drop_extent(&mut self, ty: TypeId) -> Vec<Oid> {
+        let oids: Vec<Oid> = self.extent(ty).into_iter().collect();
+        for &oid in &oids {
+            self.objects.remove(&oid);
+        }
+        self.extents.remove(&ty);
+        oids
+    }
+
+    /// Migrate an object to another type, preserving slot values for
+    /// properties shared by both interfaces ("with the use of object
+    /// migration techniques, the instances can be ported to some other type
+    /// prior to being dropped", §3.3).
+    pub fn migrate(&mut self, schema: &Schema, oid: Oid, new_ty: TypeId) -> Result<()> {
+        let iface = schema.interface(new_ty)?.clone();
+        let rec = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(StoreError::UnknownObject(oid))?;
+        let old_ty = rec.ty;
+        let mut slots: BTreeMap<PropId, Value> = BTreeMap::new();
+        for p in iface {
+            let v = rec.slots.remove(&p).unwrap_or(Value::Null);
+            slots.insert(p, v);
+        }
+        rec.ty = new_ty;
+        rec.slots = slots;
+        rec.conformance = Conformance::Conforming;
+        rec.conforms_to_version = schema.version();
+        if let Some(ext) = self.extents.get_mut(&old_ty) {
+            ext.remove(&oid);
+        }
+        self.extents.entry(new_ty).or_default().insert(oid);
+        Ok(())
+    }
+
+    /// All live object identities.
+    pub fn iter_oids(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// The OID high-water mark (next identity to assign). Used by the
+    /// persistence layer so identities are never reused after a reload.
+    pub(crate) fn next_oid(&self) -> u64 {
+        self.next
+    }
+
+    pub(crate) fn set_next_oid(&mut self, next: u64) {
+        // Never move the high-water mark below an existing identity.
+        let floor = self
+            .objects
+            .keys()
+            .next_back()
+            .map(|o| o.raw() + 1)
+            .unwrap_or(0);
+        self.next = next.max(floor);
+    }
+
+    /// Mutable access to a record for the migration planner (bypasses the
+    /// propagation policy deliberately — the plan IS the propagation).
+    pub(crate) fn record_mut_for_plan(&mut self, oid: Oid) -> Result<&mut ObjectRecord> {
+        self.objects
+            .get_mut(&oid)
+            .ok_or(StoreError::UnknownObject(oid))
+    }
+
+    /// Install a deserialized record under an explicit identity
+    /// (persistence layer only).
+    pub(crate) fn install_record(&mut self, oid: Oid, rec: ObjectRecord) -> Result<(), String> {
+        if self.objects.contains_key(&oid) {
+            return Err(format!("duplicate oid {oid}"));
+        }
+        self.extents.entry(rec.ty).or_default().insert(oid);
+        self.objects.insert(oid, rec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiombase_core::LatticeConfig;
+
+    fn schema() -> (Schema, TypeId, TypeId, PropId) {
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        let person = s.add_type("T_person", [root], []).unwrap();
+        let name = s.define_property_on(person, "name").unwrap();
+        let employee = s.add_type("T_employee", [person], []).unwrap();
+        (s, person, employee, name)
+    }
+
+    #[test]
+    fn create_initialises_interface_slots() {
+        let (s, person, employee, name) = schema();
+        let mut store = ObjectStore::new(Policy::Eager);
+        let o = store.create(&s, employee).unwrap();
+        assert_eq!(store.get(&s, o, name).unwrap(), Value::Null);
+        store.set(&s, o, name, "Ada".into()).unwrap();
+        assert_eq!(store.get(&s, o, name).unwrap(), Value::Str("Ada".into()));
+        assert!(store.extent(employee).contains(&o));
+        assert!(store.deep_extent(&s, person).unwrap().contains(&o));
+        assert!(!store.extent(person).contains(&o));
+    }
+
+    #[test]
+    fn eager_policy_converts_at_change_time() {
+        let (mut s, person, employee, _) = schema();
+        let mut store = ObjectStore::new(Policy::Eager);
+        let o = store.create(&s, employee).unwrap();
+        let salary = s.define_property_on(person, "salary").unwrap();
+        store.on_schema_change(&s, &[person, employee]);
+        assert_eq!(store.stats().eager_conversions, 1);
+        assert_eq!(
+            store.record(o).unwrap().slots.get(&salary),
+            Some(&Value::Null)
+        );
+    }
+
+    #[test]
+    fn lazy_policy_converts_on_access() {
+        let (mut s, person, employee, _) = schema();
+        let mut store = ObjectStore::new(Policy::Lazy);
+        let o = store.create(&s, employee).unwrap();
+        let salary = s.define_property_on(person, "salary").unwrap();
+        store.on_schema_change(&s, &[person, employee]);
+        assert_eq!(store.stats().marked_stale, 1);
+        assert!(!store.record(o).unwrap().slots.contains_key(&salary));
+        assert_eq!(store.get(&s, o, salary).unwrap(), Value::Null);
+        assert_eq!(store.stats().lazy_conversions, 1);
+        assert!(store.record(o).unwrap().slots.contains_key(&salary));
+    }
+
+    #[test]
+    fn screening_masks_without_rewriting() {
+        let (mut s, person, employee, name) = schema();
+        let mut store = ObjectStore::new(Policy::Screening);
+        let o = store.create(&s, employee).unwrap();
+        store.set(&s, o, name, "Ada".into()).unwrap();
+        let salary = s.define_property_on(person, "salary").unwrap();
+        store.on_schema_change(&s, &[person, employee]);
+        // Read of the new property is masked to Null; record not rewritten.
+        assert_eq!(store.get(&s, o, salary).unwrap(), Value::Null);
+        assert!(!store.record(o).unwrap().slots.contains_key(&salary));
+        assert!(store.stats().screened_reads >= 1);
+        // Dropped properties become unreadable even though the slot remains.
+        s.drop_essential_property(person, name).unwrap();
+        store.on_schema_change(&s, &[person, employee]);
+        assert!(matches!(
+            store.get(&s, o, name).unwrap_err(),
+            StoreError::NotInInterface { .. }
+        ));
+        assert!(store.record(o).unwrap().slots.contains_key(&name));
+    }
+
+    #[test]
+    fn filtering_rejects_until_converted() {
+        let (mut s, person, employee, _) = schema();
+        let mut store = ObjectStore::new(Policy::Filtering);
+        let o = store.create(&s, employee).unwrap();
+        let salary = s.define_property_on(person, "salary").unwrap();
+        store.on_schema_change(&s, &[person, employee]);
+        assert_eq!(
+            store.get(&s, o, salary).unwrap_err(),
+            StoreError::FilteredOut(o)
+        );
+        assert_eq!(store.stats().filtered_rejections, 1);
+        store.convert(&s, o).unwrap();
+        assert_eq!(store.get(&s, o, salary).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn migrate_preserves_shared_slots() {
+        let (mut s, person, employee, name) = schema();
+        let salary = s.define_property_on(employee, "salary").unwrap();
+        let mut store = ObjectStore::new(Policy::Eager);
+        let o = store.create(&s, employee).unwrap();
+        store.set(&s, o, name, "Ada".into()).unwrap();
+        store.set(&s, o, salary, Value::Int(100)).unwrap();
+        store.migrate(&s, o, person).unwrap();
+        assert_eq!(store.type_of(o).unwrap(), person);
+        assert_eq!(store.get(&s, o, name).unwrap(), Value::Str("Ada".into()));
+        // salary is gone with the interface.
+        assert!(matches!(
+            store.get(&s, o, salary).unwrap_err(),
+            StoreError::NotInInterface { .. }
+        ));
+        assert!(store.extent(person).contains(&o));
+        assert!(!store.extent(employee).contains(&o));
+    }
+
+    #[test]
+    fn drop_extent_removes_instances() {
+        let (s, _, employee, _) = schema();
+        let mut store = ObjectStore::new(Policy::Lazy);
+        let a = store.create(&s, employee).unwrap();
+        let b = store.create(&s, employee).unwrap();
+        let dropped = store.drop_extent(employee);
+        assert_eq!(dropped.len(), 2);
+        assert!(store.record(a).is_err());
+        assert!(store.record(b).is_err());
+        assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn delete_and_unknown_object_errors() {
+        let (s, _, employee, name) = schema();
+        let mut store = ObjectStore::new(Policy::Lazy);
+        let o = store.create(&s, employee).unwrap();
+        store.delete(o).unwrap();
+        assert_eq!(store.delete(o).unwrap_err(), StoreError::UnknownObject(o));
+        assert!(store.get(&s, o, name).is_err());
+        // Oids are never reused.
+        let o2 = store.create(&s, employee).unwrap();
+        assert_ne!(o, o2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Runtime values held in object slots.
+//!
+//! The axiomatic model is deliberately high-level — it "does not directly
+//! deal with implementations" (§3.1) — but the objectbase underneath needs
+//! concrete state so that change propagation has something to propagate.
+//! [`Value`] covers the paper's atomic entities ("reals, integers, strings,
+//! etc.") plus object references and shallow collections.
+
+use crate::object::Oid;
+
+/// A slot value in an object's encapsulated state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// The undefined object (an instance of `T_null` in TIGUKAT terms):
+    /// "objects that can be assigned to behaviors when no other result is
+    /// known" (§3.1). New slots introduced by schema evolution default to
+    /// this.
+    #[default]
+    Null,
+    /// Boolean atomic value.
+    Bool(bool),
+    /// Integer atomic value.
+    Int(i64),
+    /// Real atomic value.
+    Real(f64),
+    /// String atomic value.
+    Str(String),
+    /// Reference to another object by identity.
+    Ref(Oid),
+    /// A shallow, ordered collection of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Is this the undefined value?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short tag naming the variant, used in diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::Ref(_) => "ref",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Ref(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+            Value::List(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Oid;
+
+    #[test]
+    fn conversions_and_kinds() {
+        assert_eq!(Value::from(true).kind(), "bool");
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64).kind(), "real");
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(Oid::from_raw(7)).kind(), "ref");
+        assert!(Value::default().is_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(false)]).to_string(),
+            "[1, false]"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the instance store: whatever interleaving of schema
+//! changes and accesses occurs, each propagation policy maintains its
+//! contract.
+
+use axiombase_core::{LatticeConfig, PropId, Schema, TypeId};
+use axiombase_store::{Conformance, ObjectStore, Oid, Policy, StoreError, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    AddProp(u8),
+    DropProp(u8, u8),
+    Create(u8),
+    Delete(u8),
+    Read(u8, u8),
+    Write(u8, u8),
+    Convert(u8),
+    Migrate(u8, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => any::<u8>().prop_map(Step::AddProp),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::DropProp(a, b)),
+        3 => any::<u8>().prop_map(Step::Create),
+        1 => any::<u8>().prop_map(Step::Delete),
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Read(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Write(a, b)),
+        1 => any::<u8>().prop_map(Step::Convert),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Migrate(a, b)),
+    ]
+}
+
+fn pick<T: Copy>(items: &[T], ix: u8) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[ix as usize % items.len()])
+    }
+}
+
+struct Fixture {
+    schema: Schema,
+    store: ObjectStore,
+    types: Vec<TypeId>,
+    counter: u64,
+}
+
+impl Fixture {
+    fn new(policy: Policy) -> Self {
+        let mut schema = Schema::new(LatticeConfig::default());
+        let root = schema.add_root_type("T_object").unwrap();
+        let a = schema.add_type("A", [root], []).unwrap();
+        let b = schema.add_type("B", [a], []).unwrap();
+        schema.define_property_on(a, "base").unwrap();
+        Fixture {
+            schema,
+            store: ObjectStore::new(policy),
+            types: vec![a, b],
+            counter: 0,
+        }
+    }
+
+    fn oids(&self) -> Vec<Oid> {
+        self.store.iter_oids().collect()
+    }
+
+    fn apply(&mut self, step: &Step) {
+        match step {
+            Step::AddProp(a) => {
+                let t = pick(&self.types, *a).unwrap();
+                self.counter += 1;
+                self.schema
+                    .define_property_on(t, format!("p{}", self.counter))
+                    .unwrap();
+                let mut affected: Vec<TypeId> =
+                    self.schema.all_subtypes(t).unwrap().into_iter().collect();
+                affected.push(t);
+                self.store.on_schema_change(&self.schema, &affected);
+            }
+            Step::DropProp(a, b) => {
+                let t = pick(&self.types, *a).unwrap();
+                let ne: Vec<PropId> = self
+                    .schema
+                    .essential_properties(t)
+                    .unwrap()
+                    .iter()
+                    .copied()
+                    .collect();
+                if let Some(p) = pick(&ne, *b) {
+                    self.schema.drop_essential_property(t, p).unwrap();
+                    let mut affected: Vec<TypeId> =
+                        self.schema.all_subtypes(t).unwrap().into_iter().collect();
+                    affected.push(t);
+                    self.store.on_schema_change(&self.schema, &affected);
+                }
+            }
+            Step::Create(a) => {
+                let t = pick(&self.types, *a).unwrap();
+                self.store.create(&self.schema, t).unwrap();
+            }
+            Step::Delete(a) => {
+                if let Some(o) = pick(&self.oids(), *a) {
+                    self.store.delete(o).unwrap();
+                }
+            }
+            Step::Read(a, b) => {
+                if let Some(o) = pick(&self.oids(), *a) {
+                    let ty = self.store.type_of(o).unwrap();
+                    let iface: Vec<PropId> =
+                        self.schema.interface(ty).unwrap().iter().copied().collect();
+                    if let Some(p) = pick(&iface, *b) {
+                        match self.store.get(&self.schema, o, p) {
+                            Ok(_) => {}
+                            Err(StoreError::FilteredOut(_)) => {
+                                assert_eq!(self.store.policy(), Policy::Filtering);
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                }
+            }
+            Step::Write(a, b) => {
+                if let Some(o) = pick(&self.oids(), *a) {
+                    let ty = self.store.type_of(o).unwrap();
+                    let iface: Vec<PropId> =
+                        self.schema.interface(ty).unwrap().iter().copied().collect();
+                    if let Some(p) = pick(&iface, *b) {
+                        match self.store.set(&self.schema, o, p, Value::Int(1)) {
+                            Ok(()) => {}
+                            Err(StoreError::FilteredOut(_)) => {
+                                assert_eq!(self.store.policy(), Policy::Filtering);
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                }
+            }
+            Step::Convert(a) => {
+                if let Some(o) = pick(&self.oids(), *a) {
+                    self.store.convert(&self.schema, o).unwrap();
+                }
+            }
+            Step::Migrate(a, b) => {
+                if let (Some(o), Some(t)) = (pick(&self.oids(), *a), pick(&self.types, *b)) {
+                    self.store.migrate(&self.schema, o, t).unwrap();
+                }
+            }
+        }
+    }
+
+    fn check(&self) {
+        for o in self.oids() {
+            let rec = self.store.record(o).unwrap();
+            let iface = self.schema.interface(rec.ty).unwrap();
+            match rec.conformance {
+                Conformance::Conforming => {
+                    // Conforming ⇒ slots are exactly the interface.
+                    let keys: std::collections::BTreeSet<PropId> =
+                        rec.slots.keys().copied().collect();
+                    assert_eq!(&keys, iface, "conforming object {o} has drifted slots");
+                }
+                Conformance::Stale => {
+                    // Stale objects only exist under deferring policies.
+                    assert_ne!(self.store.policy(), Policy::Eager);
+                }
+            }
+            // Extent membership matches the record's type.
+            assert!(self.store.extent(rec.ty).contains(&o));
+        }
+        // Extents contain only live objects of the right type.
+        for &t in &self.types {
+            for o in self.store.extent(t) {
+                assert_eq!(self.store.type_of(o).unwrap(), t);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn store_contract_holds_under_random_interleavings(
+        steps in proptest::collection::vec(step_strategy(), 0..120),
+        policy_ix in 0usize..4,
+    ) {
+        let mut fx = Fixture::new(Policy::ALL[policy_ix]);
+        for step in &steps {
+            fx.apply(step);
+        }
+        fx.check();
+    }
+
+    /// Eager and lazy policies are observationally equivalent through the
+    /// propagation-aware accessors: after any interleaving, reading every
+    /// interface slot of every object yields the same values.
+    #[test]
+    fn eager_and_lazy_observationally_equivalent(
+        steps in proptest::collection::vec(step_strategy(), 0..80),
+    ) {
+        let run = |policy: Policy| {
+            let mut fx = Fixture::new(policy);
+            for step in &steps {
+                fx.apply(step);
+            }
+            // Observe: every (object, interface prop) pair.
+            let mut obs: Vec<(Oid, PropId, Value)> = Vec::new();
+            for o in fx.oids() {
+                let ty = fx.store.type_of(o).unwrap();
+                let iface: Vec<PropId> =
+                    fx.schema.interface(ty).unwrap().iter().copied().collect();
+                for p in iface {
+                    obs.push((o, p, fx.store.get(&fx.schema, o, p).unwrap()));
+                }
+            }
+            obs
+        };
+        prop_assert_eq!(run(Policy::Eager), run(Policy::Lazy));
+    }
+}

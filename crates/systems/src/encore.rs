@@ -1,0 +1,465 @@
+//! Encore type versioning (Skarra & Zdonik, OOPSLA'86).
+//!
+//! "Skarra and Zdonik define a framework for versioning types in Encore as a
+//! support mechanism for evolving type definitions. This work is focussed on
+//! dealing with change propagation rather than semantics of change. Their
+//! schema evolution operations are similar to Orion and, thus, representable
+//! by the axiomatic model" (§4).
+//!
+//! Model: every type is a **version set**; schema changes never mutate a
+//! version in place but create a new version that becomes *current*.
+//! Objects remain bound to the version they were created under (that is the
+//! change-propagation mechanism the paper alludes to). The reduction maps
+//! any chosen *version configuration* — by default the current one — onto
+//! the axiomatic model, demonstrating that Encore's semantics of change is
+//! the axiomatic model's, replayed per version.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use axiombase_core::{LatticeConfig, PropId, Schema, TypeId};
+
+/// Identifier of an Encore version set (a "type" in user terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionSetId(u32);
+
+impl VersionSetId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VersionSetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One immutable version of a type: its supertypes (as version sets) and
+/// its property names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeVersion {
+    /// Supertype version sets.
+    pub supers: BTreeSet<VersionSetId>,
+    /// Property names defined by this version.
+    pub props: BTreeSet<String>,
+}
+
+/// Errors raised by Encore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncoreError {
+    /// Unknown version set.
+    UnknownType(VersionSetId),
+    /// Unknown version index within a set.
+    UnknownVersion {
+        /// The version set.
+        ty: VersionSetId,
+        /// The missing version index.
+        version: usize,
+    },
+    /// Duplicate type name.
+    DuplicateTypeName(String),
+    /// The change would create a cycle among *current* versions.
+    WouldCreateCycle {
+        /// Subtype version set.
+        subtype: VersionSetId,
+        /// Supertype version set.
+        supertype: VersionSetId,
+    },
+}
+
+impl std::fmt::Display for EncoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncoreError::UnknownType(t) => write!(f, "unknown version set {t}"),
+            EncoreError::UnknownVersion { ty, version } => {
+                write!(f, "version set {ty} has no version #{version}")
+            }
+            EncoreError::DuplicateTypeName(n) => write!(f, "type name {n:?} already in use"),
+            EncoreError::WouldCreateCycle { subtype, supertype } => {
+                write!(f, "edge {subtype} -> {supertype} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncoreError {}
+
+#[derive(Debug, Clone)]
+struct VersionSet {
+    name: String,
+    versions: Vec<TypeVersion>,
+    current: usize,
+}
+
+/// An Encore schema: named version sets, each with an immutable version
+/// history and a current version.
+#[derive(Debug, Clone)]
+pub struct EncoreSchema {
+    sets: Vec<VersionSet>,
+    by_name: HashMap<String, VersionSetId>,
+}
+
+impl Default for EncoreSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EncoreSchema {
+    /// A schema containing only the root type `Entity` (Encore's root).
+    pub fn new() -> Self {
+        let mut by_name = HashMap::new();
+        by_name.insert("Entity".to_string(), VersionSetId(0));
+        EncoreSchema {
+            sets: vec![VersionSet {
+                name: "Entity".to_string(),
+                versions: vec![TypeVersion {
+                    supers: BTreeSet::new(),
+                    props: BTreeSet::new(),
+                }],
+                current: 0,
+            }],
+            by_name,
+        }
+    }
+
+    /// The root version set.
+    pub fn entity(&self) -> VersionSetId {
+        VersionSetId(0)
+    }
+
+    /// Number of version sets.
+    pub fn type_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Iterate over version sets in creation order.
+    pub fn iter_types(&self) -> impl Iterator<Item = VersionSetId> + '_ {
+        (0..self.sets.len() as u32).map(VersionSetId)
+    }
+
+    /// Name of a version set.
+    pub fn type_name(&self, t: VersionSetId) -> Result<&str, EncoreError> {
+        self.sets
+            .get(t.index())
+            .map(|s| s.name.as_str())
+            .ok_or(EncoreError::UnknownType(t))
+    }
+
+    /// Look up a version set by name.
+    pub fn type_by_name(&self, name: &str) -> Option<VersionSetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of versions in a set (≥ 1).
+    pub fn version_count(&self, t: VersionSetId) -> Result<usize, EncoreError> {
+        self.sets
+            .get(t.index())
+            .map(|s| s.versions.len())
+            .ok_or(EncoreError::UnknownType(t))
+    }
+
+    /// Index of the current version.
+    pub fn current_version(&self, t: VersionSetId) -> Result<usize, EncoreError> {
+        self.sets
+            .get(t.index())
+            .map(|s| s.current)
+            .ok_or(EncoreError::UnknownType(t))
+    }
+
+    /// A specific immutable version.
+    pub fn version(&self, t: VersionSetId, v: usize) -> Result<&TypeVersion, EncoreError> {
+        let set = self
+            .sets
+            .get(t.index())
+            .ok_or(EncoreError::UnknownType(t))?;
+        set.versions
+            .get(v)
+            .ok_or(EncoreError::UnknownVersion { ty: t, version: v })
+    }
+
+    /// The current version of a set.
+    pub fn current(&self, t: VersionSetId) -> Result<&TypeVersion, EncoreError> {
+        self.version(t, self.current_version(t)?)
+    }
+
+    /// Define a new type with one initial version. Empty supertypes default
+    /// to `{Entity}`.
+    pub fn define_type(
+        &mut self,
+        name: &str,
+        supers: impl IntoIterator<Item = VersionSetId>,
+        props: impl IntoIterator<Item = String>,
+    ) -> Result<VersionSetId, EncoreError> {
+        if self.by_name.contains_key(name) {
+            return Err(EncoreError::DuplicateTypeName(name.to_string()));
+        }
+        let mut supers: BTreeSet<VersionSetId> = supers.into_iter().collect();
+        for &s in &supers {
+            self.type_name(s)?;
+        }
+        if supers.is_empty() {
+            supers.insert(self.entity());
+        }
+        let t = VersionSetId(self.sets.len() as u32);
+        self.by_name.insert(name.to_string(), t);
+        self.sets.push(VersionSet {
+            name: name.to_string(),
+            versions: vec![TypeVersion {
+                supers,
+                props: props.into_iter().collect(),
+            }],
+            current: 0,
+        });
+        Ok(t)
+    }
+
+    /// Apply a change by **versioning**: clone the current version, let
+    /// `change` edit the clone, append it, and make it current. The old
+    /// version remains addressable (objects created under it keep their
+    /// interface — Encore's change-propagation story).
+    pub fn evolve<F>(&mut self, t: VersionSetId, change: F) -> Result<usize, EncoreError>
+    where
+        F: FnOnce(&mut TypeVersion),
+    {
+        let mut next = self.current(t)?.clone();
+        change(&mut next);
+        // Reject cycles among current versions.
+        for &s in next.supers.clone().iter() {
+            self.type_name(s)?;
+            if s == t || self.ancestry_current_with(t, s)? {
+                return Err(EncoreError::WouldCreateCycle {
+                    subtype: t,
+                    supertype: s,
+                });
+            }
+        }
+        let set = &mut self.sets[t.index()];
+        set.versions.push(next);
+        set.current = set.versions.len() - 1;
+        Ok(set.current)
+    }
+
+    /// Would `sup`'s current ancestry reach back to `t`?
+    fn ancestry_current_with(
+        &self,
+        t: VersionSetId,
+        sup: VersionSetId,
+    ) -> Result<bool, EncoreError> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![sup];
+        while let Some(x) = stack.pop() {
+            if x == t {
+                return Ok(true);
+            }
+            if seen.insert(x) {
+                stack.extend(self.current(x)?.supers.iter().copied());
+            }
+        }
+        Ok(false)
+    }
+
+    /// Roll a version set back to an earlier version (making it current) —
+    /// version sets let Encore undo schema changes cheaply.
+    pub fn set_current(&mut self, t: VersionSetId, v: usize) -> Result<(), EncoreError> {
+        self.version(t, v)?;
+        self.sets[t.index()].current = v;
+        Ok(())
+    }
+}
+
+/// Reduction of the **current configuration** of an Encore schema to the
+/// axiomatic model. (Reducing a historical configuration: `set_current` to
+/// it first, or build a pinned map.)
+#[derive(Debug, Clone)]
+pub struct EncoreReduction {
+    /// The axiomatic image.
+    pub schema: Schema,
+    /// Version set → type.
+    pub type_map: BTreeMap<VersionSetId, TypeId>,
+    /// `(version set, property name)` → property.
+    pub prop_map: BTreeMap<(VersionSetId, String), PropId>,
+}
+
+/// Reduce the current configuration.
+pub fn reduce_current(enc: &EncoreSchema) -> Result<EncoreReduction, EncoreError> {
+    let mut schema = Schema::new(LatticeConfig::ORION);
+    let mut type_map = BTreeMap::new();
+    let mut prop_map = BTreeMap::new();
+    // Topological order by current supers.
+    let mut order: Vec<VersionSetId> = Vec::new();
+    let mut seen = BTreeSet::new();
+    fn visit(
+        enc: &EncoreSchema,
+        t: VersionSetId,
+        seen: &mut BTreeSet<VersionSetId>,
+        order: &mut Vec<VersionSetId>,
+    ) -> Result<(), EncoreError> {
+        if !seen.insert(t) {
+            return Ok(());
+        }
+        for &s in &enc.current(t)?.supers {
+            visit(enc, s, seen, order)?;
+        }
+        order.push(t);
+        Ok(())
+    }
+    for t in enc.iter_types() {
+        visit(enc, t, &mut seen, &mut order)?;
+    }
+
+    for t in order {
+        let name = enc.type_name(t)?.to_string();
+        let cur = enc.current(t)?.clone();
+        let tid = if t == enc.entity() {
+            schema.add_root_type(name).expect("fresh schema")
+        } else {
+            let pe: Vec<TypeId> = cur.supers.iter().map(|s| type_map[s]).collect();
+            schema
+                .add_type(name, pe, [])
+                .expect("acyclic current config")
+        };
+        type_map.insert(t, tid);
+        for p in &cur.props {
+            let pid = schema.add_property(p.clone());
+            schema.add_essential_property(tid, pid).expect("live");
+            prop_map.insert((t, p.clone()), pid);
+        }
+    }
+    Ok(EncoreReduction {
+        schema,
+        type_map,
+        prop_map,
+    })
+}
+
+/// Check the reduction of the current configuration.
+pub fn check_equivalence(enc: &EncoreSchema, red: &EncoreReduction) -> Vec<String> {
+    let mut bad = Vec::new();
+    for t in enc.iter_types() {
+        let tid = red.type_map[&t];
+        let cur = enc.current(t).expect("valid");
+        let pe: BTreeSet<TypeId> = cur.supers.iter().map(|s| red.type_map[s]).collect();
+        if &pe != red.schema.essential_supertypes(tid).expect("live") {
+            bad.push(format!("P_e mismatch at {t}"));
+        }
+        let ne: BTreeSet<PropId> = cur
+            .props
+            .iter()
+            .map(|p| red.prop_map[&(t, p.clone())])
+            .collect();
+        if &ne != red.schema.essential_properties(tid).expect("live") {
+            bad.push(format!("N_e mismatch at {t}"));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EncoreSchema {
+        let mut e = EncoreSchema::new();
+        let person = e.define_type("Person", [], ["name".to_string()]).unwrap();
+        e.define_type("Student", [person], ["gpa".to_string()])
+            .unwrap();
+        e
+    }
+
+    #[test]
+    fn changes_create_versions_not_mutations() {
+        let mut e = sample();
+        let person = e.type_by_name("Person").unwrap();
+        assert_eq!(e.version_count(person).unwrap(), 1);
+        e.evolve(person, |v| {
+            v.props.insert("age".into());
+        })
+        .unwrap();
+        assert_eq!(e.version_count(person).unwrap(), 2);
+        assert_eq!(e.current_version(person).unwrap(), 1);
+        // Old version still addressable and unchanged.
+        let v0 = e.version(person, 0).unwrap();
+        assert!(!v0.props.contains("age"));
+        assert!(e.current(person).unwrap().props.contains("age"));
+    }
+
+    #[test]
+    fn rollback_via_set_current() {
+        let mut e = sample();
+        let person = e.type_by_name("Person").unwrap();
+        e.evolve(person, |v| {
+            v.props.clear();
+        })
+        .unwrap();
+        assert!(e.current(person).unwrap().props.is_empty());
+        e.set_current(person, 0).unwrap();
+        assert!(e.current(person).unwrap().props.contains("name"));
+        assert!(matches!(
+            e.set_current(person, 9),
+            Err(EncoreError::UnknownVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_rejected_at_versioning_time() {
+        let mut e = sample();
+        let person = e.type_by_name("Person").unwrap();
+        let student = e.type_by_name("Student").unwrap();
+        let err = e
+            .evolve(person, |v| {
+                v.supers.insert(student);
+            })
+            .unwrap_err();
+        assert!(matches!(err, EncoreError::WouldCreateCycle { .. }));
+        // The failed evolution created no version.
+        assert_eq!(e.version_count(person).unwrap(), 1);
+    }
+
+    #[test]
+    fn reduction_of_each_configuration_is_axiomatic() {
+        let mut e = sample();
+        let person = e.type_by_name("Person").unwrap();
+        let student = e.type_by_name("Student").unwrap();
+        // Evolve twice.
+        e.evolve(person, |v| {
+            v.props.insert("age".into());
+        })
+        .unwrap();
+        e.evolve(student, |v| {
+            v.supers.insert(e_root());
+        })
+        .unwrap_or(0);
+        fn e_root() -> VersionSetId {
+            VersionSetId(0)
+        }
+        // Current configuration reduces cleanly.
+        let red = reduce_current(&e).unwrap();
+        assert!(red.schema.verify().is_empty());
+        assert!(check_equivalence(&e, &red).is_empty());
+        // Historical configuration also reduces cleanly.
+        e.set_current(person, 0).unwrap();
+        let red0 = reduce_current(&e).unwrap();
+        assert!(red0.schema.verify().is_empty());
+        assert!(check_equivalence(&e, &red0).is_empty());
+        // And they differ where the versions differ.
+        let t_new = red.type_map[&person];
+        let t_old = red0.type_map[&person];
+        assert_ne!(
+            red.schema.essential_properties(t_new).unwrap().len(),
+            red0.schema.essential_properties(t_old).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn define_type_defaults_to_entity() {
+        let mut e = EncoreSchema::new();
+        let t = e.define_type("X", [], []).unwrap();
+        assert!(e.current(t).unwrap().supers.contains(&e.entity()));
+        assert!(matches!(
+            e.define_type("X", [], []),
+            Err(EncoreError::DuplicateTypeName(_))
+        ));
+    }
+}

@@ -1,0 +1,444 @@
+//! GemStone (Penney & Stein, OOPSLA'87) — the single-inheritance reduction.
+//!
+//! "Schema evolution in GemStone is similar to Orion in its definition of a
+//! number of invariants. The GemStone model is less complex than Orion in
+//! that multiple inheritance and explicit deletion of objects are not
+//! permitted. As a result, the schema evolution policies in GemStone are
+//! simpler and cleaner. Based on published work, the GemStone schema changes
+//! can be expressed by the axiomatic model" (§4).
+//!
+//! The model here: a class **tree** rooted at `Object`, each class with a
+//! single superclass and named instance variables. Because inheritance is
+//! single, there are no conflicts to resolve and `P_e(t)` is always a
+//! singleton — the reduction is a strict specialisation of the Orion one.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use axiombase_core::{LatticeConfig, PropId, Schema, TypeId};
+
+/// Identifier of a GemStone class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GemClassId(u32);
+
+impl GemClassId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GemClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Errors raised by GemStone operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemError {
+    /// Unknown class.
+    UnknownClass(GemClassId),
+    /// Duplicate class name.
+    DuplicateClassName(String),
+    /// Duplicate local instance-variable name.
+    DuplicateIvar {
+        /// The class.
+        class: GemClassId,
+        /// The clashing name.
+        name: String,
+    },
+    /// Instance variable is not defined locally.
+    NoSuchIvar {
+        /// The class.
+        class: GemClassId,
+        /// The missing name.
+        name: String,
+    },
+    /// GemStone forbids multiple inheritance; re-parenting to a descendant
+    /// would also create a cycle.
+    InvalidParent {
+        /// The class being re-parented.
+        class: GemClassId,
+        /// The rejected parent.
+        parent: GemClassId,
+    },
+}
+
+impl std::fmt::Display for GemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            GemError::DuplicateClassName(n) => write!(f, "class name {n:?} already in use"),
+            GemError::DuplicateIvar { class, name } => {
+                write!(f, "instance variable {name:?} already on {class}")
+            }
+            GemError::NoSuchIvar { class, name } => {
+                write!(f, "no instance variable {name:?} on {class}")
+            }
+            GemError::InvalidParent { class, parent } => {
+                write!(f, "cannot make {parent} the superclass of {class}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemError {}
+
+#[derive(Debug, Clone)]
+struct GemClass {
+    name: String,
+    /// The single superclass (`None` only for the root).
+    parent: Option<GemClassId>,
+    ivars: Vec<String>,
+}
+
+/// A GemStone schema: a class tree with single inheritance.
+#[derive(Debug, Clone)]
+pub struct GemSchema {
+    classes: Vec<GemClass>,
+    by_name: HashMap<String, GemClassId>,
+}
+
+impl Default for GemSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GemSchema {
+    /// A schema containing only the root class `Object`.
+    pub fn new() -> Self {
+        let mut by_name = HashMap::new();
+        by_name.insert("Object".to_string(), GemClassId(0));
+        GemSchema {
+            classes: vec![GemClass {
+                name: "Object".to_string(),
+                parent: None,
+                ivars: Vec::new(),
+            }],
+            by_name,
+        }
+    }
+
+    /// The root class.
+    pub fn object(&self) -> GemClassId {
+        GemClassId(0)
+    }
+
+    /// Number of classes (GemStone has no class deletion).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterate over classes in creation order.
+    pub fn iter_classes(&self) -> impl Iterator<Item = GemClassId> + '_ {
+        (0..self.classes.len() as u32).map(GemClassId)
+    }
+
+    /// Class name.
+    pub fn class_name(&self, c: GemClassId) -> Result<&str, GemError> {
+        self.classes
+            .get(c.index())
+            .map(|x| x.name.as_str())
+            .ok_or(GemError::UnknownClass(c))
+    }
+
+    /// Look up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<GemClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The single superclass (`None` for the root).
+    pub fn parent(&self, c: GemClassId) -> Result<Option<GemClassId>, GemError> {
+        self.classes
+            .get(c.index())
+            .map(|x| x.parent)
+            .ok_or(GemError::UnknownClass(c))
+    }
+
+    /// Local instance variables.
+    pub fn ivars(&self, c: GemClassId) -> Result<&[String], GemError> {
+        self.classes
+            .get(c.index())
+            .map(|x| x.ivars.as_slice())
+            .ok_or(GemError::UnknownClass(c))
+    }
+
+    /// All ancestors including `c` (the chain to the root — single
+    /// inheritance makes this a path, not a lattice).
+    pub fn chain(&self, c: GemClassId) -> Result<Vec<GemClassId>, GemError> {
+        let mut out = vec![c];
+        let mut cur = self.parent(c)?;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p)?;
+        }
+        Ok(out)
+    }
+
+    /// The full (inherited + local) instance variables, as
+    /// `(origin, name)`; single inheritance means names shadow linearly
+    /// (closest definition wins).
+    pub fn all_ivars(&self, c: GemClassId) -> Result<Vec<(GemClassId, String)>, GemError> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut out = Vec::new();
+        for k in self.chain(c)? {
+            for iv in &self.classes[k.index()].ivars {
+                if seen.insert(iv.clone()) {
+                    out.push((k, iv.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Create a subclass of `parent`.
+    pub fn add_class(&mut self, name: &str, parent: GemClassId) -> Result<GemClassId, GemError> {
+        self.class_name(parent)?;
+        if self.by_name.contains_key(name) {
+            return Err(GemError::DuplicateClassName(name.to_string()));
+        }
+        let c = GemClassId(self.classes.len() as u32);
+        self.by_name.insert(name.to_string(), c);
+        self.classes.push(GemClass {
+            name: name.to_string(),
+            parent: Some(parent),
+            ivars: Vec::new(),
+        });
+        Ok(c)
+    }
+
+    /// Add a local instance variable.
+    pub fn add_ivar(&mut self, c: GemClassId, name: &str) -> Result<(), GemError> {
+        self.class_name(c)?;
+        if self.classes[c.index()].ivars.iter().any(|x| x == name) {
+            return Err(GemError::DuplicateIvar {
+                class: c,
+                name: name.to_string(),
+            });
+        }
+        self.classes[c.index()].ivars.push(name.to_string());
+        Ok(())
+    }
+
+    /// Drop a local instance variable.
+    pub fn drop_ivar(&mut self, c: GemClassId, name: &str) -> Result<(), GemError> {
+        self.class_name(c)?;
+        let ivars = &mut self.classes[c.index()].ivars;
+        match ivars.iter().position(|x| x == name) {
+            Some(ix) => {
+                ivars.remove(ix);
+                Ok(())
+            }
+            None => Err(GemError::NoSuchIvar {
+                class: c,
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Re-parent a class (GemStone's "change superclass" modification).
+    /// Rejected if it would make the class its own ancestor.
+    pub fn change_parent(&mut self, c: GemClassId, parent: GemClassId) -> Result<(), GemError> {
+        self.class_name(parent)?;
+        if c == self.object() || self.chain(parent)?.contains(&c) {
+            return Err(GemError::InvalidParent { class: c, parent });
+        }
+        self.classes[c.index()].parent = Some(parent);
+        Ok(())
+    }
+}
+
+/// The reduction of a GemStone schema to the axiomatic model: each class's
+/// parent becomes its (singleton) `P_e`, each local instance variable a
+/// distinct property in `N_e`.
+#[derive(Debug, Clone)]
+pub struct GemReduction {
+    /// The axiomatic image (rooted, pointedness relaxed — like Orion).
+    pub schema: Schema,
+    /// Class → type.
+    pub class_map: BTreeMap<GemClassId, TypeId>,
+    /// `(origin class, ivar name)` → property.
+    pub prop_map: BTreeMap<(GemClassId, String), PropId>,
+}
+
+/// Reduce a GemStone schema to the axiomatic model.
+pub fn reduce(gem: &GemSchema) -> GemReduction {
+    let mut schema = Schema::new(LatticeConfig::ORION);
+    let mut class_map = BTreeMap::new();
+    let mut prop_map = BTreeMap::new();
+    // Creation order is parent-first except after change_parent; sort
+    // topologically by chain length.
+    let mut order: Vec<GemClassId> = gem.iter_classes().collect();
+    order.sort_by_key(|&c| gem.chain(c).expect("valid").len());
+    for c in order {
+        let name = gem.class_name(c).expect("valid").to_string();
+        let t = match gem.parent(c).expect("valid") {
+            None => schema.add_root_type(name).expect("fresh schema"),
+            Some(p) => schema
+                .add_type(name, [class_map[&p]], [])
+                .expect("tree is acyclic"),
+        };
+        class_map.insert(c, t);
+        for iv in gem.ivars(c).expect("valid") {
+            let pid = schema.add_property(iv.clone());
+            schema.add_essential_property(t, pid).expect("live");
+            prop_map.insert((c, iv.clone()), pid);
+        }
+    }
+    GemReduction {
+        schema,
+        class_map,
+        prop_map,
+    }
+}
+
+/// Check the reduction: chains = `PL`, singleton parents = `P_e` = `P`,
+/// local ivars = `N_e` = `N`, full ivar set (unshadowed) ⊆ `I`.
+pub fn check_equivalence(gem: &GemSchema, red: &GemReduction) -> Vec<String> {
+    let mut bad = Vec::new();
+    for c in gem.iter_classes() {
+        let t = red.class_map[&c];
+        let chain: BTreeSet<TypeId> = gem
+            .chain(c)
+            .expect("valid")
+            .iter()
+            .map(|k| red.class_map[k])
+            .collect();
+        if &chain != red.schema.super_lattice(t).expect("live") {
+            bad.push(format!("PL mismatch at {c}"));
+        }
+        let parent: BTreeSet<TypeId> = gem
+            .parent(c)
+            .expect("valid")
+            .into_iter()
+            .map(|p| red.class_map[&p])
+            .collect();
+        if &parent != red.schema.essential_supertypes(t).expect("live") {
+            bad.push(format!("P_e mismatch at {c}"));
+        }
+        // Single inheritance ⇒ P = P_e always (no redundancy possible).
+        if red.schema.immediate_supertypes(t).expect("live")
+            != red.schema.essential_supertypes(t).expect("live")
+        {
+            bad.push(format!("P ≠ P_e at {c} despite single inheritance"));
+        }
+        let local: BTreeSet<PropId> = gem
+            .ivars(c)
+            .expect("valid")
+            .iter()
+            .map(|iv| red.prop_map[&(c, iv.clone())])
+            .collect();
+        if &local != red.schema.essential_properties(t).expect("live") {
+            bad.push(format!("N_e mismatch at {c}"));
+        }
+        // Visible (unshadowed) ivars are a subset of the axiomatic
+        // interface; the interface additionally sees shadowed homonyms,
+        // which GemStone's name-based view masks.
+        let visible: BTreeSet<PropId> = gem
+            .all_ivars(c)
+            .expect("valid")
+            .into_iter()
+            .map(|k| red.prop_map[&k])
+            .collect();
+        let iface = red.schema.interface(t).expect("live");
+        if !visible.is_subset(iface) {
+            bad.push(format!("visible ivars ⊄ I at {c}"));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GemSchema {
+        let mut g = GemSchema::new();
+        let animal = g.add_class("Animal", g.object()).unwrap();
+        let dog = g.add_class("Dog", animal).unwrap();
+        g.add_ivar(animal, "name").unwrap();
+        g.add_ivar(dog, "breed").unwrap();
+        g
+    }
+
+    #[test]
+    fn single_inheritance_chain() {
+        let g = sample();
+        let dog = g.class_by_name("Dog").unwrap();
+        let chain = g.chain(dog).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[2], g.object());
+        assert_eq!(g.all_ivars(dog).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn shadowing_is_linear() {
+        let mut g = sample();
+        let dog = g.class_by_name("Dog").unwrap();
+        g.add_ivar(dog, "name").unwrap(); // shadows Animal's name
+        let all = g.all_ivars(dog).unwrap();
+        let name_origin = all.iter().find(|(_, n)| n == "name").unwrap().0;
+        assert_eq!(name_origin, dog);
+    }
+
+    #[test]
+    fn change_parent_rejects_cycles() {
+        let mut g = sample();
+        let animal = g.class_by_name("Animal").unwrap();
+        let dog = g.class_by_name("Dog").unwrap();
+        assert!(matches!(
+            g.change_parent(animal, dog),
+            Err(GemError::InvalidParent { .. })
+        ));
+        assert!(matches!(
+            g.change_parent(g.object(), dog),
+            Err(GemError::InvalidParent { .. })
+        ));
+        // Legal re-parent: Dog directly under Object.
+        g.change_parent(dog, g.object()).unwrap();
+        assert_eq!(g.chain(dog).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reduction_is_equivalent() {
+        let g = sample();
+        let red = reduce(&g);
+        assert!(red.schema.verify().is_empty());
+        let bad = check_equivalence(&g, &red);
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn reduction_tracks_evolution() {
+        let mut g = sample();
+        let dog = g.class_by_name("Dog").unwrap();
+        g.add_ivar(dog, "name").unwrap();
+        g.drop_ivar(dog, "breed").unwrap();
+        g.change_parent(dog, g.object()).unwrap();
+        let red = reduce(&g);
+        let bad = check_equivalence(&g, &red);
+        assert!(bad.is_empty(), "{bad:?}");
+        // After re-parenting, Dog no longer inherits Animal's ivars.
+        let t = red.class_map[&dog];
+        assert_eq!(red.schema.inherited_properties(t).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_errors() {
+        let mut g = sample();
+        let animal = g.class_by_name("Animal").unwrap();
+        assert!(matches!(
+            g.add_class("Animal", g.object()),
+            Err(GemError::DuplicateClassName(_))
+        ));
+        assert!(matches!(
+            g.add_ivar(animal, "name"),
+            Err(GemError::DuplicateIvar { .. })
+        ));
+        assert!(matches!(
+            g.drop_ivar(animal, "nope"),
+            Err(GemError::NoSuchIvar { .. })
+        ));
+    }
+}

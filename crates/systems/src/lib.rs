@@ -1,0 +1,24 @@
+//! # axiombase-systems — further reductions to the axiomatic model
+//!
+//! Section 4 of the paper claims that, besides Orion, the schema-evolution
+//! approaches of **GemStone**, **Encore**, and **Sherpa** "are reducible to
+//! the axiomatic model". This crate makes those claims executable: each
+//! module implements a faithful sketch of the system's schema model (as the
+//! paper characterises it) together with a `reduce`/`check_equivalence`
+//! pair mapping it onto `axiombase_core::Schema`.
+//!
+//! * [`gemstone`] — single inheritance, no explicit deletion.
+//! * [`encore`] — type versioning; every configuration reduces.
+//! * [`sherpa`] — Orion-style semantics of change plus per-change
+//!   propagation directives.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encore;
+pub mod gemstone;
+pub mod sherpa;
+
+pub use encore::{EncoreError, EncoreReduction, EncoreSchema, TypeVersion, VersionSetId};
+pub use gemstone::{GemClassId, GemError, GemReduction, GemSchema};
+pub use sherpa::{PropagationDirective, SherpaChange, SherpaSchema};

@@ -1,0 +1,128 @@
+//! Sherpa (Nguyen & Rieu, DKE 1989).
+//!
+//! "Nguyen and Rieu discuss schema evolution in the Sherpa model ... The
+//! emphasis of this work is to provide equal support for semantics of change
+//! and change propagation. The schema changes allowed in Sherpa follow those
+//! of Orion and, therefore, can be represented by the axiomatic model" (§4).
+//!
+//! Model: Sherpa's *semantics of change* is Orion's operation suite (we
+//! reuse [`axiombase_orion`] wholesale), while each change additionally
+//! carries a **propagation directive** — immediate or deferred coercion of
+//! instances — reflecting Sherpa's equal-weight treatment of the two
+//! problems. The reduction is therefore exactly the Orion reduction, plus a
+//! propagation log that instance-level machinery can replay.
+
+use axiombase_orion::{OrionError, OrionOp, ReducedOrion};
+
+/// When a Sherpa change is propagated to instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationDirective {
+    /// Convert affected instances as part of the change.
+    Immediate,
+    /// Defer conversion (Sherpa's default, matching its emphasis on
+    /// flexible propagation).
+    #[default]
+    Deferred,
+}
+
+/// A Sherpa schema change: an Orion-style operation plus its propagation
+/// directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SherpaChange {
+    /// The structural change (Orion semantics).
+    pub op: OrionOp,
+    /// How to propagate it to instances.
+    pub propagation: PropagationDirective,
+}
+
+/// A Sherpa schema: Orion-equivalent semantics of change, tracked in
+/// lockstep with its axiomatic image, plus the propagation log.
+#[derive(Debug, Clone, Default)]
+pub struct SherpaSchema {
+    /// The structural state and its axiomatic reduction.
+    pub inner: ReducedOrion,
+    /// Chronological log of applied changes with their directives.
+    pub log: Vec<SherpaChange>,
+}
+
+impl SherpaSchema {
+    /// A fresh schema containing only the root class.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a change to the native system and its axiomatic image; on
+    /// success the change is recorded in the propagation log.
+    pub fn apply(&mut self, change: SherpaChange) -> Result<(), OrionError> {
+        self.inner.apply(&change.op)?;
+        self.log.push(change);
+        Ok(())
+    }
+
+    /// Changes whose instance-level propagation is still outstanding.
+    pub fn deferred_changes(&self) -> impl Iterator<Item = &SherpaChange> {
+        self.log
+            .iter()
+            .filter(|c| c.propagation == PropagationDirective::Deferred)
+    }
+
+    /// Verify that the native state and the axiomatic image still agree
+    /// (Sherpa is reducible exactly when Orion is).
+    pub fn check_equivalence(&self) -> Vec<String> {
+        self.inner.check_equivalence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiombase_orion::{OrionProp, OrionPropKind};
+
+    fn prop(name: &str) -> OrionProp {
+        OrionProp {
+            name: name.into(),
+            domain: "OBJECT".into(),
+            kind: OrionPropKind::Attribute,
+        }
+    }
+
+    #[test]
+    fn sherpa_tracks_orion_semantics_with_propagation_log() {
+        let mut s = SherpaSchema::new();
+        s.apply(SherpaChange {
+            op: OrionOp::AddClass {
+                name: "Doc".into(),
+                superclass: None,
+            },
+            propagation: PropagationDirective::Immediate,
+        })
+        .unwrap();
+        let doc = s.inner.orion.class_by_name("Doc").unwrap();
+        s.apply(SherpaChange {
+            op: OrionOp::AddProperty {
+                class: doc,
+                prop: prop("title"),
+            },
+            propagation: PropagationDirective::Deferred,
+        })
+        .unwrap();
+        assert_eq!(s.log.len(), 2);
+        assert_eq!(s.deferred_changes().count(), 1);
+        assert!(s.check_equivalence().is_empty());
+        assert!(s.inner.reduction.schema.verify().is_empty());
+    }
+
+    #[test]
+    fn rejected_change_is_not_logged() {
+        let mut s = SherpaSchema::new();
+        let root = s.inner.orion.object();
+        let err = s
+            .apply(SherpaChange {
+                op: OrionOp::DropClass { class: root },
+                propagation: PropagationDirective::Immediate,
+            })
+            .unwrap_err();
+        assert_eq!(err, OrionError::CannotDropRoot);
+        assert!(s.log.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Table 3 — "Classification of schema changes".
+//!
+//! The paper crosses six object categories (Type, Class, Behavior, Function,
+//! Collection, Other) with three operation kinds (Add, Drop, Modify). Bold
+//! entries "represent combinations that imply schema evolution
+//! modifications, while the emphasized entries denote changes that are not
+//! considered to be part of the schema evolution" (§3.2). This module
+//! encodes the table so the `table3_classification` harness can both print
+//! it and cross-check it against the live behaviour of the operations.
+
+/// The object categories of Table 3 (rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Types (`T`).
+    Type,
+    /// Classes (`C`).
+    Class,
+    /// Behaviors (`B`).
+    Behavior,
+    /// Functions (`F`).
+    Function,
+    /// Collections (`L`).
+    Collection,
+    /// Other objects — ordinary instances (`O`).
+    Other,
+}
+
+impl Category {
+    /// All categories in table order.
+    pub const ALL: [Category; 6] = [
+        Category::Type,
+        Category::Class,
+        Category::Behavior,
+        Category::Function,
+        Category::Collection,
+        Category::Other,
+    ];
+
+    /// Row label as printed in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Type => "Type (T)",
+            Category::Class => "Class (C)",
+            Category::Behavior => "Behavior (B)",
+            Category::Function => "Function (F)",
+            Category::Collection => "Collection (L)",
+            Category::Other => "Other (O)",
+        }
+    }
+}
+
+/// One cell of Table 3: a concrete operation on a category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TableOp {
+    /// AT — subtyping (type creation).
+    AddType,
+    /// DT — type deletion.
+    DropType,
+    /// MT-AB — add behavior to a type.
+    ModifyTypeAddBehavior,
+    /// MT-DB — drop behavior from a type.
+    ModifyTypeDropBehavior,
+    /// MT-ASR — add subtype relationship.
+    ModifyTypeAddSubtypeRel,
+    /// MT-DSR — drop subtype relationship.
+    ModifyTypeDropSubtypeRel,
+    /// AC — class creation.
+    AddClass,
+    /// DC — class deletion.
+    DropClass,
+    /// MC — extent change of a class.
+    ModifyClassExtent,
+    /// AB — behavior definition.
+    AddBehavior,
+    /// DB — behavior deletion.
+    DropBehavior,
+    /// MB-CA — change implementation association.
+    ModifyBehaviorChangeAssociation,
+    /// AF — function definition.
+    AddFunction,
+    /// DF — function deletion.
+    DropFunction,
+    /// MF — implementation change of a function.
+    ModifyFunctionImplementation,
+    /// AL — collection creation.
+    AddCollection,
+    /// DL — collection deletion.
+    DropCollection,
+    /// ML — extent change of a collection.
+    ModifyCollectionExtent,
+    /// AO — instance creation.
+    AddInstance,
+    /// DO — instance deletion.
+    DropInstance,
+    /// MO — instance update.
+    ModifyInstance,
+}
+
+impl TableOp {
+    /// Every cell of Table 3, row by row.
+    pub const ALL: [TableOp; 21] = [
+        TableOp::AddType,
+        TableOp::DropType,
+        TableOp::ModifyTypeAddBehavior,
+        TableOp::ModifyTypeDropBehavior,
+        TableOp::ModifyTypeAddSubtypeRel,
+        TableOp::ModifyTypeDropSubtypeRel,
+        TableOp::AddClass,
+        TableOp::DropClass,
+        TableOp::ModifyClassExtent,
+        TableOp::AddBehavior,
+        TableOp::DropBehavior,
+        TableOp::ModifyBehaviorChangeAssociation,
+        TableOp::AddFunction,
+        TableOp::DropFunction,
+        TableOp::ModifyFunctionImplementation,
+        TableOp::AddCollection,
+        TableOp::DropCollection,
+        TableOp::ModifyCollectionExtent,
+        TableOp::AddInstance,
+        TableOp::DropInstance,
+        TableOp::ModifyInstance,
+    ];
+
+    /// The category (row) of the cell.
+    pub fn category(self) -> Category {
+        use TableOp::*;
+        match self {
+            AddType
+            | DropType
+            | ModifyTypeAddBehavior
+            | ModifyTypeDropBehavior
+            | ModifyTypeAddSubtypeRel
+            | ModifyTypeDropSubtypeRel => Category::Type,
+            AddClass | DropClass | ModifyClassExtent => Category::Class,
+            AddBehavior | DropBehavior | ModifyBehaviorChangeAssociation => Category::Behavior,
+            AddFunction | DropFunction | ModifyFunctionImplementation => Category::Function,
+            AddCollection | DropCollection | ModifyCollectionExtent => Category::Collection,
+            AddInstance | DropInstance | ModifyInstance => Category::Other,
+        }
+    }
+
+    /// The paper's abbreviation for the cell.
+    pub fn code(self) -> &'static str {
+        use TableOp::*;
+        match self {
+            AddType => "AT",
+            DropType => "DT",
+            ModifyTypeAddBehavior => "MT-AB",
+            ModifyTypeDropBehavior => "MT-DB",
+            ModifyTypeAddSubtypeRel => "MT-ASR",
+            ModifyTypeDropSubtypeRel => "MT-DSR",
+            AddClass => "AC",
+            DropClass => "DC",
+            ModifyClassExtent => "MC",
+            AddBehavior => "AB",
+            DropBehavior => "DB",
+            ModifyBehaviorChangeAssociation => "MB-CA",
+            AddFunction => "AF",
+            DropFunction => "DF",
+            ModifyFunctionImplementation => "MF",
+            AddCollection => "AL",
+            DropCollection => "DL",
+            ModifyCollectionExtent => "ML",
+            AddInstance => "AO",
+            DropInstance => "DO",
+            ModifyInstance => "MO",
+        }
+    }
+
+    /// The table's description of the cell.
+    pub fn description(self) -> &'static str {
+        use TableOp::*;
+        match self {
+            AddType => "subtyping",
+            DropType => "type deletion",
+            ModifyTypeAddBehavior => "add behavior",
+            ModifyTypeDropBehavior => "drop behavior",
+            ModifyTypeAddSubtypeRel => "add subtype relationship",
+            ModifyTypeDropSubtypeRel => "drop subtype relationship",
+            AddClass => "class creation",
+            DropClass => "class deletion",
+            ModifyClassExtent => "extent change",
+            AddBehavior => "behavior definition",
+            DropBehavior => "behavior deletion",
+            ModifyBehaviorChangeAssociation => "change association",
+            AddFunction => "function definition",
+            DropFunction => "function deletion",
+            ModifyFunctionImplementation => "implementation change",
+            AddCollection => "collection creation",
+            DropCollection => "collection deletion",
+            ModifyCollectionExtent => "extent change",
+            AddInstance => "instance creation",
+            DropInstance => "instance deletion",
+            ModifyInstance => "instance update",
+        }
+    }
+
+    /// Is this cell bold in Table 3 — i.e. does it "imply schema evolution
+    /// modifications"?
+    ///
+    /// Per §3.2/§3.3: the schema-affecting operations are the Type-row
+    /// operations, class creation/deletion, behavior deletion (DB) and
+    /// implementation re-association (MB-CA), function deletion (DF), and
+    /// collection creation/deletion (AL/DL — they edit `LSO`, which
+    /// Definition 3.2 includes in the schema). The §3.3 closing paragraph
+    /// names the non-schema cells: definitions (AB, AF), function
+    /// modification (MF), collection-extent modification (ML), class-extent
+    /// changes, and the instance operations (AO, DO, MO).
+    pub fn is_schema_change(self) -> bool {
+        use TableOp::*;
+        matches!(
+            self,
+            AddType
+                | DropType
+                | ModifyTypeAddBehavior
+                | ModifyTypeDropBehavior
+                | ModifyTypeAddSubtypeRel
+                | ModifyTypeDropSubtypeRel
+                | AddClass
+                | DropClass
+                | DropBehavior
+                | ModifyBehaviorChangeAssociation
+                | DropFunction
+                | AddCollection
+                | DropCollection
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_has_a_row() {
+        // 6 Type ops + 3 per other category = 21 cells.
+        assert_eq!(TableOp::ALL.len(), 21);
+        for cat in Category::ALL {
+            assert!(TableOp::ALL.iter().any(|op| op.category() == cat));
+        }
+    }
+
+    #[test]
+    fn schema_changing_set_matches_paper() {
+        let bold: Vec<&str> = TableOp::ALL
+            .iter()
+            .filter(|op| op.is_schema_change())
+            .map(|op| op.code())
+            .collect();
+        assert_eq!(
+            bold,
+            vec![
+                "AT", "DT", "MT-AB", "MT-DB", "MT-ASR", "MT-DSR", "AC", "DC", "DB", "MB-CA", "DF",
+                "AL", "DL"
+            ]
+        );
+        // The emphasized (non-schema) cells, named by the §3.3 closing
+        // paragraph.
+        let plain: Vec<&str> = TableOp::ALL
+            .iter()
+            .filter(|op| !op.is_schema_change())
+            .map(|op| op.code())
+            .collect();
+        assert_eq!(plain, vec!["MC", "AB", "AF", "MF", "ML", "AO", "DO", "MO"]);
+    }
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<&str> = TableOp::ALL.iter().map(|op| op.code()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 21);
+    }
+}

@@ -1,0 +1,174 @@
+//! Errors of the TIGUKAT objectbase operations.
+
+use axiombase_core::{PropId, SchemaError, TypeId};
+use axiombase_store::{Oid, StoreError};
+
+use crate::meta::{CollId, FunctionId};
+
+/// Result alias for objectbase operations.
+pub type Result<T, E = TigukatError> = std::result::Result<T, E>;
+
+/// Errors raised by the objectbase; schema- and store-level errors are
+/// wrapped so callers see one error surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TigukatError {
+    /// Rejection at the axiomatic schema level (cycle, root edge, …).
+    Schema(SchemaError),
+    /// Rejection at the instance level (filtering, unknown object, …).
+    Store(StoreError),
+    /// The type has no associated class, so instances cannot be created
+    /// ("the creation of a class allows instances of its associated type to
+    /// be created", §3.3).
+    NoClass(TypeId),
+    /// AC rejected: the type already has an associated class ("uniquely
+    /// associates it with a particular type", §3.3).
+    ClassExists(TypeId),
+    /// The referenced behavior does not exist.
+    UnknownBehavior(PropId),
+    /// The referenced function does not exist or was dropped.
+    UnknownFunction(FunctionId),
+    /// The referenced collection does not exist or was dropped.
+    UnknownCollection(CollId),
+    /// The behavior is not part of the receiver type's current interface.
+    BehaviorNotInInterface {
+        /// Receiver object.
+        receiver: Oid,
+        /// Receiver's type.
+        ty: TypeId,
+        /// The behavior applied.
+        behavior: PropId,
+    },
+    /// The behavior is in the interface but no implementation is associated
+    /// anywhere in the supertype lattice.
+    NoImplementation {
+        /// Receiver's type.
+        ty: TypeId,
+        /// The unimplemented behavior.
+        behavior: PropId,
+    },
+    /// DF rejected: "the operation is rejected if the function is associated
+    /// as the implementation of a behavior in a type that has an associated
+    /// class" (§3.3).
+    FunctionInUse {
+        /// The function being dropped.
+        function: FunctionId,
+        /// A type with an associated class using it.
+        ty: TypeId,
+        /// The behavior it implements there.
+        behavior: PropId,
+    },
+    /// MB-CA rejected: the behavior is not in the target type's interface,
+    /// so an implementation association is meaningless there.
+    AssociationOutsideInterface {
+        /// Target type.
+        ty: TypeId,
+        /// Behavior not in `I(ty)`.
+        behavior: PropId,
+    },
+    /// A built-in computed function was applied to a receiver it does not
+    /// support (e.g. `B_supertypes` on a non-type object).
+    InvalidReceiver {
+        /// The receiver object.
+        receiver: Oid,
+        /// What the builtin expected.
+        expected: &'static str,
+    },
+    /// Wrong number of arguments for a behavior application.
+    ArityMismatch {
+        /// The behavior applied.
+        behavior: PropId,
+        /// Arguments expected.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// An object argument does not conform to the behavior signature's
+    /// declared argument type.
+    ArgumentTypeMismatch {
+        /// The behavior applied.
+        behavior: PropId,
+        /// Zero-based argument position.
+        position: usize,
+        /// The declared argument type.
+        expected: TypeId,
+        /// The supplied object's type.
+        got: TypeId,
+    },
+}
+
+impl std::fmt::Display for TigukatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TigukatError::Schema(e) => write!(f, "{e}"),
+            TigukatError::Store(e) => write!(f, "{e}"),
+            TigukatError::NoClass(t) => {
+                write!(f, "type {t} has no associated class; apply AC first")
+            }
+            TigukatError::ClassExists(t) => write!(f, "type {t} already has a class"),
+            TigukatError::UnknownBehavior(b) => write!(f, "unknown behavior {b}"),
+            TigukatError::UnknownFunction(x) => write!(f, "unknown function {x}"),
+            TigukatError::UnknownCollection(c) => write!(f, "unknown collection {c}"),
+            TigukatError::BehaviorNotInInterface { receiver, ty, behavior } => write!(
+                f,
+                "behavior {behavior} is not in the interface of {ty} (receiver {receiver})"
+            ),
+            TigukatError::NoImplementation { ty, behavior } => {
+                write!(f, "no implementation of {behavior} found in PL({ty})")
+            }
+            TigukatError::FunctionInUse { function, ty, behavior } => write!(
+                f,
+                "function {function} implements {behavior} on {ty}, which has a class; DF rejected"
+            ),
+            TigukatError::AssociationOutsideInterface { ty, behavior } => {
+                write!(f, "cannot associate an implementation: {behavior} ∉ I({ty})")
+            }
+            TigukatError::InvalidReceiver { receiver, expected } => {
+                write!(f, "builtin expected {expected}, got receiver {receiver}")
+            }
+            TigukatError::ArityMismatch { behavior, expected, got } => {
+                write!(f, "behavior {behavior} expects {expected} argument(s), got {got}")
+            }
+            TigukatError::ArgumentTypeMismatch { behavior, position, expected, got } => write!(
+                f,
+                "behavior {behavior} argument {position}: expected an instance of {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TigukatError {}
+
+impl From<SchemaError> for TigukatError {
+    fn from(e: SchemaError) -> Self {
+        TigukatError::Schema(e)
+    }
+}
+
+impl From<StoreError> for TigukatError {
+    fn from(e: StoreError) -> Self {
+        TigukatError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_conversions() {
+        let e: TigukatError = SchemaError::NoRoot.into();
+        assert!(matches!(e, TigukatError::Schema(_)));
+        let e: TigukatError = StoreError::UnknownObject(Oid::from_raw(1)).into();
+        assert!(matches!(e, TigukatError::Store(_)));
+    }
+
+    #[test]
+    fn display_mentions_paper_rules() {
+        let e = TigukatError::FunctionInUse {
+            function: FunctionId::from_index(1),
+            ty: TypeId::from_index(2),
+            behavior: PropId::from_index(3),
+        };
+        assert!(e.to_string().contains("DF rejected"));
+    }
+}

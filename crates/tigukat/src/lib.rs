@@ -1,0 +1,45 @@
+//! # axiombase-tigukat — the TIGUKAT objectbase
+//!
+//! The paper's example system (§3): a *uniform behavioral* objectbase
+//! management system whose dynamic schema evolution policies are expressed
+//! directly on the axiomatic model of `axiombase-core`.
+//!
+//! * **Behavioral**: "all access and manipulation of objects is based on the
+//!   application of behaviors to objects" — see [`Objectbase::apply`].
+//! * **Uniform**: types, behaviors, functions, classes, and collections are
+//!   first-class objects with identities in the store; `C_type`'s extent is
+//!   the set of type objects, and the schema-object sets of Definition 3.1
+//!   ([`Objectbase::tso`], [`Objectbase::bso`], [`Objectbase::fso`],
+//!   [`Objectbase::cso`], [`Objectbase::lso`]) are ordinary queries.
+//! * **Primitive type system**: Figure 2, bootstrapped and frozen
+//!   ([`primitive`]).
+//! * **Operations**: the complete §3.3 suite — MT-AB, MT-DB, MT-ASR,
+//!   MT-DSR, AT, DT, AC, DC, DB, MB-CA, DF, AL, DL — plus the non-schema
+//!   operations (AB, AF, MF, AO, DO, MO, ML) needed to exercise every cell
+//!   of Table 3 ([`classification`]).
+//! * **Change propagation** (deferred by the paper, §1): schema changes
+//!   reach instances through the store's policy (screening / eager / lazy
+//!   conversion / filtering).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod classification;
+pub mod error;
+pub mod meta;
+pub mod objectbase;
+mod ops;
+pub mod persist;
+pub mod primitive;
+pub mod query;
+
+pub use classification::{Category, TableOp};
+pub use error::{Result, TigukatError};
+pub use meta::{
+    BehaviorId, BehaviorInfo, Builtin, ClassInfo, CollId, Collection, FunctionId, FunctionInfo,
+    FunctionKind, SchemaObject, Signature,
+};
+pub use objectbase::{MetaRef, Objectbase};
+pub use persist::PersistError;
+pub use primitive::Primitives;
+pub use query::LintFinding;

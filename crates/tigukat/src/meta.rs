@@ -1,0 +1,205 @@
+//! First-class meta constructs: behaviors, functions, signatures, classes,
+//! and collections.
+//!
+//! TIGUKAT "is uniform in that every component of information, including its
+//! semantics, is modeled as a first-class object with well-defined behavior"
+//! (§3.1). Behaviors are the model's properties; the crate reuses the core
+//! model's [`PropId`] as the behavior identity, so the axiomatic machinery
+//! (essential/native/inherited/interface) applies to behaviors verbatim.
+//! This module holds the *semantics* side that the high-level model
+//! abstracts away: signatures, implementations (functions), classes, and
+//! collections.
+
+use axiombase_core::{PropId, TypeId};
+use axiombase_store::Oid;
+
+/// Behavior identity — the same identity the axiomatic model uses for
+/// properties ("Behaviors in TIGUKAT correspond to the generic concept of
+/// properties", §3.1).
+pub type BehaviorId = PropId;
+
+/// Identifier of a function (an implementation of a behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(pub(crate) u32);
+
+impl FunctionId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        FunctionId(u32::try_from(ix).expect("function arena exceeds u32::MAX"))
+    }
+}
+
+impl std::fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a user-managed collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollId(pub(crate) u32);
+
+impl CollId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        CollId(u32::try_from(ix).expect("collection arena exceeds u32::MAX"))
+    }
+}
+
+impl std::fmt::Display for CollId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Partial semantics of a behavior: "a signature includes a name used to
+/// apply the behavior, a list of argument types, and a result type" (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Argument types (excluding the receiver).
+    pub args: Vec<TypeId>,
+    /// Result type.
+    pub result: TypeId,
+}
+
+/// A behavior's semantic record. The name lives in the core property
+/// registry; this side table carries the signature and the store identity of
+/// the behavior object (uniformity: behaviors are objects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehaviorInfo {
+    /// Signature, if declared.
+    pub signature: Option<Signature>,
+    /// The behavior's own object identity in the store.
+    pub object: Oid,
+}
+
+/// How a function computes its result when applied to a receiver.
+///
+/// "We clearly separate the definition of a behavior from its possible
+/// implementations (functions/methods). This supports overloading and late
+/// binding" (§3.1). Stored functions realise attribute-like properties;
+/// computed ones realise methods. The engine-provided computed functions
+/// cover the primitive behaviors of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionKind {
+    /// Read the receiver's stored slot for the behavior.
+    Stored,
+    /// An engine-provided computed function.
+    Computed(Builtin),
+}
+
+/// Engine-provided computed functions for the primitive behaviors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `B_supertypes` — immediate supertypes `P(t)` of a receiver type.
+    Supertypes,
+    /// `B_super-lattice` — supertype lattice `PL(t)` of a receiver type.
+    SuperLattice,
+    /// `B_subtypes` — immediate subtypes (inverse of `B_supertypes`).
+    Subtypes,
+    /// `B_interface` — `I(t)` of a receiver type.
+    Interface,
+    /// `B_native` — `N(t)` of a receiver type.
+    Native,
+    /// `B_inherited` — `H(t)` of a receiver type.
+    Inherited,
+    /// `B_mapsto` — the type of the receiver object.
+    TypeOf,
+    /// `B_self` — the receiver itself.
+    Identity,
+    /// `B_conformsTo` — is the receiver an instance of the argument type
+    /// (inclusion polymorphism)?
+    ConformsTo,
+    /// Always returns the undefined object.
+    ConstNull,
+}
+
+/// A function record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Human label.
+    pub name: String,
+    /// Execution semantics.
+    pub kind: FunctionKind,
+    /// Tombstone flag (dropped functions keep their slot).
+    pub alive: bool,
+    /// The function's own object identity in the store.
+    pub object: Oid,
+}
+
+/// A class: the construct "responsible for managing all instances of a
+/// particular type (i.e., the type extent)" (§3.1). Extent membership lives
+/// in the store; this record carries the class's own object identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// The class's own object identity in the store.
+    pub object: Oid,
+}
+
+/// A heterogeneous, user-managed collection: "collections are managed
+/// explicitly by the user" (§3.1), in contrast to system-managed class
+/// extents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collection {
+    /// Human label.
+    pub name: String,
+    /// Members, in insertion order; heterogeneous (any type).
+    pub members: Vec<Oid>,
+    /// Tombstone flag.
+    pub alive: bool,
+    /// The collection's own object identity in the store.
+    pub object: Oid,
+}
+
+/// A member of the schema per Definition 3.2:
+/// `schema = TSO ∪ BSO ∪ FSO ∪ LSO ∪ CSO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemaObject {
+    /// Member of `TSO` (type schema objects, = `C_type`).
+    Type(TypeId),
+    /// Member of `BSO` (behaviors in some type's interface).
+    Behavior(BehaviorId),
+    /// Member of `FSO` (functions implementing a behavior in some type).
+    Function(FunctionId),
+    /// Member of `CSO` (class schema objects).
+    Class(TypeId),
+    /// Member of `LSO − CSO` (user collections; `CSO ⊆ LSO` per Def 3.1).
+    Collection(CollId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrips() {
+        assert_eq!(FunctionId::from_index(5).index(), 5);
+        assert_eq!(FunctionId::from_index(5).to_string(), "f5");
+        assert_eq!(CollId::from_index(9).index(), 9);
+        assert_eq!(CollId::from_index(9).to_string(), "l9");
+    }
+
+    #[test]
+    fn schema_object_ordering_is_total() {
+        let a = SchemaObject::Type(TypeId::from_index(0));
+        let b = SchemaObject::Behavior(PropId::from_index(0));
+        assert_ne!(a, b);
+        let mut v = [b, a];
+        v.sort();
+        assert_eq!(v[0], a);
+    }
+}

@@ -1,0 +1,659 @@
+//! The objectbase: the uniform behavioral object model over the axiomatic
+//! schema and the instance store.
+//!
+//! "The model is behavioral in that all access and manipulation of objects
+//! is based on the application of behaviors to objects" (§3.1):
+//! [`Objectbase::apply`] is that single entry point, with late binding of
+//! implementations resolved over the supertype lattice. "The model is
+//! uniform in that every component of information ... is modeled as a
+//! first-class object": types, behaviors, functions, classes, and
+//! collections all have object identities in the store, so `C_type`,
+//! `C_behavior`, etc. are ordinary extents and the schema-object sets of
+//! Definition 3.1 are ordinary queries.
+
+use std::collections::BTreeMap;
+
+use axiombase_core::{Schema, TypeId};
+use axiombase_store::{ObjectStore, Oid, Policy, Value};
+
+use crate::error::{Result, TigukatError};
+use crate::meta::{
+    BehaviorId, BehaviorInfo, Builtin, ClassInfo, CollId, Collection, FunctionId, FunctionInfo,
+    FunctionKind, SchemaObject, Signature,
+};
+use crate::primitive::{bootstrap_schema, Primitives};
+
+/// What a meta-object (an object representing a schema construct) stands
+/// for. Regular application objects have no entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaRef {
+    /// A type object (instance of `T_type`).
+    Type(TypeId),
+    /// A behavior object (instance of `T_behavior`).
+    Behavior(BehaviorId),
+    /// A function object (instance of `T_function`).
+    Function(FunctionId),
+    /// A class object (instance of `T_class`).
+    Class(TypeId),
+    /// A collection object (instance of `T_collection`).
+    Collection(CollId),
+}
+
+/// A TIGUKAT objectbase.
+///
+/// ```
+/// use axiombase_tigukat::Objectbase;
+/// use axiombase_store::Value;
+///
+/// let mut ob = Objectbase::new();
+/// let person = ob.at("T_person", [], []).unwrap();      // AT
+/// let b_name = ob.ab("B_name", None);                    // define behavior
+/// ob.mt_ab(person, b_name).unwrap();                     // MT-AB
+/// ob.ac(person).unwrap();                                // AC
+/// let david = ob.ao(person).unwrap();                    // instance
+/// ob.mo(david, b_name, "David".into()).unwrap();
+/// assert_eq!(ob.apply(david, b_name, &[]).unwrap(), Value::Str("David".into()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Objectbase {
+    pub(crate) schema: Schema,
+    pub(crate) store: ObjectStore,
+    pub(crate) prim: Primitives,
+    pub(crate) behaviors: BTreeMap<BehaviorId, BehaviorInfo>,
+    pub(crate) functions: Vec<FunctionInfo>,
+    /// Implementation associations: `(type, behavior) → function`
+    /// (`b.B_implementation(t)` in the paper's notation).
+    pub(crate) impls: BTreeMap<(TypeId, BehaviorId), FunctionId>,
+    pub(crate) classes: BTreeMap<TypeId, ClassInfo>,
+    pub(crate) collections: Vec<Collection>,
+    /// Type → its type object.
+    pub(crate) type_objects: BTreeMap<TypeId, Oid>,
+    /// Reverse map: meta-object identity → what it denotes.
+    pub(crate) meta_of: BTreeMap<Oid, MetaRef>,
+}
+
+impl Default for Objectbase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Objectbase {
+    /// Bootstrap a fresh objectbase with the primitive type system of
+    /// Figure 2, the primitive behaviors, their builtin implementations, and
+    /// classes for every primitive type. Uses the lazy-conversion
+    /// propagation policy.
+    pub fn new() -> Self {
+        Self::with_policy(Policy::Lazy)
+    }
+
+    /// Bootstrap with an explicit change-propagation policy.
+    pub fn with_policy(policy: Policy) -> Self {
+        let (schema, prim) = bootstrap_schema();
+        let mut ob = Objectbase {
+            schema,
+            store: ObjectStore::new(policy),
+            prim: prim.clone(),
+            behaviors: BTreeMap::new(),
+            functions: Vec::new(),
+            impls: BTreeMap::new(),
+            classes: BTreeMap::new(),
+            collections: Vec::new(),
+            type_objects: BTreeMap::new(),
+            meta_of: BTreeMap::new(),
+        };
+
+        // Type objects for every primitive type.
+        for t in prim.all_types() {
+            ob.create_type_object(t);
+        }
+
+        // Behavior objects + signatures for the primitive behaviors, and
+        // builtin implementations associated at the natively defining type.
+        for (b, at_ty, spec) in prim.behavior_table() {
+            let object = ob.create_meta_object(prim.t_behavior, MetaRef::Behavior(b));
+            ob.behaviors.insert(
+                b,
+                BehaviorInfo {
+                    signature: Some(prim.signature_of(b)),
+                    object,
+                },
+            );
+            let f = ob.register_function(spec.name, FunctionKind::Computed(spec.builtin));
+            ob.impls.insert((at_ty, b), f);
+        }
+
+        // Classes for every primitive type (the paper's C_object, C_type, …).
+        for t in prim.all_types() {
+            ob.create_class_record(t);
+        }
+        ob
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying axiomatic schema (read-only; evolve through the
+    /// objectbase operations so instance propagation stays in sync).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance store (read-only view).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Named handles to the primitive types and behaviors.
+    pub fn primitives(&self) -> &Primitives {
+        &self.prim
+    }
+
+    /// The type object (instance of `T_type`) representing `t`.
+    pub fn type_object(&self, t: TypeId) -> Option<Oid> {
+        self.type_objects.get(&t).copied()
+    }
+
+    /// What a meta-object denotes, if it is one.
+    pub fn meta_ref(&self, oid: Oid) -> Option<MetaRef> {
+        self.meta_of.get(&oid).copied()
+    }
+
+    /// Does `t` have an associated class?
+    pub fn has_class(&self, t: TypeId) -> bool {
+        self.classes.contains_key(&t)
+    }
+
+    /// The signature declared for a behavior, if any.
+    pub fn behavior_signature(&self, b: BehaviorId) -> Option<&Signature> {
+        self.behaviors.get(&b).and_then(|i| i.signature.as_ref())
+    }
+
+    /// The function currently associated as the implementation of `b` on
+    /// `t` exactly (no lattice search) — `b.B_implementation(t)`.
+    pub fn implementation(&self, t: TypeId, b: BehaviorId) -> Option<FunctionId> {
+        self.impls.get(&(t, b)).copied()
+    }
+
+    /// A function record.
+    pub fn function(&self, f: FunctionId) -> Result<&FunctionInfo> {
+        match self.functions.get(f.index()) {
+            Some(info) if info.alive => Ok(info),
+            _ => Err(TigukatError::UnknownFunction(f)),
+        }
+    }
+
+    /// A collection record.
+    pub fn collection(&self, c: CollId) -> Result<&Collection> {
+        match self.collections.get(c.index()) {
+            Some(info) if info.alive => Ok(info),
+            _ => Err(TigukatError::UnknownCollection(c)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Definition 3.1 / 3.2 — the schema-object sets
+    // ------------------------------------------------------------------
+
+    /// `TSO` — type schema objects (= the extent of `C_type`, = `T` of the
+    /// axiomatic model).
+    pub fn tso(&self) -> Vec<TypeId> {
+        self.schema.iter_types().collect()
+    }
+
+    /// `BSO` — behavior schema objects: "only those behaviors defined in the
+    /// interface of some type" (Def 3.1), i.e. `⋃_{t∈TSO} t.B_interface`.
+    pub fn bso(&self) -> Vec<BehaviorId> {
+        self.schema.referenced_properties().into_iter().collect()
+    }
+
+    /// `FSO` — function schema objects: "only those functions defined as the
+    /// implementation of some behavior for some type" (Def 3.1). An
+    /// association whose behavior has since left the type's interface no
+    /// longer contributes.
+    pub fn fso(&self) -> Vec<FunctionId> {
+        let mut out: Vec<FunctionId> = self
+            .impls
+            .iter()
+            .filter(|((t, b), f)| {
+                self.schema.is_live(*t)
+                    && self
+                        .schema
+                        .interface(*t)
+                        .map(|i| i.contains(b))
+                        .unwrap_or(false)
+                    && self.functions[f.index()].alive
+            })
+            .map(|(_, &f)| f)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// `CSO` — class schema objects (types with an associated class).
+    pub fn cso(&self) -> Vec<TypeId> {
+        self.classes.keys().copied().collect()
+    }
+
+    /// `LSO` — collection schema objects; `CSO ⊆ LSO` (Def 3.1). Returned as
+    /// tagged schema objects because classes and user collections have
+    /// different identities.
+    pub fn lso(&self) -> Vec<SchemaObject> {
+        let mut out: Vec<SchemaObject> = self
+            .collections
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, _)| SchemaObject::Collection(CollId::from_index(i)))
+            .collect();
+        out.extend(self.classes.keys().map(|&t| SchemaObject::Class(t)));
+        out
+    }
+
+    /// Definition 3.2: `schema = TSO ∪ BSO ∪ FSO ∪ LSO ∪ CSO`.
+    pub fn schema_objects(&self) -> Vec<SchemaObject> {
+        let mut out: Vec<SchemaObject> = Vec::new();
+        out.extend(self.tso().into_iter().map(SchemaObject::Type));
+        out.extend(self.bso().into_iter().map(SchemaObject::Behavior));
+        out.extend(self.fso().into_iter().map(SchemaObject::Function));
+        out.extend(self.lso());
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Behavior application (the dot notation `o.b`)
+    // ------------------------------------------------------------------
+
+    /// Apply behavior `b` to `receiver` with `args` — the model's sole
+    /// access path ("access and manipulation of objects occurs exclusively
+    /// through the application of behaviors", §3.1).
+    ///
+    /// Resolution: `b` must be in the receiver type's *current* interface;
+    /// the implementation is then located by searching the supertype lattice
+    /// outward from the receiver's type (late binding — the most specific
+    /// association wins; ties at the same depth are resolved by set
+    /// semantics, which is sound because a behavior's semantics is unique,
+    /// §3.1).
+    pub fn apply(&mut self, receiver: Oid, b: BehaviorId, args: &[Value]) -> Result<Value> {
+        let ty = self.store.type_of(receiver)?;
+        if !self.schema.interface(ty)?.contains(&b) {
+            return Err(TigukatError::BehaviorNotInInterface {
+                receiver,
+                ty,
+                behavior: b,
+            });
+        }
+        if let Some(sig) = self.behavior_signature(b) {
+            if sig.args.len() != args.len() {
+                return Err(TigukatError::ArityMismatch {
+                    behavior: b,
+                    expected: sig.args.len(),
+                    got: args.len(),
+                });
+            }
+            // Conformance-check object arguments against the declared
+            // argument types (inclusion polymorphism; non-Ref values and
+            // undeclared signatures are unchecked — the axiomatic model
+            // treats semantics as opaque).
+            let sig_args = sig.args.clone();
+            for (i, (arg, &expected)) in args.iter().zip(sig_args.iter()).enumerate() {
+                if let Value::Ref(o) = arg {
+                    if !self.schema.is_live(expected) {
+                        continue;
+                    }
+                    let arg_ty = self.store.type_of(*o)?;
+                    if !self.schema.is_supertype_of(expected, arg_ty)? {
+                        return Err(TigukatError::ArgumentTypeMismatch {
+                            behavior: b,
+                            position: i,
+                            expected,
+                            got: arg_ty,
+                        });
+                    }
+                }
+            }
+        }
+        let (_, f) = self
+            .resolve_impl(ty, b)
+            .ok_or(TigukatError::NoImplementation { ty, behavior: b })?;
+        let kind = self.function(f)?.kind;
+        match kind {
+            FunctionKind::Stored => Ok(self.store.get(&self.schema, receiver, b)?),
+            FunctionKind::Computed(builtin) => self.run_builtin(builtin, receiver, ty, args),
+        }
+    }
+
+    /// Late-binding resolution: breadth-first over the supertype lattice
+    /// from `ty` (levels follow the derived immediate supertypes `P`), so
+    /// the most specific association wins.
+    pub fn resolve_impl(&self, ty: TypeId, b: BehaviorId) -> Option<(TypeId, FunctionId)> {
+        let mut frontier = vec![ty];
+        let mut seen = std::collections::BTreeSet::new();
+        while !frontier.is_empty() {
+            // Deterministic within a level: TypeId order.
+            let mut level: Vec<TypeId> = std::mem::take(&mut frontier);
+            level.sort();
+            let mut hit: Option<(TypeId, FunctionId)> = None;
+            for &x in &level {
+                if !seen.insert(x) {
+                    continue;
+                }
+                if let Some(&f) = self.impls.get(&(x, b)) {
+                    if self.functions[f.index()].alive && hit.is_none() {
+                        hit = Some((x, f));
+                    }
+                }
+                if let Ok(p) = self.schema.immediate_supertypes(x) {
+                    frontier.extend(p.iter().copied());
+                }
+            }
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+
+    fn run_builtin(
+        &mut self,
+        builtin: Builtin,
+        receiver: Oid,
+        ty: TypeId,
+        args: &[Value],
+    ) -> Result<Value> {
+        let as_type = |ob: &Self| -> Result<TypeId> {
+            match ob.meta_of.get(&receiver) {
+                Some(MetaRef::Type(t)) => Ok(*t),
+                _ => Err(TigukatError::InvalidReceiver {
+                    receiver,
+                    expected: "a type object",
+                }),
+            }
+        };
+        let type_list = |ob: &Self, ts: Vec<TypeId>| -> Value {
+            Value::List(
+                ts.into_iter()
+                    .filter_map(|t| ob.type_objects.get(&t).copied())
+                    .map(Value::Ref)
+                    .collect(),
+            )
+        };
+        let behavior_list = |ob: &Self, bs: Vec<BehaviorId>| -> Value {
+            Value::List(
+                bs.into_iter()
+                    .filter_map(|b| ob.behaviors.get(&b).map(|i| i.object))
+                    .map(Value::Ref)
+                    .collect(),
+            )
+        };
+        match builtin {
+            Builtin::Supertypes => {
+                let t = as_type(self)?;
+                let p = self
+                    .schema
+                    .immediate_supertypes(t)?
+                    .iter()
+                    .copied()
+                    .collect();
+                Ok(type_list(self, p))
+            }
+            Builtin::SuperLattice => {
+                let t = as_type(self)?;
+                let pl = self.schema.super_lattice(t)?.iter().copied().collect();
+                Ok(type_list(self, pl))
+            }
+            Builtin::Subtypes => {
+                let t = as_type(self)?;
+                let subs = self.schema.immediate_subtypes(t)?.into_iter().collect();
+                Ok(type_list(self, subs))
+            }
+            Builtin::Interface => {
+                let t = as_type(self)?;
+                let i = self.schema.interface(t)?.iter().copied().collect();
+                Ok(behavior_list(self, i))
+            }
+            Builtin::Native => {
+                let t = as_type(self)?;
+                let n = self.schema.native_properties(t)?.iter().copied().collect();
+                Ok(behavior_list(self, n))
+            }
+            Builtin::Inherited => {
+                let t = as_type(self)?;
+                let h = self
+                    .schema
+                    .inherited_properties(t)?
+                    .iter()
+                    .copied()
+                    .collect();
+                Ok(behavior_list(self, h))
+            }
+            Builtin::TypeOf => {
+                let obj =
+                    self.type_objects
+                        .get(&ty)
+                        .copied()
+                        .ok_or(TigukatError::InvalidReceiver {
+                            receiver,
+                            expected: "a type with a type object",
+                        })?;
+                Ok(Value::Ref(obj))
+            }
+            Builtin::Identity => Ok(Value::Ref(receiver)),
+            Builtin::ConformsTo => {
+                let arg = args.first().ok_or(TigukatError::ArityMismatch {
+                    behavior: self.prim.b_conforms_to,
+                    expected: 1,
+                    got: 0,
+                })?;
+                let target = match arg {
+                    Value::Ref(o) => match self.meta_of.get(o) {
+                        Some(MetaRef::Type(t)) => *t,
+                        _ => {
+                            return Err(TigukatError::InvalidReceiver {
+                                receiver: *o,
+                                expected: "a type object argument",
+                            })
+                        }
+                    },
+                    _ => {
+                        return Err(TigukatError::InvalidReceiver {
+                            receiver,
+                            expected: "a type object argument",
+                        })
+                    }
+                };
+                Ok(Value::Bool(self.schema.is_supertype_of(target, ty)?))
+            }
+            Builtin::ConstNull => Ok(Value::Null),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal construction helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn register_function(&mut self, name: &str, kind: FunctionKind) -> FunctionId {
+        let f = FunctionId::from_index(self.functions.len());
+        let object = self.create_meta_object(self.prim.t_function, MetaRef::Function(f));
+        self.functions.push(FunctionInfo {
+            name: name.to_string(),
+            kind,
+            alive: true,
+            object,
+        });
+        f
+    }
+
+    pub(crate) fn create_type_object(&mut self, t: TypeId) -> Oid {
+        let oid = self.create_meta_object(self.prim.t_type, MetaRef::Type(t));
+        self.type_objects.insert(t, oid);
+        oid
+    }
+
+    pub(crate) fn create_class_record(&mut self, t: TypeId) -> Oid {
+        let object = self.create_meta_object(self.prim.t_class, MetaRef::Class(t));
+        self.classes.insert(t, ClassInfo { object });
+        object
+    }
+
+    /// Create a meta object in the store (bypasses the class requirement —
+    /// the bootstrap itself creates the classes).
+    pub(crate) fn create_meta_object(&mut self, meta_ty: TypeId, r: MetaRef) -> Oid {
+        let oid = self
+            .store
+            .create(&self.schema, meta_ty)
+            .expect("meta types exist from bootstrap");
+        self.meta_of.insert(oid, r);
+        oid
+    }
+
+    /// Propagate a schema change to the instance level: the affected types
+    /// are the edited ones plus their entire down-sets.
+    pub(crate) fn propagate(&mut self, edited: &[TypeId]) {
+        let mut affected: std::collections::BTreeSet<TypeId> = std::collections::BTreeSet::new();
+        for &t in edited {
+            if self.schema.is_live(t) {
+                affected.insert(t);
+                if let Ok(subs) = self.schema.all_subtypes(t) {
+                    affected.extend(subs);
+                }
+            }
+        }
+        let affected: Vec<TypeId> = affected.into_iter().collect();
+        self.store.on_schema_change(&self.schema, &affected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_is_axiomatically_valid() {
+        let ob = Objectbase::new();
+        assert!(ob.schema().verify().is_empty());
+        assert_eq!(ob.tso().len(), 16);
+        // Every primitive type has a class and a type object.
+        for t in ob.primitives().all_types() {
+            assert!(ob.has_class(t), "{t}");
+            assert!(ob.type_object(t).is_some(), "{t}");
+        }
+        // The 9 primitive behaviors are schema objects (in some interface).
+        assert_eq!(ob.bso().len(), 9);
+        // And each has exactly one implementation, so |FSO| = 9.
+        assert_eq!(ob.fso().len(), 9);
+    }
+
+    #[test]
+    fn c_type_extent_holds_type_objects() {
+        let ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let extent = ob.store().extent(prim.t_type);
+        assert_eq!(extent.len(), 16);
+        for t in prim.all_types() {
+            assert!(extent.contains(&ob.type_object(t).unwrap()));
+        }
+    }
+
+    #[test]
+    fn b_supertypes_on_type_object() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let int_obj = ob.type_object(prim.t_integer).unwrap();
+        let out = ob.apply(int_obj, prim.b_supertypes, &[]).unwrap();
+        // P(T_integer) = {T_real}.
+        let real_obj = ob.type_object(prim.t_real).unwrap();
+        assert_eq!(out, Value::List(vec![Value::Ref(real_obj)]));
+    }
+
+    #[test]
+    fn b_super_lattice_and_interface() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let nat_obj = ob.type_object(prim.t_natural).unwrap();
+        let out = ob.apply(nat_obj, prim.b_super_lattice, &[]).unwrap();
+        if let Value::List(xs) = out {
+            // PL(T_natural) = {natural, integer, real, atomic, object}.
+            assert_eq!(xs.len(), 5);
+        } else {
+            panic!("expected list");
+        }
+        let iface = ob.apply(nat_obj, prim.b_interface, &[]).unwrap();
+        if let Value::List(xs) = iface {
+            // T_natural's interface = T_object's three behaviors (inherited).
+            assert_eq!(xs.len(), 3);
+        } else {
+            panic!("expected list");
+        }
+    }
+
+    #[test]
+    fn b_mapsto_and_conforms_to() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let int_obj = ob.type_object(prim.t_integer).unwrap();
+        // A type object's type is T_type.
+        let t = ob.apply(int_obj, prim.b_mapsto, &[]).unwrap();
+        assert_eq!(t, Value::Ref(ob.type_object(prim.t_type).unwrap()));
+        // Type objects conform to T_type and T_object but not T_atomic.
+        let t_type_obj = Value::Ref(ob.type_object(prim.t_type).unwrap());
+        let t_atomic_obj = Value::Ref(ob.type_object(prim.t_atomic).unwrap());
+        assert_eq!(
+            ob.apply(int_obj, prim.b_conforms_to, &[t_type_obj])
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ob.apply(int_obj, prim.b_conforms_to, &[t_atomic_obj])
+                .unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn argument_types_are_conformance_checked() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let int_obj = ob.type_object(prim.t_integer).unwrap();
+        // B_conformsTo declares its argument as T_type; pass a plain string
+        // instance instead.
+        ob.ac(prim.t_string).unwrap_err(); // class already exists
+        let s_inst = ob.ao(prim.t_string).unwrap();
+        let err = ob
+            .apply(int_obj, prim.b_conforms_to, &[Value::Ref(s_inst)])
+            .unwrap_err();
+        assert!(
+            matches!(err, TigukatError::ArgumentTypeMismatch { position: 0, .. }),
+            "{err}"
+        );
+        // A proper type-object argument passes the conformance check, and
+        // the receiver (a type object, i.e. an instance of T_type) conforms
+        // to T_type.
+        let t_type_obj = Value::Ref(ob.type_object(prim.t_type).unwrap());
+        assert_eq!(
+            ob.apply(int_obj, prim.b_conforms_to, &[t_type_obj])
+                .unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn behavior_outside_interface_rejected() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        // B_supertypes is not in the interface of T_string instances.
+        let s_obj = ob.type_object(prim.t_string).unwrap();
+        // s_obj IS a type object (instance of T_type), so B_supertypes works;
+        // instead create a plain object of T_string... which needs a class:
+        let inst = ob.ao(prim.t_string).unwrap();
+        let err = ob.apply(inst, prim.b_supertypes, &[]).unwrap_err();
+        assert!(matches!(err, TigukatError::BehaviorNotInInterface { .. }));
+        // Arity is enforced.
+        let err = ob.apply(s_obj, prim.b_conforms_to, &[]).unwrap_err();
+        assert!(matches!(err, TigukatError::ArityMismatch { .. }));
+    }
+}

@@ -1,0 +1,627 @@
+//! The schema-evolution operations of §3.3, named as in the paper.
+//!
+//! "The basic operations affecting the schema include adding behaviors to a
+//! type definition, dropping behaviors from a type definition, changing the
+//! implementation of a behavior in a type, and adding and dropping classes.
+//! The other schema changes ... are defined in terms of the basic
+//! operations" (§3.3). Every schema-affecting operation here propagates to
+//! the instance level through the store's change-propagation policy.
+//!
+//! Operations that the paper classifies as **not** schema evolution (the
+//! emphasized cells of Table 3) are also provided — AB, AF, MF, AO, DO, MO,
+//! and collection-membership changes — so the `table3_classification`
+//! harness can exercise the complete matrix.
+
+use axiombase_core::TypeId;
+use axiombase_store::{Oid, Value};
+
+use crate::error::{Result, TigukatError};
+#[cfg(test)]
+use crate::meta::Builtin;
+use crate::meta::{
+    BehaviorId, BehaviorInfo, CollId, Collection, FunctionId, FunctionKind, Signature,
+};
+use crate::objectbase::{MetaRef, Objectbase};
+
+impl Objectbase {
+    // ------------------------------------------------------------------
+    // Non-schema definitions (emphasized cells of Table 3)
+    // ------------------------------------------------------------------
+
+    /// AB — define a new behavior. Not a schema change: "behaviors don't
+    /// become part of the schema until after they are added as essential
+    /// behaviors of some type" (§3.3).
+    pub fn ab(&mut self, name: &str, signature: Option<Signature>) -> BehaviorId {
+        let b = self.schema.add_property(name);
+        let object = self.create_meta_object(self.prim.t_behavior, MetaRef::Behavior(b));
+        self.behaviors.insert(b, BehaviorInfo { signature, object });
+        b
+    }
+
+    /// AF — define a new function. Not a schema change: "functions don't
+    /// become part of the schema until after they are associated as the
+    /// implementation of a behavior defined on some type" (§3.3).
+    pub fn af(&mut self, name: &str, kind: FunctionKind) -> FunctionId {
+        self.register_function(name, kind)
+    }
+
+    /// MF — modify a function's implementation in place. "Modifying a
+    /// function does not affect the semantics of the behaviors it may be
+    /// associated with and, therefore, this operation does not affect the
+    /// schema" (§3.3).
+    pub fn mf(&mut self, f: FunctionId, kind: FunctionKind) -> Result<()> {
+        let info = self
+            .functions
+            .get_mut(f.index())
+            .filter(|i| i.alive)
+            .ok_or(TigukatError::UnknownFunction(f))?;
+        info.kind = kind;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // MT-AB / MT-DB — behaviors of a type
+    // ------------------------------------------------------------------
+
+    /// MT-AB — "adds a behavior as an essential component of a type and the
+    /// behavior then becomes part of `BSO`. To add behavior `b` to type `t`,
+    /// `b` is added to `N_e(t)` and `N(t), H(t), I(t)` are recomputed"
+    /// (§3.3). A stored implementation is associated automatically if the
+    /// behavior has no implementation anywhere in `PL(t)`, so attribute-like
+    /// behaviors work out of the box.
+    pub fn mt_ab(&mut self, t: TypeId, b: BehaviorId) -> Result<()> {
+        if !self.behaviors.contains_key(&b) {
+            return Err(TigukatError::UnknownBehavior(b));
+        }
+        self.schema.add_essential_property(t, b)?;
+        if self.resolve_impl(t, b).is_none() {
+            let name = format!("stored_{}", self.schema.prop_name(b).unwrap_or("b"));
+            let f = self.register_function(&name, FunctionKind::Stored);
+            self.impls.insert((t, b), f);
+        }
+        self.propagate(&[t]);
+        Ok(())
+    }
+
+    /// MT-DB — "drops a behavior as an essential component of a type, which
+    /// could possibly remove it from `BSO` ... Note that this may not
+    /// actually remove `b` from the interface of `t` because `b` may be
+    /// inherited from one or more supertypes" (§3.3).
+    pub fn mt_db(&mut self, t: TypeId, b: BehaviorId) -> Result<()> {
+        self.schema.drop_essential_property(t, b)?;
+        self.propagate(&[t]);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // MT-ASR / MT-DSR — subtype relationships
+    // ------------------------------------------------------------------
+
+    /// MT-ASR — add `s` as an essential supertype of `t`. "Due to the axiom
+    /// of acyclicity, the addition ... is rejected if it introduces a cycle"
+    /// (§3.3).
+    pub fn mt_asr(&mut self, t: TypeId, s: TypeId) -> Result<()> {
+        self.schema.add_essential_supertype(t, s)?;
+        self.propagate(&[t]);
+        Ok(())
+    }
+
+    /// MT-DSR — drop `s` as an essential supertype of `t`. "Due to the axiom
+    /// of rootedness, which TIGUKAT obeys, a subtype relationship to
+    /// `T_object` cannot be dropped" (§3.3) — TIGUKAT rejects the root edge
+    /// unconditionally, even when redundant (stricter than the axioms
+    /// require; the core model only protects the last edge).
+    pub fn mt_dsr(&mut self, t: TypeId, s: TypeId) -> Result<()> {
+        if Some(s) == self.schema.root() && self.schema.essential_supertypes(t)?.contains(&s) {
+            return Err(axiombase_core::SchemaError::RootEdgeDrop { subtype: t }.into());
+        }
+        self.schema.drop_essential_supertype(t, s)?;
+        self.propagate(&[t]);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // AT / DT — types
+    // ------------------------------------------------------------------
+
+    /// AT — create a new type (the meta-system's `B_new`): "accepts a
+    /// collection of supertypes and a collection of behaviors as arguments
+    /// ... If no supertypes are specified, `T_object` is assumed. Due to the
+    /// axiom of pointedness ... the new type is added to `P_e(T_null)`"
+    /// (§3.3) — both defaults are enforced by the axiomatic schema. A type
+    /// object is created; the associated class is *not* (use [`Self::ac`]).
+    pub fn at(
+        &mut self,
+        name: &str,
+        supertypes: impl IntoIterator<Item = TypeId>,
+        behaviors: impl IntoIterator<Item = BehaviorId>,
+    ) -> Result<TypeId> {
+        let behaviors: Vec<BehaviorId> = behaviors.into_iter().collect();
+        for &b in &behaviors {
+            if !self.behaviors.contains_key(&b) {
+                return Err(TigukatError::UnknownBehavior(b));
+            }
+        }
+        let t = self
+            .schema
+            .add_type(name, supertypes, behaviors.iter().copied())?;
+        self.create_type_object(t);
+        // Attribute-like behaviors get stored implementations by default.
+        for b in behaviors {
+            if self.resolve_impl(t, b).is_none() {
+                let fname = format!("stored_{}", self.schema.prop_name(b).unwrap_or("b"));
+                let f = self.register_function(&fname, FunctionKind::Stored);
+                self.impls.insert((t, b), f);
+            }
+        }
+        self.propagate(&[t]);
+        Ok(t)
+    }
+
+    /// DT — drop a type: "the type is removed from `C_type` and from the
+    /// `P_e` of all subtypes ... When a type is dropped, the type's
+    /// associated class and extent are dropped as well" (§3.3). Primitive
+    /// types are frozen and rejected at the schema level.
+    pub fn dt(&mut self, t: TypeId) -> Result<()> {
+        // Validate first so the combined operation is atomic.
+        self.schema.check_droppable(t)?;
+        if self.classes.contains_key(&t) {
+            self.dc(t)?;
+        }
+        let edited = self.schema.drop_type(t)?;
+        if let Some(oid) = self.type_objects.remove(&t) {
+            let _ = self.store.delete(oid);
+            self.meta_of.remove(&oid);
+        }
+        self.impls.retain(|(x, _), _| *x != t);
+        self.propagate(&edited);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // AC / DC — classes
+    // ------------------------------------------------------------------
+
+    /// AC — "creates a class, adds it to `CSO`, and uniquely associates it
+    /// with a particular type to manage its extent. The creation of a class
+    /// allows instances of its associated type to be created" (§3.3).
+    pub fn ac(&mut self, t: TypeId) -> Result<Oid> {
+        if !self.schema.is_live(t) {
+            return Err(axiombase_core::SchemaError::UnknownType(t).into());
+        }
+        if self.classes.contains_key(&t) {
+            return Err(TigukatError::ClassExists(t));
+        }
+        Ok(self.create_class_record(t))
+    }
+
+    /// DC — "drops the associated class of a type and removes it from
+    /// `CSO`. The extent managed by a dropped class is also dropped" (§3.3).
+    /// Use [`Self::migrate_object`] beforehand to preserve instances.
+    pub fn dc(&mut self, t: TypeId) -> Result<Vec<Oid>> {
+        let info = self.classes.remove(&t).ok_or(TigukatError::NoClass(t))?;
+        let _ = self.store.delete(info.object);
+        self.meta_of.remove(&info.object);
+        let dropped = self.store.drop_extent(t);
+        for oid in &dropped {
+            self.meta_of.remove(oid);
+        }
+        Ok(dropped)
+    }
+
+    // ------------------------------------------------------------------
+    // DB / MB-CA / DF — behaviors and functions
+    // ------------------------------------------------------------------
+
+    /// DB — "drops a given behavior and removes it from `BSO`. A dropped
+    /// behavior is dropped from all types that define the behavior as
+    /// essential" (§3.3).
+    pub fn db(&mut self, b: BehaviorId) -> Result<()> {
+        let info = self
+            .behaviors
+            .remove(&b)
+            .ok_or(TigukatError::UnknownBehavior(b))?;
+        let holders = match self.schema.drop_property(b) {
+            Ok(h) => h,
+            Err(e) => {
+                self.behaviors.insert(b, info); // restore; nothing changed
+                return Err(e.into());
+            }
+        };
+        let _ = self.store.delete(info.object);
+        self.meta_of.remove(&info.object);
+        self.impls.retain(|(_, x), _| *x != b);
+        self.propagate(&holders);
+        Ok(())
+    }
+
+    /// MB-CA — "changes the implementation of a behavior by associating it
+    /// with a different function, which could also affect the function's
+    /// membership in `FSO`" (§3.3). The behavior must be in the target
+    /// type's interface for the association to be meaningful.
+    pub fn mb_ca(&mut self, t: TypeId, b: BehaviorId, f: FunctionId) -> Result<()> {
+        self.function(f)?; // must be live
+        if !self.schema.interface(t)?.contains(&b) {
+            return Err(TigukatError::AssociationOutsideInterface { ty: t, behavior: b });
+        }
+        self.impls.insert((t, b), f);
+        Ok(())
+    }
+
+    /// DF — "drops a given function and removes it from `FSO`. The operation
+    /// is rejected if the function is associated as the implementation of a
+    /// behavior in a type that has an associated class" (§3.3).
+    pub fn df(&mut self, f: FunctionId) -> Result<()> {
+        self.function(f)?;
+        for ((t, b), &g) in &self.impls {
+            if g == f && self.classes.contains_key(t) {
+                return Err(TigukatError::FunctionInUse {
+                    function: f,
+                    ty: *t,
+                    behavior: *b,
+                });
+            }
+        }
+        self.impls.retain(|_, g| *g != f);
+        let info = &mut self.functions[f.index()];
+        info.alive = false;
+        let obj = info.object;
+        let _ = self.store.delete(obj);
+        self.meta_of.remove(&obj);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // AL / DL / ML — collections
+    // ------------------------------------------------------------------
+
+    /// AL — "adds a new empty collection to `LSO`" (§3.3).
+    pub fn al(&mut self, name: &str) -> CollId {
+        let c = CollId::from_index(self.collections.len());
+        let object = self.create_meta_object(self.prim.t_collection, MetaRef::Collection(c));
+        self.collections.push(Collection {
+            name: name.to_string(),
+            members: Vec::new(),
+            alive: true,
+            object,
+        });
+        c
+    }
+
+    /// DL — "drops a given collection ... Unlike classes, dropping a
+    /// collection does not drop its members" (§3.3).
+    pub fn dl(&mut self, c: CollId) -> Result<()> {
+        let coll = self
+            .collections
+            .get_mut(c.index())
+            .filter(|x| x.alive)
+            .ok_or(TigukatError::UnknownCollection(c))?;
+        coll.alive = false;
+        coll.members.clear();
+        let obj = coll.object;
+        let _ = self.store.delete(obj);
+        self.meta_of.remove(&obj);
+        Ok(())
+    }
+
+    /// ML (modify collection) — membership changes are "operations related
+    /// to the contents of the collection and, therefore, are not part of the
+    /// schema evolution problem" (§3.3).
+    pub fn collection_insert(&mut self, c: CollId, member: Oid) -> Result<()> {
+        self.store.record(member)?;
+        let coll = self
+            .collections
+            .get_mut(c.index())
+            .filter(|x| x.alive)
+            .ok_or(TigukatError::UnknownCollection(c))?;
+        if !coll.members.contains(&member) {
+            coll.members.push(member);
+        }
+        Ok(())
+    }
+
+    /// The members of a collection that still exist in the store.
+    ///
+    /// Collections are user-managed (§3.1) and deliberately not kept in
+    /// sync by object deletion — DO/DC can leave dangling references in a
+    /// collection, exactly as the paper's flat grouping construct implies.
+    /// This view filters them out without mutating the collection.
+    pub fn collection_live_members(&self, c: CollId) -> Result<Vec<Oid>> {
+        Ok(self
+            .collection(c)?
+            .members
+            .iter()
+            .copied()
+            .filter(|&o| self.store.record(o).is_ok())
+            .collect())
+    }
+
+    /// Remove a member from a collection (the other half of ML).
+    pub fn collection_remove(&mut self, c: CollId, member: Oid) -> Result<()> {
+        let coll = self
+            .collections
+            .get_mut(c.index())
+            .filter(|x| x.alive)
+            .ok_or(TigukatError::UnknownCollection(c))?;
+        coll.members.retain(|&m| m != member);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // AO / DO / MO — instances (non-schema)
+    // ------------------------------------------------------------------
+
+    /// AO — create an instance of `t`. "Object creation occurs only through
+    /// classes" (§3.1): rejected if `t` has no associated class.
+    pub fn ao(&mut self, t: TypeId) -> Result<Oid> {
+        if !self.classes.contains_key(&t) {
+            return Err(TigukatError::NoClass(t));
+        }
+        Ok(self.store.create(&self.schema, t)?)
+    }
+
+    /// DO — delete an instance.
+    pub fn do_(&mut self, oid: Oid) -> Result<()> {
+        self.store.delete(oid)?;
+        self.meta_of.remove(&oid);
+        Ok(())
+    }
+
+    /// MO — update an instance's stored state for a behavior in its
+    /// interface.
+    pub fn mo(&mut self, oid: Oid, b: BehaviorId, value: Value) -> Result<()> {
+        self.store.set(&self.schema, oid, b, value)?;
+        Ok(())
+    }
+
+    /// Object migration (outside the paper's scope but referenced by DT/DC):
+    /// port an instance to another type before its class/extent is dropped.
+    pub fn migrate_object(&mut self, oid: Oid, new_ty: TypeId) -> Result<()> {
+        if !self.classes.contains_key(&new_ty) {
+            return Err(TigukatError::NoClass(new_ty));
+        }
+        self.store.migrate(&self.schema, oid, new_ty)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiombase_store::StoreError;
+
+    fn with_person() -> (Objectbase, TypeId, BehaviorId) {
+        let mut ob = Objectbase::new();
+        let person = ob.at("T_person", [], []).unwrap();
+        let b_name = ob.ab("B_name", None);
+        ob.mt_ab(person, b_name).unwrap();
+        ob.ac(person).unwrap();
+        (ob, person, b_name)
+    }
+
+    #[test]
+    fn at_defaults_and_creates_type_object() {
+        let (ob, person, _) = with_person();
+        let prim = ob.primitives();
+        // Defaulted to T_object supertype, added to P_e(T_null).
+        assert!(ob
+            .schema()
+            .immediate_supertypes(person)
+            .unwrap()
+            .contains(&prim.t_object));
+        assert!(ob
+            .schema()
+            .essential_supertypes(prim.t_null)
+            .unwrap()
+            .contains(&person));
+        assert!(ob.type_object(person).is_some());
+        assert!(ob.schema().verify().is_empty());
+    }
+
+    #[test]
+    fn ao_requires_class() {
+        let mut ob = Objectbase::new();
+        let t = ob.at("T_widget", [], []).unwrap();
+        assert_eq!(ob.ao(t).unwrap_err(), TigukatError::NoClass(t));
+        ob.ac(t).unwrap();
+        assert!(ob.ao(t).is_ok());
+        assert_eq!(ob.ac(t).unwrap_err(), TigukatError::ClassExists(t));
+    }
+
+    #[test]
+    fn stored_behavior_roundtrip_via_apply() {
+        let (mut ob, person, b_name) = with_person();
+        let david = ob.ao(person).unwrap();
+        assert_eq!(ob.apply(david, b_name, &[]).unwrap(), Value::Null);
+        ob.mo(david, b_name, "David".into()).unwrap();
+        assert_eq!(
+            ob.apply(david, b_name, &[]).unwrap(),
+            Value::Str("David".into())
+        );
+    }
+
+    #[test]
+    fn mt_ab_makes_behavior_schema_object() {
+        let mut ob = Objectbase::new();
+        let t = ob.at("T_thing", [], []).unwrap();
+        let b = ob.ab("B_x", None);
+        // AB alone: not in BSO.
+        assert!(!ob.bso().contains(&b));
+        ob.mt_ab(t, b).unwrap();
+        assert!(ob.bso().contains(&b));
+        // MT-DB: leaves BSO when no type holds it.
+        ob.mt_db(t, b).unwrap();
+        assert!(!ob.bso().contains(&b));
+    }
+
+    #[test]
+    fn inherited_behavior_resolves_supertype_impl() {
+        let mut ob = Objectbase::new();
+        let person = ob.at("T_person", [], []).unwrap();
+        let b = ob.ab("B_name", None);
+        ob.mt_ab(person, b).unwrap();
+        let student = ob.at("T_student", [person], []).unwrap();
+        ob.ac(student).unwrap();
+        let o = ob.ao(student).unwrap();
+        // Implementation found on the supertype (late binding).
+        ob.mo(o, b, "S".into()).unwrap();
+        assert_eq!(ob.apply(o, b, &[]).unwrap(), Value::Str("S".into()));
+        let (def_ty, _) = ob.resolve_impl(student, b).unwrap();
+        assert_eq!(def_ty, person);
+    }
+
+    #[test]
+    fn dt_drops_class_extent_and_type_object() {
+        let (mut ob, person, _) = with_person();
+        let o = ob.ao(person).unwrap();
+        let tobj = ob.type_object(person).unwrap();
+        ob.dt(person).unwrap();
+        assert!(!ob.schema().is_live(person));
+        assert!(!ob.has_class(person));
+        assert!(ob.store().record(o).is_err());
+        assert!(ob.store().record(tobj).is_err());
+        assert!(ob.schema().verify().is_empty());
+    }
+
+    #[test]
+    fn dt_of_primitive_rejected_atomically() {
+        let mut ob = Objectbase::new();
+        let prim = ob.primitives().clone();
+        let classes_before = ob.cso().len();
+        let err = ob.dt(prim.t_string).unwrap_err();
+        assert!(matches!(err, TigukatError::Schema(_)));
+        // The class was NOT dropped by the failed DT.
+        assert_eq!(ob.cso().len(), classes_before);
+        assert!(ob.has_class(prim.t_string));
+    }
+
+    #[test]
+    fn dc_drops_extent_but_keeps_type() {
+        let (mut ob, person, _) = with_person();
+        let o = ob.ao(person).unwrap();
+        let dropped = ob.dc(person).unwrap();
+        assert_eq!(dropped, vec![o]);
+        assert!(ob.schema().is_live(person));
+        assert!(!ob.has_class(person));
+        assert_eq!(ob.ao(person).unwrap_err(), TigukatError::NoClass(person));
+    }
+
+    #[test]
+    fn db_drops_behavior_everywhere() {
+        let mut ob = Objectbase::new();
+        let a = ob.at("A", [], []).unwrap();
+        let c = ob.at("C", [a], []).unwrap();
+        let b = ob.ab("B_x", None);
+        ob.mt_ab(a, b).unwrap();
+        ob.mt_ab(c, b).unwrap();
+        ob.db(b).unwrap();
+        assert!(!ob.bso().contains(&b));
+        assert!(!ob.schema().interface(c).unwrap().contains(&b));
+        assert_eq!(ob.db(b).unwrap_err(), TigukatError::UnknownBehavior(b));
+    }
+
+    #[test]
+    fn df_rejected_while_classed_type_uses_it() {
+        let (mut ob, person, b_name) = with_person();
+        let f = ob.implementation(person, b_name).unwrap();
+        let err = ob.df(f).unwrap_err();
+        assert!(matches!(err, TigukatError::FunctionInUse { .. }));
+        // Drop the class; DF now succeeds and clears the association.
+        ob.dc(person).unwrap();
+        ob.df(f).unwrap();
+        assert_eq!(ob.implementation(person, b_name), None);
+        assert!(!ob.fso().contains(&f));
+    }
+
+    #[test]
+    fn mb_ca_rebinds_implementation() {
+        let (mut ob, person, b_name) = with_person();
+        let f2 = ob.af("always_null", FunctionKind::Computed(Builtin::ConstNull));
+        ob.mb_ca(person, b_name, f2).unwrap();
+        let o = ob.ao(person).unwrap();
+        ob.mo(o, b_name, "x".into()).unwrap();
+        // The computed implementation now shadows the stored value.
+        assert_eq!(ob.apply(o, b_name, &[]).unwrap(), Value::Null);
+        // MF can swap it back to stored without schema impact.
+        ob.mf(f2, FunctionKind::Stored).unwrap();
+        assert_eq!(ob.apply(o, b_name, &[]).unwrap(), Value::Str("x".into()));
+        // Association outside the interface is rejected.
+        let prim = ob.primitives().clone();
+        let err = ob.mb_ca(prim.t_string, b_name, f2).unwrap_err();
+        assert!(matches!(
+            err,
+            TigukatError::AssociationOutsideInterface { .. }
+        ));
+    }
+
+    #[test]
+    fn collections_are_user_managed() {
+        let (mut ob, person, _) = with_person();
+        let o1 = ob.ao(person).unwrap();
+        let o2 = ob.ao(person).unwrap();
+        let c = ob.al("committee");
+        ob.collection_insert(c, o1).unwrap();
+        ob.collection_insert(c, o2).unwrap();
+        ob.collection_insert(c, o2).unwrap(); // idempotent
+        assert_eq!(ob.collection(c).unwrap().members.len(), 2);
+        ob.collection_remove(c, o1).unwrap();
+        assert_eq!(ob.collection(c).unwrap().members, vec![o2]);
+        // DL does not drop members.
+        ob.dl(c).unwrap();
+        assert!(ob.collection(c).is_err());
+        assert!(ob.store().record(o2).is_ok());
+    }
+
+    #[test]
+    fn collections_tolerate_dangling_members() {
+        let (mut ob, person, _) = with_person();
+        let o1 = ob.ao(person).unwrap();
+        let o2 = ob.ao(person).unwrap();
+        let c = ob.al("refs");
+        ob.collection_insert(c, o1).unwrap();
+        ob.collection_insert(c, o2).unwrap();
+        // DO leaves a dangling reference in the user-managed collection.
+        ob.do_(o1).unwrap();
+        assert_eq!(ob.collection(c).unwrap().members.len(), 2);
+        assert_eq!(ob.collection_live_members(c).unwrap(), vec![o2]);
+    }
+
+    #[test]
+    fn migration_preserves_instances_across_dt() {
+        let mut ob = Objectbase::new();
+        let person = ob.at("T_person", [], []).unwrap();
+        let b_name = ob.ab("B_name", None);
+        ob.mt_ab(person, b_name).unwrap();
+        ob.ac(person).unwrap();
+        let emp = ob.at("T_employee", [person], []).unwrap();
+        ob.ac(emp).unwrap();
+        let o = ob.ao(emp).unwrap();
+        ob.mo(o, b_name, "Ada".into()).unwrap();
+        // Port the instance to T_person, then drop T_employee.
+        ob.migrate_object(o, person).unwrap();
+        ob.dt(emp).unwrap();
+        assert_eq!(ob.apply(o, b_name, &[]).unwrap(), Value::Str("Ada".into()));
+    }
+
+    #[test]
+    fn schema_change_propagates_to_instances() {
+        let (mut ob, person, _) = with_person();
+        let o = ob.ao(person).unwrap();
+        let b_age = ob.ab("B_age", None);
+        ob.mt_ab(person, b_age).unwrap();
+        // Lazy policy: object converts on access and reads Null.
+        assert_eq!(ob.apply(o, b_age, &[]).unwrap(), Value::Null);
+        assert!(ob.store().stats().lazy_conversions >= 1);
+    }
+
+    #[test]
+    fn do_and_mo_reject_unknown_objects() {
+        let (mut ob, _, b_name) = with_person();
+        let ghost = Oid::from_raw(9999);
+        assert!(matches!(
+            ob.do_(ghost).unwrap_err(),
+            TigukatError::Store(StoreError::UnknownObject(_))
+        ));
+        assert!(ob.mo(ghost, b_name, Value::Null).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! The primitive type system of Figure 2, bootstrapped.
+//!
+//! "The type `T_object` is the root of the type system and `T_null` is the
+//! base" (§3.1). Between them sit the atomic types (`T_real → T_integer →
+//! T_natural`, `T_string`, `T_boolean` under `T_atomic`), the schema types
+//! (`T_type`, `T_behavior`, `T_function`), the grouping types
+//! (`T_collection` and its subtype `T_class` — "collections are defined as
+//! heterogeneous grouping constructs as opposed to classes", §3.1), and the
+//! extended meta types (`T_type-class`, `T_class-class`,
+//! `T_collection-class`), whose "placement within the type lattice directly
+//! supports the uniformity of the model" (§3.1); we place them as subtypes
+//! of `T_class`.
+//!
+//! All primitive types are frozen: "there is the restriction that the
+//! primitive types of the model cannot be dropped" (§3.3).
+//!
+//! The bootstrap also defines the primitive behaviors the paper names:
+//! `B_supertypes`, `B_super-lattice`, `B_interface`, `B_native`,
+//! `B_inherited` and `B_subtypes` on `T_type` (§3.1), plus `B_mapsto`,
+//! `B_self` and `B_conformsTo` on `T_object`, each associated with an
+//! engine-provided computed function.
+
+use axiombase_core::{LatticeConfig, PropId, Schema, TypeId};
+
+use crate::meta::{Builtin, Signature};
+
+/// Named handles to every primitive type and behavior, returned by the
+/// bootstrap and kept on the objectbase for convenient reference.
+#[derive(Debug, Clone)]
+pub struct Primitives {
+    /// `T_object` — the root, least defined type.
+    pub t_object: TypeId,
+    /// `T_null` — the base, most defined type.
+    pub t_null: TypeId,
+    /// `T_atomic` — supertype of the atomic entity types.
+    pub t_atomic: TypeId,
+    /// `T_boolean`.
+    pub t_boolean: TypeId,
+    /// `T_string`.
+    pub t_string: TypeId,
+    /// `T_real`.
+    pub t_real: TypeId,
+    /// `T_integer` (subtype of `T_real`).
+    pub t_integer: TypeId,
+    /// `T_natural` (subtype of `T_integer`).
+    pub t_natural: TypeId,
+    /// `T_type` — the type of types.
+    pub t_type: TypeId,
+    /// `T_behavior` — the type of behaviors.
+    pub t_behavior: TypeId,
+    /// `T_function` — the type of functions.
+    pub t_function: TypeId,
+    /// `T_collection` — heterogeneous user-managed groupings.
+    pub t_collection: TypeId,
+    /// `T_class` — system-managed type extents (subtype of `T_collection`).
+    pub t_class: TypeId,
+    /// `T_type-class` — meta: the type of `C_type`-like classes.
+    pub t_type_class: TypeId,
+    /// `T_class-class` — meta: the type of classes of classes.
+    pub t_class_class: TypeId,
+    /// `T_collection-class` — meta: the type of classes of collections.
+    pub t_collection_class: TypeId,
+
+    /// `B_supertypes` — returns `P(t)` of a receiver type.
+    pub b_supertypes: PropId,
+    /// `B_super-lattice` — returns `PL(t)` of a receiver type.
+    pub b_super_lattice: PropId,
+    /// `B_subtypes` — returns the immediate subtypes of a receiver type.
+    pub b_subtypes: PropId,
+    /// `B_interface` — returns `I(t)` of a receiver type.
+    pub b_interface: PropId,
+    /// `B_native` — returns `N(t)` of a receiver type.
+    pub b_native: PropId,
+    /// `B_inherited` — returns `H(t)` of a receiver type.
+    pub b_inherited: PropId,
+    /// `B_mapsto` — returns the type of the receiver.
+    pub b_mapsto: PropId,
+    /// `B_self` — returns the receiver.
+    pub b_self: PropId,
+    /// `B_conformsTo` — inclusion-polymorphic instance test.
+    pub b_conforms_to: PropId,
+}
+
+/// The behaviors to bootstrap: `(label, target type key, builtin, signature)`.
+/// The signature's result type is resolved against the primitives.
+pub(crate) struct BehaviorSpec {
+    pub name: &'static str,
+    pub builtin: Builtin,
+}
+
+/// Build the schema half of the bootstrap: the Figure 2 lattice, the
+/// primitive behaviors in `N_e`, and the frozen flags. Store-level objects
+/// (type/behavior/function/class objects) are created by the objectbase on
+/// top of this.
+pub(crate) fn bootstrap_schema() -> (Schema, Primitives) {
+    let mut s = Schema::new(LatticeConfig::TIGUKAT);
+    let t_object = s.add_root_type("T_object").expect("fresh schema");
+    let t_null = s.add_base_type("T_null").expect("fresh schema");
+
+    let ty = |s: &mut Schema, name: &str, parents: &[TypeId]| -> TypeId {
+        s.add_type(name, parents.iter().copied(), [])
+            .expect("primitive bootstrap is statically valid")
+    };
+
+    let t_atomic = ty(&mut s, "T_atomic", &[t_object]);
+    let t_boolean = ty(&mut s, "T_boolean", &[t_atomic]);
+    let t_string = ty(&mut s, "T_string", &[t_atomic]);
+    let t_real = ty(&mut s, "T_real", &[t_atomic]);
+    let t_integer = ty(&mut s, "T_integer", &[t_real]);
+    let t_natural = ty(&mut s, "T_natural", &[t_integer]);
+    let t_type = ty(&mut s, "T_type", &[t_object]);
+    let t_behavior = ty(&mut s, "T_behavior", &[t_object]);
+    let t_function = ty(&mut s, "T_function", &[t_object]);
+    let t_collection = ty(&mut s, "T_collection", &[t_object]);
+    let t_class = ty(&mut s, "T_class", &[t_collection]);
+    let t_type_class = ty(&mut s, "T_type-class", &[t_class]);
+    let t_class_class = ty(&mut s, "T_class-class", &[t_class]);
+    let t_collection_class = ty(&mut s, "T_collection-class", &[t_class]);
+
+    // Primitive behaviors of T_object (inherited by everything).
+    let b_mapsto = s.define_property_on(t_object, "B_mapsto").unwrap();
+    let b_self = s.define_property_on(t_object, "B_self").unwrap();
+    let b_conforms_to = s.define_property_on(t_object, "B_conformsTo").unwrap();
+
+    // Schema-evolution behaviors of T_type (§3.1).
+    let b_supertypes = s.define_property_on(t_type, "B_supertypes").unwrap();
+    let b_super_lattice = s.define_property_on(t_type, "B_super-lattice").unwrap();
+    let b_subtypes = s.define_property_on(t_type, "B_subtypes").unwrap();
+    let b_interface = s.define_property_on(t_type, "B_interface").unwrap();
+    let b_native = s.define_property_on(t_type, "B_native").unwrap();
+    let b_inherited = s.define_property_on(t_type, "B_inherited").unwrap();
+
+    for t in [
+        t_object,
+        t_null,
+        t_atomic,
+        t_boolean,
+        t_string,
+        t_real,
+        t_integer,
+        t_natural,
+        t_type,
+        t_behavior,
+        t_function,
+        t_collection,
+        t_class,
+        t_type_class,
+        t_class_class,
+        t_collection_class,
+    ] {
+        s.freeze_type(t).unwrap();
+    }
+
+    let prim = Primitives {
+        t_object,
+        t_null,
+        t_atomic,
+        t_boolean,
+        t_string,
+        t_real,
+        t_integer,
+        t_natural,
+        t_type,
+        t_behavior,
+        t_function,
+        t_collection,
+        t_class,
+        t_type_class,
+        t_class_class,
+        t_collection_class,
+        b_supertypes,
+        b_super_lattice,
+        b_subtypes,
+        b_interface,
+        b_native,
+        b_inherited,
+        b_mapsto,
+        b_self,
+        b_conforms_to,
+    };
+    (s, prim)
+}
+
+impl Primitives {
+    /// All primitive types, in bootstrap order.
+    pub fn all_types(&self) -> [TypeId; 16] {
+        [
+            self.t_object,
+            self.t_null,
+            self.t_atomic,
+            self.t_boolean,
+            self.t_string,
+            self.t_real,
+            self.t_integer,
+            self.t_natural,
+            self.t_type,
+            self.t_behavior,
+            self.t_function,
+            self.t_collection,
+            self.t_class,
+            self.t_type_class,
+            self.t_class_class,
+            self.t_collection_class,
+        ]
+    }
+
+    /// The primitive behaviors with their builtins and the type that defines
+    /// them natively, for implementation association during bootstrap.
+    pub(crate) fn behavior_table(&self) -> [(PropId, TypeId, BehaviorSpec); 9] {
+        [
+            (
+                self.b_mapsto,
+                self.t_object,
+                BehaviorSpec {
+                    name: "fn_mapsto",
+                    builtin: Builtin::TypeOf,
+                },
+            ),
+            (
+                self.b_self,
+                self.t_object,
+                BehaviorSpec {
+                    name: "fn_self",
+                    builtin: Builtin::Identity,
+                },
+            ),
+            (
+                self.b_conforms_to,
+                self.t_object,
+                BehaviorSpec {
+                    name: "fn_conformsTo",
+                    builtin: Builtin::ConformsTo,
+                },
+            ),
+            (
+                self.b_supertypes,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_supertypes",
+                    builtin: Builtin::Supertypes,
+                },
+            ),
+            (
+                self.b_super_lattice,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_super_lattice",
+                    builtin: Builtin::SuperLattice,
+                },
+            ),
+            (
+                self.b_subtypes,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_subtypes",
+                    builtin: Builtin::Subtypes,
+                },
+            ),
+            (
+                self.b_interface,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_interface",
+                    builtin: Builtin::Interface,
+                },
+            ),
+            (
+                self.b_native,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_native",
+                    builtin: Builtin::Native,
+                },
+            ),
+            (
+                self.b_inherited,
+                self.t_type,
+                BehaviorSpec {
+                    name: "fn_inherited",
+                    builtin: Builtin::Inherited,
+                },
+            ),
+        ]
+    }
+
+    /// Signature for a primitive behavior (partial semantics, §3.1).
+    pub fn signature_of(&self, b: PropId) -> Signature {
+        let result = if b == self.b_conforms_to {
+            self.t_boolean
+        } else if b == self.b_mapsto {
+            self.t_type
+        } else if b == self.b_self {
+            self.t_object
+        } else {
+            self.t_collection
+        };
+        let args = if b == self.b_conforms_to {
+            vec![self.t_type]
+        } else {
+            Vec::new()
+        };
+        Signature { args, result }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_lattice_shape() {
+        let (s, p) = bootstrap_schema();
+        assert_eq!(s.root(), Some(p.t_object));
+        assert_eq!(s.base(), Some(p.t_null));
+        assert_eq!(s.type_count(), 16);
+        // T_natural ⊑ T_integer ⊑ T_real ⊑ T_atomic ⊑ T_object.
+        assert!(s.is_supertype_of(p.t_real, p.t_natural).unwrap());
+        assert!(s.is_supertype_of(p.t_atomic, p.t_natural).unwrap());
+        // T_class ⊑ T_collection; meta types ⊑ T_class.
+        assert!(s.is_supertype_of(p.t_collection, p.t_class).unwrap());
+        assert!(s.is_supertype_of(p.t_class, p.t_class_class).unwrap());
+        assert!(s.is_supertype_of(p.t_class, p.t_type_class).unwrap());
+        assert!(s.is_supertype_of(p.t_class, p.t_collection_class).unwrap());
+        // Pointedness: every type is a supertype of T_null.
+        for t in p.all_types() {
+            assert!(s.is_supertype_of(t, p.t_null).unwrap(), "{t}");
+        }
+        assert!(s.verify().is_empty());
+    }
+
+    #[test]
+    fn primitive_behaviors_in_interfaces() {
+        let (s, p) = bootstrap_schema();
+        // T_type natively defines the six schema behaviors.
+        let native = s.native_properties(p.t_type).unwrap();
+        for b in [
+            p.b_supertypes,
+            p.b_super_lattice,
+            p.b_subtypes,
+            p.b_interface,
+            p.b_native,
+            p.b_inherited,
+        ] {
+            assert!(native.contains(&b));
+        }
+        // Everything inherits T_object's behaviors.
+        for t in p.all_types() {
+            assert!(s.interface(t).unwrap().contains(&p.b_self), "{t}");
+        }
+        // T_string does not see T_type's behaviors.
+        assert!(!s.interface(p.t_string).unwrap().contains(&p.b_supertypes));
+    }
+
+    #[test]
+    fn primitives_are_frozen() {
+        let (mut s, p) = bootstrap_schema();
+        for t in p.all_types() {
+            if Some(t) == s.root() || Some(t) == s.base() {
+                continue; // guarded by root/base rules instead
+            }
+            assert!(s.drop_type(t).is_err(), "{t} must not be droppable");
+        }
+    }
+
+    #[test]
+    fn signatures_resolve() {
+        let (_s, p) = bootstrap_schema();
+        let sig = p.signature_of(p.b_conforms_to);
+        assert_eq!(sig.result, p.t_boolean);
+        assert_eq!(sig.args, vec![p.t_type]);
+        assert_eq!(p.signature_of(p.b_interface).result, p.t_collection);
+    }
+}

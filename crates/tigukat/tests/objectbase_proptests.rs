@@ -1,0 +1,293 @@
+//! Property tests over randomized objectbase operation traces: whatever
+//! sequence of §3.3 operations is applied, the uniform model's internal
+//! consistency holds.
+
+use axiombase_core::oracle;
+use axiombase_store::Policy;
+use axiombase_tigukat::{Objectbase, TigukatError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    At { parents: Vec<u8> },
+    Dt(u8),
+    Ab,
+    MtAb(u8, u8),
+    MtDb(u8, u8),
+    MtAsr(u8, u8),
+    MtDsr(u8, u8),
+    Ac(u8),
+    Dc(u8),
+    Db(u8),
+    Ao(u8),
+    Do(u8),
+    Al,
+    Dl(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec(any::<u8>(), 0..3).prop_map(|parents| Op::At { parents }),
+        1 => any::<u8>().prop_map(Op::Dt),
+        2 => Just(Op::Ab),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MtAb(a, b)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MtDb(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MtAsr(a, b)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MtDsr(a, b)),
+        2 => any::<u8>().prop_map(Op::Ac),
+        1 => any::<u8>().prop_map(Op::Dc),
+        1 => any::<u8>().prop_map(Op::Db),
+        2 => any::<u8>().prop_map(Op::Ao),
+        1 => any::<u8>().prop_map(Op::Do),
+        1 => Just(Op::Al),
+        1 => any::<u8>().prop_map(Op::Dl),
+    ]
+}
+
+fn pick<T: Copy>(items: &[T], ix: u8) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[ix as usize % items.len()])
+    }
+}
+
+fn tolerate<T>(r: Result<T, TigukatError>) {
+    match r {
+        Ok(_) => {}
+        Err(
+            TigukatError::Schema(_)
+            | TigukatError::Store(_)
+            | TigukatError::NoClass(_)
+            | TigukatError::ClassExists(_)
+            | TigukatError::UnknownBehavior(_)
+            | TigukatError::UnknownCollection(_)
+            | TigukatError::FunctionInUse { .. },
+        ) => {}
+        Err(other) => panic!("unexpected: {other}"),
+    }
+}
+
+fn apply(ob: &mut Objectbase, op: &Op, counter: &mut u32) {
+    // Only user types are eligible for structural churn; primitives are
+    // frozen anyway but excluding them keeps the trace productive.
+    let user_types: Vec<_> = {
+        let prim: std::collections::BTreeSet<_> = ob.primitives().all_types().into_iter().collect();
+        ob.schema()
+            .iter_types()
+            .filter(|t| !prim.contains(t))
+            .collect()
+    };
+    let behaviors: Vec<_> = ob.bso();
+    let objects: Vec<_> = ob.store().iter_oids().collect();
+    match op {
+        Op::At { parents } => {
+            let ps: Vec<_> = parents
+                .iter()
+                .filter_map(|&i| pick(&user_types, i))
+                .collect();
+            *counter += 1;
+            tolerate(ob.at(&format!("pt_{counter}"), ps, []));
+        }
+        Op::Dt(a) => {
+            if let Some(t) = pick(&user_types, *a) {
+                tolerate(ob.dt(t));
+            }
+        }
+        Op::Ab => {
+            *counter += 1;
+            ob.ab(&format!("pb_{counter}"), None);
+        }
+        Op::MtAb(a, b) => {
+            if let (Some(t), Some(beh)) = (pick(&user_types, *a), pick(&behaviors, *b)) {
+                tolerate(ob.mt_ab(t, beh));
+            }
+        }
+        Op::MtDb(a, b) => {
+            if let Some(t) = pick(&user_types, *a) {
+                let ne: Vec<_> = ob
+                    .schema()
+                    .essential_properties(t)
+                    .unwrap()
+                    .iter()
+                    .copied()
+                    .collect();
+                if let Some(beh) = pick(&ne, *b) {
+                    tolerate(ob.mt_db(t, beh));
+                }
+            }
+        }
+        Op::MtAsr(a, b) => {
+            if let (Some(t), Some(s)) = (pick(&user_types, *a), pick(&user_types, *b)) {
+                if t != s {
+                    tolerate(ob.mt_asr(t, s));
+                }
+            }
+        }
+        Op::MtDsr(a, b) => {
+            if let Some(t) = pick(&user_types, *a) {
+                let pe: Vec<_> = ob
+                    .schema()
+                    .essential_supertypes(t)
+                    .unwrap()
+                    .iter()
+                    .copied()
+                    .collect();
+                if let Some(s) = pick(&pe, *b) {
+                    tolerate(ob.mt_dsr(t, s));
+                }
+            }
+        }
+        Op::Ac(a) => {
+            if let Some(t) = pick(&user_types, *a) {
+                tolerate(ob.ac(t));
+            }
+        }
+        Op::Dc(a) => {
+            if let Some(t) = pick(&user_types, *a) {
+                tolerate(ob.dc(t));
+            }
+        }
+        Op::Db(a) => {
+            // Only user-defined behaviors (dropping primitives would break
+            // the builtin dispatch scaffolding the model relies on).
+            let user_behaviors: Vec<_> = behaviors
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    ob.schema()
+                        .prop_name(b)
+                        .map(|n| n.starts_with("pb_"))
+                        .unwrap_or(false)
+                })
+                .collect();
+            if let Some(beh) = pick(&user_behaviors, *a) {
+                tolerate(ob.db(beh));
+            }
+        }
+        Op::Ao(a) => {
+            if let Some(t) = pick(&user_types, *a) {
+                tolerate(ob.ao(t));
+            }
+        }
+        Op::Do(a) => {
+            // Only delete plain instances, never meta objects.
+            let plain: Vec<_> = objects
+                .iter()
+                .copied()
+                .filter(|&o| ob.meta_ref(o).is_none())
+                .collect();
+            if let Some(o) = pick(&plain, *a) {
+                tolerate(ob.do_(o));
+            }
+        }
+        Op::Al => {
+            *counter += 1;
+            ob.al(&format!("pl_{counter}"));
+        }
+        Op::Dl(a) => {
+            let colls: Vec<_> = (0..8usize)
+                .map(axiombase_tigukat::CollId::from_index)
+                .collect();
+            if let Some(c) = pick(&colls, *a) {
+                tolerate(ob.dl(c).map(|_| ()));
+            }
+        }
+    }
+}
+
+/// Consistency conditions every reachable objectbase satisfies.
+fn check_invariants(ob: &Objectbase) {
+    let schema = ob.schema();
+    // 1. The axioms and the oracle.
+    assert!(schema.verify().is_empty());
+    assert!(oracle::check_schema(schema).is_empty());
+    // 2. Every live type has a type object, and the type-object extent of
+    //    T_type matches exactly.
+    let prim = ob.primitives();
+    let extent = ob.store().extent(prim.t_type);
+    for t in schema.iter_types() {
+        let obj = ob.type_object(t).expect("type object exists");
+        assert!(extent.contains(&obj));
+    }
+    assert_eq!(extent.len(), schema.type_count());
+    // 3. BSO is exactly the union of interfaces.
+    let bso: std::collections::BTreeSet<_> = ob.bso().into_iter().collect();
+    assert_eq!(bso, schema.referenced_properties());
+    // 4. Every FSO member is live and implements a behavior inside some
+    //    interface.
+    for f in ob.fso() {
+        assert!(ob.function(f).is_ok());
+    }
+    // 5. Every class belongs to a live type.
+    for t in ob.cso() {
+        assert!(schema.is_live(t));
+    }
+    // 6. Every stored object's type is live.
+    for oid in ob.store().iter_oids() {
+        let ty = ob.store().type_of(oid).unwrap();
+        assert!(schema.is_live(ty), "object {oid} of dead type {ty}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn objectbase_invariants_hold_under_random_traces(
+        trace in proptest::collection::vec(op_strategy(), 0..80),
+        policy_ix in 0usize..4,
+    ) {
+        let mut ob = Objectbase::with_policy(Policy::ALL[policy_ix]);
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut ob, op, &mut counter);
+        }
+        check_invariants(&ob);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_after_random_trace(
+        trace in proptest::collection::vec(op_strategy(), 0..50),
+        policy_ix in 0usize..4,
+    ) {
+        let mut ob = Objectbase::with_policy(Policy::ALL[policy_ix]);
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut ob, op, &mut counter);
+        }
+        let text = ob.to_snapshot();
+        let r = Objectbase::from_snapshot(&text).unwrap();
+        prop_assert_eq!(ob.schema().fingerprint(), r.schema().fingerprint());
+        prop_assert_eq!(ob.tso(), r.tso());
+        prop_assert_eq!(ob.bso(), r.bso());
+        prop_assert_eq!(ob.fso(), r.fso());
+        prop_assert_eq!(ob.cso(), r.cso());
+        prop_assert_eq!(ob.lso(), r.lso());
+        prop_assert_eq!(ob.store().object_count(), r.store().object_count());
+        // Fixpoint: a second serialization is byte-identical.
+        prop_assert_eq!(text, r.to_snapshot());
+        check_invariants(&r);
+    }
+
+    #[test]
+    fn table3_classification_is_stable_under_context(
+        trace in proptest::collection::vec(op_strategy(), 0..30),
+    ) {
+        // Whatever state the objectbase is in, the non-schema operations
+        // (AB, AF, AO, DO, MO, ML) never change the schema fingerprint.
+        let mut ob = Objectbase::new();
+        let mut counter = 0;
+        for op in &trace {
+            apply(&mut ob, op, &mut counter);
+        }
+        let t = ob.at("anchor", [], []).unwrap();
+        ob.ac(t).unwrap();
+        let fp = ob.schema().fingerprint();
+        let _b = ob.ab("non_schema", None);
+        let _f = ob.af("non_schema_fn", axiombase_tigukat::FunctionKind::Stored);
+        let o = ob.ao(t).unwrap();
+        ob.do_(o).unwrap();
+        prop_assert_eq!(ob.schema().fingerprint(), fp);
+    }
+}

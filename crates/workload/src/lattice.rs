@@ -1,0 +1,195 @@
+//! Seeded random type-lattice generation.
+//!
+//! The paper's evaluation is formal, and its promised "empirical evidence of
+//! performance characteristics" (§6) was never published — no real schema
+//! traces exist. These generators produce synthetic lattices with controlled
+//! size, fan-in, and property density, exercising exactly the code paths a
+//! real schema would (DESIGN.md, substitution table).
+
+use axiombase_core::{EngineKind, LatticeConfig, PropId, Schema, TypeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random lattice generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeGen {
+    /// Number of non-root types to create.
+    pub types: usize,
+    /// Maximum essential supertypes per type (fan-in). Actual count is
+    /// uniform in `1..=max_parents`, capped by the available types.
+    pub max_parents: usize,
+    /// Expected number of fresh essential properties per type.
+    pub props_per_type: f64,
+    /// Probability that a type additionally declares an *inherited* property
+    /// essential (exercises `N_e ⊋ N`).
+    pub redeclare_prob: f64,
+    /// RNG seed — same seed, same lattice.
+    pub seed: u64,
+}
+
+impl Default for LatticeGen {
+    fn default() -> Self {
+        LatticeGen {
+            types: 100,
+            max_parents: 3,
+            props_per_type: 2.0,
+            redeclare_prob: 0.1,
+            seed: 0x7167_0b47,
+        }
+    }
+}
+
+/// A generated lattice plus its id vectors for downstream experiments.
+#[derive(Debug, Clone)]
+pub struct GeneratedLattice {
+    /// The schema.
+    pub schema: Schema,
+    /// All created non-root types, in creation order.
+    pub types: Vec<TypeId>,
+    /// All created properties, in creation order.
+    pub props: Vec<PropId>,
+}
+
+impl LatticeGen {
+    /// Generate a schema under the given configuration and engine.
+    pub fn generate(&self, config: LatticeConfig, engine: EngineKind) -> GeneratedLattice {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut schema = Schema::with_engine(config, engine);
+        let mut types: Vec<TypeId> = Vec::with_capacity(self.types);
+        let mut props: Vec<PropId> = Vec::new();
+
+        if config.is_rooted() {
+            schema.add_root_type("T_object").expect("fresh schema");
+        }
+        if config.is_pointed() {
+            schema.add_base_type("T_null").expect("fresh schema");
+        }
+
+        for i in 0..self.types {
+            // Parents drawn from earlier types (guarantees acyclicity).
+            let mut parents: Vec<TypeId> = Vec::new();
+            if !types.is_empty() {
+                let n = rng.gen_range(1..=self.max_parents.min(types.len()));
+                while parents.len() < n {
+                    let cand = types[rng.gen_range(0..types.len())];
+                    if !parents.contains(&cand) {
+                        parents.push(cand);
+                    }
+                }
+            }
+            let t = schema
+                .add_type(format!("gen_t{i}"), parents.iter().copied(), [])
+                .expect("acyclic by construction");
+            types.push(t);
+
+            // Fresh native properties (Poisson-ish via geometric trials).
+            let n_props = poissonish(&mut rng, self.props_per_type);
+            for k in 0..n_props {
+                let p = schema.add_property(format!("gen_p{i}_{k}"));
+                schema.add_essential_property(t, p).expect("live");
+                props.push(p);
+            }
+            // Occasionally redeclare an inherited property as essential.
+            if rng.gen_bool(self.redeclare_prob.clamp(0.0, 1.0)) {
+                let inherited: Vec<PropId> = schema
+                    .inherited_properties(t)
+                    .expect("live")
+                    .iter()
+                    .copied()
+                    .collect();
+                if !inherited.is_empty() {
+                    let p = inherited[rng.gen_range(0..inherited.len())];
+                    schema.add_essential_property(t, p).expect("live");
+                }
+            }
+        }
+
+        GeneratedLattice {
+            schema,
+            types,
+            props,
+        }
+    }
+}
+
+/// Small integer with expectation ~`mean` (geometric-style draw; adequate
+/// for workload shaping, not statistics).
+fn poissonish(rng: &mut SmallRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let mut n = 0usize;
+    // Each unit of mean contributes Bernoulli trials.
+    let whole = mean.floor() as usize;
+    for _ in 0..whole * 2 {
+        if rng.gen_bool(0.5) {
+            n += 1;
+        }
+    }
+    if rng.gen_bool((mean - whole as f64).clamp(0.0, 1.0) * 0.999 + 0.0005) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiombase_core::oracle;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = LatticeGen {
+            types: 50,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = g.generate(LatticeConfig::ORION, EngineKind::Incremental);
+        let b = g.generate(LatticeConfig::ORION, EngineKind::Incremental);
+        assert_eq!(a.schema.fingerprint(), b.schema.fingerprint());
+        let g2 = LatticeGen { seed: 43, ..g };
+        let c = g2.generate(LatticeConfig::ORION, EngineKind::Incremental);
+        assert_ne!(a.schema.fingerprint(), c.schema.fingerprint());
+    }
+
+    #[test]
+    fn generated_lattices_satisfy_axioms_and_oracle() {
+        for seed in 0..5 {
+            let g = LatticeGen {
+                types: 60,
+                max_parents: 4,
+                props_per_type: 1.5,
+                redeclare_prob: 0.3,
+                seed,
+            };
+            for config in [
+                LatticeConfig::TIGUKAT,
+                LatticeConfig::ORION,
+                LatticeConfig::RELAXED,
+            ] {
+                let out = g.generate(config, EngineKind::Incremental);
+                assert!(out.schema.verify().is_empty());
+                assert!(oracle::check_schema(&out.schema).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn respects_size_parameters() {
+        let g = LatticeGen {
+            types: 30,
+            max_parents: 1,
+            props_per_type: 0.0,
+            redeclare_prob: 0.0,
+            seed: 7,
+        };
+        let out = g.generate(LatticeConfig::ORION, EngineKind::Naive);
+        assert_eq!(out.types.len(), 30);
+        assert_eq!(out.schema.type_count(), 31); // + root
+        assert!(out.props.is_empty());
+        // Fan-in 1 ⇒ a tree: every generated type has exactly one parent.
+        for &t in &out.types {
+            assert_eq!(out.schema.essential_supertypes(t).unwrap().len(), 1);
+        }
+    }
+}

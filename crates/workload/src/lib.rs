@@ -1,0 +1,23 @@
+//! # axiombase-workload — synthetic workloads and named scenarios
+//!
+//! The paper promises "empirical evidence of performance characteristics"
+//! as future work (§6) but publishes no traces; this crate supplies the
+//! synthetic equivalents (see DESIGN.md's substitution table): seeded random
+//! lattices ([`lattice`]), seeded operation traces ([`trace`]), random Orion
+//! schemas/op streams for the §4/§5 experiments ([`orion_gen`]), and the
+//! paper's own worked examples as named scenarios ([`scenarios`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lattice;
+pub mod orion_gen;
+pub mod scenarios;
+pub mod trace;
+
+pub use lattice::{GeneratedLattice, LatticeGen};
+pub use orion_gen::OrionGen;
+pub use scenarios::{
+    engineering_design, medical_imaging, university, DesignStep, EngineeringDesign, University,
+};
+pub use trace::{apply_random_ops, OpMix, TraceStats};

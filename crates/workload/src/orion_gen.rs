@@ -1,0 +1,253 @@
+//! Seeded random Orion schemas and operation traces, for the §4 reduction
+//! equivalence experiments and the §5 order-dependence experiments.
+
+use axiombase_orion::{ClassId, OrionOp, OrionProp, OrionPropKind, OrionSchema, ReducedOrion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random Orion schema generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrionGen {
+    /// Number of classes besides `OBJECT`.
+    pub classes: usize,
+    /// Maximum superclasses per class.
+    pub max_supers: usize,
+    /// Expected local properties per class.
+    pub props_per_class: f64,
+    /// Probability that a property name collides with one already used
+    /// (exercises conflict resolution).
+    pub homonym_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrionGen {
+    fn default() -> Self {
+        OrionGen {
+            classes: 40,
+            max_supers: 3,
+            props_per_class: 2.0,
+            homonym_prob: 0.2,
+            seed: 0x0b47,
+        }
+    }
+}
+
+impl OrionGen {
+    /// Generate a random Orion schema (native only).
+    pub fn generate(&self) -> OrionSchema {
+        let mut pair = ReducedOrion::new();
+        self.drive(&mut pair);
+        pair.orion
+    }
+
+    /// Generate a random Orion schema while maintaining its axiomatic image
+    /// in lockstep (for the reduction-equivalence harness).
+    pub fn generate_reduced(&self) -> ReducedOrion {
+        let mut pair = ReducedOrion::new();
+        self.drive(&mut pair);
+        pair
+    }
+
+    fn drive(&self, pair: &mut ReducedOrion) {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut used_names: Vec<String> = Vec::new();
+        for i in 0..self.classes {
+            let existing: Vec<ClassId> = pair.orion.iter_classes().collect();
+            let parent = existing[rng.gen_range(0..existing.len())];
+            pair.apply(&OrionOp::AddClass {
+                name: format!("orion_c{i}"),
+                superclass: Some(parent),
+            })
+            .expect("fresh name, live parent");
+            let c = pair.orion.class_by_name(&format!("orion_c{i}")).unwrap();
+
+            // Extra superclass edges.
+            let extra = rng.gen_range(0..self.max_supers);
+            for _ in 0..extra {
+                let s = existing[rng.gen_range(0..existing.len())];
+                // Cycles/duplicates are rejected; ignore those picks.
+                let _ = pair.apply(&OrionOp::AddEdge {
+                    class: c,
+                    superclass: s,
+                });
+            }
+
+            // Local properties, occasionally homonymous.
+            let n_props = self.props_per_class.round() as usize;
+            for k in 0..n_props {
+                let name = if !used_names.is_empty() && rng.gen_bool(self.homonym_prob) {
+                    used_names[rng.gen_range(0..used_names.len())].clone()
+                } else {
+                    let n = format!("attr_{i}_{k}");
+                    used_names.push(n.clone());
+                    n
+                };
+                let _ = pair.apply(&OrionOp::AddProperty {
+                    class: c,
+                    prop: OrionProp {
+                        name,
+                        domain: "OBJECT".into(),
+                        kind: if rng.gen_bool(0.5) {
+                            OrionPropKind::Attribute
+                        } else {
+                            OrionPropKind::Method
+                        },
+                    },
+                });
+            }
+        }
+    }
+
+    /// Draw a random applicable fundamental operation against the current
+    /// state of `orion` (used to build equivalence traces).
+    pub fn random_op(&self, orion: &OrionSchema, rng: &mut SmallRng, fresh: &mut u64) -> OrionOp {
+        let classes: Vec<ClassId> = orion.iter_classes().collect();
+        let pick =
+            |rng: &mut SmallRng, classes: &[ClassId]| classes[rng.gen_range(0..classes.len())];
+        loop {
+            match rng.gen_range(0..8u32) {
+                0 => {
+                    let c = pick(rng, &classes);
+                    *fresh += 1;
+                    return OrionOp::AddProperty {
+                        class: c,
+                        prop: OrionProp {
+                            name: format!("rp{fresh}"),
+                            domain: "OBJECT".into(),
+                            kind: OrionPropKind::Attribute,
+                        },
+                    };
+                }
+                1 => {
+                    let c = pick(rng, &classes);
+                    let props = orion.local_properties(c).expect("live");
+                    if props.is_empty() {
+                        continue;
+                    }
+                    return OrionOp::DropProperty {
+                        class: c,
+                        name: props[rng.gen_range(0..props.len())].name.clone(),
+                    };
+                }
+                2 => {
+                    return OrionOp::AddEdge {
+                        class: pick(rng, &classes),
+                        superclass: pick(rng, &classes),
+                    }
+                }
+                3 => {
+                    let c = pick(rng, &classes);
+                    let supers = orion.superclasses(c).expect("live");
+                    if supers.is_empty() {
+                        continue;
+                    }
+                    return OrionOp::DropEdge {
+                        class: c,
+                        superclass: supers[rng.gen_range(0..supers.len())],
+                    };
+                }
+                4 => {
+                    let c = pick(rng, &classes);
+                    let mut order: Vec<ClassId> = orion.superclasses(c).expect("live").to_vec();
+                    if order.len() < 2 {
+                        continue;
+                    }
+                    let (i, j) = (rng.gen_range(0..order.len()), rng.gen_range(0..order.len()));
+                    order.swap(i, j);
+                    return OrionOp::Reorder { class: c, order };
+                }
+                5 => {
+                    *fresh += 1;
+                    return OrionOp::AddClass {
+                        name: format!("rc{fresh}"),
+                        superclass: Some(pick(rng, &classes)),
+                    };
+                }
+                6 => {
+                    let c = pick(rng, &classes);
+                    if c == orion.object() {
+                        continue;
+                    }
+                    return OrionOp::DropClass { class: c };
+                }
+                _ => {
+                    let c = pick(rng, &classes);
+                    if c == orion.object() {
+                        continue;
+                    }
+                    *fresh += 1;
+                    return OrionOp::RenameClass {
+                        class: c,
+                        name: format!("rn{fresh}"),
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = OrionGen::default();
+        assert_eq!(g.generate().fingerprint(), g.generate().fingerprint());
+        let g2 = OrionGen { seed: 1, ..g };
+        assert_ne!(g.generate().fingerprint(), g2.generate().fingerprint());
+    }
+
+    #[test]
+    fn generated_schemas_satisfy_invariants_modulo_domains() {
+        for seed in 0..4 {
+            let g = OrionGen {
+                seed,
+                ..Default::default()
+            };
+            let s = g.generate();
+            // Homonyms may widen domains equal-to-equal ("OBJECT"→"OBJECT"),
+            // which is compatible; all invariants must hold.
+            let v = s.check_invariants();
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn generated_reduced_pairs_are_equivalent() {
+        for seed in 0..4 {
+            let g = OrionGen {
+                seed,
+                classes: 25,
+                ..Default::default()
+            };
+            let pair = g.generate_reduced();
+            let bad = pair.check_equivalence();
+            assert!(bad.is_empty(), "{bad:?}");
+            assert!(pair.reduction.schema.verify().is_empty());
+        }
+    }
+
+    #[test]
+    fn random_ops_keep_equivalence() {
+        let g = OrionGen {
+            classes: 15,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut pair = g.generate_reduced();
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut fresh = 0;
+        let mut applied = 0;
+        for _ in 0..120 {
+            let op = g.random_op(&pair.orion, &mut rng, &mut fresh);
+            if pair.apply(&op).is_ok() {
+                applied += 1;
+            }
+            let bad = pair.check_equivalence();
+            assert!(bad.is_empty(), "after {op:?}: {bad:?}");
+        }
+        assert!(applied > 60, "most random ops should apply, got {applied}");
+    }
+}

@@ -1,0 +1,478 @@
+//! Named scenarios from the paper.
+//!
+//! * [`university`] — the Figure 1 lattice with the §2 worked example
+//!   (essential supertypes of `T_teachingAssistant`, the homonymous `name`
+//!   properties, the essential `taxBracket` adoption case).
+//! * [`engineering_design`] — the introduction's motivating domain: "in an
+//!   engineering design application many components of an overall design may
+//!   go through several modifications before a final product design is
+//!   achieved" — a CAD assembly schema with a scripted sequence of design
+//!   revisions.
+//! * [`medical_imaging`] — a second §1 domain: a radiology archive whose
+//!   modality taxonomy evolves (same revision-step vocabulary, different
+//!   shape: multiple-inheritance mixins and a deprecation arc).
+
+use axiombase_core::{EngineKind, LatticeConfig, PropId, Schema, TypeId};
+
+/// The Figure 1 university schema with named handles.
+#[derive(Debug, Clone)]
+pub struct University {
+    /// The schema (rooted at `T_object`; pointedness left open so the
+    /// figure matches exactly — `T_null` is drawn but carries no edges the
+    /// worked example uses; pass `pointed = true` to include it).
+    pub schema: Schema,
+    /// `T_object`.
+    pub object: TypeId,
+    /// `T_person`.
+    pub person: TypeId,
+    /// `T_taxSource`.
+    pub tax_source: TypeId,
+    /// `T_student`.
+    pub student: TypeId,
+    /// `T_employee`.
+    pub employee: TypeId,
+    /// `T_teachingAssistant`.
+    pub teaching_assistant: TypeId,
+    /// `T_null`, when built pointed.
+    pub null: Option<TypeId>,
+    /// `T_person`'s native `name`.
+    pub person_name: PropId,
+    /// `T_taxSource`'s native `name` (homonym, distinct semantics).
+    pub tax_name: PropId,
+    /// `T_taxSource`'s native `taxBracket`.
+    pub tax_bracket: PropId,
+    /// `T_employee`'s native `salary`.
+    pub salary: PropId,
+}
+
+/// Build the Figure 1 lattice. With `pointed`, `T_null` is created as the
+/// base type as in the figure.
+pub fn university(engine: EngineKind, pointed: bool) -> University {
+    let config = if pointed {
+        LatticeConfig::TIGUKAT
+    } else {
+        LatticeConfig::ORION
+    };
+    let mut s = Schema::with_engine(config, engine);
+    let object = s.add_root_type("T_object").expect("fresh");
+    let null = pointed.then(|| s.add_base_type("T_null").expect("fresh"));
+    let person = s.add_type("T_person", [object], []).expect("valid");
+    let tax_source = s.add_type("T_taxSource", [object], []).expect("valid");
+    let student = s.add_type("T_student", [person], []).expect("valid");
+    let employee = s
+        .add_type("T_employee", [person, tax_source], [])
+        .expect("valid");
+    let teaching_assistant = s
+        .add_type("T_teachingAssistant", [student, employee], [])
+        .expect("valid");
+
+    // "T_person and T_taxSource may both have native 'name' properties" (§2).
+    let person_name = s.define_property_on(person, "name").expect("live");
+    let tax_name = s.define_property_on(tax_source, "name").expect("live");
+    // "assume there is a 'taxBracket' property defined on T_taxSource" (§2).
+    let tax_bracket = s
+        .define_property_on(tax_source, "taxBracket")
+        .expect("live");
+    // "T_employee may have a native 'salary' property" (§2).
+    let salary = s.define_property_on(employee, "salary").expect("live");
+
+    University {
+        schema: s,
+        object,
+        person,
+        tax_source,
+        student,
+        employee,
+        teaching_assistant,
+        null,
+        person_name,
+        tax_name,
+        tax_bracket,
+        salary,
+    }
+}
+
+impl University {
+    /// Declare the paper's essential supertypes for `T_teachingAssistant`:
+    /// `{T_student, T_person, T_employee, T_object}` — "essential that a
+    /// teaching assistant is a student, person, employee, and object, but
+    /// not essential that it is a tax source" (§2).
+    pub fn declare_ta_essentials(&mut self) {
+        for s in [self.person, self.object] {
+            self.schema
+                .add_essential_supertype(self.teaching_assistant, s)
+                .expect("redundant but valid");
+        }
+    }
+
+    /// Declare `taxBracket` essential on `T_employee` (the §2 adoption
+    /// example).
+    pub fn declare_tax_bracket_essential(&mut self) {
+        self.schema
+            .add_essential_property(self.employee, self.tax_bracket)
+            .expect("live");
+    }
+}
+
+/// One revision step of the engineering-design scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignStep {
+    /// A new component type enters the design.
+    AddComponent {
+        /// Component name.
+        name: String,
+        /// Parent component-category names.
+        parents: Vec<String>,
+    },
+    /// A component gains a parameter.
+    AddParameter {
+        /// Component name.
+        component: String,
+        /// Parameter name.
+        parameter: String,
+    },
+    /// A parameter is dropped from a component.
+    DropParameter {
+        /// Component name.
+        component: String,
+        /// Parameter name.
+        parameter: String,
+    },
+    /// A component is re-categorised: one parent replaced by another.
+    Recategorize {
+        /// Component name.
+        component: String,
+        /// Parent to remove.
+        from: String,
+        /// Parent to add.
+        to: String,
+    },
+    /// A component is retired from the design.
+    RetireComponent {
+        /// Component name.
+        component: String,
+    },
+}
+
+/// The CAD assembly scenario: a base schema of component categories plus a
+/// scripted revision history.
+#[derive(Debug, Clone)]
+pub struct EngineeringDesign {
+    /// The evolving schema.
+    pub schema: Schema,
+    /// The revision script, in order.
+    pub steps: Vec<DesignStep>,
+}
+
+/// Build the engineering-design scenario.
+pub fn engineering_design(engine: EngineKind) -> EngineeringDesign {
+    let mut s = Schema::with_engine(LatticeConfig::ORION, engine);
+    let root = s.add_root_type("Component").expect("fresh");
+    let structural = s.add_type("Structural", [root], []).expect("valid");
+    let electrical = s.add_type("Electrical", [root], []).expect("valid");
+    let fastener = s.add_type("Fastener", [structural], []).expect("valid");
+    for (t, props) in [
+        (structural, &["material", "mass"][..]),
+        (electrical, &["voltage", "current"][..]),
+        (fastener, &["thread_pitch"][..]),
+    ] {
+        for p in props {
+            s.define_property_on(t, *p).expect("live");
+        }
+    }
+
+    let steps = vec![
+        DesignStep::AddComponent {
+            name: "Bolt".into(),
+            parents: vec!["Fastener".into()],
+        },
+        DesignStep::AddParameter {
+            component: "Bolt".into(),
+            parameter: "head_size".into(),
+        },
+        DesignStep::AddComponent {
+            name: "Sensor".into(),
+            parents: vec!["Electrical".into()],
+        },
+        DesignStep::AddComponent {
+            name: "SmartBolt".into(),
+            parents: vec!["Bolt".into(), "Sensor".into()],
+        },
+        DesignStep::AddParameter {
+            component: "SmartBolt".into(),
+            parameter: "telemetry_rate".into(),
+        },
+        // Design review: bolts are reclassified as structural directly.
+        DesignStep::Recategorize {
+            component: "Bolt".into(),
+            from: "Fastener".into(),
+            to: "Structural".into(),
+        },
+        DesignStep::DropParameter {
+            component: "Electrical".into(),
+            parameter: "current".into(),
+        },
+        DesignStep::RetireComponent {
+            component: "Fastener".into(),
+        },
+    ];
+
+    EngineeringDesign { schema: s, steps }
+}
+
+impl EngineeringDesign {
+    /// Apply one revision step.
+    pub fn apply(&mut self, step: &DesignStep) -> axiombase_core::Result<()> {
+        let by_name = |s: &Schema, n: &str| {
+            s.type_by_name(n)
+                .ok_or(axiombase_core::SchemaError::DuplicateTypeName(
+                    n.to_string(),
+                ))
+        };
+        match step {
+            DesignStep::AddComponent { name, parents } => {
+                let ps: Vec<TypeId> = parents
+                    .iter()
+                    .map(|p| by_name(&self.schema, p))
+                    .collect::<Result<_, _>>()?;
+                self.schema.add_type(name.clone(), ps, [])?;
+            }
+            DesignStep::AddParameter {
+                component,
+                parameter,
+            } => {
+                let t = by_name(&self.schema, component)?;
+                self.schema.define_property_on(t, parameter.clone())?;
+            }
+            DesignStep::DropParameter {
+                component,
+                parameter,
+            } => {
+                let t = by_name(&self.schema, component)?;
+                let p = self
+                    .schema
+                    .essential_properties(t)?
+                    .iter()
+                    .copied()
+                    .find(|&p| self.schema.prop_name(p) == Ok(parameter.as_str()));
+                if let Some(p) = p {
+                    self.schema.drop_essential_property(t, p)?;
+                }
+            }
+            DesignStep::Recategorize {
+                component,
+                from,
+                to,
+            } => {
+                let t = by_name(&self.schema, component)?;
+                let to_t = by_name(&self.schema, to)?;
+                let from_t = by_name(&self.schema, from)?;
+                self.schema.add_essential_supertype(t, to_t)?;
+                self.schema.drop_essential_supertype(t, from_t)?;
+            }
+            DesignStep::RetireComponent { component } => {
+                let t = by_name(&self.schema, component)?;
+                self.schema.drop_type(t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply every remaining step in order.
+    pub fn run_all(&mut self) -> axiombase_core::Result<usize> {
+        let steps = std::mem::take(&mut self.steps);
+        let n = steps.len();
+        for step in &steps {
+            self.apply(step)?;
+        }
+        Ok(n)
+    }
+}
+
+/// The medical-imaging scenario (another §1 motivating domain): a radiology
+/// archive whose modality taxonomy evolves — new modalities appear, film
+/// workflows are retired, and acquisition parameters move between levels.
+/// Reuses the same revision-step vocabulary as the CAD scenario (the ops are
+/// the paper's ops; only the domain changes).
+pub fn medical_imaging(engine: EngineKind) -> EngineeringDesign {
+    let mut s = Schema::with_engine(LatticeConfig::ORION, engine);
+    let root = s.add_root_type("Artifact").expect("fresh");
+    let image = s.add_type("Image", [root], []).expect("valid");
+    let modality = s.add_type("Modality", [root], []).expect("valid");
+    let xray = s.add_type("XRay", [image, modality], []).expect("valid");
+    let film = s.add_type("FilmXRay", [xray], []).expect("valid");
+    for (t, props) in [
+        (image, &["patient_id", "acquired_at"][..]),
+        (modality, &["station"][..]),
+        (xray, &["kvp", "exposure_ms"][..]),
+        (film, &["film_batch"][..]),
+    ] {
+        for p in props {
+            s.define_property_on(t, *p).expect("live");
+        }
+    }
+
+    let steps = vec![
+        // A new modality family arrives.
+        DesignStep::AddComponent {
+            name: "MRI".into(),
+            parents: vec!["Image".into(), "Modality".into()],
+        },
+        DesignStep::AddParameter {
+            component: "MRI".into(),
+            parameter: "field_strength_t".into(),
+        },
+        // Digital successor to film.
+        DesignStep::AddComponent {
+            name: "DigitalXRay".into(),
+            parents: vec!["XRay".into()],
+        },
+        DesignStep::AddParameter {
+            component: "DigitalXRay".into(),
+            parameter: "detector_dpi".into(),
+        },
+        // Acquisition time moves up to every artifact.
+        DesignStep::AddParameter {
+            component: "Artifact".into(),
+            parameter: "archived_at".into(),
+        },
+        // Film is deprecated: regroup, then retire.
+        DesignStep::Recategorize {
+            component: "FilmXRay".into(),
+            from: "XRay".into(),
+            to: "Image".into(),
+        },
+        DesignStep::DropParameter {
+            component: "FilmXRay".into(),
+            parameter: "film_batch".into(),
+        },
+        DesignStep::RetireComponent {
+            component: "FilmXRay".into(),
+        },
+    ];
+    EngineeringDesign { schema: s, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiombase_core::oracle;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn university_matches_figure1_worked_example() {
+        let u = university(EngineKind::Naive, false);
+        let s = &u.schema;
+        // P(T_teachingAssistant) = {T_student, T_employee}.
+        assert_eq!(
+            s.immediate_supertypes(u.teaching_assistant).unwrap(),
+            &BTreeSet::from([u.student, u.employee])
+        );
+        // PL(T_employee) = {employee, person, taxSource, object}.
+        assert_eq!(
+            s.super_lattice(u.employee).unwrap(),
+            &BTreeSet::from([u.employee, u.person, u.tax_source, u.object])
+        );
+        // H(T_employee) includes both homonymous names.
+        let h = s.inherited_properties(u.employee).unwrap();
+        assert!(h.contains(&u.person_name) && h.contains(&u.tax_name));
+        assert!(s.verify().is_empty());
+    }
+
+    #[test]
+    fn section2_narrative_replays() {
+        // "if T_student and T_employee are dropped as immediate supertypes
+        // of T_teachingAssistant, then T_person would be established as an
+        // immediate supertype because it is essential. However, T_taxSource
+        // would be lost" (§2).
+        let mut u = university(EngineKind::Incremental, false);
+        u.declare_ta_essentials();
+        let s = &mut u.schema;
+        s.drop_essential_supertype(u.teaching_assistant, u.student)
+            .unwrap();
+        s.drop_essential_supertype(u.teaching_assistant, u.employee)
+            .unwrap();
+        assert_eq!(
+            s.immediate_supertypes(u.teaching_assistant).unwrap(),
+            &BTreeSet::from([u.person])
+        );
+        assert!(!s
+            .is_supertype_of(u.tax_source, u.teaching_assistant)
+            .unwrap());
+        assert!(s.is_supertype_of(u.person, u.teaching_assistant).unwrap());
+    }
+
+    #[test]
+    fn tax_bracket_adoption_example() {
+        let mut u = university(EngineKind::Incremental, false);
+        u.declare_tax_bracket_essential();
+        assert!(u
+            .schema
+            .inherited_properties(u.employee)
+            .unwrap()
+            .contains(&u.tax_bracket));
+        u.schema.drop_type(u.tax_source).unwrap();
+        // Adopted as native.
+        assert!(u
+            .schema
+            .native_properties(u.employee)
+            .unwrap()
+            .contains(&u.tax_bracket));
+    }
+
+    #[test]
+    fn pointed_university_includes_null() {
+        let u = university(EngineKind::Incremental, true);
+        let null = u.null.unwrap();
+        assert!(u
+            .schema
+            .is_supertype_of(u.teaching_assistant, null)
+            .unwrap());
+        assert!(u.schema.verify().is_empty());
+    }
+
+    #[test]
+    fn medical_imaging_script_runs_clean() {
+        let mut d = medical_imaging(EngineKind::Incremental);
+        let n = d.run_all().unwrap();
+        assert_eq!(n, 8);
+        assert!(d.schema.verify().is_empty());
+        assert!(oracle::check_schema(&d.schema).is_empty());
+        // MRI inherits artifact-level and image-level parameters.
+        let mri = d.schema.type_by_name("MRI").unwrap();
+        let iface_names: std::collections::BTreeSet<&str> = d
+            .schema
+            .interface(mri)
+            .unwrap()
+            .iter()
+            .map(|&p| d.schema.prop_name(p).unwrap())
+            .collect();
+        for expected in ["patient_id", "archived_at", "field_strength_t", "station"] {
+            assert!(iface_names.contains(expected), "missing {expected}");
+        }
+        // Film is gone; the digital successor keeps the x-ray parameters.
+        assert!(d.schema.type_by_name("FilmXRay").is_none());
+        let digital = d.schema.type_by_name("DigitalXRay").unwrap();
+        assert!(d
+            .schema
+            .interface(digital)
+            .unwrap()
+            .iter()
+            .any(|&p| d.schema.prop_name(p) == Ok("kvp")));
+    }
+
+    #[test]
+    fn engineering_design_script_runs_clean() {
+        let mut d = engineering_design(EngineKind::Incremental);
+        let n = d.run_all().unwrap();
+        assert_eq!(n, 8);
+        assert!(d.schema.verify().is_empty());
+        assert!(oracle::check_schema(&d.schema).is_empty());
+        // SmartBolt survived its ancestors' churn.
+        let smart = d.schema.type_by_name("SmartBolt").unwrap();
+        let structural = d.schema.type_by_name("Structural").unwrap();
+        assert!(d.schema.is_supertype_of(structural, smart).unwrap());
+        // Fastener is gone; Bolt lives under Structural.
+        assert!(d.schema.type_by_name("Fastener").is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Seeded operation-trace generation: the dynamic half of the workload.
+//!
+//! An evolution trace is a weighted random mix of the paper's schema-change
+//! operations applied to a live schema. Used by the engine-ablation and
+//! propagation benchmarks; the same `(mix, seed)` pair always produces the
+//! same trace.
+
+use axiombase_core::{PropId, Schema, SchemaError, TypeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights for each operation kind in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// AT — add a type under 1–2 random parents.
+    pub add_type: u32,
+    /// DT — drop a random non-frozen, non-root/base type.
+    pub drop_type: u32,
+    /// MT-ASR — add a random essential supertype edge.
+    pub add_edge: u32,
+    /// MT-DSR — drop a random essential supertype edge.
+    pub drop_edge: u32,
+    /// MT-AB — declare a (fresh or existing) property essential on a type.
+    pub add_prop: u32,
+    /// MT-DB — drop a random essential property from a type.
+    pub drop_prop: u32,
+}
+
+impl OpMix {
+    /// A balanced mix exercising every operation.
+    pub const BALANCED: OpMix = OpMix {
+        add_type: 3,
+        drop_type: 1,
+        add_edge: 2,
+        drop_edge: 2,
+        add_prop: 4,
+        drop_prop: 2,
+    };
+
+    /// Property-churn-heavy mix (the engineering-design scenario of the
+    /// paper's introduction: components keep changing shape).
+    pub const PROPERTY_CHURN: OpMix = OpMix {
+        add_type: 1,
+        drop_type: 0,
+        add_edge: 0,
+        drop_edge: 0,
+        add_prop: 6,
+        drop_prop: 4,
+    };
+
+    /// Lattice-churn-heavy mix (restructuring-dominated evolution).
+    pub const LATTICE_CHURN: OpMix = OpMix {
+        add_type: 2,
+        drop_type: 2,
+        add_edge: 4,
+        drop_edge: 4,
+        add_prop: 1,
+        drop_prop: 0,
+    };
+
+    fn total(&self) -> u32 {
+        self.add_type
+            + self.drop_type
+            + self.add_edge
+            + self.drop_edge
+            + self.add_prop
+            + self.drop_prop
+    }
+}
+
+/// Outcome counters for an applied trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Operations that mutated the schema.
+    pub applied: usize,
+    /// Operations rejected by the paper's rules (cycles, root edges, …).
+    pub rejected: usize,
+    /// Operations skipped because no applicable target existed.
+    pub skipped: usize,
+}
+
+/// Apply `n` random operations drawn from `mix` to `schema`. Rejections
+/// (per the paper's rules) are counted, not errors.
+pub fn apply_random_ops(schema: &mut Schema, n: usize, mix: OpMix, seed: u64) -> TraceStats {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tag = format!("{seed:x}");
+    let mut stats = TraceStats::default();
+    let total = mix.total().max(1);
+    let mut fresh = 0u64;
+
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0..total);
+        let mut take = |w: u32| {
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        };
+        let outcome = if take(mix.add_type) {
+            op_add_type(schema, &mut rng, &mut fresh, &tag)
+        } else if take(mix.drop_type) {
+            op_drop_type(schema, &mut rng)
+        } else if take(mix.add_edge) {
+            op_add_edge(schema, &mut rng)
+        } else if take(mix.drop_edge) {
+            op_drop_edge(schema, &mut rng)
+        } else if take(mix.add_prop) {
+            op_add_prop(schema, &mut rng, &mut fresh, &tag)
+        } else {
+            op_drop_prop(schema, &mut rng)
+        };
+        match outcome {
+            Outcome::Applied => stats.applied += 1,
+            Outcome::Rejected => stats.rejected += 1,
+            Outcome::Skipped => stats.skipped += 1,
+        }
+    }
+    stats
+}
+
+enum Outcome {
+    Applied,
+    Rejected,
+    Skipped,
+}
+
+fn classify(r: Result<(), SchemaError>) -> Outcome {
+    match r {
+        Ok(()) => Outcome::Applied,
+        Err(SchemaError::WouldCreateCycle { .. })
+        | Err(SchemaError::SelfSupertype(_))
+        | Err(SchemaError::RootEdgeDrop { .. })
+        | Err(SchemaError::BaseEdgeDrop { .. })
+        | Err(SchemaError::DuplicateSupertype { .. })
+        | Err(SchemaError::SubtypeOfBase(_))
+        | Err(SchemaError::CannotDropRoot(_))
+        | Err(SchemaError::CannotDropBase(_))
+        | Err(SchemaError::FrozenType(_)) => Outcome::Rejected,
+        Err(e) => panic!("trace generator produced an invalid operation: {e}"),
+    }
+}
+
+fn pick_type(schema: &Schema, rng: &mut SmallRng) -> Option<TypeId> {
+    let live: Vec<TypeId> = schema.iter_types().collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[rng.gen_range(0..live.len())])
+    }
+}
+
+fn pick_droppable(schema: &Schema, rng: &mut SmallRng) -> Option<TypeId> {
+    let live: Vec<TypeId> = schema
+        .iter_types()
+        .filter(|&t| Some(t) != schema.root() && Some(t) != schema.base() && !schema.is_frozen(t))
+        .collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[rng.gen_range(0..live.len())])
+    }
+}
+
+fn op_add_type(schema: &mut Schema, rng: &mut SmallRng, fresh: &mut u64, tag: &str) -> Outcome {
+    let mut parents = Vec::new();
+    for _ in 0..rng.gen_range(1..=2u32) {
+        if let Some(t) = pick_type(schema, rng) {
+            if Some(t) != schema.base() && !parents.contains(&t) {
+                parents.push(t);
+            }
+        }
+    }
+    *fresh += 1;
+    let name = format!("trace_{tag}_t{fresh}");
+    if schema.type_by_name(&name).is_some() {
+        return Outcome::Skipped; // same (seed, counter) replayed on this schema
+    }
+    classify(schema.add_type(name, parents, []).map(|_| ()))
+}
+
+fn op_drop_type(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
+    match pick_droppable(schema, rng) {
+        Some(t) => classify(schema.drop_type(t).map(|_| ())),
+        None => Outcome::Skipped,
+    }
+}
+
+fn op_add_edge(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
+    match (pick_type(schema, rng), pick_type(schema, rng)) {
+        (Some(t), Some(s)) if t != s => classify(schema.add_essential_supertype(t, s)),
+        _ => Outcome::Skipped,
+    }
+}
+
+fn op_drop_edge(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
+    let Some(t) = pick_type(schema, rng) else {
+        return Outcome::Skipped;
+    };
+    let pe: Vec<TypeId> = schema
+        .essential_supertypes(t)
+        .expect("live")
+        .iter()
+        .copied()
+        .collect();
+    if pe.is_empty() {
+        return Outcome::Skipped;
+    }
+    let s = pe[rng.gen_range(0..pe.len())];
+    classify(schema.drop_essential_supertype(t, s))
+}
+
+fn op_add_prop(schema: &mut Schema, rng: &mut SmallRng, fresh: &mut u64, tag: &str) -> Outcome {
+    let Some(t) = pick_type(schema, rng) else {
+        return Outcome::Skipped;
+    };
+    // 70% fresh property, 30% redeclare an existing one.
+    let p = if rng.gen_bool(0.7) {
+        *fresh += 1;
+        schema.add_property(format!("trace_{tag}_p{fresh}"))
+    } else {
+        let all: Vec<PropId> = schema.iter_props().collect();
+        if all.is_empty() {
+            *fresh += 1;
+            schema.add_property(format!("trace_{tag}_p{fresh}"))
+        } else {
+            all[rng.gen_range(0..all.len())]
+        }
+    };
+    classify(schema.add_essential_property(t, p).map(|_| ()))
+}
+
+fn op_drop_prop(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
+    let Some(t) = pick_type(schema, rng) else {
+        return Outcome::Skipped;
+    };
+    let ne: Vec<PropId> = schema
+        .essential_properties(t)
+        .expect("live")
+        .iter()
+        .copied()
+        .collect();
+    if ne.is_empty() {
+        return Outcome::Skipped;
+    }
+    let p = ne[rng.gen_range(0..ne.len())];
+    classify(schema.drop_essential_property(t, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::LatticeGen;
+    use axiombase_core::{oracle, EngineKind, LatticeConfig};
+
+    #[test]
+    fn traces_preserve_axioms_and_oracle() {
+        for seed in 0..3 {
+            let mut out = LatticeGen {
+                types: 40,
+                seed,
+                ..Default::default()
+            }
+            .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+            let stats = apply_random_ops(&mut out.schema, 200, OpMix::BALANCED, seed ^ 0xABCD);
+            assert!(stats.applied > 0);
+            assert!(out.schema.verify().is_empty());
+            assert!(oracle::check_schema(&out.schema).is_empty());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let build = || {
+            let mut out = LatticeGen {
+                types: 30,
+                seed: 5,
+                ..Default::default()
+            }
+            .generate(LatticeConfig::ORION, EngineKind::Incremental);
+            apply_random_ops(&mut out.schema, 100, OpMix::LATTICE_CHURN, 99);
+            out.schema.fingerprint()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn property_churn_mix_never_drops_types() {
+        let mut out = LatticeGen {
+            types: 20,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        let before = out.schema.type_count();
+        apply_random_ops(&mut out.schema, 100, OpMix::PROPERTY_CHURN, 3);
+        // add_type weight 1 can only grow the count; drop_type weight 0.
+        assert!(out.schema.type_count() >= before);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dynamic schema evolution, literally: "the management of schema changes
+//! while the system is in operation" (§1).
+//!
+//! A writer thread evolves the schema through a randomized operation trace
+//! while reader threads continuously resolve interfaces against consistent
+//! snapshots. Every snapshot any reader ever sees satisfies all nine axioms
+//! and agrees with the soundness/completeness oracle.
+//!
+//! Run: `cargo run --example concurrent_evolution`
+
+use axiombase_core::{oracle, EngineKind, LatticeConfig, SharedSchema};
+use axiombase_workload::{apply_random_ops, LatticeGen, OpMix};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let base = LatticeGen {
+        types: 60,
+        max_parents: 3,
+        props_per_type: 2.0,
+        redeclare_prob: 0.1,
+        seed: 2026,
+    }
+    .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+    let shared = Arc::new(SharedSchema::new(base.schema));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let versions_seen = Arc::new(AtomicU64::new(0));
+
+    // Readers: resolve interfaces against snapshots, verify each new version.
+    let mut handles = Vec::new();
+    for r in 0..4u64 {
+        let shared = shared.clone();
+        let stop = stop.clone();
+        let reads = reads.clone();
+        let versions_seen = versions_seen.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut last_version = u64::MAX;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = shared.snapshot();
+                if snap.version() != last_version {
+                    last_version = snap.version();
+                    versions_seen.fetch_add(1, Ordering::Relaxed);
+                    // Every published version is fully consistent.
+                    assert!(snap.verify().is_empty(), "reader {r} saw axiom violation");
+                    assert!(
+                        oracle::check_schema(&snap).is_empty(),
+                        "reader {r} saw unsound derivation"
+                    );
+                }
+                // Interface resolution workload.
+                for t in snap.iter_types().take(20) {
+                    let _ = snap.interface(t).unwrap().len();
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // Writer: 300 evolution steps through the copy-on-write handle.
+    crossbeam::scope(|scope| {
+        scope.spawn(|_| {
+            for step in 0..300u64 {
+                shared
+                    .evolve(|schema| {
+                        apply_random_ops(schema, 1, OpMix::BALANCED, step);
+                        Ok(())
+                    })
+                    .expect("trace ops are tolerant");
+            }
+        });
+    })
+    .unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let final_schema = shared.snapshot();
+    println!(
+        "writer published {} schema versions; readers performed {} interface\n\
+         resolutions and observed {} distinct versions — every one satisfied\n\
+         all nine axioms and the oracle.",
+        final_schema.version(),
+        reads.load(Ordering::Relaxed),
+        versions_seen.load(Ordering::Relaxed),
+    );
+    println!(
+        "final lattice: {} types, {} properties",
+        final_schema.type_count(),
+        final_schema.prop_count()
+    );
+    assert!(final_schema.verify().is_empty());
+    println!("concurrent evolution example done");
+}

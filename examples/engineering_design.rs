@@ -1,0 +1,96 @@
+//! The paper's motivating domain (§1): "in an engineering design application
+//! many components of an overall design may go through several modifications
+//! before a final product design is achieved."
+//!
+//! A CAD assembly schema evolves through a scripted design-review history
+//! while part instances live in the objectbase; every revision propagates to
+//! the instances through the eager-conversion policy.
+//!
+//! Run: `cargo run --example engineering_design`
+
+use axiombase_core::EngineKind;
+use axiombase_store::{Policy, Value};
+use axiombase_tigukat::Objectbase;
+use axiombase_workload::scenarios::{engineering_design, DesignStep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: the schema-only scenario from the workload crate, replayed
+    // step by step with axiom verification after every revision.
+    let mut design = engineering_design(EngineKind::Incremental);
+    println!(
+        "base schema: {} component types",
+        design.schema.type_count()
+    );
+    let steps = std::mem::take(&mut design.steps);
+    for (i, step) in steps.iter().enumerate() {
+        design.apply(step)?;
+        assert!(
+            design.schema.verify().is_empty(),
+            "axioms must survive every revision"
+        );
+        println!(
+            "revision {:>2}: {:?} -> {} types, all axioms hold",
+            i + 1,
+            kind(step),
+            design.schema.type_count()
+        );
+    }
+
+    // Part 2: the same domain on the full objectbase with live instances.
+    let mut ob = Objectbase::with_policy(Policy::Eager);
+    let component = ob.at("Component", [], [])?;
+    let b_mass = ob.ab("B_mass", None);
+    ob.mt_ab(component, b_mass)?;
+    let bracket = ob.at("Bracket", [component], [])?;
+    ob.ac(bracket)?;
+    let parts: Vec<_> = (0..5).map(|_| ob.ao(bracket).unwrap()).collect();
+    for (i, &p) in parts.iter().enumerate() {
+        ob.mo(p, b_mass, Value::Real(0.1 * (i + 1) as f64))?;
+    }
+
+    // Design review 1: brackets need a material parameter.
+    let b_material = ob.ab("B_material", None);
+    ob.mt_ab(bracket, b_material)?;
+    // Eager policy: every instance already has the new slot.
+    for &p in &parts {
+        assert_eq!(ob.apply(p, b_material, &[])?, Value::Null);
+    }
+    println!(
+        "\nreview 1: B_material added; {} instances converted eagerly",
+        parts.len()
+    );
+
+    // Design review 2: mass moves up to Component level only — drop the
+    // bracket-level declaration; instances keep answering via inheritance.
+    ob.mt_db(bracket, b_mass).unwrap_err(); // never essential on Bracket
+    println!("review 2: B_mass was inherited, not essential on Bracket (MT-DB correctly rejected)");
+
+    // Design review 3: a bracket variant appears, then the base is retired
+    // after migrating its instances.
+    // Component is declared essential so HeavyBracket keeps its mass
+    // behavior when Bracket is retired (the §2 essential-supertype idea).
+    let heavy = ob.at("HeavyBracket", [bracket, component], [])?;
+    ob.ac(heavy)?;
+    for &p in &parts {
+        ob.migrate_object(p, heavy)?;
+    }
+    ob.dt(bracket)?;
+    println!(
+        "review 3: instances migrated to HeavyBracket, Bracket retired; mass of part 0 = {}",
+        ob.apply(parts[0], b_mass, &[])?
+    );
+
+    assert!(ob.schema().verify().is_empty());
+    println!("\nengineering design example done");
+    Ok(())
+}
+
+fn kind(step: &DesignStep) -> &'static str {
+    match step {
+        DesignStep::AddComponent { .. } => "AddComponent",
+        DesignStep::AddParameter { .. } => "AddParameter",
+        DesignStep::DropParameter { .. } => "DropParameter",
+        DesignStep::Recategorize { .. } => "Recategorize",
+        DesignStep::RetireComponent { .. } => "RetireComponent",
+    }
+}

@@ -1,0 +1,122 @@
+//! Section 5, executable: run the *same* evolution script against Orion and
+//! against the axiomatic model (TIGUKAT's semantics) and print where they
+//! agree and where they diverge.
+//!
+//! Run: `cargo run --example orion_vs_tigukat`
+
+use axiombase_core::{LatticeConfig, Schema};
+use axiombase_orion::{OrionProp, OrionPropKind, OrionSchema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Shared shape:  OBJECT ← PA ← A,  OBJECT ← PB ← B,  C ⊑ [A, B]
+    let mut orion = OrionSchema::new();
+    let o_pa = orion.op6_add_class("PA", None)?;
+    let o_pb = orion.op6_add_class("PB", None)?;
+    let o_a = orion.op6_add_class("A", Some(o_pa))?;
+    let o_b = orion.op6_add_class("B", Some(o_pb))?;
+    let o_c = orion.op6_add_class("C", Some(o_a))?;
+    orion.op3_add_edge(o_c, o_b)?;
+
+    let mut ax = Schema::new(LatticeConfig::ORION);
+    let root = ax.add_root_type("OBJECT")?;
+    let x_pa = ax.add_type("PA", [root], [])?;
+    let x_pb = ax.add_type("PB", [root], [])?;
+    let x_a = ax.add_type("A", [x_pa], [])?;
+    let x_b = ax.add_type("B", [x_pb], [])?;
+    let x_c = ax.add_type("C", [x_a, x_b], [])?;
+
+    // --- Divergence 1: order-dependence of edge drops (§5) -----------------
+    println!("drop the edges (C,A) then (C,B) in each system:\n");
+    let mut orion1 = orion.clone();
+    orion1.op4_drop_edge(o_c, o_a)?;
+    orion1.op4_drop_edge(o_c, o_b)?; // last edge -> relink to P_e(B) = {PB}
+    let mut orion2 = orion.clone();
+    orion2.op4_drop_edge(o_c, o_b)?;
+    orion2.op4_drop_edge(o_c, o_a)?; // last edge -> relink to P_e(A) = {PA}
+    let sup = |s: &OrionSchema, c| {
+        s.superclasses(c)
+            .unwrap()
+            .iter()
+            .map(|&x| s.class_name(x).unwrap().to_string())
+            .collect::<Vec<_>>()
+    };
+    println!("  Orion, order A-then-B: C under {:?}", sup(&orion1, o_c));
+    println!("  Orion, order B-then-A: C under {:?}", sup(&orion2, o_c));
+    println!("  -> Orion is ORDER-DEPENDENT (OP4's relink rule)\n");
+
+    let mut ax1 = ax.clone();
+    ax1.drop_essential_supertype(x_c, x_a)?;
+    ax1.drop_essential_supertype(x_c, x_b)?;
+    let mut ax2 = ax.clone();
+    ax2.drop_essential_supertype(x_c, x_b)?;
+    ax2.drop_essential_supertype(x_c, x_a)?;
+    assert_eq!(ax1.fingerprint(), ax2.fingerprint());
+    let names = |s: &Schema, t| {
+        s.essential_supertypes(t)
+            .unwrap()
+            .iter()
+            .map(|&x| s.type_name(x).unwrap().to_string())
+            .collect::<Vec<_>>()
+    };
+    println!("  Axiomatic, either order: C under {:?}", names(&ax1, x_c));
+    println!("  -> the axiomatic model is ORDER-INDEPENDENT\n");
+
+    // --- Divergence 2: minimality ------------------------------------------
+    // Declare redundant essentials on C; Orion's stored superclass list just
+    // grows, the axiomatic P stays minimal.
+    let mut ax3 = ax.clone();
+    ax3.add_essential_supertype(x_c, x_pa)?;
+    ax3.add_essential_supertype(x_c, root)?;
+    println!(
+        "after declaring PA and OBJECT essential on C:\n  |P_e(C)| = {}, |P(C)| = {} (axiomatic model keeps P minimal)",
+        ax3.essential_supertypes(x_c)?.len(),
+        ax3.immediate_supertypes(x_c)?.len()
+    );
+    let mut orion3 = orion.clone();
+    orion3.op3_add_edge(o_c, o_pa)?;
+    orion3.op3_add_edge(o_c, orion3.object())?;
+    println!(
+        "  Orion stores the full list: {} superclasses on C (no minimal view)\n",
+        orion3.superclasses(o_c)?.len()
+    );
+
+    // --- Agreement: property add/drop behave identically --------------------
+    let mut orion4 = orion.clone();
+    orion4.op1_add_property(
+        o_c,
+        OrionProp {
+            name: "x".into(),
+            domain: "OBJECT".into(),
+            kind: OrionPropKind::Attribute,
+        },
+    )?;
+    let mut ax4 = ax.clone();
+    let p = ax4.define_property_on(x_c, "x")?;
+    println!("add property 'x' to C in both systems:");
+    println!(
+        "  Orion locals on C: {:?}",
+        orion4
+            .local_properties(o_c)?
+            .iter()
+            .map(|q| q.name.clone())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  axiomatic N(C) contains x: {}",
+        ax4.native_properties(x_c)?.contains(&p)
+    );
+    println!("  -> \"the operations of adding and dropping properties ... are virtually identical\" (§5)");
+
+    // --- Divergence 3: renaming ---------------------------------------------
+    // Orion's OP8 is a real operation; the axiomatic model treats names as
+    // labels over immutable identities (§5).
+    let mut orion5 = orion.clone();
+    orion5.op8_rename_class(o_c, "C_renamed")?;
+    let mut ax5 = ax.clone();
+    ax5.rename_type(x_c, "C_renamed")?;
+    println!("\nrename C in both systems: both succeed, but identity semantics differ —");
+    println!("  Orion: \"change every occurrence of C in the P_e's ... to the new name\"");
+    println!("  TIGUKAT: references point at an immutable identity; only the label moves");
+
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Persistence across the full stack: save an evolved objectbase to a text
+//! snapshot, reload it, and keep evolving — plus schema-level time travel
+//! through the recorded history.
+//!
+//! Run: `cargo run --example persistence`
+
+use axiombase_core::{History, LatticeConfig};
+use axiombase_store::Value;
+use axiombase_tigukat::Objectbase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: objectbase snapshots -------------------------------------
+    let mut ob = Objectbase::new();
+    let part = ob.at("Part", [], [])?;
+    let b_mass = ob.ab("B_mass", None);
+    ob.mt_ab(part, b_mass)?;
+    ob.ac(part)?;
+    let bolt = ob.ao(part)?;
+    ob.mo(bolt, b_mass, Value::Real(0.42))?;
+
+    let dir = std::env::temp_dir().join("axiombase_persistence_example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("design.tgk");
+    std::fs::write(&path, ob.to_snapshot())?;
+    println!(
+        "saved objectbase to {} ({} bytes)",
+        path.display(),
+        ob.to_snapshot().len()
+    );
+
+    let mut restored = Objectbase::from_snapshot(&std::fs::read_to_string(&path)?)?;
+    let restored_bolt = restored.store().extent(part).into_iter().next().unwrap();
+    println!(
+        "restored: bolt mass = {}",
+        restored.apply(restored_bolt, b_mass, &[])?
+    );
+    assert_eq!(
+        restored.apply(restored_bolt, b_mass, &[])?,
+        Value::Real(0.42)
+    );
+
+    // The restored objectbase keeps evolving.
+    let heavy = restored.at("HeavyPart", [part], [])?;
+    restored.ac(heavy)?;
+    restored.ao(heavy)?;
+    assert!(restored.schema().verify().is_empty());
+    println!(
+        "restored objectbase evolved: {} types",
+        restored.schema().type_count()
+    );
+
+    // --- Part 2: schema history and time travel ---------------------------
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object")?;
+    let widget = h.add_type("Widget", [root], [])?;
+    h.define_property_on(widget, "color")?;
+    let v_colored = h.len();
+    h.define_property_on(widget, "weight")?;
+    let gadget = h.add_type("Gadget", [widget], [])?;
+
+    println!("\nhistory: {} operations recorded", h.len());
+    println!(
+        "  current interface of Widget: {} properties",
+        h.schema().interface(widget)?.len()
+    );
+    let old = h.as_of(v_colored)?;
+    println!(
+        "  as of version {v_colored}: {} properties (time travel)",
+        old.interface(widget)?.len()
+    );
+
+    // Undo back past the Gadget.
+    h.undo_to(v_colored)?;
+    assert!(h.schema().type_by_name("Gadget").is_none());
+    println!(
+        "  after undo: Gadget is gone, Widget keeps {} properties",
+        h.schema().interface(widget)?.len()
+    );
+    let _ = gadget;
+
+    std::fs::remove_file(&path).ok();
+    println!("\npersistence example done");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a small schema from the two designer inputs
+//! (`P_e`, `N_e`), evolve it, and watch the axioms re-derive everything.
+//!
+//! Run: `cargo run --example quickstart`
+
+use axiombase_core::{LatticeConfig, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A rooted lattice (every type is ultimately a T_object).
+    let mut schema = Schema::new(LatticeConfig::default());
+    let object = schema.add_root_type("T_object")?;
+
+    // Types are created by naming their ESSENTIAL supertypes and properties;
+    // the axioms derive the rest.
+    let vehicle = schema.add_type("Vehicle", [object], [])?;
+    let wheels = schema.define_property_on(vehicle, "wheel_count")?;
+    let electric = schema.add_type("Electric", [object], [])?;
+    let battery = schema.define_property_on(electric, "battery_kwh")?;
+    let ev = schema.add_type("ElectricCar", [vehicle, electric], [])?;
+
+    // Derived state (Table 1 of the paper):
+    println!("immediate supertypes P(ElectricCar):");
+    for &t in schema.immediate_supertypes(ev)? {
+        println!("  {}", schema.type_name(t)?);
+    }
+    println!("interface I(ElectricCar):");
+    for &p in schema.interface(ev)? {
+        println!("  {}", schema.prop_name(p)?);
+    }
+    assert!(schema.interface(ev)?.contains(&wheels));
+    assert!(schema.interface(ev)?.contains(&battery));
+
+    // Evolution is just an edit of the essential inputs. Declare the battery
+    // essential on ElectricCar so it survives restructuring:
+    schema.add_essential_property(ev, battery)?;
+
+    // Now drop the Electric supertype — battery_kwh is ADOPTED as native on
+    // ElectricCar (Axiom of Nativeness), because it was declared essential.
+    schema.drop_essential_supertype(ev, electric)?;
+    assert!(schema.native_properties(ev)?.contains(&battery));
+    assert!(!schema.is_supertype_of(electric, ev)?);
+    println!("\nafter dropping the Electric link:");
+    println!(
+        "  battery_kwh is now native on ElectricCar: {}",
+        schema.native_properties(ev)?.contains(&battery)
+    );
+
+    // Rejected operations never corrupt the schema:
+    let err = schema.add_essential_supertype(vehicle, ev).unwrap_err();
+    println!("  cycle rejected as expected: {err}");
+
+    // And every reachable state satisfies all nine axioms:
+    assert!(schema.verify().is_empty());
+    println!("\nall nine axioms hold — quickstart done");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The paper's Figure 1 university schema, end-to-end on the full TIGUKAT
+//! objectbase: types, behaviors, classes, instances, schema evolution with
+//! live change propagation, and behavior application.
+//!
+//! Run: `cargo run --example university`
+
+use axiombase_store::Value;
+use axiombase_tigukat::Objectbase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ob = Objectbase::new();
+
+    // --- Figure 1, as TIGUKAT AT operations --------------------------------
+    let person = ob.at("T_person", [], [])?;
+    let tax_source = ob.at("T_taxSource", [], [])?;
+    let student = ob.at("T_student", [person], [])?;
+    let employee = ob.at("T_employee", [person, tax_source], [])?;
+    let ta = ob.at("T_teachingAssistant", [student, employee], [])?;
+
+    // Behaviors (properties): both T_person and T_taxSource define "name".
+    let b_name = ob.ab("B_name", None);
+    ob.mt_ab(person, b_name)?;
+    let b_tax_name = ob.ab("B_name", None); // homonym, distinct semantics
+    ob.mt_ab(tax_source, b_tax_name)?;
+    let b_salary = ob.ab("B_salary", None);
+    ob.mt_ab(employee, b_salary)?;
+    let b_bracket = ob.ab("B_taxBracket", None);
+    ob.mt_ab(tax_source, b_bracket)?;
+
+    // Classes enable instantiation (AC), then create David the TA (AO).
+    for t in [person, student, employee, ta] {
+        ob.ac(t)?;
+    }
+    let david = ob.ao(ta)?;
+    ob.mo(david, b_name, "David".into())?;
+    ob.mo(david, b_salary, Value::Int(3200))?;
+    println!(
+        "David.B_name = {}, David.B_salary = {}",
+        ob.apply(david, b_name, &[])?,
+        ob.apply(david, b_salary, &[])?
+    );
+
+    // Uniform reflection: ask the TYPE OBJECT for its supertype lattice.
+    let prim = ob.primitives().clone();
+    let ta_obj = ob.type_object(ta).unwrap();
+    let lattice = ob.apply(ta_obj, prim.b_super_lattice, &[])?;
+    if let Value::List(xs) = &lattice {
+        println!("PL(T_teachingAssistant) has {} types", xs.len());
+    }
+
+    // --- The §2 narrative, with live instances -----------------------------
+    // Declare it essential that TAs are persons, then sever the student and
+    // employee links (MT-DSR).
+    ob.mt_asr(ta, person)?;
+    ob.mt_dsr(ta, student)?;
+    ob.mt_dsr(ta, employee)?;
+    println!("\nafter dropping the student and employee links:");
+    let p = ob
+        .schema()
+        .immediate_supertypes(ta)?
+        .iter()
+        .map(|&t| ob.schema().type_name(t).unwrap().to_string())
+        .collect::<Vec<_>>();
+    println!("  P(T_teachingAssistant) = {p:?}");
+
+    // David's salary behavior is gone from the interface — the propagation
+    // policy (lazy conversion) reconciles his stored state on access.
+    match ob.apply(david, b_salary, &[]) {
+        Err(e) => println!("  David.B_salary now rejected: {e}"),
+        Ok(v) => println!("  unexpected: {v}"),
+    }
+    // But his name (inherited via T_person, still essential) survives.
+    println!("  David.B_name still = {}", ob.apply(david, b_name, &[])?);
+
+    assert!(ob.schema().verify().is_empty());
+    println!("\nall nine axioms hold — university example done");
+    Ok(())
+}

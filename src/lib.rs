@@ -1,0 +1,62 @@
+//! # axiombase — axiomatic dynamic schema evolution, as a suite
+//!
+//! Umbrella crate for the `axiombase` workspace: a production-quality Rust
+//! implementation of *Peters & Özsu, "Axiomatization of Dynamic Schema
+//! Evolution in Objectbases" (ICDE'95)*, together with the systems the
+//! paper analyses. See the repository README for the tour and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `axiombase-core` | the axiomatic model: `P_e`/`N_e` inputs, the nine axioms, derivation engines, oracle, history, diff, projection |
+//! | [`store`] | `axiombase-store` | instance substrate: extents, change-propagation policies, migration plans, selection |
+//! | [`tigukat`] | `axiombase-tigukat` | the TIGUKAT objectbase (uniform behavioral model, §3) |
+//! | [`orion`] | `axiombase-orion` | the Orion baseline and its reduction (§4) |
+//! | [`systems`] | `axiombase-systems` | GemStone / Encore / Sherpa reductions (§4) |
+//! | [`workload`] | `axiombase-workload` | seeded generators and the paper's named scenarios |
+//!
+//! The [`prelude`] brings the types most programs need into scope:
+//!
+//! ```
+//! use axiombase_suite::prelude::*;
+//!
+//! let mut schema = Schema::new(LatticeConfig::default());
+//! let root = schema.add_root_type("T_object")?;
+//! let t = schema.add_type("T_person", [root], [])?;
+//! assert!(schema.verify().is_empty());
+//! # let _ = t;
+//! # Ok::<(), SchemaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use axiombase_core as core;
+pub use axiombase_orion as orion;
+pub use axiombase_store as store;
+pub use axiombase_systems as systems;
+pub use axiombase_tigukat as tigukat;
+pub use axiombase_workload as workload;
+
+/// The names most programs start with.
+pub mod prelude {
+    pub use axiombase_core::{
+        Axiom, EngineKind, History, LatticeConfig, PropId, Schema, SchemaError, SharedSchema,
+        TypeId,
+    };
+    pub use axiombase_store::{ObjectStore, Oid, Policy, Value};
+    pub use axiombase_tigukat::Objectbase;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_smoke() {
+        use crate::prelude::*;
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("T_object").unwrap();
+        s.add_type("A", [root], []).unwrap();
+        assert!(s.verify().is_empty());
+        let ob = Objectbase::new();
+        assert_eq!(ob.tso().len(), 16);
+    }
+}

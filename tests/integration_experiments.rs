@@ -1,0 +1,270 @@
+//! Fast-running versions of the reproduction experiments, so `cargo test`
+//! pins every headline result the harness binaries print (EXPERIMENTS.md).
+
+use axiombase_core::{oracle, EngineKind, LatticeConfig, SchemaError, TypeId};
+use axiombase_orion::{ClassId, OrionError};
+use axiombase_workload::{apply_random_ops, scenarios, LatticeGen, OpMix, OrionGen};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// §5 claim 1 (axiomatic half): edge drops commute, exhaustively over all
+/// 3! orders on random lattices.
+#[test]
+fn axiomatic_edge_drops_commute() {
+    for seed in 0..12u64 {
+        let out = LatticeGen {
+            types: 12,
+            max_parents: 3,
+            props_per_type: 1.0,
+            redeclare_prob: 0.2,
+            seed,
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+        let mut edges: Vec<(TypeId, TypeId)> = Vec::new();
+        let types: Vec<TypeId> = out.schema.iter_types().collect();
+        for _ in 0..200 {
+            if edges.len() == 3 {
+                break;
+            }
+            let t = types[rng.gen_range(0..types.len())];
+            let pe: Vec<TypeId> = out
+                .schema
+                .essential_supertypes(t)
+                .unwrap()
+                .iter()
+                .copied()
+                .collect();
+            if pe.is_empty() {
+                continue;
+            }
+            let s = pe[rng.gen_range(0..pe.len())];
+            if !edges.contains(&(t, s)) {
+                edges.push((t, s));
+            }
+        }
+        if edges.len() < 3 {
+            continue;
+        }
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let mut fps = BTreeSet::new();
+        for order in orders {
+            let mut s = out.schema.clone();
+            for &i in &order {
+                let (t, sup) = edges[i];
+                match s.drop_essential_supertype(t, sup) {
+                    Ok(())
+                    | Err(SchemaError::NotAnEssentialSupertype { .. })
+                    | Err(SchemaError::RootEdgeDrop { .. }) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            fps.insert(s.fingerprint());
+        }
+        assert_eq!(fps.len(), 1, "seed {seed}: axiomatic drops must commute");
+    }
+}
+
+/// §5 claim 1 (Orion half): the canonical witness is order-dependent.
+#[test]
+fn orion_witness_is_order_dependent() {
+    let build = || {
+        let mut s = axiombase_orion::OrionSchema::new();
+        let pa = s.op6_add_class("PA", None).unwrap();
+        let pb = s.op6_add_class("PB", None).unwrap();
+        let a = s.op6_add_class("A", Some(pa)).unwrap();
+        let b = s.op6_add_class("B", Some(pb)).unwrap();
+        let c = s.op6_add_class("C", Some(a)).unwrap();
+        s.op3_add_edge(c, b).unwrap();
+        (s, a, b, c)
+    };
+    let (mut s1, a, b, c) = build();
+    s1.op4_drop_edge(c, a).unwrap();
+    s1.op4_drop_edge(c, b).unwrap();
+    let (mut s2, a2, b2, c2) = build();
+    s2.op4_drop_edge(c2, b2).unwrap();
+    s2.op4_drop_edge(c2, a2).unwrap();
+    assert_ne!(s1.fingerprint(), s2.fingerprint());
+    let _ = (a, b, c);
+}
+
+/// §5 claim 1 (Orion, statistical): random drop sets diverge with
+/// non-trivial frequency.
+#[test]
+fn orion_random_drops_diverge_sometimes() {
+    let mut divergent = 0;
+    let mut usable_trials = 0;
+    for seed in 0..40u64 {
+        let orion = OrionGen {
+            classes: 14,
+            max_supers: 3,
+            props_per_class: 0.0,
+            homonym_prob: 0.0,
+            seed,
+        }
+        .generate();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+        let classes: Vec<ClassId> = orion.iter_classes().collect();
+        let mut edges: Vec<(ClassId, ClassId)> = Vec::new();
+        for _ in 0..300 {
+            if edges.len() == 3 {
+                break;
+            }
+            let c = classes[rng.gen_range(0..classes.len())];
+            let supers = orion.superclasses(c).unwrap();
+            if supers.is_empty() {
+                continue;
+            }
+            let s = supers[rng.gen_range(0..supers.len())];
+            if !edges.contains(&(c, s)) {
+                edges.push((c, s));
+            }
+        }
+        if edges.len() < 3 {
+            continue;
+        }
+        usable_trials += 1;
+        let drop_all = |order: &[usize]| {
+            let mut s = orion.clone();
+            for &i in order {
+                let (c, sup) = edges[i];
+                match s.op4_drop_edge(c, sup) {
+                    Ok(())
+                    | Err(OrionError::NotASuperclass { .. })
+                    | Err(OrionError::LastEdgeToObject { .. }) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            s.fingerprint()
+        };
+        let fwd = drop_all(&[0, 1, 2]);
+        let rev = drop_all(&[2, 1, 0]);
+        if fwd != rev {
+            divergent += 1;
+        }
+    }
+    assert!(usable_trials > 20);
+    assert!(
+        divergent > 0,
+        "Orion's OP4 relink must show order dependence over {usable_trials} trials"
+    );
+}
+
+/// §6 ablation shape: the incremental engine does strictly less work than
+/// the naive one, and the gap grows with lattice size.
+#[test]
+fn engine_work_gap_grows() {
+    let work = |n: usize, engine: EngineKind| {
+        let mut out = LatticeGen {
+            types: n,
+            max_parents: 3,
+            props_per_type: 1.0,
+            redeclare_prob: 0.0,
+            seed: 3,
+        }
+        .generate(LatticeConfig::ORION, engine);
+        out.schema.reset_stats();
+        apply_random_ops(&mut out.schema, 120, OpMix::PROPERTY_CHURN, 11);
+        out.schema.stats().types_derived as f64
+    };
+    let r_small = work(40, EngineKind::Naive) / work(40, EngineKind::Incremental);
+    let r_large = work(320, EngineKind::Naive) / work(320, EngineKind::Incremental);
+    assert!(r_small > 1.0);
+    assert!(
+        r_large > r_small,
+        "gap must widen: {r_small:.1} -> {r_large:.1}"
+    );
+}
+
+/// §5 claim 2: conflict detection through minimal `P` sees exactly the
+/// conflicts the full `P_e` scan sees.
+#[test]
+fn minimal_conflict_detection_is_complete() {
+    for seed in 0..6u64 {
+        let mut out = LatticeGen {
+            types: 40,
+            max_parents: 3,
+            props_per_type: 1.0,
+            redeclare_prob: 0.0,
+            seed,
+        }
+        .generate(LatticeConfig::ORION, EngineKind::Incremental);
+        // Salt redundancy + homonyms.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let types: Vec<TypeId> = out.schema.iter_types().collect();
+        for &t in &types {
+            let anc: Vec<TypeId> = out
+                .schema
+                .super_lattice(t)
+                .unwrap()
+                .iter()
+                .copied()
+                .filter(|&a| a != t)
+                .collect();
+            for a in anc {
+                if rng.gen_bool(0.3) && !out.schema.essential_supertypes(t).unwrap().contains(&a) {
+                    out.schema.add_essential_supertype(t, a).unwrap();
+                }
+            }
+        }
+        for h in 0..8 {
+            for _ in 0..2 {
+                let t = types[rng.gen_range(0..types.len())];
+                out.schema.define_property_on(t, format!("hom{h}")).unwrap();
+            }
+        }
+        let conflicts = |supers: &BTreeSet<TypeId>| {
+            let mut m: std::collections::BTreeMap<String, BTreeSet<_>> = Default::default();
+            for &s in supers {
+                for &p in out.schema.interface(s).unwrap() {
+                    m.entry(out.schema.prop_name(p).unwrap().to_string())
+                        .or_default()
+                        .insert(p);
+                }
+            }
+            m.into_iter()
+                .filter(|(_, ids)| ids.len() > 1)
+                .map(|(k, _)| k)
+                .collect::<BTreeSet<_>>()
+        };
+        for t in out.schema.iter_types() {
+            let via_p = conflicts(out.schema.immediate_supertypes(t).unwrap());
+            let via_pe = conflicts(out.schema.essential_supertypes(t).unwrap());
+            assert_eq!(via_p, via_pe, "seed {seed}, type {t}");
+        }
+        assert!(oracle::check_schema(&out.schema).is_empty());
+    }
+}
+
+/// The Figure 1 narrative as a single regression test (what `fig1_lattice`
+/// prints).
+#[test]
+fn figure1_narrative_regression() {
+    let mut u = scenarios::university(EngineKind::Incremental, false);
+    u.declare_ta_essentials();
+    u.declare_tax_bracket_essential();
+    let s = &mut u.schema;
+    s.drop_essential_supertype(u.teaching_assistant, u.student)
+        .unwrap();
+    s.drop_essential_supertype(u.teaching_assistant, u.employee)
+        .unwrap();
+    assert_eq!(
+        s.immediate_supertypes(u.teaching_assistant).unwrap(),
+        &BTreeSet::from([u.person])
+    );
+    s.drop_type(u.tax_source).unwrap();
+    assert!(s
+        .native_properties(u.employee)
+        .unwrap()
+        .contains(&u.tax_bracket));
+    assert!(s.verify().is_empty());
+    assert!(oracle::check_schema(s).is_empty());
+}

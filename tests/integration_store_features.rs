@@ -1,0 +1,142 @@
+//! Cross-crate integration of the "production" features: recorded history,
+//! version diffs, explicit migration plans, and instance selection — the
+//! workflow a DBA would actually run an evolution with.
+
+use axiombase_core::{diff, History, LatticeConfig, TypeId};
+use axiombase_store::{plan, ObjectStore, OrphanAction, Policy, Predicate, Select, Value};
+
+/// End-to-end evolution workflow:
+/// 1. build schema v0 with instances,
+/// 2. evolve through a recorded history,
+/// 3. diff the versions and derive a migration plan,
+/// 4. apply the plan, 5. query the result.
+#[test]
+fn dba_workflow_history_plan_select() {
+    // 1. Schema v0 + instances.
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object").unwrap();
+    let part = h.add_type("Part", [root], []).unwrap();
+    let mass = h.define_property_on(part, "mass").unwrap();
+    let legacy = h.add_type("LegacyPart", [part], []).unwrap();
+
+    let mut store = ObjectStore::new(Policy::Lazy);
+    let old_schema = h.schema().clone();
+    let mut parts = Vec::new();
+    for i in 0..5 {
+        let o = store.create(&old_schema, part).unwrap();
+        store
+            .set(&old_schema, o, mass, Value::Real(i as f64))
+            .unwrap();
+        parts.push(o);
+    }
+    let l1 = store.create(&old_schema, legacy).unwrap();
+
+    // 2. Recorded evolution: new property, legacy type retired.
+    let v0 = h.len();
+    let lot = h.define_property_on(part, "lot").unwrap();
+    h.drop_type(legacy).unwrap();
+
+    // 3. Diff explains the change; the plan operationalises it.
+    let d = diff::diff(&h.as_of(v0).unwrap(), h.schema());
+    assert!(!d.is_empty());
+    assert!(d.to_string().contains("LegacyPart"));
+    let p = plan::plan(&old_schema, h.schema());
+    assert_eq!(p.dropped_types, vec![legacy]);
+    assert_eq!(p.migrations.len(), 1);
+    assert!(p
+        .describe(&old_schema, h.schema())
+        .contains("convert instances of Part"));
+
+    // 4. Apply: legacy instances migrate to Part rather than dying.
+    let stats = store
+        .apply_plan(h.schema(), &p, OrphanAction::MigrateTo(part))
+        .unwrap();
+    assert_eq!(stats.converted, 5);
+    assert_eq!(stats.orphans_migrated, 1);
+    assert_eq!(store.extent(part).len(), 6);
+    assert!(store.record(l1).is_ok());
+
+    // 5. Query the new world: every instance answers the new property.
+    let q = Select::all().and(Predicate::IsNull(lot));
+    let hits = store.select(h.schema(), part, &q).unwrap();
+    assert_eq!(hits.len(), 6);
+    let q = Select::all().and(Predicate::Gt(mass, 2.5));
+    assert_eq!(store.select(h.schema(), part, &q).unwrap().len(), 2);
+
+    // The whole history remains replayable and axiom-clean.
+    for v in 0..=h.len() {
+        assert!(h.as_of(v).unwrap().verify().is_empty());
+    }
+}
+
+/// The plan path and the implicit eager-propagation path converge on the
+/// same instance state even through a multi-step evolution.
+#[test]
+fn plan_and_eager_propagation_converge() {
+    let build = || {
+        let mut h = History::new(LatticeConfig::default());
+        let root = h.add_root_type("T_object").unwrap();
+        let a = h.add_type("A", [root], []).unwrap();
+        h.define_property_on(a, "x").unwrap();
+        let b = h.add_type("B", [a], []).unwrap();
+        (h, a, b)
+    };
+
+    // Path 1: plan-based.
+    let (mut h1, a1, b1) = build();
+    let mut s1 = ObjectStore::new(Policy::Lazy);
+    let old1 = h1.schema().clone();
+    let oa1 = s1.create(&old1, a1).unwrap();
+    let ob1 = s1.create(&old1, b1).unwrap();
+    h1.define_property_on(a1, "y").unwrap();
+    h1.define_property_on(b1, "z").unwrap();
+    let p = plan::plan(&old1, h1.schema());
+    s1.apply_plan(h1.schema(), &p, OrphanAction::Delete)
+        .unwrap();
+
+    // Path 2: eager propagation per step.
+    let (mut h2, a2, b2) = build();
+    let mut s2 = ObjectStore::new(Policy::Eager);
+    let old2 = h2.schema().clone();
+    let oa2 = s2.create(&old2, a2).unwrap();
+    let ob2 = s2.create(&old2, b2).unwrap();
+    for _ in 0..1 {
+        h2.define_property_on(a2, "y").unwrap();
+        let affected: Vec<TypeId> = vec![a2, b2];
+        s2.on_schema_change(h2.schema(), &affected);
+        h2.define_property_on(b2, "z").unwrap();
+        s2.on_schema_change(h2.schema(), &[b2]);
+    }
+
+    // Identical slot keys everywhere (ids are deterministic across builds).
+    for (x1, x2) in [(oa1, oa2), (ob1, ob2)] {
+        let k1: Vec<_> = s1.record(x1).unwrap().slots.keys().copied().collect();
+        let k2: Vec<_> = s2.record(x2).unwrap().slots.keys().copied().collect();
+        assert_eq!(k1, k2);
+    }
+}
+
+/// Selection interacts correctly with schema projection: a query against a
+/// projected fragment sees exactly the instances whose types survive.
+#[test]
+fn select_over_projected_fragment() {
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object").unwrap();
+    let vehicle = h.add_type("Vehicle", [root], []).unwrap();
+    let wheels = h.define_property_on(vehicle, "wheels").unwrap();
+    let car = h.add_type("Car", [vehicle], []).unwrap();
+    let boat = h.add_type("Boat", [root], []).unwrap();
+
+    let mut store = ObjectStore::new(Policy::Eager);
+    let schema = h.schema().clone();
+    store.create(&schema, car).unwrap();
+    store.create(&schema, vehicle).unwrap();
+    store.create(&schema, boat).unwrap();
+
+    let fragment = schema.project([car]).unwrap();
+    // The fragment retains Vehicle and Car; Boat is outside it.
+    assert!(fragment.type_by_name("Boat").is_none());
+    let q = Select::all().and(Predicate::IsNull(wheels));
+    let hits = store.select(&fragment, vehicle, &q).unwrap();
+    assert_eq!(hits.len(), 2, "car + vehicle instances, not the boat");
+}
