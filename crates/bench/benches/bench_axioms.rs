@@ -30,7 +30,7 @@ fn bench_axiom_checks(c: &mut Criterion) {
             );
         }
         group.bench_with_input(BenchmarkId::new("verify_all", n), &schema, |b, s| {
-            b.iter(|| std::hint::black_box(s.verify().len()))
+            b.iter(|| std::hint::black_box(s.verify().len()));
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_oracle(c: &mut Criterion) {
         .generate(LatticeConfig::ORION, EngineKind::Incremental)
         .schema;
         group.bench_with_input(BenchmarkId::new("check_schema", n), &schema, |b, s| {
-            b.iter(|| std::hint::black_box(axiombase_core::oracle::check_schema(s).len()))
+            b.iter(|| std::hint::black_box(axiombase_core::oracle::check_schema(s).len()));
         });
     }
     group.finish();

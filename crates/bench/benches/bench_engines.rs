@@ -40,7 +40,7 @@ fn bench_add_property(c: &mut Criterion) {
                             s
                         },
                         BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
         }
@@ -71,7 +71,7 @@ fn bench_add_edge(c: &mut Criterion) {
                             s
                         },
                         BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
         }
@@ -95,7 +95,7 @@ fn bench_add_type(c: &mut Criterion) {
                             s
                         },
                         BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
         }

@@ -61,14 +61,14 @@ fn bench_conflict_detection(c: &mut Criterion) {
                 std::hint::black_box(conflict_scan(s, |t| {
                     s.immediate_supertypes(t).unwrap().clone()
                 }))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("via_full_Pe", n), &schema, |b, s| {
             b.iter(|| {
                 std::hint::black_box(conflict_scan(s, |t| {
                     s.essential_supertypes(t).unwrap().clone()
                 }))
-            })
+            });
         });
     }
     group.finish();
@@ -86,7 +86,7 @@ fn bench_lattice_drawing(c: &mut Criterion) {
                     edges += s.immediate_supertypes(t).unwrap().len();
                 }
                 std::hint::black_box(edges)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("essential_edges", n), &schema, |b, s| {
             b.iter(|| {
@@ -95,7 +95,7 @@ fn bench_lattice_drawing(c: &mut Criterion) {
                     edges += s.essential_supertypes(t).unwrap().len();
                 }
                 std::hint::black_box(edges)
-            })
+            });
         });
     }
     group.finish();

@@ -39,7 +39,7 @@ fn bench_type_ops(c: &mut Criterion) {
                 ob
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     let victim = base.schema().type_by_name("L2_0").unwrap();
     group.bench_function("DT", |b| {
@@ -50,7 +50,7 @@ fn bench_type_ops(c: &mut Criterion) {
                 ob
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     let l1 = base.schema().type_by_name("L1_1").unwrap();
     group.bench_function("MT-ASR", |b| {
@@ -61,7 +61,7 @@ fn bench_type_ops(c: &mut Criterion) {
                 ob
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -79,7 +79,7 @@ fn bench_behavior_ops(c: &mut Criterion) {
                 ob
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("MB-CA", |b| {
         let existing = base
@@ -101,7 +101,7 @@ fn bench_behavior_ops(c: &mut Criterion) {
                 ob
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -123,10 +123,10 @@ fn bench_apply(c: &mut Criterion) {
     let type_obj = ob.type_object(t).unwrap();
     let mut group = c.benchmark_group("tigukat_apply");
     group.bench_function("stored_behavior", |b| {
-        b.iter(|| std::hint::black_box(ob.apply(inst, beh, &[]).unwrap()))
+        b.iter(|| std::hint::black_box(ob.apply(inst, beh, &[]).unwrap()));
     });
     group.bench_function("builtin_B_interface", |b| {
-        b.iter(|| std::hint::black_box(ob.apply(type_obj, prim.b_interface, &[]).unwrap()))
+        b.iter(|| std::hint::black_box(ob.apply(type_obj, prim.b_interface, &[]).unwrap()));
     });
     group.finish();
 }

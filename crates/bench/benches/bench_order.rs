@@ -43,7 +43,7 @@ fn bench_drop_series_axiomatic(c: &mut Criterion) {
                     s.fingerprint()
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -84,7 +84,7 @@ fn bench_drop_series_orion(c: &mut Criterion) {
                     s.fingerprint()
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -101,7 +101,7 @@ fn bench_fingerprint(c: &mut Criterion) {
         .generate(LatticeConfig::ORION, EngineKind::Incremental)
         .schema;
         group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, s| {
-            b.iter(|| std::hint::black_box(s.fingerprint()))
+            b.iter(|| std::hint::black_box(s.fingerprint()));
         });
     }
     group.finish();

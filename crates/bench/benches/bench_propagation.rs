@@ -30,7 +30,7 @@ fn bench_change_cost(c: &mut Criterion) {
                         store
                     },
                     BatchSize::SmallInput,
-                )
+                );
             });
         }
     }

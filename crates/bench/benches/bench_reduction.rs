@@ -34,7 +34,7 @@ fn bench_op1(c: &mut Criterion) {
                     s
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
         let pair_base = gen.generate_reduced();
         group.bench_with_input(BenchmarkId::new("reduced", n), &pair_base, |b, base| {
@@ -49,7 +49,7 @@ fn bench_op1(c: &mut Criterion) {
                     pair
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -82,7 +82,7 @@ fn bench_op4(c: &mut Criterion) {
                     s
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("reduced", n), &pair, |b, base| {
             b.iter_batched(
@@ -96,7 +96,7 @@ fn bench_op4(c: &mut Criterion) {
                     p
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -113,7 +113,7 @@ fn bench_equivalence_check(c: &mut Criterion) {
         }
         .generate_reduced();
         group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, p| {
-            b.iter(|| std::hint::black_box(p.check_equivalence().len()))
+            b.iter(|| std::hint::black_box(p.check_equivalence().len()));
         });
     }
     group.finish();

@@ -75,8 +75,8 @@ fn main() {
                 naive_work.to_string(),
                 incr_work.to_string(),
                 format!("{:.1}x", naive_work as f64 / incr_work.max(1) as f64),
-                format!("{:.1?}", naive_time),
-                format!("{:.1?}", incr_time),
+                format!("{naive_time:.1?}"),
+                format!("{incr_time:.1?}"),
                 format!(
                     "{:.1}x",
                     naive_time.as_secs_f64() / incr_time.as_secs_f64().max(1e-9)

@@ -127,8 +127,7 @@ fn run(policy: Policy) -> Outcome {
         .filter(|&&o| {
             store
                 .record(o)
-                .map(|r| r.conformance == axiombase_store::Conformance::Stale)
-                .unwrap_or(false)
+                .is_ok_and(|r| r.conformance == axiombase_store::Conformance::Stale)
         })
         .count();
     let s = store.stats();

@@ -135,7 +135,7 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
             }),
             ["under", supers @ ..] if !supers.is_empty() => Ok(Command::TypeAdd {
                 name: name.to_string(),
-                supers: supers.iter().map(|s| s.to_string()).collect(),
+                supers: supers.iter().map(ToString::to_string).collect(),
             }),
             _ => err("usage: type add NAME [under SUPER...]"),
         },
@@ -164,7 +164,7 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
         ["stats"] => Ok(Command::Stats),
         ["engine", which] => Ok(Command::Engine(which.to_string())),
         ["project", types @ ..] if !types.is_empty() => Ok(Command::Project(
-            types.iter().map(|s| s.to_string()).collect(),
+            types.iter().map(ToString::to_string).collect(),
         )),
         ["project"] => err("usage: project TYPE..."),
         ["undo"] => Ok(Command::Undo(1)),

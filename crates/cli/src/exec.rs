@@ -303,7 +303,7 @@ impl Session {
             }
             Command::Diff(v) => match self.history.as_of(v) {
                 Ok(old) => {
-                    let d = diff::diff(&old, self.schema());
+                    let d = diff(&old, self.schema());
                     write!(out, "{d}")?;
                 }
                 Err(e) => writeln!(out, "rejected: {e}")?,
@@ -422,7 +422,7 @@ mod tests {
         let person = s.schema().type_by_name("Person").unwrap();
         assert_eq!(
             s.schema().immediate_supertypes(ta).unwrap(),
-            &std::collections::BTreeSet::from([person])
+            &BTreeSet::from([person])
         );
     }
 
@@ -522,8 +522,7 @@ mod tests {
     fn shipped_demo_scripts_run_clean() {
         // The .axb scripts in examples/scripts/ must execute without a
         // single rejection and leave an axiom-clean schema.
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../examples/scripts");
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts");
         for name in ["figure1.axb", "narrative.axb"] {
             let text = std::fs::read_to_string(root.join(name)).unwrap();
             let mut s = Session::new();

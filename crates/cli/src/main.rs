@@ -7,12 +7,15 @@
 //! axiombase                # interactive REPL (reads stdin line by line)
 //! axiombase run SCRIPT     # execute a command script, then exit
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
+//! axiombase lint FILE...   # static analysis (L1-L6) of snapshots/scripts
 //! ```
 //!
-//! The command language is documented by `help` (see `command.rs`).
+//! The command language is documented by `help` (see `command.rs`); the lint
+//! subcommand's flags are documented in [`lint`].
 
 mod command;
 mod exec;
+mod lint;
 
 use std::io::{BufRead, Write};
 
@@ -29,8 +32,9 @@ fn main() {
         [] => repl(),
         ["run", path] => run_script(path),
         ["check", path] => check_snapshot(path),
+        ["lint", rest @ ..] => lint::run(rest),
         _ => {
-            eprintln!("usage: axiombase [run SCRIPT | check SNAPSHOT]");
+            eprintln!("usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE...]");
             2
         }
     };

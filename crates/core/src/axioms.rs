@@ -419,7 +419,7 @@ mod tests {
         let mut s = tigukat_like();
         let b = s.type_by_name("B").unwrap();
         // Forge: reference a tombstoned slot.
-        let bogus = crate::ids::TypeId::from_index(s.types.len());
+        let bogus = TypeId::from_index(s.types.len());
         s.types.push(crate::model::TypeSlot {
             name: "ghost".into(),
             alive: false,
@@ -452,8 +452,7 @@ mod tests {
         let p = s.add_property("x");
         // Forge N(b) without updating N_e(b).
         s.derived[b.index()].n.insert(p);
-        let kinds: std::collections::BTreeSet<Axiom> =
-            s.verify().into_iter().map(|v| v.axiom).collect();
+        let kinds: BTreeSet<Axiom> = s.verify().into_iter().map(|v| v.axiom).collect();
         assert!(kinds.contains(&Axiom::Nativeness), "{kinds:?}");
         assert!(kinds.contains(&Axiom::Interface), "{kinds:?}");
     }

@@ -135,8 +135,8 @@ mod tests {
     #[test]
     fn concurrent_readers_see_consistent_versions() {
         use std::sync::atomic::{AtomicBool, Ordering};
-        let sh = std::sync::Arc::new(shared());
-        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let sh = Arc::new(shared());
+        let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for _ in 0..4 {
             let sh = sh.clone();

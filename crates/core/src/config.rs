@@ -10,7 +10,6 @@
 
 /// Whether the Axiom of Rootedness is enforced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Rootedness {
     /// A single least-defined type `⊤` is the supertype of every type
     /// (Axiom 3 holds). Operations that would disconnect a type from the
@@ -23,7 +22,6 @@ pub enum Rootedness {
 
 /// Whether the Axiom of Pointedness is enforced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Pointedness {
     /// A single most-defined type `⊥` is the subtype of every type
     /// (Axiom 4 holds). Newly created types are automatically added to
@@ -36,7 +34,6 @@ pub enum Pointedness {
 
 /// Shape policy for a schema's type lattice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatticeConfig {
     /// Rootedness policy (Axiom 3).
     pub rootedness: Rootedness,

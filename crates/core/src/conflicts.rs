@@ -9,7 +9,7 @@
 //! §5's efficiency claim is that minimality makes this cheap: "to resolve
 //! property naming conflicts in a type, it would only be necessary to
 //! iterate through the minimal supertypes of that type because any conflicts
-//! would be detectable in these supertypes alone." [`name_conflicts`] is
+//! would be detectable in these supertypes alone." [`Schema::name_conflicts`](crate::model::Schema::name_conflicts) is
 //! that minimal-scan detector (property-tested against the full `P_e` scan
 //! in the §5 experiments); [`Resolution`] offers the two classical fixes.
 
@@ -96,11 +96,7 @@ impl Schema {
         } {
             let mut next_frontier = Vec::new();
             for x in batch {
-                if self
-                    .native_properties(x)
-                    .map(|n| n.contains(&p))
-                    .unwrap_or(false)
-                {
+                if self.native_properties(x).is_ok_and(|n| n.contains(&p)) {
                     return x;
                 }
                 if let Ok(sup) = self.immediate_supertypes(x) {
@@ -140,8 +136,7 @@ impl Schema {
                             .candidates
                             .iter()
                             .find(|(q, _)| *q == p)
-                            .map(|(_, o)| *o)
-                            .unwrap_or(t);
+                            .map_or(t, |(_, o)| *o);
                         out.insert(format!("{}::{}", self.type_name(origin)?, name), p);
                     }
                     Resolution::FirstWins => {

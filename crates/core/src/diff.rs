@@ -112,7 +112,7 @@ impl std::fmt::Display for SchemaDiff {
 }
 
 fn name_of(s: &Schema, t: Option<TypeId>) -> Option<String> {
-    t.and_then(|t| s.type_name(t).ok()).map(|n| n.to_string())
+    t.and_then(|t| s.type_name(t).ok()).map(ToString::to_string)
 }
 
 fn prop_name_counts(s: &Schema, t: TypeId) -> BTreeMap<String, usize> {

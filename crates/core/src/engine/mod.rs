@@ -30,7 +30,6 @@ use crate::model::{DerivedType, Schema, TypeSlot};
 
 /// Which derivation engine a [`Schema`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EngineKind {
     /// Literal interpretation of Table 2 over the whole lattice on every
     /// change. O(|T|·work) per operation; serves as the executable spec.
@@ -43,7 +42,6 @@ pub enum EngineKind {
 /// Cumulative counters exposed for the engine-ablation experiments
 /// (`ablation_engines` harness, `bench_engines` Criterion bench).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineStats {
     /// Number of whole-lattice recomputations performed.
     pub full_recomputes: u64,

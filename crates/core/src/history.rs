@@ -108,33 +108,39 @@ pub enum RecordedOp {
     },
 }
 
-/// Apply a recorded operation to a schema (the replay interpreter).
-fn apply(schema: &mut Schema, op: &RecordedOp) -> Result<()> {
-    match op {
-        RecordedOp::AddProperty { name } => {
-            schema.add_property(name.clone());
-            Ok(())
+impl RecordedOp {
+    /// Apply this operation to a schema — the replay interpreter used by
+    /// [`History::as_of`] and by trace analyses such as [`crate::lint`].
+    /// Replay is deterministic: identities are assigned in arena order, so
+    /// applying the same log to the same snapshot reproduces bit-identical
+    /// schemas.
+    pub fn apply(&self, schema: &mut Schema) -> Result<()> {
+        match self {
+            RecordedOp::AddProperty { name } => {
+                schema.add_property(name.clone());
+                Ok(())
+            }
+            RecordedOp::RenameProperty { p, name } => schema.rename_property(*p, name.clone()),
+            RecordedOp::DropProperty { p } => schema.drop_property(*p).map(|_| ()),
+            RecordedOp::AddRootType { name } => schema.add_root_type(name.clone()).map(|_| ()),
+            RecordedOp::AddBaseType { name } => schema.add_base_type(name.clone()).map(|_| ()),
+            RecordedOp::AddType {
+                name,
+                supers,
+                props,
+            } => schema
+                .add_type(name.clone(), supers.iter().copied(), props.iter().copied())
+                .map(|_| ()),
+            RecordedOp::DropType { t } => schema.drop_type(*t).map(|_| ()),
+            RecordedOp::RenameType { t, name } => schema.rename_type(*t, name.clone()),
+            RecordedOp::FreezeType { t } => schema.freeze_type(*t),
+            RecordedOp::AddEssentialSupertype { t, s } => schema.add_essential_supertype(*t, *s),
+            RecordedOp::DropEssentialSupertype { t, s } => schema.drop_essential_supertype(*t, *s),
+            RecordedOp::AddEssentialProperty { t, p } => {
+                schema.add_essential_property(*t, *p).map(|_| ())
+            }
+            RecordedOp::DropEssentialProperty { t, p } => schema.drop_essential_property(*t, *p),
         }
-        RecordedOp::RenameProperty { p, name } => schema.rename_property(*p, name.clone()),
-        RecordedOp::DropProperty { p } => schema.drop_property(*p).map(|_| ()),
-        RecordedOp::AddRootType { name } => schema.add_root_type(name.clone()).map(|_| ()),
-        RecordedOp::AddBaseType { name } => schema.add_base_type(name.clone()).map(|_| ()),
-        RecordedOp::AddType {
-            name,
-            supers,
-            props,
-        } => schema
-            .add_type(name.clone(), supers.iter().copied(), props.iter().copied())
-            .map(|_| ()),
-        RecordedOp::DropType { t } => schema.drop_type(*t).map(|_| ()),
-        RecordedOp::RenameType { t, name } => schema.rename_type(*t, name.clone()),
-        RecordedOp::FreezeType { t } => schema.freeze_type(*t),
-        RecordedOp::AddEssentialSupertype { t, s } => schema.add_essential_supertype(*t, *s),
-        RecordedOp::DropEssentialSupertype { t, s } => schema.drop_essential_supertype(*t, *s),
-        RecordedOp::AddEssentialProperty { t, p } => {
-            schema.add_essential_property(*t, *p).map(|_| ())
-        }
-        RecordedOp::DropEssentialProperty { t, p } => schema.drop_essential_property(*t, *p),
     }
 }
 
@@ -220,7 +226,7 @@ impl History {
         }
         let mut schema = Schema::from_snapshot(&self.initial)?;
         for op in &self.ops[..v] {
-            apply(&mut schema, op).map_err(HistoryError::ReplayFailed)?;
+            op.apply(&mut schema).map_err(HistoryError::ReplayFailed)?;
         }
         Ok(schema)
     }

@@ -21,7 +21,6 @@ use core::fmt;
 /// makes `BTreeSet<TypeId>` iteration deterministic — all derived sets in
 /// this crate rely on that for reproducible experiment output.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TypeId(pub(crate) u32);
 
 impl TypeId {
@@ -56,7 +55,6 @@ impl fmt::Display for TypeId {
 ///
 /// Printed as `p7` in debug output.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropId(pub(crate) u32);
 
 impl PropId {

@@ -52,6 +52,7 @@
 //! | [`config`] | Axioms 3/4 relaxation (rooted/forest, pointed/open) |
 //! | [`concurrent`] | "dynamic" = evolution while the system is in operation |
 //! | [`snapshot`] | persistence of the designer inputs |
+//! | [`lint`] | §5 (minimality & order-independence as static-analysis rules) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -67,6 +68,7 @@ pub mod engine;
 pub mod error;
 pub mod history;
 pub mod ids;
+pub mod lint;
 pub mod model;
 pub mod ops;
 pub mod oracle;
@@ -82,4 +84,8 @@ pub use engine::{EngineKind, EngineStats};
 pub use error::{Result, SchemaError};
 pub use history::{History, HistoryError, RecordedOp};
 pub use ids::{PropId, TypeId};
+pub use lint::{
+    apply_fixes, canonicalize, lint_history, lint_schema, lint_trace, Diagnostic, FixEdit, FixIt,
+    Lint, Location, Reference, Registry, RuleId, Severity,
+};
 pub use model::{DerivedType, Schema};

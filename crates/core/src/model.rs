@@ -27,7 +27,6 @@ use crate::ids::{PropId, TypeId};
 /// human label and need not be unique — name clashes are exactly what
 /// Orion-style conflict resolution deals with.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropRecord {
     pub(crate) name: String,
     pub(crate) alive: bool,
@@ -36,7 +35,6 @@ pub struct PropRecord {
 /// Designer-controlled state of one type: the two inputs of the axiomatic
 /// model plus bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub(crate) struct TypeSlot {
     pub(crate) name: String,
     pub(crate) alive: bool,
@@ -50,7 +48,6 @@ pub(crate) struct TypeSlot {
 
 /// Derived state of one type, instantiated by Axioms 5–9.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DerivedType {
     /// `P(t)` — immediate supertypes (Axiom of Supertypes).
     pub p: BTreeSet<TypeId>,
@@ -81,7 +78,6 @@ pub struct DerivedType {
 /// assert!(s.verify().is_empty()); // all nine axioms hold
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     pub(crate) config: LatticeConfig,
     pub(crate) types: Vec<TypeSlot>,

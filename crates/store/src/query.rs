@@ -44,8 +44,8 @@ impl Predicate {
             Predicate::Ne(_, want) => v != want,
             Predicate::IsNull(_) => v.is_null(),
             Predicate::IsSet(_) => !v.is_null(),
-            Predicate::Gt(_, bound) => as_f64(v).map(|x| x > *bound).unwrap_or(false),
-            Predicate::Lt(_, bound) => as_f64(v).map(|x| x < *bound).unwrap_or(false),
+            Predicate::Gt(_, bound) => as_f64(v).is_some_and(|x| x > *bound),
+            Predicate::Lt(_, bound) => as_f64(v).is_some_and(|x| x < *bound),
         }
     }
 

@@ -340,12 +340,7 @@ impl ObjectStore {
 
     pub(crate) fn set_next_oid(&mut self, next: u64) {
         // Never move the high-water mark below an existing identity.
-        let floor = self
-            .objects
-            .keys()
-            .next_back()
-            .map(|o| o.raw() + 1)
-            .unwrap_or(0);
+        let floor = self.objects.keys().next_back().map_or(0, |o| o.raw() + 1);
         self.next = next.max(floor);
     }
 

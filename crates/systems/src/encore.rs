@@ -226,7 +226,7 @@ impl EncoreSchema {
         let mut next = self.current(t)?.clone();
         change(&mut next);
         // Reject cycles among current versions.
-        for &s in next.supers.clone().iter() {
+        for &s in &next.supers.clone() {
             self.type_name(s)?;
             if s == t || self.ancestry_current_with(t, s)? {
                 return Err(EncoreError::WouldCreateCycle {

@@ -1,0 +1,173 @@
+//! Deterministic showcase schemas for each surveyed system.
+//!
+//! Each builder constructs a small but non-trivial schema in the native
+//! system's own terms and hands back its reduction to the axiomatic model.
+//! The builders are deterministic, so the reductions can be snapshotted:
+//! the files under `examples/snapshots/` are the `to_snapshot()` output of
+//! these reductions, kept in sync by `tests/lint_reductions.rs` and linted
+//! with `--deny all` in CI. They are deliberately built to be lint-clean —
+//! no shadowed essentials, no homonym hazards, no disconnected types —
+//! so the CI gate stays meaningful.
+
+use axiombase_orion::{OrionOp, OrionProp, OrionPropKind, ReducedOrion};
+
+use crate::encore::{reduce_current, EncoreReduction, EncoreSchema};
+use crate::gemstone::{reduce, GemReduction, GemSchema};
+use crate::sherpa::{PropagationDirective, SherpaChange, SherpaSchema};
+
+/// An attribute property named `name` with an `OBJECT` domain.
+fn attr(name: &str) -> OrionProp {
+    OrionProp {
+        name: name.into(),
+        domain: "OBJECT".into(),
+        kind: OrionPropKind::Attribute,
+    }
+}
+
+/// Orion: a document taxonomy evolved through the numbered operation
+/// suite, tracked in lockstep with its axiomatic image.
+///
+/// `OBJECT ← Document(title, author)`, with `Report(pages)` and
+/// `Article(venue)` below `Document`.
+pub fn orion_example() -> ReducedOrion {
+    let mut r = ReducedOrion::new();
+    let ops = [
+        OrionOp::AddClass {
+            name: "Document".into(),
+            superclass: None,
+        },
+        OrionOp::AddClass {
+            name: "Report".into(),
+            superclass: None,
+        },
+        OrionOp::AddClass {
+            name: "Article".into(),
+            superclass: None,
+        },
+    ];
+    for op in ops {
+        r.apply(&op).expect("example op");
+    }
+    let doc = r.orion.class_by_name("Document").expect("just added");
+    let rep = r.orion.class_by_name("Report").expect("just added");
+    let art = r.orion.class_by_name("Article").expect("just added");
+    let root = r.orion.object();
+    let ops = [
+        OrionOp::AddProperty {
+            class: doc,
+            prop: attr("title"),
+        },
+        OrionOp::AddProperty {
+            class: doc,
+            prop: attr("author"),
+        },
+        OrionOp::AddProperty {
+            class: rep,
+            prop: attr("pages"),
+        },
+        OrionOp::AddProperty {
+            class: art,
+            prop: attr("venue"),
+        },
+        // Move Report and Article under Document (OP3 then OP4 drops the
+        // original OBJECT edge).
+        OrionOp::AddEdge {
+            class: rep,
+            superclass: doc,
+        },
+        OrionOp::DropEdge {
+            class: rep,
+            superclass: root,
+        },
+        OrionOp::AddEdge {
+            class: art,
+            superclass: doc,
+        },
+        OrionOp::DropEdge {
+            class: art,
+            superclass: root,
+        },
+    ];
+    for op in ops {
+        r.apply(&op).expect("example op");
+    }
+    r
+}
+
+/// GemStone: a single-inheritance media hierarchy.
+///
+/// `Object ← Media(title)`, with `Book(isbn)` and `Film(runtime)` below
+/// `Media`.
+pub fn gemstone_example() -> (GemSchema, GemReduction) {
+    let mut g = GemSchema::new();
+    let media = g.add_class("Media", g.object()).expect("example class");
+    let book = g.add_class("Book", media).expect("example class");
+    let film = g.add_class("Film", media).expect("example class");
+    g.add_ivar(media, "title").expect("example ivar");
+    g.add_ivar(book, "isbn").expect("example ivar");
+    g.add_ivar(film, "runtime").expect("example ivar");
+    let red = reduce(&g);
+    (g, red)
+}
+
+/// Encore: a person/student pair whose `Person` type has been evolved once
+/// (so the version history is non-trivial); the reduction is of the
+/// *current* configuration.
+pub fn encore_example() -> (EncoreSchema, EncoreReduction) {
+    let mut e = EncoreSchema::new();
+    let person = e
+        .define_type("Person", [], ["name".to_string()])
+        .expect("example type");
+    e.define_type("Student", [person], ["gpa".to_string()])
+        .expect("example type");
+    e.evolve(person, |v| {
+        v.props.insert("age".into());
+    })
+    .expect("example evolution");
+    let red = reduce_current(&e).expect("example reduces");
+    (e, red)
+}
+
+/// Sherpa: Orion-style changes with mixed propagation directives.
+///
+/// `OBJECT ← Part(part_no)` with `Assembly(bom)` below it; the class
+/// additions propagate immediately, the property additions are deferred
+/// (Sherpa's default).
+pub fn sherpa_example() -> SherpaSchema {
+    let mut s = SherpaSchema::new();
+    s.apply(SherpaChange {
+        op: OrionOp::AddClass {
+            name: "Part".into(),
+            superclass: None,
+        },
+        propagation: PropagationDirective::Immediate,
+    })
+    .expect("example change");
+    let part = s.inner.orion.class_by_name("Part").expect("just added");
+    s.apply(SherpaChange {
+        op: OrionOp::AddClass {
+            name: "Assembly".into(),
+            superclass: Some(part),
+        },
+        propagation: PropagationDirective::Immediate,
+    })
+    .expect("example change");
+    let asm = s.inner.orion.class_by_name("Assembly").expect("just added");
+    s.apply(SherpaChange {
+        op: OrionOp::AddProperty {
+            class: part,
+            prop: attr("part_no"),
+        },
+        propagation: PropagationDirective::Deferred,
+    })
+    .expect("example change");
+    s.apply(SherpaChange {
+        op: OrionOp::AddProperty {
+            class: asm,
+            prop: attr("bom"),
+        },
+        propagation: PropagationDirective::Deferred,
+    })
+    .expect("example change");
+    s
+}

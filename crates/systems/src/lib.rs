@@ -11,11 +11,14 @@
 //! * [`encore`] — type versioning; every configuration reduces.
 //! * [`sherpa`] — Orion-style semantics of change plus per-change
 //!   propagation directives.
+//! * [`examples`] — deterministic showcase schemas per system, the source
+//!   of the committed `examples/snapshots/*.axb` reduction snapshots.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod encore;
+pub mod examples;
 pub mod gemstone;
 pub mod sherpa;
 

@@ -1,0 +1,348 @@
+//! Lint pass over the Orion/GemStone/Encore/Sherpa reductions.
+//!
+//! Two jobs:
+//!
+//! 1. The deterministic showcase reductions from
+//!    [`axiombase_systems::examples`] must be lint-clean, and the committed
+//!    snapshots under `examples/snapshots/` must stay byte-identical to
+//!    them (CI lints those files with `--deny all`, so drift here would
+//!    either break the gate or silently weaken it).
+//! 2. Native-system smells must *survive* reduction and surface as the
+//!    corresponding axiomatic diagnostics — GemStone ivar shadowing and
+//!    Orion homonym conflicts become L3, and the lint's OP4
+//!    order-dependence simulation (L5) is cross-validated against the real
+//!    `ReducedOrion` implementation.
+
+use axiombase_core::{lint_schema, lint_trace, History, LatticeConfig, Location, RuleId, Schema};
+use axiombase_orion::{OrionOp, OrionProp, OrionPropKind, ReducedOrion};
+use axiombase_systems::examples;
+use axiombase_systems::gemstone;
+
+fn rules(diags: &[axiombase_core::Diagnostic]) -> Vec<RuleId> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+fn attr(name: &str) -> OrionProp {
+    OrionProp {
+        name: name.into(),
+        domain: "OBJECT".into(),
+        kind: OrionPropKind::Attribute,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. The showcase reductions are valid, equivalent, and lint-clean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn orion_example_reduction_is_clean() {
+    let r = examples::orion_example();
+    assert!(r.check_equivalence().is_empty());
+    assert!(r.reduction.schema.verify().is_empty());
+    let diags = lint_schema(&r.reduction.schema);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gemstone_example_reduction_is_clean() {
+    let (g, red) = examples::gemstone_example();
+    assert!(gemstone::check_equivalence(&g, &red).is_empty());
+    assert!(red.schema.verify().is_empty());
+    let diags = lint_schema(&red.schema);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn encore_example_reduction_is_clean() {
+    let (_, red) = examples::encore_example();
+    assert!(red.schema.verify().is_empty());
+    let diags = lint_schema(&red.schema);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn sherpa_example_reduction_is_clean() {
+    let s = examples::sherpa_example();
+    assert!(s.check_equivalence().is_empty());
+    assert_eq!(s.deferred_changes().count(), 2);
+    let diags = lint_schema(&s.inner.reduction.schema);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Committed snapshots track the builders exactly.
+// ---------------------------------------------------------------------------
+
+/// The committed snapshot for `name` must equal `schema.to_snapshot()`.
+///
+/// Regenerate with
+/// `cargo test -p axiombase-systems --test lint_reductions -- --ignored`
+/// (see `regenerate_snapshots`).
+fn check_snapshot(name: &str, schema: &Schema) {
+    let path = snapshot_path(name);
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {}: {e} — run the ignored regenerate_snapshots test",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed,
+        schema.to_snapshot(),
+        "{} is stale — run the ignored regenerate_snapshots test",
+        path.display()
+    );
+    // Round-trip: the committed text loads back to an axiom-clean,
+    // lint-clean schema (this is exactly what CI's lint job consumes).
+    let loaded = Schema::from_snapshot(&committed).expect("snapshot parses");
+    assert!(loaded.verify().is_empty());
+    assert!(lint_schema(&loaded).is_empty());
+}
+
+fn snapshot_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/snapshots")
+        .join(name)
+}
+
+#[test]
+fn committed_reduction_snapshots_are_in_sync() {
+    check_snapshot(
+        "orion_reduction.axb",
+        &examples::orion_example().reduction.schema,
+    );
+    check_snapshot(
+        "gemstone_reduction.axb",
+        &examples::gemstone_example().1.schema,
+    );
+    check_snapshot("encore_reduction.axb", &examples::encore_example().1.schema);
+    check_snapshot(
+        "sherpa_reduction.axb",
+        &examples::sherpa_example().inner.reduction.schema,
+    );
+}
+
+/// Rewrites the committed snapshots from the builders. Ignored by default:
+/// run explicitly after changing an example, then commit the diff.
+#[test]
+#[ignore = "regenerates committed files; run on purpose, not in CI"]
+fn regenerate_snapshots() {
+    let dir = snapshot_path("");
+    std::fs::create_dir_all(&dir).expect("snapshot dir");
+    let pairs = [
+        (
+            "orion_reduction.axb",
+            examples::orion_example().reduction.schema,
+        ),
+        (
+            "gemstone_reduction.axb",
+            examples::gemstone_example().1.schema,
+        ),
+        ("encore_reduction.axb", examples::encore_example().1.schema),
+        (
+            "sherpa_reduction.axb",
+            examples::sherpa_example().inner.reduction.schema,
+        ),
+    ];
+    for (name, schema) in pairs {
+        std::fs::write(snapshot_path(name), schema.to_snapshot()).expect("write snapshot");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Native smells survive reduction as axiomatic diagnostics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gemstone_shadowing_reduces_to_lint_findings() {
+    let (mut g, _) = examples::gemstone_example();
+    let book = g.class_by_name("Book").unwrap();
+    // Book redefines `title`, shadowing Media's.
+    g.add_ivar(book, "title").unwrap();
+    let red = gemstone::reduce(&g);
+    assert!(red.schema.verify().is_empty());
+    let diags = lint_schema(&red.schema);
+    assert!(!diags.is_empty(), "shadowing should not lint clean");
+    // The shadow is a homonym pair visible at Book: two distinct
+    // properties named `title` in I(Book).
+    let book_t = red.class_map[&book];
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == RuleId::NameConflictHazard && d.location == Location::Type(book_t)),
+        "{diags:?}"
+    );
+    // Only name-level rules may fire; the structure itself stays sound.
+    assert!(
+        rules(&diags).iter().all(|r| matches!(
+            r,
+            RuleId::NameConflictHazard | RuleId::ShadowedEssentialProperty
+        )),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn orion_homonym_diamond_reduces_to_l3() {
+    // OBJECT ← A, B; C ⊑ A, B; homonymous `x` on A and B — the classic
+    // Orion conflict its precedence rules resolve by order.
+    let mut r = ReducedOrion::new();
+    for name in ["A", "B"] {
+        r.apply(&OrionOp::AddClass {
+            name: name.into(),
+            superclass: None,
+        })
+        .unwrap();
+    }
+    let a = r.orion.class_by_name("A").unwrap();
+    let b = r.orion.class_by_name("B").unwrap();
+    r.apply(&OrionOp::AddClass {
+        name: "C".into(),
+        superclass: Some(a),
+    })
+    .unwrap();
+    let c = r.orion.class_by_name("C").unwrap();
+    r.apply(&OrionOp::AddEdge {
+        class: c,
+        superclass: b,
+    })
+    .unwrap();
+    for class in [a, b] {
+        r.apply(&OrionOp::AddProperty {
+            class,
+            prop: attr("x"),
+        })
+        .unwrap();
+    }
+    assert!(r.check_equivalence().is_empty());
+    let diags = lint_schema(&r.reduction.schema);
+    let c_t = r.reduction.class_map[&c];
+    let l3: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::NameConflictHazard)
+        .collect();
+    assert!(
+        l3.iter().any(|d| d.location == Location::Type(c_t)),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. L5 cross-validation: the lint's OP4 simulation agrees with the real
+//    ReducedOrion on whether a drop pair is order-dependent.
+// ---------------------------------------------------------------------------
+
+/// Build `OBJECT ← A ← B ← C` (one property each) in both worlds and
+/// return the Orion side plus the class handles.
+fn orion_chain() -> (ReducedOrion, [axiombase_orion::ClassId; 3]) {
+    let mut r = ReducedOrion::new();
+    let mut parent = None;
+    for name in ["A", "B", "C"] {
+        r.apply(&OrionOp::AddClass {
+            name: name.into(),
+            superclass: parent,
+        })
+        .unwrap();
+        let id = r.orion.class_by_name(name).unwrap();
+        r.apply(&OrionOp::AddProperty {
+            class: id,
+            prop: attr(&name.to_lowercase()),
+        })
+        .unwrap();
+        parent = Some(id);
+    }
+    let a = r.orion.class_by_name("A").unwrap();
+    let b = r.orion.class_by_name("B").unwrap();
+    let c = r.orion.class_by_name("C").unwrap();
+    (r, [a, b, c])
+}
+
+/// Run the two OP4 drops in the given order on a clone of `base`; return
+/// the axiomatic image's fingerprint (`None` if either op is rejected).
+fn op4_fingerprint(
+    base: &ReducedOrion,
+    drops: [(usize, usize); 2],
+    ids: &[axiombase_orion::ClassId; 3],
+) -> Option<u64> {
+    let mut r = base.clone();
+    for (class, superclass) in drops {
+        r.apply(&OrionOp::DropEdge {
+            class: ids[class],
+            superclass: ids[superclass],
+        })
+        .ok()?;
+    }
+    assert!(r.check_equivalence().is_empty());
+    Some(r.reduction.schema.fingerprint())
+}
+
+#[test]
+fn l5_simulation_matches_real_reduced_orion() {
+    // Real Orion side: drop C–B then B–A, vs B–A then C–B. OP4's relink
+    // rule sends C under A in one order and under OBJECT in the other.
+    let (base, ids) = orion_chain();
+    let ab = op4_fingerprint(&base, [(2, 1), (1, 0)], &ids).expect("applicable");
+    let ba = op4_fingerprint(&base, [(1, 0), (2, 1)], &ids).expect("applicable");
+    assert_ne!(ab, ba, "the real OP4 must diverge on this pair");
+
+    // Axiomatic side: the same chain as a History; the same drop pair must
+    // be flagged L5 by the lint's simulation.
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object").unwrap();
+    let a = h.add_type("A", [root], []).unwrap();
+    let b = h.add_type("B", [a], []).unwrap();
+    let c = h.add_type("C", [b], []).unwrap();
+    for (t, n) in [(a, "a"), (b, "b"), (c, "c")] {
+        h.define_property_on(t, n).unwrap();
+    }
+    h.drop_essential_supertype(c, b).unwrap();
+    h.drop_essential_supertype(b, a).unwrap();
+    let initial = h.as_of(0).unwrap();
+    let diags = lint_trace(&initial, h.ops());
+    let l5: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::OrderDependenceHazard)
+        .collect();
+    assert_eq!(l5.len(), 1, "{diags:?}");
+
+    // And the converse: give C a second edge so neither drop relinks.
+    // The real OP4 commutes, and the lint stays silent.
+    let mut base2 = base.clone();
+    base2
+        .apply(&OrionOp::AddEdge {
+            class: ids[2],
+            superclass: ids[0],
+        })
+        .unwrap();
+    let mut base3 = base2.clone();
+    base3
+        .apply(&OrionOp::AddEdge {
+            class: ids[1],
+            superclass: base.orion.object(),
+        })
+        .unwrap();
+    let ab2 = op4_fingerprint(&base3, [(2, 1), (1, 0)], &ids).expect("applicable");
+    let ba2 = op4_fingerprint(&base3, [(1, 0), (2, 1)], &ids).expect("applicable");
+    assert_eq!(ab2, ba2, "plain removals commute under OP4");
+
+    let mut h2 = History::new(LatticeConfig::default());
+    let root = h2.add_root_type("T_object").unwrap();
+    let a = h2.add_type("A", [root], []).unwrap();
+    let b = h2.add_type("B", [a], []).unwrap();
+    let c = h2.add_type("C", [b], []).unwrap();
+    for (t, n) in [(a, "a"), (b, "b"), (c, "c")] {
+        h2.define_property_on(t, n).unwrap();
+    }
+    h2.add_essential_supertype(c, a).unwrap();
+    h2.add_essential_supertype(b, root).unwrap();
+    h2.drop_essential_supertype(c, b).unwrap();
+    h2.drop_essential_supertype(b, a).unwrap();
+    let initial = h2.as_of(0).unwrap();
+    let diags = lint_trace(&initial, h2.ops());
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule != RuleId::OrderDependenceHazard),
+        "{diags:?}"
+    );
+}

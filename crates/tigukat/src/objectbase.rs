@@ -218,11 +218,7 @@ impl Objectbase {
             .iter()
             .filter(|((t, b), f)| {
                 self.schema.is_live(*t)
-                    && self
-                        .schema
-                        .interface(*t)
-                        .map(|i| i.contains(b))
-                        .unwrap_or(false)
+                    && self.schema.interface(*t).is_ok_and(|i| i.contains(b))
                     && self.functions[f.index()].alive
             })
             .map(|(_, &f)| f)

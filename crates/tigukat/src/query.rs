@@ -72,8 +72,7 @@ impl Objectbase {
             .filter(|&t| {
                 self.schema
                     .native_properties(t)
-                    .map(|n| n.contains(&b))
-                    .unwrap_or(false)
+                    .is_ok_and(|n| n.contains(&b))
             })
             .collect()
     }
@@ -83,12 +82,7 @@ impl Objectbase {
     pub fn types_understanding(&self, b: BehaviorId) -> Vec<TypeId> {
         self.schema
             .iter_types()
-            .filter(|&t| {
-                self.schema
-                    .interface(t)
-                    .map(|i| i.contains(&b))
-                    .unwrap_or(false)
-            })
+            .filter(|&t| self.schema.interface(t).is_ok_and(|i| i.contains(&b)))
             .collect()
     }
 
@@ -148,12 +142,8 @@ impl Objectbase {
             if !self.functions[f.index()].alive {
                 continue;
             }
-            let in_interface = self.schema.is_live(t)
-                && self
-                    .schema
-                    .interface(t)
-                    .map(|i| i.contains(&b))
-                    .unwrap_or(false);
+            let in_interface =
+                self.schema.is_live(t) && self.schema.interface(t).is_ok_and(|i| i.contains(&b));
             if !in_interface {
                 out.push(LintFinding::DanglingAssociation {
                     ty: t,

@@ -154,12 +154,7 @@ fn apply(ob: &mut Objectbase, op: &Op, counter: &mut u32) {
             let user_behaviors: Vec<_> = behaviors
                 .iter()
                 .copied()
-                .filter(|&b| {
-                    ob.schema()
-                        .prop_name(b)
-                        .map(|n| n.starts_with("pb_"))
-                        .unwrap_or(false)
-                })
+                .filter(|&b| ob.schema().prop_name(b).is_ok_and(|n| n.starts_with("pb_")))
                 .collect();
             if let Some(beh) = pick(&user_behaviors, *a) {
                 tolerate(ob.db(beh));

@@ -440,7 +440,7 @@ mod tests {
         assert!(oracle::check_schema(&d.schema).is_empty());
         // MRI inherits artifact-level and image-level parameters.
         let mri = d.schema.type_by_name("MRI").unwrap();
-        let iface_names: std::collections::BTreeSet<&str> = d
+        let iface_names: BTreeSet<&str> = d
             .schema
             .interface(mri)
             .unwrap()

@@ -37,10 +37,10 @@ fn dba_workflow_history_plan_select() {
     h.drop_type(legacy).unwrap();
 
     // 3. Diff explains the change; the plan operationalises it.
-    let d = diff::diff(&h.as_of(v0).unwrap(), h.schema());
+    let d = diff(&h.as_of(v0).unwrap(), h.schema());
     assert!(!d.is_empty());
     assert!(d.to_string().contains("LegacyPart"));
-    let p = plan::plan(&old_schema, h.schema());
+    let p = plan(&old_schema, h.schema());
     assert_eq!(p.dropped_types, vec![legacy]);
     assert_eq!(p.migrations.len(), 1);
     assert!(p
@@ -90,7 +90,7 @@ fn plan_and_eager_propagation_converge() {
     let ob1 = s1.create(&old1, b1).unwrap();
     h1.define_property_on(a1, "y").unwrap();
     h1.define_property_on(b1, "z").unwrap();
-    let p = plan::plan(&old1, h1.schema());
+    let p = plan(&old1, h1.schema());
     s1.apply_plan(h1.schema(), &p, OrphanAction::Delete)
         .unwrap();
 

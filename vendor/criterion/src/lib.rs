@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the criterion 0.5 API subset the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`). Each benchmark runs a fixed small number of timed
+//! iterations and prints a single per-iteration figure — enough for the
+//! CI smoke job ("do the benches run?"), with none of criterion's
+//! statistics, warm-up control, or reports.
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up).
+const ITERS: u32 = 3;
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report("", &id.label());
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stand-in always runs a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.name, &id.label());
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.name, &id.label());
+    }
+
+    /// Ends the group (no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished by parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// in this stand-in (setup runs once per iteration, untimed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.record(start.elapsed().as_nanos());
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        let mut total = 0u128;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.record(total);
+    }
+
+    fn record(&mut self, total_nanos: u128) {
+        self.nanos_per_iter = Some(total_nanos as f64 / f64::from(ITERS));
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        let name = if group.is_empty() {
+            label.to_owned()
+        } else {
+            format!("{group}/{label}")
+        };
+        match self.nanos_per_iter {
+            Some(ns) => println!("bench {name}: {ns:.0} ns/iter ({ITERS} iters, smoke only)"),
+            None => println!("bench {name}: no measurement recorded"),
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups; ignores harness CLI
+/// arguments (`--quick`, `--bench`, filters) as a smoke runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness args such as `--quick` from `cargo bench -- --quick`.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        assert!(runs >= ITERS);
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`scope`] — the only crossbeam API this workspace uses —
+//! backed by `std::thread::scope` (stabilized in Rust 1.63, after
+//! crossbeam's scoped threads were designed). Spawned closures receive
+//! a `&Scope` so they can spawn siblings, exactly like crossbeam's.
+//!
+//! One behavioral difference: if a spawned thread panics, the panic
+//! propagates out of [`scope`] (std semantics) instead of surfacing in
+//! the returned `Result`. Every caller here immediately `.unwrap()`s
+//! the result, so the observable outcome — the test aborts — is the same.
+
+use std::any::Any;
+use std::thread as std_thread;
+
+/// The error payload of a panicked scoped thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A handle to a scope in which threads can be spawned.
+///
+/// Mirrors `crossbeam::thread::Scope`; wraps `std::thread::Scope`.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std_thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a thread spawned inside a [`Scope`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T>(std_thread::ScopedJoinHandle<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope
+    /// itself so it can spawn further siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+    }
+}
+
+/// Creates a scope in which borrowed data can be used by spawned threads;
+/// all threads are joined before this returns.
+///
+/// # Errors
+/// Never returns `Err` in this stand-in: a panicking child propagates its
+/// panic out of the call (std scope semantics) rather than being captured.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Scoped-thread module path compatibility (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicU32::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicU32::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

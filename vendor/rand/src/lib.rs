@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a registry, so the
+//! workspace vendors this minimal, dependency-free implementation of the
+//! subset of the rand 0.8 API it actually uses: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer
+//! ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is splitmix64 — deterministic, seedable, and of ample
+//! statistical quality for workload generation. It is **not** the same
+//! stream as upstream `SmallRng`, which is fine here: nothing in the
+//! workspace pins exact draw values, only structural facts and
+//! same-seed determinism.
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges (and range-like types) that a value can be sampled from.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + (rng.next_u64() as $t);
+                }
+                start + (reject_sample(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Unbiased uniform draw from `0..span` by rejection sampling.
+fn reject_sample<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Draws a value of a [`Standard`](struct@distributions::Standard)-samplable type.
+    fn gen<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types directly constructible from random bits (supports [`Rng::gen`]).
+pub trait Fill {
+    /// Builds a value from the generator's bit stream.
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Fill for u64 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Fill for u32 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Fill for u16 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+impl Fill for u8 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Fill for bool {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (splitmix64).
+    ///
+    /// Stand-in for rand's `SmallRng`; same contract (fast, seedable, not
+    /// cryptographic), different stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(3usize..17);
+            assert_eq!(x, b.gen_range(3usize..17));
+            assert!((3..17).contains(&x));
+            let y = a.gen_range(1..=2u32);
+            assert_eq!(y, b.gen_range(1..=2u32));
+            assert!((1..=2).contains(&y));
+            assert_eq!(a.gen_bool(0.5), b.gen_bool(0.5));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn covers_whole_range() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
