@@ -6,7 +6,7 @@
 //! whole traces) with statistically sound single-operation latencies.
 
 use axiombase_core::{EngineKind, LatticeConfig, Schema};
-use axiombase_workload::LatticeGen;
+use axiombase_workload::{apply_random_ops, apply_random_ops_batched, LatticeGen, OpMix};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn schema_of(n: usize, engine: EngineKind) -> Schema {
@@ -103,5 +103,44 @@ fn bench_add_type(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_add_property, bench_add_edge, bench_add_type);
+fn bench_batched_trace(c: &mut Criterion) {
+    // A 50-op balanced trace replayed op-by-op (one recomputation per
+    // mutation) versus inside one `evolve_batch` (one shared recomputation).
+    let mut group = c.benchmark_group("engine_trace_batched");
+    const OPS: usize = 50;
+    for &n in &[50usize, 200, 800] {
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let base = schema_of(n, engine);
+            for (mode, batched) in [("single", false), ("batched", true)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{engine:?}/{mode}"), n),
+                    &base,
+                    |b, base| {
+                        b.iter_batched(
+                            || base.clone(),
+                            |mut s| {
+                                if batched {
+                                    apply_random_ops_batched(&mut s, OPS, OpMix::BALANCED, 17);
+                                } else {
+                                    apply_random_ops(&mut s, OPS, OpMix::BALANCED, 17);
+                                }
+                                s
+                            },
+                            BatchSize::SmallInput,
+                        );
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_property,
+    bench_add_edge,
+    bench_add_type,
+    bench_batched_trace
+);
 criterion_main!(benches);

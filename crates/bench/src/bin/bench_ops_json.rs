@@ -1,0 +1,122 @@
+//! Machine-readable smoke benchmark for the batch-evolution API: per-op
+//! latency of a balanced 200-op trace on a 1000-type lattice, replayed
+//! op-by-op (one recomputation per mutation) versus inside one
+//! `evolve_batch` (one shared recomputation), on both engines.
+//!
+//! Emits `BENCH_ops.json` (path overridable via the first CLI argument) in
+//! a stable committed format, and fails loudly if the headline claim does
+//! not hold: batched replay on the incremental engine must be at least 5x
+//! faster than op-by-op replay on the naive engine.
+//!
+//! Run: `cargo run --release -p axiombase-bench --bin bench_ops_json`
+
+use axiombase_bench::expect;
+use axiombase_core::{EngineKind, LatticeConfig, Schema};
+use axiombase_workload::{apply_random_ops, apply_random_ops_batched, LatticeGen, OpMix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const TYPES: usize = 1000;
+const OPS: usize = 200;
+const TRACE_SEED: u64 = 0xBA7C;
+const ITERATIONS: usize = 2;
+
+fn base(engine: EngineKind) -> Schema {
+    LatticeGen {
+        types: TYPES,
+        max_parents: 3,
+        props_per_type: 1.5,
+        redeclare_prob: 0.1,
+        seed: 42,
+    }
+    .generate(LatticeConfig::ORION, engine)
+    .schema
+}
+
+/// Best-of-N wall-clock for one (engine, mode) cell; returns ns/op plus the
+/// final fingerprint so all four cells can be cross-checked for agreement.
+fn measure(engine: EngineKind, batched: bool) -> (u128, u64) {
+    let template = base(engine);
+    let mut best = u128::MAX;
+    let mut fp = 0;
+    for _ in 0..ITERATIONS {
+        let mut s = template.clone();
+        let start = Instant::now();
+        if batched {
+            apply_random_ops_batched(&mut s, OPS, OpMix::BALANCED, TRACE_SEED);
+        } else {
+            apply_random_ops(&mut s, OPS, OpMix::BALANCED, TRACE_SEED);
+        }
+        best = best.min(start.elapsed().as_nanos() / OPS as u128);
+        fp = s.fingerprint();
+    }
+    (best, fp)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ops.json".into());
+
+    let mut cells = Vec::new();
+    for engine in [EngineKind::Naive, EngineKind::Incremental] {
+        for batched in [false, true] {
+            let (ns_per_op, fp) = measure(engine, batched);
+            let engine_name = match engine {
+                EngineKind::Naive => "naive",
+                EngineKind::Incremental => "incremental",
+            };
+            let mode = if batched { "batched" } else { "single" };
+            println!("{engine_name:>11} / {mode:<7} {ns_per_op:>12} ns/op");
+            cells.push((engine_name, mode, ns_per_op, fp));
+        }
+    }
+
+    let first_fp = cells[0].3;
+    expect(
+        cells.iter().all(|c| c.3 == first_fp),
+        "all four engine/mode cells produce identical schemas",
+    );
+
+    let single_naive = cells
+        .iter()
+        .find(|c| c.0 == "naive" && c.1 == "single")
+        .unwrap()
+        .2;
+    let batched_incr = cells
+        .iter()
+        .find(|c| c.0 == "incremental" && c.1 == "batched")
+        .unwrap()
+        .2;
+    let speedup = single_naive as f64 / batched_incr.max(1) as f64;
+    println!("speedup (batched incremental vs single naive): {speedup:.1}x");
+    expect(
+        speedup >= 5.0,
+        "batched incremental is at least 5x faster than op-by-op naive",
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"ops_single_vs_batched\",");
+    let _ = writeln!(json, "  \"lattice_types\": {TYPES},");
+    let _ = writeln!(json, "  \"ops\": {OPS},");
+    let _ = writeln!(json, "  \"mix\": \"balanced\",");
+    json.push_str("  \"results\": [\n");
+    for (i, (engine, mode, ns, _)) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{engine}\", \"mode\": \"{mode}\", \"ns_per_op\": {ns}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_batched_incremental_vs_single_naive\": {speedup:.1}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+    println!("bench_ops_json: all checks passed");
+}

@@ -234,11 +234,12 @@ impl Session {
                 let s = self.schema().stats();
                 writeln!(
                     out,
-                    "engine {:?}: {} full + {} scoped recomputations, {} type derivations \
-                     (last: {})",
+                    "engine {:?}: {} full + {} scoped + {} no-op recomputations, \
+                     {} type derivations (last: {})",
                     self.schema().engine(),
                     s.full_recomputes,
                     s.scoped_recomputes,
+                    s.noop_recomputes,
                     s.types_derived,
                     s.last_types_derived
                 )?;

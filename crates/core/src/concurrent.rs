@@ -8,19 +8,38 @@
 //! resolving interfaces against them while a writer evolves the schema
 //! through [`SharedSchema::evolve`].
 //!
-//! The implementation is copy-on-write: an evolution step clones the current
-//! [`Schema`], applies the mutation closure, and atomically publishes the
-//! new version only if the closure succeeds. A failed (rejected) operation
-//! therefore never publishes a partially evolved schema — the same
-//! failure-atomicity the single-threaded operations guarantee, lifted to the
-//! concurrent setting. Readers are never blocked by recomputation; they see
-//! either the old or the new schema version, never a torn one.
+//! # Version publishing
+//!
+//! The implementation is copy-on-write with all mutation staged **off the
+//! lock**. Writers serialize on a dedicated mutex; the read–write lock on
+//! the current version is held only long enough to clone an `Arc` (taking
+//! the base snapshot) or to swap a pointer (publishing). An evolution step:
+//!
+//! 1. takes the writer mutex (serializing writers, not readers),
+//! 2. clones the current version — cheap, because [`Schema`] shares its
+//!    storage spines structurally (see [`crate::model`]),
+//! 3. runs the mutation closure, including all lattice recomputation, on
+//!    that private clone with **no lock held**,
+//! 4. on `Ok`, publishes the clone with a single pointer swap; on `Err`,
+//!    drops it.
+//!
+//! Readers are therefore never blocked by recomputation — however expensive
+//! an in-flight evolution step is, `snapshot()` only ever waits for a
+//! pointer read. They see either the old or the new schema version, never a
+//! torn one, and a failed (rejected) operation never publishes a partially
+//! evolved schema — the same failure-atomicity the single-threaded
+//! operations guarantee, lifted to the concurrent setting. In particular a
+//! failed [`SharedSchema::evolve_batch`] publishes *nothing*, restoring the
+//! all-or-nothing semantics that the plain [`Schema::evolve_batch`]
+//! (which keeps successfully applied inputs on error) cannot give by
+//! itself.
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::Result;
+use crate::history::RecordedOp;
 use crate::model::Schema;
 
 /// A concurrently shared, snapshot-versioned schema handle.
@@ -41,7 +60,11 @@ use crate::model::Schema;
 /// ```
 #[derive(Debug)]
 pub struct SharedSchema {
+    /// The published version. Locked only for `Arc` clone / pointer swap.
     current: RwLock<Arc<Schema>>,
+    /// Serializes writers so staged clones never race each other (a lost
+    /// update would silently drop a published evolution step).
+    writer: Mutex<()>,
 }
 
 impl SharedSchema {
@@ -49,12 +72,13 @@ impl SharedSchema {
     pub fn new(schema: Schema) -> Self {
         SharedSchema {
             current: RwLock::new(Arc::new(schema)),
+            writer: Mutex::new(()),
         }
     }
 
     /// A consistent snapshot of the current schema version. Cheap (an `Arc`
     /// clone); the snapshot remains valid and immutable regardless of later
-    /// evolution.
+    /// evolution, and never waits on an in-flight [`SharedSchema::evolve`].
     pub fn snapshot(&self) -> Arc<Schema> {
         self.current.read().clone()
     }
@@ -64,18 +88,41 @@ impl SharedSchema {
         self.current.read().version()
     }
 
-    /// Apply a schema-evolution step. The closure runs on a private clone;
-    /// the result is published atomically only on `Ok`. On `Err` the shared
-    /// schema is untouched and the error is returned.
+    /// Apply a schema-evolution step. The closure runs on a private clone
+    /// with no lock on the published version held — concurrent readers keep
+    /// snapshotting the old version while the closure (and its lattice
+    /// recomputation) runs. The result is published atomically only on
+    /// `Ok`; on `Err` the shared schema is untouched and the error is
+    /// returned.
     pub fn evolve<F, R>(&self, f: F) -> Result<R>
     where
         F: FnOnce(&mut Schema) -> Result<R>,
     {
-        let mut guard = self.current.write();
-        let mut next = (**guard).clone();
+        let _writer = self.writer.lock();
+        // Read lock held only for the Arc clone inside `snapshot()`.
+        let mut next = (*self.snapshot()).clone();
         let out = f(&mut next)?;
-        *guard = Arc::new(next);
+        // Publish: a single pointer swap under the write lock.
+        *self.current.write() = Arc::new(next);
         Ok(out)
+    }
+
+    /// Apply many operations as one batched evolution step: the closure's
+    /// edits share a single scoped recomputation (see
+    /// [`Schema::evolve_batch`]) and publish as **one** new version. On
+    /// `Err` nothing is published at all — the strongest form of the batch's
+    /// failure semantics.
+    pub fn evolve_batch<F, R>(&self, f: F) -> Result<R>
+    where
+        F: FnOnce(&mut Schema) -> Result<R>,
+    {
+        self.evolve(|s| s.evolve_batch(f))
+    }
+
+    /// Replay a recorded trace as one batched, atomically published
+    /// evolution step. Returns the number of operations applied.
+    pub fn apply_trace(&self, ops: &[RecordedOp]) -> Result<usize> {
+        self.evolve(|s| s.apply_trace(ops))
     }
 
     /// Consume the handle, returning the final schema (clones if snapshots
@@ -129,6 +176,86 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SchemaError::WouldCreateCycle { .. }));
         assert_eq!(sh.version(), v);
+        assert_eq!(sh.snapshot().type_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_never_waits_on_in_flight_evolve() {
+        // Regression test for the off-lock staging contract. The evolve
+        // closure parks itself mid-step on a channel; under the old
+        // implementation (closure ran under the write lock on `current`)
+        // the snapshot below would deadlock instead of returning the old
+        // version.
+        use std::sync::mpsc;
+        let sh = Arc::new(shared());
+        let v0 = sh.version();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let sh2 = Arc::clone(&sh);
+        let writer = std::thread::spawn(move || {
+            sh2.evolve(move |s| {
+                entered_tx.send(()).unwrap();
+                // Simulate an arbitrarily slow recomputation.
+                release_rx.recv().unwrap();
+                s.add_type("A", [], []).map(|_| ())
+            })
+            .unwrap();
+        });
+        entered_rx.recv().unwrap();
+        // The evolve step is now in flight and blocked. Readers must not be.
+        let snap = sh.snapshot();
+        assert_eq!(snap.version(), v0);
+        assert_eq!(snap.type_count(), 1);
+        assert_eq!(sh.version(), v0);
+        release_tx.send(()).unwrap();
+        writer.join().unwrap();
+        assert_eq!(sh.snapshot().type_count(), 2);
+    }
+
+    #[test]
+    fn evolve_batch_is_one_version_and_one_recompute() {
+        let sh = shared();
+        let v0 = sh.version();
+        sh.evolve(|s| {
+            s.reset_stats();
+            Ok(())
+        })
+        .unwrap();
+        sh.evolve_batch(|s| {
+            let a = s.add_type("A", [], [])?;
+            let b = s.add_type("B", [a], [])?;
+            let p = s.add_property("x");
+            s.add_essential_property(a, p)?;
+            let _ = b;
+            Ok(())
+        })
+        .unwrap();
+        let snap = sh.snapshot();
+        assert_eq!(
+            snap.stats().scoped_recomputes + snap.stats().full_recomputes,
+            1
+        );
+        assert!(snap.version() > v0);
+        assert!(snap.verify().is_empty());
+    }
+
+    #[test]
+    fn failed_batch_publishes_nothing() {
+        // Plain `Schema::evolve_batch` keeps already-applied inputs on
+        // error; lifted through SharedSchema the whole staged clone is
+        // discarded, so the failure becomes all-or-nothing.
+        let sh = shared();
+        let v0 = sh.version();
+        let err = sh
+            .evolve_batch(|s| {
+                let a = s.add_type("A", [], [])?;
+                let b = s.add_type("B", [a], [])?;
+                s.add_essential_supertype(a, b)
+            })
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::WouldCreateCycle { .. }));
+        assert_eq!(sh.version(), v0);
+        assert!(sh.snapshot().type_by_name("A").is_none());
         assert_eq!(sh.snapshot().type_count(), 1);
     }
 

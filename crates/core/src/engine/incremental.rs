@@ -9,33 +9,39 @@
 //!    of types *above* `t`. A change to the inputs of a type `c` can
 //!    therefore only affect `c` itself and types that have `c` in their
 //!    supertype lattice — `c`'s down-set.
-//! 2. **Stale down-sets suffice.** The down-set is located using the
-//!    *pre-change* derived state. A type `d` is affected by the change at
-//!    `c` only if `c` was reachable from `d` before the change or becomes
-//!    reachable after it. Reachability from `d` changes only if the inputs
-//!    of some type on the path changed — and that type is itself in the
-//!    changed seed set, whose stale down-set covers `d`. (Adding the edge
-//!    `c → s` makes `s`'s lattice visible to `c`'s old down-set; dropping it
-//!    likewise affects only that down-set.)
+//! 2. **The reverse-subtype index finds the down-set.** The affected set is
+//!    the downward reachability closure of the seeds over the inverse of
+//!    `P_e` (the index `sub_e` that [`crate::model::Schema`] maintains on
+//!    every input edit). Reachability over `P_e` edges equals reachability
+//!    over `P` edges — Axiom 5 removes an essential supertype from `P` only
+//!    when it stays reachable through another — so this BFS visits exactly
+//!    the types whose supertype lattice can mention a seed. Because the
+//!    index reflects the *post-mutation* graph, a type left outside the BFS
+//!    provably has no seed above it and its cached derived state is still
+//!    valid; this argument survives batches of many compounded edits, since
+//!    every edited type is itself a seed.
 //!
 //! Additionally, a change that touches only `N_e` (MT-AB / MT-DB) cannot
 //! alter `P` or `PL` of anything, so the property-only path reuses the
 //! cached lattices and re-derives just `N`/`H`/`I`.
 //!
-//! Per-type derivation avoids the set cloning of the naive engine by
-//! unioning directly into the output sets.
+//! Per-type derivation reads the supertypes' derived records through shared
+//! reborrows (no set cloning), and writes a type's new record behind its
+//! `Arc` — an unshared record is updated in place, a record still shared
+//! with an older schema version is replaced wholesale.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::ids::TypeId;
 use crate::model::{DerivedType, TypeSlot};
 
-use super::{stale_down_set, topo_order, ChangeKind};
+use super::{down_set, topo_order, ChangeKind, ACYCLIC_MSG};
 
 /// Re-derive every live type (used for full rebuilds, e.g. engine switches
 /// and snapshot loads). Returns the number of per-type derivations.
-pub(crate) fn derive_full(types: &[TypeSlot], derived: &mut [DerivedType]) -> usize {
-    let order = topo_order(types).expect("schema inputs must be acyclic (Axiom 2)");
+pub(crate) fn derive_full(types: &[Arc<TypeSlot>], derived: &mut [Arc<DerivedType>]) -> usize {
+    let order = topo_order(types).expect(ACYCLIC_MSG);
     for &t in &order {
         derive_one_in_place(types, derived, t, ChangeKind::Edges);
     }
@@ -45,12 +51,13 @@ pub(crate) fn derive_full(types: &[TypeSlot], derived: &mut [DerivedType]) -> us
 /// Re-derive only the down-set of `seeds`. Returns the number of per-type
 /// derivations (the scope size — surfaced in [`super::EngineStats`]).
 pub(crate) fn derive_scoped(
-    types: &[TypeSlot],
-    derived: &mut [DerivedType],
+    types: &[Arc<TypeSlot>],
+    rev: &[Arc<BTreeSet<TypeId>>],
+    derived: &mut [Arc<DerivedType>],
     seeds: &[TypeId],
     kind: ChangeKind,
 ) -> usize {
-    let affected = stale_down_set(types, derived, seeds);
+    let affected = down_set(types, rev, seeds);
     if affected.is_empty() {
         return 0;
     }
@@ -94,15 +101,23 @@ pub(crate) fn derive_scoped(
             }
         }
     }
-    debug_assert_eq!(count, n, "affected subgraph must be acyclic (Axiom 2)");
+    // Release-mode check, shared with `topo_order`'s failure path: a cycle
+    // in the affected subgraph would otherwise silently leave stale derived
+    // state behind (satisfying no axiom). Unreachable through `ops` (cycles
+    // are rejected up front) — this guards hand-forged inputs.
+    assert_eq!(count, n, "{ACYCLIC_MSG}");
     count
 }
 
 /// Derive one type, writing into `derived[t]`. Supertypes of `t` must
 /// already hold correct derived state.
+///
+/// All reads of supertype records are plain shared reborrows of `derived`
+/// — no cloning of `P` is needed to satisfy the borrow checker, because the
+/// new sets are accumulated in locals and written back in one step.
 fn derive_one_in_place(
-    types: &[TypeSlot],
-    derived: &mut [DerivedType],
+    types: &[Arc<TypeSlot>],
+    derived: &mut [Arc<DerivedType>],
     t: TypeId,
     kind: ChangeKind,
 ) {
@@ -127,29 +142,32 @@ fn derive_one_in_place(
             pl.extend(derived[x.index()].pl.iter().copied());
         }
 
-        let d = &mut derived[t.index()];
-        d.p = p;
-        d.pl = pl;
-    }
-
-    // Axiom 9: H(t) = ⋃ I(x) for x ∈ P(t).
-    let mut h: BTreeSet<_> = BTreeSet::new();
-    {
-        // Split borrow: read interfaces of supertypes while writing t.
-        let p = derived[t.index()].p.clone();
-        for x in p {
+        // Axiom 9: H(t) = ⋃ I(x) for x ∈ P(t).
+        let mut h: BTreeSet<_> = BTreeSet::new();
+        for &x in &p {
             h.extend(derived[x.index()].iface.iter().copied());
         }
-    }
-    // Axiom 8: N(t) = N_e(t) − H(t).
-    let n: BTreeSet<_> = slot.ne.difference(&h).copied().collect();
-    // Axiom 7: I(t) = N(t) ∪ H(t).
-    let iface: BTreeSet<_> = n.union(&h).copied().collect();
+        // Axiom 8: N(t) = N_e(t) − H(t).
+        let n: BTreeSet<_> = slot.ne.difference(&h).copied().collect();
+        // Axiom 7: I(t) = N(t) ∪ H(t).
+        let iface: BTreeSet<_> = n.union(&h).copied().collect();
 
-    let d = &mut derived[t.index()];
-    d.h = h;
-    d.n = n;
-    d.iface = iface;
+        // The whole record changed: replace it outright (cheaper than
+        // make_mut when the old record is shared with a previous version).
+        derived[t.index()] = Arc::new(DerivedType { p, pl, n, h, iface });
+    } else {
+        // PropsOnly: P/PL are cached and untouched; re-derive N/H/I.
+        let mut h: BTreeSet<_> = BTreeSet::new();
+        for &x in &derived[t.index()].p {
+            h.extend(derived[x.index()].iface.iter().copied());
+        }
+        let n: BTreeSet<_> = slot.ne.difference(&h).copied().collect();
+        let iface: BTreeSet<_> = n.union(&h).copied().collect();
+        let d = Arc::make_mut(&mut derived[t.index()]);
+        d.h = h;
+        d.n = n;
+        d.iface = iface;
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +242,29 @@ mod tests {
             assert_eq!(a.derived(t).unwrap(), b.derived(t).unwrap(), "{t}");
         }
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn forged_cycle_fails_loudly_not_silently() {
+        // A cycle smuggled past the ops layer (hand-edited inputs) must
+        // panic with the shared acyclicity message in release builds too —
+        // never return normally with stale derived state (the old
+        // debug_assert-only path did exactly that).
+        let mut s = chain();
+        let c0 = s.type_by_name("c0").unwrap();
+        let c1 = s.type_by_name("c1").unwrap();
+        std::sync::Arc::make_mut(&mut s.types[c0.index()])
+            .pe
+            .insert(c1);
+        s.rebuild_subtype_index();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::engine::recompute_after_many(&mut s, &[c0], crate::engine::ChangeKind::Edges);
+        }));
+        let msg = *r
+            .expect_err("cyclic affected subgraph must panic")
+            .downcast::<String>()
+            .expect("panic payload is the formatted message");
+        assert!(msg.contains("Axiom 2"), "{msg}");
     }
 
     #[test]

@@ -24,9 +24,17 @@ pub(crate) mod incremental;
 pub(crate) mod naive;
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::ids::TypeId;
-use crate::model::{DerivedType, Schema, TypeSlot};
+use crate::model::{Schema, TypeSlot};
+
+/// Shared failure message for a `P_e` cycle reaching a derivation engine.
+/// Operations reject cycles up front and snapshot loads validate before
+/// install, so hitting this means internal state was corrupted (e.g. a
+/// hand-forged input graph) — both engines fail loudly rather than leave
+/// silently stale derived state.
+pub(crate) const ACYCLIC_MSG: &str = "schema inputs must be acyclic (Axiom 2)";
 
 /// Which derivation engine a [`Schema`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -45,8 +53,14 @@ pub enum EngineKind {
 pub struct EngineStats {
     /// Number of whole-lattice recomputations performed.
     pub full_recomputes: u64,
-    /// Number of scoped (down-set) recomputations performed.
+    /// Number of scoped (down-set) recomputations that derived at least one
+    /// type. Recomputations whose affected set turned out empty are counted
+    /// in [`EngineStats::noop_recomputes`] instead, so the ablation ratio
+    /// `types_derived / scoped_recomputes` is not skewed by no-ops.
     pub scoped_recomputes: u64,
+    /// Scoped recomputations whose affected set was empty (e.g. a batch
+    /// that adds and then drops the same type): no type was re-derived.
+    pub noop_recomputes: u64,
     /// Total number of per-type derivations across all recomputations.
     pub types_derived: u64,
     /// Per-type derivations in the most recent recomputation.
@@ -64,11 +78,43 @@ pub(crate) enum ChangeKind {
     PropsOnly,
 }
 
+/// Accumulated change seeds of an in-flight `Schema::evolve_batch`: instead
+/// of recomputing after every operation, each operation's seeds and change
+/// kind are absorbed here and a single recomputation (one down-set BFS, one
+/// scoped derivation) runs when the batch finalizes.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchState {
+    /// Union of the change seeds of all absorbed operations.
+    pub(crate) seeds: BTreeSet<TypeId>,
+    /// Worst change kind seen: any `Edges` op upgrades the whole batch.
+    pub(crate) kind: ChangeKind,
+    /// Whether any operation asked for a recomputation at all.
+    pub(crate) dirty: bool,
+}
+
+impl BatchState {
+    pub(crate) fn new() -> Self {
+        BatchState {
+            seeds: BTreeSet::new(),
+            kind: ChangeKind::PropsOnly,
+            dirty: false,
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, changed: &[TypeId], kind: ChangeKind) {
+        self.seeds.extend(changed.iter().copied());
+        if kind == ChangeKind::Edges {
+            self.kind = ChangeKind::Edges;
+        }
+        self.dirty = true;
+    }
+}
+
 /// Recompute the whole lattice with the configured engine.
 pub(crate) fn recompute_all(schema: &mut Schema) {
     let mut derived = std::mem::take(&mut schema.derived);
     derived.clear();
-    derived.resize(schema.types.len(), DerivedType::default());
+    derived.resize(schema.types.len(), Arc::default());
     let n = match schema.engine {
         EngineKind::Naive => naive::derive_all(&schema.types, &mut derived),
         EngineKind::Incremental => incremental::derive_full(&schema.types, &mut derived),
@@ -79,18 +125,19 @@ pub(crate) fn recompute_all(schema: &mut Schema) {
     schema.stats.last_types_derived = n as u64;
 }
 
-/// Recompute after changes to several types at once (e.g. a type drop edits
-/// `P_e` of every essential subtype).
+/// Recompute after changes to several types at once (a type drop edits
+/// `P_e` of every essential subtype; a finalized batch carries the seeds of
+/// all its operations).
 ///
-/// Must be called *after* the input mutation but relies on the *stale*
-/// derived state to locate the affected down-set; see the module docs of
-/// `incremental` for why that is sound.
+/// Called *after* the input mutation: the affected set is found by walking
+/// the reverse-subtype index downward from the seeds; see the module docs
+/// of `incremental` for why that covers every affected type.
 pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind: ChangeKind) {
     match schema.engine {
         EngineKind::Naive => {
             let mut derived = std::mem::take(&mut schema.derived);
             derived.clear();
-            derived.resize(schema.types.len(), DerivedType::default());
+            derived.resize(schema.types.len(), Arc::default());
             let n = naive::derive_all(&schema.types, &mut derived);
             schema.derived = derived;
             schema.stats.full_recomputes += 1;
@@ -99,11 +146,16 @@ pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind
         }
         EngineKind::Incremental => {
             let mut derived = std::mem::take(&mut schema.derived);
-            derived.resize(schema.types.len(), DerivedType::default());
-            let n = incremental::derive_scoped(&schema.types, &mut derived, changed, kind);
+            derived.resize(schema.types.len(), Arc::default());
+            let n =
+                incremental::derive_scoped(&schema.types, &schema.rev, &mut derived, changed, kind);
             schema.derived = derived;
-            schema.stats.scoped_recomputes += 1;
-            schema.stats.types_derived += n as u64;
+            if n == 0 {
+                schema.stats.noop_recomputes += 1;
+            } else {
+                schema.stats.scoped_recomputes += 1;
+                schema.stats.types_derived += n as u64;
+            }
             schema.stats.last_types_derived = n as u64;
         }
     }
@@ -113,7 +165,7 @@ pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind
 /// essential supertypes. Returns `None` if the `P_e` graph has a cycle
 /// (never the case for schemas built through [`crate::ops`], which reject
 /// cycles up front; deserialized snapshots are validated before install).
-pub(crate) fn topo_order(types: &[TypeSlot]) -> Option<Vec<TypeId>> {
+pub(crate) fn topo_order(types: &[Arc<TypeSlot>]) -> Option<Vec<TypeId>> {
     let n = types.len();
     let mut remaining: Vec<usize> = vec![0; n];
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -149,34 +201,36 @@ pub(crate) fn topo_order(types: &[TypeSlot]) -> Option<Vec<TypeId>> {
     (order.len() == live).then_some(order)
 }
 
-/// The down-set of `seeds` under the *stale* derived state: every live type
-/// whose (pre-recompute) supertype lattice contains one of the seeds, plus
-/// the seeds themselves. These are exactly the types whose derived state may
-/// change.
-pub(crate) fn stale_down_set(
-    types: &[TypeSlot],
-    derived: &[DerivedType],
+/// The down-set of `seeds` over the reverse-subtype index: every live type
+/// reachable from a seed by walking `sub_e` edges downward, plus the live
+/// seeds themselves. These are exactly the types whose derived state may
+/// change — O(size of the down-set), not O(|T|).
+///
+/// Soundness: a type `d ≠ seed` is affected only if some seed is reachable
+/// upward from `d` over the *post-mutation* `P_e` graph (derived terms of
+/// `d` depend only on `d`'s inputs and the derived terms of types above
+/// it). The index reflects exactly that post-mutation graph, so the
+/// downward BFS from the seeds visits every such `d`. Types outside the
+/// BFS have no seed above them; their cached derived state is unaffected.
+/// This holds for compounded batches too: each absorbed operation's own
+/// seeds cover the edge(s) it changed, and edges *below* a seed are
+/// traversed as they are now, after all edits.
+pub(crate) fn down_set(
+    types: &[Arc<TypeSlot>],
+    rev: &[Arc<BTreeSet<TypeId>>],
     seeds: &[TypeId],
 ) -> BTreeSet<TypeId> {
-    let seed_set: BTreeSet<TypeId> = seeds
-        .iter()
-        .copied()
-        .filter(|t| types[t.index()].alive)
-        .collect();
-    let mut out = seed_set.clone();
-    for (i, slot) in types.iter().enumerate() {
-        if !slot.alive {
-            continue;
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<TypeId> = Vec::new();
+    for &t in seeds {
+        if types.get(t.index()).is_some_and(|s| s.alive) && out.insert(t) {
+            stack.push(t);
         }
-        let t = TypeId::from_index(i);
-        if out.contains(&t) {
-            continue;
-        }
-        // derived may be shorter than types if a type was just added; a
-        // just-added type has no stale lattice and is covered by being a seed.
-        if let Some(d) = derived.get(i) {
-            if seed_set.iter().any(|s| d.pl.contains(s)) {
-                out.insert(t);
+    }
+    while let Some(t) = stack.pop() {
+        for &c in rev[t.index()].iter() {
+            if types[c.index()].alive && out.insert(c) {
+                stack.push(c);
             }
         }
     }
@@ -219,7 +273,7 @@ mod tests {
         // Forge a cycle directly in the inputs (ops would reject this).
         let a = s.type_by_name("a").unwrap();
         let c = s.type_by_name("c").unwrap();
-        s.types[a.index()].pe.insert(c);
+        Arc::make_mut(&mut s.types[a.index()]).pe.insert(c);
         assert!(topo_order(&s.types).is_none());
     }
 
@@ -240,15 +294,41 @@ mod tests {
     }
 
     #[test]
-    fn stale_down_set_covers_subtypes() {
+    fn down_set_covers_subtypes() {
         let s = diamond();
         let a = s.type_by_name("a").unwrap();
         let c = s.type_by_name("c").unwrap();
-        let ds = stale_down_set(&s.types, &s.derived, &[a]);
+        let ds = down_set(&s.types, &s.rev, &[a]);
         assert!(ds.contains(&a));
         assert!(ds.contains(&c));
         assert!(!ds.contains(&s.type_by_name("b").unwrap()));
         assert!(!ds.contains(&s.type_by_name("root").unwrap()));
+    }
+
+    #[test]
+    fn down_set_ignores_dead_seeds() {
+        let mut s = diamond();
+        let c = s.type_by_name("c").unwrap();
+        s.drop_type(c).unwrap();
+        assert!(down_set(&s.types, &s.rev, &[c]).is_empty());
+    }
+
+    #[test]
+    fn subtype_index_matches_input_scan() {
+        let mut s = diamond();
+        let a = s.type_by_name("a").unwrap();
+        let b = s.type_by_name("b").unwrap();
+        let c = s.type_by_name("c").unwrap();
+        s.drop_essential_supertype(c, a).unwrap();
+        s.drop_type(b).unwrap();
+        s.add_type("d", [a], []).unwrap();
+        for t in s.iter_types() {
+            let scanned: BTreeSet<TypeId> = s
+                .iter_types()
+                .filter(|&x| s.essential_supertypes(x).unwrap().contains(&t))
+                .collect();
+            assert_eq!(s.essential_subtypes(t).unwrap(), scanned, "{t}");
+        }
     }
 
     #[test]

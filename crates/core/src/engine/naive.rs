@@ -29,25 +29,26 @@
 //! (supertypes first); acyclicity (Axiom 2) guarantees the order exists.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::applyall::union_apply_all;
 use crate::ids::TypeId;
 use crate::model::{DerivedType, TypeSlot};
 
-use super::topo_order;
+use super::{topo_order, ACYCLIC_MSG};
 
 /// Re-derive every live type. Returns the number of per-type derivations.
-pub(crate) fn derive_all(types: &[TypeSlot], derived: &mut [DerivedType]) -> usize {
-    let order = topo_order(types).expect("schema inputs must be acyclic (Axiom 2)");
+pub(crate) fn derive_all(types: &[Arc<TypeSlot>], derived: &mut [Arc<DerivedType>]) -> usize {
+    let order = topo_order(types).expect(ACYCLIC_MSG);
     for &t in &order {
-        derived[t.index()] = derive_one(types, derived, t);
+        derived[t.index()] = Arc::new(derive_one(types, derived, t));
     }
     order.len()
 }
 
 /// Derive one type from the axioms, assuming all its essential supertypes
 /// have already been derived.
-fn derive_one(types: &[TypeSlot], derived: &[DerivedType], t: TypeId) -> DerivedType {
+fn derive_one(types: &[Arc<TypeSlot>], derived: &[Arc<DerivedType>], t: TypeId) -> DerivedType {
     let pe = &types[t.index()].pe;
     let ne = &types[t.index()].ne;
 

@@ -370,6 +370,27 @@ impl History {
         self.add_essential_property(t, p)?;
         Ok(p)
     }
+
+    /// Replay a trace of recorded operations as **one** batched evolution
+    /// step (a single shared recomputation — see [`Schema::apply_trace`]),
+    /// recording each operation that applied. Returns the number applied.
+    ///
+    /// On error the successfully applied prefix stays both applied and
+    /// recorded, so the log keeps mirroring the schema exactly; replay via
+    /// [`History::as_of`] reproduces the same state because batched and
+    /// op-by-op application are observationally equivalent.
+    pub fn apply_trace(&mut self, ops: &[RecordedOp]) -> Result<usize> {
+        let mut applied = 0usize;
+        let r = self.schema.evolve_batch(|s| {
+            for op in ops {
+                op.apply(s)?;
+                applied += 1;
+            }
+            Ok(())
+        });
+        self.ops.extend(ops[..applied].iter().cloned());
+        r.map(|()| applied)
+    }
 }
 
 /// Errors raised by history operations.
@@ -512,6 +533,54 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn apply_trace_records_batched_ops_replayably() {
+        let (mut h, a, _b, _p) = evolved();
+        let n = h
+            .apply_trace(&[
+                RecordedOp::AddProperty { name: "y".into() },
+                RecordedOp::AddType {
+                    name: "C".into(),
+                    supers: vec![a],
+                    props: vec![],
+                },
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        // The batched ops are in the log and op-by-op replay reproduces the
+        // batched result exactly.
+        assert_eq!(
+            h.as_of(h.len()).unwrap().fingerprint(),
+            h.schema().fingerprint()
+        );
+        assert!(h.schema().type_by_name("C").is_some());
+    }
+
+    #[test]
+    fn failed_apply_trace_keeps_applied_prefix_recorded() {
+        let (mut h, a, b, _p) = evolved();
+        let v = h.len();
+        let err = h
+            .apply_trace(&[
+                RecordedOp::AddType {
+                    name: "C".into(),
+                    supers: vec![a],
+                    props: vec![],
+                },
+                RecordedOp::AddEssentialSupertype { t: a, s: b }, // cycle
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::WouldCreateCycle { .. }));
+        // The prefix stays applied AND recorded: log mirrors schema.
+        assert_eq!(h.len(), v + 1);
+        assert!(h.schema().type_by_name("C").is_some());
+        assert_eq!(
+            h.as_of(h.len()).unwrap().fingerprint(),
+            h.schema().fingerprint()
+        );
+        assert!(h.schema().verify().is_empty());
     }
 
     #[test]

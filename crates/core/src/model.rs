@@ -13,11 +13,23 @@
 //!
 //! Mutations live in [`crate::ops`]; the derivation engines live in
 //! [`crate::engine`]; the axiom checkers in [`crate::axioms`].
+//!
+//! # Structural sharing
+//!
+//! All per-type storage is `Arc`-wrapped (`Vec<Arc<TypeSlot>>`,
+//! `Vec<Arc<DerivedType>>`, …), so cloning a [`Schema`] — the heart of the
+//! copy-on-write versioning in [`crate::concurrent`] — copies only the
+//! spine vectors of `Arc` pointers, O(|T|) pointer bumps instead of a deep
+//! copy of every name and every derived set. A subsequent mutation then
+//! pays for exactly what it changes: writers go through [`Arc::make_mut`],
+//! which clones an individual slot only when it is still shared with an
+//! older version. Version production is therefore O(changed types).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use crate::config::LatticeConfig;
-use crate::engine::{self, EngineKind, EngineStats};
+use crate::engine::{self, BatchState, EngineKind, EngineStats};
 use crate::error::{Result, SchemaError};
 use crate::ids::{PropId, TypeId};
 
@@ -77,19 +89,48 @@ pub struct DerivedType {
 /// assert!(s.interface(student).unwrap().contains(&name)); // inherited
 /// assert!(s.verify().is_empty()); // all nine axioms hold
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Schema {
     pub(crate) config: LatticeConfig,
-    pub(crate) types: Vec<TypeSlot>,
-    pub(crate) props: Vec<PropRecord>,
-    pub(crate) by_name: HashMap<String, TypeId>,
+    pub(crate) types: Vec<Arc<TypeSlot>>,
+    pub(crate) props: Vec<Arc<PropRecord>>,
+    pub(crate) by_name: Arc<HashMap<String, TypeId>>,
     pub(crate) root: Option<TypeId>,
     pub(crate) base: Option<TypeId>,
-    pub(crate) derived: Vec<DerivedType>,
+    pub(crate) derived: Vec<Arc<DerivedType>>,
+    /// Reverse essential-subtype adjacency: `rev[s]` is the set of live
+    /// types with `s ∈ P_e(t)` (the paper's `sub_e`). Maintained
+    /// incrementally by every `P_e` edit so down-set discovery never scans
+    /// all of `T`.
+    pub(crate) rev: Vec<Arc<BTreeSet<TypeId>>>,
     pub(crate) engine: EngineKind,
     /// Monotone version counter, bumped on every successful mutation.
     pub(crate) version: u64,
     pub(crate) stats: EngineStats,
+    /// Pending batched-evolution state: while `Some`, recomputation is
+    /// deferred and change seeds accumulate here (see `Schema::evolve_batch`).
+    pub(crate) batch: Option<BatchState>,
+}
+
+impl Clone for Schema {
+    fn clone(&self) -> Self {
+        Schema {
+            config: self.config,
+            types: self.types.clone(),
+            props: self.props.clone(),
+            by_name: Arc::clone(&self.by_name),
+            root: self.root,
+            base: self.base,
+            derived: self.derived.clone(),
+            rev: self.rev.clone(),
+            engine: self.engine,
+            version: self.version,
+            stats: self.stats,
+            // Pending batch state is never carried into a clone: a clone is
+            // a fresh, internally consistent version of its own.
+            batch: None,
+        }
+    }
 }
 
 impl Schema {
@@ -107,13 +148,15 @@ impl Schema {
             config,
             types: Vec::new(),
             props: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: Arc::new(HashMap::new()),
             root: None,
             base: None,
             derived: Vec::new(),
+            rev: Vec::new(),
             engine,
             version: 0,
             stats: EngineStats::default(),
+            batch: None,
         }
     }
 
@@ -292,7 +335,7 @@ impl Schema {
     /// The full derived record of `t` (all of Table 1 at once).
     pub fn derived(&self, t: TypeId) -> Result<&DerivedType> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()])
+        Ok(self.derived[t.index()].as_ref())
     }
 
     /// Is `s` a supertype of `t` (i.e. `s ∈ PL(t)`)? Reflexive.
@@ -302,34 +345,45 @@ impl Schema {
 
     /// Immediate subtypes of `t`: the inverse of `P` ("TIGUKAT does define a
     /// `B_subtypes` behavior for types, so finding all subtypes of a dropped
-    /// type is trivial", §3.3). Computed by a scan of live types — O(|T|).
+    /// type is trivial", §3.3). Answered from the reverse-subtype index:
+    /// O(|sub_e(t)|), since `P(c) ⊆ P_e(c)` for every type.
     pub fn immediate_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok(self
-            .iter_types()
+        Ok(self.rev[t.index()]
+            .iter()
+            .copied()
             .filter(|&c| self.derived[c.index()].p.contains(&t))
             .collect())
     }
 
     /// All subtypes of `t` (types whose supertype lattice contains `t`),
-    /// excluding `t` itself. O(|T|).
+    /// excluding `t` itself. Downward reachability over the reverse-subtype
+    /// index — O(size of the down-set), not O(|T|). (Reachability over
+    /// `P_e` edges equals reachability over `P` edges: Axiom 5 removes an
+    /// essential supertype from `P` only when it stays reachable through
+    /// another, so the transitive closures coincide.)
     pub fn all_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok(self
-            .iter_types()
-            .filter(|&c| c != t && self.derived[c.index()].pl.contains(&t))
-            .collect())
+        let mut out = BTreeSet::new();
+        let mut stack = vec![t];
+        while let Some(x) = stack.pop() {
+            for &c in self.rev[x.index()].iter() {
+                if c != t && out.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        out.remove(&t);
+        Ok(out)
     }
 
     /// Types that list `t` among their *essential* supertypes (inverse of
-    /// `P_e`). These are the types whose inputs mention `t` and must be
-    /// edited when `t` is dropped. O(|T|).
+    /// `P_e`, the paper's `sub_e`). These are the types whose inputs mention
+    /// `t` and must be edited when `t` is dropped. Served directly from the
+    /// reverse-subtype index — O(|sub_e(t)|).
     pub fn essential_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok(self
-            .iter_types()
-            .filter(|&c| self.types[c.index()].pe.contains(&t))
-            .collect())
+        Ok((*self.rev[t.index()]).clone())
     }
 
     /// All live properties referenced by some type's interface — the
@@ -369,14 +423,17 @@ impl Schema {
 
     pub(crate) fn slot(&self, t: TypeId) -> Result<&TypeSlot> {
         match self.types.get(t.index()) {
-            Some(s) if s.alive => Ok(s),
+            Some(s) if s.alive => Ok(s.as_ref()),
             _ => Err(SchemaError::UnknownType(t)),
         }
     }
 
+    /// Mutable access to a live slot. Copy-on-write: if the slot is still
+    /// shared with an older schema version, it is cloned here, so mutation
+    /// cost is proportional to what actually changes.
     pub(crate) fn slot_mut(&mut self, t: TypeId) -> Result<&mut TypeSlot> {
         match self.types.get_mut(t.index()) {
-            Some(s) if s.alive => Ok(s),
+            Some(s) if s.alive => Ok(Arc::make_mut(s)),
             _ => Err(SchemaError::UnknownType(t)),
         }
     }
@@ -396,6 +453,67 @@ impl Schema {
     /// engine.
     pub(crate) fn recompute_all(&mut self) {
         engine::recompute_all(self);
+    }
+
+    /// Note that the inputs of `changed` types were edited. Outside a batch
+    /// this recomputes immediately; inside [`Schema::evolve_batch`] the
+    /// seeds are absorbed and one recomputation runs at batch end.
+    pub(crate) fn note_change(&mut self, changed: &[TypeId], kind: engine::ChangeKind) {
+        if let Some(b) = self.batch.as_mut() {
+            b.absorb(changed, kind);
+        } else {
+            engine::recompute_after_many(self, changed, kind);
+        }
+    }
+
+    /// Register `sub ∈ sub_e(sup)` in the reverse-subtype index.
+    pub(crate) fn rev_insert(&mut self, sup: TypeId, sub: TypeId) {
+        Arc::make_mut(&mut self.rev[sup.index()]).insert(sub);
+    }
+
+    /// Remove `sub` from `sub_e(sup)` in the reverse-subtype index.
+    pub(crate) fn rev_remove(&mut self, sup: TypeId, sub: TypeId) {
+        Arc::make_mut(&mut self.rev[sup.index()]).remove(&sub);
+    }
+
+    /// Rebuild the reverse-subtype index from scratch (snapshot loads and
+    /// wholesale projections; O(|P_e edges|)). Normal operations maintain it
+    /// incrementally via [`Schema::rev_insert`]/[`Schema::rev_remove`].
+    pub(crate) fn rebuild_subtype_index(&mut self) {
+        let mut rev: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); self.types.len()];
+        for (i, slot) in self.types.iter().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            let t = TypeId::from_index(i);
+            for s in &slot.pe {
+                rev[s.index()].insert(t);
+            }
+        }
+        self.rev = rev.into_iter().map(Arc::new).collect();
+    }
+
+    /// Is `target` in the reflexive upward `P_e`-closure of `from`? This is
+    /// the input-level equivalent of `target ∈ PL(from)` (the closures of
+    /// `P_e` and `P` coincide), usable even while derived state is stale
+    /// mid-batch.
+    pub(crate) fn reaches_upward(&self, from: TypeId, target: TypeId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut seen = BTreeSet::from([from]);
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            for &s in &self.types[x.index()].pe {
+                if s == target {
+                    return true;
+                }
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        false
     }
 
     pub(crate) fn bump_version(&mut self) {

@@ -25,8 +25,11 @@
 //! *before* mutating; a returned error implies the schema is unchanged. The
 //! failure-injection tests pin this with fingerprint comparisons.
 
-use crate::engine::{self, ChangeKind};
+use std::sync::Arc;
+
+use crate::engine::{BatchState, ChangeKind};
 use crate::error::{Result, SchemaError};
+use crate::history::RecordedOp;
 use crate::ids::{PropId, TypeId};
 use crate::model::{PropRecord, Schema, TypeSlot};
 
@@ -42,17 +45,17 @@ impl Schema {
     /// [`PropId`].
     pub fn add_property(&mut self, name: impl Into<String>) -> PropId {
         let id = PropId::from_index(self.props.len());
-        self.props.push(PropRecord {
+        self.props.push(Arc::new(PropRecord {
             name: name.into(),
             alive: true,
-        });
+        }));
         id
     }
 
     /// Rename a property (labels only; identity is unchanged).
     pub fn rename_property(&mut self, p: PropId, name: impl Into<String>) -> Result<()> {
         self.check_live_prop(p)?;
-        self.props[p.index()].name = name.into();
+        Arc::make_mut(&mut self.props[p.index()]).name = name.into();
         self.bump_version();
         Ok(())
     }
@@ -67,11 +70,11 @@ impl Schema {
             .filter(|&t| self.types[t.index()].ne.contains(&p))
             .collect();
         for &t in &holders {
-            self.types[t.index()].ne.remove(&p);
+            Arc::make_mut(&mut self.types[t.index()]).ne.remove(&p);
         }
-        self.props[p.index()].alive = false;
+        Arc::make_mut(&mut self.props[p.index()]).alive = false;
         if !holders.is_empty() {
-            engine::recompute_after_many(self, &holders, ChangeKind::PropsOnly);
+            self.note_change(&holders, ChangeKind::PropsOnly);
         }
         self.bump_version();
         Ok(holders)
@@ -96,7 +99,7 @@ impl Schema {
         if self.config.is_rooted() && self.root.is_none() {
             self.root = Some(t);
         }
-        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
         Ok(t)
     }
@@ -114,16 +117,12 @@ impl Schema {
         if self.config.is_rooted() && self.root.is_none() {
             return Err(SchemaError::NoRoot);
         }
+        // Every existing type (possibly none, on an empty forest) goes into
+        // P_e of the new base.
         let pe: std::collections::BTreeSet<TypeId> = self.iter_types().collect();
-        let pe = if pe.is_empty() {
-            // Forest with no types yet: a lone base.
-            pe
-        } else {
-            pe
-        };
         let t = self.push_type(name, pe, Default::default());
         self.base = Some(t);
-        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
         Ok(t)
     }
@@ -164,11 +163,12 @@ impl Schema {
         let mut changed = vec![t];
         if self.config.is_pointed() {
             if let Some(b) = self.base {
-                self.types[b.index()].pe.insert(t);
+                Arc::make_mut(&mut self.types[b.index()]).pe.insert(t);
+                self.rev_insert(t, b);
                 changed.push(b);
             }
         }
-        engine::recompute_after_many(self, &changed, ChangeKind::Edges);
+        self.note_change(&changed, ChangeKind::Edges);
         self.bump_version();
         Ok(t)
     }
@@ -184,9 +184,13 @@ impl Schema {
             return Ok(());
         }
         self.check_fresh_name(&new_name)?;
-        let old = std::mem::replace(&mut self.types[t.index()].name, new_name.clone());
-        self.by_name.remove(&old);
-        self.by_name.insert(new_name, t);
+        let old = std::mem::replace(
+            &mut Arc::make_mut(&mut self.types[t.index()]).name,
+            new_name.clone(),
+        );
+        let by_name = Arc::make_mut(&mut self.by_name);
+        by_name.remove(&old);
+        by_name.insert(new_name, t);
         self.bump_version();
         Ok(())
     }
@@ -231,23 +235,42 @@ impl Schema {
     pub fn drop_type(&mut self, t: TypeId) -> Result<Vec<TypeId>> {
         self.check_droppable(t)?;
         let subtypes: Vec<TypeId> = self.essential_subtypes(t)?.into_iter().collect();
+        let relink_root = if self.config.is_rooted() {
+            self.root
+        } else {
+            None
+        };
+        let mut relinked: Vec<TypeId> = Vec::new();
         for &c in &subtypes {
-            self.types[c.index()].pe.remove(&t);
-            if self.types[c.index()].pe.is_empty() {
-                if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
-                    self.types[c.index()].pe.insert(root);
+            let slot = Arc::make_mut(&mut self.types[c.index()]);
+            slot.pe.remove(&t);
+            if slot.pe.is_empty() {
+                if let Some(root) = relink_root {
+                    slot.pe.insert(root);
+                    relinked.push(c);
                 }
             }
         }
-        let slot = &mut self.types[t.index()];
+        for &c in &relinked {
+            // relink_root is Some whenever relinked is non-empty.
+            self.rev_insert(relink_root.expect("relink implies root"), c);
+        }
+        // t leaves the index: as a subtype of its own supertypes...
+        let pe_of_t: Vec<TypeId> = self.types[t.index()].pe.iter().copied().collect();
+        for s in pe_of_t {
+            self.rev_remove(s, t);
+        }
+        // ...and as a supertype (its subtypes just dropped their t-edges).
+        self.rev[t.index()] = Arc::default();
+        let slot = Arc::make_mut(&mut self.types[t.index()]);
         slot.alive = false;
         slot.pe.clear();
         slot.ne.clear();
         let name = slot.name.clone();
-        self.by_name.remove(&name);
-        self.derived[t.index()] = Default::default();
+        Arc::make_mut(&mut self.by_name).remove(&name);
+        self.derived[t.index()] = Arc::default();
         if !subtypes.is_empty() {
-            engine::recompute_after_many(self, &subtypes, ChangeKind::Edges);
+            self.note_change(&subtypes, ChangeKind::Edges);
         }
         self.bump_version();
         Ok(subtypes)
@@ -281,15 +304,24 @@ impl Schema {
                 supertype: s,
             });
         }
-        // Cycle check: s must not already have t above it.
-        if self.derived[s.index()].pl.contains(&t) {
+        // Cycle check: s must not already have t above it. Outside a batch
+        // the cached lattice answers this; mid-batch the derived state is
+        // stale, so the equivalent input-level reachability query is used
+        // (the upward closures of P_e and P coincide).
+        let cyclic = if self.batch.is_some() {
+            self.reaches_upward(s, t)
+        } else {
+            self.derived[s.index()].pl.contains(&t)
+        };
+        if cyclic {
             return Err(SchemaError::WouldCreateCycle {
                 subtype: t,
                 supertype: s,
             });
         }
-        self.types[t.index()].pe.insert(s);
-        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        Arc::make_mut(&mut self.types[t.index()]).pe.insert(s);
+        self.rev_insert(s, t);
+        self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
         Ok(())
     }
@@ -323,13 +355,15 @@ impl Schema {
         if self.config.is_pointed() && Some(t) == self.base {
             return Err(SchemaError::BaseEdgeDrop { supertype: s });
         }
-        self.types[t.index()].pe.remove(&s);
+        Arc::make_mut(&mut self.types[t.index()]).pe.remove(&s);
+        self.rev_remove(s, t);
         if self.types[t.index()].pe.is_empty() {
             if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
-                self.types[t.index()].pe.insert(root);
+                Arc::make_mut(&mut self.types[t.index()]).pe.insert(root);
+                self.rev_insert(root, t);
             }
         }
-        engine::recompute_after_many(self, &[t], ChangeKind::Edges);
+        self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
         Ok(())
     }
@@ -345,9 +379,9 @@ impl Schema {
     pub fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<bool> {
         self.check_live(t)?;
         self.check_live_prop(p)?;
-        let inserted = self.types[t.index()].ne.insert(p);
+        let inserted = Arc::make_mut(&mut self.types[t.index()]).ne.insert(p);
         if inserted {
-            engine::recompute_after_many(self, &[t], ChangeKind::PropsOnly);
+            self.note_change(&[t], ChangeKind::PropsOnly);
             self.bump_version();
         }
         Ok(inserted)
@@ -368,10 +402,11 @@ impl Schema {
     pub fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<()> {
         self.check_live(t)?;
         self.check_live_prop(p)?;
-        if !self.types[t.index()].ne.remove(&p) {
+        if !self.types[t.index()].ne.contains(&p) {
             return Err(SchemaError::NotAnEssentialProperty { ty: t, prop: p });
         }
-        engine::recompute_after_many(self, &[t], ChangeKind::PropsOnly);
+        Arc::make_mut(&mut self.types[t.index()]).ne.remove(&p);
+        self.note_change(&[t], ChangeKind::PropsOnly);
         self.bump_version();
         Ok(())
     }
@@ -394,16 +429,79 @@ impl Schema {
         ne: std::collections::BTreeSet<PropId>,
     ) -> TypeId {
         let t = TypeId::from_index(self.types.len());
-        self.by_name.insert(name.clone(), t);
-        self.types.push(TypeSlot {
+        Arc::make_mut(&mut self.by_name).insert(name.clone(), t);
+        let parents: Vec<TypeId> = pe.iter().copied().collect();
+        self.types.push(Arc::new(TypeSlot {
             name,
             alive: true,
             frozen: false,
             pe,
             ne,
-        });
-        self.derived.push(Default::default());
+        }));
+        self.derived.push(Arc::default());
+        self.rev.push(Arc::default());
+        for s in parents {
+            self.rev_insert(s, t);
+        }
         t
+    }
+
+    // ------------------------------------------------------------------
+    // Batched evolution
+    // ------------------------------------------------------------------
+
+    /// Run many evolution steps with **one** recomputation at the end.
+    ///
+    /// Inside the closure every operation validates and applies its
+    /// input edits (`P_e`/`N_e`) exactly as usual — all rejection rules are
+    /// input-level, so acceptance decisions are identical to running the
+    /// same operations un-batched — but the derivation of Axioms 5–9 is
+    /// deferred: change seeds accumulate and a single
+    /// `recompute_after_many` over their union runs when the closure
+    /// returns. A trace of `k` edits over a down-set of size `d` thus costs
+    /// one scoped derivation instead of `k` (the amortization the paper's
+    /// "efficient algorithms" future work asks for).
+    ///
+    /// **Mid-batch staleness:** while the closure runs, derived accessors
+    /// (`interface`, `super_lattice`, `verify`, …) reflect the state at
+    /// batch entry, not the pending edits; input accessors
+    /// (`essential_supertypes`, `essential_subtypes`, `type_by_name`, …)
+    /// are always current. Nested calls are flattened into the outer batch.
+    ///
+    /// **Errors:** if the closure fails mid-way, the already-applied input
+    /// edits remain (a plain `Schema` has no rollback) and the schema is
+    /// still recomputed to a consistent state before the error is returned.
+    /// For all-or-nothing semantics evolve a copy — exactly what
+    /// [`crate::SharedSchema::evolve_batch`] does: on `Err` the staged
+    /// clone is discarded and nothing is published.
+    pub fn evolve_batch<F, R>(&mut self, f: F) -> Result<R>
+    where
+        F: FnOnce(&mut Schema) -> Result<R>,
+    {
+        if self.batch.is_some() {
+            // Re-entrant: inner batches join the outer one.
+            return f(self);
+        }
+        self.batch = Some(BatchState::new());
+        let out = f(self);
+        let st = self.batch.take().expect("batch state set above");
+        if st.dirty {
+            let seeds: Vec<TypeId> = st.seeds.into_iter().collect();
+            crate::engine::recompute_after_many(self, &seeds, st.kind);
+        }
+        out
+    }
+
+    /// Apply a recorded operation trace as one batch (one recomputation).
+    /// Returns the number of operations applied; stops at the first
+    /// rejection (see [`Schema::evolve_batch`] for error semantics).
+    pub fn apply_trace(&mut self, ops: &[RecordedOp]) -> Result<usize> {
+        self.evolve_batch(|s| {
+            for op in ops {
+                op.apply(s)?;
+            }
+            Ok(ops.len())
+        })
     }
 }
 
@@ -636,6 +734,134 @@ mod tests {
                 .unwrap_err(),
             SchemaError::UnknownProp(PropId::from_index(99))
         );
+    }
+
+    #[test]
+    fn evolve_batch_matches_op_by_op() {
+        let body = |s: &mut Schema| -> Result<()> {
+            let p = s.add_property("x");
+            let a = s.add_type("A", [], [p])?;
+            let b = s.add_type("B", [a], [])?;
+            let c = s.add_type("C", [a], [])?;
+            s.add_essential_supertype(c, b)?;
+            s.drop_essential_supertype(c, a)?;
+            s.add_essential_property(b, p)?;
+            s.drop_type(a)?;
+            Ok(())
+        };
+        let (mut plain, _) = rooted();
+        body(&mut plain).unwrap();
+        let (mut batched, _) = rooted();
+        batched.evolve_batch(body).unwrap();
+        assert_eq!(plain.fingerprint(), batched.fingerprint());
+        assert!(batched.verify().is_empty());
+        assert!(crate::oracle::check_schema(&batched).is_empty());
+    }
+
+    #[test]
+    fn batch_performs_single_scoped_recompute() {
+        let (mut s, _) = rooted();
+        let a = s.add_type("A", [], []).unwrap();
+        let b = s.add_type("B", [a], []).unwrap();
+        s.reset_stats();
+        let p = s
+            .evolve_batch(|s| {
+                let p = s.add_property("x");
+                s.add_essential_property(a, p)?;
+                let q = s.add_property("y");
+                s.add_essential_property(b, q)?;
+                s.drop_essential_property(b, q)?;
+                Ok(p)
+            })
+            .unwrap();
+        assert_eq!(s.stats().scoped_recomputes, 1, "one recompute per batch");
+        assert_eq!(s.stats().full_recomputes, 0);
+        assert!(s.interface(b).unwrap().contains(&p));
+    }
+
+    #[test]
+    fn empty_affected_set_counts_as_noop_recompute() {
+        // A batch that adds and then drops the same type leaves no live
+        // seed: derive_scoped touches zero types. That must be recorded as
+        // a no-op, not inflate scoped_recomputes (which would skew the
+        // work-per-recompute ablation ratio).
+        let (mut s, _) = rooted();
+        s.reset_stats();
+        s.evolve_batch(|s| {
+            let x = s.add_type("X", [], [])?;
+            s.drop_type(x)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.stats().noop_recomputes, 1);
+        assert_eq!(s.stats().scoped_recomputes, 0);
+        assert_eq!(s.stats().last_types_derived, 0);
+        assert!(s.verify().is_empty());
+    }
+
+    #[test]
+    fn cycle_rejected_mid_batch_via_input_reachability() {
+        // Mid-batch the cached lattices are stale, so the cycle check runs
+        // on the inputs; the rejection must be identical to the un-batched
+        // one, and the schema must come out of the batch consistent.
+        let (mut s, _) = rooted();
+        let err = s
+            .evolve_batch(|s| {
+                let a = s.add_type("A", [], [])?;
+                let b = s.add_type("B", [a], [])?;
+                s.add_essential_supertype(a, b)
+            })
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::WouldCreateCycle { .. }));
+        // The failed batch still finalized into a consistent (if not rolled
+        // back) schema: A and B exist and all axioms hold.
+        assert!(s.type_by_name("A").is_some());
+        assert!(s.verify().is_empty());
+        assert!(crate::oracle::check_schema(&s).is_empty());
+    }
+
+    #[test]
+    fn nested_batches_flatten_into_outer() {
+        let (mut s, _) = rooted();
+        s.reset_stats();
+        s.evolve_batch(|s| {
+            let a = s.add_type("A", [], [])?;
+            s.evolve_batch(|s| s.add_type("B", [a], []).map(|_| ()))?;
+            s.add_type("C", [a], []).map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(
+            s.stats().scoped_recomputes + s.stats().full_recomputes,
+            1,
+            "inner batch must not recompute on its own"
+        );
+        assert!(s.verify().is_empty());
+    }
+
+    #[test]
+    fn apply_trace_is_one_batch() {
+        use crate::history::RecordedOp;
+        let (mut s, _) = rooted();
+        s.reset_stats();
+        let n = s
+            .apply_trace(&[
+                RecordedOp::AddProperty { name: "x".into() },
+                RecordedOp::AddType {
+                    name: "A".into(),
+                    supers: vec![],
+                    props: vec![PropId::from_index(0)],
+                },
+                RecordedOp::AddType {
+                    name: "B".into(),
+                    supers: vec![TypeId::from_index(1)],
+                    props: vec![],
+                },
+            ])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(s.stats().scoped_recomputes, 1);
+        let b = s.type_by_name("B").unwrap();
+        assert!(s.interface(b).unwrap().contains(&PropId::from_index(0)));
     }
 
     #[test]

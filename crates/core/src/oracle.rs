@@ -160,7 +160,9 @@ mod tests {
         let ta = s.type_by_name("T_teachingAssistant").unwrap();
         // Forge an extra member of PL(ta) that reachability does not justify.
         let ghost = s.add_type("Ghost", [], []).unwrap();
-        s.derived[ta.index()].pl.insert(ghost);
+        std::sync::Arc::make_mut(&mut s.derived[ta.index()])
+            .pl
+            .insert(ghost);
         assert_eq!(check_schema(&s), vec![ta]);
     }
 

@@ -48,14 +48,18 @@ impl Schema {
         // Tombstone everything outside the closure.
         let drop_list: Vec<TypeId> = out.iter_types().filter(|t| !keep.contains(t)).collect();
         for t in &drop_list {
-            let slot = &mut out.types[t.index()];
+            let slot = std::sync::Arc::make_mut(&mut out.types[t.index()]);
             slot.alive = false;
             slot.pe.clear();
             slot.ne.clear();
             let name = slot.name.clone();
-            out.by_name.remove(&name);
+            std::sync::Arc::make_mut(&mut out.by_name).remove(&name);
             out.derived[t.index()] = Default::default();
         }
+        // The keep-set is upward-closed, so no surviving type lists a dropped
+        // one in `P_e`; still, the dropped types' own entries must vanish
+        // from the reverse index — a wholesale rebuild is simplest here.
+        out.rebuild_subtype_index();
         // Root/base bookkeeping.
         if let Some(r) = out.root {
             if !keep.contains(&r) {

@@ -289,6 +289,7 @@ fn assemble(
             }
         }
     }
+    let types: Vec<std::sync::Arc<TypeSlot>> = types.into_iter().map(std::sync::Arc::new).collect();
     if crate::engine::topo_order(&types).is_none() {
         return Err(SnapshotError::InvalidInputs(
             "P_e graph contains a cycle (Axiom of Acyclicity)".into(),
@@ -313,14 +314,17 @@ fn assemble(
         config,
         derived: vec![Default::default(); types.len()],
         types,
-        props,
-        by_name,
+        props: props.into_iter().map(std::sync::Arc::new).collect(),
+        by_name: std::sync::Arc::new(by_name),
         root,
         base,
         engine,
         version: 0,
         stats: Default::default(),
+        rev: Vec::new(),
+        batch: None,
     };
+    schema.rebuild_subtype_index();
     schema.recompute_all();
     Ok(schema)
 }

@@ -306,6 +306,56 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched evolution is observationally equivalent to op-by-op
+    /// application: on both engines, running a whole trace inside
+    /// `evolve_batch` (one deferred recomputation) produces a schema with a
+    /// fingerprint identical to applying the same trace one operation at a
+    /// time (one recomputation each). The operation guards read only
+    /// designer inputs, so accept/reject decisions cannot diverge mid-batch.
+    #[test]
+    fn batched_trace_matches_op_by_op(
+        config in configs(),
+        trace in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        for engine in [EngineKind::Naive, EngineKind::Incremental] {
+            let single = build(config, engine, &trace);
+            let mut batched = Schema::with_engine(config, engine);
+            if config.is_rooted() {
+                batched.add_root_type("T_object").unwrap();
+            }
+            if config.is_pointed() {
+                batched.add_base_type("T_null").unwrap();
+            }
+            batched.reset_stats();
+            batched
+                .evolve_batch(|s| {
+                    let mut counter = 0;
+                    for op in &trace {
+                        apply(s, op, &mut counter);
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            prop_assert_eq!(
+                single.fingerprint(),
+                batched.fingerprint(),
+                "engine {:?}",
+                engine
+            );
+            let st = batched.stats();
+            prop_assert!(
+                st.scoped_recomputes + st.full_recomputes + st.noop_recomputes <= 1,
+                "one deferred recomputation at most: {st:?}"
+            );
+            prop_assert!(batched.verify().is_empty());
+            prop_assert!(oracle::check_schema(&batched).is_empty());
+        }
+    }
+}
+
 /// History ops mirror schema ops; drive a `History` with the same kind of
 /// randomized trace and check replay fidelity at every prefix.
 mod history_props {

@@ -20,4 +20,4 @@ pub use orion_gen::OrionGen;
 pub use scenarios::{
     engineering_design, medical_imaging, university, DesignStep, EngineeringDesign, University,
 };
-pub use trace::{apply_random_ops, OpMix, TraceStats};
+pub use trace::{apply_random_ops, apply_random_ops_batched, OpMix, TraceStats};

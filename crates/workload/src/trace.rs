@@ -120,6 +120,26 @@ pub fn apply_random_ops(schema: &mut Schema, n: usize, mix: OpMix, seed: u64) ->
     stats
 }
 
+/// Apply the same seeded trace as [`apply_random_ops`], but inside a single
+/// [`Schema::evolve_batch`] — one scoped recomputation amortized over all
+/// `n` operations instead of one per mutation.
+///
+/// The generator and the operation guards read only designer inputs
+/// (`P_e`/`N_e`, names, liveness), which are always current mid-batch, so
+/// accept/reject decisions — and therefore the final schema fingerprint —
+/// are identical to the op-by-op replay. A proptest pins this equivalence
+/// on both engines.
+pub fn apply_random_ops_batched(
+    schema: &mut Schema,
+    n: usize,
+    mix: OpMix,
+    seed: u64,
+) -> TraceStats {
+    schema
+        .evolve_batch(|s| Ok(apply_random_ops(s, n, mix, seed)))
+        .expect("trace replay classifies rejections instead of failing")
+}
+
 enum Outcome {
     Applied,
     Rejected,
@@ -283,6 +303,32 @@ mod tests {
             out.schema.fingerprint()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn batched_replay_matches_op_by_op() {
+        for seed in 0..3 {
+            let gen = LatticeGen {
+                types: 40,
+                seed,
+                ..Default::default()
+            };
+            let mut single = gen.generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+            let mut batched = gen.generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+            let s1 = apply_random_ops(&mut single.schema, 150, OpMix::BALANCED, seed ^ 0x5EED);
+            batched.schema.reset_stats();
+            let s2 =
+                apply_random_ops_batched(&mut batched.schema, 150, OpMix::BALANCED, seed ^ 0x5EED);
+            assert_eq!(s1, s2, "outcome counters must agree");
+            assert_eq!(single.schema.fingerprint(), batched.schema.fingerprint());
+            let st = batched.schema.stats();
+            assert_eq!(
+                st.scoped_recomputes + st.full_recomputes + st.noop_recomputes,
+                1,
+                "the whole batch shares one recomputation"
+            );
+            assert!(batched.schema.verify().is_empty());
+        }
     }
 
     #[test]

@@ -57,13 +57,24 @@ fn main() {
         }));
     }
 
-    // Writer: 300 evolution steps through the copy-on-write handle.
+    // Writer: 300 single-op evolution steps through the copy-on-write
+    // handle, then 10 batched steps of 20 ops each — the batch runs one
+    // shared recomputation off the lock and publishes one version, while
+    // the readers above keep snapshotting unimpeded.
     crossbeam::scope(|scope| {
         scope.spawn(|_| {
             for step in 0..300u64 {
                 shared
                     .evolve(|schema| {
                         apply_random_ops(schema, 1, OpMix::BALANCED, step);
+                        Ok(())
+                    })
+                    .expect("trace ops are tolerant");
+            }
+            for batch in 0..10u64 {
+                shared
+                    .evolve_batch(|schema| {
+                        apply_random_ops(schema, 20, OpMix::BALANCED, 1000 + batch);
                         Ok(())
                     })
                     .expect("trace ops are tolerant");

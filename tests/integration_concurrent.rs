@@ -2,7 +2,7 @@
 //! schema evolution under real concurrency, via crossbeam.
 
 use axiombase_core::{oracle, EngineKind, LatticeConfig, SharedSchema};
-use axiombase_workload::{apply_random_ops, LatticeGen, OpMix};
+use axiombase_workload::{apply_random_ops, apply_random_ops_batched, LatticeGen, OpMix};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -89,6 +89,90 @@ fn failed_steps_publish_nothing_concurrently() {
     assert_eq!(shared.version(), v0);
     assert_eq!(shared.snapshot().type_count(), 2);
     assert!(shared.snapshot().type_by_name("tmp").is_none());
+}
+
+/// Stress: a writer publishing *batched* evolution steps (many operations,
+/// one recomputation, one version each) while readers continuously verify
+/// every version they observe against the axioms and the brute-force
+/// oracle. The batched path must give readers exactly the same guarantees
+/// as op-by-op evolution: monotone versions, never a torn or stale lattice.
+#[test]
+fn batched_writer_readers_verify_every_version() {
+    let base = LatticeGen {
+        types: 30,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+    let shared = Arc::new(SharedSchema::new(base.schema));
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..3 {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let checked = Arc::clone(&checked);
+            scope.spawn(move |_| {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = shared.snapshot();
+                    assert!(snap.version() >= last, "versions must be monotone");
+                    if snap.version() != last {
+                        last = snap.version();
+                        assert!(snap.verify().is_empty());
+                        assert!(oracle::check_schema(&snap).is_empty());
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Writer: 40 batches of 8 operations each; readers snapshotting
+        // mid-batch must only ever see the pre-batch version.
+        for step in 0..40u64 {
+            shared
+                .evolve_batch(|s| {
+                    apply_random_ops(s, 8, OpMix::BALANCED, 0x00B5 ^ step);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    })
+    .unwrap();
+
+    assert!(
+        checked.load(Ordering::Relaxed) > 0,
+        "readers observed versions"
+    );
+    let final_schema = shared.snapshot();
+    assert!(final_schema.verify().is_empty());
+    assert!(oracle::check_schema(&final_schema).is_empty());
+}
+
+/// The shared batched replay publishes the same schema the plain in-place
+/// batched replay produces — concurrency plumbing adds no divergence.
+#[test]
+fn shared_batched_replay_matches_local() {
+    let gen = LatticeGen {
+        types: 25,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut local = gen.generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+    apply_random_ops_batched(&mut local.schema, 60, OpMix::BALANCED, 42);
+
+    let shared = SharedSchema::new(
+        gen.generate(LatticeConfig::TIGUKAT, EngineKind::Incremental)
+            .schema,
+    );
+    shared
+        .evolve_batch(|s| {
+            apply_random_ops(s, 60, OpMix::BALANCED, 42);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(local.schema.fingerprint(), shared.snapshot().fingerprint());
 }
 
 /// Two writers interleave safely: every published version is a superset of

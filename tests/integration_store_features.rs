@@ -116,6 +116,55 @@ fn plan_and_eager_propagation_converge() {
     }
 }
 
+/// A batched evolution publishes exactly one snapshot pair, and the
+/// migration plan computed from that pair carries the instance store across
+/// the whole batch in one pass — the store-propagation hook for
+/// `evolve_batch`.
+#[test]
+fn batched_evolution_yields_one_migration_plan() {
+    use axiombase_core::SharedSchema;
+
+    let mut s = axiombase_core::Schema::new(LatticeConfig::default());
+    let root = s.add_root_type("T_object").unwrap();
+    let part = s.add_type("Part", [root], []).unwrap();
+    let mass = s.define_property_on(part, "mass").unwrap();
+    let legacy = s.add_type("LegacyPart", [part], []).unwrap();
+    let shared = SharedSchema::new(s);
+
+    let mut store = ObjectStore::new(Policy::Lazy);
+    let old = shared.snapshot();
+    let o1 = store.create(&old, part).unwrap();
+    store.set(&old, o1, mass, Value::Real(1.0)).unwrap();
+    let orphan = store.create(&old, legacy).unwrap();
+
+    // One batch: new property, dropped type, new subtype — many edits, one
+    // shared recomputation, one atomically published version.
+    let lot = shared
+        .evolve_batch(|s| {
+            let lot = s.define_property_on(part, "lot")?;
+            s.drop_type(legacy)?;
+            s.add_type("Subassembly", [part], []).map(|_| lot)
+        })
+        .unwrap();
+    let new = shared.snapshot();
+
+    // The (pre, post) snapshot pair is the entire migration story.
+    let p = plan(&old, &new);
+    assert_eq!(p.dropped_types, vec![legacy]);
+    let stats = store
+        .apply_plan(&new, &p, OrphanAction::MigrateTo(part))
+        .unwrap();
+    assert_eq!(stats.orphans_migrated, 1);
+    assert!(store.record(orphan).is_ok());
+
+    // Every surviving Part instance answers the batch-added property.
+    let q = Select::all().and(Predicate::IsNull(lot));
+    assert_eq!(store.select(&new, part, &q).unwrap().len(), 2);
+    // And the old snapshot is untouched: it still knows nothing of `lot`.
+    assert!(old.type_by_name("Subassembly").is_none());
+    assert!(new.verify().is_empty());
+}
+
 /// Selection interacts correctly with schema projection: a query against a
 /// projected fragment sees exactly the instances whose types survive.
 #[test]
