@@ -7,6 +7,7 @@
 use std::collections::BTreeSet;
 use std::io::Write;
 
+use axiombase_core::journal::io::atomic_write_file;
 use axiombase_core::{
     diff, dot, oracle, EngineKind, History, LatticeConfig, PropId, Schema, TypeId,
 };
@@ -316,15 +317,20 @@ impl Session {
                     dot::EdgeSet::Minimal
                 };
                 let text = dot::to_dot(self.schema(), edges);
-                match std::fs::write(&path, text) {
+                match atomic_write_file(std::path::Path::new(&path), text.as_bytes()) {
                     Ok(()) => writeln!(out, "wrote DOT lattice to {path}")?,
                     Err(e) => writeln!(out, "export failed: {e}")?,
                 }
             }
-            Command::Save(path) => match std::fs::write(&path, self.schema().to_snapshot()) {
-                Ok(()) => writeln!(out, "saved to {path}")?,
-                Err(e) => writeln!(out, "save failed: {e}")?,
-            },
+            Command::Save(path) => {
+                match atomic_write_file(
+                    std::path::Path::new(&path),
+                    self.schema().to_snapshot().as_bytes(),
+                ) {
+                    Ok(()) => writeln!(out, "saved to {path}")?,
+                    Err(e) => writeln!(out, "save failed: {e}")?,
+                }
+            }
             Command::Load(path) => match std::fs::read_to_string(&path) {
                 Ok(text) => match Schema::from_snapshot(&text) {
                     Ok(s) => {

@@ -1,0 +1,315 @@
+//! Journal subcommands: initialise, recover, checkpoint, and inspect a
+//! crash-safe evolution journal (see `axiombase-core`'s `journal` module).
+//!
+//! ```text
+//! axiombase journal-init DIR [SNAPSHOT]   # new journal (from a snapshot, or fresh)
+//! axiombase recover DIR [--salvage] [--json]
+//! axiombase checkpoint DIR [--json]       # recover, then force a checkpoint
+//! axiombase log DIR [--json]              # read-only WAL listing
+//! ```
+//!
+//! `recover` and `checkpoint` repair the directory (truncating a torn
+//! tail); `log` never writes. All exit 0 on success, 1 on failure, 2 on
+//! usage errors.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use axiombase_core::journal::io::StdIo;
+use axiombase_core::journal::wire::encode_op;
+use axiombase_core::journal::Journal;
+use axiombase_core::{LatticeConfig, RecoveryMode, Schema};
+
+/// Parse `DIR [flags...]` where only the listed flags are accepted.
+/// Returns `(dir, flag_set)` or a usage message.
+fn parse_args<'a>(
+    rest: &[&'a str],
+    allowed: &[&str],
+    usage: &str,
+) -> Result<(&'a str, Vec<&'a str>), String> {
+    let mut dir = None;
+    let mut flags = Vec::new();
+    for a in rest {
+        if a.starts_with("--") {
+            if allowed.contains(a) {
+                flags.push(*a);
+            } else {
+                return Err(format!("unknown flag {a}\nusage: {usage}"));
+            }
+        } else if dir.is_none() {
+            dir = Some(*a);
+        } else {
+            return Err(format!("unexpected argument {a}\nusage: {usage}"));
+        }
+    }
+    match dir {
+        Some(d) => Ok((d, flags)),
+        None => Err(format!("usage: {usage}")),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `axiombase journal-init DIR [SNAPSHOT]` — create a fresh journal whose
+/// first checkpoint is the given snapshot file (or the default rooted
+/// schema when none is given).
+pub fn init(rest: &[&str]) -> i32 {
+    let usage = "axiombase journal-init DIR [SNAPSHOT]";
+    let (dir, snapshot) = match rest {
+        [dir] => (*dir, None),
+        [dir, snap] => (*dir, Some(*snap)),
+        _ => {
+            eprintln!("usage: {usage}");
+            return 2;
+        }
+    };
+    let schema = match snapshot {
+        None => {
+            let mut s = Schema::new(LatticeConfig::default());
+            s.add_root_type("T_object").expect("fresh schema");
+            s
+        }
+        Some(path) => match Schema::load_from(Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                return 1;
+            }
+        },
+    };
+    match Journal::create(Path::new(dir), Arc::new(StdIo), &schema) {
+        Ok(j) => {
+            println!(
+                "initialised journal in {dir} ({} types, sequence {})",
+                schema.type_count(),
+                j.seq()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("journal-init failed: {e}");
+            1
+        }
+    }
+}
+
+/// `axiombase recover DIR [--salvage] [--json]` — run recovery and print
+/// the report. Strict mode refuses corrupt (checksummed-but-wrong)
+/// records; `--salvage` truncates them instead and reports what was
+/// dropped.
+pub fn recover(rest: &[&str]) -> i32 {
+    let usage = "axiombase recover DIR [--salvage] [--json]";
+    let (dir, flags) = match parse_args(rest, &["--salvage", "--json"], usage) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mode = if flags.contains(&"--salvage") {
+        RecoveryMode::Salvage
+    } else {
+        RecoveryMode::Strict
+    };
+    match Journal::open(Path::new(dir), Arc::new(StdIo), mode) {
+        Ok((_journal, schema, report)) => {
+            if flags.contains(&"--json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+                println!(
+                    "schema: {} types, {} properties, fingerprint {:016x}",
+                    schema.type_count(),
+                    schema.prop_count(),
+                    schema.fingerprint()
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("recover failed: {e}");
+            1
+        }
+    }
+}
+
+/// `axiombase checkpoint DIR [--json]` — recover (strict), then write a
+/// fresh checkpoint at the recovered sequence and prune obsolete files.
+pub fn checkpoint(rest: &[&str]) -> i32 {
+    let usage = "axiombase checkpoint DIR [--json]";
+    let (dir, flags) = match parse_args(rest, &["--json"], usage) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let (mut journal, schema, report) =
+        match Journal::open(Path::new(dir), Arc::new(StdIo), RecoveryMode::Strict) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("checkpoint failed: {e}");
+                return 1;
+            }
+        };
+    if let Err(e) = journal.checkpoint(&schema) {
+        eprintln!("checkpoint failed: {e}");
+        return 1;
+    }
+    if flags.contains(&"--json") {
+        println!(
+            "{{\"checkpoint_seq\": {}, \"replayed\": {}, \"fingerprint\": \"{:016x}\"}}",
+            journal.seq(),
+            report.replayed,
+            schema.fingerprint()
+        );
+    } else {
+        println!(
+            "checkpointed {dir} at sequence {} ({} replayed records folded in)",
+            journal.seq(),
+            report.replayed
+        );
+    }
+    0
+}
+
+/// `axiombase log DIR [--json]` — read-only listing of the journal: the
+/// active checkpoint plus every decodable WAL record, with any torn or
+/// corrupt tail reported (but left untouched).
+pub fn log(rest: &[&str]) -> i32 {
+    let usage = "axiombase log DIR [--json]";
+    let (dir, flags) = match parse_args(rest, &["--json"], usage) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let ins = match Journal::inspect(Path::new(dir), &StdIo) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("log failed: {e}");
+            return 1;
+        }
+    };
+    if flags.contains(&"--json") {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"checkpoint_file\": \"{}\", \"checkpoint_seq\": {}, \"entries\": [",
+            json_escape(&ins.checkpoint_file),
+            ins.checkpoint_seq
+        ));
+        for (i, e) in ins.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"file\": \"{}\", \"offset\": {}, \"op\": \"{}\", \"covered\": {}}}",
+                e.seq,
+                json_escape(&e.file),
+                e.offset,
+                json_escape(&encode_op(&e.op)),
+                e.seq <= ins.checkpoint_seq
+            ));
+        }
+        out.push_str("], \"tail\": ");
+        match &ins.tail {
+            None => out.push_str("null"),
+            Some(t) => out.push_str(&format!(
+                "{{\"file\": \"{}\", \"offset\": {}, \"bytes\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(&t.file),
+                t.offset,
+                t.bytes,
+                t.kind,
+                json_escape(&t.detail)
+            )),
+        }
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!(
+            "checkpoint {} (sequence {})",
+            ins.checkpoint_file, ins.checkpoint_seq
+        );
+        for e in &ins.entries {
+            let covered = if e.seq <= ins.checkpoint_seq {
+                " [covered]"
+            } else {
+                ""
+            };
+            println!(
+                "{:>8}  {}@{}  {}{}",
+                e.seq,
+                e.file,
+                e.offset,
+                encode_op(&e.op),
+                covered
+            );
+        }
+        match &ins.tail {
+            None => println!("tail: clean"),
+            Some(t) => println!(
+                "tail: {} — {} bytes at {}@{} ({})",
+                t.kind, t.bytes, t.file, t.offset, t.detail
+            ),
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("axb-journal-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn init_recover_checkpoint_log_happy_path() {
+        let dir = tmp_dir("happy");
+        let d = dir.to_str().unwrap();
+        assert_eq!(init(&[d]), 0);
+        assert_eq!(init(&[d]), 1, "double init must fail");
+        assert_eq!(recover(&[d]), 0);
+        assert_eq!(recover(&[d, "--json"]), 0);
+        assert_eq!(log(&[d]), 0);
+        assert_eq!(log(&[d, "--json"]), 0);
+        assert_eq!(checkpoint(&[d]), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(recover(&[]), 2);
+        assert_eq!(recover(&["somewhere", "--bogus"]), 2);
+        assert_eq!(checkpoint(&[]), 2);
+        assert_eq!(log(&[]), 2);
+        assert_eq!(init(&[]), 2);
+    }
+
+    #[test]
+    fn recover_on_missing_dir_fails_cleanly() {
+        let dir = tmp_dir("missing");
+        let d = dir.to_str().unwrap();
+        assert_eq!(recover(&[d]), 1);
+        assert_eq!(log(&[d]), 1);
+    }
+}

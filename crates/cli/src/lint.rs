@@ -153,8 +153,11 @@ fn lint_one(path: &str, text: &str, fix: bool) -> Result<FileReport, String> {
         let fixes_applied = if fix {
             let n = canonicalize(&mut schema);
             if n > 0 {
-                std::fs::write(path, schema.to_snapshot())
-                    .map_err(|e| format!("cannot write fixed snapshot: {e}"))?;
+                axiombase_core::journal::io::atomic_write_file(
+                    std::path::Path::new(path),
+                    schema.to_snapshot().as_bytes(),
+                )
+                .map_err(|e| format!("cannot write fixed snapshot: {e}"))?;
             }
             n
         } else {

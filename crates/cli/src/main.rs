@@ -8,13 +8,19 @@
 //! axiombase run SCRIPT     # execute a command script, then exit
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
 //! axiombase lint FILE...   # static analysis (L1-L6) of snapshots/scripts
+//! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
+//! axiombase recover DIR [--salvage] [--json]   # replay + repair a journal
+//! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
+//! axiombase log DIR [--json]             # read-only journal listing
 //! ```
 //!
 //! The command language is documented by `help` (see `command.rs`); the lint
-//! subcommand's flags are documented in [`lint`].
+//! subcommand's flags are documented in [`lint`], the journal subcommands
+//! in [`journal_cmd`].
 
 mod command;
 mod exec;
+mod journal_cmd;
 mod lint;
 
 use std::io::{BufRead, Write};
@@ -33,8 +39,15 @@ fn main() {
         ["run", path] => run_script(path),
         ["check", path] => check_snapshot(path),
         ["lint", rest @ ..] => lint::run(rest),
+        ["journal-init", rest @ ..] => journal_cmd::init(rest),
+        ["recover", rest @ ..] => journal_cmd::recover(rest),
+        ["checkpoint", rest @ ..] => journal_cmd::checkpoint(rest),
+        ["log", rest @ ..] => journal_cmd::log(rest),
         _ => {
-            eprintln!("usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE...]");
+            eprintln!(
+                "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
+                 journal-init DIR [SNAPSHOT] | recover DIR | checkpoint DIR | log DIR]"
+            );
             2
         }
     };

@@ -33,6 +33,15 @@
 //! all-or-nothing semantics that the plain [`Schema::evolve_batch`]
 //! (which keeps successfully applied inputs on error) cannot give by
 //! itself.
+//!
+//! # Writer panics
+//!
+//! A panic inside an evolve closure unwinds while only the *staged clone*
+//! is being mutated — the published version is untouched — and the locks
+//! used here are non-poisoning, so after the unwind readers keep
+//! snapshotting and other writers keep evolving as if the failed step had
+//! simply been rejected (regression-tested below with `catch_unwind` and a
+//! panicking writer thread).
 
 use std::sync::Arc;
 
@@ -98,10 +107,26 @@ impl SharedSchema {
     where
         F: FnOnce(&mut Schema) -> Result<R>,
     {
+        self.evolve_commit(f, |_| Ok(()))
+    }
+
+    /// Like [`SharedSchema::evolve`], but with a commit hook that runs
+    /// after the mutation succeeds and **before** the new version is
+    /// published. If the hook fails nothing is published — this is the
+    /// write-ahead ordering hook the durability layer
+    /// ([`crate::journal::JournaledSchema`]) uses to append and fsync an
+    /// operation's journal record before any reader can observe its
+    /// effects.
+    pub fn evolve_commit<F, C, R, E>(&self, f: F, commit: C) -> std::result::Result<R, E>
+    where
+        F: FnOnce(&mut Schema) -> std::result::Result<R, E>,
+        C: FnOnce(&Schema) -> std::result::Result<(), E>,
+    {
         let _writer = self.writer.lock();
         // Read lock held only for the Arc clone inside `snapshot()`.
         let mut next = (*self.snapshot()).clone();
         let out = f(&mut next)?;
+        commit(&next)?;
         // Publish: a single pointer swap under the write lock.
         *self.current.write() = Arc::new(next);
         Ok(out)
@@ -287,6 +312,72 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(sh.snapshot().type_count(), 51);
+    }
+
+    #[test]
+    fn panicking_writer_neither_poisons_nor_publishes() {
+        // Satellite: a panic during evolve must not poison the writer
+        // mutex or leave readers unable to snapshot(). Exercised two ways:
+        // same-thread catch_unwind and a panicking writer thread.
+        let sh = Arc::new(shared());
+        let v0 = sh.version();
+
+        let sh2 = Arc::clone(&sh);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            sh2.evolve(|s| {
+                s.add_type("half-done", [], [])?;
+                panic!("writer died mid-evolution");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+            .unwrap();
+        }));
+        assert!(r.is_err(), "the panic must propagate");
+
+        let sh3 = Arc::clone(&sh);
+        let t = std::thread::spawn(move || {
+            sh3.evolve(|_| -> Result<()> { panic!("thread writer died") })
+                .unwrap();
+        });
+        assert!(t.join().is_err());
+
+        // Readers still work and saw nothing of the doomed steps.
+        let snap = sh.snapshot();
+        assert_eq!(snap.version(), v0);
+        assert!(snap.type_by_name("half-done").is_none());
+        // The writer path still works: the mutex was not poisoned.
+        sh.evolve(|s| s.add_type("after", [], []).map(|_| ()))
+            .unwrap();
+        assert!(sh.snapshot().type_by_name("after").is_some());
+    }
+
+    #[test]
+    fn evolve_commit_failure_publishes_nothing() {
+        let sh = shared();
+        let v0 = sh.version();
+        let err = sh
+            .evolve_commit(
+                |s| s.add_type("staged", [], []).map(|_| ()).map_err(|_| "op"),
+                |_next| Err("commit hook refused"),
+            )
+            .unwrap_err();
+        assert_eq!(err, "commit hook refused");
+        assert_eq!(sh.version(), v0);
+        assert!(sh.snapshot().type_by_name("staged").is_none());
+
+        // And when the hook accepts, the step publishes normally.
+        sh.evolve_commit::<_, _, _, &str>(
+            |s| s.add_type("ok", [], []).map(|_| ()).map_err(|_| "op"),
+            |next| {
+                assert!(
+                    next.type_by_name("ok").is_some(),
+                    "hook sees the staged state"
+                );
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(sh.snapshot().type_by_name("ok").is_some());
     }
 
     #[test]

@@ -1,0 +1,1399 @@
+//! Crash-safe durability for schema evolution: WAL + atomic checkpoints.
+//!
+//! The paper's central reduction makes durability cheap to *specify*: since
+//! every schema change is an edit of the designer inputs `P_e`/`N_e` and the
+//! axioms re-derive everything else (§2, §4), a log of operations plus an
+//! occasional inputs-only snapshot is a complete, auditable record of the
+//! objectbase. This module makes it cheap to *get right*:
+//!
+//! - an **append-only WAL** of length-framed, CRC32-checksummed
+//!   [`RecordedOp`] records (the same vocabulary [`crate::History`] replays) —
+//!   see [`wire`];
+//! - **atomic checkpoints** of the inputs-only snapshot format (write
+//!   `*.tmp`, fsync file, rename, fsync directory) so the previous good
+//!   checkpoint is never damaged by a crash mid-checkpoint;
+//! - a **recovery routine** ([`Journal::open`]) that loads the newest valid
+//!   checkpoint, replays the valid log prefix, and truncates a torn tail;
+//!   [`RecoveryMode::Salvage`] additionally drops a *corrupt* suffix and
+//!   reports exactly which bytes were dropped, mirroring
+//!   [`crate::History::apply_trace`]'s applied-prefix semantics.
+//!
+//! # On-disk layout
+//!
+//! A journal directory holds `checkpoint-<seq:016x>.axb` files (a one-line
+//! checksummed header followed by a [`crate::snapshot`] text) and
+//! `wal-<seq:016x>.log` files (the [`wire::WAL_MAGIC`] line followed by
+//! frames). The hex field is the **base sequence number**: the checkpoint
+//! captures the schema after operation `seq`, and the WAL created alongside
+//! it holds operations `> seq`. Sequence numbers are global and never
+//! reused, so replay can always skip records already covered by a
+//! checkpoint — recovery is idempotent and immune to the crash window
+//! between a checkpoint rename and the WAL switch-over.
+//!
+//! # The applied-prefix guarantee
+//!
+//! [`JournaledSchema`] appends to the WAL and fsyncs **before** publishing
+//! a new schema version (write-ahead order), and a crash at any I/O point
+//! loses at most the *unacknowledged* suffix: after recovery the schema
+//! equals the initial schema plus exactly the acknowledged prefix of
+//! operations — the crash-time analogue of the applied-prefix semantics
+//! that `History::apply_trace` gives for rejected operations. The
+//! crash-point sweep in `workload/tests/recovery_sweep.rs` asserts this
+//! fingerprint-for-fingerprint at every injected I/O failure point.
+//!
+//! All file I/O goes through the [`JournalIo`] trait ([`io`]), so the same
+//! code path that runs in production is the one the fault-injection tests
+//! crash at every opportunity.
+
+pub mod io;
+pub mod wire;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::concurrent::SharedSchema;
+use crate::error::SchemaError;
+use crate::history::RecordedOp;
+use crate::model::Schema;
+
+use io::{atomic_write, JournalIo};
+use wire::{crc32, encode_frame, read_frame, FrameResult, WAL_MAGIC};
+
+/// Errors raised by the durability layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// An underlying I/O operation failed (message only, keeping the error
+    /// `Clone`/`PartialEq`).
+    Io(String),
+    /// A complete WAL record failed its checksum or did not decode.
+    Corrupt {
+        /// File the corruption was found in.
+        file: String,
+        /// Byte offset of the corrupt frame.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A checkpoint file is damaged (bad header, checksum, or snapshot).
+    BadCheckpoint {
+        /// The checkpoint file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The directory holds no (valid) checkpoint to recover from.
+    NoCheckpoint,
+    /// [`Journal::create`] found an existing journal in the directory.
+    AlreadyExists,
+    /// A previous I/O failure left the journal in an unknown on-disk state;
+    /// all further appends are refused until recovery reopens it.
+    Wedged,
+    /// A schema operation was rejected (the journal is untouched).
+    Schema(SchemaError),
+    /// A logged operation was rejected during replay — the log does not
+    /// match the checkpoint it claims to extend.
+    Replay {
+        /// Sequence number of the failing record.
+        seq: u64,
+        /// The rejection.
+        source: SchemaError,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(d) => write!(f, "journal io error: {d}"),
+            JournalError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt record in {file} at byte {offset}: {detail}"),
+            JournalError::BadCheckpoint { file, detail } => {
+                write!(f, "bad checkpoint {file}: {detail}")
+            }
+            JournalError::NoCheckpoint => write!(f, "no valid checkpoint found"),
+            JournalError::AlreadyExists => write!(f, "journal already exists"),
+            JournalError::Wedged => write!(
+                f,
+                "journal wedged by an earlier I/O failure; reopen to recover"
+            ),
+            JournalError::Schema(e) => write!(f, "schema operation rejected: {e}"),
+            JournalError::Replay { seq, source } => {
+                write!(f, "replay of op {seq} rejected: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<SchemaError> for JournalError {
+    fn from(e: SchemaError) -> Self {
+        JournalError::Schema(e)
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// How recovery treats *corruption* (torn tails are always truncated —
+/// they are unacknowledged by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// A corrupt record or checkpoint is an error: recovery refuses and
+    /// reports exactly where. Nothing is modified.
+    #[default]
+    Strict,
+    /// Recover the longest valid prefix: skip damaged checkpoints, truncate
+    /// the log at the first corrupt record, and report exactly which
+    /// suffix was dropped.
+    Salvage,
+}
+
+/// Why a log suffix was dropped during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// The file ended inside a frame — a crash mid-append. The record was
+    /// never acknowledged, so nothing durable is lost.
+    TornTail,
+    /// A complete frame failed its checksum or did not decode (salvage
+    /// mode only — strict mode refuses instead).
+    Corrupt,
+    /// Valid records whose sequence numbers do not chain onto the
+    /// recovered prefix (salvage mode only).
+    SequenceGap,
+    /// A logged operation was rejected by the schema during replay
+    /// (salvage mode only).
+    ReplayRejected,
+}
+
+impl std::fmt::Display for DropKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropKind::TornTail => "torn tail",
+            DropKind::Corrupt => "corrupt record",
+            DropKind::SequenceGap => "sequence gap",
+            DropKind::ReplayRejected => "replay rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The log suffix recovery dropped, reported byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroppedTail {
+    /// WAL file the suffix was dropped from.
+    pub file: String,
+    /// Byte offset the file was truncated to.
+    pub offset: usize,
+    /// Number of bytes dropped.
+    pub bytes: usize,
+    /// Why the suffix was invalid.
+    pub kind: DropKind,
+    /// Human-readable detail (checksum values, decode error, …).
+    pub detail: String,
+}
+
+/// A checkpoint file salvage-mode recovery skipped over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedCheckpoint {
+    /// The damaged checkpoint file.
+    pub file: String,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The checkpoint file recovery started from.
+    pub checkpoint_file: String,
+    /// Its base sequence number.
+    pub checkpoint_seq: u64,
+    /// Number of WAL records replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// The recovered sequence number (`checkpoint_seq` + replayed records,
+    /// counting records skipped as already covered).
+    pub seq: u64,
+    /// Damaged checkpoints skipped (salvage mode).
+    pub skipped_checkpoints: Vec<SkippedCheckpoint>,
+    /// The invalid suffix dropped from the log, if any.
+    pub dropped_tail: Option<DroppedTail>,
+}
+
+impl RecoveryReport {
+    /// Render the report as human-readable text (the CLI's default output).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "recovered from {} (seq {}), replayed {} op(s), now at seq {}",
+            self.checkpoint_file, self.checkpoint_seq, self.replayed, self.seq
+        );
+        for s in &self.skipped_checkpoints {
+            let _ = writeln!(out, "skipped damaged checkpoint {}: {}", s.file, s.detail);
+        }
+        if let Some(d) = &self.dropped_tail {
+            let _ = writeln!(
+                out,
+                "dropped {} byte(s) at {}+{} ({}): {}",
+                d.bytes, d.file, d.offset, d.kind, d.detail
+            );
+        } else {
+            let _ = writeln!(out, "log tail clean: nothing dropped");
+        }
+        out
+    }
+
+    /// Render the report as a JSON object (the CLI's `--json` output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!(
+            "\"checkpoint_file\":{:?},\"checkpoint_seq\":{},\"replayed\":{},\"seq\":{}",
+            self.checkpoint_file, self.checkpoint_seq, self.replayed, self.seq
+        ));
+        out.push_str(",\"skipped_checkpoints\":[");
+        for (i, s) in self.skipped_checkpoints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{:?},\"detail\":{:?}}}",
+                s.file, s.detail
+            ));
+        }
+        out.push(']');
+        match &self.dropped_tail {
+            Some(d) => out.push_str(&format!(
+                ",\"dropped_tail\":{{\"file\":{:?},\"offset\":{},\"bytes\":{},\"kind\":\"{}\",\"detail\":{:?}}}",
+                d.file, d.offset, d.bytes, d.kind, d.detail
+            )),
+            None => out.push_str(",\"dropped_tail\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn checkpoint_name(seq: u64) -> String {
+    format!("checkpoint-{seq:016x}.axb")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.log")
+}
+
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Render a checkpoint file: checksummed header + inputs-only snapshot.
+fn render_checkpoint(seq: u64, schema: &Schema) -> Vec<u8> {
+    let body = schema.to_snapshot();
+    let crc = crc32(&[body.as_bytes()]);
+    let mut out = format!("axbcheckpoint v1 seq {seq} crc {crc:08x}\n").into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Parse and validate a checkpoint file read from `file`.
+fn parse_checkpoint(file: &str, data: &[u8]) -> Result<(u64, Schema), JournalError> {
+    let bad = |detail: String| JournalError::BadCheckpoint {
+        file: file.to_string(),
+        detail,
+    };
+    let text = std::str::from_utf8(data).map_err(|e| bad(format!("not UTF-8: {e}")))?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| bad("missing header line".into()))?;
+    let words: Vec<&str> = header.split_whitespace().collect();
+    let (seq, crc_hex) = match words.as_slice() {
+        ["axbcheckpoint", "v1", "seq", seq, "crc", crc] => (*seq, *crc),
+        _ => return Err(bad(format!("bad header {header:?}"))),
+    };
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| bad(format!("bad seq {seq:?} in header")))?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| bad(format!("bad crc {crc_hex:?}")))?;
+    let got = crc32(&[body.as_bytes()]);
+    if got != want {
+        return Err(bad(format!(
+            "checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+        )));
+    }
+    let schema = Schema::from_snapshot(body).map_err(|e| bad(format!("bad snapshot: {e}")))?;
+    Ok((seq, schema))
+}
+
+/// One decoded WAL entry (used by [`Journal::inspect`] / the CLI `log`
+/// subcommand).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Global sequence number of the operation.
+    pub seq: u64,
+    /// The operation.
+    pub op: RecordedOp,
+    /// WAL file the record lives in.
+    pub file: String,
+    /// Byte offset of the frame within that file.
+    pub offset: usize,
+}
+
+/// A read-only scan of a journal directory (see [`Journal::inspect`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inspection {
+    /// Base sequence number of the newest readable checkpoint.
+    pub checkpoint_seq: u64,
+    /// Its file name.
+    pub checkpoint_file: String,
+    /// All decodable WAL entries, in file/offset order (including records
+    /// already covered by the checkpoint, flagged by `seq <=
+    /// checkpoint_seq`).
+    pub entries: Vec<LogEntry>,
+    /// Torn or corrupt bytes found at the end of the scan, if any. A
+    /// read-only scan reports them but modifies nothing.
+    pub tail: Option<DroppedTail>,
+}
+
+/// An open, append-able evolution journal.
+///
+/// Low-level handle: it sequences and persists operations but does not
+/// apply them to any schema — [`JournaledSchema`] couples it to a
+/// [`SharedSchema`] with write-ahead ordering. All I/O goes through the
+/// [`JournalIo`] passed at creation.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    io: Arc<dyn JournalIo>,
+    /// Sequence number of the last durable operation.
+    seq: u64,
+    /// Base sequence of the active WAL file (its name).
+    wal_base: u64,
+    /// Set when an I/O failure leaves the on-disk state unknown; all
+    /// appends refuse until the journal is reopened (recovered).
+    wedged: bool,
+}
+
+impl Journal {
+    /// Initialise a new journal in `dir` holding `schema` as its first
+    /// checkpoint (sequence 0). Fails with [`JournalError::AlreadyExists`]
+    /// if the directory already contains a checkpoint.
+    pub fn create(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: &Schema,
+    ) -> Result<Journal, JournalError> {
+        io.create_dir_all(dir)?;
+        let existing = io.list(dir)?;
+        if existing
+            .iter()
+            .any(|n| parse_name(n, "checkpoint-", ".axb").is_some())
+        {
+            return Err(JournalError::AlreadyExists);
+        }
+        let mut j = Journal {
+            dir: dir.to_path_buf(),
+            io,
+            seq: 0,
+            wal_base: 0,
+            wedged: false,
+        };
+        j.write_checkpoint(schema)?;
+        Ok(j)
+    }
+
+    /// Recover a journal from `dir`: load the newest valid checkpoint,
+    /// replay the valid log prefix, truncate a torn tail, and return the
+    /// journal handle, the recovered schema, and a byte-accurate report.
+    /// See [`RecoveryMode`] for how corruption (as opposed to tearing) is
+    /// treated.
+    pub fn open(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mode: RecoveryMode,
+    ) -> Result<(Journal, Schema, RecoveryReport), JournalError> {
+        let names = io.list(dir)?;
+
+        // Newest valid checkpoint.
+        let mut checkpoints: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "checkpoint-", ".axb").map(|s| (s, n.clone())))
+            .collect();
+        checkpoints.sort();
+        let mut skipped_checkpoints = Vec::new();
+        let mut start: Option<(u64, String, Schema)> = None;
+        for (seq, name) in checkpoints.iter().rev() {
+            let data = io.read(&dir.join(name))?;
+            match parse_checkpoint(name, &data) {
+                Ok((hdr_seq, schema)) if hdr_seq == *seq => {
+                    start = Some((*seq, name.clone(), schema));
+                    break;
+                }
+                Ok((hdr_seq, _)) => {
+                    let detail = format!("header seq {hdr_seq} does not match file name seq {seq}");
+                    match mode {
+                        RecoveryMode::Strict => {
+                            return Err(JournalError::BadCheckpoint {
+                                file: name.clone(),
+                                detail,
+                            })
+                        }
+                        RecoveryMode::Salvage => skipped_checkpoints.push(SkippedCheckpoint {
+                            file: name.clone(),
+                            detail,
+                        }),
+                    }
+                }
+                Err(e) => match mode {
+                    RecoveryMode::Strict => return Err(e),
+                    RecoveryMode::Salvage => {
+                        let detail = match &e {
+                            JournalError::BadCheckpoint { detail, .. } => detail.clone(),
+                            other => other.to_string(),
+                        };
+                        skipped_checkpoints.push(SkippedCheckpoint {
+                            file: name.clone(),
+                            detail,
+                        });
+                    }
+                },
+            }
+        }
+        let (checkpoint_seq, checkpoint_file, mut schema) =
+            start.ok_or(JournalError::NoCheckpoint)?;
+
+        // Replay WAL files in base order, skipping records the checkpoint
+        // already covers (sequence numbers are global, so this is exact).
+        let mut wals: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "wal-", ".log").map(|s| (s, n.clone())))
+            .collect();
+        wals.sort();
+        let mut seq = checkpoint_seq;
+        let mut replayed = 0usize;
+        let mut dropped_tail: Option<DroppedTail> = None;
+
+        'wal_files: for (i, (_base, name)) in wals.iter().enumerate() {
+            let path = dir.join(name);
+            let data = io.read(&path)?;
+            let is_last = i + 1 == wals.len();
+
+            // A truncate-to-offset that also records what was dropped.
+            let drop_suffix = |offset: usize,
+                               kind: DropKind,
+                               detail: String|
+             -> Result<DroppedTail, JournalError> {
+                io.truncate(&path, offset as u64)?;
+                io.fsync(&path)?;
+                Ok(DroppedTail {
+                    file: name.clone(),
+                    offset,
+                    bytes: data.len() - offset,
+                    kind,
+                    detail,
+                })
+            };
+
+            if !data.starts_with(WAL_MAGIC) {
+                if WAL_MAGIC.starts_with(&data[..]) {
+                    // Torn WAL creation: the file was never acknowledged
+                    // with any record. Rewrite the magic and use it.
+                    io.write(&path, WAL_MAGIC)?;
+                    io.fsync(&path)?;
+                    continue;
+                }
+                let detail = "bad wal magic".to_string();
+                match mode {
+                    RecoveryMode::Strict => {
+                        return Err(JournalError::Corrupt {
+                            file: name.clone(),
+                            offset: 0,
+                            detail,
+                        })
+                    }
+                    RecoveryMode::Salvage => {
+                        // Reset the file to an empty WAL; everything in it
+                        // is unreadable.
+                        io.write(&path, WAL_MAGIC)?;
+                        io.fsync(&path)?;
+                        dropped_tail = Some(DroppedTail {
+                            file: name.clone(),
+                            offset: 0,
+                            bytes: data.len(),
+                            kind: DropKind::Corrupt,
+                            detail,
+                        });
+                        break 'wal_files;
+                    }
+                }
+            }
+
+            let mut off = WAL_MAGIC.len();
+            loop {
+                match read_frame(&data, off) {
+                    FrameResult::End => break,
+                    FrameResult::Record(frame) => {
+                        if frame.seq <= seq {
+                            // Already covered by the checkpoint (or an
+                            // earlier WAL file); skip.
+                            off = frame.next;
+                            continue;
+                        }
+                        if frame.seq != seq + 1 {
+                            let detail =
+                                format!("sequence gap: expected {} found {}", seq + 1, frame.seq);
+                            match mode {
+                                RecoveryMode::Strict => {
+                                    return Err(JournalError::Corrupt {
+                                        file: name.clone(),
+                                        offset: off,
+                                        detail,
+                                    })
+                                }
+                                RecoveryMode::Salvage => {
+                                    dropped_tail =
+                                        Some(drop_suffix(off, DropKind::SequenceGap, detail)?);
+                                    break 'wal_files;
+                                }
+                            }
+                        }
+                        if let Err(e) = frame.op.apply(&mut schema) {
+                            match mode {
+                                RecoveryMode::Strict => {
+                                    return Err(JournalError::Replay {
+                                        seq: frame.seq,
+                                        source: e,
+                                    })
+                                }
+                                RecoveryMode::Salvage => {
+                                    let detail = format!("op {} rejected: {e}", frame.seq);
+                                    dropped_tail =
+                                        Some(drop_suffix(off, DropKind::ReplayRejected, detail)?);
+                                    break 'wal_files;
+                                }
+                            }
+                        }
+                        seq = frame.seq;
+                        replayed += 1;
+                        off = frame.next;
+                    }
+                    FrameResult::TornTail { offset, bytes } => {
+                        // Torn tails are unacknowledged by construction and
+                        // truncated in both modes — but only the *last* WAL
+                        // file can legitimately have one.
+                        if is_last {
+                            let detail = format!("incomplete frame of {bytes} byte(s)");
+                            dropped_tail = Some(drop_suffix(offset, DropKind::TornTail, detail)?);
+                            break 'wal_files;
+                        }
+                        let detail =
+                            format!("incomplete frame of {bytes} byte(s) in non-final wal");
+                        match mode {
+                            RecoveryMode::Strict => {
+                                return Err(JournalError::Corrupt {
+                                    file: name.clone(),
+                                    offset,
+                                    detail,
+                                })
+                            }
+                            RecoveryMode::Salvage => {
+                                dropped_tail =
+                                    Some(drop_suffix(offset, DropKind::Corrupt, detail)?);
+                                break 'wal_files;
+                            }
+                        }
+                    }
+                    FrameResult::Corrupt { offset, detail } => match mode {
+                        RecoveryMode::Strict => {
+                            return Err(JournalError::Corrupt {
+                                file: name.clone(),
+                                offset,
+                                detail,
+                            })
+                        }
+                        RecoveryMode::Salvage => {
+                            dropped_tail = Some(drop_suffix(offset, DropKind::Corrupt, detail)?);
+                            break 'wal_files;
+                        }
+                    },
+                }
+            }
+        }
+
+        // Ensure an active WAL file exists to append to (the crash window
+        // between checkpoint rename and WAL creation leaves none for the
+        // new base).
+        let wal_base = match wals.last() {
+            Some((base, _)) => *base,
+            None => checkpoint_seq,
+        };
+        let wal_base = if wals.is_empty() || wal_base < checkpoint_seq && seq == checkpoint_seq {
+            checkpoint_seq
+        } else {
+            wal_base
+        };
+        let wal_path = dir.join(wal_name(wal_base));
+        if io.read(&wal_path).is_err() {
+            io.write(&wal_path, WAL_MAGIC)?;
+            io.fsync(&wal_path)?;
+            io.fsync_dir(dir)?;
+        }
+
+        let journal = Journal {
+            dir: dir.to_path_buf(),
+            io,
+            seq,
+            wal_base,
+            wedged: false,
+        };
+        let report = RecoveryReport {
+            checkpoint_file,
+            checkpoint_seq,
+            replayed,
+            seq,
+            skipped_checkpoints,
+            dropped_tail,
+        };
+        Ok((journal, schema, report))
+    }
+
+    /// Read-only scan of a journal directory: newest readable checkpoint,
+    /// every decodable WAL entry, and any invalid tail — without modifying
+    /// anything (no truncation, no WAL creation).
+    pub fn inspect(dir: &Path, io: &dyn JournalIo) -> Result<Inspection, JournalError> {
+        let names = io.list(dir)?;
+        let mut checkpoints: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "checkpoint-", ".axb").map(|s| (s, n.clone())))
+            .collect();
+        checkpoints.sort();
+        let mut found: Option<(u64, String)> = None;
+        for (seq, name) in checkpoints.iter().rev() {
+            let data = io.read(&dir.join(name))?;
+            if matches!(parse_checkpoint(name, &data), Ok((s, _)) if s == *seq) {
+                found = Some((*seq, name.clone()));
+                break;
+            }
+        }
+        let (checkpoint_seq, checkpoint_file) = found.ok_or(JournalError::NoCheckpoint)?;
+
+        let mut wals: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "wal-", ".log").map(|s| (s, n.clone())))
+            .collect();
+        wals.sort();
+        let mut entries = Vec::new();
+        let mut tail = None;
+        'files: for (_base, name) in &wals {
+            let data = io.read(&dir.join(name))?;
+            if !data.starts_with(WAL_MAGIC) {
+                tail = Some(DroppedTail {
+                    file: name.clone(),
+                    offset: 0,
+                    bytes: data.len(),
+                    kind: if WAL_MAGIC.starts_with(&data[..]) {
+                        DropKind::TornTail
+                    } else {
+                        DropKind::Corrupt
+                    },
+                    detail: "bad wal magic".into(),
+                });
+                break 'files;
+            }
+            let mut off = WAL_MAGIC.len();
+            loop {
+                match read_frame(&data, off) {
+                    FrameResult::End => break,
+                    FrameResult::Record(f) => {
+                        entries.push(LogEntry {
+                            seq: f.seq,
+                            op: f.op,
+                            file: name.clone(),
+                            offset: off,
+                        });
+                        off = f.next;
+                    }
+                    FrameResult::TornTail { offset, bytes } => {
+                        tail = Some(DroppedTail {
+                            file: name.clone(),
+                            offset,
+                            bytes,
+                            kind: DropKind::TornTail,
+                            detail: format!("incomplete frame of {bytes} byte(s)"),
+                        });
+                        break 'files;
+                    }
+                    FrameResult::Corrupt { offset, detail } => {
+                        tail = Some(DroppedTail {
+                            file: name.clone(),
+                            offset,
+                            bytes: data.len() - offset,
+                            kind: DropKind::Corrupt,
+                            detail,
+                        });
+                        break 'files;
+                    }
+                }
+            }
+        }
+        Ok(Inspection {
+            checkpoint_seq,
+            checkpoint_file,
+            entries,
+            tail,
+        })
+    }
+
+    /// Sequence number of the last durable operation.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Has an I/O failure wedged this journal (see
+    /// [`JournalError::Wedged`])?
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Durably append `ops` (frame, append, fsync) and advance the
+    /// sequence. On any I/O failure the journal wedges: the on-disk suffix
+    /// is unknown, so further appends refuse until recovery reopens it.
+    pub fn append_all(&mut self, ops: &[RecordedOp]) -> Result<(), JournalError> {
+        if self.wedged {
+            return Err(JournalError::Wedged);
+        }
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            encode_frame(&mut buf, self.seq + 1 + i as u64, op);
+        }
+        let path = self.dir.join(wal_name(self.wal_base));
+        let r = self
+            .io
+            .append(&path, &buf)
+            .and_then(|()| self.io.fsync(&path));
+        match r {
+            Ok(()) => {
+                self.seq += ops.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.wedged = true;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Write an atomic checkpoint of `schema` at the current sequence,
+    /// switch to a fresh WAL, and prune files the new checkpoint obsoletes.
+    /// `schema` must be the state produced by exactly the operations
+    /// appended so far ([`JournaledSchema`] guarantees this coupling).
+    pub fn checkpoint(&mut self, schema: &Schema) -> Result<(), JournalError> {
+        if self.wedged {
+            return Err(JournalError::Wedged);
+        }
+        match self.write_checkpoint(schema) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.wedged = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self, schema: &Schema) -> Result<(), JournalError> {
+        let seq = self.seq;
+        // 1. Checkpoint file, atomically: tmp → fsync → rename → fsync dir.
+        //    A crash before the rename leaves the old checkpoint authoritative.
+        atomic_write(
+            &*self.io,
+            &self.dir.join(checkpoint_name(seq)),
+            &render_checkpoint(seq, schema),
+        )?;
+        // 2. Fresh WAL for the new base. A crash before this is harmless:
+        //    recovery skips old-WAL records with seq <= checkpoint seq and
+        //    recreates the missing file.
+        let wal_path = self.dir.join(wal_name(seq));
+        self.io.write(&wal_path, WAL_MAGIC)?;
+        self.io.fsync(&wal_path)?;
+        self.io.fsync_dir(&self.dir)?;
+        // 3. Prune files the new checkpoint obsoletes. Only removed once
+        //    the new checkpoint and WAL are durable (step 2's fsync_dir),
+        //    so the recovery chain is never broken by a crash mid-prune.
+        for name in self.io.list(&self.dir)? {
+            let obsolete = parse_name(&name, "checkpoint-", ".axb").is_some_and(|s| s < seq)
+                || parse_name(&name, "wal-", ".log").is_some_and(|s| s < seq)
+                || name.ends_with(".tmp");
+            if obsolete {
+                self.io.remove(&self.dir.join(name))?;
+            }
+        }
+        self.io.fsync_dir(&self.dir)?;
+        self.wal_base = seq;
+        Ok(())
+    }
+}
+
+/// Configuration for [`JournaledSchema`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOptions {
+    /// Take an automatic checkpoint once this many operations have been
+    /// appended since the last one (0 = only on explicit
+    /// [`JournaledSchema::checkpoint`] calls).
+    pub checkpoint_every: usize,
+}
+
+impl Default for JournalOptions {
+    fn default() -> Self {
+        JournalOptions {
+            checkpoint_every: 256,
+        }
+    }
+}
+
+struct JournalCell {
+    journal: Journal,
+    since_checkpoint: usize,
+}
+
+impl std::fmt::Debug for JournalCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalCell")
+            .field("journal", &self.journal)
+            .field("since_checkpoint", &self.since_checkpoint)
+            .finish()
+    }
+}
+
+/// A [`SharedSchema`] whose every evolution step is journaled with
+/// write-ahead ordering: operations are framed, appended, and fsynced
+/// **before** the new schema version is published, so an acknowledged
+/// operation is always recoverable and an unacknowledged one is never
+/// observable — the applied-prefix guarantee (module docs).
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use axiombase_core::journal::{io::StdIo, JournaledSchema, JournalOptions, RecoveryMode};
+/// use axiombase_core::{LatticeConfig, RecordedOp, Schema};
+///
+/// let mut s = Schema::new(LatticeConfig::default());
+/// s.add_root_type("T_object")?;
+/// let dir = std::path::Path::new("objectbase.journal");
+/// let js = JournaledSchema::create(dir, Arc::new(StdIo), s, JournalOptions::default())?;
+/// js.apply(&RecordedOp::AddType {
+///     name: "T_person".into(),
+///     supers: vec![js.snapshot().root().unwrap()],
+///     props: vec![],
+/// })?;
+/// js.checkpoint()?;
+/// drop(js);
+///
+/// // After a crash: recover the acknowledged prefix.
+/// let (js, report) = JournaledSchema::open(
+///     dir, Arc::new(StdIo), RecoveryMode::Strict, JournalOptions::default())?;
+/// assert!(js.snapshot().type_by_name("T_person").is_some());
+/// assert!(report.dropped_tail.is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JournaledSchema {
+    shared: SharedSchema,
+    cell: Mutex<JournalCell>,
+    opts: JournalOptions,
+}
+
+impl JournaledSchema {
+    /// Initialise a fresh journal in `dir` with `schema` as its first
+    /// checkpoint.
+    pub fn create(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: Schema,
+        opts: JournalOptions,
+    ) -> Result<JournaledSchema, JournalError> {
+        let journal = Journal::create(dir, io, &schema)?;
+        Ok(JournaledSchema {
+            shared: SharedSchema::new(schema),
+            cell: Mutex::new(JournalCell {
+                journal,
+                since_checkpoint: 0,
+            }),
+            opts,
+        })
+    }
+
+    /// Recover a journaled schema from `dir` (see [`Journal::open`]).
+    pub fn open(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mode: RecoveryMode,
+        opts: JournalOptions,
+    ) -> Result<(JournaledSchema, RecoveryReport), JournalError> {
+        let (journal, schema, report) = Journal::open(dir, io, mode)?;
+        Ok((
+            JournaledSchema {
+                shared: SharedSchema::new(schema),
+                cell: Mutex::new(JournalCell {
+                    journal,
+                    since_checkpoint: 0,
+                }),
+                opts,
+            },
+            report,
+        ))
+    }
+
+    /// A consistent snapshot of the current schema version (cheap; see
+    /// [`SharedSchema::snapshot`]).
+    pub fn snapshot(&self) -> Arc<Schema> {
+        self.shared.snapshot()
+    }
+
+    /// Sequence number of the last durable (acknowledged) operation.
+    pub fn seq(&self) -> u64 {
+        self.cell.lock().journal.seq()
+    }
+
+    /// Apply one operation with write-ahead journaling.
+    pub fn apply(&self, op: &RecordedOp) -> Result<(), JournalError> {
+        self.apply_trace(std::slice::from_ref(op)).map(|_| ())
+    }
+
+    /// Apply a trace of operations as **one** journaled, atomically
+    /// published evolution step: either every operation is validated,
+    /// durably appended, and published together, or none is (the
+    /// all-or-nothing lifting of [`SharedSchema::apply_trace`]). Returns
+    /// the number of operations applied (always `ops.len()` on success).
+    pub fn apply_trace(&self, ops: &[RecordedOp]) -> Result<usize, JournalError> {
+        // One lock for the whole mutate→append→publish→checkpoint span:
+        // the journal's sequence always matches the published schema.
+        let mut cell = self.cell.lock();
+        if cell.journal.is_wedged() {
+            return Err(JournalError::Wedged);
+        }
+        self.shared.evolve_commit(
+            |s| s.apply_trace(ops).map_err(JournalError::from),
+            |_next| cell.journal.append_all(ops),
+        )?;
+        cell.since_checkpoint += ops.len();
+        if self.opts.checkpoint_every > 0 && cell.since_checkpoint >= self.opts.checkpoint_every {
+            self.checkpoint_locked(&mut cell)?;
+        }
+        Ok(ops.len())
+    }
+
+    /// Take a checkpoint of the current schema now.
+    pub fn checkpoint(&self) -> Result<(), JournalError> {
+        let mut cell = self.cell.lock();
+        self.checkpoint_locked(&mut cell)
+    }
+
+    fn checkpoint_locked(&self, cell: &mut JournalCell) -> Result<(), JournalError> {
+        // Mutations hold the cell lock across publish, so this snapshot is
+        // exactly the state at the journal's current sequence.
+        let snap = self.shared.snapshot();
+        cell.journal.checkpoint(&snap)?;
+        cell.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Consume the handle, returning the final schema.
+    pub fn into_inner(self) -> Schema {
+        self.shared.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::io::{CrashKeep, MemIo};
+    use super::*;
+    use crate::config::LatticeConfig;
+
+    fn base_schema() -> Schema {
+        let mut s = Schema::new(LatticeConfig::default());
+        s.add_root_type("T_object").unwrap();
+        s
+    }
+
+    fn add(name: &str, supers: Vec<crate::ids::TypeId>) -> RecordedOp {
+        RecordedOp::AddType {
+            name: name.into(),
+            supers,
+            props: vec![],
+        }
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/j")
+    }
+
+    #[test]
+    fn create_append_recover_roundtrip() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        let want = js.snapshot().fingerprint();
+        drop(js);
+
+        io.crash(CrashKeep::Synced); // acknowledged ops must survive
+        let (js2, report) =
+            JournaledSchema::open(&dir(), io, RecoveryMode::Strict, JournalOptions::default())
+                .unwrap();
+        assert_eq!(js2.snapshot().fingerprint(), want);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.seq, 2);
+        assert!(report.dropped_tail.is_none());
+        assert!(report.skipped_checkpoints.is_empty());
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let io = Arc::new(MemIo::new());
+        Journal::create(&dir(), io.clone(), &base_schema()).unwrap();
+        assert!(matches!(
+            Journal::create(&dir(), io, &base_schema()),
+            Err(JournalError::AlreadyExists)
+        ));
+    }
+
+    #[test]
+    fn open_empty_dir_is_no_checkpoint() {
+        let io = Arc::new(MemIo::new());
+        assert!(matches!(
+            Journal::open(&dir(), io, RecoveryMode::Strict),
+            Err(JournalError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_prunes_and_chain_survives() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.checkpoint().unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        let want = js.snapshot().fingerprint();
+        drop(js);
+
+        // Old generation pruned.
+        let names = io.list(&dir()).unwrap();
+        assert!(names.contains(&checkpoint_name(1)), "{names:?}");
+        assert!(!names.contains(&checkpoint_name(0)), "{names:?}");
+        assert!(!names.contains(&wal_name(0)), "{names:?}");
+
+        io.crash(CrashKeep::Synced);
+        let (_, schema, report) = Journal::open(&dir(), io, RecoveryMode::Strict).unwrap();
+        assert_eq!(schema.fingerprint(), want);
+        assert_eq!(report.checkpoint_seq, 1);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.seq, 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_in_strict_mode() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        drop(js);
+        // Simulate a torn append: half a frame beyond the acknowledged log.
+        let wal = dir().join(wal_name(0));
+        io.append(&wal, &[0x07, 0x00, 0x00]).unwrap();
+        let len_before = io.len(&wal).unwrap();
+
+        let (journal, schema, report) =
+            Journal::open(&dir(), io.clone(), RecoveryMode::Strict).unwrap();
+        assert_eq!(journal.seq(), 1);
+        assert!(schema.type_by_name("A").is_some());
+        let tail = report.dropped_tail.expect("tail must be reported");
+        assert_eq!(tail.kind, DropKind::TornTail);
+        assert_eq!(tail.bytes, 3);
+        assert_eq!(tail.offset, len_before - 3);
+        assert_eq!(io.len(&wal).unwrap(), len_before - 3);
+    }
+
+    #[test]
+    fn corrupt_record_strict_rejects_salvage_truncates() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        let offset_b = io.len(&dir().join(wal_name(0))).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        js.apply(&add("C", vec![root])).unwrap();
+        drop(js);
+        // Flip a payload bit in the middle record ("B").
+        let wal = dir().join(wal_name(0));
+        io.corrupt(&wal, offset_b + wire::FRAME_HEADER + 1, 0x01);
+
+        // Strict: refuse, naming the exact offset.
+        match Journal::open(&dir(), io.clone(), RecoveryMode::Strict) {
+            Err(JournalError::Corrupt { file, offset, .. }) => {
+                assert_eq!(file, wal_name(0));
+                assert_eq!(offset, offset_b);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Salvage: keep the valid prefix (A), drop B *and* C, report bytes.
+        let total = io.len(&wal).unwrap();
+        let (journal, schema, report) =
+            Journal::open(&dir(), io.clone(), RecoveryMode::Salvage).unwrap();
+        assert_eq!(journal.seq(), 1);
+        assert!(schema.type_by_name("A").is_some());
+        assert!(schema.type_by_name("B").is_none());
+        assert!(schema.type_by_name("C").is_none());
+        let tail = report.dropped_tail.expect("salvage must report the drop");
+        assert_eq!(tail.kind, DropKind::Corrupt);
+        assert_eq!(tail.offset, offset_b);
+        assert_eq!(tail.bytes, total - offset_b);
+        assert_eq!(io.len(&wal).unwrap(), offset_b);
+        assert!(schema.verify().is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_salvage_falls_back_to_older() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        drop(js);
+        // Forge a newer, damaged checkpoint.
+        io.write(
+            &dir().join(checkpoint_name(9)),
+            b"axbcheckpoint v1 seq 9 crc 00000000\ngarbage",
+        )
+        .unwrap();
+
+        assert!(matches!(
+            Journal::open(&dir(), io.clone(), RecoveryMode::Strict),
+            Err(JournalError::BadCheckpoint { .. })
+        ));
+
+        let (_, schema, report) = Journal::open(&dir(), io, RecoveryMode::Salvage).unwrap();
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.skipped_checkpoints.len(), 1);
+        assert_eq!(report.skipped_checkpoints[0].file, checkpoint_name(9));
+        assert!(schema.type_by_name("A").is_some());
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        drop(js);
+        io.append(&dir().join(wal_name(0)), &[1, 2, 3, 4, 5])
+            .unwrap();
+
+        let (_, s1, r1) = Journal::open(&dir(), io.clone(), RecoveryMode::Strict).unwrap();
+        let len_after_first = io.len(&dir().join(wal_name(0))).unwrap();
+        let (_, s2, r2) = Journal::open(&dir(), io.clone(), RecoveryMode::Strict).unwrap();
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        assert_eq!(r1.seq, r2.seq);
+        assert!(r1.dropped_tail.is_some());
+        assert!(
+            r2.dropped_tail.is_none(),
+            "second recovery finds a clean log"
+        );
+        assert_eq!(
+            io.len(&dir().join(wal_name(0))).unwrap(),
+            len_after_first,
+            "recovery must not grow the log"
+        );
+    }
+
+    #[test]
+    fn wedged_journal_refuses_appends_until_reopened() {
+        use super::io::FaultIo;
+        let mem = Arc::new(MemIo::new());
+        let js = JournaledSchema::create(
+            &dir(),
+            mem.clone(),
+            base_schema(),
+            JournalOptions::default(),
+        )
+        .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        drop(js);
+
+        // Reopen through a FaultIo that dies on the 3rd mutating call.
+        let fault = Arc::new(FaultIo::new(mem.clone(), 3, 0));
+        let (js, _) = JournaledSchema::open(
+            &dir(),
+            fault,
+            RecoveryMode::Strict,
+            JournalOptions::default(),
+        )
+        .unwrap();
+        let fp = js.snapshot().fingerprint();
+        let mut hit_io_error = false;
+        for name in ["B", "C", "D"] {
+            match js.apply(&add(name, vec![root])) {
+                Ok(()) => {}
+                Err(JournalError::Io(_)) if !hit_io_error => hit_io_error = true,
+                Err(JournalError::Wedged) if hit_io_error => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(hit_io_error);
+        // Nothing unacknowledged was published.
+        assert!(js.snapshot().fingerprint() == fp || js.snapshot().type_by_name("B").is_some());
+
+        // Recovery with healthy I/O unwedges.
+        mem.crash(CrashKeep::Synced);
+        let (js2, _) =
+            JournaledSchema::open(&dir(), mem, RecoveryMode::Strict, JournalOptions::default())
+                .unwrap();
+        js2.apply(&add("E", vec![root])).unwrap();
+        assert!(js2.snapshot().type_by_name("E").is_some());
+    }
+
+    #[test]
+    fn auto_checkpoint_by_cadence() {
+        let io = Arc::new(MemIo::new());
+        let js = JournaledSchema::create(
+            &dir(),
+            io.clone(),
+            base_schema(),
+            JournalOptions {
+                checkpoint_every: 2,
+            },
+        )
+        .unwrap();
+        let root = js.snapshot().root().unwrap();
+        for name in ["A", "B", "C"] {
+            js.apply(&add(name, vec![root])).unwrap();
+        }
+        drop(js);
+        let names = io.list(&dir()).unwrap();
+        assert!(
+            names.contains(&checkpoint_name(2)),
+            "cadence-2 checkpoint after two ops: {names:?}"
+        );
+        let (_, schema, report) = Journal::open(&dir(), io, RecoveryMode::Strict).unwrap();
+        assert_eq!(report.checkpoint_seq, 2);
+        assert_eq!(report.seq, 3);
+        assert!(schema.type_by_name("C").is_some());
+    }
+
+    #[test]
+    fn inspect_reports_entries_without_modifying() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        drop(js);
+        io.append(&dir().join(wal_name(0)), &[9, 9]).unwrap();
+        let len = io.len(&dir().join(wal_name(0))).unwrap();
+
+        let insp = Journal::inspect(&dir(), &*io).unwrap();
+        assert_eq!(insp.checkpoint_seq, 0);
+        assert_eq!(insp.entries.len(), 2);
+        assert_eq!(insp.entries[0].seq, 1);
+        assert_eq!(insp.entries[1].seq, 2);
+        assert!(matches!(
+            insp.tail,
+            Some(DroppedTail {
+                kind: DropKind::TornTail,
+                bytes: 2,
+                ..
+            })
+        ));
+        // Read-only: the torn bytes are still there.
+        assert_eq!(io.len(&dir().join(wal_name(0))).unwrap(), len);
+    }
+
+    #[test]
+    fn recovery_survives_missing_wal_after_checkpoint() {
+        // Crash window between checkpoint rename and new-WAL creation:
+        // simulate by deleting the active WAL (its records are all covered
+        // by the checkpoint).
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.checkpoint().unwrap();
+        let want = js.snapshot().fingerprint();
+        drop(js);
+        io.remove(&dir().join(wal_name(1))).unwrap();
+
+        let (journal, schema, report) =
+            Journal::open(&dir(), io.clone(), RecoveryMode::Strict).unwrap();
+        assert_eq!(schema.fingerprint(), want);
+        assert_eq!(report.seq, 1);
+        assert_eq!(journal.seq(), 1);
+        // The WAL was recreated so appends work immediately.
+        let names = io.list(&dir()).unwrap();
+        assert!(names.contains(&wal_name(1)), "{names:?}");
+    }
+
+    #[test]
+    fn report_text_and_json_render() {
+        let report = RecoveryReport {
+            checkpoint_file: checkpoint_name(0),
+            checkpoint_seq: 0,
+            replayed: 2,
+            seq: 2,
+            skipped_checkpoints: vec![SkippedCheckpoint {
+                file: checkpoint_name(9),
+                detail: "checksum mismatch".into(),
+            }],
+            dropped_tail: Some(DroppedTail {
+                file: wal_name(0),
+                offset: 100,
+                bytes: 7,
+                kind: DropKind::TornTail,
+                detail: "incomplete frame of 7 byte(s)".into(),
+            }),
+        };
+        let text = report.to_text();
+        assert!(text.contains("replayed 2"));
+        assert!(text.contains("dropped 7 byte(s)"));
+        let json = report.to_json();
+        assert!(json.contains("\"replayed\":2"));
+        assert!(json.contains("\"kind\":\"torn tail\""));
+        assert!(json.contains("\"offset\":100"));
+    }
+}

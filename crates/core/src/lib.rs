@@ -52,6 +52,7 @@
 //! | [`config`] | Axioms 3/4 relaxation (rooted/forest, pointed/open) |
 //! | [`concurrent`] | "dynamic" = evolution while the system is in operation |
 //! | [`snapshot`] | persistence of the designer inputs |
+//! | [`journal`] | crash-safe durability: WAL + atomic checkpoints + recovery |
 //! | [`lint`] | §5 (minimality & order-independence as static-analysis rules) |
 
 #![warn(missing_docs)]
@@ -68,6 +69,7 @@ pub mod engine;
 pub mod error;
 pub mod history;
 pub mod ids;
+pub mod journal;
 pub mod lint;
 pub mod model;
 pub mod ops;
@@ -84,6 +86,7 @@ pub use engine::{EngineKind, EngineStats};
 pub use error::{Result, SchemaError};
 pub use history::{History, HistoryError, RecordedOp};
 pub use ids::{PropId, TypeId};
+pub use journal::{JournalError, JournalOptions, JournaledSchema, RecoveryMode, RecoveryReport};
 pub use lint::{
     apply_fixes, canonicalize, lint_history, lint_schema, lint_trace, Diagnostic, FixEdit, FixIt,
     Lint, Location, Reference, Registry, RuleId, Severity,

@@ -45,6 +45,9 @@ pub enum SnapshotError {
     /// The inputs are structurally invalid (cycle, dangling reference,
     /// duplicate name) and were rejected before derivation.
     InvalidInputs(String),
+    /// An I/O error while reading or writing a snapshot file (message only,
+    /// so the error stays `Clone`/`PartialEq`).
+    Io(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -55,6 +58,7 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot line {line}: {detail}")
             }
             SnapshotError::InvalidInputs(d) => write!(f, "invalid snapshot inputs: {d}"),
+            SnapshotError::Io(d) => write!(f, "snapshot io error: {d}"),
         }
     }
 }
@@ -180,7 +184,7 @@ impl Schema {
                     props.push(PropRecord { name, alive });
                 }
                 "type" => {
-                    let (slot, mark) = parse_type_line(rest).map_err(bad)?;
+                    let (slot, mark) = parse_type_line(rest, types.len()).map_err(bad)?;
                     let id = TypeId::from_index(types.len());
                     match mark {
                         Mark::Root => root = Some(id),
@@ -195,6 +199,21 @@ impl Schema {
 
         assemble(config, engine, props, types, root, base)
     }
+
+    /// Save the snapshot to `path` atomically (write `*.tmp`, fsync,
+    /// rename, fsync the directory) so a crash mid-save can never truncate
+    /// or corrupt a previous good snapshot at the same path.
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        crate::journal::io::atomic_write_file(path, self.to_snapshot().as_bytes())
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Load a snapshot from `path` (see [`Schema::from_snapshot`]).
+    pub fn load_from(path: &std::path::Path) -> Result<Schema, SnapshotError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        Schema::from_snapshot(&text)
+    }
 }
 
 enum Mark {
@@ -203,13 +222,18 @@ enum Mark {
     None,
 }
 
-fn parse_type_line(rest: &str) -> Result<(TypeSlot, Mark), String> {
+fn parse_type_line(rest: &str, expected_idx: usize) -> Result<(TypeSlot, Mark), String> {
     // <idx> <alive|dead> <frozen|plain> <root|base|-> "name" pe[...] ne[...]
     let mut it = rest.splitn(5, ' ');
-    let _idx: usize = it
+    let idx: usize = it
         .next()
         .and_then(|w| w.parse().ok())
         .ok_or("missing type index")?;
+    if idx != expected_idx {
+        return Err(format!(
+            "type index {idx} out of order (expected {expected_idx})"
+        ));
+    }
     let alive = match it.next() {
         Some("alive") => true,
         Some("dead") => false,
@@ -347,7 +371,7 @@ fn parse_ids(s: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -367,7 +391,7 @@ fn unquote(s: &str) -> Option<String> {
 }
 
 /// Parse a leading quoted string; return it plus the remainder.
-fn take_quoted(s: &str) -> Option<(String, &str)> {
+pub(crate) fn take_quoted(s: &str) -> Option<(String, &str)> {
     let rest = s.strip_prefix('"')?;
     let mut out = String::new();
     let mut chars = rest.char_indices();

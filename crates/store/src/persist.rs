@@ -88,7 +88,18 @@ fn encode_value(v: &Value, out: &mut String) {
     }
 }
 
+/// Nesting bound for list values: deeper inputs are rejected instead of
+/// recursing — an unbounded `l:[l:[l:[…` input must not overflow the stack.
+const MAX_VALUE_DEPTH: usize = 64;
+
 fn decode_value(s: &str) -> Result<Value, String> {
+    decode_value_at(s, 0)
+}
+
+fn decode_value_at(s: &str, depth: usize) -> Result<Value, String> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(format!("value nesting deeper than {MAX_VALUE_DEPTH}"));
+    }
     if s == "_" {
         return Ok(Value::Null);
     }
@@ -141,7 +152,10 @@ fn decode_value(s: &str) -> Result<Value, String> {
         if inner.is_empty() {
             return Ok(Value::List(Vec::new()));
         }
-        let items: Result<Vec<Value>, String> = inner.split('|').map(decode_value).collect();
+        let items: Result<Vec<Value>, String> = inner
+            .split('|')
+            .map(|item| decode_value_at(item, depth + 1))
+            .collect();
         return Ok(Value::List(items?));
     }
     Err(format!("unknown value encoding {s:?}"))
@@ -260,6 +274,27 @@ impl ObjectStore {
         store.set_next_oid(next);
         Ok(store)
     }
+
+    /// Save the snapshot to `path` atomically (write `*.tmp`, fsync,
+    /// rename, fsync directory) so a crash mid-save never truncates a
+    /// previous good snapshot.
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), StoreSnapshotError> {
+        axiombase_core::journal::io::atomic_write_file(path, self.to_snapshot().as_bytes()).map_err(
+            |e| StoreSnapshotError {
+                line: 0,
+                detail: format!("io error writing {}: {e}", path.display()),
+            },
+        )
+    }
+
+    /// Load a store snapshot from `path`.
+    pub fn load_from(path: &std::path::Path) -> Result<ObjectStore, StoreSnapshotError> {
+        let text = std::fs::read_to_string(path).map_err(|e| StoreSnapshotError {
+            line: 0,
+            detail: format!("io error reading {}: {e}", path.display()),
+        })?;
+        ObjectStore::from_snapshot(&text)
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +390,18 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.detail.contains("unknown value"), "{e}");
+    }
+
+    #[test]
+    fn deep_list_nesting_is_rejected_not_overflowed() {
+        // Regression: unboundedly nested `l:[l:[…` used to recurse once per
+        // level and could overflow the stack on hostile input.
+        let deep = format!("{}{}", "l:[".repeat(10_000), "]".repeat(10_000));
+        let e = decode_value(&deep).unwrap_err();
+        assert!(e.contains("nesting"), "{e}");
+        // Nesting at the bound still works.
+        let ok = format!("{}i:1{}", "l:[".repeat(50), "]".repeat(50));
+        assert!(decode_value(&ok).is_ok());
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub enum PersistError {
     Store(axiombase_store::StoreSnapshotError),
     /// Cross-layer validation failed (dangling ids, missing meta objects).
     Inconsistent(String),
+    /// An I/O error while reading or writing a snapshot file.
+    Io(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -65,6 +67,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Schema(e) => write!(f, "schema section: {e}"),
             PersistError::Store(e) => write!(f, "store section: {e}"),
             PersistError::Inconsistent(d) => write!(f, "inconsistent snapshot: {d}"),
+            PersistError::Io(d) => write!(f, "objectbase snapshot io: {d}"),
         }
     }
 }
@@ -434,6 +437,21 @@ impl Objectbase {
         ob.rebuild_meta_of();
         ob.validate_loaded()?;
         Ok(ob)
+    }
+
+    /// Write the snapshot to `path` atomically (write-rename through a
+    /// fsynced temporary, so a crash leaves either the old file or the new
+    /// one — never a torn mix).
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        axiombase_core::journal::io::atomic_write_file(path, self.to_snapshot().as_bytes())
+            .map_err(|e| PersistError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Load an objectbase from a snapshot file written by [`Self::save_to`].
+    pub fn load_from(path: &std::path::Path) -> Result<Objectbase, PersistError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PersistError::Io(format!("reading {}: {e}", path.display())))?;
+        Self::from_snapshot(&text)
     }
 
     fn rebuild_meta_of(&mut self) {

@@ -20,4 +20,7 @@ pub use orion_gen::OrionGen;
 pub use scenarios::{
     engineering_design, medical_imaging, university, DesignStep, EngineeringDesign, University,
 };
-pub use trace::{apply_random_ops, apply_random_ops_batched, OpMix, TraceStats};
+pub use trace::{
+    apply_random_ops, apply_random_ops_batched, generate_trace, record_random_ops, EvolveSink,
+    OpMix, TraceStats,
+};

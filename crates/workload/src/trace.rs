@@ -4,8 +4,17 @@
 //! operations applied to a live schema. Used by the engine-ablation and
 //! propagation benchmarks; the same `(mix, seed)` pair always produces the
 //! same trace.
+//!
+//! The generator is written against the [`EvolveSink`] trait so the same
+//! seeded decision stream can either mutate a [`Schema`] directly
+//! ([`apply_random_ops`]) or be *recorded* as a replayable
+//! [`RecordedOp`] trace ([`generate_trace`]) — the recovery tests use the
+//! recorded form as the oracle for crash-point sweeps: the recorded ops are
+//! exactly the successful operations, in order, so any prefix of the trace
+//! is a valid evolution path.
 
-use axiombase_core::{PropId, Schema, SchemaError, TypeId};
+use axiombase_core::history::History;
+use axiombase_core::{PropId, RecordedOp, Schema, SchemaError, TypeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,45 +88,109 @@ pub struct TraceStats {
     pub skipped: usize,
 }
 
+/// Where the trace generator sends its operations: either a plain
+/// [`Schema`] (mutate in place) or a [`History`] (mutate *and* record).
+/// Both targets see identical guard reads, so the seeded decision stream —
+/// and therefore the resulting schema — is the same either way.
+pub trait EvolveSink {
+    /// The schema the generator's pick/guard logic reads.
+    fn schema(&self) -> &Schema;
+    /// AT.
+    fn add_type(&mut self, name: String, supers: Vec<TypeId>) -> Result<(), SchemaError>;
+    /// DT.
+    fn drop_type(&mut self, t: TypeId) -> Result<(), SchemaError>;
+    /// MT-ASR.
+    fn add_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError>;
+    /// MT-DSR.
+    fn drop_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError>;
+    /// Introduce a property.
+    fn add_property(&mut self, name: String) -> PropId;
+    /// MT-AB.
+    fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError>;
+    /// MT-DB.
+    fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError>;
+}
+
+impl EvolveSink for Schema {
+    fn schema(&self) -> &Schema {
+        self
+    }
+    fn add_type(&mut self, name: String, supers: Vec<TypeId>) -> Result<(), SchemaError> {
+        Schema::add_type(self, name, supers, []).map(|_| ())
+    }
+    fn drop_type(&mut self, t: TypeId) -> Result<(), SchemaError> {
+        Schema::drop_type(self, t).map(|_| ())
+    }
+    fn add_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError> {
+        self.add_essential_supertype(t, s)
+    }
+    fn drop_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError> {
+        self.drop_essential_supertype(t, s)
+    }
+    fn add_property(&mut self, name: String) -> PropId {
+        Schema::add_property(self, name)
+    }
+    fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError> {
+        Schema::add_essential_property(self, t, p).map(|_| ())
+    }
+    fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError> {
+        Schema::drop_essential_property(self, t, p)
+    }
+}
+
+impl EvolveSink for History {
+    fn schema(&self) -> &Schema {
+        History::schema(self)
+    }
+    fn add_type(&mut self, name: String, supers: Vec<TypeId>) -> Result<(), SchemaError> {
+        History::add_type(self, name, supers, []).map(|_| ())
+    }
+    fn drop_type(&mut self, t: TypeId) -> Result<(), SchemaError> {
+        History::drop_type(self, t).map(|_| ())
+    }
+    fn add_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError> {
+        self.add_essential_supertype(t, s)
+    }
+    fn drop_edge(&mut self, t: TypeId, s: TypeId) -> Result<(), SchemaError> {
+        self.drop_essential_supertype(t, s)
+    }
+    fn add_property(&mut self, name: String) -> PropId {
+        History::add_property(self, name)
+    }
+    fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError> {
+        History::add_essential_property(self, t, p).map(|_| ())
+    }
+    fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<(), SchemaError> {
+        History::drop_essential_property(self, t, p)
+    }
+}
+
 /// Apply `n` random operations drawn from `mix` to `schema`. Rejections
 /// (per the paper's rules) are counted, not errors.
 pub fn apply_random_ops(schema: &mut Schema, n: usize, mix: OpMix, seed: u64) -> TraceStats {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let tag = format!("{seed:x}");
-    let mut stats = TraceStats::default();
-    let total = mix.total().max(1);
-    let mut fresh = 0u64;
+    run_random_ops(schema, n, mix, seed)
+}
 
-    for _ in 0..n {
-        let mut pick = rng.gen_range(0..total);
-        let mut take = |w: u32| {
-            if pick < w {
-                true
-            } else {
-                pick -= w;
-                false
-            }
-        };
-        let outcome = if take(mix.add_type) {
-            op_add_type(schema, &mut rng, &mut fresh, &tag)
-        } else if take(mix.drop_type) {
-            op_drop_type(schema, &mut rng)
-        } else if take(mix.add_edge) {
-            op_add_edge(schema, &mut rng)
-        } else if take(mix.drop_edge) {
-            op_drop_edge(schema, &mut rng)
-        } else if take(mix.add_prop) {
-            op_add_prop(schema, &mut rng, &mut fresh, &tag)
-        } else {
-            op_drop_prop(schema, &mut rng)
-        };
-        match outcome {
-            Outcome::Applied => stats.applied += 1,
-            Outcome::Rejected => stats.rejected += 1,
-            Outcome::Skipped => stats.skipped += 1,
-        }
-    }
-    stats
+/// Apply `n` random operations to a recording [`History`]: the same
+/// decision stream as [`apply_random_ops`], with every successful
+/// operation recorded in the history's replayable log.
+pub fn record_random_ops(history: &mut History, n: usize, mix: OpMix, seed: u64) -> TraceStats {
+    run_random_ops(history, n, mix, seed)
+}
+
+/// Generate a replayable trace from `base`: the successful operations of
+/// an `n`-op seeded run, in order. Replaying any prefix of the returned
+/// ops onto a copy of `base` is a valid evolution path — the oracle the
+/// crash-recovery tests compare against.
+pub fn generate_trace(
+    base: &Schema,
+    n: usize,
+    mix: OpMix,
+    seed: u64,
+) -> (Vec<RecordedOp>, TraceStats) {
+    let mut h = History::from_schema(base.clone());
+    let stats = record_random_ops(&mut h, n, mix, seed);
+    (h.ops().to_vec(), stats)
 }
 
 /// Apply the same seeded trace as [`apply_random_ops`], but inside a single
@@ -138,6 +211,45 @@ pub fn apply_random_ops_batched(
     schema
         .evolve_batch(|s| Ok(apply_random_ops(s, n, mix, seed)))
         .expect("trace replay classifies rejections instead of failing")
+}
+
+fn run_random_ops<S: EvolveSink>(sink: &mut S, n: usize, mix: OpMix, seed: u64) -> TraceStats {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tag = format!("{seed:x}");
+    let mut stats = TraceStats::default();
+    let total = mix.total().max(1);
+    let mut fresh = 0u64;
+
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0..total);
+        let mut take = |w: u32| {
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        };
+        let outcome = if take(mix.add_type) {
+            op_add_type(sink, &mut rng, &mut fresh, &tag)
+        } else if take(mix.drop_type) {
+            op_drop_type(sink, &mut rng)
+        } else if take(mix.add_edge) {
+            op_add_edge(sink, &mut rng)
+        } else if take(mix.drop_edge) {
+            op_drop_edge(sink, &mut rng)
+        } else if take(mix.add_prop) {
+            op_add_prop(sink, &mut rng, &mut fresh, &tag)
+        } else {
+            op_drop_prop(sink, &mut rng)
+        };
+        match outcome {
+            Outcome::Applied => stats.applied += 1,
+            Outcome::Rejected => stats.rejected += 1,
+            Outcome::Skipped => stats.skipped += 1,
+        }
+    }
+    stats
 }
 
 enum Outcome {
@@ -183,42 +295,48 @@ fn pick_droppable(schema: &Schema, rng: &mut SmallRng) -> Option<TypeId> {
     }
 }
 
-fn op_add_type(schema: &mut Schema, rng: &mut SmallRng, fresh: &mut u64, tag: &str) -> Outcome {
+fn op_add_type<S: EvolveSink>(
+    sink: &mut S,
+    rng: &mut SmallRng,
+    fresh: &mut u64,
+    tag: &str,
+) -> Outcome {
     let mut parents = Vec::new();
     for _ in 0..rng.gen_range(1..=2u32) {
-        if let Some(t) = pick_type(schema, rng) {
-            if Some(t) != schema.base() && !parents.contains(&t) {
+        if let Some(t) = pick_type(sink.schema(), rng) {
+            if Some(t) != sink.schema().base() && !parents.contains(&t) {
                 parents.push(t);
             }
         }
     }
     *fresh += 1;
     let name = format!("trace_{tag}_t{fresh}");
-    if schema.type_by_name(&name).is_some() {
+    if sink.schema().type_by_name(&name).is_some() {
         return Outcome::Skipped; // same (seed, counter) replayed on this schema
     }
-    classify(schema.add_type(name, parents, []).map(|_| ()))
+    classify(sink.add_type(name, parents))
 }
 
-fn op_drop_type(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
-    match pick_droppable(schema, rng) {
-        Some(t) => classify(schema.drop_type(t).map(|_| ())),
+fn op_drop_type<S: EvolveSink>(sink: &mut S, rng: &mut SmallRng) -> Outcome {
+    match pick_droppable(sink.schema(), rng) {
+        Some(t) => classify(sink.drop_type(t)),
         None => Outcome::Skipped,
     }
 }
 
-fn op_add_edge(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
-    match (pick_type(schema, rng), pick_type(schema, rng)) {
-        (Some(t), Some(s)) if t != s => classify(schema.add_essential_supertype(t, s)),
+fn op_add_edge<S: EvolveSink>(sink: &mut S, rng: &mut SmallRng) -> Outcome {
+    match (pick_type(sink.schema(), rng), pick_type(sink.schema(), rng)) {
+        (Some(t), Some(s)) if t != s => classify(sink.add_edge(t, s)),
         _ => Outcome::Skipped,
     }
 }
 
-fn op_drop_edge(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
-    let Some(t) = pick_type(schema, rng) else {
+fn op_drop_edge<S: EvolveSink>(sink: &mut S, rng: &mut SmallRng) -> Outcome {
+    let Some(t) = pick_type(sink.schema(), rng) else {
         return Outcome::Skipped;
     };
-    let pe: Vec<TypeId> = schema
+    let pe: Vec<TypeId> = sink
+        .schema()
         .essential_supertypes(t)
         .expect("live")
         .iter()
@@ -228,34 +346,40 @@ fn op_drop_edge(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
         return Outcome::Skipped;
     }
     let s = pe[rng.gen_range(0..pe.len())];
-    classify(schema.drop_essential_supertype(t, s))
+    classify(sink.drop_edge(t, s))
 }
 
-fn op_add_prop(schema: &mut Schema, rng: &mut SmallRng, fresh: &mut u64, tag: &str) -> Outcome {
-    let Some(t) = pick_type(schema, rng) else {
+fn op_add_prop<S: EvolveSink>(
+    sink: &mut S,
+    rng: &mut SmallRng,
+    fresh: &mut u64,
+    tag: &str,
+) -> Outcome {
+    let Some(t) = pick_type(sink.schema(), rng) else {
         return Outcome::Skipped;
     };
     // 70% fresh property, 30% redeclare an existing one.
     let p = if rng.gen_bool(0.7) {
         *fresh += 1;
-        schema.add_property(format!("trace_{tag}_p{fresh}"))
+        sink.add_property(format!("trace_{tag}_p{fresh}"))
     } else {
-        let all: Vec<PropId> = schema.iter_props().collect();
+        let all: Vec<PropId> = sink.schema().iter_props().collect();
         if all.is_empty() {
             *fresh += 1;
-            schema.add_property(format!("trace_{tag}_p{fresh}"))
+            sink.add_property(format!("trace_{tag}_p{fresh}"))
         } else {
             all[rng.gen_range(0..all.len())]
         }
     };
-    classify(schema.add_essential_property(t, p).map(|_| ()))
+    classify(sink.add_essential_property(t, p))
 }
 
-fn op_drop_prop(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
-    let Some(t) = pick_type(schema, rng) else {
+fn op_drop_prop<S: EvolveSink>(sink: &mut S, rng: &mut SmallRng) -> Outcome {
+    let Some(t) = pick_type(sink.schema(), rng) else {
         return Outcome::Skipped;
     };
-    let ne: Vec<PropId> = schema
+    let ne: Vec<PropId> = sink
+        .schema()
         .essential_properties(t)
         .expect("live")
         .iter()
@@ -265,7 +389,7 @@ fn op_drop_prop(schema: &mut Schema, rng: &mut SmallRng) -> Outcome {
         return Outcome::Skipped;
     }
     let p = ne[rng.gen_range(0..ne.len())];
-    classify(schema.drop_essential_property(t, p))
+    classify(sink.drop_essential_property(t, p))
 }
 
 #[cfg(test)]
@@ -343,5 +467,39 @@ mod tests {
         apply_random_ops(&mut out.schema, 100, OpMix::PROPERTY_CHURN, 3);
         // add_type weight 1 can only grow the count; drop_type weight 0.
         assert!(out.schema.type_count() >= before);
+    }
+
+    #[test]
+    fn recorded_trace_matches_direct_application() {
+        // The recording sink must take the same decisions as the direct
+        // one, and replaying the recorded ops must land on the same schema.
+        for seed in 0..3 {
+            let gen = LatticeGen {
+                types: 30,
+                seed,
+                ..Default::default()
+            };
+            let mut direct = gen.generate(LatticeConfig::TIGUKAT, EngineKind::Incremental);
+            let base = gen
+                .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental)
+                .schema;
+            let s1 = apply_random_ops(&mut direct.schema, 120, OpMix::BALANCED, seed ^ 0xFACE);
+            let (ops, s2) = generate_trace(&base, 120, OpMix::BALANCED, seed ^ 0xFACE);
+            assert_eq!(s1, s2, "decision streams must agree");
+            // Property introductions are recorded but not classified, so
+            // the log is at least as long as the applied count.
+            assert!(ops.len() >= s2.applied, "{} < {}", ops.len(), s2.applied);
+
+            let mut replayed = base.clone();
+            let n = replayed.apply_trace(&ops).unwrap();
+            assert_eq!(n, ops.len());
+            assert_eq!(replayed.fingerprint(), direct.schema.fingerprint());
+            // And every prefix is a valid evolution path.
+            let mut prefix = base.clone();
+            for op in &ops {
+                op.apply(&mut prefix).unwrap();
+                assert!(prefix.verify().is_empty());
+            }
+        }
     }
 }
