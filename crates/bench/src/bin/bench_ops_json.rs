@@ -12,8 +12,10 @@
 
 use axiombase_bench::expect;
 use axiombase_core::journal::io::MemIo;
+use axiombase_core::obs::names;
 use axiombase_core::{
-    EngineKind, JournalOptions, JournaledSchema, LatticeConfig, RecordedOp, Schema, SharedSchema,
+    EngineKind, EvolveObs, JournalOptions, JournaledSchema, LatticeConfig, MetricsRegistry,
+    MetricsSnapshot, RecordedOp, Schema, SharedSchema,
 };
 use axiombase_workload::{
     apply_random_ops, apply_random_ops_batched, generate_trace, LatticeGen, OpMix,
@@ -100,6 +102,27 @@ fn measure_journaled(base: &Schema, ops: &[RecordedOp]) -> (u128, u64) {
     (best, fp)
 }
 
+/// One observed journaled replay of the trace: every engine, journal, and
+/// publish counter lands in a fresh registry, whose snapshot becomes the
+/// report's `metrics` block.
+fn measure_metrics(base: &Schema, ops: &[RecordedOp]) -> MetricsSnapshot {
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Arc::new(EvolveObs::new(Arc::clone(&registry)));
+    let mem = Arc::new(MemIo::new());
+    let js = JournaledSchema::create_observed(
+        std::path::Path::new("/bench-journal"),
+        mem,
+        base.clone(),
+        JournalOptions::default(),
+        obs,
+    )
+    .expect("fresh in-memory journal");
+    for op in ops {
+        js.apply(op).expect("observed trace replays");
+    }
+    registry.snapshot()
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -165,6 +188,39 @@ fn main() {
         "journaling costs less than 5x on in-memory I/O (soft gate)",
     );
 
+    // Metrics: one more observed journaled replay of the same trace. On
+    // MemIo with a fixed trace every count is deterministic, so gate on the
+    // exact totals before embedding the snapshot in the report.
+    let metrics = measure_metrics(&jbase, &ops);
+    expect(
+        metrics.counters[names::SHARED_PUBLISHES] == ops.len() as u64,
+        "one publish per applied op",
+    );
+    expect(
+        metrics.counters[names::JOURNAL_APPENDED_RECORDS] == ops.len() as u64,
+        "one journal record per applied op",
+    );
+    let recomputes = metrics
+        .counters
+        .get(names::ENGINE_FULL)
+        .copied()
+        .unwrap_or(0)
+        + metrics
+            .counters
+            .get(names::ENGINE_SCOPED)
+            .copied()
+            .unwrap_or(0)
+        + metrics
+            .counters
+            .get(names::ENGINE_NOOP)
+            .copied()
+            .unwrap_or(0);
+    expect(recomputes > 0, "the trace triggered recomputations");
+    expect(
+        metrics.histograms[names::ENGINE_AFFECTED].count == recomputes,
+        "affected-set histogram observed once per recomputation",
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"ops_single_vs_batched\",");
@@ -188,7 +244,8 @@ fn main() {
     let _ = writeln!(json, "    \"unjournaled_ns_per_op\": {plain_ns},");
     let _ = writeln!(json, "    \"journaled_ns_per_op\": {journaled_ns},");
     let _ = writeln!(json, "    \"overhead\": {overhead:.2}");
-    json.push_str("  }\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"metrics\": {}", metrics.to_json());
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

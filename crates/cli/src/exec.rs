@@ -244,6 +244,11 @@ impl Session {
                     s.types_derived,
                     s.last_types_derived
                 )?;
+                // The same numbers as a metrics snapshot, in the registry's
+                // canonical naming — what `axiombase stats DIR` prints.
+                let registry = axiombase_core::MetricsRegistry::new();
+                registry.fold_engine_stats(s);
+                write!(out, "{}", registry.snapshot().to_text())?;
             }
             Command::Engine(which) => match which.as_str() {
                 "naive" => {

@@ -3,14 +3,17 @@
 //!
 //! ```text
 //! axiombase journal-init DIR [SNAPSHOT]   # new journal (from a snapshot, or fresh)
-//! axiombase recover DIR [--salvage] [--json]
+//! axiombase recover DIR [--salvage] [--json] [--trace-spans]
 //! axiombase checkpoint DIR [--json]       # recover, then force a checkpoint
 //! axiombase log DIR [--json]              # read-only WAL listing
+//! axiombase stats DIR [--salvage] [--json] # recover + full metrics snapshot
 //! ```
 //!
-//! `recover` and `checkpoint` repair the directory (truncating a torn
-//! tail); `log` never writes. All exit 0 on success, 1 on failure, 2 on
-//! usage errors.
+//! `recover`, `checkpoint`, and `stats` repair the directory (truncating a
+//! torn tail); `log` never writes. All exit 0 on success, 1 on failure, 2
+//! on usage errors. `--trace-spans` replays recovery through an
+//! `EvolveTracer` and prints the structured span events after the report
+//! (as text, or as a JSON array on its own line after the JSON report).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -18,7 +21,9 @@ use std::sync::Arc;
 use axiombase_core::journal::io::StdIo;
 use axiombase_core::journal::wire::encode_op;
 use axiombase_core::journal::Journal;
-use axiombase_core::{LatticeConfig, RecoveryMode, Schema};
+use axiombase_core::{
+    EvolveObs, EvolveTracer, LatticeConfig, MetricsRegistry, RecoveryMode, Schema,
+};
 
 /// Parse `DIR [flags...]` where only the listed flags are accepted.
 /// Returns `(dir, flag_set)` or a usage message.
@@ -107,12 +112,72 @@ pub fn init(rest: &[&str]) -> i32 {
     }
 }
 
-/// `axiombase recover DIR [--salvage] [--json]` — run recovery and print
-/// the report. Strict mode refuses corrupt (checksummed-but-wrong)
-/// records; `--salvage` truncates them instead and reports what was
-/// dropped.
+/// `axiombase recover DIR [--salvage] [--json] [--trace-spans]` — run
+/// recovery and print the report. Strict mode refuses corrupt
+/// (checksummed-but-wrong) records; `--salvage` truncates them instead and
+/// reports what was dropped. `--trace-spans` additionally prints the
+/// structured span events recovery replay emitted.
 pub fn recover(rest: &[&str]) -> i32 {
-    let usage = "axiombase recover DIR [--salvage] [--json]";
+    let usage = "axiombase recover DIR [--salvage] [--json] [--trace-spans]";
+    let (dir, flags) = match parse_args(rest, &["--salvage", "--json", "--trace-spans"], usage) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mode = if flags.contains(&"--salvage") {
+        RecoveryMode::Salvage
+    } else {
+        RecoveryMode::Strict
+    };
+    let json = flags.contains(&"--json");
+    let trace = flags.contains(&"--trace-spans");
+    let tracer = Arc::new(EvolveTracer::new());
+    let result = if trace {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = Arc::new(EvolveObs::with_tracer(registry, Arc::clone(&tracer)));
+        Journal::open_observed(Path::new(dir), Arc::new(StdIo), mode, obs)
+    } else {
+        Journal::open(Path::new(dir), Arc::new(StdIo), mode)
+    };
+    match result {
+        Ok((_journal, schema, report)) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+                println!(
+                    "schema: {} types, {} properties, fingerprint {:016x}",
+                    schema.type_count(),
+                    schema.prop_count(),
+                    schema.fingerprint()
+                );
+            }
+            if trace {
+                if json {
+                    println!("{}", tracer.to_json());
+                } else {
+                    println!("spans:");
+                    print!("{}", tracer.to_text());
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("recover failed: {e}");
+            1
+        }
+    }
+}
+
+/// `axiombase stats DIR [--salvage] [--json]` — recover the journal with a
+/// fresh metrics registry attached and print the complete metrics
+/// snapshot: `recovery.*` accounting, the `engine.*` recomputation work
+/// replay performed, per-operation-kind `ops.*` counters, and `journal.*`
+/// I/O counts. Deterministic for a given journal directory.
+pub fn stats(rest: &[&str]) -> i32 {
+    let usage = "axiombase stats DIR [--salvage] [--json]";
     let (dir, flags) = match parse_args(rest, &["--salvage", "--json"], usage) {
         Ok(x) => x,
         Err(e) => {
@@ -125,12 +190,14 @@ pub fn recover(rest: &[&str]) -> i32 {
     } else {
         RecoveryMode::Strict
     };
-    match Journal::open(Path::new(dir), Arc::new(StdIo), mode) {
-        Ok((_journal, schema, report)) => {
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Arc::new(EvolveObs::new(Arc::clone(&registry)));
+    match Journal::open_observed(Path::new(dir), Arc::new(StdIo), mode, obs) {
+        Ok((_journal, schema, _report)) => {
             if flags.contains(&"--json") {
-                println!("{}", report.to_json());
+                println!("{}", registry.snapshot().to_json());
             } else {
-                print!("{}", report.to_text());
+                print!("{}", registry.snapshot().to_text());
                 println!(
                     "schema: {} types, {} properties, fingerprint {:016x}",
                     schema.type_count(),
@@ -141,7 +208,7 @@ pub fn recover(rest: &[&str]) -> i32 {
             0
         }
         Err(e) => {
-            eprintln!("recover failed: {e}");
+            eprintln!("stats failed: {e}");
             1
         }
     }
@@ -297,12 +364,27 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_trace_spans_happy_path() {
+        let dir = tmp_dir("stats");
+        let d = dir.to_str().unwrap();
+        assert_eq!(init(&[d]), 0);
+        assert_eq!(stats(&[d]), 0);
+        assert_eq!(stats(&[d, "--json"]), 0);
+        assert_eq!(stats(&[d, "--salvage"]), 0);
+        assert_eq!(recover(&[d, "--trace-spans"]), 0);
+        assert_eq!(recover(&[d, "--json", "--trace-spans"]), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn usage_errors_exit_2() {
         assert_eq!(recover(&[]), 2);
         assert_eq!(recover(&["somewhere", "--bogus"]), 2);
         assert_eq!(checkpoint(&[]), 2);
         assert_eq!(log(&[]), 2);
         assert_eq!(init(&[]), 2);
+        assert_eq!(stats(&[]), 2);
+        assert_eq!(stats(&["somewhere", "--trace-spans"]), 2);
     }
 
     #[test]
@@ -311,5 +393,6 @@ mod tests {
         let d = dir.to_str().unwrap();
         assert_eq!(recover(&[d]), 1);
         assert_eq!(log(&[d]), 1);
+        assert_eq!(stats(&[d]), 1);
     }
 }

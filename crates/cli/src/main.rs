@@ -9,9 +9,10 @@
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
 //! axiombase lint FILE...   # static analysis (L1-L6) of snapshots/scripts
 //! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
-//! axiombase recover DIR [--salvage] [--json]   # replay + repair a journal
+//! axiombase recover DIR [--salvage] [--json] [--trace-spans]  # replay + repair
 //! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
 //! axiombase log DIR [--json]             # read-only journal listing
+//! axiombase stats DIR [--salvage] [--json]  # recover + metrics snapshot
 //! ```
 //!
 //! The command language is documented by `help` (see `command.rs`); the lint
@@ -43,10 +44,12 @@ fn main() {
         ["recover", rest @ ..] => journal_cmd::recover(rest),
         ["checkpoint", rest @ ..] => journal_cmd::checkpoint(rest),
         ["log", rest @ ..] => journal_cmd::log(rest),
+        ["stats", rest @ ..] => journal_cmd::stats(rest),
         _ => {
             eprintln!(
                 "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
-                 journal-init DIR [SNAPSHOT] | recover DIR | checkpoint DIR | log DIR]"
+                 journal-init DIR [SNAPSHOT] | recover DIR | checkpoint DIR | log DIR | \
+                 stats DIR]"
             );
             2
         }

@@ -50,6 +50,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::error::Result;
 use crate::history::RecordedOp;
 use crate::model::Schema;
+use crate::obs::EvolveObs;
 
 /// A concurrently shared, snapshot-versioned schema handle.
 ///
@@ -74,21 +75,38 @@ pub struct SharedSchema {
     /// Serializes writers so staged clones never race each other (a lost
     /// update would silently drop a published evolution step).
     writer: Mutex<()>,
+    /// Adopted from the wrapped schema (or [`SharedSchema::with_obs`]):
+    /// counts snapshot / publish / reject traffic on this handle.
+    obs: Option<Arc<EvolveObs>>,
 }
 
 impl SharedSchema {
-    /// Wrap a schema for shared use.
+    /// Wrap a schema for shared use. If the schema carries an observer
+    /// (see [`Schema::attach_obs`]) the handle adopts it and reports
+    /// snapshot/publish/reject counts through it too.
     pub fn new(schema: Schema) -> Self {
+        let obs = schema.obs().cloned();
         SharedSchema {
             current: RwLock::new(Arc::new(schema)),
             writer: Mutex::new(()),
+            obs,
         }
+    }
+
+    /// Wrap a schema for shared use, attaching `obs` to the schema (and
+    /// this handle) in one step.
+    pub fn with_obs(mut schema: Schema, obs: Arc<EvolveObs>) -> Self {
+        schema.attach_obs(obs);
+        Self::new(schema)
     }
 
     /// A consistent snapshot of the current schema version. Cheap (an `Arc`
     /// clone); the snapshot remains valid and immutable regardless of later
     /// evolution, and never waits on an in-flight [`SharedSchema::evolve`].
     pub fn snapshot(&self) -> Arc<Schema> {
+        if let Some(o) = &self.obs {
+            o.on_snapshot();
+        }
         self.current.read().clone()
     }
 
@@ -125,10 +143,27 @@ impl SharedSchema {
         let _writer = self.writer.lock();
         // Read lock held only for the Arc clone inside `snapshot()`.
         let mut next = (*self.snapshot()).clone();
-        let out = f(&mut next)?;
-        commit(&next)?;
+        let out = match f(&mut next) {
+            Ok(out) => out,
+            Err(e) => {
+                if let Some(o) = &self.obs {
+                    o.on_reject();
+                }
+                return Err(e);
+            }
+        };
+        if let Err(e) = commit(&next) {
+            if let Some(o) = &self.obs {
+                o.on_reject();
+            }
+            return Err(e);
+        }
+        let version = next.version();
         // Publish: a single pointer swap under the write lock.
         *self.current.write() = Arc::new(next);
+        if let Some(o) = &self.obs {
+            o.on_publish(version);
+        }
         Ok(out)
     }
 

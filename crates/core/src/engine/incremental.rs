@@ -49,17 +49,20 @@ pub(crate) fn derive_full(types: &[Arc<TypeSlot>], derived: &mut [Arc<DerivedTyp
 }
 
 /// Re-derive only the down-set of `seeds`. Returns the number of per-type
-/// derivations (the scope size — surfaced in [`super::EngineStats`]).
+/// derivations (the scope size — surfaced in [`super::EngineStats`]) and
+/// the longest derivation chain inside the affected subgraph (the lattice
+/// depth the invalidation propagated through, 1 for a flat set of
+/// unrelated seeds, 0 for an empty affected set).
 pub(crate) fn derive_scoped(
     types: &[Arc<TypeSlot>],
     rev: &[Arc<BTreeSet<TypeId>>],
     derived: &mut [Arc<DerivedType>],
     seeds: &[TypeId],
     kind: ChangeKind,
-) -> usize {
+) -> (usize, u64) {
     let affected = down_set(types, rev, seeds);
     if affected.is_empty() {
-        return 0;
+        return (0, 0);
     }
     // Derive affected types in topological order; unaffected supertypes
     // keep their cached derived state. Kahn's algorithm runs on the
@@ -89,15 +92,23 @@ pub(crate) fn derive_scoped(
         .collect();
     let mut head = 0;
     let mut count = 0;
+    // Longest-path level per node: the Kahn relaxation below computes, for
+    // free, how many derivation "waves" the invalidation needed — the
+    // `engine.lattice_depth` histogram observed by the metrics layer.
+    let mut level = vec![1u64; n];
+    let mut depth = 0u64;
     while head < queue.len() {
         let i = queue[head] as usize;
         head += 1;
         derive_one_in_place(types, derived, affected_vec[i], kind);
         count += 1;
+        depth = depth.max(level[i]);
         for &c in &children[i] {
-            remaining[c as usize] -= 1;
-            if remaining[c as usize] == 0 {
-                queue.push(c);
+            let c = c as usize;
+            level[c] = level[c].max(level[i] + 1);
+            remaining[c] -= 1;
+            if remaining[c] == 0 {
+                queue.push(c as u32);
             }
         }
     }
@@ -106,7 +117,7 @@ pub(crate) fn derive_scoped(
     // state behind (satisfying no axiom). Unreachable through `ops` (cycles
     // are rejected up front) — this guards hand-forged inputs.
     assert_eq!(count, n, "{ACYCLIC_MSG}");
-    count
+    (count, depth)
 }
 
 /// Derive one type, writing into `derived[t]`. Supertypes of `t` must

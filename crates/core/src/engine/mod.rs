@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use crate::ids::TypeId;
 use crate::model::{Schema, TypeSlot};
+use crate::obs::RecomputeScope;
 
 /// Shared failure message for a `P_e` cycle reaching a derivation engine.
 /// Operations reject cycles up front and snapshot loads validate before
@@ -123,6 +124,11 @@ pub(crate) fn recompute_all(schema: &mut Schema) {
     schema.stats.full_recomputes += 1;
     schema.stats.types_derived += n as u64;
     schema.stats.last_types_derived = n as u64;
+    if let Some(obs) = &schema.obs {
+        // The depth walk is only paid for when someone is listening.
+        let depth = lattice_depth(&schema.types);
+        obs.on_recompute(RecomputeScope::Full, n as u64, depth);
+    }
 }
 
 /// Recompute after changes to several types at once (a type drop edits
@@ -143,11 +149,15 @@ pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind
             schema.stats.full_recomputes += 1;
             schema.stats.types_derived += n as u64;
             schema.stats.last_types_derived = n as u64;
+            if let Some(obs) = &schema.obs {
+                let depth = lattice_depth(&schema.types);
+                obs.on_recompute(RecomputeScope::Full, n as u64, depth);
+            }
         }
         EngineKind::Incremental => {
             let mut derived = std::mem::take(&mut schema.derived);
             derived.resize(schema.types.len(), Arc::default());
-            let n =
+            let (n, depth) =
                 incremental::derive_scoped(&schema.types, &schema.rev, &mut derived, changed, kind);
             schema.derived = derived;
             if n == 0 {
@@ -157,8 +167,37 @@ pub(crate) fn recompute_after_many(schema: &mut Schema, changed: &[TypeId], kind
                 schema.stats.types_derived += n as u64;
             }
             schema.stats.last_types_derived = n as u64;
+            if let Some(obs) = &schema.obs {
+                let scope = if n == 0 {
+                    RecomputeScope::Noop
+                } else {
+                    RecomputeScope::Scoped
+                };
+                obs.on_recompute(scope, n as u64, depth);
+            }
         }
     }
+}
+
+/// Longest `P_e` chain among the live types (1 for a flat set of roots, 0
+/// for an empty schema) — the full-recompute analogue of the per-scope
+/// depth the incremental engine reports. Only computed when an observer is
+/// attached.
+pub(crate) fn lattice_depth(types: &[Arc<TypeSlot>]) -> u64 {
+    let order = topo_order(types).expect(ACYCLIC_MSG);
+    let mut level = vec![0u64; types.len()];
+    let mut depth = 0u64;
+    for &t in &order {
+        let base = types[t.index()]
+            .pe
+            .iter()
+            .map(|s| level[s.index()])
+            .max()
+            .unwrap_or(0);
+        level[t.index()] = base + 1;
+        depth = depth.max(base + 1);
+    }
+    depth
 }
 
 /// Topological order of the live types: every type appears after all of its

@@ -142,6 +142,26 @@ impl RecordedOp {
             RecordedOp::DropEssentialProperty { t, p } => schema.drop_essential_property(*t, *p),
         }
     }
+
+    /// Stable snake_case name of this operation kind — the suffix of the
+    /// per-kind `ops.*` metric counters (e.g. `ops.add_type`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RecordedOp::AddProperty { .. } => "add_property",
+            RecordedOp::RenameProperty { .. } => "rename_property",
+            RecordedOp::DropProperty { .. } => "drop_property",
+            RecordedOp::AddRootType { .. } => "add_root_type",
+            RecordedOp::AddBaseType { .. } => "add_base_type",
+            RecordedOp::AddType { .. } => "add_type",
+            RecordedOp::DropType { .. } => "drop_type",
+            RecordedOp::RenameType { .. } => "rename_type",
+            RecordedOp::FreezeType { .. } => "freeze_type",
+            RecordedOp::AddEssentialSupertype { .. } => "add_essential_supertype",
+            RecordedOp::DropEssentialSupertype { .. } => "drop_essential_supertype",
+            RecordedOp::AddEssentialProperty { .. } => "add_essential_property",
+            RecordedOp::DropEssentialProperty { .. } => "drop_essential_property",
+        }
+    }
 }
 
 /// A schema with its full evolution history.
@@ -198,6 +218,12 @@ impl History {
     /// is engine-independent.
     pub fn set_engine(&mut self, engine: crate::engine::EngineKind) {
         self.schema.set_engine(engine);
+    }
+
+    /// Attach an observer to the live schema (see [`Schema::attach_obs`]).
+    /// Not recorded: observation never changes evolution semantics.
+    pub fn attach_obs(&mut self, obs: std::sync::Arc<crate::obs::EvolveObs>) {
+        self.schema.attach_obs(obs);
     }
 
     /// Number of recorded operations (= the current version index).

@@ -481,6 +481,75 @@ impl JournalIo for FaultIo {
     }
 }
 
+// ---------------------------------------------------------------------
+// ObservedIo
+// ---------------------------------------------------------------------
+
+/// Metrics-counting wrapper: delegates every call to the inner
+/// implementation and reports each *successful* `fsync`/`fsync_dir` to the
+/// observer (`journal.fsyncs`). Installed automatically by the observed
+/// journal constructors ([`Journal::open_observed`](super::Journal::open_observed)
+/// and friends); higher-level byte/record counts are reported by the
+/// journal itself, which knows the framing.
+#[derive(Debug)]
+pub struct ObservedIo {
+    inner: Arc<dyn JournalIo>,
+    obs: Arc<crate::obs::EvolveObs>,
+}
+
+impl ObservedIo {
+    /// Wrap `inner`, reporting fsync counts to `obs`.
+    pub fn new(inner: Arc<dyn JournalIo>, obs: Arc<crate::obs::EvolveObs>) -> Self {
+        ObservedIo { inner, obs }
+    }
+}
+
+impl JournalIo for ObservedIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.inner.write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.inner.append(path, data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        self.inner.fsync(path)?;
+        self.obs.on_fsync();
+        Ok(())
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.fsync_dir(dir)?;
+        self.obs.on_fsync();
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,8 +57,9 @@ use crate::concurrent::SharedSchema;
 use crate::error::SchemaError;
 use crate::history::RecordedOp;
 use crate::model::Schema;
+use crate::obs::EvolveObs;
 
-use io::{atomic_write, JournalIo};
+use io::{atomic_write, JournalIo, ObservedIo};
 use wire::{crc32, encode_frame, read_frame, FrameResult, WAL_MAGIC};
 
 /// Errors raised by the durability layer.
@@ -384,6 +385,8 @@ pub struct Journal {
     /// Set when an I/O failure leaves the on-disk state unknown; all
     /// appends refuse until the journal is reopened (recovered).
     wedged: bool,
+    /// Optional observer for `journal.*` metrics and span events.
+    obs: Option<Arc<EvolveObs>>,
 }
 
 impl Journal {
@@ -394,6 +397,27 @@ impl Journal {
         dir: &Path,
         io: Arc<dyn JournalIo>,
         schema: &Schema,
+    ) -> Result<Journal, JournalError> {
+        Self::create_impl(dir, io, schema, None)
+    }
+
+    /// Like [`Journal::create`], but observed: `io` is wrapped so fsyncs
+    /// are counted, and every append/checkpoint/wedge reports to `obs`.
+    pub fn create_observed(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: &Schema,
+        obs: Arc<EvolveObs>,
+    ) -> Result<Journal, JournalError> {
+        let io: Arc<dyn JournalIo> = Arc::new(ObservedIo::new(io, Arc::clone(&obs)));
+        Self::create_impl(dir, io, schema, Some(obs))
+    }
+
+    fn create_impl(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: &Schema,
+        obs: Option<Arc<EvolveObs>>,
     ) -> Result<Journal, JournalError> {
         io.create_dir_all(dir)?;
         let existing = io.list(dir)?;
@@ -409,6 +433,7 @@ impl Journal {
             seq: 0,
             wal_base: 0,
             wedged: false,
+            obs,
         };
         j.write_checkpoint(schema)?;
         Ok(j)
@@ -423,6 +448,30 @@ impl Journal {
         dir: &Path,
         io: Arc<dyn JournalIo>,
         mode: RecoveryMode,
+    ) -> Result<(Journal, Schema, RecoveryReport), JournalError> {
+        Self::open_impl(dir, io, mode, None)
+    }
+
+    /// Like [`Journal::open`], but observed: `io` is wrapped so fsyncs are
+    /// counted, the recovered schema has `obs` attached (replay recomputes
+    /// are counted), each replayed record bumps its `ops.*` counter, and
+    /// the final [`RecoveryReport`] is folded into the `recovery.*`
+    /// counters.
+    pub fn open_observed(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mode: RecoveryMode,
+        obs: Arc<EvolveObs>,
+    ) -> Result<(Journal, Schema, RecoveryReport), JournalError> {
+        let io: Arc<dyn JournalIo> = Arc::new(ObservedIo::new(io, Arc::clone(&obs)));
+        Self::open_impl(dir, io, mode, Some(obs))
+    }
+
+    fn open_impl(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mode: RecoveryMode,
+        obs: Option<Arc<EvolveObs>>,
     ) -> Result<(Journal, Schema, RecoveryReport), JournalError> {
         let names = io.list(dir)?;
 
@@ -473,6 +522,11 @@ impl Journal {
         }
         let (checkpoint_seq, checkpoint_file, mut schema) =
             start.ok_or(JournalError::NoCheckpoint)?;
+        if let Some(o) = &obs {
+            // Attached before replay, so the recomputation each replayed
+            // op triggers is counted exactly like a live application.
+            schema.attach_obs(Arc::clone(o));
+        }
 
         // Replay WAL files in base order, skipping records the checkpoint
         // already covers (sequence numbers are global, so this is exact).
@@ -569,6 +623,9 @@ impl Journal {
                                 }
                             }
                         }
+                        if let Some(o) = &obs {
+                            o.on_op(frame.seq, &frame.op);
+                        }
                         if let Err(e) = frame.op.apply(&mut schema) {
                             match mode {
                                 RecoveryMode::Strict => {
@@ -657,6 +714,7 @@ impl Journal {
             seq,
             wal_base,
             wedged: false,
+            obs,
         };
         let report = RecoveryReport {
             checkpoint_file,
@@ -666,6 +724,9 @@ impl Journal {
             skipped_checkpoints,
             dropped_tail,
         };
+        if let Some(o) = &journal.obs {
+            o.fold_recovery(&report);
+        }
         Ok((journal, schema, report))
     }
 
@@ -794,10 +855,16 @@ impl Journal {
         match r {
             Ok(()) => {
                 self.seq += ops.len() as u64;
+                if let Some(o) = &self.obs {
+                    o.on_journal_append(ops.len() as u64, buf.len() as u64);
+                }
                 Ok(())
             }
             Err(e) => {
                 self.wedged = true;
+                if let Some(o) = &self.obs {
+                    o.on_wedge();
+                }
                 Err(e.into())
             }
         }
@@ -815,20 +882,26 @@ impl Journal {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.wedged = true;
+                if let Some(o) = &self.obs {
+                    o.on_wedge();
+                }
                 Err(e)
             }
         }
     }
 
+    /// The observer attached at construction, if any.
+    pub(crate) fn obs(&self) -> Option<&Arc<EvolveObs>> {
+        self.obs.as_ref()
+    }
+
     fn write_checkpoint(&mut self, schema: &Schema) -> Result<(), JournalError> {
         let seq = self.seq;
+        let data = render_checkpoint(seq, schema);
+        let checkpoint_bytes = data.len() as u64;
         // 1. Checkpoint file, atomically: tmp → fsync → rename → fsync dir.
         //    A crash before the rename leaves the old checkpoint authoritative.
-        atomic_write(
-            &*self.io,
-            &self.dir.join(checkpoint_name(seq)),
-            &render_checkpoint(seq, schema),
-        )?;
+        atomic_write(&*self.io, &self.dir.join(checkpoint_name(seq)), &data)?;
         // 2. Fresh WAL for the new base. A crash before this is harmless:
         //    recovery skips old-WAL records with seq <= checkpoint seq and
         //    recreates the missing file.
@@ -849,6 +922,9 @@ impl Journal {
         }
         self.io.fsync_dir(&self.dir)?;
         self.wal_base = seq;
+        if let Some(o) = &self.obs {
+            o.on_checkpoint(checkpoint_bytes);
+        }
         Ok(())
     }
 }
@@ -941,6 +1017,30 @@ impl JournaledSchema {
         })
     }
 
+    /// Like [`JournaledSchema::create`], but observed end-to-end: `obs` is
+    /// attached to the schema (engine + copy-on-write metrics), adopted by
+    /// the shared handle (snapshot/publish/reject metrics), and threaded
+    /// through the journal (append/fsync/checkpoint metrics, `ops.*`
+    /// counters, span events).
+    pub fn create_observed(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mut schema: Schema,
+        opts: JournalOptions,
+        obs: Arc<EvolveObs>,
+    ) -> Result<JournaledSchema, JournalError> {
+        schema.attach_obs(Arc::clone(&obs));
+        let journal = Journal::create_observed(dir, io, &schema, obs)?;
+        Ok(JournaledSchema {
+            shared: SharedSchema::new(schema),
+            cell: Mutex::new(JournalCell {
+                journal,
+                since_checkpoint: 0,
+            }),
+            opts,
+        })
+    }
+
     /// Recover a journaled schema from `dir` (see [`Journal::open`]).
     pub fn open(
         dir: &Path,
@@ -951,6 +1051,32 @@ impl JournaledSchema {
         let (journal, schema, report) = Journal::open(dir, io, mode)?;
         Ok((
             JournaledSchema {
+                shared: SharedSchema::new(schema),
+                cell: Mutex::new(JournalCell {
+                    journal,
+                    since_checkpoint: 0,
+                }),
+                opts,
+            },
+            report,
+        ))
+    }
+
+    /// Like [`JournaledSchema::open`], but observed end-to-end (see
+    /// [`JournaledSchema::create_observed`] and [`Journal::open_observed`]
+    /// for exactly what is counted, including during recovery replay).
+    pub fn open_observed(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        mode: RecoveryMode,
+        opts: JournalOptions,
+        obs: Arc<EvolveObs>,
+    ) -> Result<(JournaledSchema, RecoveryReport), JournalError> {
+        let (journal, schema, report) = Journal::open_observed(dir, io, mode, obs)?;
+        Ok((
+            JournaledSchema {
+                // `schema` already carries the observer (attached before
+                // replay), so the shared handle adopts it here.
                 shared: SharedSchema::new(schema),
                 cell: Mutex::new(JournalCell {
                     journal,
@@ -989,6 +1115,14 @@ impl JournaledSchema {
         let mut cell = self.cell.lock();
         if cell.journal.is_wedged() {
             return Err(JournalError::Wedged);
+        }
+        if let Some(o) = cell.journal.obs() {
+            // `op_start` events carry the journal sequence each op will
+            // get if the step commits (validation may still reject it).
+            let base = cell.journal.seq();
+            for (i, op) in ops.iter().enumerate() {
+                o.on_op(base + 1 + i as u64, op);
+            }
         }
         self.shared.evolve_commit(
             |s| s.apply_trace(ops).map_err(JournalError::from),

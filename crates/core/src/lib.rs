@@ -54,6 +54,7 @@
 //! | [`snapshot`] | persistence of the designer inputs |
 //! | [`journal`] | crash-safe durability: WAL + atomic checkpoints + recovery |
 //! | [`lint`] | §5 (minimality & order-independence as static-analysis rules) |
+//! | [`obs`] | observability: metrics registry + structured evolution tracing |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,6 +73,7 @@ pub mod ids;
 pub mod journal;
 pub mod lint;
 pub mod model;
+pub mod obs;
 pub mod ops;
 pub mod oracle;
 pub mod project;
@@ -92,3 +94,6 @@ pub use lint::{
     Lint, Location, Reference, Registry, RuleId, Severity,
 };
 pub use model::{DerivedType, Schema};
+pub use obs::{
+    EvolveObs, EvolveTracer, MetricsRegistry, MetricsSnapshot, RecomputeScope, SpanData, SpanEvent,
+};

@@ -32,6 +32,7 @@ use crate::config::LatticeConfig;
 use crate::engine::{self, BatchState, EngineKind, EngineStats};
 use crate::error::{Result, SchemaError};
 use crate::ids::{PropId, TypeId};
+use crate::obs::EvolveObs;
 
 /// A property in the registry.
 ///
@@ -110,11 +111,15 @@ pub struct Schema {
     /// Pending batched-evolution state: while `Some`, recomputation is
     /// deferred and change seeds accumulate here (see `Schema::evolve_batch`).
     pub(crate) batch: Option<BatchState>,
+    /// Optional observer: when attached, the engine and copy-on-write
+    /// helpers report recompute scopes, affected-set sizes, lattice depth,
+    /// and actual `Arc` copies into its metrics registry.
+    pub(crate) obs: Option<Arc<EvolveObs>>,
 }
 
 impl Clone for Schema {
     fn clone(&self) -> Self {
-        Schema {
+        let mut out = Schema {
             config: self.config,
             types: self.types.clone(),
             props: self.props.clone(),
@@ -129,8 +134,33 @@ impl Clone for Schema {
             // Pending batch state is never carried into a clone: a clone is
             // a fresh, internally consistent version of its own.
             batch: None,
+            obs: self.obs.clone(),
+        };
+        // If the source was cloned *mid-batch* (recomputation deferred,
+        // seeds outstanding), the clone must finalize that work itself:
+        // otherwise its derived state stays stale and its stats — including
+        // `noop_recomputes` for batches that cancel out — silently lose the
+        // batch outcome along with the discarded `BatchState`.
+        if let Some(b) = self.batch.as_ref().filter(|b| b.dirty) {
+            let seeds: Vec<TypeId> = b.seeds.iter().copied().collect();
+            engine::recompute_after_many(&mut out, &seeds, b.kind);
+        }
+        out
+    }
+}
+
+/// Copy-on-write access to an `Arc`-wrapped spine cell: clones the cell if
+/// (and only if) it is still shared with another schema version, reporting
+/// the copy to the observer when one actually happens. All interior
+/// mutation in `ops`/`model` funnels through here so
+/// `engine.cow_copies` counts every real copy and nothing else.
+pub(crate) fn cow<'a, T: Clone>(obs: &Option<Arc<EvolveObs>>, arc: &'a mut Arc<T>) -> &'a mut T {
+    if let Some(o) = obs {
+        if Arc::get_mut(arc).is_none() {
+            o.on_cow_copy();
         }
     }
+    Arc::make_mut(arc)
 }
 
 impl Schema {
@@ -157,6 +187,7 @@ impl Schema {
             version: 0,
             stats: EngineStats::default(),
             batch: None,
+            obs: None,
         }
     }
 
@@ -198,6 +229,26 @@ impl Schema {
     /// Reset the engine statistics (used by benchmarks between phases).
     pub fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+    }
+
+    /// Attach an observer: from now on the engine reports recompute scope,
+    /// affected-set size, and lattice depth, and the copy-on-write helpers
+    /// report actual `Arc` copies, into `obs`'s metrics registry (and span
+    /// events to its tracer, if any). Clones of this schema inherit the
+    /// observer.
+    pub fn attach_obs(&mut self, obs: Arc<EvolveObs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Detach and return the observer, if one was attached.
+    pub fn detach_obs(&mut self) -> Option<Arc<EvolveObs>> {
+        self.obs.take()
+    }
+
+    /// The attached observer, if any.
+    #[inline]
+    pub fn obs(&self) -> Option<&Arc<EvolveObs>> {
+        self.obs.as_ref()
     }
 
     /// The designated root `⊤`, if any.
@@ -417,6 +468,48 @@ impl Schema {
         h.finish()
     }
 
+    /// A name-based structural fingerprint, independent of `TypeId` /
+    /// `PropId` assignment order: every id is replaced by its name and the
+    /// per-type records are sorted before hashing. Two schemas built along
+    /// different construction paths (e.g. an Orion reduction vs a direct
+    /// simulation) that are structurally identical up to renaming of ids
+    /// get equal canonical fingerprints.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let tname = |t: &TypeId| self.types[t.index()].name.clone();
+        let pname = |p: &PropId| self.props[p.index()].name.clone();
+        let tset = |set: &BTreeSet<TypeId>| {
+            let mut v: Vec<String> = set.iter().map(tname).collect();
+            v.sort();
+            v
+        };
+        let pset = |set: &BTreeSet<PropId>| {
+            let mut v: Vec<String> = set.iter().map(pname).collect();
+            v.sort();
+            v
+        };
+        let mut records: Vec<_> = self
+            .iter_types()
+            .map(|t| {
+                let slot = &self.types[t.index()];
+                let d = &self.derived[t.index()];
+                (
+                    slot.name.clone(),
+                    tset(&slot.pe),
+                    pset(&slot.ne),
+                    tset(&d.p),
+                    tset(&d.pl),
+                    pset(&d.n),
+                    pset(&d.h),
+                )
+            })
+            .collect();
+        records.sort();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        records.hash(&mut h);
+        h.finish()
+    }
+
     // ------------------------------------------------------------------
     // Internal helpers shared with ops/engine/axioms
     // ------------------------------------------------------------------
@@ -432,8 +525,9 @@ impl Schema {
     /// shared with an older schema version, it is cloned here, so mutation
     /// cost is proportional to what actually changes.
     pub(crate) fn slot_mut(&mut self, t: TypeId) -> Result<&mut TypeSlot> {
+        let obs = &self.obs;
         match self.types.get_mut(t.index()) {
-            Some(s) if s.alive => Ok(Arc::make_mut(s)),
+            Some(s) if s.alive => Ok(cow(obs, s)),
             _ => Err(SchemaError::UnknownType(t)),
         }
     }
@@ -468,12 +562,12 @@ impl Schema {
 
     /// Register `sub ∈ sub_e(sup)` in the reverse-subtype index.
     pub(crate) fn rev_insert(&mut self, sup: TypeId, sub: TypeId) {
-        Arc::make_mut(&mut self.rev[sup.index()]).insert(sub);
+        cow(&self.obs, &mut self.rev[sup.index()]).insert(sub);
     }
 
     /// Remove `sub` from `sub_e(sup)` in the reverse-subtype index.
     pub(crate) fn rev_remove(&mut self, sup: TypeId, sub: TypeId) {
-        Arc::make_mut(&mut self.rev[sup.index()]).remove(&sub);
+        cow(&self.obs, &mut self.rev[sup.index()]).remove(&sub);
     }
 
     /// Rebuild the reverse-subtype index from scratch (snapshot loads and
@@ -581,6 +675,92 @@ mod tests {
         let b = s2.type_by_name("B").unwrap();
         s2.add_essential_property(b, p).unwrap();
         assert_ne!(s1.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn clone_mid_batch_finalizes_pending_recompute() {
+        // Regression: `Clone` discards the pending `BatchState`, and used
+        // to discard the deferred recomputation with it — the clone kept
+        // stale derived state and its stats (scoped/noop counts) silently
+        // lost the batch outcome. A mid-batch clone must finalize the
+        // deferred work itself.
+        let (mut s, _, a, _) = tiny();
+        let p = s.add_property("x");
+        s.evolve_batch(|s| {
+            s.add_essential_property(a, p)?;
+            let before = s.stats().scoped_recomputes;
+            let clone = s.clone();
+            // Derived state reflects the batched edit (the original's is
+            // still legitimately stale until the batch finalizes)...
+            assert!(clone.interface(a)?.contains(&p));
+            assert!(clone.verify().is_empty());
+            // ...and the recompute the original deferred is counted.
+            assert_eq!(clone.stats().scoped_recomputes, before + 1);
+            Ok(())
+        })
+        .unwrap();
+        assert!(s.interface(a).unwrap().contains(&p));
+    }
+
+    #[test]
+    fn clone_mid_batch_counts_noop_recompute() {
+        // The add-then-drop batch whose affected set is empty: the clone
+        // must record it as a no-op recompute, not lose it.
+        let (mut s, root, ..) = tiny();
+        s.evolve_batch(|s| {
+            let t = s.add_type("Tmp", [root], [])?;
+            s.drop_type(t)?;
+            let before = s.stats().noop_recomputes;
+            let clone = s.clone();
+            assert_eq!(clone.stats().noop_recomputes, before + 1);
+            assert!(clone.verify().is_empty());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn clean_clone_copies_stats_verbatim() {
+        let (mut s, _, a, _) = tiny();
+        let p = s.add_property("x");
+        s.add_essential_property(a, p).unwrap();
+        let clone = s.clone();
+        assert_eq!(clone.stats(), s.stats());
+        assert_eq!(clone.fingerprint(), s.fingerprint());
+    }
+
+    #[test]
+    fn canonical_fingerprint_ignores_id_assignment_order() {
+        // Same structure, different construction order → different TypeIds
+        // but equal canonical fingerprints (plain fingerprints differ or
+        // not, depending on hashing details — canonical must be equal).
+        let build = |flip: bool| {
+            let mut s = Schema::new(LatticeConfig::default());
+            let root = s.add_root_type("root").unwrap();
+            if flip {
+                let b = s.add_type("B", [root], []).unwrap();
+                let a = s.add_type("A", [root], []).unwrap();
+                s.add_type("C", [a, b], []).unwrap();
+            } else {
+                let a = s.add_type("A", [root], []).unwrap();
+                let b = s.add_type("B", [root], []).unwrap();
+                s.add_type("C", [a, b], []).unwrap();
+            }
+            s
+        };
+        assert_eq!(
+            build(false).canonical_fingerprint(),
+            build(true).canonical_fingerprint()
+        );
+        // And it is still structure-sensitive.
+        let mut changed = build(false);
+        let c = changed.type_by_name("C").unwrap();
+        let a = changed.type_by_name("A").unwrap();
+        changed.drop_essential_supertype(c, a).unwrap();
+        assert_ne!(
+            build(false).canonical_fingerprint(),
+            changed.canonical_fingerprint()
+        );
     }
 
     #[test]

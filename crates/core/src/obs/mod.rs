@@ -1,0 +1,328 @@
+//! Observability for the evolution pipeline: metrics + structured tracing.
+//!
+//! This module is the *only* place in the workspace that owns counters —
+//! every other layer (engine, ops, concurrent, journal, history) takes an
+//! optional [`EvolveObs`] handle and reports through it. `EvolveObs`
+//! pre-resolves its counter/histogram handles from a shared
+//! [`MetricsRegistry`] at construction time, so the hot paths pay one
+//! `Option` check plus an atomic add — no locks, no map lookups, no
+//! allocation.
+//!
+//! Determinism guarantee: with a single writer on `MemIo` (or any
+//! deterministic I/O), every counter, histogram bucket, and span event is
+//! a pure function of the operation sequence. The conformance and
+//! determinism test suites rely on this to assert *exact* counts; see
+//! DESIGN.md §9 for the metric catalog.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use trace::{EvolveTracer, RecomputeScope, SpanData, SpanEvent};
+
+use std::sync::Arc;
+
+use crate::history::RecordedOp;
+use crate::journal::RecoveryReport;
+
+/// Canonical metric names used by the evolution pipeline.
+///
+/// Counters unless noted; `engine.affected_set_size` and
+/// `engine.lattice_depth` are histograms. `ops.<kind>` counters (one per
+/// [`RecordedOp`] variant, e.g.
+/// `ops.add_type`) are registered lazily as operations flow through an
+/// observed journal.
+pub mod names {
+    /// Whole-lattice recomputations.
+    pub const ENGINE_FULL: &str = "engine.full_recomputes";
+    /// Scoped (down-set) recomputations that derived ≥ 1 type.
+    pub const ENGINE_SCOPED: &str = "engine.scoped_recomputes";
+    /// Scoped recomputations whose affected set was empty.
+    pub const ENGINE_NOOP: &str = "engine.noop_recomputes";
+    /// Total per-type derivations across all recomputations.
+    pub const ENGINE_TYPES_DERIVED: &str = "engine.types_derived";
+    /// `Arc::make_mut` copies actually performed on shared schema spines.
+    pub const ENGINE_COW_COPIES: &str = "engine.cow_copies";
+    /// Histogram: types re-derived per recomputation.
+    pub const ENGINE_AFFECTED: &str = "engine.affected_set_size";
+    /// Histogram: longest derivation chain per recomputation.
+    pub const ENGINE_DEPTH: &str = "engine.lattice_depth";
+    /// `SharedSchema::snapshot` calls.
+    pub const SHARED_SNAPSHOTS: &str = "shared.snapshots";
+    /// Schema versions published (successful commits).
+    pub const SHARED_PUBLISHES: &str = "shared.publishes";
+    /// Evolutions rejected before publish (closure or commit error).
+    pub const SHARED_REJECTED: &str = "shared.rejected";
+    /// `append_all` batches written to the WAL.
+    pub const JOURNAL_APPEND_BATCHES: &str = "journal.append_batches";
+    /// Records appended to the WAL.
+    pub const JOURNAL_APPENDED_RECORDS: &str = "journal.appended_records";
+    /// Encoded WAL bytes appended.
+    pub const JOURNAL_APPENDED_BYTES: &str = "journal.appended_bytes";
+    /// Successful `fsync`/`fsync_dir` calls through the journal I/O.
+    pub const JOURNAL_FSYNCS: &str = "journal.fsyncs";
+    /// Checkpoints written.
+    pub const JOURNAL_CHECKPOINTS: &str = "journal.checkpoints";
+    /// Checkpoint bytes written.
+    pub const JOURNAL_CHECKPOINT_BYTES: &str = "journal.checkpoint_bytes";
+    /// Journals wedged by an I/O failure.
+    pub const JOURNAL_WEDGES: &str = "journal.wedges";
+    /// WAL records replayed during recovery.
+    pub const RECOVERY_REPLAYED: &str = "recovery.replayed";
+    /// Damaged checkpoints skipped during salvage recovery.
+    pub const RECOVERY_SKIPPED_CHECKPOINTS: &str = "recovery.skipped_checkpoints";
+    /// Invalid WAL tails dropped during salvage recovery.
+    pub const RECOVERY_DROPPED_TAILS: &str = "recovery.dropped_tails";
+    /// Bytes dropped with salvaged WAL tails.
+    pub const RECOVERY_DROPPED_BYTES: &str = "recovery.dropped_bytes";
+    /// Prefix of the per-operation-kind counters (`ops.add_type`, …).
+    pub const OPS_PREFIX: &str = "ops.";
+}
+
+/// The observer handle threaded through the evolution pipeline.
+///
+/// Wraps a shared [`MetricsRegistry`] (handles pre-resolved) and an
+/// optional [`EvolveTracer`]. Attach one to a
+/// [`Schema`](crate::model::Schema) with
+/// [`Schema::attach_obs`](crate::model::Schema::attach_obs), or thread it
+/// through the journal with
+/// [`Journal::open_observed`](crate::journal::Journal::open_observed) /
+/// [`JournaledSchema::open_observed`](crate::journal::JournaledSchema::open_observed).
+#[derive(Debug)]
+pub struct EvolveObs {
+    registry: Arc<MetricsRegistry>,
+    tracer: Option<Arc<EvolveTracer>>,
+    full: Arc<Counter>,
+    scoped: Arc<Counter>,
+    noop: Arc<Counter>,
+    types_derived: Arc<Counter>,
+    cow_copies: Arc<Counter>,
+    affected: Arc<Histogram>,
+    depth: Arc<Histogram>,
+    snapshots: Arc<Counter>,
+    publishes: Arc<Counter>,
+    rejected: Arc<Counter>,
+    append_batches: Arc<Counter>,
+    appended_records: Arc<Counter>,
+    appended_bytes: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_bytes: Arc<Counter>,
+    wedges: Arc<Counter>,
+}
+
+impl EvolveObs {
+    /// An observer counting into `registry`, with no tracer.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self::build(registry, None)
+    }
+
+    /// An observer counting into `registry` and emitting span events to
+    /// `tracer`.
+    pub fn with_tracer(registry: Arc<MetricsRegistry>, tracer: Arc<EvolveTracer>) -> Self {
+        Self::build(registry, Some(tracer))
+    }
+
+    fn build(registry: Arc<MetricsRegistry>, tracer: Option<Arc<EvolveTracer>>) -> Self {
+        EvolveObs {
+            full: registry.counter(names::ENGINE_FULL),
+            scoped: registry.counter(names::ENGINE_SCOPED),
+            noop: registry.counter(names::ENGINE_NOOP),
+            types_derived: registry.counter(names::ENGINE_TYPES_DERIVED),
+            cow_copies: registry.counter(names::ENGINE_COW_COPIES),
+            affected: registry.histogram(names::ENGINE_AFFECTED),
+            depth: registry.histogram(names::ENGINE_DEPTH),
+            snapshots: registry.counter(names::SHARED_SNAPSHOTS),
+            publishes: registry.counter(names::SHARED_PUBLISHES),
+            rejected: registry.counter(names::SHARED_REJECTED),
+            append_batches: registry.counter(names::JOURNAL_APPEND_BATCHES),
+            appended_records: registry.counter(names::JOURNAL_APPENDED_RECORDS),
+            appended_bytes: registry.counter(names::JOURNAL_APPENDED_BYTES),
+            fsyncs: registry.counter(names::JOURNAL_FSYNCS),
+            checkpoints: registry.counter(names::JOURNAL_CHECKPOINTS),
+            checkpoint_bytes: registry.counter(names::JOURNAL_CHECKPOINT_BYTES),
+            wedges: registry.counter(names::JOURNAL_WEDGES),
+            registry,
+            tracer,
+        }
+    }
+
+    /// The registry this observer counts into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The span-event sink, if one was attached.
+    pub fn tracer(&self) -> Option<&Arc<EvolveTracer>> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn span(&self, data: SpanData) {
+        if let Some(t) = &self.tracer {
+            t.record(data);
+        }
+    }
+
+    /// A recomputation finished: `affected` types re-derived, longest
+    /// derivation chain `depth`.
+    pub(crate) fn on_recompute(&self, scope: RecomputeScope, affected: u64, depth: u64) {
+        match scope {
+            RecomputeScope::Full => self.full.inc(),
+            RecomputeScope::Scoped => self.scoped.inc(),
+            RecomputeScope::Noop => self.noop.inc(),
+        }
+        self.types_derived.add(affected);
+        self.affected.observe(affected);
+        self.depth.observe(depth);
+        self.span(SpanData::Recompute {
+            scope,
+            affected,
+            depth,
+        });
+    }
+
+    /// An `Arc::make_mut` on a shared spine actually copied.
+    #[inline]
+    pub(crate) fn on_cow_copy(&self) {
+        self.cow_copies.inc();
+    }
+
+    /// A reader took a `SharedSchema` snapshot.
+    #[inline]
+    pub(crate) fn on_snapshot(&self) {
+        self.snapshots.inc();
+    }
+
+    /// A new schema version was published.
+    pub(crate) fn on_publish(&self, version: u64) {
+        self.publishes.inc();
+        self.span(SpanData::Publish { version });
+    }
+
+    /// An evolution was rejected before publish.
+    #[inline]
+    pub(crate) fn on_reject(&self) {
+        self.rejected.inc();
+    }
+
+    /// A recorded operation is about to be applied (journal append or
+    /// recovery replay), at journal sequence `seq`.
+    pub(crate) fn on_op(&self, seq: u64, op: &RecordedOp) {
+        self.registry
+            .add(&format!("{}{}", names::OPS_PREFIX, op.kind_name()), 1);
+        if self.tracer.is_some() {
+            self.span(SpanData::OpStart {
+                seq,
+                op: crate::journal::wire::encode_op(op),
+            });
+        }
+    }
+
+    /// A WAL append batch succeeded.
+    pub(crate) fn on_journal_append(&self, records: u64, bytes: u64) {
+        self.append_batches.inc();
+        self.appended_records.add(records);
+        self.appended_bytes.add(bytes);
+        self.span(SpanData::JournalAppend { records, bytes });
+    }
+
+    /// A journal I/O fsync (file or directory) succeeded.
+    #[inline]
+    pub(crate) fn on_fsync(&self) {
+        self.fsyncs.inc();
+    }
+
+    /// A checkpoint of `bytes` encoded bytes was written.
+    pub(crate) fn on_checkpoint(&self, bytes: u64) {
+        self.checkpoints.inc();
+        self.checkpoint_bytes.add(bytes);
+    }
+
+    /// The journal wedged after an I/O failure.
+    #[inline]
+    pub(crate) fn on_wedge(&self) {
+        self.wedges.inc();
+    }
+
+    /// Fold a recovery report into the `recovery.*` counters.
+    pub(crate) fn fold_recovery(&self, report: &RecoveryReport) {
+        self.registry.fold_recovery(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+    use crate::Schema;
+
+    #[test]
+    fn attached_schema_mirrors_engine_stats_and_counts_cow() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(EvolveTracer::new());
+        let obs = Arc::new(EvolveObs::with_tracer(
+            Arc::clone(&reg),
+            Arc::clone(&tracer),
+        ));
+        let mut s = Schema::new(LatticeConfig::default());
+        s.attach_obs(Arc::clone(&obs));
+        let root = s.add_root_type("root").unwrap();
+        let a = s.add_type("a", [root], []).unwrap();
+        s.add_type("b", [a], []).unwrap();
+
+        let stats = *s.stats();
+        assert_eq!(reg.get(names::ENGINE_FULL), stats.full_recomputes);
+        assert_eq!(reg.get(names::ENGINE_SCOPED), stats.scoped_recomputes);
+        assert_eq!(reg.get(names::ENGINE_NOOP), stats.noop_recomputes);
+        assert_eq!(reg.get(names::ENGINE_TYPES_DERIVED), stats.types_derived);
+
+        // The affected-set histogram counted one observation per recompute.
+        let snap = reg.snapshot();
+        let hist = &snap.histograms[names::ENGINE_AFFECTED];
+        assert_eq!(
+            hist.count,
+            stats.full_recomputes + stats.scoped_recomputes + stats.noop_recomputes
+        );
+        assert_eq!(hist.sum, stats.types_derived);
+
+        // No `Arc` copy happened while this schema was the sole owner of
+        // its spines; editing next to a live clone copies exactly then.
+        assert_eq!(reg.get(names::ENGINE_COW_COPIES), 0);
+        let keep = s.clone();
+        let p = s.add_property("x");
+        s.add_essential_property(a, p).unwrap();
+        assert!(reg.get(names::ENGINE_COW_COPIES) > 0);
+        drop(keep);
+
+        // Recompute spans were traced with monotonic sequence numbers.
+        let events = tracer.events();
+        assert!(events.iter().any(|e| e.data.kind() == "recompute"));
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn depth_histogram_tracks_invalidation_chain() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Arc::new(EvolveObs::new(Arc::clone(&reg)));
+        let mut s = Schema::new(LatticeConfig::default());
+        let root = s.add_root_type("root").unwrap();
+        let mut prev = root;
+        for i in 0..4 {
+            prev = s.add_type(format!("c{i}"), [prev], []).unwrap();
+        }
+        s.attach_obs(Arc::clone(&obs));
+        let c0 = s.type_by_name("c0").unwrap();
+        let p = s.add_property("x");
+        // Seeding at c0 invalidates the chain c0..c3: 4 types, depth 4.
+        s.add_essential_property(c0, p).unwrap();
+        let snap = reg.snapshot();
+        let depth = &snap.histograms[names::ENGINE_DEPTH];
+        assert_eq!(depth.count, 1);
+        assert_eq!(depth.sum, 4);
+        let affected = &snap.histograms[names::ENGINE_AFFECTED];
+        assert_eq!(affected.sum, 4);
+    }
+}

@@ -31,7 +31,7 @@ use crate::engine::{BatchState, ChangeKind};
 use crate::error::{Result, SchemaError};
 use crate::history::RecordedOp;
 use crate::ids::{PropId, TypeId};
-use crate::model::{PropRecord, Schema, TypeSlot};
+use crate::model::{cow, PropRecord, Schema, TypeSlot};
 
 impl Schema {
     // ------------------------------------------------------------------
@@ -55,7 +55,7 @@ impl Schema {
     /// Rename a property (labels only; identity is unchanged).
     pub fn rename_property(&mut self, p: PropId, name: impl Into<String>) -> Result<()> {
         self.check_live_prop(p)?;
-        Arc::make_mut(&mut self.props[p.index()]).name = name.into();
+        cow(&self.obs, &mut self.props[p.index()]).name = name.into();
         self.bump_version();
         Ok(())
     }
@@ -70,9 +70,9 @@ impl Schema {
             .filter(|&t| self.types[t.index()].ne.contains(&p))
             .collect();
         for &t in &holders {
-            Arc::make_mut(&mut self.types[t.index()]).ne.remove(&p);
+            cow(&self.obs, &mut self.types[t.index()]).ne.remove(&p);
         }
-        Arc::make_mut(&mut self.props[p.index()]).alive = false;
+        cow(&self.obs, &mut self.props[p.index()]).alive = false;
         if !holders.is_empty() {
             self.note_change(&holders, ChangeKind::PropsOnly);
         }
@@ -163,7 +163,7 @@ impl Schema {
         let mut changed = vec![t];
         if self.config.is_pointed() {
             if let Some(b) = self.base {
-                Arc::make_mut(&mut self.types[b.index()]).pe.insert(t);
+                cow(&self.obs, &mut self.types[b.index()]).pe.insert(t);
                 self.rev_insert(t, b);
                 changed.push(b);
             }
@@ -185,10 +185,10 @@ impl Schema {
         }
         self.check_fresh_name(&new_name)?;
         let old = std::mem::replace(
-            &mut Arc::make_mut(&mut self.types[t.index()]).name,
+            &mut cow(&self.obs, &mut self.types[t.index()]).name,
             new_name.clone(),
         );
-        let by_name = Arc::make_mut(&mut self.by_name);
+        let by_name = cow(&self.obs, &mut self.by_name);
         by_name.remove(&old);
         by_name.insert(new_name, t);
         self.bump_version();
@@ -242,7 +242,7 @@ impl Schema {
         };
         let mut relinked: Vec<TypeId> = Vec::new();
         for &c in &subtypes {
-            let slot = Arc::make_mut(&mut self.types[c.index()]);
+            let slot = cow(&self.obs, &mut self.types[c.index()]);
             slot.pe.remove(&t);
             if slot.pe.is_empty() {
                 if let Some(root) = relink_root {
@@ -262,12 +262,12 @@ impl Schema {
         }
         // ...and as a supertype (its subtypes just dropped their t-edges).
         self.rev[t.index()] = Arc::default();
-        let slot = Arc::make_mut(&mut self.types[t.index()]);
+        let slot = cow(&self.obs, &mut self.types[t.index()]);
         slot.alive = false;
         slot.pe.clear();
         slot.ne.clear();
         let name = slot.name.clone();
-        Arc::make_mut(&mut self.by_name).remove(&name);
+        cow(&self.obs, &mut self.by_name).remove(&name);
         self.derived[t.index()] = Arc::default();
         if !subtypes.is_empty() {
             self.note_change(&subtypes, ChangeKind::Edges);
@@ -319,7 +319,7 @@ impl Schema {
                 supertype: s,
             });
         }
-        Arc::make_mut(&mut self.types[t.index()]).pe.insert(s);
+        cow(&self.obs, &mut self.types[t.index()]).pe.insert(s);
         self.rev_insert(s, t);
         self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
@@ -355,11 +355,11 @@ impl Schema {
         if self.config.is_pointed() && Some(t) == self.base {
             return Err(SchemaError::BaseEdgeDrop { supertype: s });
         }
-        Arc::make_mut(&mut self.types[t.index()]).pe.remove(&s);
+        cow(&self.obs, &mut self.types[t.index()]).pe.remove(&s);
         self.rev_remove(s, t);
         if self.types[t.index()].pe.is_empty() {
             if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
-                Arc::make_mut(&mut self.types[t.index()]).pe.insert(root);
+                cow(&self.obs, &mut self.types[t.index()]).pe.insert(root);
                 self.rev_insert(root, t);
             }
         }
@@ -379,7 +379,7 @@ impl Schema {
     pub fn add_essential_property(&mut self, t: TypeId, p: PropId) -> Result<bool> {
         self.check_live(t)?;
         self.check_live_prop(p)?;
-        let inserted = Arc::make_mut(&mut self.types[t.index()]).ne.insert(p);
+        let inserted = cow(&self.obs, &mut self.types[t.index()]).ne.insert(p);
         if inserted {
             self.note_change(&[t], ChangeKind::PropsOnly);
             self.bump_version();
@@ -405,7 +405,7 @@ impl Schema {
         if !self.types[t.index()].ne.contains(&p) {
             return Err(SchemaError::NotAnEssentialProperty { ty: t, prop: p });
         }
-        Arc::make_mut(&mut self.types[t.index()]).ne.remove(&p);
+        cow(&self.obs, &mut self.types[t.index()]).ne.remove(&p);
         self.note_change(&[t], ChangeKind::PropsOnly);
         self.bump_version();
         Ok(())
@@ -429,7 +429,7 @@ impl Schema {
         ne: std::collections::BTreeSet<PropId>,
     ) -> TypeId {
         let t = TypeId::from_index(self.types.len());
-        Arc::make_mut(&mut self.by_name).insert(name.clone(), t);
+        cow(&self.obs, &mut self.by_name).insert(name.clone(), t);
         let parents: Vec<TypeId> = pe.iter().copied().collect();
         self.types.push(Arc::new(TypeSlot {
             name,

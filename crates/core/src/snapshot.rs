@@ -347,6 +347,7 @@ fn assemble(
         stats: Default::default(),
         rev: Vec::new(),
         batch: None,
+        obs: None,
     };
     schema.rebuild_subtype_index();
     schema.recompute_all();
