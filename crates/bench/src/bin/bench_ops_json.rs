@@ -8,6 +8,11 @@
 //! not hold: batched replay on the incremental engine must be at least 5x
 //! faster than op-by-op replay on the naive engine.
 //!
+//! The `analysis` block prices the static certification path: a
+//! drop-only trace applied via `apply_trace_partitioned` (analyze +
+//! certify + one `evolve_batch` per independence class) versus one
+//! uncertified `evolve_batch`, with a fingerprint cross-check.
+//!
 //! Run: `cargo run --release -p axiombase-bench --bin bench_ops_json`
 
 use axiombase_bench::expect;
@@ -123,6 +128,57 @@ fn measure_metrics(base: &Schema, ops: &[RecordedOp]) -> MetricsSnapshot {
     registry.snapshot()
 }
 
+/// A drop-only trace over `base`'s redundant fan-in: one essential-edge
+/// drop per multi-parent type (row-disjoint, so the analyzer certifies
+/// the whole trace order-independent), capped at `max` ops.
+fn harvest_drops(base: &Schema, max: usize) -> Vec<RecordedOp> {
+    let mut ops = Vec::new();
+    for t in base.iter_types() {
+        let Ok(pe) = base.essential_supertypes(t) else {
+            continue;
+        };
+        if pe.len() >= 2 {
+            let s = *pe.iter().next().expect("non-empty");
+            ops.push(RecordedOp::DropEssentialSupertype { t, s });
+        }
+        if ops.len() == max {
+            break;
+        }
+    }
+    ops
+}
+
+/// Best-of-N per-op latency of the certified-partitioned schedule
+/// (static analysis + one `evolve_batch` per independence class) and of
+/// one uncertified whole-trace `evolve_batch`, over the same drops.
+fn measure_analysis(base: &Schema, ops: &[RecordedOp]) -> (u128, u128, usize, bool, u64, u64) {
+    let mut part_ns = u128::MAX;
+    let mut batch_ns = u128::MAX;
+    let mut classes = 0;
+    let mut certified = false;
+    let mut part_fp = 0;
+    let mut batch_fp = 0;
+    for _ in 0..ITERATIONS {
+        let mut s = base.clone();
+        let start = Instant::now();
+        let report = s
+            .apply_trace_partitioned(ops)
+            .expect("certified drop trace replays");
+        part_ns = part_ns.min(start.elapsed().as_nanos() / ops.len() as u128);
+        classes = report.classes;
+        certified = report.certified;
+        part_fp = s.fingerprint();
+
+        let mut s = base.clone();
+        let start = Instant::now();
+        s.evolve_batch(|s| s.apply_trace(ops))
+            .expect("batched drop trace replays");
+        batch_ns = batch_ns.min(start.elapsed().as_nanos() / ops.len() as u128);
+        batch_fp = s.fingerprint();
+    }
+    (part_ns, batch_ns, classes, certified, part_fp, batch_fp)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -221,6 +277,25 @@ fn main() {
         "affected-set histogram observed once per recomputation",
     );
 
+    // Static certification path: a row-disjoint drop trace the analyzer
+    // certifies order-independent, applied via the partitioned scheduler
+    // (pays the analysis) versus one uncertified whole-trace batch.
+    let drops = harvest_drops(&jbase, 64);
+    expect(drops.len() >= 16, "lattice yields a non-trivial drop trace");
+    let (part_ns, batch_ns, classes, certified, part_fp, batch_fp) =
+        measure_analysis(&jbase, &drops);
+    println!("{:>11} / {:<7} {part_ns:>12} ns/op", "analysis", "partit.");
+    println!("{:>11} / {:<7} {batch_ns:>12} ns/op", "analysis", "batch");
+    println!(
+        "certified drop trace: {} ops, {classes} independence class(es)",
+        drops.len()
+    );
+    expect(certified, "the drop trace is certified order-independent");
+    expect(
+        part_fp == batch_fp,
+        "partitioned and batched replay produce identical schemas",
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"ops_single_vs_batched\",");
@@ -244,6 +319,13 @@ fn main() {
     let _ = writeln!(json, "    \"unjournaled_ns_per_op\": {plain_ns},");
     let _ = writeln!(json, "    \"journaled_ns_per_op\": {journaled_ns},");
     let _ = writeln!(json, "    \"overhead\": {overhead:.2}");
+    json.push_str("  },\n");
+    json.push_str("  \"analysis\": {\n");
+    let _ = writeln!(json, "    \"drop_ops\": {},", drops.len());
+    let _ = writeln!(json, "    \"certified\": {certified},");
+    let _ = writeln!(json, "    \"independence_classes\": {classes},");
+    let _ = writeln!(json, "    \"partitioned_ns_per_op\": {part_ns},");
+    let _ = writeln!(json, "    \"batched_ns_per_op\": {batch_ns}");
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"metrics\": {}", metrics.to_json());
     json.push_str("}\n");

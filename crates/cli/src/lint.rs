@@ -9,7 +9,7 @@
 //! starts with `axiombase ` is a snapshot (linted statically, rules L1–L4);
 //! anything else is a command script, which is executed in a fresh
 //! [`Session`] and linted as a history (schema rules plus the trace rules
-//! L5–L6 over the recorded operations).
+//! L5–L8 over the recorded operations).
 //!
 //! `--deny RULE` (repeatable; `RULE` is a code like `L3`, a kebab-case name,
 //! or `all`) turns findings of that rule into failures: the process exits 1
@@ -44,7 +44,7 @@ struct Options {
 
 fn usage() -> i32 {
     eprintln!("usage: axiombase lint [--format text|json] [--deny RULE|all]... [--fix] FILE...");
-    eprintln!("       RULE is a code (L1..L6) or name (e.g. name-conflict-hazard)");
+    eprintln!("       RULE is a code (L1..L8) or name (e.g. name-conflict-hazard)");
     2
 }
 
@@ -152,10 +152,15 @@ fn lint_one(path: &str, text: &str, fix: bool) -> Result<FileReport, String> {
         let mut schema = Schema::from_snapshot(text).map_err(|e| e.to_string())?;
         let fixes_applied = if fix {
             let n = canonicalize(&mut schema);
-            if n > 0 {
+            // Only touch the file when its bytes would actually change: a
+            // fix round that lands back on the original text (or a repeat
+            // run on an already-fixed file) must not churn the inode with
+            // a no-op atomic rename.
+            let fixed = schema.to_snapshot();
+            if n > 0 && fixed != text {
                 axiombase_core::journal::io::atomic_write_file(
                     std::path::Path::new(path),
-                    schema.to_snapshot().as_bytes(),
+                    fixed.as_bytes(),
                 )
                 .map_err(|e| format!("cannot write fixed snapshot: {e}"))?;
             }
@@ -366,7 +371,7 @@ mod tests {
         assert_eq!(o.files, vec!["f"]);
 
         let o = parse_args(&["--deny", "all", "x", "y"]).unwrap();
-        assert_eq!(o.deny.len(), 6);
+        assert_eq!(o.deny.len(), 8);
         assert_eq!(o.files.len(), 2);
 
         assert!(parse_args(&[]).is_err());

@@ -7,7 +7,8 @@
 //! axiombase                # interactive REPL (reads stdin line by line)
 //! axiombase run SCRIPT     # execute a command script, then exit
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
-//! axiombase lint FILE...   # static analysis (L1-L6) of snapshots/scripts
+//! axiombase lint FILE...   # static analysis (L1-L8) of snapshots/scripts
+//! axiombase analyze [TRACE|DIR] [--mc-bound N]  # trace certification + model check
 //! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
 //! axiombase recover DIR [--salvage] [--json] [--trace-spans]  # replay + repair
 //! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
@@ -19,6 +20,7 @@
 //! subcommand's flags are documented in [`lint`], the journal subcommands
 //! in [`journal_cmd`].
 
+mod analyze;
 mod command;
 mod exec;
 mod journal_cmd;
@@ -40,6 +42,7 @@ fn main() {
         ["run", path] => run_script(path),
         ["check", path] => check_snapshot(path),
         ["lint", rest @ ..] => lint::run(rest),
+        ["analyze", rest @ ..] => analyze::run(rest),
         ["journal-init", rest @ ..] => journal_cmd::init(rest),
         ["recover", rest @ ..] => journal_cmd::recover(rest),
         ["checkpoint", rest @ ..] => journal_cmd::checkpoint(rest),
@@ -48,8 +51,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
-                 journal-init DIR [SNAPSHOT] | recover DIR | checkpoint DIR | log DIR | \
-                 stats DIR]"
+                 analyze TRACE|DIR | journal-init DIR [SNAPSHOT] | recover DIR | \
+                 checkpoint DIR | log DIR | stats DIR]"
             );
             2
         }

@@ -1,0 +1,545 @@
+//! Footprint inference: the read/write set of each [`RecordedOp`] over the
+//! designer-input cells (`P_e` rows, `N_e` cells, names, liveness,
+//! freezing, allocation cursors), computed *statically* from a symbolic
+//! shadow of the inputs — no operation is ever applied to a [`Schema`].
+//!
+//! The symbolic state mirrors exactly the input-level edits the paper's
+//! primitives perform (including the canonical relink-to-⊤ of MT-DSR and
+//! DT), and maintains the reverse-subtype index *structurally* so each
+//! op's derived-lattice reach (the down-set a derivation pass would visit)
+//! is available without consulting the engine.
+
+use std::collections::BTreeSet;
+
+use crate::history::RecordedOp;
+use crate::model::Schema;
+
+/// One addressable unit of designer-input state. Two operations can only
+/// interact through a shared cell; disjoint footprints are the first (and
+/// cheapest) commutation theorem (Bernstein's condition).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cell {
+    /// Liveness of the type slot at this arena index.
+    TypeLive(usize),
+    /// Liveness of the property slot at this arena index.
+    PropLive(usize),
+    /// The frozen flag of a type.
+    Frozen(usize),
+    /// The name label stored in a type slot.
+    TypeNameCell(usize),
+    /// The name label stored in a property slot.
+    PropNameCell(usize),
+    /// The global unique-type-name table entry for one string.
+    Name(String),
+    /// A whole `P_e(t)` row (essential supertypes of `t`).
+    PeRow(usize),
+    /// One `N_e(t)` membership bit for property `p` on type `t`.
+    NeCell(usize, usize),
+    /// The root (⊤) designation.
+    RootCell,
+    /// The base (⊥) designation.
+    BaseCell,
+    /// Whole-graph upward reachability, read by the cycle guard of
+    /// MT-ASR. Only materialised when the trace's *union* edge graph is
+    /// cyclic; when it is acyclic the guard is vacuous in every order
+    /// (a subgraph of an acyclic graph is acyclic) and no op reads this.
+    CycleGuard,
+    /// The type-arena allocation cursor (every type-creating op).
+    TypeArena,
+    /// The property-arena allocation cursor.
+    PropArena,
+}
+
+/// The statically inferred effect of one operation.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Cells the op's guards and edits read.
+    pub reads: BTreeSet<Cell>,
+    /// Cells the op mutates.
+    pub writes: BTreeSet<Cell>,
+    /// Type indexes whose derived rows (`P`, `PL`, `N`, `H`, `I`) a
+    /// derivation pass seeded by this op would re-derive: the down-set of the
+    /// written rows in the pre-state, walked over the structural
+    /// reverse-subtype index.
+    pub reach: BTreeSet<usize>,
+    /// Does this op allocate a fresh arena slot (and therefore bind a
+    /// raw id that later ops may reference)?
+    pub allocates: bool,
+}
+
+impl Footprint {
+    /// Bernstein's condition: neither op reads or writes a cell the
+    /// other writes.
+    pub fn disjoint(&self, other: &Footprint) -> bool {
+        self.writes.is_disjoint(&other.writes)
+            && self.writes.is_disjoint(&other.reads)
+            && self.reads.is_disjoint(&other.writes)
+    }
+}
+
+/// Symbolic shadow of one type slot's designer inputs.
+#[derive(Debug, Clone)]
+pub struct SymType {
+    /// Slot liveness.
+    pub live: bool,
+    /// Frozen flag.
+    pub frozen: bool,
+    /// Current name.
+    pub name: String,
+    /// `P_e(t)` as arena indexes.
+    pub pe: BTreeSet<usize>,
+    /// `N_e(t)` as property arena indexes.
+    pub ne: BTreeSet<usize>,
+}
+
+/// Symbolic shadow of one property slot.
+#[derive(Debug, Clone)]
+pub struct SymProp {
+    /// Slot liveness.
+    pub live: bool,
+    /// Current name.
+    pub name: String,
+}
+
+/// A pure shadow of the designer inputs: everything the operation guards
+/// read and the operation edits touch, and nothing the engine derives.
+/// Stepping it through a recorded (i.e. known-successful) trace mirrors
+/// each primitive's input-level edit without executing the primitive.
+#[derive(Debug, Clone)]
+pub struct SymbolicState {
+    /// Is the configuration rooted (⊤ maintained)?
+    pub rooted: bool,
+    /// Is the configuration pointed (⊥ maintained)?
+    pub pointed: bool,
+    /// Arena index of the root, if designated.
+    pub root: Option<usize>,
+    /// Arena index of the base, if designated.
+    pub base: Option<usize>,
+    /// Type arena (index-aligned with the schema's).
+    pub types: Vec<SymType>,
+    /// Property arena (index-aligned with the schema's).
+    pub props: Vec<SymProp>,
+    /// Structural reverse-subtype index: `rev[s]` = essential subtypes
+    /// of `s` (types whose `P_e` row contains `s`), maintained
+    /// incrementally exactly like the engine's index, but from inputs
+    /// alone.
+    pub rev: Vec<BTreeSet<usize>>,
+}
+
+impl SymbolicState {
+    /// Capture the designer inputs of a live schema.
+    pub fn capture(schema: &Schema) -> SymbolicState {
+        let types: Vec<SymType> = schema
+            .types
+            .iter()
+            .map(|t| SymType {
+                live: t.alive,
+                frozen: t.frozen,
+                name: t.name.clone(),
+                pe: t.pe.iter().map(|s| s.index()).collect(),
+                ne: t.ne.iter().map(|p| p.index()).collect(),
+            })
+            .collect();
+        let props = schema
+            .props
+            .iter()
+            .map(|p| SymProp {
+                live: p.alive,
+                name: p.name.clone(),
+            })
+            .collect();
+        let mut state = SymbolicState {
+            rooted: schema.config().is_rooted(),
+            pointed: schema.config().is_pointed(),
+            root: schema.root().map(crate::ids::TypeId::index),
+            base: schema.base().map(crate::ids::TypeId::index),
+            types,
+            props,
+            rev: Vec::new(),
+        };
+        state.rebuild_rev();
+        state
+    }
+
+    fn rebuild_rev(&mut self) {
+        self.rev = vec![BTreeSet::new(); self.types.len()];
+        for (t, slot) in self.types.iter().enumerate() {
+            if slot.live {
+                for &s in &slot.pe {
+                    if let Some(set) = self.rev.get_mut(s) {
+                        set.insert(t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_type(&mut self, name: &str, pe: BTreeSet<usize>, ne: BTreeSet<usize>) -> usize {
+        let id = self.types.len();
+        for &s in &pe {
+            if let Some(set) = self.rev.get_mut(s) {
+                set.insert(id);
+            }
+        }
+        self.types.push(SymType {
+            live: true,
+            frozen: false,
+            name: name.to_owned(),
+            pe,
+            ne,
+        });
+        self.rev.push(BTreeSet::new());
+        id
+    }
+
+    /// The down-set of `seeds` (seeds plus everything essentially below
+    /// them), walked over the structural reverse index — the set of types
+    /// whose derived rows a derivation pass seeded by these rows would visit.
+    pub fn down_set(&self, seeds: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = seeds.clone();
+        let mut work: Vec<usize> = seeds.iter().copied().collect();
+        while let Some(t) = work.pop() {
+            if let Some(subs) = self.rev.get(t) {
+                for &c in subs {
+                    if out.insert(c) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-local canonical drop: remove `s` from `P_e(t)` and relink an
+    /// emptied row to ⊤ (the axiomatic MT-DSR edit).
+    fn drop_edge(&mut self, t: usize, s: usize) {
+        self.types[t].pe.remove(&s);
+        if let Some(set) = self.rev.get_mut(s) {
+            set.remove(&t);
+        }
+        if self.types[t].pe.is_empty() && self.rooted && Some(t) != self.root {
+            if let Some(root) = self.root {
+                self.types[t].pe.insert(root);
+                self.rev[root].insert(t);
+            }
+        }
+    }
+
+    /// Mirror one recorded (known-successful) operation's input edits.
+    /// Must be called on ops in their recorded order.
+    pub fn step(&mut self, op: &RecordedOp) {
+        match op {
+            RecordedOp::AddProperty { name } => {
+                self.props.push(SymProp {
+                    live: true,
+                    name: name.clone(),
+                });
+            }
+            RecordedOp::RenameProperty { p, name } => {
+                self.props[p.index()].name.clone_from(name);
+            }
+            RecordedOp::DropProperty { p } => {
+                let pi = p.index();
+                for t in &mut self.types {
+                    t.ne.remove(&pi);
+                }
+                self.props[pi].live = false;
+            }
+            RecordedOp::AddRootType { name } => {
+                let id = self.push_type(name, BTreeSet::new(), BTreeSet::new());
+                self.root = Some(id);
+            }
+            RecordedOp::AddBaseType { name } => {
+                let pe: BTreeSet<usize> = self
+                    .types
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.live)
+                    .map(|(i, _)| i)
+                    .collect();
+                let id = self.push_type(name, pe, BTreeSet::new());
+                self.base = Some(id);
+            }
+            RecordedOp::AddType {
+                name,
+                supers,
+                props,
+            } => {
+                let mut pe: BTreeSet<usize> = supers.iter().map(|s| s.index()).collect();
+                if pe.is_empty() && self.rooted {
+                    if let Some(root) = self.root {
+                        pe.insert(root);
+                    }
+                }
+                let ne = props.iter().map(|p| p.index()).collect();
+                let id = self.push_type(name, pe, ne);
+                if self.pointed {
+                    if let Some(base) = self.base {
+                        self.types[base].pe.insert(id);
+                        self.rev[id].insert(base);
+                    }
+                }
+            }
+            RecordedOp::DropType { t } => {
+                let ti = t.index();
+                let subs: Vec<usize> = self.rev[ti].iter().copied().collect();
+                for c in subs {
+                    self.drop_edge(c, ti);
+                }
+                let pe: Vec<usize> = self.types[ti].pe.iter().copied().collect();
+                for s in pe {
+                    if let Some(set) = self.rev.get_mut(s) {
+                        set.remove(&ti);
+                    }
+                }
+                self.types[ti].pe.clear();
+                self.types[ti].live = false;
+            }
+            RecordedOp::RenameType { t, name } => {
+                self.types[t.index()].name.clone_from(name);
+            }
+            RecordedOp::FreezeType { t } => {
+                self.types[t.index()].frozen = true;
+            }
+            RecordedOp::AddEssentialSupertype { t, s } => {
+                self.types[t.index()].pe.insert(s.index());
+                self.rev[s.index()].insert(t.index());
+            }
+            RecordedOp::DropEssentialSupertype { t, s } => {
+                self.drop_edge(t.index(), s.index());
+            }
+            RecordedOp::AddEssentialProperty { t, p } => {
+                self.types[t.index()].ne.insert(p.index());
+            }
+            RecordedOp::DropEssentialProperty { t, p } => {
+                self.types[t.index()].ne.remove(&p.index());
+            }
+        }
+    }
+
+    /// Essential subtypes of `s` in this state (structural reverse index).
+    pub fn subtypes_of(&self, s: usize) -> BTreeSet<usize> {
+        self.rev.get(s).cloned().unwrap_or_default()
+    }
+}
+
+/// Infer the footprint of `op` against the pre-state `state` (the
+/// symbolic shadow *before* the op runs). `cyclic_union` is the
+/// trace-global fact "the union edge graph is cyclic": when set, every
+/// MT-ASR reads (and every `P_e`-writing op writes) the [`Cell::CycleGuard`],
+/// conservatively serialising cycle-guard-sensitive pairs.
+pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> Footprint {
+    let mut f = Footprint::default();
+    let mut seeds: BTreeSet<usize> = BTreeSet::new();
+    match op {
+        RecordedOp::AddProperty { .. } => {
+            f.allocates = true;
+            let id = state.props.len();
+            f.reads.insert(Cell::PropArena);
+            f.writes.insert(Cell::PropArena);
+            f.writes.insert(Cell::PropLive(id));
+            f.writes.insert(Cell::PropNameCell(id));
+        }
+        RecordedOp::RenameProperty { p, name } => {
+            let _ = name;
+            f.reads.insert(Cell::PropLive(p.index()));
+            f.writes.insert(Cell::PropNameCell(p.index()));
+        }
+        RecordedOp::DropProperty { p } => {
+            let pi = p.index();
+            f.reads.insert(Cell::PropLive(pi));
+            f.writes.insert(Cell::PropLive(pi));
+            f.writes.insert(Cell::PropNameCell(pi));
+            for (t, slot) in state.types.iter().enumerate() {
+                if slot.live && slot.ne.contains(&pi) {
+                    f.writes.insert(Cell::NeCell(t, pi));
+                    seeds.insert(t);
+                }
+            }
+        }
+        RecordedOp::AddRootType { name } => {
+            f.allocates = true;
+            let id = state.types.len();
+            f.reads.insert(Cell::TypeArena);
+            f.reads.insert(Cell::RootCell);
+            f.reads.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::TypeArena);
+            f.writes.insert(Cell::TypeLive(id));
+            f.writes.insert(Cell::TypeNameCell(id));
+            f.writes.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::RootCell);
+        }
+        RecordedOp::AddBaseType { name } => {
+            f.allocates = true;
+            let id = state.types.len();
+            f.reads.insert(Cell::TypeArena);
+            f.reads.insert(Cell::BaseCell);
+            f.reads.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::TypeArena);
+            f.writes.insert(Cell::TypeLive(id));
+            f.writes.insert(Cell::TypeNameCell(id));
+            f.writes.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::BaseCell);
+            f.writes.insert(Cell::PeRow(id));
+            // P_e(⊥) = every live type: the row edit reads all liveness.
+            for (t, slot) in state.types.iter().enumerate() {
+                if slot.live {
+                    f.reads.insert(Cell::TypeLive(t));
+                }
+            }
+            if cyclic_union {
+                f.writes.insert(Cell::CycleGuard);
+            }
+        }
+        RecordedOp::AddType {
+            name,
+            supers,
+            props,
+        } => {
+            f.allocates = true;
+            let id = state.types.len();
+            f.reads.insert(Cell::TypeArena);
+            f.reads.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::TypeArena);
+            f.writes.insert(Cell::TypeLive(id));
+            f.writes.insert(Cell::TypeNameCell(id));
+            f.writes.insert(Cell::Name(name.clone()));
+            f.writes.insert(Cell::PeRow(id));
+            for s in supers {
+                f.reads.insert(Cell::TypeLive(s.index()));
+                f.reads.insert(Cell::Frozen(s.index()));
+            }
+            if supers.is_empty() && state.rooted {
+                f.reads.insert(Cell::RootCell);
+            }
+            for p in props {
+                f.reads.insert(Cell::PropLive(p.index()));
+                f.writes.insert(Cell::NeCell(id, p.index()));
+            }
+            if state.pointed {
+                f.reads.insert(Cell::BaseCell);
+                if let Some(base) = state.base {
+                    f.writes.insert(Cell::PeRow(base));
+                    seeds.insert(base);
+                }
+            }
+            if cyclic_union {
+                f.writes.insert(Cell::CycleGuard);
+            }
+        }
+        RecordedOp::DropType { t } => {
+            let ti = t.index();
+            f.reads.insert(Cell::TypeLive(ti));
+            f.reads.insert(Cell::Frozen(ti));
+            f.reads.insert(Cell::RootCell);
+            f.reads.insert(Cell::BaseCell);
+            f.reads.insert(Cell::PeRow(ti));
+            f.writes.insert(Cell::TypeLive(ti));
+            f.writes.insert(Cell::TypeNameCell(ti));
+            f.writes.insert(Cell::PeRow(ti));
+            if let Some(slot) = state.types.get(ti) {
+                f.writes.insert(Cell::Name(slot.name.clone()));
+            }
+            for c in state.subtypes_of(ti) {
+                f.reads.insert(Cell::PeRow(c));
+                f.writes.insert(Cell::PeRow(c));
+                seeds.insert(c);
+            }
+            if cyclic_union {
+                f.writes.insert(Cell::CycleGuard);
+            }
+        }
+        RecordedOp::RenameType { t, name } => {
+            let ti = t.index();
+            f.reads.insert(Cell::TypeLive(ti));
+            f.reads.insert(Cell::TypeNameCell(ti));
+            let same = state.types.get(ti).is_some_and(|s| &s.name == name);
+            if !same {
+                f.reads.insert(Cell::Name(name.clone()));
+                f.writes.insert(Cell::Name(name.clone()));
+                if let Some(slot) = state.types.get(ti) {
+                    f.writes.insert(Cell::Name(slot.name.clone()));
+                }
+                f.writes.insert(Cell::TypeNameCell(ti));
+            }
+        }
+        RecordedOp::FreezeType { t } => {
+            f.reads.insert(Cell::TypeLive(t.index()));
+            f.writes.insert(Cell::Frozen(t.index()));
+        }
+        RecordedOp::AddEssentialSupertype { t, s } => {
+            let (ti, si) = (t.index(), s.index());
+            f.reads.insert(Cell::TypeLive(ti));
+            f.reads.insert(Cell::TypeLive(si));
+            f.reads.insert(Cell::Frozen(ti));
+            f.reads.insert(Cell::BaseCell);
+            f.reads.insert(Cell::PeRow(ti));
+            f.writes.insert(Cell::PeRow(ti));
+            if cyclic_union {
+                f.reads.insert(Cell::CycleGuard);
+                f.writes.insert(Cell::CycleGuard);
+            }
+            seeds.insert(ti);
+        }
+        RecordedOp::DropEssentialSupertype { t, s } => {
+            let (ti, si) = (t.index(), s.index());
+            f.reads.insert(Cell::TypeLive(ti));
+            f.reads.insert(Cell::TypeLive(si));
+            f.reads.insert(Cell::Frozen(ti));
+            f.reads.insert(Cell::RootCell);
+            f.reads.insert(Cell::BaseCell);
+            f.reads.insert(Cell::PeRow(ti));
+            f.writes.insert(Cell::PeRow(ti));
+            if cyclic_union {
+                f.writes.insert(Cell::CycleGuard);
+            }
+            seeds.insert(ti);
+        }
+        RecordedOp::AddEssentialProperty { t, p } => {
+            f.reads.insert(Cell::TypeLive(t.index()));
+            f.reads.insert(Cell::PropLive(p.index()));
+            f.writes.insert(Cell::NeCell(t.index(), p.index()));
+            seeds.insert(t.index());
+        }
+        RecordedOp::DropEssentialProperty { t, p } => {
+            f.reads.insert(Cell::TypeLive(t.index()));
+            f.reads.insert(Cell::PropLive(p.index()));
+            f.writes.insert(Cell::NeCell(t.index(), p.index()));
+            seeds.insert(t.index());
+        }
+    }
+    f.reach = state.down_set(&seeds);
+    f
+}
+
+/// Render a cell for humans, resolving arena indexes to names where the
+/// labels are known.
+pub fn cell_label(cell: &Cell, type_names: &[String], prop_names: &[String]) -> String {
+    let tn = |i: usize| {
+        type_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("#{i}"))
+    };
+    let pn = |i: usize| {
+        prop_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("#{i}"))
+    };
+    match cell {
+        Cell::TypeLive(i) => format!("live({})", tn(*i)),
+        Cell::PropLive(i) => format!("live(prop {})", pn(*i)),
+        Cell::Frozen(i) => format!("frozen({})", tn(*i)),
+        Cell::TypeNameCell(i) => format!("name({})", tn(*i)),
+        Cell::PropNameCell(i) => format!("name(prop {})", pn(*i)),
+        Cell::Name(s) => format!("name-table[\"{s}\"]"),
+        Cell::PeRow(i) => format!("P_e({})", tn(*i)),
+        Cell::NeCell(t, p) => format!("N_e({})∋{}", tn(*t), pn(*p)),
+        Cell::RootCell => "root(⊤)".to_owned(),
+        Cell::BaseCell => "base(⊥)".to_owned(),
+        Cell::CycleGuard => "reach(≤)".to_owned(),
+        Cell::TypeArena => "type-arena".to_owned(),
+        Cell::PropArena => "prop-arena".to_owned(),
+    }
+}

@@ -419,6 +419,29 @@ impl History {
     }
 }
 
+/// Do `a` and `b` evolve `initial` to observationally identical schemas?
+///
+/// Both traces are replayed op-by-op on clones of `initial`; the final
+/// states are compared by [`Schema::canonical_fingerprint`] (identity-
+/// insensitive, so renumbered-but-isomorphic results still count as
+/// equal). Returns `false` if either replay rejects an op — a rewrite
+/// that turns a runnable trace into a failing one is not
+/// semantics-preserving. This is the differential check backing
+/// `analysis::optimize_trace`.
+pub fn traces_equivalent(initial: &Schema, a: &[RecordedOp], b: &[RecordedOp]) -> bool {
+    let run = |ops: &[RecordedOp]| -> Option<u64> {
+        let mut s = initial.clone();
+        for op in ops {
+            op.apply(&mut s).ok()?;
+        }
+        Some(s.canonical_fingerprint())
+    };
+    match (run(a), run(b)) {
+        (Some(fa), Some(fb)) => fa == fb,
+        _ => false,
+    }
+}
+
 /// Errors raised by history operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistoryError {

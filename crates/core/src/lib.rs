@@ -54,11 +54,13 @@
 //! | [`snapshot`] | persistence of the designer inputs |
 //! | [`journal`] | crash-safe durability: WAL + atomic checkpoints + recovery |
 //! | [`lint`] | §5 (minimality & order-independence as static-analysis rules) |
+//! | [`analysis`] | §5 semantics: effect footprints, commutativity certificates, bounded model checking |
 //! | [`obs`] | observability: metrics registry + structured evolution tracing |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod applyall;
 pub mod axioms;
 pub mod concurrent;
@@ -79,6 +81,10 @@ pub mod oracle;
 pub mod project;
 pub mod snapshot;
 
+pub use analysis::{
+    analyze_trace, check_bounded, IndependenceClass, McCertificate, OptimizedTrace, PairVerdict,
+    TraceAnalysis,
+};
 pub use axioms::{Axiom, AxiomViolation};
 pub use concurrent::SharedSchema;
 pub use config::{LatticeConfig, Pointedness, Rootedness};
@@ -86,7 +92,7 @@ pub use conflicts::{NameConflict, Resolution};
 pub use diff::{diff, DiffEntry, SchemaDiff};
 pub use engine::{EngineKind, EngineStats};
 pub use error::{Result, SchemaError};
-pub use history::{History, HistoryError, RecordedOp};
+pub use history::{traces_equivalent, History, HistoryError, RecordedOp};
 pub use ids::{PropId, TypeId};
 pub use journal::{JournalError, JournalOptions, JournaledSchema, RecoveryMode, RecoveryReport};
 pub use lint::{
@@ -97,3 +103,4 @@ pub use model::{DerivedType, Schema};
 pub use obs::{
     EvolveObs, EvolveTracer, MetricsRegistry, MetricsSnapshot, RecomputeScope, SpanData, SpanEvent,
 };
+pub use ops::PartitionedApply;

@@ -36,6 +36,7 @@
 //! | L6 | churn / no-op operations in a trace | §5 |
 
 pub mod rules;
+pub mod semantic;
 pub mod trace;
 
 use std::collections::BTreeSet;
@@ -66,20 +67,28 @@ pub enum RuleId {
     /// L6 — operations with no structural effect, or add-then-drop pairs
     /// with no intervening use.
     ChurnNoOp,
+    /// L7 — operations the static trace optimizer proves removable, with
+    /// a differential replay-equivalence guarantee (`core::analysis`).
+    DeadOp,
+    /// L8 — edge drops whose mutual ordering the commutativity engine
+    /// certifies as irrelevant: any sequencing constraint is redundant.
+    RedundantDropOrdering,
 }
 
 impl RuleId {
-    /// All six built-in rules, in code order.
-    pub const ALL: [RuleId; 6] = [
+    /// All eight built-in rules, in code order.
+    pub const ALL: [RuleId; 8] = [
         RuleId::RedundantEssentialSupertype,
         RuleId::ShadowedEssentialProperty,
         RuleId::NameConflictHazard,
         RuleId::DisconnectedOrDangling,
         RuleId::OrderDependenceHazard,
         RuleId::ChurnNoOp,
+        RuleId::DeadOp,
+        RuleId::RedundantDropOrdering,
     ];
 
-    /// The short code (`"L1"` … `"L6"`).
+    /// The short code (`"L1"` … `"L8"`).
     pub fn code(self) -> &'static str {
         match self {
             RuleId::RedundantEssentialSupertype => "L1",
@@ -88,6 +97,8 @@ impl RuleId {
             RuleId::DisconnectedOrDangling => "L4",
             RuleId::OrderDependenceHazard => "L5",
             RuleId::ChurnNoOp => "L6",
+            RuleId::DeadOp => "L7",
+            RuleId::RedundantDropOrdering => "L8",
         }
     }
 
@@ -100,12 +111,20 @@ impl RuleId {
             RuleId::DisconnectedOrDangling => "disconnected-type-or-dangling-property",
             RuleId::OrderDependenceHazard => "order-dependence-hazard",
             RuleId::ChurnNoOp => "churn-or-no-op",
+            RuleId::DeadOp => "dead-op",
+            RuleId::RedundantDropOrdering => "redundant-drop-ordering",
         }
     }
 
     /// Does the rule analyse traces (as opposed to static schemas)?
     pub fn is_trace_rule(self) -> bool {
-        matches!(self, RuleId::OrderDependenceHazard | RuleId::ChurnNoOp)
+        matches!(
+            self,
+            RuleId::OrderDependenceHazard
+                | RuleId::ChurnNoOp
+                | RuleId::DeadOp
+                | RuleId::RedundantDropOrdering
+        )
     }
 
     /// Parse a rule code (`"L1"`) or name (case-insensitive); `None` for
@@ -337,7 +356,7 @@ impl Registry {
         Registry { rules: Vec::new() }
     }
 
-    /// The six built-in rules L1–L6.
+    /// The eight built-in rules L1–L8.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register(Box::new(rules::RedundantEssentialSupertype));
@@ -346,6 +365,8 @@ impl Registry {
         r.register(Box::new(rules::DisconnectedOrDangling));
         r.register(Box::new(trace::OrderDependenceHazard));
         r.register(Box::new(trace::ChurnNoOp));
+        r.register(Box::new(semantic::DeadOp));
+        r.register(Box::new(semantic::RedundantDropOrdering));
         r
     }
 
@@ -498,7 +519,7 @@ mod tests {
     #[test]
     fn registry_retain_filters_rules() {
         let mut r = Registry::builtin();
-        assert_eq!(r.ids().len(), 6);
+        assert_eq!(r.ids().len(), 8);
         r.retain(|id| !id.is_trace_rule());
         assert_eq!(r.ids().len(), 4);
         assert!(r.ids().iter().all(|id| !id.is_trace_rule()));

@@ -1,0 +1,199 @@
+//! The built-in semantic trace rules L7–L8.
+//!
+//! Unlike L5/L6 (which replay the trace), these rules consume facts from
+//! `core::analysis`: the trace optimizer's semantics-preserving rewrites
+//! (L7) and the commutativity engine's pair certificates (L8). Both are
+//! purely static — the trace is never executed.
+
+use super::{Diagnostic, Lint, Location, Severity};
+use crate::analysis;
+use crate::history::RecordedOp;
+use crate::model::Schema;
+
+/// L7 — operations the static optimizer proves removable.
+///
+/// Runs [`analysis::optimize_trace`] and reports each rewrite: cancelling
+/// add/drop pairs whose cell is untouched in between, idempotent re-adds,
+/// renames that change nothing or are superseded before the name is ever
+/// read, and double freezes. Every rewrite carries the axiom or §-claim
+/// that justifies it, and the optimizer's differential guarantee (replay
+/// equivalence under [`crate::history::traces_equivalent`]) makes the
+/// diagnostic safe to act on: deleting the flagged ops cannot change the
+/// final schema.
+pub struct DeadOp;
+
+impl Lint for DeadOp {
+    fn id(&self) -> super::RuleId {
+        super::RuleId::DeadOp
+    }
+
+    fn check_trace(&self, initial: &Schema, ops: &[RecordedOp], out: &mut Vec<Diagnostic>) {
+        let optimized = analysis::optimize_trace(initial, ops);
+        for rewrite in &optimized.rewrites {
+            let Some(&first) = rewrite.removed.first() else {
+                continue;
+            };
+            let location = match rewrite.removed.last() {
+                Some(&last) if last != first => Location::OpRange(first, last),
+                _ => Location::Op(first),
+            };
+            let positions: Vec<String> = rewrite
+                .removed
+                .iter()
+                .map(|i| (i + 1).to_string())
+                .collect();
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                location,
+                types: Vec::new(),
+                props: Vec::new(),
+                reference: rewrite.reference,
+                message: format!(
+                    "op(s) {} are dead ({}): {} — removing them provably leaves the final \
+                     schema unchanged",
+                    positions.join(", "),
+                    rewrite.kind.tag(),
+                    rewrite.note
+                ),
+                fix: None,
+            });
+        }
+    }
+}
+
+/// L8 — an ordering constraint on edge drops that certification makes
+/// redundant.
+///
+/// When a trace contains two or more `DropEssentialSupertype` operations
+/// and the analyzer certifies *every* pair among them as commuting, any
+/// care taken to sequence those drops (migration-script ordering comments,
+/// staged rollouts, manual "drop X before Y" runbooks) is unnecessary:
+/// one certificate covers all their interleavings. Advisory only — it
+/// fires on certainty, never on a guess.
+pub struct RedundantDropOrdering;
+
+impl Lint for RedundantDropOrdering {
+    fn id(&self) -> super::RuleId {
+        super::RuleId::RedundantDropOrdering
+    }
+
+    fn check_trace(&self, initial: &Schema, ops: &[RecordedOp], out: &mut Vec<Diagnostic>) {
+        let drops: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, RecordedOp::DropEssentialSupertype { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if drops.len() < 2 {
+            return;
+        }
+        let analysis = analysis::analyze_trace(initial, ops);
+        // Every pair *involving* a drop must commute: a drop pinned in
+        // place by a conflicting neighbour is not freely reorderable even
+        // if the drops commute among themselves.
+        let all_commute = analysis
+            .pairs
+            .iter()
+            .all(|p| !(drops.contains(&p.a) || drops.contains(&p.b)) || p.verdict.commutes());
+        if !all_commute {
+            return;
+        }
+        let (&first, &last) = (drops.first().unwrap(), drops.last().unwrap());
+        out.push(Diagnostic {
+            rule: self.id(),
+            severity: Severity::Info,
+            location: Location::OpRange(first, last),
+            types: Vec::new(),
+            props: Vec::new(),
+            reference: super::Reference::Claim(
+                "§5: essential-supertype drops are order-independent under the axioms",
+            ),
+            message: format!(
+                "all {} edge drops in this trace are pairwise certified commuting — any \
+                 ordering constraint between them is redundant (one certificate covers all \
+                 {} interleavings of the drops)",
+                drops.len(),
+                {
+                    let mut f: u128 = 1;
+                    for k in 2..=(drops.len() as u128) {
+                        f = f.saturating_mul(k);
+                    }
+                    f
+                }
+            ),
+            fix: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatticeConfig;
+    use crate::lint::Reference;
+
+    fn base() -> Schema {
+        let mut s = Schema::new(LatticeConfig::default());
+        s.add_root_type("obj").unwrap();
+        s
+    }
+
+    #[test]
+    fn dead_op_flags_cancelling_pair_with_reference() {
+        let mut s = base();
+        let a = s.add_type("a", [], []).unwrap();
+        let p = s.add_property("x");
+        let ops = vec![
+            RecordedOp::AddEssentialProperty { t: a, p },
+            RecordedOp::DropEssentialProperty { t: a, p },
+        ];
+        let mut out = Vec::new();
+        DeadOp.check_trace(&s, &ops, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert!(matches!(
+            out[0].reference,
+            Reference::Axiom(_) | Reference::Claim(_)
+        ));
+        assert!(out[0].message.contains("dead"));
+    }
+
+    #[test]
+    fn dead_op_quiet_on_effective_trace() {
+        let mut s = base();
+        let a = s.add_type("a", [], []).unwrap();
+        let p = s.add_property("x");
+        let ops = vec![RecordedOp::AddEssentialProperty { t: a, p }];
+        let mut out = Vec::new();
+        DeadOp.check_trace(&s, &ops, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn redundant_ordering_fires_only_on_full_certification() {
+        let mut s = base();
+        let p1 = s.add_type("p1", [], []).unwrap();
+        let p2 = s.add_type("p2", [], []).unwrap();
+        let c1 = s.add_type("c1", [p1, p2], []).unwrap();
+        let c2 = s.add_type("c2", [p1, p2], []).unwrap();
+        let certified = vec![
+            RecordedOp::DropEssentialSupertype { t: c1, s: p1 },
+            RecordedOp::DropEssentialSupertype { t: c2, s: p2 },
+        ];
+        let mut out = Vec::new();
+        RedundantDropOrdering.check_trace(&s, &certified, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Info);
+
+        // An add/drop of the same edge is not certified → silent.
+        let uncertified = vec![
+            RecordedOp::DropEssentialSupertype { t: c1, s: p1 },
+            RecordedOp::AddEssentialSupertype { t: c1, s: p1 },
+            RecordedOp::DropEssentialSupertype { t: c1, s: p1 },
+        ];
+        out.clear();
+        RedundantDropOrdering.check_trace(&s, &uncertified, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -229,6 +229,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Fold a [`TraceAnalysis`](crate::analysis::TraceAnalysis) into the
+    /// `analysis.*` counters: one trace, its op and pair-verdict counts,
+    /// its independence classes, and whether the whole trace was
+    /// certified order-independent.
+    pub fn fold_trace_analysis(&self, analysis: &crate::analysis::TraceAnalysis) {
+        self.add(names::ANALYSIS_TRACES, 1);
+        self.add(names::ANALYSIS_OPS, analysis.len() as u64);
+        self.add(names::ANALYSIS_PAIRS_COMMUTE, analysis.commuting as u64);
+        self.add(names::ANALYSIS_PAIRS_CONFLICT, analysis.conflicting as u64);
+        self.add(
+            names::ANALYSIS_PAIRS_CONSTRAINED,
+            analysis.constrained as u64,
+        );
+        self.add(names::ANALYSIS_CLASSES, analysis.classes.len() as u64);
+        if analysis.certified {
+            self.add(names::ANALYSIS_CERTIFIED, 1);
+        }
+    }
+
     /// A stable point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self

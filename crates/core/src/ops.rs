@@ -503,6 +503,52 @@ impl Schema {
             Ok(ops.len())
         })
     }
+
+    /// Apply a trace pre-partitioned by the static analyzer: each
+    /// [`IndependenceClass`](crate::analysis::IndependenceClass) becomes
+    /// its own [`Schema::evolve_batch`] (one scoped recomputation per
+    /// class, seeded only by that class's footprints), applied in
+    /// first-op-index order. Sound because ops in *different* classes are
+    /// certified commuting, so hoisting a class's members together cannot
+    /// change the final schema; within a class the original relative
+    /// order is kept.
+    ///
+    /// When an observer is attached the analysis is folded into the
+    /// `analysis.*` counters. On rejection the applied prefix (whole
+    /// classes plus the failing class's successful prefix) stays applied,
+    /// mirroring [`Schema::apply_trace`].
+    pub fn apply_trace_partitioned(&mut self, ops: &[RecordedOp]) -> Result<PartitionedApply> {
+        let analysis = crate::analysis::analyze_trace(self, ops);
+        if let Some(obs) = &self.obs {
+            obs.registry().fold_trace_analysis(&analysis);
+        }
+        let mut applied = 0usize;
+        for class in &analysis.classes {
+            self.evolve_batch(|s| {
+                for &i in &class.ops {
+                    ops[i].apply(s)?;
+                    applied += 1;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(PartitionedApply {
+            applied,
+            classes: analysis.classes.len(),
+            certified: analysis.certified,
+        })
+    }
+}
+
+/// Outcome of [`Schema::apply_trace_partitioned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedApply {
+    /// Operations successfully applied.
+    pub applied: usize,
+    /// Independence classes the trace was split into (= batches run).
+    pub classes: usize,
+    /// Was the whole trace certified order-independent?
+    pub certified: bool,
 }
 
 #[cfg(test)]
@@ -876,5 +922,55 @@ mod tests {
         // Dropping the only supertype leaves B parentless on a forest.
         s.drop_essential_supertype(b, a).unwrap();
         assert!(s.essential_supertypes(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partitioned_apply_matches_batched_and_counts_classes() {
+        let build = || {
+            let mut s = Schema::new(LatticeConfig::default());
+            s.add_root_type("obj").unwrap();
+            let p1 = s.add_type("p1", [], []).unwrap();
+            let p2 = s.add_type("p2", [], []).unwrap();
+            let c1 = s.add_type("c1", [p1, p2], []).unwrap();
+            let c2 = s.add_type("c2", [p1, p2], []).unwrap();
+            let ops = vec![
+                RecordedOp::DropEssentialSupertype { t: c1, s: p1 },
+                RecordedOp::DropEssentialSupertype { t: c2, s: p2 },
+            ];
+            (s, ops)
+        };
+        let (mut a, ops) = build();
+        let (mut b, _) = build();
+        let before = a.stats().scoped_recomputes + a.stats().noop_recomputes;
+        let done = a.apply_trace_partitioned(&ops).unwrap();
+        assert_eq!(done.applied, 2);
+        assert_eq!(done.classes, 2);
+        assert!(done.certified);
+        b.apply_trace(&ops).unwrap();
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        // One scoped recomputation per class.
+        let after = a.stats().scoped_recomputes + a.stats().noop_recomputes;
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    fn partitioned_apply_folds_analysis_metrics() {
+        let registry = Arc::new(crate::obs::MetricsRegistry::new());
+        let obs = Arc::new(crate::obs::EvolveObs::new(registry.clone()));
+        let mut s = Schema::new(LatticeConfig::default());
+        s.add_root_type("obj").unwrap();
+        let p1 = s.add_type("p1", [], []).unwrap();
+        let c1 = s.add_type("c1", [p1], []).unwrap();
+        s.attach_obs(obs);
+        let ops = vec![RecordedOp::AddEssentialSupertype {
+            t: c1,
+            s: TypeId::from_index(0),
+        }];
+        s.apply_trace_partitioned(&ops).unwrap();
+        use crate::obs::names;
+        assert_eq!(registry.get(names::ANALYSIS_TRACES), 1);
+        assert_eq!(registry.get(names::ANALYSIS_OPS), 1);
+        assert_eq!(registry.get(names::ANALYSIS_CERTIFIED), 1);
+        assert_eq!(registry.get(names::ANALYSIS_CLASSES), 1);
     }
 }

@@ -1,0 +1,85 @@
+//! Golden-snapshot tests for the two human-facing renderers:
+//! `core::diff` (structural schema diff text) and `core::dot` (DOT
+//! digraph export). The outputs are byte-compared against committed
+//! goldens under `examples/snapshots/`; regenerate with
+//! `AXB_REGEN_GOLDEN=1 cargo test -p axiombase-core --test render_golden`.
+//!
+//! Both renderers are pure functions of the schema inputs and sort their
+//! output, so the bytes are machine- and run-independent.
+
+use std::path::{Path, PathBuf};
+
+use axiombase_core::dot::{to_dot, EdgeSet};
+use axiombase_core::{diff, LatticeConfig, Schema};
+
+fn snapshots_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/snapshots")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = snapshots_dir().join(name);
+    if std::env::var("AXB_REGEN_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden {name}; regenerate with AXB_REGEN_GOLDEN=1"));
+    assert_eq!(actual, want, "golden {name} drifted");
+}
+
+/// The paper's Figure 1 lattice, with worked properties.
+fn figure1() -> Schema {
+    let mut s = Schema::new(LatticeConfig::default());
+    let object = s.add_root_type("T_object").unwrap();
+    let person = s.add_type("T_person", [object], []).unwrap();
+    let tax = s.add_type("T_taxSource", [object], []).unwrap();
+    let student = s.add_type("T_student", [person], []).unwrap();
+    let employee = s.add_type("T_employee", [person, tax], []).unwrap();
+    let ta = s
+        .add_type("T_teachingAssistant", [student, employee], [])
+        .unwrap();
+    s.define_property_on(person, "name").unwrap();
+    s.define_property_on(tax, "grossIncome").unwrap();
+    s.define_property_on(student, "gpa").unwrap();
+    // A redundant essential edge, so Essential vs Minimal dot differ.
+    s.add_essential_supertype(ta, person).unwrap();
+    s
+}
+
+/// Figure 1 after a small evolution step, for a non-empty diff.
+fn figure1_evolved() -> Schema {
+    let mut s = figure1();
+    let ta = s.type_by_name("T_teachingAssistant").unwrap();
+    let employee = s.type_by_name("T_employee").unwrap();
+    s.drop_essential_supertype(ta, employee).unwrap();
+    s.rename_type(ta, "T_tutor").unwrap();
+    let person = s.type_by_name("T_person").unwrap();
+    s.define_property_on(person, "age").unwrap();
+    s
+}
+
+#[test]
+fn diff_rendering_matches_golden() {
+    let left = figure1();
+    let right = figure1_evolved();
+    let d = diff(&left, &right);
+    assert!(!d.is_empty());
+    check_golden("golden_diff_figure1.txt", &d.to_string());
+    // Reflexive diff stays empty and says so.
+    assert_eq!(
+        diff(&left, &left).to_string(),
+        "schemas are structurally identical\n"
+    );
+}
+
+#[test]
+fn dot_export_matches_goldens() {
+    let s = figure1();
+    let minimal = to_dot(&s, EdgeSet::Minimal);
+    let essential = to_dot(&s, EdgeSet::Essential);
+    assert!(minimal.starts_with("digraph"));
+    // The redundant ta→person edge only shows in the essential view.
+    assert_ne!(minimal, essential);
+    check_golden("golden_dot_minimal.dot", &minimal);
+    check_golden("golden_dot_essential.dot", &essential);
+}
