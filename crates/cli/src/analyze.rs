@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! axiombase analyze [--json] [--certify-order-independence] [--minimize]
-//!                   [--tail N] [--mc-bound N] [TRACE|DIR]
+//!                   [--plan] [--tail N] [--mc-bound N] [TRACE|DIR]
 //! ```
 //!
 //! `TRACE` is a command script (executed in a fresh [`Session`] to record
@@ -26,7 +26,10 @@
 //! the optimizer's semantics-preserving rewrites, each differentially
 //! re-checked by replay ([`axiombase_core::traces_equivalent`]).
 //! `--mc-bound N` runs the bounded model checker (with no trace argument
-//! it runs alone); a failed check exits 1.
+//! it runs alone); a failed check exits 1. `--plan` compiles the analysis
+//! into a certified parallel evolution plan (stages of slot-disjoint
+//! classes) and re-verifies its certificate with the independent checker
+//! `plan::check`; a certificate the checker refuses also exits 1.
 //!
 //! When the trace contains two or more essential-supertype drops the
 //! report also re-derives the §5 contrast statically: the same drop list
@@ -47,6 +50,7 @@ struct Options {
     json: bool,
     certify: bool,
     minimize: bool,
+    plan: bool,
     tail: Option<usize>,
     mc_bound: Option<usize>,
     input: Option<String>,
@@ -55,7 +59,7 @@ struct Options {
 fn usage() -> i32 {
     eprintln!(
         "usage: axiombase analyze [--json] [--certify-order-independence] [--minimize] \
-         [--tail N] [--mc-bound N] [TRACE|DIR]"
+         [--plan] [--tail N] [--mc-bound N] [TRACE|DIR]"
     );
     2
 }
@@ -65,6 +69,7 @@ fn parse_args(args: &[&str]) -> Result<Options, String> {
         json: false,
         certify: false,
         minimize: false,
+        plan: false,
         tail: None,
         mc_bound: None,
         input: None,
@@ -75,6 +80,7 @@ fn parse_args(args: &[&str]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--certify-order-independence" => opts.certify = true,
             "--minimize" => opts.minimize = true,
+            "--plan" => opts.plan = true,
             "--tail" => match it.next() {
                 Some(&n) => {
                     opts.tail = Some(n.parse().map_err(|_| format!("bad --tail {n:?}"))?);
@@ -106,7 +112,7 @@ fn parse_args(args: &[&str]) -> Result<Options, String> {
 
 /// Load the (initial schema, trace) pair from a script file or journal
 /// directory.
-fn load_trace(path: &str) -> Result<(Schema, Vec<RecordedOp>), String> {
+pub(crate) fn load_trace(path: &str) -> Result<(Schema, Vec<RecordedOp>), String> {
     let p = Path::new(path);
     if p.is_dir() {
         let ins = Journal::inspect(p, &StdIo).map_err(|e| format!("journal inspect: {e}"))?;
@@ -273,6 +279,45 @@ pub fn run(args: &[&str]) -> i32 {
             }
         }
 
+        if opts.plan {
+            let plan = analysis::plan::build_plan(&analysis);
+            match analysis::plan::check(&initial, &ops, &plan.certificate) {
+                Ok(verdict) => {
+                    if opts.json {
+                        json_parts.push(format!(
+                            "\"plan\":{{\"certificate\":{},\"check\":{{\"ok\":true,\
+                             \"interfering_pairs\":{}}}}}",
+                            plan.to_json(),
+                            verdict.interfering_pairs
+                        ));
+                    } else {
+                        print!("{}", plan.to_text());
+                        println!(
+                            "plan check: OK ({} interfering pair(s) order-preserved, \
+                             re-verified independently of the planner)",
+                            verdict.interfering_pairs
+                        );
+                    }
+                }
+                Err(why) => {
+                    // A planner emitting an uncheckable certificate is a
+                    // bug worth failing loudly on.
+                    failed = true;
+                    if opts.json {
+                        json_parts.push(format!(
+                            "\"plan\":{{\"certificate\":{},\"check\":{{\"ok\":false,\
+                             \"error\":\"{}\"}}}}",
+                            plan.to_json(),
+                            why.replace('\\', "\\\\").replace('"', "\\\"")
+                        ));
+                    } else {
+                        print!("{}", plan.to_text());
+                        println!("plan check: FAILED — {why}");
+                    }
+                }
+            }
+        }
+
         if let Some((pre, drops)) = drop_context(&initial, &ops) {
             let report = axiombase_orion::contrast_drop_orders(&pre, &drops);
             if opts.json {
@@ -331,6 +376,8 @@ mod tests {
         assert_eq!(o.input.as_deref(), Some("trace.axs"));
         let o = parse_args(&["--tail", "5", "t"]).unwrap();
         assert_eq!(o.tail, Some(5));
+        let o = parse_args(&["--plan", "t"]).unwrap();
+        assert!(o.plan && !o.json);
 
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["--mc-bound", "9", "t"]).is_err());

@@ -1,0 +1,167 @@
+//! The `axiombase apply` subcommand: execute a recorded trace against
+//! its initial schema — batched, or through a certified parallel plan.
+//!
+//! ```text
+//! axiombase apply [--json] [--parallel[=N]] [TRACE|DIR]
+//! ```
+//!
+//! `TRACE` is a command script or journal directory, loaded exactly like
+//! `axiombase analyze` (see [`crate::analyze`]). Plain `apply` replays
+//! the trace as one batch ([`Schema::apply_trace`]). `--parallel`
+//! statically analyses the trace, compiles it into a certified
+//! [`EvolutionPlan`](axiombase_core::EvolutionPlan), re-verifies the
+//! certificate with the independent checker, and executes it with
+//! [`Schema::apply_plan`] — over at most `N` scoped worker threads
+//! (default: the machine's available parallelism). A certificate the
+//! checker refuses exits 1 without touching the schema.
+
+use axiombase_core::analysis;
+use axiombase_core::Schema;
+
+/// Parsed `apply` invocation.
+struct Options {
+    json: bool,
+    parallel: bool,
+    threads: Option<usize>,
+    input: String,
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: axiombase apply [--json] [--parallel[=N]] [TRACE|DIR]");
+    2
+}
+
+fn parse_args(args: &[&str]) -> Result<Options, String> {
+    let mut json = false;
+    let mut parallel = false;
+    let mut threads = None;
+    let mut input = None;
+    for &arg in args {
+        match arg {
+            "--json" => json = true,
+            "--parallel" => parallel = true,
+            _ if arg.starts_with("--parallel=") => {
+                parallel = true;
+                let n = &arg["--parallel=".len()..];
+                let n: usize = n.parse().map_err(|_| format!("bad --parallel={n:?}"))?;
+                if n == 0 {
+                    return Err("--parallel=0 makes no sense; use --parallel=1".into());
+                }
+                threads = Some(n);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ if input.is_none() => input = Some(arg.to_owned()),
+            _ => return Err(format!("unexpected extra argument `{arg}`")),
+        }
+    }
+    Ok(Options {
+        json,
+        parallel,
+        threads,
+        input: input.ok_or("missing TRACE/DIR argument")?,
+    })
+}
+
+/// Entry point for `axiombase apply ARGS...`.
+pub fn run(args: &[&str]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("apply: {e}");
+            return usage();
+        }
+    };
+    let (mut schema, ops) = match crate::analyze::load_trace(&opts.input) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("apply: {e}");
+            return 2;
+        }
+    };
+
+    if !opts.parallel {
+        match schema.apply_trace(&ops) {
+            Ok(applied) => {
+                report_ok(&opts, &schema, applied, None);
+                0
+            }
+            Err(e) => {
+                eprintln!("apply: trace rejected: {e}");
+                1
+            }
+        }
+    } else {
+        let analysis = analysis::analyze_trace(&schema, &ops);
+        let plan = analysis::plan::build_plan(&analysis);
+        match schema.apply_plan(&ops, &plan, opts.threads) {
+            Ok(done) => {
+                report_ok(&opts, &schema, done.applied, Some(&done));
+                0
+            }
+            Err(e) => {
+                eprintln!("apply: {e}");
+                1
+            }
+        }
+    }
+}
+
+fn report_ok(
+    opts: &Options,
+    schema: &Schema,
+    applied: usize,
+    plan: Option<&axiombase_core::PlanApply>,
+) {
+    let fp = schema.canonical_fingerprint();
+    if opts.json {
+        let plan_json = match plan {
+            Some(p) => format!(
+                "{{\"stages\":{},\"classes\":{},\"max_parallelism\":{},\"threads\":{}}}",
+                p.stages, p.classes, p.max_parallelism, p.threads
+            ),
+            None => "null".to_owned(),
+        };
+        println!(
+            "{{\"applied\":{applied},\"version\":{},\"fingerprint\":\"{fp:016x}\",\
+             \"plan\":{plan_json}}}",
+            schema.version()
+        );
+    } else {
+        match plan {
+            Some(p) => println!(
+                "applied {applied} op(s) via certified plan: {} stage(s), {} class(es), \
+                 max parallelism {}, {} worker(s); version {}, fingerprint {fp:016x}",
+                p.stages,
+                p.classes,
+                p.max_parallelism,
+                p.threads,
+                schema.version()
+            ),
+            None => println!(
+                "applied {applied} op(s) batched; version {}, fingerprint {fp:016x}",
+                schema.version()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(&["--json", "--parallel", "t.axs"]).unwrap();
+        assert!(o.json && o.parallel);
+        assert_eq!(o.threads, None);
+        assert_eq!(o.input, "t.axs");
+        let o = parse_args(&["--parallel=3", "t"]).unwrap();
+        assert_eq!(o.threads, Some(3));
+        assert!(parse_args(&["--parallel=0", "t"]).is_err());
+        assert!(parse_args(&["--parallel=x", "t"]).is_err());
+        assert!(parse_args(&["t"]).is_ok());
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["--bogus", "t"]).is_err());
+        assert!(parse_args(&["a", "b"]).is_err());
+    }
+}

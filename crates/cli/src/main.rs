@@ -7,8 +7,9 @@
 //! axiombase                # interactive REPL (reads stdin line by line)
 //! axiombase run SCRIPT     # execute a command script, then exit
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
-//! axiombase lint FILE...   # static analysis (L1-L8) of snapshots/scripts
-//! axiombase analyze [TRACE|DIR] [--mc-bound N]  # trace certification + model check
+//! axiombase lint FILE...   # static analysis (L1-L9) of snapshots/scripts
+//! axiombase analyze [TRACE|DIR] [--plan] [--mc-bound N]  # trace certification + model check
+//! axiombase apply [TRACE|DIR] [--parallel[=N]]  # execute a trace (batched or planned)
 //! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
 //! axiombase recover DIR [--salvage] [--json] [--trace-spans]  # replay + repair
 //! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
@@ -21,6 +22,7 @@
 //! in [`journal_cmd`].
 
 mod analyze;
+mod apply;
 mod command;
 mod exec;
 mod journal_cmd;
@@ -43,6 +45,7 @@ fn main() {
         ["check", path] => check_snapshot(path),
         ["lint", rest @ ..] => lint::run(rest),
         ["analyze", rest @ ..] => analyze::run(rest),
+        ["apply", rest @ ..] => apply::run(rest),
         ["journal-init", rest @ ..] => journal_cmd::init(rest),
         ["recover", rest @ ..] => journal_cmd::recover(rest),
         ["checkpoint", rest @ ..] => journal_cmd::checkpoint(rest),
@@ -51,7 +54,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
-                 analyze TRACE|DIR | journal-init DIR [SNAPSHOT] | recover DIR | \
+                 analyze TRACE|DIR | apply TRACE|DIR [--parallel[=N]] | \
+                 journal-init DIR [SNAPSHOT] | recover DIR | \
                  checkpoint DIR | log DIR | stats DIR]"
             );
             2

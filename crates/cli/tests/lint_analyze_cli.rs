@@ -174,6 +174,137 @@ fn analyze_json_and_model_check() {
 }
 
 #[test]
+fn analyze_json_reports_class_sizes_and_witness_counts() {
+    use std::os::unix::fs::MetadataExt;
+    let script = scripts_dir().join("sec5_drops.axb");
+    let ino_before = std::fs::metadata(&script).unwrap().ino();
+    let (code, stdout, _) =
+        run_cli(&["analyze", "--tail", "5", "--json", script.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    // Every independence class reports its size alongside its ops...
+    assert!(stdout.contains("\"size\":"), "{stdout}");
+    // ...and the pair summary counts the conflict witnesses.
+    assert!(stdout.contains("\"witnessed\":"), "{stdout}");
+    // The sec5 tail is fully certified: zero witnessed conflicts.
+    assert!(stdout.contains("\"witnessed\":0"), "{stdout}");
+    // Analysis is read-only: the input file must be untouched (same inode).
+    assert_eq!(
+        std::fs::metadata(&script).unwrap().ino(),
+        ino_before,
+        "analyze must never rewrite its input"
+    );
+}
+
+#[test]
+fn analyze_plan_renders_certificate_and_check_in_both_formats() {
+    let script = scripts_dir().join("sec5_drops.axb");
+    let (code, stdout, stderr) =
+        run_cli(&["analyze", "--tail", "5", "--plan", script.to_str().unwrap()]);
+    assert_eq!(code, 0, "plan check must pass: {stdout}\n{stderr}");
+    assert!(stdout.contains("plan check: OK"), "{stdout}");
+    assert!(stdout.contains("stage"), "{stdout}");
+
+    let (code, stdout, _) = run_cli(&[
+        "analyze",
+        "--tail",
+        "5",
+        "--plan",
+        "--json",
+        script.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"plan\":{\"certificate\":"), "{stdout}");
+    assert!(stdout.contains("\"serial_chain\":"), "{stdout}");
+    assert!(stdout.contains("\"check\":{\"ok\":true"), "{stdout}");
+}
+
+/// Pull `"fingerprint":"..."` out of an `apply --json` report.
+fn fingerprint_of(json: &str) -> String {
+    let tag = "\"fingerprint\":\"";
+    let start = json.find(tag).map(|i| i + tag.len()).expect(json);
+    json[start..][..16].to_owned()
+}
+
+#[test]
+fn apply_parallel_plan_matches_batched_apply() {
+    let script = scripts_dir().join("sec5_drops.axb");
+    let p = script.to_str().unwrap();
+
+    let (code, batched, stderr) = run_cli(&["apply", "--json", p]);
+    assert_eq!(code, 0, "{batched}\n{stderr}");
+    assert!(batched.contains("\"plan\":null"), "{batched}");
+
+    // The full §5 script starts from an empty schema, so allocation
+    // order chains every op into one class: the certificate is trivially
+    // sequential and the executor's in-place fast path runs it on one
+    // thread no matter how many were offered.
+    let (code, planned, stderr) = run_cli(&["apply", "--json", "--parallel=2", p]);
+    assert_eq!(code, 0, "{planned}\n{stderr}");
+    assert!(planned.contains("\"plan\":{"), "{planned}");
+    assert!(planned.contains("\"threads\":1"), "{planned}");
+    assert!(planned.contains("\"max_parallelism\":1"), "{planned}");
+
+    // Certified (degenerate) planned execution still equals the batch.
+    assert_eq!(fingerprint_of(&batched), fingerprint_of(&planned));
+
+    // Text mode narrates the plan shape.
+    let (code, stdout, _) = run_cli(&["apply", "--parallel", p]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("via certified plan"), "{stdout}");
+}
+
+/// A journal directory whose checkpoint holds four disjoint diamonds and
+/// whose WAL tail holds one edge drop per diamond — the tail is what
+/// `apply` replays, so the plan is genuinely wide.
+fn wide_journal(tag: &str) -> PathBuf {
+    use axiombase_core::journal::io::StdIo;
+    use axiombase_core::{JournalOptions, JournaledSchema, RecordedOp};
+
+    let mut s = Schema::new(LatticeConfig::default());
+    s.add_root_type("obj").unwrap();
+    let mut drops = Vec::new();
+    for d in 0..4 {
+        let p1 = s.add_type(format!("p1_{d}"), [], []).unwrap();
+        let p2 = s.add_type(format!("p2_{d}"), [], []).unwrap();
+        let c = s.add_type(format!("c_{d}"), [p1, p2], []).unwrap();
+        drops.push(RecordedOp::DropEssentialSupertype { t: c, s: p1 });
+    }
+    let dir = scratch(tag).join("journal");
+    let js = JournaledSchema::create(
+        &dir,
+        std::sync::Arc::new(StdIo),
+        s,
+        JournalOptions {
+            checkpoint_every: 0,
+        },
+    )
+    .expect("create journal");
+    for op in &drops {
+        js.apply(op).expect("journal drop");
+    }
+    dir
+}
+
+#[test]
+fn apply_parallel_runs_wide_stages_on_real_workers() {
+    let dir = wide_journal("widepar");
+    let p = dir.to_str().unwrap();
+
+    let (code, batched, stderr) = run_cli(&["apply", "--json", p]);
+    assert_eq!(code, 0, "{batched}\n{stderr}");
+
+    let (code, planned, stderr) = run_cli(&["apply", "--json", "--parallel=2", p]);
+    assert_eq!(code, 0, "{planned}\n{stderr}");
+    assert!(planned.contains("\"stages\":1"), "{planned}");
+    assert!(planned.contains("\"classes\":4"), "{planned}");
+    assert!(planned.contains("\"max_parallelism\":4"), "{planned}");
+    assert!(planned.contains("\"threads\":2"), "{planned}");
+
+    // Certified parallel execution is observationally equal to the batch.
+    assert_eq!(fingerprint_of(&batched), fingerprint_of(&planned));
+}
+
+#[test]
 fn analyze_minimize_reports_rewrites() {
     let dir = scratch("minimize");
     let path = dir.join("churn.axb");

@@ -289,7 +289,7 @@ fn prop_cell(op: &RecordedOp) -> Option<((usize, usize), bool)> {
 /// Does the union edge graph (every edge any permutation can materialise)
 /// contain a cycle? Nodes are type arena indexes, including ones the
 /// trace allocates.
-fn union_graph_cyclic(initial: &SymbolicState, ops: &[RecordedOp]) -> bool {
+pub(crate) fn union_graph_cyclic(initial: &SymbolicState, ops: &[RecordedOp]) -> bool {
     let mut sim = initial.clone();
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     let collect = |state: &SymbolicState, edges: &mut BTreeSet<(usize, usize)>| {

@@ -124,6 +124,18 @@ pub struct SymbolicState {
     /// incrementally exactly like the engine's index, but from inputs
     /// alone.
     pub rev: Vec<BTreeSet<usize>>,
+    /// Frozen copy of the *captured* type arena (never stepped). Ops
+    /// whose effect enumerates current structure (`DropType` detaching
+    /// subtypes, `DropProperty` clearing `N_e` cells, `AddBaseType`
+    /// reading all liveness) must claim the union of the current and the
+    /// captured enumeration: a trace-earlier op that removed structure
+    /// may be *reordered after* this one by a plan that found the two
+    /// disjoint, and then the removed rows are touched for real. The
+    /// union keeps every footprint an over-approximation under any
+    /// interference-preserving reordering (see [`footprint`]).
+    pub types0: Vec<SymType>,
+    /// Frozen copy of the captured reverse-subtype index (see [`Self::types0`]).
+    pub rev0: Vec<BTreeSet<usize>>,
 }
 
 impl SymbolicState {
@@ -156,8 +168,12 @@ impl SymbolicState {
             types,
             props,
             rev: Vec::new(),
+            types0: Vec::new(),
+            rev0: Vec::new(),
         };
         state.rebuild_rev();
+        state.types0 = state.types.clone();
+        state.rev0 = state.rev.clone();
         state
     }
 
@@ -208,6 +224,48 @@ impl SymbolicState {
             }
         }
         out
+    }
+
+    /// Fold the current `P_e` rows into `acc`, growing it to the current
+    /// arena size. Accumulating this once after capture and again after
+    /// every step yields the trace's **union parent graph**: every
+    /// essential edge present in *any* intermediate state — initial
+    /// edges, op-introduced edges, and canonical ⊤-relinks alike. A
+    /// scoped derivation pass recomputing a set of rows re-reads exactly
+    /// the derived rows of those rows' `P_e`-parents (deeper ancestors
+    /// are already folded into the parents' derived rows), so this union
+    /// over-approximates that input frontier at every point of every
+    /// order a plan certificate admits: an edge present at some certified
+    /// execution point is present in some trace-order intermediate state,
+    /// because every `P_e`-row writer pair is order-preserved.
+    pub fn accumulate_union_parents(&self, acc: &mut Vec<BTreeSet<usize>>) {
+        while acc.len() < self.types.len() {
+            acc.push(BTreeSet::new());
+        }
+        for (t, slot) in self.types.iter().enumerate() {
+            acc[t].extend(slot.pe.iter().copied());
+        }
+    }
+
+    /// Targeted form of [`Self::accumulate_union_parents`]: fold only the
+    /// given rows' current `P_e` into `acc`. After a step, only rows
+    /// whose `P_e` the op writes (its `Cell::PeRow` write cells — which
+    /// include canonical ⊤-relinks and freshly allocated rows) can have
+    /// changed, so folding those alone keeps the union exact while
+    /// costing O(touched) instead of O(arena) per step.
+    pub fn accumulate_union_parents_of(
+        &self,
+        rows: impl IntoIterator<Item = usize>,
+        acc: &mut Vec<BTreeSet<usize>>,
+    ) {
+        while acc.len() < self.types.len() {
+            acc.push(BTreeSet::new());
+        }
+        for t in rows {
+            if let Some(slot) = self.types.get(t) {
+                acc[t].extend(slot.pe.iter().copied());
+            }
+        }
     }
 
     /// Row-local canonical drop: remove `s` from `P_e(t)` and relink an
@@ -321,6 +379,12 @@ impl SymbolicState {
     pub fn subtypes_of(&self, s: usize) -> BTreeSet<usize> {
         self.rev.get(s).cloned().unwrap_or_default()
     }
+
+    /// Essential subtypes of `s` in the *captured* state — the reordering
+    /// guard half of a drop's subtype enumeration (see [`Self::types0`]).
+    pub fn initial_subtypes_of(&self, s: usize) -> BTreeSet<usize> {
+        self.rev0.get(s).cloned().unwrap_or_default()
+    }
 }
 
 /// Infer the footprint of `op` against the pre-state `state` (the
@@ -328,6 +392,16 @@ impl SymbolicState {
 /// trace-global fact "the union edge graph is cyclic": when set, every
 /// MT-ASR reads (and every `P_e`-writing op writes) the [`Cell::CycleGuard`],
 /// conservatively serialising cycle-guard-sensitive pairs.
+///
+/// **Order robustness.** The footprint must over-approximate the op's
+/// effect not just at its recorded position but under *any* reordering
+/// that preserves the trace order of footprint-interfering pairs (that is
+/// what a parallel plan executes). Effects that enumerate current
+/// structure can only have *grown* at such a reordered position through
+/// ops that interfere here anyway (adding a subtype/holder reads this
+/// row), so taking the union of the current and the captured enumeration
+/// (see [`SymbolicState::types0`]) restores the over-approximation where
+/// a trace-earlier removal would otherwise have shrunk it.
 pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> Footprint {
     let mut f = Footprint::default();
     let mut seeds: BTreeSet<usize> = BTreeSet::new();
@@ -350,8 +424,14 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
             f.reads.insert(Cell::PropLive(pi));
             f.writes.insert(Cell::PropLive(pi));
             f.writes.insert(Cell::PropNameCell(pi));
+            // Current ∪ captured holders: a trace-earlier cell clear that a
+            // plan reorders after this drop makes the captured cell real.
             for (t, slot) in state.types.iter().enumerate() {
-                if slot.live && slot.ne.contains(&pi) {
+                let held0 = state
+                    .types0
+                    .get(t)
+                    .is_some_and(|s0| s0.live && s0.ne.contains(&pi));
+                if (slot.live && slot.ne.contains(&pi)) || held0 {
                     f.writes.insert(Cell::NeCell(t, pi));
                     seeds.insert(t);
                 }
@@ -368,6 +448,7 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
             f.writes.insert(Cell::TypeNameCell(id));
             f.writes.insert(Cell::Name(name.clone()));
             f.writes.insert(Cell::RootCell);
+            seeds.insert(id);
         }
         RecordedOp::AddBaseType { name } => {
             f.allocates = true;
@@ -382,11 +463,14 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
             f.writes.insert(Cell::BaseCell);
             f.writes.insert(Cell::PeRow(id));
             // P_e(⊥) = every live type: the row edit reads all liveness.
+            // Current ∪ captured liveness — a trace-earlier type drop that a
+            // plan reorders after this op leaves the captured row readable.
             for (t, slot) in state.types.iter().enumerate() {
-                if slot.live {
+                if slot.live || state.types0.get(t).is_some_and(|s0| s0.live) {
                     f.reads.insert(Cell::TypeLive(t));
                 }
             }
+            seeds.insert(id);
             if cyclic_union {
                 f.writes.insert(Cell::CycleGuard);
             }
@@ -423,6 +507,8 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
                     seeds.insert(base);
                 }
             }
+            // The freshly allocated row gains a derived row of its own.
+            seeds.insert(id);
             if cyclic_union {
                 f.writes.insert(Cell::CycleGuard);
             }
@@ -440,7 +526,12 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
             if let Some(slot) = state.types.get(ti) {
                 f.writes.insert(Cell::Name(slot.name.clone()));
             }
-            for c in state.subtypes_of(ti) {
+            // Current ∪ captured subtypes: a trace-earlier detach of a child
+            // that a plan reorders after this drop makes the captured
+            // child's row edit (and possible ⊤-relink) real.
+            let mut subs = state.subtypes_of(ti);
+            subs.extend(state.initial_subtypes_of(ti));
+            for c in subs {
                 f.reads.insert(Cell::PeRow(c));
                 f.writes.insert(Cell::PeRow(c));
                 seeds.insert(c);

@@ -15,7 +15,11 @@
 //! - [`mc`] — the bounded model checker (the one deliberately *dynamic*
 //!   resident: it enumerates every small essential-input schema and
 //!   machine-checks the nine axioms, engine agreement, and drop-edge
-//!   permutation invariance).
+//!   permutation invariance);
+//! - [`plan`] — certified parallel planning: compiles the independence
+//!   partition into a DAG of stages whose intra-stage classes carry
+//!   slot-disjointness certificates, re-verified by an independent
+//!   checker ([`plan::check`]) that trusts nothing from the planner.
 //!
 //! The headline consumer is order-independence certification
 //! ([`TraceAnalysis::certified`]): when every unordered pair of a trace
@@ -30,6 +34,7 @@ pub mod commute;
 pub mod footprint;
 pub mod mc;
 pub mod optimize;
+pub mod plan;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -41,6 +46,9 @@ pub use commute::{CommuteReason, ConflictKind, PairReport, PairVerdict, Witness}
 pub use footprint::{Cell, Footprint, SymbolicState};
 pub use mc::{check_bounded, McAxiomRow, McCertificate};
 pub use optimize::{optimize_trace, OptimizedTrace, RewriteKind, TraceRewrite};
+pub use plan::{
+    build_plan, EvolutionPlan, OrderEdge, OrderReason, PlanCertificate, PlanCheck, PlanClass, Slot,
+};
 
 /// A set of trace positions that must stay together: every pair that is
 /// not certified commuting lands in the same class, so ops in *different*
@@ -69,6 +77,12 @@ pub struct TraceAnalysis {
     /// Was the union edge graph acyclic (MT-ASR cycle guards vacuous in
     /// every permutation)?
     pub union_acyclic: bool,
+    /// The trace's union parent graph over the final type arena: every
+    /// `P_e` edge present in any intermediate state (see
+    /// [`SymbolicState::accumulate_union_parents`]). The planner reads
+    /// derivation-input frontiers off this; the checker re-derives its
+    /// own copy and trusts nothing here.
+    pub union_parents: Vec<BTreeSet<usize>>,
     /// Whole-trace certificate: every pair commutes.
     pub certified: bool,
     /// Pairs certified commuting.
@@ -105,10 +119,21 @@ pub fn analyze_trace(initial: &Schema, ops: &[RecordedOp]) -> TraceAnalysis {
         union_acyclic,
     } = commute::analyze_pairs(initial, ops);
 
-    // Final-state labels for rendering (dead slots keep their names).
+    // Final-state labels for rendering (dead slots keep their names), and
+    // the union parent graph for derivation-input frontiers.
     let mut sim = SymbolicState::capture(initial);
-    for op in ops {
+    let mut union_parents: Vec<BTreeSet<usize>> = Vec::new();
+    sim.accumulate_union_parents(&mut union_parents);
+    for (i, op) in ops.iter().enumerate() {
         sim.step(op);
+        // Only rows whose `P_e` the op writes can have changed.
+        sim.accumulate_union_parents_of(
+            footprints[i].writes.iter().filter_map(|c| match c {
+                Cell::PeRow(t) => Some(*t),
+                _ => None,
+            }),
+            &mut union_parents,
+        );
     }
     let type_labels: Vec<String> = sim.types.iter().map(|t| t.name.clone()).collect();
     let prop_labels: Vec<String> = sim.props.iter().map(|p| p.name.clone()).collect();
@@ -168,6 +193,7 @@ pub fn analyze_trace(initial: &Schema, ops: &[RecordedOp]) -> TraceAnalysis {
         pairs,
         classes,
         union_acyclic,
+        union_parents,
         certified,
         commuting,
         conflicting,
@@ -386,15 +412,22 @@ impl TraceAnalysis {
             .map(|c| {
                 let ops: Vec<String> = c.ops.iter().map(|&x| (x + 1).to_string()).collect();
                 format!(
-                    "{{\"ops\":[{}],\"reach\":{}}}",
+                    "{{\"ops\":[{}],\"size\":{},\"reach\":{}}}",
                     ops.join(","),
+                    c.ops.len(),
                     c.reach.len()
                 )
             })
             .collect();
+        let witnessed = self
+            .pairs
+            .iter()
+            .filter(|p| matches!(&p.verdict, PairVerdict::Conflicts { .. }))
+            .count();
         format!(
             "{{\"ops\":[{}],\"pairs\":{{\"total\":{},\"commuting\":{},\"conflicting\":{},\
-             \"constrained\":{},\"histogram\":{{{}}},\"details\":[{}]}},\
+             \"constrained\":{},\"witnessed\":{witnessed},\"histogram\":{{{}}},\
+             \"details\":[{}]}},\
              \"classes\":[{}],\"union_acyclic\":{},\"certified\":{},\"permutations\":\"{}\"}}",
             ops.join(","),
             self.pairs.len(),

@@ -185,6 +185,20 @@ impl SharedSchema {
         self.evolve(|s| s.apply_trace(ops))
     }
 
+    /// Execute a certified parallel plan (see [`Schema::apply_plan`]) on
+    /// a private clone and publish the result atomically. On `Err` —
+    /// including a certificate the independent checker refuses — nothing
+    /// is published at all, upgrading the plain schema's applied-prefix
+    /// semantics to all-or-nothing.
+    pub fn apply_plan(
+        &self,
+        ops: &[RecordedOp],
+        plan: &crate::analysis::plan::EvolutionPlan,
+        threads: Option<usize>,
+    ) -> Result<crate::parallel::PlanApply> {
+        self.evolve(|s| s.apply_plan(ops, plan, threads))
+    }
+
     /// Consume the handle, returning the final schema (clones if snapshots
     /// are still outstanding).
     pub fn into_inner(self) -> Schema {

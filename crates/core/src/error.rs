@@ -88,6 +88,10 @@ pub enum SchemaError {
     /// Operation is only meaningful on a pointed lattice, but none of the
     /// live types is designated as the base.
     NoBase,
+    /// A parallel evolution plan's certificate failed independent
+    /// re-verification (`analysis::plan::check`); the executor refuses to
+    /// run it. Carries the checker's first violated obligation.
+    PlanRejected(String),
 }
 
 impl fmt::Display for SchemaError {
@@ -139,6 +143,9 @@ impl fmt::Display for SchemaError {
                 "cannot drop {supertype} from P_e(⊥): Axiom of Pointedness is enforced"
             ),
             SchemaError::NoBase => write!(f, "pointed lattice has no designated base type"),
+            SchemaError::PlanRejected(why) => {
+                write!(f, "parallel evolution plan rejected: {why}")
+            }
         }
     }
 }

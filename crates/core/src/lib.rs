@@ -54,7 +54,8 @@
 //! | [`snapshot`] | persistence of the designer inputs |
 //! | [`journal`] | crash-safe durability: WAL + atomic checkpoints + recovery |
 //! | [`lint`] | §5 (minimality & order-independence as static-analysis rules) |
-//! | [`analysis`] | §5 semantics: effect footprints, commutativity certificates, bounded model checking |
+//! | [`analysis`] | §5 semantics: effect footprints, commutativity certificates, bounded model checking, certified parallel plans |
+//! | [`parallel`] | §5 payoff: the plan-driven parallel executor |
 //! | [`obs`] | observability: metrics registry + structured evolution tracing |
 
 #![warn(missing_docs)]
@@ -78,12 +79,13 @@ pub mod model;
 pub mod obs;
 pub mod ops;
 pub mod oracle;
+pub mod parallel;
 pub mod project;
 pub mod snapshot;
 
 pub use analysis::{
-    analyze_trace, check_bounded, IndependenceClass, McCertificate, OptimizedTrace, PairVerdict,
-    TraceAnalysis,
+    analyze_trace, build_plan, check_bounded, EvolutionPlan, IndependenceClass, McCertificate,
+    OptimizedTrace, PairVerdict, PlanCertificate, PlanCheck, TraceAnalysis,
 };
 pub use axioms::{Axiom, AxiomViolation};
 pub use concurrent::SharedSchema;
@@ -104,3 +106,4 @@ pub use obs::{
     EvolveObs, EvolveTracer, MetricsRegistry, MetricsSnapshot, RecomputeScope, SpanData, SpanEvent,
 };
 pub use ops::PartitionedApply;
+pub use parallel::PlanApply;

@@ -34,6 +34,9 @@
 //! | L4 | disconnected type / dangling property | §2 |
 //! | L5 | order-dependent drop-subtype sequence under Orion | §5 |
 //! | L6 | churn / no-op operations in a trace | §5 |
+//! | L7 | dead ops the trace optimizer proves removable | §5 |
+//! | L8 | redundant ordering constraints between certified-commuting drops | §5 |
+//! | L9 | unprofitable parallelism (plan is a serial chain of 1-op stages) | §5 |
 
 pub mod rules;
 pub mod semantic;
@@ -73,11 +76,15 @@ pub enum RuleId {
     /// L8 — edge drops whose mutual ordering the commutativity engine
     /// certifies as irrelevant: any sequencing constraint is redundant.
     RedundantDropOrdering,
+    /// L9 — the trace's certified parallel plan is a single chain of
+    /// one-op stages: planning pays full certification cost for zero
+    /// parallelism; plain batched apply does the same work cheaper.
+    UnprofitableParallelism,
 }
 
 impl RuleId {
-    /// All eight built-in rules, in code order.
-    pub const ALL: [RuleId; 8] = [
+    /// All nine built-in rules, in code order.
+    pub const ALL: [RuleId; 9] = [
         RuleId::RedundantEssentialSupertype,
         RuleId::ShadowedEssentialProperty,
         RuleId::NameConflictHazard,
@@ -86,9 +93,10 @@ impl RuleId {
         RuleId::ChurnNoOp,
         RuleId::DeadOp,
         RuleId::RedundantDropOrdering,
+        RuleId::UnprofitableParallelism,
     ];
 
-    /// The short code (`"L1"` … `"L8"`).
+    /// The short code (`"L1"` … `"L9"`).
     pub fn code(self) -> &'static str {
         match self {
             RuleId::RedundantEssentialSupertype => "L1",
@@ -99,6 +107,7 @@ impl RuleId {
             RuleId::ChurnNoOp => "L6",
             RuleId::DeadOp => "L7",
             RuleId::RedundantDropOrdering => "L8",
+            RuleId::UnprofitableParallelism => "L9",
         }
     }
 
@@ -113,6 +122,7 @@ impl RuleId {
             RuleId::ChurnNoOp => "churn-or-no-op",
             RuleId::DeadOp => "dead-op",
             RuleId::RedundantDropOrdering => "redundant-drop-ordering",
+            RuleId::UnprofitableParallelism => "unprofitable-parallelism",
         }
     }
 
@@ -124,6 +134,7 @@ impl RuleId {
                 | RuleId::ChurnNoOp
                 | RuleId::DeadOp
                 | RuleId::RedundantDropOrdering
+                | RuleId::UnprofitableParallelism
         )
     }
 
@@ -356,7 +367,7 @@ impl Registry {
         Registry { rules: Vec::new() }
     }
 
-    /// The eight built-in rules L1–L8.
+    /// The nine built-in rules L1–L9.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register(Box::new(rules::RedundantEssentialSupertype));
@@ -367,6 +378,7 @@ impl Registry {
         r.register(Box::new(trace::ChurnNoOp));
         r.register(Box::new(semantic::DeadOp));
         r.register(Box::new(semantic::RedundantDropOrdering));
+        r.register(Box::new(semantic::UnprofitableParallelism));
         r
     }
 
@@ -501,7 +513,7 @@ mod tests {
             assert_eq!(RuleId::parse(&r.code().to_lowercase()), Some(r));
             assert_eq!(RuleId::parse(r.name()), Some(r));
         }
-        assert_eq!(RuleId::parse("L9"), None);
+        assert_eq!(RuleId::parse("L10"), None);
         assert_eq!(RuleId::parse("nope"), None);
     }
 
@@ -519,7 +531,7 @@ mod tests {
     #[test]
     fn registry_retain_filters_rules() {
         let mut r = Registry::builtin();
-        assert_eq!(r.ids().len(), 8);
+        assert_eq!(r.ids().len(), 9);
         r.retain(|id| !id.is_trace_rule());
         assert_eq!(r.ids().len(), 4);
         assert!(r.ids().iter().all(|id| !id.is_trace_rule()));

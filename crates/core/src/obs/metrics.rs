@@ -248,6 +248,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Fold a successful [`PlanCheck`](crate::analysis::plan::PlanCheck)
+    /// into the `plan.*` counters. All inputs are plan *structure* — the
+    /// counters are independent of thread counts and execution order, so
+    /// parallel runs of one plan produce identical snapshots.
+    pub fn fold_plan_check(&self, verdict: &crate::analysis::plan::PlanCheck) {
+        self.add(names::PLAN_CHECKS, 1);
+        self.add(names::PLAN_STAGES, verdict.stages as u64);
+        self.add(names::PLAN_CLASSES, verdict.classes as u64);
+        self.add(names::PLAN_MAX_PARALLELISM, verdict.max_parallelism as u64);
+    }
+
     /// A stable point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self

@@ -93,6 +93,20 @@ pub mod names {
     pub const ANALYSIS_CLASSES: &str = "analysis.classes";
     /// Semantics-preserving rewrites found by the trace optimizer.
     pub const ANALYSIS_REWRITES: &str = "analysis.rewrites";
+    /// Plan certificates re-verified successfully by `plan::check`.
+    pub const PLAN_CHECKS: &str = "plan.checks";
+    /// Plan certificates rejected by `plan::check`.
+    pub const PLAN_CHECKS_FAILED: &str = "plan.checks_failed";
+    /// Stages across all checked plans.
+    pub const PLAN_STAGES: &str = "plan.stages";
+    /// Classes across all checked plans.
+    pub const PLAN_CLASSES: &str = "plan.classes";
+    /// Sum of widest-stage widths across all checked plans.
+    pub const PLAN_MAX_PARALLELISM: &str = "plan.max_parallelism";
+    /// Certified plans executed to completion by `apply_plan`.
+    pub const PLAN_APPLIES: &str = "plan.applies";
+    /// Operations applied through certified plans.
+    pub const PLAN_OPS: &str = "plan.ops_applied";
 }
 
 /// The observer handle threaded through the evolution pipeline.
