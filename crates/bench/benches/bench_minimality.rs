@@ -41,7 +41,7 @@ fn conflict_scan(schema: &Schema, supers_of: impl Fn(TypeId) -> BTreeSet<TypeId>
     for t in schema.iter_types() {
         let mut seen: BTreeMap<&str, BTreeSet<PropId>> = BTreeMap::new();
         for s in supers_of(t) {
-            for &p in schema.interface(s).expect("live") {
+            for p in schema.interface(s).expect("live") {
                 seen.entry(schema.prop_name(p).expect("live"))
                     .or_default()
                     .insert(p);

@@ -21,7 +21,7 @@ fn bench_drop_series_axiomatic(c: &mut Criterion) {
         // Collect up to 10 droppable edges.
         let mut edges: Vec<(TypeId, TypeId)> = Vec::new();
         'outer: for t in out.schema.iter_types() {
-            for &s in out.schema.essential_supertypes(t).unwrap() {
+            for s in out.schema.essential_supertypes(t).unwrap() {
                 if Some(s) != out.schema.root() {
                     edges.push((t, s));
                     if edges.len() == 10 {

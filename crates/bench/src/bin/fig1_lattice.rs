@@ -46,12 +46,12 @@ fn main() {
         .schema
         .immediate_supertypes(u.teaching_assistant)
         .unwrap()
-        .iter()
-        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+        .into_iter()
+        .map(|t| u.schema.type_name(t).unwrap().to_string());
     println!("P(T_teachingAssistant) = {}", set_of(p));
     expect(
         u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
-            == &std::collections::BTreeSet::from([u.student, u.employee]),
+            == std::collections::BTreeSet::from([u.student, u.employee]),
         "paper: P(T_teachingAssistant) = {T_student, T_employee}",
     );
 
@@ -61,8 +61,8 @@ fn main() {
         .schema
         .essential_supertypes(u.teaching_assistant)
         .unwrap()
-        .iter()
-        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+        .into_iter()
+        .map(|t| u.schema.type_name(t).unwrap().to_string());
     println!("P_e(T_teachingAssistant) = {}", set_of(pe));
     println!("(essential: student, person, employee, object — NOT taxSource)");
     expect(
@@ -82,12 +82,12 @@ fn main() {
         .schema
         .immediate_supertypes(u.teaching_assistant)
         .unwrap()
-        .iter()
-        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+        .into_iter()
+        .map(|t| u.schema.type_name(t).unwrap().to_string());
     println!("P(T_teachingAssistant) = {}", set_of(p));
     expect(
         u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
-            == &std::collections::BTreeSet::from([u.employee]),
+            == std::collections::BTreeSet::from([u.employee]),
         "paper: the new instantiation only includes T_employee",
     );
 
@@ -99,12 +99,12 @@ fn main() {
         .schema
         .immediate_supertypes(u.teaching_assistant)
         .unwrap()
-        .iter()
-        .map(|&t| u.schema.type_name(t).unwrap().to_string());
+        .into_iter()
+        .map(|t| u.schema.type_name(t).unwrap().to_string());
     println!("P(T_teachingAssistant) = {}", set_of(p));
     expect(
         u.schema.immediate_supertypes(u.teaching_assistant).unwrap()
-            == &std::collections::BTreeSet::from([u.person]),
+            == std::collections::BTreeSet::from([u.person]),
         "paper: Axiom 5 instantiates {T_person} as the only immediate supertype",
     );
     expect(

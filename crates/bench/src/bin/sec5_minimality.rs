@@ -67,7 +67,7 @@ fn conflicts_via(
     let mut scans = 0usize;
     for &s in supers {
         scans += 1;
-        for &p in schema.interface(s).expect("live") {
+        for p in schema.interface(s).expect("live") {
             seen.entry(schema.prop_name(p).expect("live").to_string())
                 .or_default()
                 .insert(p);
@@ -133,8 +133,8 @@ fn main() {
             let pe = schema.essential_supertypes(t).expect("live");
             edges_min += p.len();
             edges_ess += pe.len();
-            let (c1, s1) = conflicts_via(schema, t, p);
-            let (c2, s2) = conflicts_via(schema, t, pe);
+            let (c1, s1) = conflicts_via(schema, t, &p);
+            let (c2, s2) = conflicts_via(schema, t, &pe);
             scans_min += s1;
             scans_ess += s2;
             // The P_e scan may *repeat* conflicts through redundant paths,

@@ -34,43 +34,43 @@ fn main() {
         "P(t)".to_string(),
         "immediate supertypes".into(),
         "Schema::immediate_supertypes".into(),
-        tset(s.immediate_supertypes(ta).unwrap()),
+        tset(&s.immediate_supertypes(ta).unwrap()),
     ]);
     t.row([
         "P_e(t)".to_string(),
         "essential supertypes".into(),
         "Schema::essential_supertypes".into(),
-        tset(s.essential_supertypes(ta).unwrap()),
+        tset(&s.essential_supertypes(ta).unwrap()),
     ]);
     t.row([
         "PL(t)".to_string(),
         "supertype lattice".into(),
         "Schema::super_lattice".into(),
-        tset(s.super_lattice(ta).unwrap()),
+        tset(&s.super_lattice(ta).unwrap()),
     ]);
     t.row([
         "N(t)".to_string(),
         "native properties".into(),
         "Schema::native_properties".into(),
-        pset(s.native_properties(ta).unwrap()),
+        pset(&s.native_properties(ta).unwrap()),
     ]);
     t.row([
         "H(t)".to_string(),
         "inherited properties".into(),
         "Schema::inherited_properties".into(),
-        pset(s.inherited_properties(ta).unwrap()),
+        pset(&s.inherited_properties(ta).unwrap()),
     ]);
     t.row([
         "N_e(t)".to_string(),
         "essential properties".into(),
         "Schema::essential_properties".into(),
-        pset(s.essential_properties(ta).unwrap()),
+        pset(&s.essential_properties(ta).unwrap()),
     ]);
     t.row([
         "I(t)".to_string(),
         "interface".into(),
         "Schema::interface".into(),
-        pset(s.interface(ta).unwrap()),
+        pset(&s.interface(ta).unwrap()),
     ]);
     t.row([
         "α_x(f, T')".to_string(),
@@ -103,7 +103,7 @@ fn main() {
     let mut with_t = unioned.clone();
     with_t.insert(ta);
     expect(
-        &with_t == s.super_lattice(ta).unwrap(),
+        with_t == s.super_lattice(ta).unwrap(),
         "Axiom 6: PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}",
     );
     // Empty domain ⇒ empty set, per the paper.

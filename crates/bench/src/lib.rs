@@ -113,18 +113,18 @@ pub fn mark(ok: bool) -> &'static str {
 /// Render every derived term of Table 1 for every live type of a schema —
 /// the standard schema report used by several harnesses.
 pub fn derived_report(schema: &axiombase_core::Schema) -> Table {
-    let names = |props: &std::collections::BTreeSet<axiombase_core::PropId>| {
+    let names = |props: &axiombase_core::PropSet| {
         set_of(
             props
                 .iter()
-                .map(|&p| schema.prop_name(p).unwrap_or("?").to_string()),
+                .map(|p| schema.prop_name(p).unwrap_or("?").to_string()),
         )
     };
-    let tnames = |types: &std::collections::BTreeSet<axiombase_core::TypeId>| {
+    let tnames = |types: &axiombase_core::TypeSet| {
         set_of(
             types
                 .iter()
-                .map(|&t| schema.type_name(t).unwrap_or("?").to_string()),
+                .map(|t| schema.type_name(t).unwrap_or("?").to_string()),
         )
     };
     let mut table = Table::new(["type", "P_e", "P", "PL", "N_e", "N", "H", "I"]);
@@ -132,10 +132,10 @@ pub fn derived_report(schema: &axiombase_core::Schema) -> Table {
         let d = schema.derived(t).expect("live");
         table.row([
             schema.type_name(t).expect("live").to_string(),
-            tnames(schema.essential_supertypes(t).expect("live")),
+            tnames(&(&schema.essential_supertypes(t).expect("live")).into()),
             tnames(&d.p),
             tnames(&d.pl),
-            names(schema.essential_properties(t).expect("live")),
+            names(&(&schema.essential_properties(t).expect("live")).into()),
             names(&d.n),
             names(&d.h),
             names(&d.iface),

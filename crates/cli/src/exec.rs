@@ -4,7 +4,6 @@
 //! human-readable results to any `Write` sink, so the same engine drives the
 //! interactive REPL, script files, and the unit tests.
 
-use std::collections::BTreeSet;
 use std::io::Write;
 
 use axiombase_core::journal::io::atomic_write_file;
@@ -193,7 +192,7 @@ impl Session {
             },
             Command::ShowLattice => {
                 for t in self.schema().iter_types() {
-                    let supers = self.names(self.schema().immediate_supertypes(t).unwrap());
+                    let supers = self.names(&(&self.schema().immediate_supertypes(t).unwrap()).into());
                     writeln!(
                         out,
                         "{}  ⊑  {}",
@@ -350,18 +349,18 @@ impl Session {
         Ok(Flow::Continue)
     }
 
-    fn names(&self, set: &BTreeSet<TypeId>) -> String {
+    fn names(&self, set: &axiombase_core::TypeSet) -> String {
         set.iter()
-            .map(|&t| self.schema().type_name(t).unwrap().to_string())
+            .map(|t| self.schema().type_name(t).unwrap().to_string())
             .collect::<Vec<_>>()
             .join(", ")
     }
 
     fn show_type(&self, t: TypeId, out: &mut impl Write) -> std::io::Result<()> {
         let d = self.schema().derived(t).unwrap();
-        let pnames = |set: &BTreeSet<PropId>| {
+        let pnames = |set: &axiombase_core::PropSet| {
             set.iter()
-                .map(|&p| self.schema().prop_name(p).unwrap().to_string())
+                .map(|p| self.schema().prop_name(p).unwrap().to_string())
                 .collect::<Vec<_>>()
                 .join(", ")
         };
@@ -369,14 +368,14 @@ impl Session {
         writeln!(
             out,
             "  P_e = {{{}}}",
-            self.names(self.schema().essential_supertypes(t).unwrap())
+            self.names(&(&self.schema().essential_supertypes(t).unwrap()).into())
         )?;
         writeln!(out, "  P   = {{{}}}", self.names(&d.p))?;
         writeln!(out, "  PL  = {{{}}}", self.names(&d.pl))?;
         writeln!(
             out,
             "  N_e = {{{}}}",
-            pnames(self.schema().essential_properties(t).unwrap())
+            pnames(&(&self.schema().essential_properties(t).unwrap()).into())
         )?;
         writeln!(out, "  N   = {{{}}}", pnames(&d.n))?;
         writeln!(out, "  H   = {{{}}}", pnames(&d.h))?;
@@ -434,7 +433,7 @@ mod tests {
         let person = s.schema().type_by_name("Person").unwrap();
         assert_eq!(
             s.schema().immediate_supertypes(ta).unwrap(),
-            &BTreeSet::from([person])
+            std::collections::BTreeSet::from([person])
         );
     }
 

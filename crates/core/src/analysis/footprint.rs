@@ -11,6 +11,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::bits::IdxSet;
 use crate::history::RecordedOp;
 use crate::model::Schema;
 
@@ -60,8 +61,9 @@ pub struct Footprint {
     /// Type indexes whose derived rows (`P`, `PL`, `N`, `H`, `I`) a
     /// derivation pass seeded by this op would re-derive: the down-set of the
     /// written rows in the pre-state, walked over the structural
-    /// reverse-subtype index.
-    pub reach: BTreeSet<usize>,
+    /// reverse-subtype index. Dense (`IdxSet`) so the planner's coupling
+    /// probes are word ops.
+    pub reach: IdxSet,
     /// Does this op allocate a fresh arena slot (and therefore bind a
     /// raw id that later ops may reference)?
     pub allocates: bool,
@@ -123,7 +125,7 @@ pub struct SymbolicState {
     /// of `s` (types whose `P_e` row contains `s`), maintained
     /// incrementally exactly like the engine's index, but from inputs
     /// alone.
-    pub rev: Vec<BTreeSet<usize>>,
+    pub rev: Vec<IdxSet>,
     /// Frozen copy of the *captured* type arena (never stepped). Ops
     /// whose effect enumerates current structure (`DropType` detaching
     /// subtypes, `DropProperty` clearing `N_e` cells, `AddBaseType`
@@ -135,7 +137,7 @@ pub struct SymbolicState {
     /// interference-preserving reordering (see [`footprint`]).
     pub types0: Vec<SymType>,
     /// Frozen copy of the captured reverse-subtype index (see [`Self::types0`]).
-    pub rev0: Vec<BTreeSet<usize>>,
+    pub rev0: Vec<IdxSet>,
 }
 
 impl SymbolicState {
@@ -178,7 +180,7 @@ impl SymbolicState {
     }
 
     fn rebuild_rev(&mut self) {
-        self.rev = vec![BTreeSet::new(); self.types.len()];
+        self.rev = vec![IdxSet::new(); self.types.len()];
         for (t, slot) in self.types.iter().enumerate() {
             if slot.live {
                 for &s in &slot.pe {
@@ -204,19 +206,19 @@ impl SymbolicState {
             pe,
             ne,
         });
-        self.rev.push(BTreeSet::new());
+        self.rev.push(IdxSet::new());
         id
     }
 
     /// The down-set of `seeds` (seeds plus everything essentially below
     /// them), walked over the structural reverse index — the set of types
     /// whose derived rows a derivation pass seeded by these rows would visit.
-    pub fn down_set(&self, seeds: &BTreeSet<usize>) -> BTreeSet<usize> {
+    pub fn down_set(&self, seeds: &IdxSet) -> IdxSet {
         let mut out = seeds.clone();
-        let mut work: Vec<usize> = seeds.iter().copied().collect();
+        let mut work: Vec<usize> = seeds.iter().collect();
         while let Some(t) = work.pop() {
             if let Some(subs) = self.rev.get(t) {
-                for &c in subs {
+                for c in subs.iter() {
                     if out.insert(c) {
                         work.push(c);
                     }
@@ -238,9 +240,9 @@ impl SymbolicState {
     /// order a plan certificate admits: an edge present at some certified
     /// execution point is present in some trace-order intermediate state,
     /// because every `P_e`-row writer pair is order-preserved.
-    pub fn accumulate_union_parents(&self, acc: &mut Vec<BTreeSet<usize>>) {
+    pub fn accumulate_union_parents(&self, acc: &mut Vec<IdxSet>) {
         while acc.len() < self.types.len() {
-            acc.push(BTreeSet::new());
+            acc.push(IdxSet::new());
         }
         for (t, slot) in self.types.iter().enumerate() {
             acc[t].extend(slot.pe.iter().copied());
@@ -256,10 +258,10 @@ impl SymbolicState {
     pub fn accumulate_union_parents_of(
         &self,
         rows: impl IntoIterator<Item = usize>,
-        acc: &mut Vec<BTreeSet<usize>>,
+        acc: &mut Vec<IdxSet>,
     ) {
         while acc.len() < self.types.len() {
-            acc.push(BTreeSet::new());
+            acc.push(IdxSet::new());
         }
         for t in rows {
             if let Some(slot) = self.types.get(t) {
@@ -273,7 +275,7 @@ impl SymbolicState {
     fn drop_edge(&mut self, t: usize, s: usize) {
         self.types[t].pe.remove(&s);
         if let Some(set) = self.rev.get_mut(s) {
-            set.remove(&t);
+            set.remove(t);
         }
         if self.types[t].pe.is_empty() && self.rooted && Some(t) != self.root {
             if let Some(root) = self.root {
@@ -340,14 +342,14 @@ impl SymbolicState {
             }
             RecordedOp::DropType { t } => {
                 let ti = t.index();
-                let subs: Vec<usize> = self.rev[ti].iter().copied().collect();
+                let subs: Vec<usize> = self.rev[ti].iter().collect();
                 for c in subs {
                     self.drop_edge(c, ti);
                 }
                 let pe: Vec<usize> = self.types[ti].pe.iter().copied().collect();
                 for s in pe {
                     if let Some(set) = self.rev.get_mut(s) {
-                        set.remove(&ti);
+                        set.remove(ti);
                     }
                 }
                 self.types[ti].pe.clear();
@@ -376,13 +378,13 @@ impl SymbolicState {
     }
 
     /// Essential subtypes of `s` in this state (structural reverse index).
-    pub fn subtypes_of(&self, s: usize) -> BTreeSet<usize> {
+    pub fn subtypes_of(&self, s: usize) -> IdxSet {
         self.rev.get(s).cloned().unwrap_or_default()
     }
 
     /// Essential subtypes of `s` in the *captured* state — the reordering
     /// guard half of a drop's subtype enumeration (see [`Self::types0`]).
-    pub fn initial_subtypes_of(&self, s: usize) -> BTreeSet<usize> {
+    pub fn initial_subtypes_of(&self, s: usize) -> IdxSet {
         self.rev0.get(s).cloned().unwrap_or_default()
     }
 }
@@ -404,7 +406,7 @@ impl SymbolicState {
 /// a trace-earlier removal would otherwise have shrunk it.
 pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> Footprint {
     let mut f = Footprint::default();
-    let mut seeds: BTreeSet<usize> = BTreeSet::new();
+    let mut seeds = IdxSet::new();
     match op {
         RecordedOp::AddProperty { .. } => {
             f.allocates = true;
@@ -530,8 +532,8 @@ pub fn footprint(op: &RecordedOp, state: &SymbolicState, cyclic_union: bool) -> 
             // that a plan reorders after this drop makes the captured
             // child's row edit (and possible ⊤-relink) real.
             let mut subs = state.subtypes_of(ti);
-            subs.extend(state.initial_subtypes_of(ti));
-            for c in subs {
+            subs.union_with(&state.initial_subtypes_of(ti));
+            for c in subs.iter() {
                 f.reads.insert(Cell::PeRow(c));
                 f.writes.insert(Cell::PeRow(c));
                 seeds.insert(c);

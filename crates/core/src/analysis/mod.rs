@@ -39,6 +39,7 @@ pub mod plan;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
+use crate::bits::IdxSet;
 use crate::history::RecordedOp;
 use crate::model::Schema;
 
@@ -60,7 +61,7 @@ pub struct IndependenceClass {
     pub ops: Vec<usize>,
     /// Union of the members' derived-lattice reach (type arena indexes a
     /// scoped derivation pass for this class would visit).
-    pub reach: BTreeSet<usize>,
+    pub reach: IdxSet,
 }
 
 /// The complete static analysis of one trace.
@@ -82,7 +83,7 @@ pub struct TraceAnalysis {
     /// [`SymbolicState::accumulate_union_parents`]). The planner reads
     /// derivation-input frontiers off this; the checker re-derives its
     /// own copy and trusts nothing here.
-    pub union_parents: Vec<BTreeSet<usize>>,
+    pub union_parents: Vec<IdxSet>,
     /// Whole-trace certificate: every pair commutes.
     pub certified: bool,
     /// Pairs certified commuting.
@@ -122,7 +123,7 @@ pub fn analyze_trace(initial: &Schema, ops: &[RecordedOp]) -> TraceAnalysis {
     // Final-state labels for rendering (dead slots keep their names), and
     // the union parent graph for derivation-input frontiers.
     let mut sim = SymbolicState::capture(initial);
-    let mut union_parents: Vec<BTreeSet<usize>> = Vec::new();
+    let mut union_parents: Vec<IdxSet> = Vec::new();
     sim.accumulate_union_parents(&mut union_parents);
     for (i, op) in ops.iter().enumerate() {
         sim.step(op);
@@ -178,10 +179,10 @@ pub fn analyze_trace(initial: &Schema, ops: &[RecordedOp]) -> TraceAnalysis {
         let r = find(&mut parent, i);
         let class = by_root.entry(r).or_insert_with(|| IndependenceClass {
             ops: Vec::new(),
-            reach: BTreeSet::new(),
+            reach: IdxSet::new(),
         });
         class.ops.push(i);
-        class.reach.extend(fp.reach.iter().copied());
+        class.reach.union_with(&fp.reach);
     }
     let classes: Vec<IndependenceClass> = by_root.into_values().collect();
     let certified = n > 0 && conflicting == 0 && constrained == 0;
@@ -648,8 +649,8 @@ mod tests {
         let g = s.add_type("g", [c], []).unwrap();
         let ops = vec![RecordedOp::DropEssentialSupertype { t: c, s: a }];
         let analysis = analyze_trace(&s, &ops);
-        assert!(analysis.footprints[0].reach.contains(&c.index()));
-        assert!(analysis.footprints[0].reach.contains(&g.index()));
+        assert!(analysis.footprints[0].reach.contains(c.index()));
+        assert!(analysis.footprints[0].reach.contains(g.index()));
         let _ = (TypeId::from_index(0), PropId::from_index(0));
     }
 }

@@ -40,6 +40,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
+use crate::bits::IdxSet;
 use crate::history::RecordedOp;
 use crate::model::Schema;
 
@@ -137,8 +138,8 @@ pub struct PlanClass {
     pub writes: BTreeSet<Slot>,
     /// Claimed union of the members' derivation reach (type arena
     /// indexes a scoped derivation pass seeded by this class would
-    /// visit).
-    pub reach: BTreeSet<usize>,
+    /// visit). Dense, so the checker's overlap probes are word ops.
+    pub reach: IdxSet,
 }
 
 impl PlanClass {
@@ -436,24 +437,24 @@ struct DerivationFacts {
     /// Rows the op touches: its derivation reach plus every type row its
     /// slot writes land on (a renamed/frozen/killed row may re-derive
     /// nothing, but stage-mates must still not read it mid-flight).
-    touched: Vec<BTreeSet<usize>>,
+    touched: Vec<IdxSet>,
     /// Derivation-input frontier: the reach rows plus their union-graph
     /// parents. Redesignating ⊤/⊥ rewires the whole lattice, so a
     /// `Root`/`Base` slot write widens the frontier to every row.
-    din: Vec<BTreeSet<usize>>,
+    din: Vec<IdxSet>,
 }
 
 impl DerivationFacts {
     fn compute(
         fps: &[Footprint],
         op_writes: &[BTreeSet<Slot>],
-        uparents: &[BTreeSet<usize>],
+        uparents: &[IdxSet],
     ) -> DerivationFacts {
         let nrows = uparents.len();
         let mut touched = Vec::with_capacity(fps.len());
         let mut din = Vec::with_capacity(fps.len());
         for (i, fp) in fps.iter().enumerate() {
-            let mut t: BTreeSet<usize> = fp.reach.clone();
+            let mut t = fp.reach.clone();
             let mut universal = false;
             for s in &op_writes[i] {
                 match s {
@@ -464,13 +465,13 @@ impl DerivationFacts {
                     _ => {}
                 }
             }
-            let d: BTreeSet<usize> = if universal {
-                (0..nrows).collect()
+            let d = if universal {
+                IdxSet::full(nrows)
             } else {
                 let mut d = fp.reach.clone();
-                for &r in &fp.reach {
+                for r in fp.reach.iter() {
                     if let Some(ps) = uparents.get(r) {
-                        d.extend(ps.iter().copied());
+                        d.union_with(ps);
                     }
                 }
                 d
@@ -485,10 +486,10 @@ impl DerivationFacts {
     /// one touches a row in the other's input frontier — or `None` when
     /// their scoped derivations are independent in either order.
     fn couples(&self, i: usize, j: usize) -> Option<usize> {
-        if let Some(&w) = self.touched[i].intersection(&self.din[j]).next() {
+        if let Some(w) = self.touched[i].first_common(&self.din[j]) {
             return Some(w);
         }
-        if let Some(&w) = self.touched[j].intersection(&self.din[i]).next() {
+        if let Some(w) = self.touched[j].first_common(&self.din[i]) {
             return Some(w);
         }
         None
@@ -628,12 +629,14 @@ pub fn build_plan(analysis: &TraceAnalysis) -> EvolutionPlan {
     // stages whose classes are pairwise independent.
     let m = groups.len();
     let group_first: Vec<usize> = groups.iter().map(|g| g[0]).collect();
-    let group_reach: Vec<BTreeSet<usize>> = groups
+    let group_reach: Vec<IdxSet> = groups
         .iter()
         .map(|g| {
-            g.iter()
-                .flat_map(|&i| analysis.footprints[i].reach.iter().copied())
-                .collect()
+            let mut reach = IdxSet::new();
+            for &i in g {
+                reach.union_with(&analysis.footprints[i].reach);
+            }
+            reach
         })
         .collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
@@ -818,7 +821,7 @@ pub fn check(
     let mut sim = SymbolicState::capture(initial);
     let cyclic = commute::union_graph_cyclic(&sim, ops);
     let mut fps: Vec<Footprint> = Vec::with_capacity(n);
-    let mut uparents: Vec<BTreeSet<usize>> = Vec::new();
+    let mut uparents: Vec<IdxSet> = Vec::new();
     sim.accumulate_union_parents(&mut uparents);
     for op in ops {
         let fp = footprint::footprint(op, &sim, cyclic);
@@ -884,7 +887,7 @@ pub fn check(
                     ca.stage + 1
                 ));
             }
-            if ca.reach.intersection(&cb.reach).next().is_some() {
+            if !ca.reach.is_disjoint(&cb.reach) {
                 return Err(format!(
                     "classes {} and {} share stage {} but their derivation reaches overlap",
                     a + 1,

@@ -162,7 +162,7 @@ impl Schema {
     fn check_closure(&self) -> Vec<AxiomViolation> {
         let mut v = Vec::new();
         for t in self.iter_types() {
-            for &s in &self.types[t.index()].pe {
+            for s in self.types[t.index()].pe.iter() {
                 if !self.is_live(s) {
                     v.push(AxiomViolation {
                         axiom: Axiom::Closure,
@@ -181,8 +181,8 @@ impl Schema {
         let mut v = Vec::new();
         for t in self.iter_types() {
             let above: BTreeSet<TypeId> = union_apply_all(
-                |x: TypeId| self.derived[x.index()].pl.clone(),
-                self.derived[t.index()].p.iter().copied(),
+                |x: TypeId| self.derived[x.index()].pl.to_btree(),
+                self.derived[t.index()].p.iter(),
             );
             if above.contains(&t) {
                 v.push(AxiomViolation {
@@ -212,7 +212,7 @@ impl Schema {
                 self.derived[r.index()].p.is_empty()
                     && self
                         .iter_types()
-                        .all(|t| self.derived[t.index()].pl.contains(&r))
+                        .all(|t| self.derived[t.index()].pl.contains(r))
             })
             .collect();
         match candidates.as_slice() {
@@ -233,7 +233,7 @@ impl Schema {
 
     /// Axiom 4 — Pointedness: `∃!⊥ ∈ T, ∀t ∈ T: t ∈ PL(⊥)`.
     fn check_pointedness(&self) -> Vec<AxiomViolation> {
-        let all: BTreeSet<TypeId> = self.iter_types().collect();
+        let all: crate::bits::TypeSet = self.iter_types().collect();
         let candidates: Vec<TypeId> = self
             .iter_types()
             .filter(|&b| self.derived[b.index()].pl == all)
@@ -262,26 +262,22 @@ impl Schema {
             let pe = &self.types[t.index()].pe;
             let reachable: BTreeSet<TypeId> = union_apply_all(
                 |x: TypeId| {
-                    let mut pl = self.derived[x.index()].pl.clone();
+                    let mut pl = self.derived[x.index()].pl.to_btree();
                     pl.remove(&x);
                     pl
                 },
-                pe.iter().copied(),
+                pe.iter(),
             );
             let expect: BTreeSet<TypeId> = pe
                 .iter()
-                .copied()
                 .filter(|s| !reachable.contains(s))
                 .collect();
-            if self.derived[t.index()].p != expect {
+            let got = self.derived[t.index()].p.to_btree();
+            if got != expect {
                 v.push(AxiomViolation {
                     axiom: Axiom::Supertypes,
                     at: Some(t),
-                    detail: format!(
-                        "P({t}) = {:?}, axiom requires {:?}",
-                        self.derived[t.index()].p,
-                        expect
-                    ),
+                    detail: format!("P({t}) = {got:?}, axiom requires {expect:?}"),
                 });
             }
         }
@@ -293,19 +289,16 @@ impl Schema {
         let mut v = Vec::new();
         for t in self.iter_types() {
             let mut expect: BTreeSet<TypeId> = union_apply_all(
-                |x: TypeId| self.derived[x.index()].pl.clone(),
-                self.derived[t.index()].p.iter().copied(),
+                |x: TypeId| self.derived[x.index()].pl.to_btree(),
+                self.derived[t.index()].p.iter(),
             );
             expect.insert(t);
-            if self.derived[t.index()].pl != expect {
+            let got = self.derived[t.index()].pl.to_btree();
+            if got != expect {
                 v.push(AxiomViolation {
                     axiom: Axiom::SupertypeLattice,
                     at: Some(t),
-                    detail: format!(
-                        "PL({t}) = {:?}, axiom requires {:?}",
-                        self.derived[t.index()].pl,
-                        expect
-                    ),
+                    detail: format!("PL({t}) = {got:?}, axiom requires {expect:?}"),
                 });
             }
         }
@@ -317,12 +310,17 @@ impl Schema {
         let mut v = Vec::new();
         for t in self.iter_types() {
             let d = &self.derived[t.index()];
-            let expect: BTreeSet<PropId> = d.n.union(&d.h).copied().collect();
+            let mut expect = d.n.clone();
+            expect.union_with(&d.h);
             if d.iface != expect {
                 v.push(AxiomViolation {
                     axiom: Axiom::Interface,
                     at: Some(t),
-                    detail: format!("I({t}) = {:?}, axiom requires {:?}", d.iface, expect),
+                    detail: format!(
+                        "I({t}) = {:?}, axiom requires {:?}",
+                        d.iface.to_btree(),
+                        expect.to_btree()
+                    ),
                 });
             }
         }
@@ -334,13 +332,17 @@ impl Schema {
         let mut v = Vec::new();
         for t in self.iter_types() {
             let d = &self.derived[t.index()];
-            let expect: BTreeSet<PropId> =
-                self.types[t.index()].ne.difference(&d.h).copied().collect();
+            let mut expect = self.types[t.index()].ne.clone();
+            expect.subtract(&d.h);
             if d.n != expect {
                 v.push(AxiomViolation {
                     axiom: Axiom::Nativeness,
                     at: Some(t),
-                    detail: format!("N({t}) = {:?}, axiom requires {:?}", d.n, expect),
+                    detail: format!(
+                        "N({t}) = {:?}, axiom requires {:?}",
+                        d.n.to_btree(),
+                        expect.to_btree()
+                    ),
                 });
             }
         }
@@ -352,18 +354,15 @@ impl Schema {
         let mut v = Vec::new();
         for t in self.iter_types() {
             let expect: BTreeSet<PropId> = union_apply_all(
-                |x: TypeId| self.derived[x.index()].iface.clone(),
-                self.derived[t.index()].p.iter().copied(),
+                |x: TypeId| self.derived[x.index()].iface.to_btree(),
+                self.derived[t.index()].p.iter(),
             );
-            if self.derived[t.index()].h != expect {
+            let got = self.derived[t.index()].h.to_btree();
+            if got != expect {
                 v.push(AxiomViolation {
                     axiom: Axiom::Inheritance,
                     at: Some(t),
-                    detail: format!(
-                        "H({t}) = {:?}, axiom requires {:?}",
-                        self.derived[t.index()].h,
-                        expect
-                    ),
+                    detail: format!("H({t}) = {got:?}, axiom requires {expect:?}"),
                 });
             }
         }

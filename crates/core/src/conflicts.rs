@@ -53,11 +53,11 @@ impl Schema {
         // name -> set of distinct properties seen, each with one defining
         // type (the scan source that contributed it).
         let mut seen: BTreeMap<&str, BTreeMap<PropId, TypeId>> = BTreeMap::new();
-        for &p in self.native_properties(t)? {
+        for p in self.native_properties(t)? {
             seen.entry(self.prop_name(p)?).or_default().insert(p, t);
         }
-        for &s in self.immediate_supertypes(t)? {
-            for &p in self.interface(s)? {
+        for s in self.immediate_supertypes(t)? {
+            for p in self.interface(s)? {
                 seen.entry(self.prop_name(p)?)
                     .or_default()
                     .entry(p)
@@ -124,7 +124,7 @@ impl Schema {
         let conflicted: BTreeMap<&str, &NameConflict> =
             conflicts.iter().map(|c| (c.name.as_str(), c)).collect();
         let mut out = BTreeMap::new();
-        for &p in self.interface(t)? {
+        for p in self.interface(t)? {
             let name = self.prop_name(p)?;
             match conflicted.get(name) {
                 None => {

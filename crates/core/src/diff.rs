@@ -117,7 +117,7 @@ fn name_of(s: &Schema, t: Option<TypeId>) -> Option<String> {
 
 fn prop_name_counts(s: &Schema, t: TypeId) -> BTreeMap<String, usize> {
     let mut out = BTreeMap::new();
-    for &p in s.essential_properties(t).expect("live") {
+    for p in s.essential_properties(t).expect("live") {
         *out.entry(s.prop_name(p).expect("live").to_string())
             .or_default() += 1;
     }

@@ -63,12 +63,12 @@ pub fn to_dot(schema: &Schema, edges: EdgeSet) -> String {
         };
         match edges {
             EdgeSet::Minimal => {
-                for &s in minimal {
+                for s in minimal.iter().copied() {
                     draw(&mut out, s, false);
                 }
             }
             EdgeSet::Essential => {
-                for &s in schema.essential_supertypes(t).expect("live") {
+                for s in schema.essential_supertypes(t).expect("live") {
                     draw(&mut out, s, !minimal.contains(&s));
                 }
             }

@@ -29,10 +29,16 @@
 //! reborrows (no set cloning), and writes a type's new record behind its
 //! `Arc` — an unshared record is updated in place, a record still shared
 //! with an older schema version is replaced wholesale.
+//!
+//! The per-type kernel itself runs on the dense bitset rows of
+//! `core::bits`: the Axiom 6/9 unions, the Axiom 8 difference, and the
+//! Axiom 7 union are word-parallel `|`/`&!` over `u64` words, and only
+//! the tiny Axiom 5 pruning loop (over `P_e`, typically 1–3 elements)
+//! iterates per element.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use crate::bits::{PropSet, TypeSet};
 use crate::ids::TypeId;
 use crate::model::{DerivedType, TypeSlot};
 
@@ -55,7 +61,7 @@ pub(crate) fn derive_full(types: &[Arc<TypeSlot>], derived: &mut [Arc<DerivedTyp
 /// unrelated seeds, 0 for an empty affected set).
 pub(crate) fn derive_scoped(
     types: &[Arc<TypeSlot>],
-    rev: &[Arc<BTreeSet<TypeId>>],
+    rev: &[Arc<TypeSet>],
     derived: &mut [Arc<DerivedType>],
     seeds: &[TypeId],
     kind: ChangeKind,
@@ -68,21 +74,20 @@ pub(crate) fn derive_scoped(
     // keep their cached derived state. Kahn's algorithm runs on the
     // *affected subgraph only* (edges whose both ends are affected), so the
     // per-operation cost tracks the down-set size, not |T| — the whole
-    // point of the incremental engine.
-    let affected_vec: Vec<TypeId> = affected.iter().copied().collect();
-    let index: std::collections::BTreeMap<TypeId, usize> = affected_vec
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t, i))
-        .collect();
+    // point of the incremental engine. Membership tests against the
+    // affected set are single word probes on the bitset.
+    let affected_vec: Vec<TypeId> = affected.iter().collect();
     let n = affected_vec.len();
+    // Bitset iteration is ascending, so `affected_vec` is sorted and a
+    // member's rank is found by binary search — no side map to build.
+    let rank = |t: TypeId| affected_vec.binary_search(&t).expect("member of affected");
     let mut remaining = vec![0usize; n];
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, &t) in affected_vec.iter().enumerate() {
-        for s in &types[t.index()].pe {
-            if let Some(&si) = index.get(s) {
+        for s in types[t.index()].pe.iter() {
+            if affected.contains(s) {
                 remaining[i] += 1;
-                children[si].push(i as u32);
+                children[rank(s)].push(i as u32);
             }
         }
     }
@@ -136,44 +141,53 @@ fn derive_one_in_place(
 
     if kind == ChangeKind::Edges {
         // Axiom 5: keep essential supertypes not reachable through another.
-        let mut p: BTreeSet<TypeId> = BTreeSet::new();
-        'cand: for &s in &slot.pe {
-            for &x in &slot.pe {
-                if x != s && derived[x.index()].pl.contains(&s) {
-                    continue 'cand;
-                }
+        // `P_e` is tiny (typically ≤3), so the pruning pair loop stays per
+        // element; each reachability probe is a single word test on the
+        // candidate's cached `PL` bitset.
+        let mut p = TypeSet::new();
+        for s in slot.pe.iter() {
+            let shadowed = slot
+                .pe
+                .iter()
+                .any(|x| x != s && derived[x.index()].pl.contains(s));
+            if !shadowed {
+                p.insert(s);
             }
-            p.insert(s);
         }
 
-        // Axiom 6: PL(t) = {t} ∪ ⋃ PL(x) for x ∈ P(t).
-        let mut pl: BTreeSet<TypeId> = BTreeSet::new();
+        // Axiom 6: PL(t) = {t} ∪ ⋃ PL(x), and
+        // Axiom 9: H(t) = ⋃ I(x), both for x ∈ P(t) — word-parallel unions
+        // of the supertypes' cached rows.
+        let mut pl = TypeSet::new();
         pl.insert(t);
-        for &x in &p {
-            pl.extend(derived[x.index()].pl.iter().copied());
+        let mut h = PropSet::new();
+        for x in p.iter() {
+            let dx = &derived[x.index()];
+            pl.union_with(&dx.pl);
+            h.union_with(&dx.iface);
         }
 
-        // Axiom 9: H(t) = ⋃ I(x) for x ∈ P(t).
-        let mut h: BTreeSet<_> = BTreeSet::new();
-        for &x in &p {
-            h.extend(derived[x.index()].iface.iter().copied());
-        }
-        // Axiom 8: N(t) = N_e(t) − H(t).
-        let n: BTreeSet<_> = slot.ne.difference(&h).copied().collect();
-        // Axiom 7: I(t) = N(t) ∪ H(t).
-        let iface: BTreeSet<_> = n.union(&h).copied().collect();
+        // Axiom 8: N(t) = N_e(t) − H(t) — one word-parallel difference.
+        let mut n = slot.ne.clone();
+        n.subtract(&h);
+        // Axiom 7: I(t) = N(t) ∪ H(t) (= N_e(t) ∪ H(t)) — one word-parallel
+        // union.
+        let mut iface = slot.ne.clone();
+        iface.union_with(&h);
 
         // The whole record changed: replace it outright (cheaper than
         // make_mut when the old record is shared with a previous version).
         derived[t.index()] = Arc::new(DerivedType { p, pl, n, h, iface });
     } else {
         // PropsOnly: P/PL are cached and untouched; re-derive N/H/I.
-        let mut h: BTreeSet<_> = BTreeSet::new();
-        for &x in &derived[t.index()].p {
-            h.extend(derived[x.index()].iface.iter().copied());
+        let mut h = PropSet::new();
+        for x in derived[t.index()].p.iter() {
+            h.union_with(&derived[x.index()].iface);
         }
-        let n: BTreeSet<_> = slot.ne.difference(&h).copied().collect();
-        let iface: BTreeSet<_> = n.union(&h).copied().collect();
+        let mut n = slot.ne.clone();
+        n.subtract(&h);
+        let mut iface = slot.ne.clone();
+        iface.union_with(&h);
         let d = Arc::make_mut(&mut derived[t.index()]);
         d.h = h;
         d.n = n;
@@ -291,7 +305,7 @@ mod tests {
         s.add_essential_supertype(c3, c1).unwrap();
         s.drop_type(c2).unwrap();
         // c3 reattaches to c1 because it was essential.
-        assert_eq!(s.immediate_supertypes(c3).unwrap(), &BTreeSet::from([c1]));
+        assert_eq!(s.immediate_supertypes(c3).unwrap(), BTreeSet::from([c1]));
         assert!(s.super_lattice(c3).unwrap().contains(&root));
     }
 }

@@ -23,9 +23,9 @@
 pub(crate) mod incremental;
 pub(crate) mod naive;
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use crate::bits::TypeSet;
 use crate::ids::TypeId;
 use crate::model::{Schema, TypeSlot};
 use crate::obs::RecomputeScope;
@@ -86,7 +86,7 @@ pub(crate) enum ChangeKind {
 #[derive(Debug, Clone)]
 pub(crate) struct BatchState {
     /// Union of the change seeds of all absorbed operations.
-    pub(crate) seeds: BTreeSet<TypeId>,
+    pub(crate) seeds: TypeSet,
     /// Worst change kind seen: any `Edges` op upgrades the whole batch.
     pub(crate) kind: ChangeKind,
     /// Whether any operation asked for a recomputation at all.
@@ -96,7 +96,7 @@ pub(crate) struct BatchState {
 impl BatchState {
     pub(crate) fn new() -> Self {
         BatchState {
-            seeds: BTreeSet::new(),
+            seeds: TypeSet::new(),
             kind: ChangeKind::PropsOnly,
             dirty: false,
         }
@@ -214,7 +214,7 @@ pub(crate) fn topo_order(types: &[Arc<TypeSlot>]) -> Option<Vec<TypeId>> {
             continue;
         }
         live += 1;
-        for s in &slot.pe {
+        for s in slot.pe.iter() {
             debug_assert!(types[s.index()].alive, "P_e references dead type");
             remaining[i] += 1;
             children[s.index()].push(i as u32);
@@ -256,10 +256,10 @@ pub(crate) fn topo_order(types: &[Arc<TypeSlot>]) -> Option<Vec<TypeId>> {
 /// traversed as they are now, after all edits.
 pub(crate) fn down_set(
     types: &[Arc<TypeSlot>],
-    rev: &[Arc<BTreeSet<TypeId>>],
+    rev: &[Arc<TypeSet>],
     seeds: &[TypeId],
-) -> BTreeSet<TypeId> {
-    let mut out = BTreeSet::new();
+) -> TypeSet {
+    let mut out = TypeSet::new();
     let mut stack: Vec<TypeId> = Vec::new();
     for &t in seeds {
         if types.get(t.index()).is_some_and(|s| s.alive) && out.insert(t) {
@@ -267,7 +267,7 @@ pub(crate) fn down_set(
         }
     }
     while let Some(t) = stack.pop() {
-        for &c in rev[t.index()].iter() {
+        for c in rev[t.index()].iter() {
             if types[c.index()].alive && out.insert(c) {
                 stack.push(c);
             }
@@ -338,10 +338,10 @@ mod tests {
         let a = s.type_by_name("a").unwrap();
         let c = s.type_by_name("c").unwrap();
         let ds = down_set(&s.types, &s.rev, &[a]);
-        assert!(ds.contains(&a));
-        assert!(ds.contains(&c));
-        assert!(!ds.contains(&s.type_by_name("b").unwrap()));
-        assert!(!ds.contains(&s.type_by_name("root").unwrap()));
+        assert!(ds.contains(a));
+        assert!(ds.contains(c));
+        assert!(!ds.contains(s.type_by_name("b").unwrap()));
+        assert!(!ds.contains(s.type_by_name("root").unwrap()));
     }
 
     #[test]
@@ -362,7 +362,7 @@ mod tests {
         s.drop_type(b).unwrap();
         s.add_type("d", [a], []).unwrap();
         for t in s.iter_types() {
-            let scanned: BTreeSet<TypeId> = s
+            let scanned: std::collections::BTreeSet<TypeId> = s
                 .iter_types()
                 .filter(|&x| s.essential_supertypes(x).unwrap().contains(&t))
                 .collect();

@@ -28,10 +28,9 @@
 //! `I` of the immediate supertypes, derivation proceeds in topological order
 //! (supertypes first); acyclicity (Axiom 2) guarantees the order exists.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use crate::applyall::union_apply_all;
+use crate::bits::{PropSet, TypeSet};
 use crate::ids::TypeId;
 use crate::model::{DerivedType, TypeSlot};
 
@@ -54,40 +53,44 @@ fn derive_one(types: &[Arc<TypeSlot>], derived: &[Arc<DerivedType>], t: TypeId) 
 
     // Axiom 5 (Supertypes):
     //   P(t) = P_e(t) − ⋃ α_x(PL(x) − {x}, P_e(t))
-    let reachable_through_others: BTreeSet<TypeId> = union_apply_all(
-        |x: TypeId| {
-            let mut pl = derived[x.index()].pl.clone();
-            pl.remove(&x);
-            pl
-        },
-        pe.iter().copied(),
-    );
-    let p: BTreeSet<TypeId> = pe
-        .iter()
-        .copied()
-        .filter(|s| !reachable_through_others.contains(s))
-        .collect();
+    // Membership of `s` in the extended union is equivalent to `s ∈ PL(x)`
+    // for some *other* essential supertype `x` (the `− {x}` carve-out is the
+    // `x != s` guard: `s ∈ PL(s)` alone never prunes `s`). Each probe is a
+    // single word index + mask into the already-derived lattice.
+    let mut p = TypeSet::new();
+    for s in pe.iter() {
+        let shadowed = pe
+            .iter()
+            .any(|x| x != s && derived[x.index()].pl.contains(s));
+        if !shadowed {
+            p.insert(s);
+        }
+    }
 
     // Axiom 6 (Supertype Lattice):
     //   PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}
-    let mut pl: BTreeSet<TypeId> =
-        union_apply_all(|x: TypeId| derived[x.index()].pl.clone(), p.iter().copied());
+    let mut pl = TypeSet::new();
     pl.insert(t);
+    for x in p.iter() {
+        pl.union_with(&derived[x.index()].pl);
+    }
 
     // Axiom 9 (Inheritance):
     //   H(t) = ⋃ α_x(I(x), P(t))
-    let h = union_apply_all(
-        |x: TypeId| derived[x.index()].iface.clone(),
-        p.iter().copied(),
-    );
+    let mut h = PropSet::new();
+    for x in p.iter() {
+        h.union_with(&derived[x.index()].iface);
+    }
 
     // Axiom 8 (Nativeness):
     //   N(t) = N_e(t) − H(t)
-    let n: BTreeSet<_> = ne.difference(&h).copied().collect();
+    let mut n = ne.clone();
+    n.subtract(&h);
 
     // Axiom 7 (Interface):
     //   I(t) = N(t) ∪ H(t)
-    let iface: BTreeSet<_> = n.union(&h).copied().collect();
+    let mut iface = ne.clone();
+    iface.union_with(&h);
 
     DerivedType { p, pl, n, h, iface }
 }
@@ -121,7 +124,7 @@ mod tests {
         // "P(T_teachingAssistant) = {T_student, T_employee}" (§2)
         assert_eq!(
             s.immediate_supertypes(ta).unwrap(),
-            &BTreeSet::from([student, employee])
+            BTreeSet::from([student, employee])
         );
     }
 
@@ -134,7 +137,7 @@ mod tests {
             .map(|n| s.type_by_name(n).unwrap())
             .collect();
         // "PL(T_employee) = {T_employee, T_person, T_taxSource, T_object}" (§2)
-        assert_eq!(s.super_lattice(employee).unwrap(), &expect);
+        assert_eq!(s.super_lattice(employee).unwrap(), expect);
     }
 
     #[test]
@@ -151,7 +154,7 @@ mod tests {
         let employee = s.type_by_name("T_employee").unwrap();
         assert_eq!(
             s.immediate_supertypes(ta).unwrap(),
-            &BTreeSet::from([student, employee])
+            BTreeSet::from([student, employee])
         );
         // But they are recorded as essential.
         assert!(s.essential_supertypes(ta).unwrap().contains(&person));

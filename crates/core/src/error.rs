@@ -92,6 +92,17 @@ pub enum SchemaError {
     /// re-verification (`analysis::plan::check`); the executor refuses to
     /// run it. Carries the checker's first violated obligation.
     PlanRejected(String),
+    /// An arena ran out of id space: the next slot index does not fit the
+    /// `u32` ids (and bit positions) the lattice kernel is built on. Raised
+    /// by the allocation paths (`add_type`, `add_root_type`, …) via the bit
+    /// kernel's single bound check, [`crate::bits::ensure_arena_index`].
+    ArenaFull(crate::bits::ArenaFull),
+}
+
+impl From<crate::bits::ArenaFull> for SchemaError {
+    fn from(e: crate::bits::ArenaFull) -> Self {
+        SchemaError::ArenaFull(e)
+    }
 }
 
 impl fmt::Display for SchemaError {
@@ -146,6 +157,7 @@ impl fmt::Display for SchemaError {
             SchemaError::PlanRejected(why) => {
                 write!(f, "parallel evolution plan rejected: {why}")
             }
+            SchemaError::ArenaFull(e) => write!(f, "{e}"),
         }
     }
 }

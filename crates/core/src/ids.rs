@@ -15,6 +15,8 @@
 
 use core::fmt;
 
+use crate::bits::{ensure_arena_index, ArenaKind};
+
 /// Identifier of a type in the lattice `T`.
 ///
 /// Printed as `t42` in debug output. Ordering is by creation order, which
@@ -32,9 +34,30 @@ impl TypeId {
 
     /// Construct from a raw index. Intended for tests and for side-tables
     /// that round-trip indices obtained from [`TypeId::index`].
+    ///
+    /// Panics when the index does not fit the `u32` id space. Side-table
+    /// round-trips of a live id can never hit this — the arena itself is
+    /// bounded by the bit kernel ([`crate::bits::ensure_arena_index`]) at
+    /// allocation time, which is also where the fallible public paths get
+    /// a typed error instead of a panic.
     #[inline]
     pub fn from_index(ix: usize) -> Self {
-        TypeId(u32::try_from(ix).expect("type arena exceeds u32::MAX entries"))
+        match ensure_arena_index(ix, ArenaKind::Types) {
+            Ok(raw) => TypeId(raw),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Raw `u32` bit position (the bit kernel's key space).
+    #[inline]
+    pub(crate) fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Construct from a raw `u32` bit position.
+    #[inline]
+    pub(crate) fn from_u32(raw: u32) -> Self {
+        TypeId(raw)
     }
 }
 
@@ -67,7 +90,22 @@ impl PropId {
     /// Construct from a raw index (see [`TypeId::from_index`]).
     #[inline]
     pub fn from_index(ix: usize) -> Self {
-        PropId(u32::try_from(ix).expect("property arena exceeds u32::MAX entries"))
+        match ensure_arena_index(ix, ArenaKind::Props) {
+            Ok(raw) => PropId(raw),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Raw `u32` bit position (the bit kernel's key space).
+    #[inline]
+    pub(crate) fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Construct from a raw `u32` bit position.
+    #[inline]
+    pub(crate) fn from_u32(raw: u32) -> Self {
+        PropId(raw)
     }
 }
 

@@ -44,6 +44,7 @@
 //! | module | paper section |
 //! |---|---|
 //! | [`ids`], [`model`] | Table 1 (notation and terms) |
+//! | [`bits`] | the dense word-parallel set kernel behind Table 1's terms |
 //! | [`applyall`] | the apply-all operation `α_x(f, T')` |
 //! | [`axioms`] | Table 2 (the nine axioms, as executable checks) |
 //! | [`ops`] | §2/§3.3 (schema-evolution operations) |
@@ -64,6 +65,7 @@
 pub mod analysis;
 pub mod applyall;
 pub mod axioms;
+pub mod bits;
 pub mod concurrent;
 pub mod config;
 pub mod conflicts;
@@ -88,6 +90,7 @@ pub use analysis::{
     OptimizedTrace, PairVerdict, PlanCertificate, PlanCheck, TraceAnalysis,
 };
 pub use axioms::{Axiom, AxiomViolation};
+pub use bits::{IdxSet, PropSet, TypeSet};
 pub use concurrent::SharedSchema;
 pub use config::{LatticeConfig, Pointedness, Rootedness};
 pub use conflicts::{NameConflict, Resolution};

@@ -49,7 +49,7 @@ impl Lint for RedundantEssentialSupertype {
             }
             let pe = schema.essential_supertypes(t).expect("live type");
             let p = schema.immediate_supertypes(t).expect("live type");
-            for &s in pe.difference(p) {
+            for &s in pe.difference(&p) {
                 let fix = if schema.is_frozen(t) {
                     None
                 } else {
@@ -103,7 +103,7 @@ impl Lint for ShadowedEssentialProperty {
         for t in schema.iter_types() {
             let ne = schema.essential_properties(t).expect("live type");
             let h = schema.inherited_properties(t).expect("live type");
-            for &p in ne.intersection(h) {
+            for &p in ne.intersection(&h) {
                 out.push(Diagnostic {
                     rule: self.id(),
                     severity: Severity::Warning,

@@ -28,6 +28,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use crate::bits::{PropSet, TypeSet};
 use crate::config::LatticeConfig;
 use crate::engine::{self, BatchState, EngineKind, EngineStats};
 use crate::error::{Result, SchemaError};
@@ -53,25 +54,32 @@ pub(crate) struct TypeSlot {
     pub(crate) alive: bool,
     /// Frozen types (TIGUKAT primitives) reject structural drops.
     pub(crate) frozen: bool,
-    /// `P_e(t)` — essential supertypes.
-    pub(crate) pe: BTreeSet<TypeId>,
-    /// `N_e(t)` — essential properties.
-    pub(crate) ne: BTreeSet<PropId>,
+    /// `P_e(t)` — essential supertypes (dense bitset over the type arena).
+    pub(crate) pe: TypeSet,
+    /// `N_e(t)` — essential properties (dense bitset over the prop arena).
+    pub(crate) ne: PropSet,
 }
 
 /// Derived state of one type, instantiated by Axioms 5–9.
+///
+/// Stored as dense bitsets (the `core::bits` lattice kernel, DESIGN.md
+/// §12): the axiom operators are word-parallel `|`/`&`/`&!` and a
+/// copy-on-write clone of a row is a `memcpy`. The public Table-1
+/// accessors on [`Schema`] still hand out `BTreeSet`s — thin, ordered
+/// conversions — so rendered snapshots, diffs, and fingerprints are
+/// byte-identical to the pre-kernel representation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DerivedType {
     /// `P(t)` — immediate supertypes (Axiom of Supertypes).
-    pub p: BTreeSet<TypeId>,
+    pub p: TypeSet,
     /// `PL(t)` — supertype lattice, including `t` (Axiom of Supertype Lattice).
-    pub pl: BTreeSet<TypeId>,
+    pub pl: TypeSet,
     /// `N(t)` — native properties (Axiom of Nativeness).
-    pub n: BTreeSet<PropId>,
+    pub n: PropSet,
     /// `H(t)` — inherited properties (Axiom of Inheritance).
-    pub h: BTreeSet<PropId>,
+    pub h: PropSet,
     /// `I(t)` — interface (Axiom of Interface). Cached as `N ∪ H`.
-    pub iface: BTreeSet<PropId>,
+    pub iface: PropSet,
 }
 
 /// An objectbase schema under the axiomatic model of dynamic schema
@@ -103,7 +111,13 @@ pub struct Schema {
     /// types with `s ∈ P_e(t)` (the paper's `sub_e`). Maintained
     /// incrementally by every `P_e` edit so down-set discovery never scans
     /// all of `T`.
-    pub(crate) rev: Vec<Arc<BTreeSet<TypeId>>>,
+    pub(crate) rev: Vec<Arc<TypeSet>>,
+    /// Live-type membership `T` as a dense bitset: the word-iterable twin
+    /// of the per-slot `alive` flags. Serves `iter_types`/`type_count`/
+    /// `is_live` without chasing one `Arc` per arena slot.
+    pub(crate) live: TypeSet,
+    /// Live-property membership, ditto for the property registry.
+    pub(crate) live_props: PropSet,
     pub(crate) engine: EngineKind,
     /// Monotone version counter, bumped on every successful mutation.
     pub(crate) version: u64,
@@ -128,6 +142,8 @@ impl Clone for Schema {
             base: self.base,
             derived: self.derived.clone(),
             rev: self.rev.clone(),
+            live: self.live.clone(),
+            live_props: self.live_props.clone(),
             engine: self.engine,
             version: self.version,
             stats: self.stats,
@@ -142,7 +158,7 @@ impl Clone for Schema {
         // `noop_recomputes` for batches that cancel out — silently lose the
         // batch outcome along with the discarded `BatchState`.
         if let Some(b) = self.batch.as_ref().filter(|b| b.dirty) {
-            let seeds: Vec<TypeId> = b.seeds.iter().copied().collect();
+            let seeds: Vec<TypeId> = b.seeds.iter().collect();
             engine::recompute_after_many(&mut out, &seeds, b.kind);
         }
         out
@@ -183,6 +199,8 @@ impl Schema {
             base: None,
             derived: Vec::new(),
             rev: Vec::new(),
+            live: TypeSet::new(),
+            live_props: PropSet::new(),
             engine,
             version: 0,
             stats: EngineStats::default(),
@@ -265,36 +283,28 @@ impl Schema {
 
     /// Number of live types `|T|`.
     pub fn type_count(&self) -> usize {
-        self.types.iter().filter(|s| s.alive).count()
+        self.live.len()
     }
 
     /// Number of live properties in the registry.
     pub fn prop_count(&self) -> usize {
-        self.props.iter().filter(|p| p.alive).count()
+        self.live_props.len()
     }
 
     /// Iterate over all live types in creation order.
     pub fn iter_types(&self) -> impl Iterator<Item = TypeId> + '_ {
-        self.types
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| TypeId::from_index(i))
+        self.live.iter()
     }
 
     /// Iterate over all live properties in creation order.
     pub fn iter_props(&self) -> impl Iterator<Item = PropId> + '_ {
-        self.props
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.alive)
-            .map(|(i, _)| PropId::from_index(i))
+        self.live_props.iter()
     }
 
     /// Does `t` refer to a live type?
     #[inline]
     pub fn is_live(&self, t: TypeId) -> bool {
-        self.types.get(t.index()).is_some_and(|s| s.alive)
+        self.live.contains(t)
     }
 
     /// Does `p` refer to a live property?
@@ -339,48 +349,52 @@ impl Schema {
     // ------------------------------------------------------------------
 
     /// `P_e(t)` — the essential supertypes of `t` (designer input).
-    pub fn essential_supertypes(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
-        self.slot(t).map(|s| &s.pe)
+    ///
+    /// Returned as an ordered `BTreeSet` — a thin conversion from the
+    /// dense bitset row, kept for rendering and diffing stability.
+    /// Hot paths inside the crate work on the bitsets directly.
+    pub fn essential_supertypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
+        self.slot(t).map(|s| s.pe.to_btree())
     }
 
     /// `N_e(t)` — the essential properties of `t` (designer input).
-    pub fn essential_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
-        self.slot(t).map(|s| &s.ne)
+    pub fn essential_properties(&self, t: TypeId) -> Result<BTreeSet<PropId>> {
+        self.slot(t).map(|s| s.ne.to_btree())
     }
 
     /// `P(t)` — the immediate supertypes of `t` (Axiom of Supertypes):
     /// exactly the essential supertypes that cannot be reached indirectly
     /// through some other essential supertype.
-    pub fn immediate_supertypes(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
+    pub fn immediate_supertypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()].p)
+        Ok(self.derived[t.index()].p.to_btree())
     }
 
     /// `PL(t)` — the supertype lattice of `t`, including `t` itself (Axiom
     /// of Supertype Lattice).
-    pub fn super_lattice(&self, t: TypeId) -> Result<&BTreeSet<TypeId>> {
+    pub fn super_lattice(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()].pl)
+        Ok(self.derived[t.index()].pl.to_btree())
     }
 
     /// `N(t)` — the native properties of `t` (Axiom of Nativeness):
     /// `N_e(t) − H(t)`.
-    pub fn native_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+    pub fn native_properties(&self, t: TypeId) -> Result<BTreeSet<PropId>> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()].n)
+        Ok(self.derived[t.index()].n.to_btree())
     }
 
     /// `H(t)` — the inherited properties of `t` (Axiom of Inheritance): the
     /// union of the interfaces of the immediate supertypes.
-    pub fn inherited_properties(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+    pub fn inherited_properties(&self, t: TypeId) -> Result<BTreeSet<PropId>> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()].h)
+        Ok(self.derived[t.index()].h.to_btree())
     }
 
     /// `I(t)` — the interface of `t` (Axiom of Interface): `N(t) ∪ H(t)`.
-    pub fn interface(&self, t: TypeId) -> Result<&BTreeSet<PropId>> {
+    pub fn interface(&self, t: TypeId) -> Result<BTreeSet<PropId>> {
         self.check_live(t)?;
-        Ok(&self.derived[t.index()].iface)
+        Ok(self.derived[t.index()].iface.to_btree())
     }
 
     /// The full derived record of `t` (all of Table 1 at once).
@@ -391,7 +405,8 @@ impl Schema {
 
     /// Is `s` a supertype of `t` (i.e. `s ∈ PL(t)`)? Reflexive.
     pub fn is_supertype_of(&self, s: TypeId, t: TypeId) -> Result<bool> {
-        Ok(self.super_lattice(t)?.contains(&s))
+        self.check_live(t)?;
+        Ok(self.derived[t.index()].pl.contains(s))
     }
 
     /// Immediate subtypes of `t`: the inverse of `P` ("TIGUKAT does define a
@@ -402,8 +417,7 @@ impl Schema {
         self.check_live(t)?;
         Ok(self.rev[t.index()]
             .iter()
-            .copied()
-            .filter(|&c| self.derived[c.index()].p.contains(&t))
+            .filter(|&c| self.derived[c.index()].p.contains(t))
             .collect())
     }
 
@@ -415,17 +429,19 @@ impl Schema {
     /// another, so the transitive closures coincide.)
     pub fn all_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        let mut out = BTreeSet::new();
+        let mut out = TypeSet::new();
         let mut stack = vec![t];
         while let Some(x) = stack.pop() {
-            for &c in self.rev[x.index()].iter() {
+            for c in self.rev[x.index()].iter() {
+                // The `c != t` guard keeps `t` out of `out` on every path
+                // (the lattice is acyclic, so no descendant re-reaches `t`);
+                // no trailing removal is needed.
                 if c != t && out.insert(c) {
                     stack.push(c);
                 }
             }
         }
-        out.remove(&t);
-        Ok(out)
+        Ok(out.to_btree())
     }
 
     /// Types that list `t` among their *essential* supertypes (inverse of
@@ -434,23 +450,30 @@ impl Schema {
     /// reverse-subtype index — O(|sub_e(t)|).
     pub fn essential_subtypes(&self, t: TypeId) -> Result<BTreeSet<TypeId>> {
         self.check_live(t)?;
-        Ok((*self.rev[t.index()]).clone())
+        Ok(self.rev[t.index()].to_btree())
     }
 
     /// All live properties referenced by some type's interface — the
     /// axiomatic analogue of TIGUKAT's behavior-schema-object set `BSO`
-    /// (`⋃_t I(t)`, which equals `I(⊥)` on a pointed lattice).
+    /// (`⋃_t I(t)`, which equals `I(⊥)` on a pointed lattice). A single
+    /// word-parallel union over the interface rows: O(|T| · words), no
+    /// per-element tree inserts.
     pub fn referenced_properties(&self) -> BTreeSet<PropId> {
-        let mut out = BTreeSet::new();
+        let mut out = PropSet::new();
         for t in self.iter_types() {
-            out.extend(self.derived[t.index()].iface.iter().copied());
+            out.union_with(&self.derived[t.index()].iface);
         }
-        out
+        out.to_btree()
     }
 
     /// A structural fingerprint of the live schema: names, inputs, and
     /// derived sets. Two schemas with equal fingerprints are structurally
     /// identical — used by the order-independence experiments (§5).
+    ///
+    /// The bitset rows hash exactly like the `BTreeSet`s they replaced
+    /// (length prefix, then ascending `u32` ids), so fingerprints are
+    /// byte-identical across the representation change — the committed
+    /// goldens pin this.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -476,14 +499,14 @@ impl Schema {
     /// get equal canonical fingerprints.
     pub fn canonical_fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
-        let tname = |t: &TypeId| self.types[t.index()].name.clone();
-        let pname = |p: &PropId| self.props[p.index()].name.clone();
-        let tset = |set: &BTreeSet<TypeId>| {
+        let tname = |t: TypeId| self.types[t.index()].name.clone();
+        let pname = |p: PropId| self.props[p.index()].name.clone();
+        let tset = |set: &TypeSet| {
             let mut v: Vec<String> = set.iter().map(tname).collect();
             v.sort();
             v
         };
-        let pset = |set: &BTreeSet<PropId>| {
+        let pset = |set: &PropSet| {
             let mut v: Vec<String> = set.iter().map(pname).collect();
             v.sort();
             v
@@ -567,20 +590,20 @@ impl Schema {
 
     /// Remove `sub` from `sub_e(sup)` in the reverse-subtype index.
     pub(crate) fn rev_remove(&mut self, sup: TypeId, sub: TypeId) {
-        cow(&self.obs, &mut self.rev[sup.index()]).remove(&sub);
+        cow(&self.obs, &mut self.rev[sup.index()]).remove(sub);
     }
 
     /// Rebuild the reverse-subtype index from scratch (snapshot loads and
     /// wholesale projections; O(|P_e edges|)). Normal operations maintain it
     /// incrementally via [`Schema::rev_insert`]/[`Schema::rev_remove`].
     pub(crate) fn rebuild_subtype_index(&mut self) {
-        let mut rev: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); self.types.len()];
+        let mut rev: Vec<TypeSet> = vec![TypeSet::new(); self.types.len()];
         for (i, slot) in self.types.iter().enumerate() {
             if !slot.alive {
                 continue;
             }
             let t = TypeId::from_index(i);
-            for s in &slot.pe {
+            for s in slot.pe.iter() {
                 rev[s.index()].insert(t);
             }
         }
@@ -595,10 +618,11 @@ impl Schema {
         if from == target {
             return true;
         }
-        let mut seen = BTreeSet::from([from]);
+        let mut seen = TypeSet::new();
+        seen.insert(from);
         let mut stack = vec![from];
         while let Some(x) = stack.pop() {
-            for &s in &self.types[x.index()].pe {
+            for s in self.types[x.index()].pe.iter() {
                 if s == target {
                     return true;
                 }
@@ -640,8 +664,8 @@ mod tests {
     #[test]
     fn table1_accessors_work_on_chain() {
         let (s, root, a, b) = tiny();
-        assert_eq!(s.immediate_supertypes(b).unwrap(), &BTreeSet::from([a]));
-        assert_eq!(s.super_lattice(b).unwrap(), &BTreeSet::from([root, a, b]));
+        assert_eq!(s.immediate_supertypes(b).unwrap(), BTreeSet::from([a]));
+        assert_eq!(s.super_lattice(b).unwrap(), BTreeSet::from([root, a, b]));
         assert!(s.is_supertype_of(root, b).unwrap());
         assert!(!s.is_supertype_of(b, root).unwrap());
         assert_eq!(s.immediate_subtypes(root).unwrap(), BTreeSet::from([a]));

@@ -27,6 +27,7 @@
 
 use std::sync::Arc;
 
+use crate::bits::{ensure_arena_index, ArenaKind, PropSet, TypeSet};
 use crate::engine::{BatchState, ChangeKind};
 use crate::error::{Result, SchemaError};
 use crate::history::RecordedOp;
@@ -49,6 +50,7 @@ impl Schema {
             name: name.into(),
             alive: true,
         }));
+        self.live_props.insert(id);
         id
     }
 
@@ -67,12 +69,13 @@ impl Schema {
         self.check_live_prop(p)?;
         let holders: Vec<TypeId> = self
             .iter_types()
-            .filter(|&t| self.types[t.index()].ne.contains(&p))
+            .filter(|&t| self.types[t.index()].ne.contains(p))
             .collect();
         for &t in &holders {
-            cow(&self.obs, &mut self.types[t.index()]).ne.remove(&p);
+            cow(&self.obs, &mut self.types[t.index()]).ne.remove(p);
         }
         cow(&self.obs, &mut self.props[p.index()]).alive = false;
+        self.live_props.remove(p);
         if !holders.is_empty() {
             self.note_change(&holders, ChangeKind::PropsOnly);
         }
@@ -95,7 +98,7 @@ impl Schema {
             }
         }
         self.check_fresh_name(&name)?;
-        let t = self.push_type(name, Default::default(), Default::default());
+        let t = self.push_type(name, Default::default(), Default::default())?;
         if self.config.is_rooted() && self.root.is_none() {
             self.root = Some(t);
         }
@@ -119,8 +122,8 @@ impl Schema {
         }
         // Every existing type (possibly none, on an empty forest) goes into
         // P_e of the new base.
-        let pe: std::collections::BTreeSet<TypeId> = self.iter_types().collect();
-        let t = self.push_type(name, pe, Default::default());
+        let pe: TypeSet = self.iter_types().collect();
+        let t = self.push_type(name, pe, Default::default())?;
         self.base = Some(t);
         self.note_change(&[t], ChangeKind::Edges);
         self.bump_version();
@@ -140,7 +143,7 @@ impl Schema {
     ) -> Result<TypeId> {
         let name = name.into();
         self.check_fresh_name(&name)?;
-        let mut pe: std::collections::BTreeSet<TypeId> = Default::default();
+        let mut pe = TypeSet::new();
         for s in supertypes {
             self.check_live(s)?;
             if Some(s) == self.base && self.config.is_pointed() {
@@ -148,7 +151,7 @@ impl Schema {
             }
             pe.insert(s);
         }
-        let mut ne: std::collections::BTreeSet<PropId> = Default::default();
+        let mut ne = PropSet::new();
         for p in properties {
             self.check_live_prop(p)?;
             ne.insert(p);
@@ -159,7 +162,7 @@ impl Schema {
                 pe.insert(root);
             }
         }
-        let t = self.push_type(name, pe, ne);
+        let t = self.push_type(name, pe, ne)?;
         let mut changed = vec![t];
         if self.config.is_pointed() {
             if let Some(b) = self.base {
@@ -243,7 +246,7 @@ impl Schema {
         let mut relinked: Vec<TypeId> = Vec::new();
         for &c in &subtypes {
             let slot = cow(&self.obs, &mut self.types[c.index()]);
-            slot.pe.remove(&t);
+            slot.pe.remove(t);
             if slot.pe.is_empty() {
                 if let Some(root) = relink_root {
                     slot.pe.insert(root);
@@ -256,7 +259,7 @@ impl Schema {
             self.rev_insert(relink_root.expect("relink implies root"), c);
         }
         // t leaves the index: as a subtype of its own supertypes...
-        let pe_of_t: Vec<TypeId> = self.types[t.index()].pe.iter().copied().collect();
+        let pe_of_t: Vec<TypeId> = self.types[t.index()].pe.iter().collect();
         for s in pe_of_t {
             self.rev_remove(s, t);
         }
@@ -267,6 +270,7 @@ impl Schema {
         slot.pe.clear();
         slot.ne.clear();
         let name = slot.name.clone();
+        self.live.remove(t);
         cow(&self.obs, &mut self.by_name).remove(&name);
         self.derived[t.index()] = Arc::default();
         if !subtypes.is_empty() {
@@ -298,7 +302,7 @@ impl Schema {
         if self.config.is_pointed() && Some(s) == self.base {
             return Err(SchemaError::SubtypeOfBase(s));
         }
-        if self.types[t.index()].pe.contains(&s) {
+        if self.types[t.index()].pe.contains(s) {
             return Err(SchemaError::DuplicateSupertype {
                 subtype: t,
                 supertype: s,
@@ -311,7 +315,7 @@ impl Schema {
         let cyclic = if self.batch.is_some() {
             self.reaches_upward(s, t)
         } else {
-            self.derived[s.index()].pl.contains(&t)
+            self.derived[s.index()].pl.contains(t)
         };
         if cyclic {
             return Err(SchemaError::WouldCreateCycle {
@@ -343,7 +347,7 @@ impl Schema {
         if self.types[t.index()].frozen {
             return Err(SchemaError::FrozenType(t));
         }
-        if !self.types[t.index()].pe.contains(&s) {
+        if !self.types[t.index()].pe.contains(s) {
             return Err(SchemaError::NotAnEssentialSupertype {
                 subtype: t,
                 supertype: s,
@@ -355,7 +359,7 @@ impl Schema {
         if self.config.is_pointed() && Some(t) == self.base {
             return Err(SchemaError::BaseEdgeDrop { supertype: s });
         }
-        cow(&self.obs, &mut self.types[t.index()]).pe.remove(&s);
+        cow(&self.obs, &mut self.types[t.index()]).pe.remove(s);
         self.rev_remove(s, t);
         if self.types[t.index()].pe.is_empty() {
             if let (true, Some(root)) = (self.config.is_rooted(), self.root) {
@@ -402,10 +406,10 @@ impl Schema {
     pub fn drop_essential_property(&mut self, t: TypeId, p: PropId) -> Result<()> {
         self.check_live(t)?;
         self.check_live_prop(p)?;
-        if !self.types[t.index()].ne.contains(&p) {
+        if !self.types[t.index()].ne.contains(p) {
             return Err(SchemaError::NotAnEssentialProperty { ty: t, prop: p });
         }
-        cow(&self.obs, &mut self.types[t.index()]).ne.remove(&p);
+        cow(&self.obs, &mut self.types[t.index()]).ne.remove(p);
         self.note_change(&[t], ChangeKind::PropsOnly);
         self.bump_version();
         Ok(())
@@ -422,15 +426,14 @@ impl Schema {
         }
     }
 
-    fn push_type(
-        &mut self,
-        name: String,
-        pe: std::collections::BTreeSet<TypeId>,
-        ne: std::collections::BTreeSet<PropId>,
-    ) -> TypeId {
-        let t = TypeId::from_index(self.types.len());
+    fn push_type(&mut self, name: String, pe: TypeSet, ne: PropSet) -> Result<TypeId> {
+        // The one arena-bound check on the type-allocation path: the kernel
+        // validates the slot index fits the u32 id/bit space and the typed
+        // error surfaces on the public `Result` paths instead of a panic.
+        let raw = ensure_arena_index(self.types.len(), ArenaKind::Types)?;
+        let t = TypeId::from_u32(raw);
         cow(&self.obs, &mut self.by_name).insert(name.clone(), t);
-        let parents: Vec<TypeId> = pe.iter().copied().collect();
+        let parents: Vec<TypeId> = pe.iter().collect();
         self.types.push(Arc::new(TypeSlot {
             name,
             alive: true,
@@ -440,10 +443,11 @@ impl Schema {
         }));
         self.derived.push(Arc::default());
         self.rev.push(Arc::default());
+        self.live.insert(t);
         for s in parents {
             self.rev_insert(s, t);
         }
-        t
+        Ok(t)
     }
 
     // ------------------------------------------------------------------
@@ -585,8 +589,8 @@ mod tests {
     fn at_defaults_to_root_supertype() {
         let (mut s, root) = rooted();
         let t = s.add_type("A", [], []).unwrap();
-        assert_eq!(s.essential_supertypes(t).unwrap(), &BTreeSet::from([root]));
-        assert_eq!(s.immediate_supertypes(t).unwrap(), &BTreeSet::from([root]));
+        assert_eq!(s.essential_supertypes(t).unwrap(), BTreeSet::from([root]));
+        assert_eq!(s.immediate_supertypes(t).unwrap(), BTreeSet::from([root]));
     }
 
     #[test]
@@ -670,7 +674,7 @@ mod tests {
         let a = s.add_type("A", [], []).unwrap();
         let b = s.add_type("B", [a], []).unwrap();
         s.drop_essential_supertype(b, a).unwrap();
-        assert_eq!(s.essential_supertypes(b).unwrap(), &BTreeSet::from([root]));
+        assert_eq!(s.essential_supertypes(b).unwrap(), BTreeSet::from([root]));
     }
 
     #[test]
@@ -681,7 +685,7 @@ mod tests {
         let edited = s.drop_type(a).unwrap();
         assert_eq!(edited, vec![b]);
         assert!(!s.is_live(a));
-        assert_eq!(s.essential_supertypes(b).unwrap(), &BTreeSet::from([root]));
+        assert_eq!(s.essential_supertypes(b).unwrap(), BTreeSet::from([root]));
         assert_eq!(s.type_by_name("A"), None);
         // Dangling accessors error.
         assert_eq!(s.super_lattice(a).unwrap_err(), SchemaError::UnknownType(a));
@@ -758,11 +762,11 @@ mod tests {
     fn rename_type_preserves_structure() {
         let (mut s, _) = rooted();
         let a = s.add_type("A", [], []).unwrap();
-        let fp_struct = s.super_lattice(a).unwrap().clone();
+        let fp_struct = s.super_lattice(a).unwrap();
         s.rename_type(a, "A2").unwrap();
         assert_eq!(s.type_by_name("A2"), Some(a));
         assert_eq!(s.type_by_name("A"), None);
-        assert_eq!(s.super_lattice(a).unwrap(), &fp_struct);
+        assert_eq!(s.super_lattice(a).unwrap(), fp_struct);
         // Renaming to an existing name fails.
         let b = s.add_type("B", [], []).unwrap();
         assert_eq!(

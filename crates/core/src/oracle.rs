@@ -52,8 +52,8 @@ pub fn derive(schema: &Schema, t: TypeId) -> Result<OracleDerived> {
     // P(t): maximal elements of P_e(t) — not reachable from another member.
     let pe = schema.essential_supertypes(t)?;
     let mut p = BTreeSet::new();
-    'cand: for &s in pe {
-        for &x in pe {
+    'cand: for &s in &pe {
+        for &x in &pe {
             if x != s && reachable_up(schema, x).contains(&s) {
                 continue 'cand;
             }
@@ -99,11 +99,11 @@ pub fn check_schema(schema: &Schema) -> Vec<TypeId> {
     for t in schema.iter_types() {
         let spec = derive(schema, t).expect("live type");
         let got = schema.derived(t).expect("live type");
-        if got.p != spec.p
-            || got.pl != spec.pl
-            || got.n != spec.n
-            || got.h != spec.h
-            || got.iface != spec.iface
+        if got.p.to_btree() != spec.p
+            || got.pl.to_btree() != spec.pl
+            || got.n.to_btree() != spec.n
+            || got.h.to_btree() != spec.h
+            || got.iface.to_btree() != spec.iface
         {
             bad.push(t);
         }

@@ -37,7 +37,7 @@ use crate::analysis::plan::{self, EvolutionPlan, PlanClass, Slot};
 use crate::engine::{self, BatchState, ChangeKind};
 use crate::error::{Result, SchemaError};
 use crate::history::RecordedOp;
-use crate::ids::TypeId;
+use crate::ids::{PropId, TypeId};
 use crate::model::Schema;
 
 /// Outcome of [`Schema::apply_plan`].
@@ -88,7 +88,7 @@ fn run_class(master: &Schema, ops: &[RecordedOp], class: &PlanClass) -> Result<C
     let st = local.batch.take().expect("batch installed above");
     let version_delta = local.version() - v0;
     if st.dirty {
-        let seeds: Vec<TypeId> = st.seeds.iter().copied().collect();
+        let seeds: Vec<TypeId> = st.seeds.iter().collect();
         engine::recompute_after_many(&mut local, &seeds, st.kind);
     }
     Ok(ClassRun {
@@ -100,6 +100,27 @@ fn run_class(master: &Schema, ops: &[RecordedOp], class: &PlanClass) -> Result<C
 }
 
 impl Schema {
+    /// Carry one merged type slot's liveness into the master's dense
+    /// `live` bitset (the word-iterable twin of the per-slot flags).
+    fn sync_live_type(&mut self, i: usize, local: &Schema) {
+        let t = TypeId::from_index(i);
+        if local.types[i].alive {
+            self.live.insert(t);
+        } else {
+            self.live.remove(t);
+        }
+    }
+
+    /// Ditto for one merged property record.
+    fn sync_live_prop(&mut self, i: usize, local: &Schema) {
+        let p = PropId::from_index(i);
+        if local.props[i].alive {
+            self.live_props.insert(p);
+        } else {
+            self.live_props.remove(p);
+        }
+    }
+
     /// Copy a finished class's effects into `self`. Sound because the
     /// checker proved the claimed write slots cover the class's real
     /// writes and are disjoint from every stage-mate's claims. Arena
@@ -114,11 +135,13 @@ impl Schema {
                 self.types.push(run.local.types[i].clone());
                 self.derived.push(run.local.derived[i].clone());
                 self.rev.push(run.local.rev[i].clone());
+                self.sync_live_type(i, &run.local);
             }
         }
         if run.local.props.len() > self.props.len() {
             for i in self.props.len()..run.local.props.len() {
                 self.props.push(run.local.props[i].clone());
+                self.sync_live_prop(i, &run.local);
             }
         }
         for slot in &class.writes {
@@ -126,11 +149,13 @@ impl Schema {
                 Slot::Type(i) => {
                     if *i < run.local.types.len() && *i < self.types.len() {
                         self.types[*i] = run.local.types[*i].clone();
+                        self.sync_live_type(*i, &run.local);
                     }
                 }
                 Slot::Prop(i) => {
                     if *i < run.local.props.len() && *i < self.props.len() {
                         self.props[*i] = run.local.props[*i].clone();
+                        self.sync_live_prop(*i, &run.local);
                     }
                 }
                 Slot::Name(name) => {
@@ -161,7 +186,7 @@ impl Schema {
         // this class wrote or nobody in the stage wrote, and equals the
         // row a post-merge master recomputation would produce. Rows are
         // `Arc`s, so adoption is a pointer bump, not a copy.
-        for &i in &class.reach {
+        for i in class.reach.iter() {
             if i < run.local.derived.len() && i < self.derived.len() {
                 self.derived[i] = run.local.derived[i].clone();
             }

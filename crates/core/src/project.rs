@@ -53,6 +53,7 @@ impl Schema {
             slot.pe.clear();
             slot.ne.clear();
             let name = slot.name.clone();
+            out.live.remove(*t);
             std::sync::Arc::make_mut(&mut out.by_name).remove(&name);
             out.derived[t.index()] = Default::default();
         }

@@ -22,7 +22,6 @@
 //! Identifiers are raw arena indices; tombstoned entries are written as
 //! `dead` so indices stay stable across a round-trip.
 
-use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::config::{LatticeConfig, Pointedness, Rootedness};
@@ -255,11 +254,11 @@ fn parse_type_line(rest: &str, expected_idx: usize) -> Result<(TypeSlot, Mark), 
     let tail = tail.trim();
     let (pe_str, tail) = take_bracketed(tail, "pe").ok_or("missing pe[...]")?;
     let (ne_str, _tail) = take_bracketed(tail.trim(), "ne").ok_or("missing ne[...]")?;
-    let pe: BTreeSet<TypeId> = parse_ids(pe_str)?
+    let pe: crate::bits::TypeSet = parse_ids(pe_str)?
         .into_iter()
         .map(TypeId::from_index)
         .collect();
-    let ne: BTreeSet<PropId> = parse_ids(ne_str)?
+    let ne: crate::bits::PropSet = parse_ids(ne_str)?
         .into_iter()
         .map(PropId::from_index)
         .collect();
@@ -346,9 +345,25 @@ fn assemble(
         version: 0,
         stats: Default::default(),
         rev: Vec::new(),
+        live: Default::default(),
+        live_props: Default::default(),
         batch: None,
         obs: None,
     };
+    schema.live = schema
+        .types
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.alive)
+        .map(|(i, _)| TypeId::from_index(i))
+        .collect();
+    schema.live_props = schema
+        .props
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.alive)
+        .map(|(i, _)| PropId::from_index(i))
+        .collect();
     schema.rebuild_subtype_index();
     schema.recompute_all();
     Ok(schema)

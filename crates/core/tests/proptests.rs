@@ -502,7 +502,7 @@ proptest! {
         prop_assert!(oracle::check_schema(&p).is_empty());
         // The closure really is closed: every kept type's PL is kept.
         for t in p.iter_types() {
-            for &sup in p.super_lattice(t).unwrap() {
+            for sup in p.super_lattice(t).unwrap() {
                 prop_assert!(p.is_live(sup));
             }
         }

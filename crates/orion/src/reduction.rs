@@ -391,7 +391,7 @@ impl ReducedOrion {
                 .iter()
                 .map(|s| self.reduction.class_map[s])
                 .collect();
-            if &supers != schema.essential_supertypes(t).expect("live") {
+            if supers != schema.essential_supertypes(t).expect("live") {
                 bad.push(format!("P_e mismatch at {cname}"));
             }
             // PL = ancestry.
@@ -402,7 +402,7 @@ impl ReducedOrion {
                 .iter()
                 .map(|s| self.reduction.class_map[s])
                 .collect();
-            if &anc != schema.super_lattice(t).expect("live") {
+            if anc != schema.super_lattice(t).expect("live") {
                 bad.push(format!("PL mismatch at {cname}"));
             }
             // N_e = N = local properties.
@@ -413,10 +413,10 @@ impl ReducedOrion {
                 .iter()
                 .map(|p| self.reduction.prop_map[&(c, p.name.clone())])
                 .collect();
-            if &local != schema.essential_properties(t).expect("live") {
+            if local != schema.essential_properties(t).expect("live") {
                 bad.push(format!("N_e mismatch at {cname}"));
             }
-            if &local != schema.native_properties(t).expect("live") {
+            if local != schema.native_properties(t).expect("live") {
                 bad.push(format!("N mismatch at {cname}"));
             }
             // I = full property set; H = I − N_e.
@@ -427,11 +427,11 @@ impl ReducedOrion {
                 .iter()
                 .map(|k| self.reduction.prop_map[k])
                 .collect();
-            if &full != schema.interface(t).expect("live") {
+            if full != schema.interface(t).expect("live") {
                 bad.push(format!("I mismatch at {cname}"));
             }
             let inherited: BTreeSet<PropId> = full.difference(&local).copied().collect();
-            if &inherited != schema.inherited_properties(t).expect("live") {
+            if inherited != schema.inherited_properties(t).expect("live") {
                 bad.push(format!("H mismatch at {cname}"));
             }
         }

@@ -111,8 +111,8 @@ pub fn plan(old: &Schema, new: &Schema) -> MigrationPlan {
         if before != after {
             migrations.push(TypeMigration {
                 ty: t,
-                added: after.difference(before).copied().collect(),
-                dropped: before.difference(after).copied().collect(),
+                added: after.difference(&before).copied().collect(),
+                dropped: before.difference(&after).copied().collect(),
             });
         }
     }

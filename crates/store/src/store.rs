@@ -226,7 +226,7 @@ impl ObjectStore {
         let before = rec.slots.len();
         rec.slots.retain(|p, _| iface.contains(p));
         self.stats.slots_dropped += (before - rec.slots.len()) as u64;
-        for &p in iface {
+        for p in iface {
             if let std::collections::btree_map::Entry::Vacant(e) = rec.slots.entry(p) {
                 e.insert(Value::Null);
                 self.stats.slots_added += 1;

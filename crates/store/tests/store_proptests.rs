@@ -158,7 +158,7 @@ impl Fixture {
                     // Conforming ⇒ slots are exactly the interface.
                     let keys: std::collections::BTreeSet<PropId> =
                         rec.slots.keys().copied().collect();
-                    assert_eq!(&keys, iface, "conforming object {o} has drifted slots");
+                    assert_eq!(keys, iface, "conforming object {o} has drifted slots");
                 }
                 Conformance::Stale => {
                     // Stale objects only exist under deferring policies.

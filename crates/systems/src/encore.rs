@@ -341,7 +341,7 @@ pub fn check_equivalence(enc: &EncoreSchema, red: &EncoreReduction) -> Vec<Strin
         let tid = red.type_map[&t];
         let cur = enc.current(t).expect("valid");
         let pe: BTreeSet<TypeId> = cur.supers.iter().map(|s| red.type_map[s]).collect();
-        if &pe != red.schema.essential_supertypes(tid).expect("live") {
+        if pe != red.schema.essential_supertypes(tid).expect("live") {
             bad.push(format!("P_e mismatch at {t}"));
         }
         let ne: BTreeSet<PropId> = cur
@@ -349,7 +349,7 @@ pub fn check_equivalence(enc: &EncoreSchema, red: &EncoreReduction) -> Vec<Strin
             .iter()
             .map(|p| red.prop_map[&(t, p.clone())])
             .collect();
-        if &ne != red.schema.essential_properties(tid).expect("live") {
+        if ne != red.schema.essential_properties(tid).expect("live") {
             bad.push(format!("N_e mismatch at {t}"));
         }
     }

@@ -305,7 +305,7 @@ pub fn check_equivalence(gem: &GemSchema, red: &GemReduction) -> Vec<String> {
             .iter()
             .map(|k| red.class_map[k])
             .collect();
-        if &chain != red.schema.super_lattice(t).expect("live") {
+        if chain != red.schema.super_lattice(t).expect("live") {
             bad.push(format!("PL mismatch at {c}"));
         }
         let parent: BTreeSet<TypeId> = gem
@@ -314,7 +314,7 @@ pub fn check_equivalence(gem: &GemSchema, red: &GemReduction) -> Vec<String> {
             .into_iter()
             .map(|p| red.class_map[&p])
             .collect();
-        if &parent != red.schema.essential_supertypes(t).expect("live") {
+        if parent != red.schema.essential_supertypes(t).expect("live") {
             bad.push(format!("P_e mismatch at {c}"));
         }
         // Single inheritance ⇒ P = P_e always (no redundancy possible).
@@ -329,7 +329,7 @@ pub fn check_equivalence(gem: &GemSchema, red: &GemReduction) -> Vec<String> {
             .iter()
             .map(|iv| red.prop_map[&(c, iv.clone())])
             .collect();
-        if &local != red.schema.essential_properties(t).expect("live") {
+        if local != red.schema.essential_properties(t).expect("live") {
             bad.push(format!("N_e mismatch at {c}"));
         }
         // Visible (unshadowed) ivars are a subset of the axiomatic
@@ -342,7 +342,7 @@ pub fn check_equivalence(gem: &GemSchema, red: &GemReduction) -> Vec<String> {
             .map(|k| red.prop_map[&k])
             .collect();
         let iface = red.schema.interface(t).expect("live");
-        if !visible.is_subset(iface) {
+        if !visible.is_subset(&iface) {
             bad.push(format!("visible ivars ⊄ I at {c}"));
         }
     }

@@ -131,7 +131,7 @@ impl Objectbase {
         let mut out = Vec::new();
         // Unimplemented behaviors.
         for t in self.schema.iter_types() {
-            for &b in self.schema.interface(t).expect("live") {
+            for b in self.schema.interface(t).expect("live") {
                 if self.resolve_impl(t, b).is_none() {
                     out.push(LintFinding::UnimplementedBehavior { ty: t, behavior: b });
                 }

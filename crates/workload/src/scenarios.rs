@@ -366,12 +366,12 @@ mod tests {
         // P(T_teachingAssistant) = {T_student, T_employee}.
         assert_eq!(
             s.immediate_supertypes(u.teaching_assistant).unwrap(),
-            &BTreeSet::from([u.student, u.employee])
+            BTreeSet::from([u.student, u.employee])
         );
         // PL(T_employee) = {employee, person, taxSource, object}.
         assert_eq!(
             s.super_lattice(u.employee).unwrap(),
-            &BTreeSet::from([u.employee, u.person, u.tax_source, u.object])
+            BTreeSet::from([u.employee, u.person, u.tax_source, u.object])
         );
         // H(T_employee) includes both homonymous names.
         let h = s.inherited_properties(u.employee).unwrap();
@@ -394,7 +394,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             s.immediate_supertypes(u.teaching_assistant).unwrap(),
-            &BTreeSet::from([u.person])
+            BTreeSet::from([u.person])
         );
         assert!(!s
             .is_supertype_of(u.tax_source, u.teaching_assistant)

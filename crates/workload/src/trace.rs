@@ -275,11 +275,13 @@ fn classify(r: Result<(), SchemaError>) -> Outcome {
 }
 
 fn pick_type(schema: &Schema, rng: &mut SmallRng) -> Option<TypeId> {
-    let live: Vec<TypeId> = schema.iter_types().collect();
-    if live.is_empty() {
+    // Same pick as indexing a collected live list (the iterator is the
+    // ascending live set), without materializing the list per op.
+    let n = schema.type_count();
+    if n == 0 {
         None
     } else {
-        Some(live[rng.gen_range(0..live.len())])
+        schema.iter_types().nth(rng.gen_range(0..n))
     }
 }
 
@@ -363,12 +365,13 @@ fn op_add_prop<S: EvolveSink>(
         *fresh += 1;
         sink.add_property(format!("trace_{tag}_p{fresh}"))
     } else {
-        let all: Vec<PropId> = sink.schema().iter_props().collect();
-        if all.is_empty() {
+        let n = sink.schema().prop_count();
+        if n == 0 {
             *fresh += 1;
             sink.add_property(format!("trace_{tag}_p{fresh}"))
         } else {
-            all[rng.gen_range(0..all.len())]
+            let k = rng.gen_range(0..n);
+            sink.schema().iter_props().nth(k).expect("k < live count")
         }
     };
     classify(sink.add_essential_property(t, p))

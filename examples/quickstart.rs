@@ -20,11 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Derived state (Table 1 of the paper):
     println!("immediate supertypes P(ElectricCar):");
-    for &t in schema.immediate_supertypes(ev)? {
+    for t in schema.immediate_supertypes(ev)? {
         println!("  {}", schema.type_name(t)?);
     }
     println!("interface I(ElectricCar):");
-    for &p in schema.interface(ev)? {
+    for p in schema.interface(ev)? {
         println!("  {}", schema.prop_name(p)?);
     }
     assert!(schema.interface(ev)?.contains(&wheels));

@@ -224,7 +224,7 @@ fn minimal_conflict_detection_is_complete() {
         let conflicts = |supers: &BTreeSet<TypeId>| {
             let mut m: std::collections::BTreeMap<String, BTreeSet<_>> = Default::default();
             for &s in supers {
-                for &p in out.schema.interface(s).unwrap() {
+                for p in out.schema.interface(s).unwrap() {
                     m.entry(out.schema.prop_name(p).unwrap().to_string())
                         .or_default()
                         .insert(p);
@@ -236,8 +236,8 @@ fn minimal_conflict_detection_is_complete() {
                 .collect::<BTreeSet<_>>()
         };
         for t in out.schema.iter_types() {
-            let via_p = conflicts(out.schema.immediate_supertypes(t).unwrap());
-            let via_pe = conflicts(out.schema.essential_supertypes(t).unwrap());
+            let via_p = conflicts(&out.schema.immediate_supertypes(t).unwrap());
+            let via_pe = conflicts(&out.schema.essential_supertypes(t).unwrap());
             assert_eq!(via_p, via_pe, "seed {seed}, type {t}");
         }
         assert!(oracle::check_schema(&out.schema).is_empty());
@@ -258,7 +258,7 @@ fn figure1_narrative_regression() {
         .unwrap();
     assert_eq!(
         s.immediate_supertypes(u.teaching_assistant).unwrap(),
-        &BTreeSet::from([u.person])
+        BTreeSet::from([u.person])
     );
     s.drop_type(u.tax_source).unwrap();
     assert!(s
