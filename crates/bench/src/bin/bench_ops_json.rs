@@ -308,10 +308,7 @@ struct PlanCells {
 /// certificate) is compiled once and executed on many replicas, so the
 /// in-timer cost is what every replay pays — the class-ordered batched
 /// apply plus one shared scoped recomputation.
-fn measure_analysis(
-    base: &Schema,
-    ops: &[RecordedOp],
-) -> (u128, u128, f64, usize, bool, u64, u64) {
+fn measure_analysis(base: &Schema, ops: &[RecordedOp]) -> (u128, u128, f64, usize, bool, u64, u64) {
     let analysis = analyze_trace(base, ops);
     // Untimed warmup down each path (same rationale as
     // `measure_journal_overhead`): the first replay after a clone pays

@@ -192,7 +192,8 @@ impl Session {
             },
             Command::ShowLattice => {
                 for t in self.schema().iter_types() {
-                    let supers = self.names(&(&self.schema().immediate_supertypes(t).unwrap()).into());
+                    let supers =
+                        self.names(&(&self.schema().immediate_supertypes(t).unwrap()).into());
                     writeln!(
                         out,
                         "{}  ⊑  {}",

@@ -3,17 +3,22 @@
 //!
 //! ```text
 //! axiombase journal-init DIR [SNAPSHOT]   # new journal (from a snapshot, or fresh)
-//! axiombase recover DIR [--salvage] [--json] [--trace-spans]
+//! axiombase recover DIR [--salvage|--quarantine] [--json] [--trace-spans]
 //! axiombase checkpoint DIR [--json]       # recover, then force a checkpoint
 //! axiombase log DIR [--json]              # read-only WAL listing
 //! axiombase stats DIR [--salvage] [--json] # recover + full metrics snapshot
+//! axiombase doctor DIR [--json]           # read-only health diagnosis
 //! ```
 //!
 //! `recover`, `checkpoint`, and `stats` repair the directory (truncating a
-//! torn tail); `log` never writes. All exit 0 on success, 1 on failure, 2
-//! on usage errors. `--trace-spans` replays recovery through an
-//! `EvolveTracer` and prints the structured span events after the report
-//! (as text, or as a JSON array on its own line after the JSON report).
+//! torn tail); `log` and `doctor` never write. All exit 0 on success, 1 on
+//! failure, 2 on usage errors — except `doctor`, whose exit code reports
+//! serviceability, and `stats`, which degrades to a health report (exit 0)
+//! when the journal cannot be opened. `--quarantine` renames a corrupt WAL
+//! segment to `*.quar` and re-checkpoints instead of refusing recovery.
+//! `--trace-spans` replays recovery through an `EvolveTracer` and prints
+//! the structured span events after the report (as text, or as a JSON
+//! array on its own line after the JSON report).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -112,21 +117,33 @@ pub fn init(rest: &[&str]) -> i32 {
     }
 }
 
-/// `axiombase recover DIR [--salvage] [--json] [--trace-spans]` — run
-/// recovery and print the report. Strict mode refuses corrupt
-/// (checksummed-but-wrong) records; `--salvage` truncates them instead and
-/// reports what was dropped. `--trace-spans` additionally prints the
-/// structured span events recovery replay emitted.
+/// `axiombase recover DIR [--salvage|--quarantine] [--json]
+/// [--trace-spans]` — run recovery and print the report. Strict mode
+/// refuses corrupt (checksummed-but-wrong) records; `--salvage` truncates
+/// them instead and reports what was dropped; `--quarantine` renames the
+/// corrupt segment to `*.quar` (preserving its bytes for forensics) and
+/// re-checkpoints at the recovered sequence. `--trace-spans` additionally
+/// prints the structured span events recovery replay emitted.
 pub fn recover(rest: &[&str]) -> i32 {
-    let usage = "axiombase recover DIR [--salvage] [--json] [--trace-spans]";
-    let (dir, flags) = match parse_args(rest, &["--salvage", "--json", "--trace-spans"], usage) {
+    let usage = "axiombase recover DIR [--salvage|--quarantine] [--json] [--trace-spans]";
+    let (dir, flags) = match parse_args(
+        rest,
+        &["--salvage", "--quarantine", "--json", "--trace-spans"],
+        usage,
+    ) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
-    let mode = if flags.contains(&"--salvage") {
+    if flags.contains(&"--salvage") && flags.contains(&"--quarantine") {
+        eprintln!("--salvage and --quarantine are mutually exclusive\nusage: {usage}");
+        return 2;
+    }
+    let mode = if flags.contains(&"--quarantine") {
+        RecoveryMode::Quarantine
+    } else if flags.contains(&"--salvage") {
         RecoveryMode::Salvage
     } else {
         RecoveryMode::Strict
@@ -176,6 +193,12 @@ pub fn recover(rest: &[&str]) -> i32 {
 /// snapshot: `recovery.*` accounting, the `engine.*` recomputation work
 /// replay performed, per-operation-kind `ops.*` counters, and `journal.*`
 /// I/O counts. Deterministic for a given journal directory.
+///
+/// When the journal cannot be opened (corrupt segment, unreadable
+/// directory), `stats` does not error out: it falls back to the read-only
+/// [`Journal::diagnose`] health report — durability status, last error,
+/// and repair advice — and still exits 0, so monitoring that polls `stats`
+/// keeps getting structured output from a broken deployment.
 pub fn stats(rest: &[&str]) -> i32 {
     let usage = "axiombase stats DIR [--salvage] [--json]";
     let (dir, flags) = match parse_args(rest, &["--salvage", "--json"], usage) {
@@ -190,11 +213,12 @@ pub fn stats(rest: &[&str]) -> i32 {
     } else {
         RecoveryMode::Strict
     };
+    let json = flags.contains(&"--json");
     let registry = Arc::new(MetricsRegistry::new());
     let obs = Arc::new(EvolveObs::new(Arc::clone(&registry)));
     match Journal::open_observed(Path::new(dir), Arc::new(StdIo), mode, obs) {
         Ok((_journal, schema, _report)) => {
-            if flags.contains(&"--json") {
+            if json {
                 println!("{}", registry.snapshot().to_json());
             } else {
                 print!("{}", registry.snapshot().to_text());
@@ -208,9 +232,47 @@ pub fn stats(rest: &[&str]) -> i32 {
             0
         }
         Err(e) => {
-            eprintln!("stats failed: {e}");
-            1
+            let health = Journal::diagnose(Path::new(dir), &StdIo);
+            if json {
+                println!(
+                    "{{\"error\":\"{}\",\"health\":{}}}",
+                    json_escape(&e.to_string()),
+                    health.to_json()
+                );
+            } else {
+                println!("stats unavailable: {e}");
+                print!("{}", health.to_text());
+            }
+            0
         }
+    }
+}
+
+/// `axiombase doctor DIR [--json]` — read-only health diagnosis of a
+/// journal directory: status (`healthy` / `repairable` / `corrupt` /
+/// `uninitialized` / `unreadable`), checkpoint and durable sequence
+/// numbers, segment counts, and repair advice. Never modifies anything.
+/// Exits 0 when the journal is serviceable (a normal recovery open will
+/// succeed), 1 otherwise.
+pub fn doctor(rest: &[&str]) -> i32 {
+    let usage = "axiombase doctor DIR [--json]";
+    let (dir, flags) = match parse_args(rest, &["--json"], usage) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let health = Journal::diagnose(Path::new(dir), &StdIo);
+    if flags.contains(&"--json") {
+        println!("{}", health.to_json());
+    } else {
+        print!("{}", health.to_text());
+    }
+    if health.is_serviceable() {
+        0
+    } else {
+        1
     }
 }
 
@@ -380,11 +442,14 @@ mod tests {
     fn usage_errors_exit_2() {
         assert_eq!(recover(&[]), 2);
         assert_eq!(recover(&["somewhere", "--bogus"]), 2);
+        assert_eq!(recover(&["somewhere", "--salvage", "--quarantine"]), 2);
         assert_eq!(checkpoint(&[]), 2);
         assert_eq!(log(&[]), 2);
         assert_eq!(init(&[]), 2);
         assert_eq!(stats(&[]), 2);
         assert_eq!(stats(&["somewhere", "--trace-spans"]), 2);
+        assert_eq!(doctor(&[]), 2);
+        assert_eq!(doctor(&["somewhere", "--salvage"]), 2);
     }
 
     #[test]
@@ -393,6 +458,20 @@ mod tests {
         let d = dir.to_str().unwrap();
         assert_eq!(recover(&[d]), 1);
         assert_eq!(log(&[d]), 1);
-        assert_eq!(stats(&[d]), 1);
+        // `stats` degrades to a health report instead of erroring; `doctor`
+        // reports unserviceable via its exit code.
+        assert_eq!(stats(&[d]), 0);
+        assert_eq!(stats(&[d, "--json"]), 0);
+        assert_eq!(doctor(&[d]), 1);
+    }
+
+    #[test]
+    fn doctor_reports_healthy_after_init() {
+        let dir = tmp_dir("doctor");
+        let d = dir.to_str().unwrap();
+        assert_eq!(init(&[d]), 0);
+        assert_eq!(doctor(&[d]), 0);
+        assert_eq!(doctor(&[d, "--json"]), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

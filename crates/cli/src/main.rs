@@ -11,10 +11,11 @@
 //! axiombase analyze [TRACE|DIR] [--plan] [--mc-bound N]  # trace certification + model check
 //! axiombase apply [TRACE|DIR] [--parallel[=N]]  # execute a trace (batched or planned)
 //! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
-//! axiombase recover DIR [--salvage] [--json] [--trace-spans]  # replay + repair
+//! axiombase recover DIR [--salvage|--quarantine] [--json] [--trace-spans]  # replay + repair
 //! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
 //! axiombase log DIR [--json]             # read-only journal listing
 //! axiombase stats DIR [--salvage] [--json]  # recover + metrics snapshot
+//! axiombase doctor DIR [--json]          # read-only health diagnosis
 //! ```
 //!
 //! The command language is documented by `help` (see `command.rs`); the lint
@@ -51,12 +52,13 @@ fn main() {
         ["checkpoint", rest @ ..] => journal_cmd::checkpoint(rest),
         ["log", rest @ ..] => journal_cmd::log(rest),
         ["stats", rest @ ..] => journal_cmd::stats(rest),
+        ["doctor", rest @ ..] => journal_cmd::doctor(rest),
         _ => {
             eprintln!(
                 "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
                  analyze TRACE|DIR | apply TRACE|DIR [--parallel[=N]] | \
                  journal-init DIR [SNAPSHOT] | recover DIR | \
-                 checkpoint DIR | log DIR | stats DIR]"
+                 checkpoint DIR | log DIR | stats DIR | doctor DIR]"
             );
             2
         }

@@ -150,8 +150,8 @@ impl SymbolicState {
                 live: t.alive,
                 frozen: t.frozen,
                 name: t.name.clone(),
-                pe: t.pe.iter().map(|s| s.index()).collect(),
-                ne: t.ne.iter().map(|p| p.index()).collect(),
+                pe: t.pe.iter().map(super::super::ids::TypeId::index).collect(),
+                ne: t.ne.iter().map(super::super::ids::PropId::index).collect(),
             })
             .collect();
         let props = schema

@@ -268,10 +268,7 @@ impl Schema {
                 },
                 pe.iter(),
             );
-            let expect: BTreeSet<TypeId> = pe
-                .iter()
-                .filter(|s| !reachable.contains(s))
-                .collect();
+            let expect: BTreeSet<TypeId> = pe.iter().filter(|s| !reachable.contains(s)).collect();
             let got = self.derived[t.index()].p.to_btree();
             if got != expect {
                 v.push(AxiomViolation {

@@ -181,7 +181,7 @@ impl RawBitSet {
         }
         if ns < self.start {
             let pad = (self.start - ns) as usize;
-            self.words.splice(0..0, std::iter::repeat(0).take(pad));
+            self.words.splice(0..0, std::iter::repeat_n(0, pad));
             self.start = ns;
         }
         if ne > self.end() {
@@ -609,7 +609,7 @@ impl IdxSet {
     /// Word-parallel `self ∪= other`.
     #[inline]
     pub fn union_with(&mut self, other: &IdxSet) {
-        self.0.union_with(&other.0)
+        self.0.union_with(&other.0);
     }
 
     /// Word-parallel subset test.
@@ -682,7 +682,10 @@ mod tests {
             assert!(s.contains(bit));
         }
         assert_eq!(s.len(), 9);
-        assert_eq!(s.iter().collect::<Vec<_>>(), [0, 1, 63, 64, 65, 127, 128, 129, 4000]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            [0, 1, 63, 64, 65, 127, 128, 129, 4000]
+        );
         for bit in [0u32, 1, 63, 64, 65, 127, 128, 129, 4000] {
             assert!(s.remove(bit));
             assert!(!s.remove(bit));
@@ -766,11 +769,17 @@ mod tests {
         // The schema fingerprint hashes pe/ne/p/pl/n/h rows; the bitset
         // hash must agree with the BTreeSet hash bit for bit.
         let ids = [0u32, 3, 64, 65, 900];
-        let bt: BTreeSet<TypeId> = ids.iter().map(|&i| TypeId::from_index(i as usize)).collect();
+        let bt: BTreeSet<TypeId> = ids
+            .iter()
+            .map(|&i| TypeId::from_index(i as usize))
+            .collect();
         let bs: TypeSet = bt.iter().copied().collect();
         assert_eq!(hash_of(&bt), hash_of(&bs));
 
-        let bp: BTreeSet<PropId> = ids.iter().map(|&i| PropId::from_index(i as usize)).collect();
+        let bp: BTreeSet<PropId> = ids
+            .iter()
+            .map(|&i| PropId::from_index(i as usize))
+            .collect();
         let ps: PropSet = bp.iter().copied().collect();
         assert_eq!(hash_of(&bp), hash_of(&ps));
 
@@ -780,7 +789,10 @@ mod tests {
 
     #[test]
     fn typed_roundtrip_and_btree_conversion() {
-        let ids: Vec<TypeId> = [5usize, 1, 64, 63].iter().map(|&i| TypeId::from_index(i)).collect();
+        let ids: Vec<TypeId> = [5usize, 1, 64, 63]
+            .iter()
+            .map(|&i| TypeId::from_index(i))
+            .collect();
         let s: TypeSet = ids.iter().copied().collect();
         assert_eq!(s.len(), 4);
         assert_eq!(s.first(), Some(TypeId::from_index(1)));
@@ -788,7 +800,7 @@ mod tests {
         assert_eq!(bt, ids.iter().copied().collect::<BTreeSet<_>>());
         assert_eq!(TypeSet::from(&bt), s);
         // Iteration is ascending by arena index.
-        let order: Vec<usize> = s.iter().map(|t| t.index()).collect();
+        let order: Vec<usize> = s.iter().map(TypeId::index).collect();
         assert_eq!(order, [1, 5, 63, 64]);
     }
 

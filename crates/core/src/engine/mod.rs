@@ -254,11 +254,7 @@ pub(crate) fn topo_order(types: &[Arc<TypeSlot>]) -> Option<Vec<TypeId>> {
 /// This holds for compounded batches too: each absorbed operation's own
 /// seeds cover the edge(s) it changed, and edges *below* a seed are
 /// traversed as they are now, after all edits.
-pub(crate) fn down_set(
-    types: &[Arc<TypeSlot>],
-    rev: &[Arc<TypeSet>],
-    seeds: &[TypeId],
-) -> TypeSet {
+pub(crate) fn down_set(types: &[Arc<TypeSlot>], rev: &[Arc<TypeSet>], seeds: &[TypeId]) -> TypeSet {
     let mut out = TypeSet::new();
     let mut stack: Vec<TypeId> = Vec::new();
     for &t in seeds {

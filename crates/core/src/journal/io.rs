@@ -183,6 +183,34 @@ struct MemState {
     visible: BTreeMap<PathBuf, usize>,
     /// The namespace as of the last `fsync_dir` — what a crash reverts to.
     durable: BTreeMap<PathBuf, usize>,
+    /// Device capacity in visible bytes (`None` = unlimited). Writes and
+    /// appends that would exceed it fail with
+    /// [`io::ErrorKind::StorageFull`] (`ENOSPC`) and no partial effect.
+    disk_budget: Option<usize>,
+}
+
+impl MemState {
+    fn visible_bytes(&self) -> usize {
+        self.visible
+            .values()
+            .map(|&i| self.inodes[i].data.len())
+            .sum()
+    }
+
+    fn check_budget(&self, grow_by: usize) -> io::Result<()> {
+        if let Some(budget) = self.disk_budget {
+            if self.visible_bytes() + grow_by > budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    format!(
+                        "mem: disk full ({} + {grow_by} > {budget} byte(s))",
+                        self.visible_bytes()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// In-memory filesystem with explicit crash semantics (see [`CrashKeep`]).
@@ -219,6 +247,20 @@ impl MemIo {
         st.visible.get(path).map(|&i| st.inodes[i].data.len())
     }
 
+    /// Cap the device at `bytes` visible bytes (`None` = unlimited).
+    /// Once full, writes and appends fail with
+    /// [`io::ErrorKind::StorageFull`] until something is removed or
+    /// truncated — exactly the `ENOSPC`-until-checkpoint-GC shape the
+    /// durability machine retries through.
+    pub fn set_disk_budget(&self, bytes: Option<usize>) {
+        self.state.lock().disk_budget = bytes;
+    }
+
+    /// Current visible bytes across all files (test helper).
+    pub fn visible_bytes(&self) -> usize {
+        self.state.lock().visible_bytes()
+    }
+
     /// XOR one visible byte of `path` (test helper for corruption tests).
     /// Panics if the file or offset does not exist — tests only.
     pub fn corrupt(&self, path: &Path, offset: usize, xor: u8) {
@@ -252,12 +294,15 @@ impl JournalIo for MemIo {
         let mut st = self.state.lock();
         match st.visible.get(path).copied() {
             Some(i) => {
+                let old = st.inodes[i].data.len();
+                st.check_budget(data.len().saturating_sub(old))?;
                 st.inodes[i] = MemFile {
                     data: data.to_vec(),
                     synced: 0,
                 };
             }
             None => {
+                st.check_budget(data.len())?;
                 let i = st.inodes.len();
                 st.inodes.push(MemFile {
                     data: data.to_vec(),
@@ -271,6 +316,7 @@ impl JournalIo for MemIo {
 
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut st = self.state.lock();
+        st.check_budget(data.len())?;
         match st.visible.get(path).copied() {
             Some(i) => st.inodes[i].data.extend_from_slice(data),
             None => {
@@ -350,6 +396,9 @@ pub struct FaultIo {
     inner: Arc<dyn JournalIo>,
     fail_at: u64,
     torn_bytes: usize,
+    /// Error kind the injected (`fail_at`-th) failure carries. Later
+    /// calls always fail `BrokenPipe` (the process is dead).
+    kind: io::ErrorKind,
     mutations: AtomicU64,
     dead: AtomicBool,
 }
@@ -357,13 +406,31 @@ pub struct FaultIo {
 impl FaultIo {
     /// Wrap `inner`, failing the `fail_at`-th mutating call (0 = never).
     pub fn new(inner: Arc<dyn JournalIo>, fail_at: u64, torn_bytes: usize) -> Self {
+        Self::with_kind(inner, fail_at, torn_bytes, io::ErrorKind::BrokenPipe)
+    }
+
+    /// Like [`FaultIo::new`], but the injected failure carries `kind`
+    /// (e.g. [`io::ErrorKind::StorageFull`] to simulate `ENOSPC`), so the
+    /// durability layer's classification can be exercised end-to-end.
+    pub fn with_kind(
+        inner: Arc<dyn JournalIo>,
+        fail_at: u64,
+        torn_bytes: usize,
+        kind: io::ErrorKind,
+    ) -> Self {
         FaultIo {
             inner,
             fail_at,
             torn_bytes,
+            kind,
             mutations: AtomicU64::new(0),
             dead: AtomicBool::new(false),
         }
+    }
+
+    /// The error for the injected fault itself.
+    fn injected(&self) -> io::Error {
+        io::Error::new(self.kind, "injected fault")
     }
 
     /// A counting-only wrapper that never fails — used to discover how many
@@ -404,7 +471,7 @@ impl FaultIo {
 impl JournalIo for FaultIo {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.create_dir_all(dir)
     }
@@ -422,7 +489,7 @@ impl JournalIo for FaultIo {
             if k > 0 {
                 self.inner.write(path, &data[..k])?;
             }
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.write(path, data)
     }
@@ -433,42 +500,42 @@ impl JournalIo for FaultIo {
             if k > 0 {
                 self.inner.append(path, &data[..k])?;
             }
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.append(path, data)
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.truncate(path, len)
     }
 
     fn fsync(&self, path: &Path) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.fsync(path)
     }
 
     fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.fsync_dir(dir)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.rename(from, to)
     }
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         if self.gate()? {
-            return Err(Self::crashed());
+            return Err(self.injected());
         }
         self.inner.remove(path)
     }

@@ -44,7 +44,26 @@
 //! All file I/O goes through the [`JournalIo`] trait ([`io`]), so the same
 //! code path that runs in production is the one the fault-injection tests
 //! crash at every opportunity.
+//!
+//! # Self-healing
+//!
+//! I/O failures no longer wedge the journal. Every append/checkpoint runs
+//! under the typed durability state machine in [`heal`]
+//! (`Healthy → Retrying → Degraded → Recovered | Quarantined`): transient
+//! errors retry on a bounded, deterministic backoff schedule; `ENOSPC`
+//! triggers a checkpoint GC that prunes obsolete segments and retries;
+//! permanent errors degrade the journal to **read-only** (snapshots keep
+//! serving, appends fail fast with [`JournalError::Unavailable`]) until a
+//! cooldown elapses and a probe append re-arms it. Corrupt WAL segments
+//! can be **quarantined** ([`RecoveryMode::Quarantine`]): renamed to
+//! `*.quar`, re-checkpointed past, and the journal continues on a fresh
+//! segment. Writer panics are isolated (`catch_unwind` in [`heal`]) into
+//! typed [`JournalError::Panicked`] errors with no poisoned state. The
+//! fault-schedule harness in [`fault`] drives all of this under seeded
+//! chaos; see DESIGN.md §13.
 
+pub mod fault;
+pub mod heal;
 pub mod io;
 pub mod wire;
 
@@ -65,9 +84,27 @@ use wire::{crc32, encode_frame, read_frame, FrameResult, WAL_MAGIC};
 /// Errors raised by the durability layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalError {
-    /// An underlying I/O operation failed (message only, keeping the error
-    /// `Clone`/`PartialEq`).
+    /// An underlying I/O operation failed permanently (message only,
+    /// keeping the error `Clone`/`PartialEq`).
     Io(String),
+    /// An underlying I/O operation failed with a *transient* error
+    /// (interrupted, timed out, would-block) — retried internally; this
+    /// surfaces only when the retry budget is exhausted.
+    TransientIo(String),
+    /// The device (or the journal's configured WAL budget) is out of
+    /// space. Retryable after a checkpoint GC reclaims obsolete segments.
+    DiskFull(String),
+    /// The journal is degraded to read-only after repeated failures.
+    /// Snapshots keep serving; retry the write after `retry_after_ms`.
+    Unavailable {
+        /// Cooldown remaining before the next probe append is admitted.
+        retry_after_ms: u64,
+        /// The error that caused the degradation.
+        last_error: String,
+    },
+    /// The writer closure panicked; the panic was isolated and no state
+    /// was published or appended beyond the durable prefix.
+    Panicked(String),
     /// A complete WAL record failed its checksum or did not decode.
     Corrupt {
         /// File the corruption was found in.
@@ -88,9 +125,6 @@ pub enum JournalError {
     NoCheckpoint,
     /// [`Journal::create`] found an existing journal in the directory.
     AlreadyExists,
-    /// A previous I/O failure left the journal in an unknown on-disk state;
-    /// all further appends are refused until recovery reopens it.
-    Wedged,
     /// A schema operation was rejected (the journal is untouched).
     Schema(SchemaError),
     /// A logged operation was rejected during replay — the log does not
@@ -107,6 +141,16 @@ impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JournalError::Io(d) => write!(f, "journal io error: {d}"),
+            JournalError::TransientIo(d) => write!(f, "journal io error (transient): {d}"),
+            JournalError::DiskFull(d) => write!(f, "journal disk full: {d}"),
+            JournalError::Unavailable {
+                retry_after_ms,
+                last_error,
+            } => write!(
+                f,
+                "journal degraded (read-only): retry after {retry_after_ms}ms; last error: {last_error}"
+            ),
+            JournalError::Panicked(d) => write!(f, "journal writer panicked (isolated): {d}"),
             JournalError::Corrupt {
                 file,
                 offset,
@@ -117,10 +161,6 @@ impl std::fmt::Display for JournalError {
             }
             JournalError::NoCheckpoint => write!(f, "no valid checkpoint found"),
             JournalError::AlreadyExists => write!(f, "journal already exists"),
-            JournalError::Wedged => write!(
-                f,
-                "journal wedged by an earlier I/O failure; reopen to recover"
-            ),
             JournalError::Schema(e) => write!(f, "schema operation rejected: {e}"),
             JournalError::Replay { seq, source } => {
                 write!(f, "replay of op {seq} rejected: {source}")
@@ -131,6 +171,22 @@ impl std::fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+impl JournalError {
+    /// The retry classification of this error, if it is an I/O-shaped
+    /// failure the durability machine can act on. Non-I/O errors
+    /// (corruption, schema rejections, ...) return `None` and are treated
+    /// as permanent by the retry loop.
+    #[must_use]
+    pub fn class(&self) -> Option<heal::ErrorClass> {
+        match self {
+            JournalError::TransientIo(_) => Some(heal::ErrorClass::Transient),
+            JournalError::DiskFull(_) => Some(heal::ErrorClass::DiskFull),
+            JournalError::Io(_) => Some(heal::ErrorClass::Permanent),
+            _ => None,
+        }
+    }
+}
+
 impl From<SchemaError> for JournalError {
     fn from(e: SchemaError) -> Self {
         JournalError::Schema(e)
@@ -139,7 +195,11 @@ impl From<SchemaError> for JournalError {
 
 impl From<std::io::Error> for JournalError {
     fn from(e: std::io::Error) -> Self {
-        JournalError::Io(e.to_string())
+        match heal::classify(&e) {
+            heal::ErrorClass::Transient => JournalError::TransientIo(e.to_string()),
+            heal::ErrorClass::DiskFull => JournalError::DiskFull(e.to_string()),
+            heal::ErrorClass::Permanent => JournalError::Io(e.to_string()),
+        }
     }
 }
 
@@ -155,6 +215,11 @@ pub enum RecoveryMode {
     /// the log at the first corrupt record, and report exactly which
     /// suffix was dropped.
     Salvage,
+    /// Like [`RecoveryMode::Salvage`], but corrupt WAL segments are
+    /// *quarantined* — renamed to `<name>.quar` (contents preserved for
+    /// forensics) — and the journal re-checkpoints at the recovered
+    /// sequence so it continues on a fresh segment.
+    Quarantine,
 }
 
 /// Why a log suffix was dropped during recovery.
@@ -210,6 +275,20 @@ pub struct SkippedCheckpoint {
     pub detail: String,
 }
 
+/// A corrupt WAL segment renamed out of the way by
+/// [`RecoveryMode::Quarantine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedSegment {
+    /// The original WAL file name.
+    pub file: String,
+    /// The name it was renamed to (`<file>.quar`).
+    pub quarantined_as: String,
+    /// Size of the segment in bytes at quarantine time.
+    pub bytes: usize,
+    /// Why it was quarantined.
+    pub detail: String,
+}
+
 /// What recovery found and did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -226,6 +305,8 @@ pub struct RecoveryReport {
     pub skipped_checkpoints: Vec<SkippedCheckpoint>,
     /// The invalid suffix dropped from the log, if any.
     pub dropped_tail: Option<DroppedTail>,
+    /// Corrupt segments renamed to `*.quar` (quarantine mode only).
+    pub quarantined: Vec<QuarantinedSegment>,
 }
 
 impl RecoveryReport {
@@ -240,6 +321,13 @@ impl RecoveryReport {
         );
         for s in &self.skipped_checkpoints {
             let _ = writeln!(out, "skipped damaged checkpoint {}: {}", s.file, s.detail);
+        }
+        for q in &self.quarantined {
+            let _ = writeln!(
+                out,
+                "quarantined {} -> {} ({} byte(s)): {}",
+                q.file, q.quarantined_as, q.bytes, q.detail
+            );
         }
         if let Some(d) = &self.dropped_tail {
             let _ = writeln!(
@@ -272,6 +360,17 @@ impl RecoveryReport {
             ));
         }
         out.push(']');
+        out.push_str(",\"quarantined\":[");
+        for (i, q) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{:?},\"quarantined_as\":{:?},\"bytes\":{},\"detail\":{:?}}}",
+                q.file, q.quarantined_as, q.bytes, q.detail
+            ));
+        }
+        out.push(']');
         match &self.dropped_tail {
             Some(d) => out.push_str(&format!(
                 ",\"dropped_tail\":{{\"file\":{:?},\"offset\":{},\"bytes\":{},\"kind\":\"{}\",\"detail\":{:?}}}",
@@ -286,6 +385,27 @@ impl RecoveryReport {
 
 fn checkpoint_name(seq: u64) -> String {
     format!("checkpoint-{seq:016x}.axb")
+}
+
+/// Rename a corrupt WAL segment to `<name>.quar` (contents preserved; the
+/// suffix no longer parses as a WAL name, so replay and pruning both skip
+/// it) and record what happened.
+fn quarantine_segment(
+    io: &Arc<dyn JournalIo>,
+    dir: &Path,
+    name: &str,
+    bytes: usize,
+    detail: String,
+) -> Result<QuarantinedSegment, JournalError> {
+    let quar = format!("{name}.quar");
+    io.rename(&dir.join(name), &dir.join(&quar))?;
+    io.fsync_dir(dir)?;
+    Ok(QuarantinedSegment {
+        file: name.to_string(),
+        quarantined_as: quar,
+        bytes,
+        detail,
+    })
 }
 
 fn wal_name(seq: u64) -> String {
@@ -368,6 +488,100 @@ pub struct Inspection {
     pub tail: Option<DroppedTail>,
 }
 
+/// A read-only health diagnosis of a journal directory (the CLI `doctor`
+/// subcommand and the `stats` degraded fallback). Never modifies anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Health {
+    /// One of `healthy`, `repairable`, `corrupt`, `uninitialized`,
+    /// `unreadable`.
+    pub status: &'static str,
+    /// Base sequence of the newest readable checkpoint, if any.
+    pub checkpoint_seq: Option<u64>,
+    /// Last sequence number recoverable by replay, if a checkpoint exists.
+    pub durable_seq: Option<u64>,
+    /// WAL segment files present (`wal-*.log`).
+    pub wal_files: usize,
+    /// Quarantined segment files present (`*.quar`).
+    pub quarantined_files: usize,
+    /// Invalid tail found by the scan, if any.
+    pub tail: Option<DroppedTail>,
+    /// The error that prevented a full scan, if any.
+    pub error: Option<String>,
+    /// What to do about it.
+    pub advice: String,
+}
+
+impl Health {
+    /// `true` when the journal can serve appends after (at most) a normal
+    /// recovery open — `healthy` or `repairable`.
+    pub fn is_serviceable(&self) -> bool {
+        matches!(self.status, "healthy" | "repairable")
+    }
+
+    /// Render as human-readable text.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "status: {}", self.status);
+        if let Some(s) = self.checkpoint_seq {
+            let _ = writeln!(out, "checkpoint seq: {s}");
+        }
+        if let Some(s) = self.durable_seq {
+            let _ = writeln!(out, "durable seq: {s}");
+        }
+        let _ = writeln!(
+            out,
+            "wal files: {} ({} quarantined)",
+            self.wal_files, self.quarantined_files
+        );
+        if let Some(t) = &self.tail {
+            let _ = writeln!(
+                out,
+                "invalid tail: {} byte(s) at {}+{} ({}): {}",
+                t.bytes, t.file, t.offset, t.kind, t.detail
+            );
+        }
+        if let Some(e) = &self.error {
+            let _ = writeln!(out, "error: {e}");
+        }
+        let _ = writeln!(out, "advice: {}", self.advice);
+        out
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!("\"status\":{:?}", self.status));
+        match self.checkpoint_seq {
+            Some(s) => out.push_str(&format!(",\"checkpoint_seq\":{s}")),
+            None => out.push_str(",\"checkpoint_seq\":null"),
+        }
+        match self.durable_seq {
+            Some(s) => out.push_str(&format!(",\"durable_seq\":{s}")),
+            None => out.push_str(",\"durable_seq\":null"),
+        }
+        out.push_str(&format!(
+            ",\"wal_files\":{},\"quarantined_files\":{}",
+            self.wal_files, self.quarantined_files
+        ));
+        match &self.tail {
+            Some(t) => out.push_str(&format!(
+                ",\"tail\":{{\"file\":{:?},\"offset\":{},\"bytes\":{},\"kind\":\"{}\",\"detail\":{:?}}}",
+                t.file, t.offset, t.bytes, t.kind, t.detail
+            )),
+            None => out.push_str(",\"tail\":null"),
+        }
+        match &self.error {
+            Some(e) => out.push_str(&format!(",\"error\":{e:?}")),
+            None => out.push_str(",\"error\":null"),
+        }
+        out.push_str(&format!(",\"advice\":{:?}", self.advice));
+        out.push('}');
+        out
+    }
+}
+
 /// An open, append-able evolution journal.
 ///
 /// Low-level handle: it sequences and persists operations but does not
@@ -382,9 +596,14 @@ pub struct Journal {
     seq: u64,
     /// Base sequence of the active WAL file (its name).
     wal_base: u64,
-    /// Set when an I/O failure leaves the on-disk state unknown; all
-    /// appends refuse until the journal is reopened (recovered).
-    wedged: bool,
+    /// Bytes currently in the active WAL file (tracked so the budget
+    /// guard below never needs an extra I/O call on the append path).
+    wal_len: u64,
+    /// Optional soft cap on active-WAL bytes. Appends that would exceed
+    /// it fail with [`JournalError::DiskFull`] *before* touching the
+    /// device — the durability machine's checkpoint GC then reclaims the
+    /// segment and retries. The typed analogue of `SchemaError::ArenaFull`.
+    wal_budget: Option<u64>,
     /// Optional observer for `journal.*` metrics and span events.
     obs: Option<Arc<EvolveObs>>,
 }
@@ -432,7 +651,8 @@ impl Journal {
             io,
             seq: 0,
             wal_base: 0,
-            wedged: false,
+            wal_len: 0,
+            wal_budget: None,
             obs,
         };
         j.write_checkpoint(schema)?;
@@ -499,15 +719,17 @@ impl Journal {
                                 detail,
                             })
                         }
-                        RecoveryMode::Salvage => skipped_checkpoints.push(SkippedCheckpoint {
-                            file: name.clone(),
-                            detail,
-                        }),
+                        RecoveryMode::Salvage | RecoveryMode::Quarantine => {
+                            skipped_checkpoints.push(SkippedCheckpoint {
+                                file: name.clone(),
+                                detail,
+                            });
+                        }
                     }
                 }
                 Err(e) => match mode {
                     RecoveryMode::Strict => return Err(e),
-                    RecoveryMode::Salvage => {
+                    RecoveryMode::Salvage | RecoveryMode::Quarantine => {
                         let detail = match &e {
                             JournalError::BadCheckpoint { detail, .. } => detail.clone(),
                             other => other.to_string(),
@@ -538,6 +760,7 @@ impl Journal {
         let mut seq = checkpoint_seq;
         let mut replayed = 0usize;
         let mut dropped_tail: Option<DroppedTail> = None;
+        let mut quarantined: Vec<QuarantinedSegment> = Vec::new();
 
         'wal_files: for (i, (_base, name)) in wals.iter().enumerate() {
             let path = dir.join(name);
@@ -591,6 +814,10 @@ impl Journal {
                         });
                         break 'wal_files;
                     }
+                    RecoveryMode::Quarantine => {
+                        quarantined.push(quarantine_segment(&io, dir, name, data.len(), detail)?);
+                        continue 'wal_files;
+                    }
                 }
             }
 
@@ -621,6 +848,16 @@ impl Journal {
                                         Some(drop_suffix(off, DropKind::SequenceGap, detail)?);
                                     break 'wal_files;
                                 }
+                                RecoveryMode::Quarantine => {
+                                    quarantined.push(quarantine_segment(
+                                        &io,
+                                        dir,
+                                        name,
+                                        data.len(),
+                                        detail,
+                                    )?);
+                                    continue 'wal_files;
+                                }
                             }
                         }
                         if let Some(o) = &obs {
@@ -639,6 +876,17 @@ impl Journal {
                                     dropped_tail =
                                         Some(drop_suffix(off, DropKind::ReplayRejected, detail)?);
                                     break 'wal_files;
+                                }
+                                RecoveryMode::Quarantine => {
+                                    let detail = format!("op {} rejected: {e}", frame.seq);
+                                    quarantined.push(quarantine_segment(
+                                        &io,
+                                        dir,
+                                        name,
+                                        data.len(),
+                                        detail,
+                                    )?);
+                                    continue 'wal_files;
                                 }
                             }
                         }
@@ -670,6 +918,16 @@ impl Journal {
                                     Some(drop_suffix(offset, DropKind::Corrupt, detail)?);
                                 break 'wal_files;
                             }
+                            RecoveryMode::Quarantine => {
+                                quarantined.push(quarantine_segment(
+                                    &io,
+                                    dir,
+                                    name,
+                                    data.len(),
+                                    detail,
+                                )?);
+                                continue 'wal_files;
+                            }
                         }
                     }
                     FrameResult::Corrupt { offset, detail } => match mode {
@@ -684,6 +942,16 @@ impl Journal {
                             dropped_tail = Some(drop_suffix(offset, DropKind::Corrupt, detail)?);
                             break 'wal_files;
                         }
+                        RecoveryMode::Quarantine => {
+                            quarantined.push(quarantine_segment(
+                                &io,
+                                dir,
+                                name,
+                                data.len(),
+                                detail,
+                            )?);
+                            continue 'wal_files;
+                        }
                     },
                 }
             }
@@ -691,31 +959,48 @@ impl Journal {
 
         // Ensure an active WAL file exists to append to (the crash window
         // between checkpoint rename and WAL creation leaves none for the
-        // new base).
-        let wal_base = match wals.last() {
+        // new base). Quarantined segments no longer exist under their WAL
+        // names, so they cannot be the active file.
+        let live_wals: Vec<&(u64, String)> = wals
+            .iter()
+            .filter(|(_, n)| !quarantined.iter().any(|q| q.file == *n))
+            .collect();
+        let wal_base = match live_wals.last() {
             Some((base, _)) => *base,
             None => checkpoint_seq,
         };
-        let wal_base = if wals.is_empty() || wal_base < checkpoint_seq && seq == checkpoint_seq {
+        let wal_base = if live_wals.is_empty() || wal_base < checkpoint_seq && seq == checkpoint_seq
+        {
             checkpoint_seq
         } else {
             wal_base
         };
         let wal_path = dir.join(wal_name(wal_base));
-        if io.read(&wal_path).is_err() {
-            io.write(&wal_path, WAL_MAGIC)?;
-            io.fsync(&wal_path)?;
-            io.fsync_dir(dir)?;
-        }
+        let wal_len = match io.read(&wal_path) {
+            Ok(d) => d.len() as u64,
+            Err(_) => {
+                io.write(&wal_path, WAL_MAGIC)?;
+                io.fsync(&wal_path)?;
+                io.fsync_dir(dir)?;
+                WAL_MAGIC.len() as u64
+            }
+        };
 
-        let journal = Journal {
+        let mut journal = Journal {
             dir: dir.to_path_buf(),
             io,
             seq,
             wal_base,
-            wedged: false,
+            wal_len,
+            wal_budget: None,
             obs,
         };
+        if !quarantined.is_empty() {
+            // Re-checkpoint at the recovered sequence so every surviving
+            // op is covered by the checkpoint and the journal continues
+            // on a fresh segment past the quarantined ones.
+            journal.write_checkpoint(&schema)?;
+        }
         let report = RecoveryReport {
             checkpoint_file,
             checkpoint_seq,
@@ -723,6 +1008,7 @@ impl Journal {
             seq,
             skipped_checkpoints,
             dropped_tail,
+            quarantined,
         };
         if let Some(o) = &journal.obs {
             o.fold_recovery(&report);
@@ -817,6 +1103,102 @@ impl Journal {
         })
     }
 
+    /// Read-only health diagnosis of `dir`: what state the journal is in
+    /// and what to do about it, without modifying anything. Unlike
+    /// [`Journal::open`], this never errors on a corrupt or wedged
+    /// journal — that *is* the diagnosis.
+    pub fn diagnose(dir: &Path, io: &dyn JournalIo) -> Health {
+        let names = match io.list(dir) {
+            Ok(n) => n,
+            Err(e) => {
+                return Health {
+                    status: "unreadable",
+                    checkpoint_seq: None,
+                    durable_seq: None,
+                    wal_files: 0,
+                    quarantined_files: 0,
+                    tail: None,
+                    error: Some(e.to_string()),
+                    advice: "directory could not be listed; check the path and permissions".into(),
+                }
+            }
+        };
+        let wal_files = names
+            .iter()
+            .filter(|n| parse_name(n, "wal-", ".log").is_some())
+            .count();
+        let quarantined_files = names.iter().filter(|n| n.ends_with(".quar")).count();
+        let has_checkpoint_files = names
+            .iter()
+            .any(|n| parse_name(n, "checkpoint-", ".axb").is_some());
+        match Self::inspect(dir, io) {
+            Ok(insp) => {
+                // Longest chained prefix on top of the checkpoint — gapped
+                // records decode but do not replay, so they do not count.
+                let mut durable_seq = insp.checkpoint_seq;
+                for e in &insp.entries {
+                    if e.seq == durable_seq + 1 {
+                        durable_seq += 1;
+                    }
+                }
+                // A torn tail (crash mid-append) is repaired by any
+                // recovery open; a checksummed-but-wrong record is refused
+                // by strict mode and needs an explicit salvage or
+                // quarantine decision.
+                let (status, advice) = match &insp.tail {
+                    Some(t) if t.kind == DropKind::Corrupt => (
+                        "corrupt",
+                        "corrupt record found; `recover --salvage` truncates it, `recover \
+                         --quarantine` isolates the segment and keeps its bytes"
+                            .to_string(),
+                    ),
+                    Some(_) => (
+                        "repairable",
+                        "torn tail found (crash mid-append); `recover` truncates it and the \
+                         journal continues"
+                            .to_string(),
+                    ),
+                    None => (
+                        "healthy",
+                        "checkpoint and log are clean; no action needed".to_string(),
+                    ),
+                };
+                Health {
+                    status,
+                    checkpoint_seq: Some(insp.checkpoint_seq),
+                    durable_seq: Some(durable_seq),
+                    wal_files,
+                    quarantined_files,
+                    tail: insp.tail,
+                    error: None,
+                    advice,
+                }
+            }
+            Err(JournalError::NoCheckpoint) if !has_checkpoint_files => Health {
+                status: "uninitialized",
+                checkpoint_seq: None,
+                durable_seq: None,
+                wal_files,
+                quarantined_files,
+                tail: None,
+                error: None,
+                advice: "no journal here; `journal-init` creates one".into(),
+            },
+            Err(e) => Health {
+                status: "corrupt",
+                checkpoint_seq: None,
+                durable_seq: None,
+                wal_files,
+                quarantined_files,
+                tail: None,
+                error: Some(e.to_string()),
+                advice: "no readable checkpoint; `recover --salvage` recovers the longest valid \
+                         prefix, `recover --quarantine` additionally isolates corrupt segments"
+                    .into(),
+            },
+        }
+    }
+
     /// Sequence number of the last durable operation.
     pub fn seq(&self) -> u64 {
         self.seq
@@ -827,19 +1209,24 @@ impl Journal {
         &self.dir
     }
 
-    /// Has an I/O failure wedged this journal (see
-    /// [`JournalError::Wedged`])?
-    pub fn is_wedged(&self) -> bool {
-        self.wedged
+    /// The configured WAL byte budget, if any.
+    pub fn wal_budget(&self) -> Option<u64> {
+        self.wal_budget
+    }
+
+    /// Cap the active WAL at `bytes` (`None` = unlimited). Appends that
+    /// would cross the cap fail with [`JournalError::DiskFull`] *before*
+    /// any I/O; a checkpoint resets the active WAL to its magic header,
+    /// so the durability machine's disk-full GC path clears the condition.
+    pub fn set_wal_budget(&mut self, bytes: Option<u64>) {
+        self.wal_budget = bytes;
     }
 
     /// Durably append `ops` (frame, append, fsync) and advance the
-    /// sequence. On any I/O failure the journal wedges: the on-disk suffix
-    /// is unknown, so further appends refuse until recovery reopens it.
+    /// sequence. On I/O failure the on-disk suffix is unknown; callers
+    /// (the durability machine in [`heal`]) repair the tail with
+    /// [`Journal::repair_tail`] before retrying.
     pub fn append_all(&mut self, ops: &[RecordedOp]) -> Result<(), JournalError> {
-        if self.wedged {
-            return Err(JournalError::Wedged);
-        }
         if ops.is_empty() {
             return Ok(());
         }
@@ -847,47 +1234,89 @@ impl Journal {
         for (i, op) in ops.iter().enumerate() {
             encode_frame(&mut buf, self.seq + 1 + i as u64, op);
         }
-        let path = self.dir.join(wal_name(self.wal_base));
-        let r = self
-            .io
-            .append(&path, &buf)
-            .and_then(|()| self.io.fsync(&path));
-        match r {
-            Ok(()) => {
-                self.seq += ops.len() as u64;
-                if let Some(o) = &self.obs {
-                    o.on_journal_append(ops.len() as u64, buf.len() as u64);
-                }
-                Ok(())
-            }
-            Err(e) => {
-                self.wedged = true;
-                if let Some(o) = &self.obs {
-                    o.on_wedge();
-                }
-                Err(e.into())
+        if let Some(budget) = self.wal_budget {
+            if self.wal_len + buf.len() as u64 > budget {
+                return Err(JournalError::DiskFull(format!(
+                    "wal budget exceeded: {} + {} > {} byte(s); checkpoint to reclaim",
+                    self.wal_len,
+                    buf.len(),
+                    budget
+                )));
             }
         }
+        let path = self.dir.join(wal_name(self.wal_base));
+        self.io.append(&path, &buf)?;
+        self.io.fsync(&path)?;
+        self.seq += ops.len() as u64;
+        self.wal_len += buf.len() as u64;
+        if let Some(o) = &self.obs {
+            o.on_journal_append(ops.len() as u64, buf.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Repair the active WAL after a failed append left its suffix
+    /// unknown: rescan the file and truncate everything past the last
+    /// *acknowledged* record (`seq <= self.seq`), so a retry appends onto
+    /// a clean tail and durable replay equals the published prefix.
+    pub fn repair_tail(&mut self) -> Result<(), JournalError> {
+        let path = self.dir.join(wal_name(self.wal_base));
+        let data = match self.io.read(&path) {
+            Ok(d) => d,
+            Err(_) => {
+                // The active WAL is unreadable (e.g. it was never created
+                // after a failed checkpoint switch) — recreate it empty.
+                self.io.write(&path, WAL_MAGIC)?;
+                self.io.fsync(&path)?;
+                self.io.fsync_dir(&self.dir)?;
+                self.wal_len = WAL_MAGIC.len() as u64;
+                return Ok(());
+            }
+        };
+        if !data.starts_with(WAL_MAGIC) {
+            if WAL_MAGIC.starts_with(&data[..]) {
+                // Torn creation: rewrite the magic.
+                self.io.write(&path, WAL_MAGIC)?;
+                self.io.fsync(&path)?;
+                self.wal_len = WAL_MAGIC.len() as u64;
+                return Ok(());
+            }
+            return Err(JournalError::Corrupt {
+                file: wal_name(self.wal_base),
+                offset: 0,
+                detail: "bad wal magic".into(),
+            });
+        }
+        let mut off = WAL_MAGIC.len();
+        let mut good_end = off;
+        loop {
+            match read_frame(&data, off) {
+                FrameResult::Record(frame) if frame.seq <= self.seq => {
+                    off = frame.next;
+                    good_end = off;
+                }
+                // Anything else — an unacknowledged record (the failed
+                // append may have partially landed), a torn frame, or
+                // garbage — is past the acknowledged prefix: drop it.
+                _ => break,
+            }
+        }
+        if good_end < data.len() {
+            self.io.truncate(&path, good_end as u64)?;
+            self.io.fsync(&path)?;
+        }
+        self.wal_len = good_end as u64;
+        Ok(())
     }
 
     /// Write an atomic checkpoint of `schema` at the current sequence,
     /// switch to a fresh WAL, and prune files the new checkpoint obsoletes.
     /// `schema` must be the state produced by exactly the operations
     /// appended so far ([`JournaledSchema`] guarantees this coupling).
+    /// On I/O failure the on-disk state is recoverable as-is (the old
+    /// checkpoint chain stays authoritative); callers may simply retry.
     pub fn checkpoint(&mut self, schema: &Schema) -> Result<(), JournalError> {
-        if self.wedged {
-            return Err(JournalError::Wedged);
-        }
-        match self.write_checkpoint(schema) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                self.wedged = true;
-                if let Some(o) = &self.obs {
-                    o.on_wedge();
-                }
-                Err(e)
-            }
-        }
+        self.write_checkpoint(schema)
     }
 
     /// The observer attached at construction, if any.
@@ -922,6 +1351,7 @@ impl Journal {
         }
         self.io.fsync_dir(&self.dir)?;
         self.wal_base = seq;
+        self.wal_len = WAL_MAGIC.len() as u64;
         if let Some(o) = &self.obs {
             o.on_checkpoint(checkpoint_bytes);
         }
@@ -948,15 +1378,90 @@ impl Default for JournalOptions {
 
 struct JournalCell {
     journal: Journal,
+    machine: heal::DurabilityMachine,
     since_checkpoint: usize,
+}
+
+impl JournalCell {
+    fn new(journal: Journal, obs: Option<Arc<EvolveObs>>, quarantined: u64) -> JournalCell {
+        let mut machine = heal::DurabilityMachine::new(
+            heal::RetryPolicy::default(),
+            Arc::new(heal::SystemClock::new()),
+        );
+        if let Some(o) = obs {
+            machine.attach_obs(o);
+        }
+        if quarantined > 0 {
+            machine.note_quarantine(quarantined);
+        }
+        JournalCell {
+            journal,
+            machine,
+            since_checkpoint: 0,
+        }
+    }
 }
 
 impl std::fmt::Debug for JournalCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JournalCell")
             .field("journal", &self.journal)
+            .field("machine", &self.machine)
             .field("since_checkpoint", &self.since_checkpoint)
             .finish()
+    }
+}
+
+/// [`heal::HealOps`] for the append path: retry the framed append, repair
+/// the WAL tail between attempts, and reclaim space with a checkpoint of
+/// the *published* (pre-evolve) snapshot on `ENOSPC`.
+struct AppendOps<'a> {
+    journal: &'a mut Journal,
+    shared: &'a SharedSchema,
+    ops: &'a [RecordedOp],
+}
+
+impl heal::HealOps for AppendOps<'_> {
+    type Out = ();
+
+    fn attempt(&mut self) -> Result<(), JournalError> {
+        self.journal.append_all(self.ops)
+    }
+
+    fn repair(&mut self) -> Result<(), JournalError> {
+        self.journal.repair_tail()
+    }
+
+    fn gc(&mut self) -> Result<(), JournalError> {
+        // The failed append acknowledged nothing, so the published
+        // snapshot is exactly the state at the journal's sequence —
+        // checkpointing it prunes every obsolete segment and resets the
+        // active WAL (clearing any WAL-budget pressure too).
+        let snap = self.shared.snapshot();
+        self.journal.checkpoint(&snap)
+    }
+}
+
+/// [`heal::HealOps`] for an explicit checkpoint: the checkpoint *is* the
+/// GC, so `gc` is a no-op.
+struct CheckpointOps<'a> {
+    journal: &'a mut Journal,
+    snap: &'a Schema,
+}
+
+impl heal::HealOps for CheckpointOps<'_> {
+    type Out = ();
+
+    fn attempt(&mut self) -> Result<(), JournalError> {
+        self.journal.checkpoint(self.snap)
+    }
+
+    fn repair(&mut self) -> Result<(), JournalError> {
+        self.journal.repair_tail()
+    }
+
+    fn gc(&mut self) -> Result<(), JournalError> {
+        Ok(())
     }
 }
 
@@ -1009,10 +1514,7 @@ impl JournaledSchema {
         let journal = Journal::create(dir, io, &schema)?;
         Ok(JournaledSchema {
             shared: SharedSchema::new(schema),
-            cell: Mutex::new(JournalCell {
-                journal,
-                since_checkpoint: 0,
-            }),
+            cell: Mutex::new(JournalCell::new(journal, None, 0)),
             opts,
         })
     }
@@ -1030,13 +1532,10 @@ impl JournaledSchema {
         obs: Arc<EvolveObs>,
     ) -> Result<JournaledSchema, JournalError> {
         schema.attach_obs(Arc::clone(&obs));
-        let journal = Journal::create_observed(dir, io, &schema, obs)?;
+        let journal = Journal::create_observed(dir, io, &schema, Arc::clone(&obs))?;
         Ok(JournaledSchema {
             shared: SharedSchema::new(schema),
-            cell: Mutex::new(JournalCell {
-                journal,
-                since_checkpoint: 0,
-            }),
+            cell: Mutex::new(JournalCell::new(journal, Some(obs), 0)),
             opts,
         })
     }
@@ -1052,10 +1551,11 @@ impl JournaledSchema {
         Ok((
             JournaledSchema {
                 shared: SharedSchema::new(schema),
-                cell: Mutex::new(JournalCell {
+                cell: Mutex::new(JournalCell::new(
                     journal,
-                    since_checkpoint: 0,
-                }),
+                    None,
+                    report.quarantined.len() as u64,
+                )),
                 opts,
             },
             report,
@@ -1072,16 +1572,17 @@ impl JournaledSchema {
         opts: JournalOptions,
         obs: Arc<EvolveObs>,
     ) -> Result<(JournaledSchema, RecoveryReport), JournalError> {
-        let (journal, schema, report) = Journal::open_observed(dir, io, mode, obs)?;
+        let (journal, schema, report) = Journal::open_observed(dir, io, mode, Arc::clone(&obs))?;
         Ok((
             JournaledSchema {
                 // `schema` already carries the observer (attached before
                 // replay), so the shared handle adopts it here.
                 shared: SharedSchema::new(schema),
-                cell: Mutex::new(JournalCell {
+                cell: Mutex::new(JournalCell::new(
                     journal,
-                    since_checkpoint: 0,
-                }),
+                    Some(obs),
+                    report.quarantined.len() as u64,
+                )),
                 opts,
             },
             report,
@@ -1113,9 +1614,10 @@ impl JournaledSchema {
         // One lock for the whole mutate→append→publish→checkpoint span:
         // the journal's sequence always matches the published schema.
         let mut cell = self.cell.lock();
-        if cell.journal.is_wedged() {
-            return Err(JournalError::Wedged);
-        }
+        let cell = &mut *cell;
+        // Degraded + cooldown running → typed fast rejection; after the
+        // cooldown this call is the probe that may re-arm the journal.
+        let admission = cell.machine.admit()?;
         if let Some(o) = cell.journal.obs() {
             // `op_start` events carry the journal sequence each op will
             // get if the step commits (validation may still reject it).
@@ -1124,30 +1626,112 @@ impl JournaledSchema {
                 o.on_op(base + 1 + i as u64, op);
             }
         }
-        self.shared.evolve_commit(
-            |s| s.apply_trace(ops).map_err(JournalError::from),
-            |_next| cell.journal.append_all(ops),
-        )?;
+        let wal_base_before = cell.journal.wal_base;
+        let shared = &self.shared;
+        let result = {
+            let JournalCell {
+                journal, machine, ..
+            } = cell;
+            // The single panic-isolation point: a panic inside mutation,
+            // append, or publish degrades the machine and surfaces as a
+            // typed error — never a poisoned lock or a torn publish.
+            heal::isolate(move || {
+                shared.evolve_commit(
+                    |s| s.apply_trace(ops).map_err(JournalError::from),
+                    |_next| {
+                        let mut hops = AppendOps {
+                            journal,
+                            shared,
+                            ops,
+                        };
+                        heal::guarded_commit(machine, admission, &mut hops)
+                    },
+                )
+            })
+        };
+        match result {
+            Ok(r) => r?,
+            Err(msg) => {
+                cell.machine.note_panic(&msg);
+                return Err(JournalError::Panicked(msg));
+            }
+        };
+        if cell.journal.wal_base != wal_base_before {
+            // A disk-full GC checkpointed mid-retry; the cadence restarts.
+            cell.since_checkpoint = 0;
+        }
         cell.since_checkpoint += ops.len();
         if self.opts.checkpoint_every > 0 && cell.since_checkpoint >= self.opts.checkpoint_every {
-            self.checkpoint_locked(&mut cell)?;
+            // The ops are durable and published; an auto-checkpoint
+            // failure must not fail the apply. The machine records it
+            // (degrading if needed) and the cadence retries next time.
+            let snap = shared.snapshot();
+            let ckpt = {
+                let JournalCell {
+                    journal, machine, ..
+                } = cell;
+                let mut hops = CheckpointOps {
+                    journal,
+                    snap: &snap,
+                };
+                heal::isolate(move || {
+                    heal::guarded_commit(machine, heal::Admission::Normal, &mut hops)
+                })
+            };
+            match ckpt {
+                Ok(Ok(())) => cell.since_checkpoint = 0,
+                Ok(Err(_)) => {}
+                Err(msg) => cell.machine.note_panic(&msg),
+            }
         }
         Ok(ops.len())
     }
 
-    /// Take a checkpoint of the current schema now.
+    /// Take a checkpoint of the current schema now (guarded: retried,
+    /// degraded, or rejected `Unavailable` exactly like an append).
     pub fn checkpoint(&self) -> Result<(), JournalError> {
         let mut cell = self.cell.lock();
-        self.checkpoint_locked(&mut cell)
-    }
-
-    fn checkpoint_locked(&self, cell: &mut JournalCell) -> Result<(), JournalError> {
+        let cell = &mut *cell;
+        let admission = cell.machine.admit()?;
         // Mutations hold the cell lock across publish, so this snapshot is
         // exactly the state at the journal's current sequence.
         let snap = self.shared.snapshot();
-        cell.journal.checkpoint(&snap)?;
+        let result = {
+            let JournalCell {
+                journal, machine, ..
+            } = cell;
+            let mut hops = CheckpointOps {
+                journal,
+                snap: &snap,
+            };
+            heal::isolate(move || heal::guarded_commit(machine, admission, &mut hops))
+        };
+        match result {
+            Ok(r) => r?,
+            Err(msg) => {
+                cell.machine.note_panic(&msg);
+                return Err(JournalError::Panicked(msg));
+            }
+        }
         cell.since_checkpoint = 0;
         Ok(())
+    }
+
+    /// The current durability state, counters, and last error.
+    pub fn durability(&self) -> heal::DurabilityReport {
+        self.cell.lock().machine.report()
+    }
+
+    /// Swap the retry policy and clock driving the durability machine
+    /// (state and counters are preserved). Tests inject a
+    /// [`heal::ManualClock`] here so fault schedules run in virtual time.
+    pub fn set_heal(&self, policy: heal::RetryPolicy, clock: Arc<dyn heal::Clock>) {
+        self.cell.lock().machine.reconfigure(policy, clock);
+    }
+
+    /// Cap the active WAL at `bytes` (see [`Journal::set_wal_budget`]).
+    pub fn set_wal_budget(&self, bytes: Option<u64>) {
+        self.cell.lock().journal.set_wal_budget(bytes);
     }
 
     /// Consume the handle, returning the final schema.
@@ -1158,6 +1742,7 @@ impl JournaledSchema {
 
 #[cfg(test)]
 mod tests {
+    use super::heal::Clock;
     use super::io::{CrashKeep, MemIo};
     use super::*;
     use crate::config::LatticeConfig;
@@ -1373,7 +1958,7 @@ mod tests {
     }
 
     #[test]
-    fn wedged_journal_refuses_appends_until_reopened() {
+    fn permanent_failure_degrades_read_only_until_reopened() {
         use super::io::FaultIo;
         let mem = Arc::new(MemIo::new());
         let js = JournaledSchema::create(
@@ -1387,8 +1972,9 @@ mod tests {
         js.apply(&add("A", vec![root])).unwrap();
         drop(js);
 
-        // Reopen through a FaultIo that dies on the 3rd mutating call.
-        let fault = Arc::new(FaultIo::new(mem.clone(), 3, 0));
+        // Reopen through a FaultIo that dies on the 1st mutating call
+        // (recovery itself only reads).
+        let fault = Arc::new(FaultIo::new(mem.clone(), 1, 0));
         let (js, _) = JournaledSchema::open(
             &dir(),
             fault,
@@ -1396,27 +1982,174 @@ mod tests {
             JournalOptions::default(),
         )
         .unwrap();
+        let clock = Arc::new(heal::ManualClock::new());
+        js.set_heal(heal::RetryPolicy::default(), clock.clone());
         let fp = js.snapshot().fingerprint();
-        let mut hit_io_error = false;
-        for name in ["B", "C", "D"] {
-            match js.apply(&add(name, vec![root])) {
-                Ok(()) => {}
-                Err(JournalError::Io(_)) if !hit_io_error => hit_io_error = true,
-                Err(JournalError::Wedged) if hit_io_error => {}
-                other => panic!("{other:?}"),
-            }
-        }
-        assert!(hit_io_error);
-        // Nothing unacknowledged was published.
-        assert!(js.snapshot().fingerprint() == fp || js.snapshot().type_by_name("B").is_some());
 
-        // Recovery with healthy I/O unwedges.
+        // The dead process surfaces as a permanent I/O error: the journal
+        // degrades to read-only instead of wedging.
+        match js.apply(&add("B", vec![root])) {
+            Err(JournalError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        let d = js.durability();
+        assert_eq!(d.state, heal::DurabilityState::Degraded);
+        assert_eq!(d.counters.degradations, 1);
+        // Snapshots keep serving the pre-failure state.
+        assert_eq!(js.snapshot().fingerprint(), fp);
+
+        // Inside the cooldown: typed fast rejection, not an I/O attempt.
+        match js.apply(&add("C", vec![root])) {
+            Err(JournalError::Unavailable { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+
+        // After the cooldown the next apply is the probe; the device is
+        // still dead, so it re-degrades with a doubled cooldown.
+        clock.advance(js.durability().retry_after_ms.unwrap() + 1);
+        match js.apply(&add("D", vec![root])) {
+            Err(JournalError::Unavailable { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        let d = js.durability();
+        assert_eq!(d.counters.probes, 1);
+        assert_eq!(d.counters.rearms, 0);
+
+        // Recovery with healthy I/O starts a fresh, healthy machine.
         mem.crash(CrashKeep::Synced);
         let (js2, _) =
             JournaledSchema::open(&dir(), mem, RecoveryMode::Strict, JournalOptions::default())
                 .unwrap();
+        assert_eq!(js2.durability().state, heal::DurabilityState::Healthy);
         js2.apply(&add("E", vec![root])).unwrap();
         assert!(js2.snapshot().type_by_name("E").is_some());
+    }
+
+    #[test]
+    fn transient_failure_retries_inline_and_recovers() {
+        use super::fault::{ChaosIo, FaultKind, FaultPlan, FaultSpec};
+        let mem = Arc::new(MemIo::new());
+        let clock = Arc::new(heal::ManualClock::new());
+        let chaos = Arc::new(ChaosIo::new(
+            mem.clone(),
+            FaultPlan {
+                specs: vec![FaultSpec::FailNth {
+                    nth: 1,
+                    kind: FaultKind::Transient,
+                    torn_bytes: 0,
+                }],
+            },
+            clock.clone(),
+        ));
+        let js = JournaledSchema::create(
+            &dir(),
+            chaos.clone(),
+            base_schema(),
+            JournalOptions::default(),
+        )
+        .unwrap();
+        js.set_heal(heal::RetryPolicy::default(), clock.clone());
+        let root = js.snapshot().root().unwrap();
+        chaos.arm();
+
+        // First mutating call fails transiently once; the guarded commit
+        // repairs the tail, retries on the virtual clock, and succeeds.
+        js.apply(&add("A", vec![root])).unwrap();
+        assert!(js.snapshot().type_by_name("A").is_some());
+        let d = js.durability();
+        assert_eq!(d.state, heal::DurabilityState::Recovered);
+        assert_eq!(d.counters.retries, 1);
+        assert_eq!(d.counters.retry_successes, 1);
+        assert_eq!(d.counters.degradations, 0);
+        assert!(clock.now_ms() > 0, "backoff ran on the injected clock");
+
+        // Durable: a crash + strict reopen replays the op.
+        drop(js);
+        mem.crash(CrashKeep::Synced);
+        let (js2, report) =
+            JournaledSchema::open(&dir(), mem, RecoveryMode::Strict, JournalOptions::default())
+                .unwrap();
+        assert_eq!(report.seq, 1);
+        assert!(js2.snapshot().type_by_name("A").is_some());
+    }
+
+    #[test]
+    fn wal_budget_guard_is_cleared_by_checkpoint_gc() {
+        let io = Arc::new(MemIo::new());
+        let clock = Arc::new(heal::ManualClock::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        js.set_heal(heal::RetryPolicy::default(), clock);
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        let used = io.len(&dir().join(wal_name(0))).unwrap() as u64;
+        // Tight budget: the next append would cross it, triggering the
+        // disk-full GC (checkpoint) and then succeeding on the fresh WAL.
+        js.set_wal_budget(Some(used + 8));
+        js.apply(&add("B", vec![root])).unwrap();
+        let d = js.durability();
+        assert_eq!(d.counters.disk_full_gcs, 1);
+        assert_eq!(d.state, heal::DurabilityState::Recovered);
+        assert!(js.snapshot().type_by_name("B").is_some());
+        // The GC checkpointed at the pre-append sequence.
+        let names = io.list(&dir()).unwrap();
+        assert!(names.contains(&checkpoint_name(1)), "{names:?}");
+    }
+
+    #[test]
+    fn quarantine_mode_isolates_corrupt_segment_and_continues() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        drop(js);
+        // Corrupt the first record's payload: strict refuses, quarantine
+        // renames the segment and re-checkpoints at the recovered seq.
+        io.corrupt(&dir().join(wal_name(0)), WAL_MAGIC.len() + 10, 0xFF);
+        assert!(Journal::open(&dir(), io.clone(), RecoveryMode::Strict).is_err());
+
+        let (js, report) = JournaledSchema::open(
+            &dir(),
+            io.clone(),
+            RecoveryMode::Quarantine,
+            JournalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].file, wal_name(0));
+        assert_eq!(
+            report.quarantined[0].quarantined_as,
+            format!("{}.quar", wal_name(0))
+        );
+        assert_eq!(report.seq, 0, "both records were past the corruption");
+        let d = js.durability();
+        assert_eq!(d.state, heal::DurabilityState::Quarantined);
+        assert_eq!(d.counters.quarantined_segments, 1);
+
+        // The quarantined file is preserved; the journal accepts ops and
+        // heals to Recovered on the first success.
+        let names = io.list(&dir()).unwrap();
+        assert!(
+            names.contains(&format!("{}.quar", wal_name(0))),
+            "{names:?}"
+        );
+        js.apply(&add("C", vec![root])).unwrap();
+        assert_eq!(js.durability().state, heal::DurabilityState::Recovered);
+
+        // Idempotent: a second quarantine open finds nothing new to do.
+        drop(js);
+        let (_, report2) = JournaledSchema::open(
+            &dir(),
+            io,
+            RecoveryMode::Quarantine,
+            JournalOptions::default(),
+        )
+        .unwrap();
+        assert!(report2.quarantined.is_empty());
     }
 
     #[test]
@@ -1521,13 +2254,22 @@ mod tests {
                 kind: DropKind::TornTail,
                 detail: "incomplete frame of 7 byte(s)".into(),
             }),
+            quarantined: vec![QuarantinedSegment {
+                file: wal_name(5),
+                quarantined_as: format!("{}.quar", wal_name(5)),
+                bytes: 321,
+                detail: "frame checksum mismatch".into(),
+            }],
         };
         let text = report.to_text();
         assert!(text.contains("replayed 2"));
         assert!(text.contains("dropped 7 byte(s)"));
+        assert!(text.contains("quarantined"));
         let json = report.to_json();
         assert!(json.contains("\"replayed\":2"));
         assert!(json.contains("\"kind\":\"torn tail\""));
         assert!(json.contains("\"offset\":100"));
+        assert!(json.contains("\"quarantined\":[{\"file\""));
+        assert!(json.contains("\"bytes\":321"));
     }
 }

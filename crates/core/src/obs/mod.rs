@@ -65,8 +65,26 @@ pub mod names {
     pub const JOURNAL_CHECKPOINTS: &str = "journal.checkpoints";
     /// Checkpoint bytes written.
     pub const JOURNAL_CHECKPOINT_BYTES: &str = "journal.checkpoint_bytes";
-    /// Journals wedged by an I/O failure.
-    pub const JOURNAL_WEDGES: &str = "journal.wedges";
+    /// Durability state transitions.
+    pub const DURABILITY_TRANSITIONS: &str = "durability.transitions";
+    /// Commit retry attempts (after initial failures).
+    pub const DURABILITY_RETRIES: &str = "durability.retries";
+    /// Commits that succeeded on a retry attempt.
+    pub const DURABILITY_RETRY_SUCCESSES: &str = "durability.retry_successes";
+    /// Transitions into the degraded read-only state.
+    pub const DURABILITY_DEGRADATIONS: &str = "durability.degradations";
+    /// Probe appends admitted after a degraded cooldown.
+    pub const DURABILITY_PROBES: &str = "durability.probes";
+    /// Successful probes (degraded → recovered re-arms).
+    pub const DURABILITY_REARMS: &str = "durability.rearms";
+    /// Appends rejected fast with `Unavailable` while degraded.
+    pub const DURABILITY_UNAVAILABLE: &str = "durability.unavailable_rejections";
+    /// Checkpoint GCs run to reclaim space after `ENOSPC`.
+    pub const DURABILITY_DISK_FULL_GCS: &str = "durability.disk_full_gcs";
+    /// Writer panics caught and converted to typed errors.
+    pub const DURABILITY_PANICS_ISOLATED: &str = "durability.panics_isolated";
+    /// Corrupt WAL segments renamed to `*.quar` during recovery.
+    pub const DURABILITY_QUARANTINED: &str = "durability.quarantined_segments";
     /// WAL records replayed during recovery.
     pub const RECOVERY_REPLAYED: &str = "recovery.replayed";
     /// Damaged checkpoints skipped during salvage recovery.
@@ -138,7 +156,16 @@ pub struct EvolveObs {
     fsyncs: Arc<Counter>,
     checkpoints: Arc<Counter>,
     checkpoint_bytes: Arc<Counter>,
-    wedges: Arc<Counter>,
+    durability_transitions: Arc<Counter>,
+    durability_retries: Arc<Counter>,
+    durability_retry_successes: Arc<Counter>,
+    durability_degradations: Arc<Counter>,
+    durability_probes: Arc<Counter>,
+    durability_rearms: Arc<Counter>,
+    durability_unavailable: Arc<Counter>,
+    durability_disk_full_gcs: Arc<Counter>,
+    durability_panics_isolated: Arc<Counter>,
+    durability_quarantined: Arc<Counter>,
 }
 
 impl EvolveObs {
@@ -171,7 +198,16 @@ impl EvolveObs {
             fsyncs: registry.counter(names::JOURNAL_FSYNCS),
             checkpoints: registry.counter(names::JOURNAL_CHECKPOINTS),
             checkpoint_bytes: registry.counter(names::JOURNAL_CHECKPOINT_BYTES),
-            wedges: registry.counter(names::JOURNAL_WEDGES),
+            durability_transitions: registry.counter(names::DURABILITY_TRANSITIONS),
+            durability_retries: registry.counter(names::DURABILITY_RETRIES),
+            durability_retry_successes: registry.counter(names::DURABILITY_RETRY_SUCCESSES),
+            durability_degradations: registry.counter(names::DURABILITY_DEGRADATIONS),
+            durability_probes: registry.counter(names::DURABILITY_PROBES),
+            durability_rearms: registry.counter(names::DURABILITY_REARMS),
+            durability_unavailable: registry.counter(names::DURABILITY_UNAVAILABLE),
+            durability_disk_full_gcs: registry.counter(names::DURABILITY_DISK_FULL_GCS),
+            durability_panics_isolated: registry.counter(names::DURABILITY_PANICS_ISOLATED),
+            durability_quarantined: registry.counter(names::DURABILITY_QUARANTINED),
             registry,
             tracer,
         }
@@ -269,10 +305,76 @@ impl EvolveObs {
         self.checkpoint_bytes.add(bytes);
     }
 
-    /// The journal wedged after an I/O failure.
+    /// The durability machine moved from `from` to `to` (span-traced with
+    /// the reason; the counter tracks total transitions).
+    pub(crate) fn on_durability_transition(
+        &self,
+        from: &'static str,
+        to: &'static str,
+        reason: &str,
+    ) {
+        self.durability_transitions.inc();
+        if self.tracer.is_some() {
+            self.span(SpanData::Durability {
+                from,
+                to,
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// A commit retry attempt started.
     #[inline]
-    pub(crate) fn on_wedge(&self) {
-        self.wedges.inc();
+    pub(crate) fn on_durability_retry(&self) {
+        self.durability_retries.inc();
+    }
+
+    /// A commit succeeded on a retry attempt.
+    #[inline]
+    pub(crate) fn on_durability_retry_success(&self) {
+        self.durability_retry_successes.inc();
+    }
+
+    /// The journal degraded to read-only.
+    #[inline]
+    pub(crate) fn on_durability_degraded(&self) {
+        self.durability_degradations.inc();
+    }
+
+    /// A probe append was admitted after a degraded cooldown.
+    #[inline]
+    pub(crate) fn on_durability_probe(&self) {
+        self.durability_probes.inc();
+    }
+
+    /// A probe succeeded: the journal re-armed.
+    #[inline]
+    pub(crate) fn on_durability_rearm(&self) {
+        self.durability_rearms.inc();
+    }
+
+    /// An append was rejected fast with `Unavailable` while degraded.
+    #[inline]
+    pub(crate) fn on_durability_unavailable(&self) {
+        self.durability_unavailable.inc();
+    }
+
+    /// A checkpoint GC ran to reclaim space after `ENOSPC`.
+    #[inline]
+    pub(crate) fn on_durability_disk_full_gc(&self) {
+        self.durability_disk_full_gcs.inc();
+    }
+
+    /// A writer panic was caught and isolated.
+    #[inline]
+    pub(crate) fn on_durability_panic_isolated(&self) {
+        self.durability_panics_isolated.inc();
+    }
+
+    /// Recovery quarantined `segments` corrupt WAL files.
+    #[inline]
+    pub(crate) fn on_durability_quarantine(&self, segments: u64) {
+        self.durability_quarantined.add(segments);
     }
 
     /// Fold a recovery report into the `recovery.*` counters.

@@ -74,6 +74,15 @@ pub enum SpanData {
         /// The schema version now visible to `snapshot()`.
         version: u64,
     },
+    /// The durability state machine transitioned.
+    Durability {
+        /// State before the transition (stable lower-case name).
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+        /// Why (e.g. `retries exhausted`, `probe append succeeded`).
+        reason: String,
+    },
 }
 
 impl SpanData {
@@ -84,6 +93,7 @@ impl SpanData {
             SpanData::Recompute { .. } => "recompute",
             SpanData::JournalAppend { .. } => "journal_append",
             SpanData::Publish { .. } => "publish",
+            SpanData::Durability { .. } => "durability",
         }
     }
 }
@@ -119,6 +129,10 @@ impl SpanEvent {
             SpanData::Publish { version } => {
                 format!("#{} publish version={}", self.seq, version)
             }
+            SpanData::Durability { from, to, reason } => format!(
+                "#{} durability {}->{} reason={}",
+                self.seq, from, to, reason
+            ),
         }
     }
 
@@ -144,6 +158,10 @@ impl SpanEvent {
             SpanData::Publish { version } => format!(
                 "{{\"seq\":{},\"kind\":\"publish\",\"version\":{}}}",
                 self.seq, version
+            ),
+            SpanData::Durability { from, to, reason } => format!(
+                "{{\"seq\":{},\"kind\":\"durability\",\"from\":\"{}\",\"to\":\"{}\",\"reason\":{:?}}}",
+                self.seq, from, to, reason
             ),
         }
     }

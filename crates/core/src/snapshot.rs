@@ -99,8 +99,8 @@ impl Schema {
             } else {
                 "-"
             };
-            let pe = ids(t.pe.iter().map(|x| x.index()));
-            let ne = ids(t.ne.iter().map(|x| x.index()));
+            let pe = ids(t.pe.iter().map(TypeId::index));
+            let ne = ids(t.ne.iter().map(PropId::index));
             let _ = writeln!(
                 out,
                 "type {i} {state} {frozen} {mark} {} pe[{pe}] ne[{ne}]",

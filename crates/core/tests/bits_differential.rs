@@ -72,11 +72,7 @@ fn ref_derive(s: &Schema) -> BTreeMap<TypeId, RefDerived> {
         let p: BTreeSet<TypeId> = pe[&t]
             .iter()
             .copied()
-            .filter(|&x| {
-                !pe[&t]
-                    .iter()
-                    .any(|&y| y != x && out[&y].pl.contains(&x))
-            })
+            .filter(|&x| !pe[&t].iter().any(|&y| y != x && out[&y].pl.contains(&x)))
             .collect();
         // Axiom 6: PL(t) = {t} ∪ ⋃ PL(x), x ∈ P(t).
         let mut pl = BTreeSet::from([t]);
@@ -161,7 +157,11 @@ fn random_op(s: &mut Schema, rng: &mut Rng, fresh: &mut u32) {
         }
         3 if !live.is_empty() => {
             let t = pick(rng, &live);
-            let pe: Vec<TypeId> = s.essential_supertypes(t).expect("live").into_iter().collect();
+            let pe: Vec<TypeId> = s
+                .essential_supertypes(t)
+                .expect("live")
+                .into_iter()
+                .collect();
             if !pe.is_empty() {
                 let x = pe[rng.below(pe.len())];
                 let _ = s.drop_essential_supertype(t, x);
@@ -174,7 +174,11 @@ fn random_op(s: &mut Schema, rng: &mut Rng, fresh: &mut u32) {
         }
         5 if !live.is_empty() => {
             let t = pick(rng, &live);
-            let ne: Vec<PropId> = s.essential_properties(t).expect("live").into_iter().collect();
+            let ne: Vec<PropId> = s
+                .essential_properties(t)
+                .expect("live")
+                .into_iter()
+                .collect();
             if !ne.is_empty() {
                 let p = ne[rng.below(ne.len())];
                 let _ = s.drop_essential_property(t, p);
@@ -263,7 +267,11 @@ fn thousand_traces_agree_with_btreeset_reference() {
                 || a.counters.contains_key(names::ENGINE_NOOP),
             "observed replay recorded no engine counters at seed {seed}"
         );
-        assert_eq!(obs_a.stats(), obs_b.stats(), "EngineStats diverge at seed {seed}");
+        assert_eq!(
+            obs_a.stats(),
+            obs_b.stats(),
+            "EngineStats diverge at seed {seed}"
+        );
     }
 }
 

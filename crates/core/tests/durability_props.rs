@@ -1,0 +1,212 @@
+//! Property-based evidence for the self-healing durability layer, plus
+//! the writer-panic isolation regression test.
+//!
+//! * **Backoff determinism**: for any policy, the jittered backoff
+//!   schedule is a pure function of the policy (same seed ⇒ same
+//!   timeline), and changing only the jitter seed changes only the jitter
+//!   (delays stay within the exponential envelope).
+//! * **Bounded retry time**: the total worst-case time a guarded commit
+//!   can spend retrying — `total_budget_ms()` — is finite, equals the sum
+//!   of the schedule, and is bounded by `max_attempts × (max_delay × 1.25)`.
+//! * **Timeline replay**: driving a machine through an
+//!   exhaust-all-retries failure on a `ManualClock` consumes exactly the
+//!   schedule's virtual time, for any policy — the backoff schedule *is*
+//!   the observable timeline.
+//! * **Panic isolation** (regression): a writer panic mid-evolve leaves
+//!   the `SharedSchema` serving the pre-evolve snapshot, poisons no lock,
+//!   and the next apply works.
+
+use std::sync::Arc;
+
+use axiombase_core::journal::heal::{Clock, DurabilityState, ManualClock, RetryPolicy};
+use axiombase_core::journal::io::MemIo;
+use axiombase_core::journal::{JournalError, JournalOptions, JournaledSchema};
+use axiombase_core::{LatticeConfig, RecordedOp, Schema};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..=8, 1u64..=64, 1u64..=2048, any::<u64>(), 1u64..=1000).prop_map(
+        |(max_attempts, base_delay_ms, max_delay_ms, jitter_seed, degraded_cooldown_ms)| {
+            RetryPolicy {
+                max_attempts,
+                base_delay_ms,
+                max_delay_ms: max_delay_ms.max(base_delay_ms),
+                jitter_seed,
+                degraded_cooldown_ms,
+                max_cooldown_ms: degraded_cooldown_ms * 50,
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn backoff_schedule_is_deterministic(policy in policy_strategy()) {
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        prop_assert_eq!(&a, &b, "same policy must yield the same timeline");
+        prop_assert_eq!(a.len(), policy.max_attempts as usize);
+    }
+
+    #[test]
+    fn backoff_delays_stay_in_the_exponential_envelope(policy in policy_strategy()) {
+        for (i, d) in policy.backoff_schedule().iter().enumerate() {
+            let base = (policy.base_delay_ms << i.min(32)).min(policy.max_delay_ms);
+            prop_assert!(*d >= base, "attempt {i}: jitter only adds ({d} < {base})");
+            prop_assert!(
+                *d <= base + base / 4,
+                "attempt {i}: jitter capped at 25% ({d} > {base} + {})", base / 4
+            );
+        }
+    }
+
+    #[test]
+    fn total_retry_time_is_bounded(policy in policy_strategy()) {
+        let schedule = policy.backoff_schedule();
+        let budget = policy.total_budget_ms();
+        prop_assert_eq!(budget, schedule.iter().sum::<u64>());
+        // Worst case: every attempt waits the capped delay plus full jitter.
+        let cap = policy.max_attempts as u64 * (policy.max_delay_ms + policy.max_delay_ms / 4);
+        prop_assert!(budget <= cap, "budget {budget} exceeds cap {cap}");
+    }
+
+    #[test]
+    fn exhausting_retries_consumes_exactly_the_schedule_on_the_clock(
+        policy in policy_strategy()
+    ) {
+        // A journal whose device is gone after creation: every append
+        // fails transiently, so a single apply walks the full schedule.
+        let mem = Arc::new(MemIo::new());
+        let dir = std::path::Path::new("/props");
+        let mut base = Schema::new(LatticeConfig::default());
+        base.add_root_type("T_object").unwrap();
+        let flaky = Arc::new(axiombase_core::journal::fault::ChaosIo::new(
+            mem,
+            axiombase_core::journal::fault::FaultPlan {
+                specs: vec![axiombase_core::journal::fault::FaultSpec::Intermittent {
+                    period: 1,
+                    phase: 0,
+                    kind: axiombase_core::journal::fault::FaultKind::Transient,
+                    budget: u64::MAX,
+                }],
+            },
+            Arc::new(ManualClock::new()),
+        ));
+        let js = JournaledSchema::create(
+            dir,
+            flaky.clone(),
+            base,
+            JournalOptions { checkpoint_every: 0 },
+        )
+        .unwrap();
+        let clock = Arc::new(ManualClock::new());
+        js.set_heal(policy.clone(), clock.clone());
+        flaky.arm();
+
+        let root = js.snapshot().root().unwrap();
+        let err = js
+            .apply(&RecordedOp::AddType {
+                name: "A".into(),
+                supers: vec![root],
+                props: vec![],
+            })
+            .unwrap_err();
+        prop_assert!(
+            matches!(err, JournalError::Unavailable { .. }),
+            "exhaustion surfaces as Unavailable, got {err:?}"
+        );
+        prop_assert_eq!(
+            clock.now_ms(),
+            policy.total_budget_ms(),
+            "retry loop must sleep exactly the backoff schedule"
+        );
+        let d = js.durability();
+        prop_assert_eq!(d.state, DurabilityState::Degraded);
+        prop_assert_eq!(d.counters.retries, policy.max_attempts as u64);
+    }
+}
+
+/// Regression: a writer panic mid-evolve — after the schema mutation, in
+/// the commit I/O between mutate and publish — is caught by the isolation
+/// layer. The `SharedSchema` keeps serving the pre-evolve snapshot, no
+/// lock is poisoned (snapshots and durability reports keep working from
+/// the test thread), and after the degraded cooldown the probe re-arms the
+/// journal so the next evolve lands.
+#[test]
+fn writer_panic_mid_evolve_keeps_serving_and_heals() {
+    use axiombase_core::journal::fault::{ChaosIo, FaultPlan, FaultSpec};
+
+    let mem = Arc::new(MemIo::new());
+    let dir = std::path::Path::new("/panic-regression");
+    let mut base = Schema::new(LatticeConfig::default());
+    base.add_root_type("T_object").unwrap();
+    let clock = Arc::new(ManualClock::new());
+    let chaos = Arc::new(ChaosIo::new(
+        mem,
+        FaultPlan {
+            // The 1st mutating call after arming is the WAL append of the
+            // evolve under test: the panic fires with the mutated schema
+            // built but not yet published.
+            specs: vec![FaultSpec::PanicNth { nth: 1 }],
+        },
+        clock.clone(),
+    ));
+    let js = JournaledSchema::create(
+        dir,
+        chaos.clone(),
+        base,
+        JournalOptions {
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    js.set_heal(RetryPolicy::default(), clock.clone());
+    let root = js.snapshot().root().unwrap();
+    js.apply(&RecordedOp::AddType {
+        name: "before".into(),
+        supers: vec![root],
+        props: vec![],
+    })
+    .unwrap();
+    let fp_before = js.snapshot().fingerprint();
+    let seq_before = js.seq();
+    chaos.arm();
+
+    let err = js
+        .apply(&RecordedOp::AddType {
+            name: "victim".into(),
+            supers: vec![root],
+            props: vec![],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, JournalError::Panicked(_)),
+        "panic must surface as a typed error, got {err:?}"
+    );
+
+    // No poisoned lock, no torn publish: the pre-evolve snapshot serves,
+    // the sequence did not advance, and the machine recorded the panic.
+    assert_eq!(js.snapshot().fingerprint(), fp_before);
+    assert!(js.snapshot().type_by_name("victim").is_none());
+    assert_eq!(js.seq(), seq_before);
+    let d = js.durability();
+    assert_eq!(d.state, DurabilityState::Degraded);
+    assert_eq!(d.counters.panics_isolated, 1);
+    assert!(
+        d.last_error.as_deref().unwrap_or("").contains("panic"),
+        "{:?}",
+        d.last_error
+    );
+
+    // After the cooldown the probe re-arms (the panic was one-shot) and
+    // the journal accepts evolutions again.
+    clock.advance(d.retry_after_ms.unwrap_or(0) + 1);
+    js.apply(&RecordedOp::AddType {
+        name: "after".into(),
+        supers: vec![root],
+        props: vec![],
+    })
+    .expect("journal heals after the isolated panic");
+    assert!(js.snapshot().type_by_name("after").is_some());
+    assert_eq!(js.durability().state, DurabilityState::Recovered);
+}

@@ -119,7 +119,8 @@ fn readers_never_observe_torn_metrics_and_publishes_match_acked_ops() {
         }));
     }
 
-    // Writer: apply ops until the injected fault wedges the journal.
+    // Writer: apply ops until the injected (permanent) fault degrades the
+    // journal to read-only.
     let mut attempted: Vec<RecordedOp> = Vec::new();
     let mut acked = 0usize;
     for i in 0..1000 {
@@ -146,7 +147,10 @@ fn readers_never_observe_torn_metrics_and_publishes_match_acked_ops() {
     assert_eq!(s1, s2, "torn snapshot under quiescence");
     assert_eq!(s1.counters[names::SHARED_PUBLISHES], acked as u64);
     assert_eq!(s1.counters[names::JOURNAL_APPENDED_RECORDS], acked as u64);
-    assert_eq!(s1.counters[names::JOURNAL_WEDGES], 1);
+    // The BrokenPipe fault is classified permanent: exactly one
+    // degradation, no inline retries burned on a dead process.
+    assert_eq!(s1.counters[names::DURABILITY_DEGRADATIONS], 1);
+    assert_eq!(s1.counters[names::DURABILITY_RETRIES], 0);
 
     // Recovery from the underlying (no longer faulting) store: the
     // recovered sequence covers at least the acknowledged prefix (an

@@ -1,0 +1,265 @@
+//! Chaos-schedule sweep: run a 200-op journaled evolution under ≥200
+//! seeded [`FaultPlan`] schedules — transient bursts, intermittent
+//! failures, torn writes, `ENOSPC`-until-checkpoint-GC pressure, slow I/O,
+//! and injected writer panics — driving every apply to completion through
+//! the self-healing durability machine, in virtual time (ISSUE 8
+//! acceptance criterion).
+//!
+//! Invariants asserted on every schedule:
+//!
+//! - **Exactness.** After every acknowledged op, the published schema's
+//!   fingerprint equals the oracle fingerprint of exactly the durable
+//!   prefix — no torn publish, no lost ack, no double-apply (retries must
+//!   repair the WAL tail before re-appending).
+//! - **Completion.** A patient client (retrying `Unavailable` after the
+//!   advertised cooldown) lands the entire trace: every scheduled fault is
+//!   finite, so the journal must always heal.
+//! - **Accounting.** The `durability.*` metrics registry counters equal
+//!   the machine's own counters exactly.
+//! - **State.** Transient-only schedules never end `Degraded`: final
+//!   state is `Recovered` when a fault actually fired through the commit
+//!   path, `Healthy` when the schedule missed the run entirely.
+//! - **Durability.** A post-run crash (keeping only synced bytes) and
+//!   strict reopen recovers all acknowledged ops with the oracle
+//!   fingerprint, and recovery is idempotent.
+//!
+//! Set `CHAOS_SEED=<n>` to additionally run one specific schedule (the CI
+//! chaos job passes a fresh seed per run for coverage beyond the fixed
+//! corpus).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use axiombase_core::journal::fault::{Calibration, ChaosIo, FaultPlan};
+use axiombase_core::journal::heal::{DurabilityState, ManualClock, RetryPolicy};
+use axiombase_core::journal::io::{CrashKeep, JournalIo, MemIo};
+use axiombase_core::journal::{JournalError, JournalOptions, JournaledSchema, RecoveryMode};
+use axiombase_core::{EngineKind, EvolveObs, LatticeConfig, MetricsRegistry, RecordedOp, Schema};
+use axiombase_workload::lattice::LatticeGen;
+use axiombase_workload::trace::{generate_trace, OpMix};
+
+const SEED: u64 = 0x5EED_0008;
+const TRACE_STEPS: usize = 200;
+const SCHEDULES: u64 = 200;
+const CHECKPOINT_EVERY: usize = 16;
+/// Attempts a patient client grants one op before declaring livelock.
+const MAX_ATTEMPTS_PER_OP: usize = 256;
+
+fn opts() -> JournalOptions {
+    JournalOptions {
+        checkpoint_every: CHECKPOINT_EVERY,
+    }
+}
+
+fn trace() -> (Schema, Vec<RecordedOp>) {
+    let base = LatticeGen {
+        types: 14,
+        seed: SEED,
+        ..Default::default()
+    }
+    .generate(LatticeConfig::TIGUKAT, EngineKind::Incremental)
+    .schema;
+    let (ops, stats) = generate_trace(&base, TRACE_STEPS, OpMix::BALANCED, SEED ^ 0xCAFE);
+    assert!(
+        stats.applied >= 100,
+        "the sweep needs a substantial trace, got {stats:?}"
+    );
+    (base, ops)
+}
+
+/// `oracle[n]` = fingerprint of `base` with exactly `ops[..n]` applied.
+fn oracle_fingerprints(base: &Schema, ops: &[RecordedOp]) -> Vec<u64> {
+    let mut s = base.clone();
+    let mut fps = vec![s.fingerprint()];
+    for op in ops {
+        op.apply(&mut s).expect("trace prefixes are valid");
+        fps.push(s.fingerprint());
+    }
+    fps
+}
+
+/// Fault-free dry run measuring WAL sizing at the sweep's checkpoint
+/// cadence, so seeded WAL budgets bind mid-run but stay healable.
+fn calibrate(base: &Schema, ops: &[RecordedOp]) -> Calibration {
+    let mem = Arc::new(MemIo::new());
+    let dir = std::path::Path::new("/chaos-cal");
+    let js = JournaledSchema::create(dir, mem.clone(), base.clone(), opts()).unwrap();
+    let mut peak = 0u64;
+    let mut max_batch = 0u64;
+    let mut last: HashMap<String, u64> = HashMap::new();
+    for op in ops {
+        js.apply(op).unwrap();
+        for name in mem.list(dir).unwrap() {
+            if !(name.starts_with("wal-") && name.ends_with(".log")) {
+                continue;
+            }
+            let len = mem.len(&dir.join(&name)).unwrap() as u64;
+            peak = peak.max(len);
+            let prev = last.get(&name).copied().unwrap_or(0);
+            if len > prev {
+                max_batch = max_batch.max(len - prev);
+            }
+            last.insert(name, len);
+        }
+    }
+    assert!(peak > 0 && max_batch > 0, "calibration measured nothing");
+    Calibration {
+        peak_wal_bytes: peak,
+        max_batch_bytes: max_batch,
+    }
+}
+
+/// Durability counter names paired with the machine field extractor, for
+/// the exact registry-vs-machine accounting check.
+fn durability_counters(
+    c: &axiombase_core::journal::heal::DurabilityCounters,
+) -> [(&'static str, u64); 10] {
+    [
+        ("durability.transitions", c.transitions),
+        ("durability.retries", c.retries),
+        ("durability.retry_successes", c.retry_successes),
+        ("durability.degradations", c.degradations),
+        ("durability.probes", c.probes),
+        ("durability.rearms", c.rearms),
+        (
+            "durability.unavailable_rejections",
+            c.unavailable_rejections,
+        ),
+        ("durability.disk_full_gcs", c.disk_full_gcs),
+        ("durability.panics_isolated", c.panics_isolated),
+        ("durability.quarantined_segments", c.quarantined_segments),
+    ]
+}
+
+/// Run one seeded schedule end to end; panics (with the seed in the
+/// message) on any invariant violation.
+fn run_schedule(seed: u64, base: &Schema, ops: &[RecordedOp], oracle: &[u64], cal: &Calibration) {
+    let plan = FaultPlan::seeded(seed, cal);
+    let mem = Arc::new(MemIo::new());
+    let clock = Arc::new(ManualClock::new());
+    let chaos = Arc::new(ChaosIo::new(mem.clone(), plan.clone(), clock.clone()));
+    let dir = std::path::Path::new("/chaos");
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Arc::new(EvolveObs::new(Arc::clone(&registry)));
+    let js = JournaledSchema::create_observed(dir, chaos.clone(), base.clone(), opts(), obs)
+        .unwrap_or_else(|e| panic!("seed {seed}: create failed before arming: {e}"));
+    js.set_heal(RetryPolicy::default(), clock.clone());
+    if let Some(bytes) = plan.wal_budget() {
+        js.set_wal_budget(Some(bytes));
+    }
+    chaos.arm();
+
+    // Patient client: retries `Unavailable` after the advertised cooldown
+    // and re-submits on any other failure (an errored op is never acked,
+    // so re-submission cannot double-apply).
+    for (i, op) in ops.iter().enumerate() {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_ATTEMPTS_PER_OP,
+                "seed {seed}: op {i} livelocked after {MAX_ATTEMPTS_PER_OP} attempts \
+                 (state {:?}, last error {:?})",
+                js.durability().state,
+                js.durability().last_error,
+            );
+            match js.apply(op) {
+                Ok(()) => break,
+                Err(JournalError::Unavailable { retry_after_ms, .. }) => {
+                    clock.advance(retry_after_ms + 1);
+                }
+                Err(
+                    JournalError::Io(_)
+                    | JournalError::TransientIo(_)
+                    | JournalError::DiskFull(_)
+                    | JournalError::Panicked(_),
+                ) => {}
+                Err(other) => panic!("seed {seed}: op {i} unexpected error: {other}"),
+            }
+        }
+        // Exactness after every ack: published prefix == durable prefix.
+        let seq = js.seq() as usize;
+        assert_eq!(seq, i + 1, "seed {seed}: ack count drifted from sequence");
+        assert_eq!(
+            js.snapshot().fingerprint(),
+            oracle[seq],
+            "seed {seed}: published schema diverged from oracle at seq {seq}"
+        );
+    }
+
+    // Final durability state: a transient-only schedule must never stay
+    // degraded. `Recovered` whenever a fault actually fired through the
+    // commit path; `Healthy` when the schedule missed the run.
+    let report = js.durability();
+    if plan.transient_only() {
+        assert!(
+            matches!(
+                report.state,
+                DurabilityState::Healthy | DurabilityState::Recovered
+            ),
+            "seed {seed}: transient-only schedule ended {:?}",
+            report.state
+        );
+        if chaos.injected() > 0 {
+            assert_eq!(
+                report.state,
+                DurabilityState::Recovered,
+                "seed {seed}: {} faults fired but state is not Recovered",
+                chaos.injected()
+            );
+        }
+    }
+
+    // Exact accounting: registry mirrors the machine counter-for-counter.
+    for (name, machine_count) in durability_counters(&report.counters) {
+        assert_eq!(
+            registry.get(name),
+            machine_count,
+            "seed {seed}: registry {name} drifted from the machine"
+        );
+    }
+
+    // Durability: power-cut keeping only synced bytes, then strict reopen
+    // recovers every acknowledged op — twice (idempotence).
+    drop(js);
+    mem.crash(CrashKeep::Synced);
+    for round in 0..2 {
+        let (js2, rep) = JournaledSchema::open(dir, mem.clone(), RecoveryMode::Strict, opts())
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery round {round} failed: {e}"));
+        assert_eq!(
+            rep.seq,
+            ops.len() as u64,
+            "seed {seed}: recovery round {round} lost acknowledged ops"
+        );
+        assert_eq!(
+            js2.snapshot().fingerprint(),
+            oracle[ops.len()],
+            "seed {seed}: recovered schema diverged from oracle"
+        );
+        assert_eq!(
+            js2.durability().state,
+            DurabilityState::Healthy,
+            "seed {seed}: a fresh open starts healthy"
+        );
+        drop(js2);
+    }
+}
+
+#[test]
+fn chaos_schedule_sweep_holds_all_invariants() {
+    let (base, ops) = trace();
+    let oracle = oracle_fingerprints(&base, &ops);
+    let cal = calibrate(&base, &ops);
+
+    let mut seeds: Vec<u64> = (0..SCHEDULES).collect();
+    if let Some(extra) = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        seeds.push(extra);
+    }
+    for seed in seeds {
+        run_schedule(seed, &base, &ops, &oracle, &cal);
+    }
+}

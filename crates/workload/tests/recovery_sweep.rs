@@ -70,7 +70,12 @@ fn run_journaled(mem: &MemIo, io: Arc<dyn JournalIo>, base: &Schema, ops: &[Reco
     for op in ops {
         match js.apply(op) {
             Ok(()) => acked += 1,
-            Err(JournalError::Io(_) | JournalError::Wedged) => break,
+            Err(
+                JournalError::Io(_)
+                | JournalError::TransientIo(_)
+                | JournalError::DiskFull(_)
+                | JournalError::Unavailable { .. },
+            ) => break,
             Err(other) => panic!("unexpected journal error: {other}"),
         }
     }
