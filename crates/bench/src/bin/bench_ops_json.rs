@@ -380,6 +380,80 @@ fn median(xs: &mut [f64]) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Time-travel read at the tip versus a full recovery: build a journal
+/// whose checkpoint sits mid-trace (half the ops in the checkpoint, half
+/// in the WAL behind it), then time `Journal::replay_at(tip)` — the
+/// read-only reconstruction `at --seq` and `branch --at-seq` pay —
+/// against `Journal::open`, the recovery path that replays the same
+/// checkpoint-plus-suffix but also re-arms the journal for writing.
+/// Interleaved legs with alternating order; the gate uses the median of
+/// per-iteration ratios (same rationale as `measure_analysis`).
+///
+/// Returns `(open_at_ns_per_op, recover_ns_per_op, ratio, wal_ops)`.
+fn measure_timetravel(base: &Schema, ops: &[RecordedOp]) -> (u128, u128, f64, usize) {
+    use axiombase_core::journal::Journal;
+    use axiombase_core::RecoveryMode;
+    let io: Arc<MemIo> = Arc::new(MemIo::new());
+    let dir = std::path::Path::new("/bench-tt");
+    let js = JournaledSchema::create(
+        dir,
+        io.clone(),
+        base.clone(),
+        JournalOptions {
+            checkpoint_every: 0,
+        },
+    )
+    .expect("create journal");
+    let half = ops.len() / 2;
+    for op in &ops[..half] {
+        js.apply(op).expect("pre-checkpoint op");
+    }
+    js.checkpoint().expect("mid-trace checkpoint");
+    for op in &ops[half..] {
+        js.apply(op).expect("post-checkpoint op");
+    }
+    let tip = js.seq();
+    let wal_ops = ops.len() - half;
+    drop(js);
+
+    // Untimed warmup down both paths.
+    let warm_fp = Journal::replay_at(dir, io.as_ref(), tip)
+        .expect("warmup time-travel read")
+        .fingerprint();
+    {
+        let (_, schema, _) =
+            Journal::open(dir, io.clone(), RecoveryMode::Strict).expect("warmup recovery");
+        expect(
+            schema.fingerprint() == warm_fp,
+            "time-travel read at the tip equals full recovery",
+        );
+    }
+    let (mut open_at_ns, mut recover_ns) = (u128::MAX, u128::MAX);
+    let mut ratios = Vec::new();
+    for i in 0..ITERATIONS * 3 {
+        let open_at_first = i % 2 == 0;
+        let (mut open_at_i, mut recover_i) = (0u128, 0u128);
+        for leg in 0..2 {
+            if (leg == 0) == open_at_first {
+                let start = Instant::now();
+                let s = Journal::replay_at(dir, io.as_ref(), tip).expect("time-travel read");
+                open_at_i = start.elapsed().as_nanos() / wal_ops as u128;
+                open_at_ns = open_at_ns.min(open_at_i);
+                assert_eq!(s.fingerprint(), warm_fp);
+            } else {
+                let start = Instant::now();
+                let (_, s, _) =
+                    Journal::open(dir, io.clone(), RecoveryMode::Strict).expect("recovery");
+                recover_i = start.elapsed().as_nanos() / wal_ops as u128;
+                recover_ns = recover_ns.min(recover_i);
+                assert_eq!(s.fingerprint(), warm_fp);
+            }
+        }
+        ratios.push(open_at_i as f64 / recover_i.max(1) as f64);
+    }
+    (open_at_ns, recover_ns, median(&mut ratios), wal_ops)
+}
+
 /// Best-of-N per-op latency of `Schema::apply_plan` over a prebuilt
 /// certificate at a fixed worker count. The plan is compiled once outside
 /// the timer; the in-timer cost is what every run of a certified plan
@@ -684,6 +758,25 @@ fn main() {
         );
     }
 
+    // Time-travel reads: `open_at` at the tip must not cost more than
+    // the recovery path that replays the same checkpoint-plus-suffix
+    // (soft-gated at 1.2x — replay_at does strictly less work: no
+    // truncation, no re-arming, no fsync).
+    let (open_at_ns, recover_ns, tt_ratio, tt_wal_ops) = measure_timetravel(&jbase, &ops);
+    println!(
+        "{:>11} / {:<7} {open_at_ns:>12} ns/op",
+        "timetravel", "open_at"
+    );
+    println!(
+        "{:>11} / {:<7} {recover_ns:>12} ns/op",
+        "timetravel", "recover"
+    );
+    println!("open_at(tip) vs checkpoint-replay recovery: {tt_ratio:.2}x");
+    expect(
+        tt_ratio <= 1.2,
+        "open_at at the tip stays within 1.2x of checkpoint-replay recovery (soft gate)",
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"ops_single_vs_batched\",");
@@ -775,6 +868,12 @@ fn main() {
         }
     );
     json.push_str("    }\n");
+    json.push_str("  },\n");
+    json.push_str("  \"timetravel\": {\n");
+    let _ = writeln!(json, "    \"wal_ops_behind_checkpoint\": {tt_wal_ops},");
+    let _ = writeln!(json, "    \"open_at_tip_ns_per_op\": {open_at_ns},");
+    let _ = writeln!(json, "    \"recovery_ns_per_op\": {recover_ns},");
+    let _ = writeln!(json, "    \"ratio_vs_recovery\": {tt_ratio:.2}");
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"metrics\": {}", metrics.to_json());
     json.push_str("}\n");

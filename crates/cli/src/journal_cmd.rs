@@ -58,7 +58,7 @@ fn parse_args<'a>(
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -74,39 +74,89 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// `axiombase journal-init DIR [SNAPSHOT]` — create a fresh journal whose
-/// first checkpoint is the given snapshot file (or the default rooted
-/// schema when none is given).
+/// `axiombase journal-init DIR [SNAPSHOT|SCRIPT]` — create a fresh
+/// journal. With a snapshot file, the first checkpoint carries that
+/// schema and no history; with a command script, the journal starts
+/// from the script's initial schema and the script's operations are
+/// replayed *as journaled history* (so `log`, `at --seq N`, and
+/// `branch --at-seq N` can see every step). With no source, the
+/// journal starts from the default rooted schema.
 pub fn init(rest: &[&str]) -> i32 {
-    let usage = "axiombase journal-init DIR [SNAPSHOT]";
-    let (dir, snapshot) = match rest {
+    let usage = "axiombase journal-init DIR [SNAPSHOT|SCRIPT]";
+    let (dir, source) = match rest {
         [dir] => (*dir, None),
-        [dir, snap] => (*dir, Some(*snap)),
+        [dir, src] => (*dir, Some(*src)),
         _ => {
             eprintln!("usage: {usage}");
             return 2;
         }
     };
-    let schema = match snapshot {
+    let is_snapshot = source.is_some_and(|path| {
+        std::fs::read_to_string(path).is_ok_and(|text| {
+            text.lines()
+                .map(str::trim)
+                .find(|l| !l.is_empty())
+                .is_some_and(|l| l.starts_with("axiombase "))
+        })
+    });
+    let (schema, trace) = match source {
         None => {
             let mut s = Schema::new(LatticeConfig::default());
             s.add_root_type("T_object").expect("fresh schema");
-            s
+            (s, Vec::new())
         }
-        Some(path) => match Schema::load_from(Path::new(path)) {
-            Ok(s) => s,
+        Some(path) if is_snapshot => match Schema::load_from(Path::new(path)) {
+            Ok(s) => (s, Vec::new()),
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                return 1;
+            }
+        },
+        Some(path) => match crate::analyze::load_trace(path) {
+            Ok(x) => x,
             Err(e) => {
                 eprintln!("cannot load {path}: {e}");
                 return 1;
             }
         },
     };
-    match Journal::create(Path::new(dir), Arc::new(StdIo), &schema) {
-        Ok(j) => {
+    if trace.is_empty() {
+        return match Journal::create(Path::new(dir), Arc::new(StdIo), &schema) {
+            Ok(j) => {
+                println!(
+                    "initialised journal in {dir} ({} types, sequence {})",
+                    schema.type_count(),
+                    j.seq()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("journal-init failed: {e}");
+                1
+            }
+        };
+    }
+    let opts = axiombase_core::JournalOptions {
+        checkpoint_every: 0,
+    };
+    let js = match axiombase_core::JournaledSchema::create(
+        Path::new(dir),
+        Arc::new(StdIo),
+        schema,
+        opts,
+    ) {
+        Ok(js) => js,
+        Err(e) => {
+            eprintln!("journal-init failed: {e}");
+            return 1;
+        }
+    };
+    match js.apply_trace(&trace) {
+        Ok(n) => {
             println!(
-                "initialised journal in {dir} ({} types, sequence {})",
-                schema.type_count(),
-                j.seq()
+                "initialised journal in {dir} ({} types, {n} op(s) journaled, sequence {})",
+                js.snapshot().type_count(),
+                js.seq()
             );
             0
         }

@@ -10,17 +10,22 @@
 //! axiombase lint FILE...   # static analysis (L1-L9) of snapshots/scripts
 //! axiombase analyze [TRACE|DIR] [--plan] [--mc-bound N]  # trace certification + model check
 //! axiombase apply [TRACE|DIR] [--parallel[=N]]  # execute a trace (batched or planned)
-//! axiombase journal-init DIR [SNAPSHOT]  # create a crash-safe journal
+//! axiombase journal-init DIR [SNAPSHOT|SCRIPT]  # create a crash-safe journal
 //! axiombase recover DIR [--salvage|--quarantine] [--json] [--trace-spans]  # replay + repair
 //! axiombase checkpoint DIR [--json]      # recover, then force a checkpoint
 //! axiombase log DIR [--json]             # read-only journal listing
 //! axiombase stats DIR [--salvage] [--json]  # recover + metrics snapshot
 //! axiombase doctor DIR [--json]          # read-only health diagnosis
+//! axiombase at DIR --seq N [--json]      # read-only time-travel snapshot
+//! axiombase branch DIR NEW_DIR [--at-seq N] [--json]  # fork a journal
+//! axiombase merge DIR OTHER [--json]     # certificate-checked merge
+//! axiombase append DIR SCRIPT            # grow a branch from a script
 //! ```
 //!
 //! The command language is documented by `help` (see `command.rs`); the lint
 //! subcommand's flags are documented in [`lint`], the journal subcommands
-//! in [`journal_cmd`].
+//! in [`journal_cmd`], and the versioned-history subcommands (time-travel
+//! reads, branching, certificate-checked merge) in [`versioned_cmd`].
 
 mod analyze;
 mod apply;
@@ -28,6 +33,7 @@ mod command;
 mod exec;
 mod journal_cmd;
 mod lint;
+mod versioned_cmd;
 
 use std::io::{BufRead, Write};
 
@@ -53,12 +59,18 @@ fn main() {
         ["log", rest @ ..] => journal_cmd::log(rest),
         ["stats", rest @ ..] => journal_cmd::stats(rest),
         ["doctor", rest @ ..] => journal_cmd::doctor(rest),
+        ["at", rest @ ..] => versioned_cmd::at(rest),
+        ["branch", rest @ ..] => versioned_cmd::branch(rest),
+        ["merge", rest @ ..] => versioned_cmd::merge(rest),
+        ["append", rest @ ..] => versioned_cmd::append(rest),
         _ => {
             eprintln!(
                 "usage: axiombase [run SCRIPT | check SNAPSHOT | lint FILE... | \
                  analyze TRACE|DIR | apply TRACE|DIR [--parallel[=N]] | \
-                 journal-init DIR [SNAPSHOT] | recover DIR | \
-                 checkpoint DIR | log DIR | stats DIR | doctor DIR]"
+                 journal-init DIR [SNAPSHOT|SCRIPT] | recover DIR | \
+                 checkpoint DIR | log DIR | stats DIR | doctor DIR | \
+                 at DIR --seq N | branch DIR NEW_DIR [--at-seq N] | \
+                 merge DIR OTHER | append DIR SCRIPT]"
             );
             2
         }

@@ -1,0 +1,282 @@
+//! End-to-end versioning CLI coverage on real files, driven by the
+//! committed §5 fixture `examples/scripts/sec5_merge_conflict.axb`:
+//!
+//! * the full `journal-init` → `branch` → `append` → `merge` flow;
+//! * a REFUSED merge (the §5 Orion-flavoured order-dependent pair) must
+//!   exit non-zero with the structured witness in both text and
+//!   `--json` — and must leave BOTH journal directories byte-for-byte
+//!   untouched (inode-pinned: same files, same inodes, same lengths);
+//! * a CERTIFIED merge (the pure §5 drop pair) must produce the same
+//!   canonical fingerprint regardless of merge direction, and
+//!   `at --seq` must reproduce the fork-point state on every branch.
+
+use std::collections::BTreeMap;
+use std::os::unix::fs::MetadataExt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("axb-versioning-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_axiombase"))
+        .args(args)
+        .output()
+        .expect("run axiombase");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// The committed fixture, split on its `# --- section ---` markers.
+fn fixture_sections() -> BTreeMap<String, String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scripts/sec5_merge_conflict.axb");
+    let text = std::fs::read_to_string(&path).expect("committed fixture exists");
+    let mut sections: BTreeMap<String, String> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(name) = t
+            .strip_prefix("# ---")
+            .and_then(|r| r.strip_suffix("---"))
+            .map(str::trim)
+        {
+            current = Some(name.to_string());
+            continue;
+        }
+        if let Some(name) = &current {
+            sections
+                .entry(name.clone())
+                .or_default()
+                .push_str(&format!("{line}\n"));
+        }
+    }
+    assert_eq!(
+        sections.keys().cloned().collect::<Vec<_>>(),
+        ["base", "branch alpha", "branch beta"],
+        "fixture carries exactly the three documented sections"
+    );
+    sections
+}
+
+/// Write `SCRATCH/<name>.axb` holding `parts` concatenated.
+fn write_script(tag: &str, name: &str, parts: &[&str]) -> PathBuf {
+    let path = scratch(tag).with_extension(format!("{name}.axb"));
+    std::fs::write(&path, parts.concat()).unwrap();
+    path
+}
+
+/// Everything mutable about a journal directory: file name -> (inode, len).
+fn dir_state(dir: &Path) -> BTreeMap<String, (u64, u64)> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            let m = e.metadata().unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                (m.ino(), m.len()),
+            )
+        })
+        .collect()
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let rest = &json[json.find(&pat).unwrap_or_else(|| panic!("{key} in {json}")) + pat.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn field_str<'a>(json: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": \"");
+    let start = json.find(&pat).unwrap_or_else(|| panic!("{key} in {json}")) + pat.len();
+    let end = json[start..].find('"').unwrap() + start;
+    &json[start..end]
+}
+
+#[test]
+fn refused_merge_reports_the_witness_and_touches_neither_directory() {
+    let sections = fixture_sections();
+    let base = &sections["base"];
+    let alpha_ops = &sections["branch alpha"];
+    let beta_ops = &sections["branch beta"];
+
+    let root = scratch("conflict-root");
+    let alpha = scratch("conflict-alpha");
+    let beta = scratch("conflict-beta");
+    let base_s = write_script("conflict-s", "base", &[base]);
+    let alpha_s = write_script("conflict-s", "alpha", &[base, alpha_ops]);
+    let beta_s = write_script("conflict-s", "beta", &[base, beta_ops]);
+    let (r, a, b) = (
+        root.to_str().unwrap(),
+        alpha.to_str().unwrap(),
+        beta.to_str().unwrap(),
+    );
+
+    let (code, stdout, _) = run(&["journal-init", r, base_s.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    let (code, _, _) = run(&["branch", r, a]);
+    assert_eq!(code, 0);
+    let (code, stdout, _) = run(&["branch", r, b, "--json"]);
+    assert_eq!(code, 0);
+    let fork_seq = field_u64(&stdout, "fork_seq");
+    let (code, _, _) = run(&["append", a, alpha_s.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    let (code, _, _) = run(&["append", b, beta_s.to_str().unwrap()]);
+    assert_eq!(code, 0);
+
+    let alpha_before = dir_state(&alpha);
+    let beta_before = dir_state(&beta);
+
+    // Text mode: exit 1, structured witness on stderr.
+    let (code, _, stderr) = run(&["merge", a, b]);
+    assert_eq!(code, 1, "the §5 order-dependent pair must be refused");
+    assert!(stderr.contains("merge refused"), "{stderr}");
+    assert!(stderr.contains("drop_essential_supertype"), "{stderr}");
+    assert!(stderr.contains("drop_type"), "{stderr}");
+    assert!(stderr.contains("certain conflict"), "{stderr}");
+    assert!(
+        stderr.contains("witness permutation: [2 1]"),
+        "the swapped order is the witness: {stderr}"
+    );
+    assert!(stderr.contains("neither journal was modified"), "{stderr}");
+
+    // JSON mode: same verdict, machine-readable.
+    let (code, stdout, _) = run(&["merge", a, b, "--json"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"merged\": false"), "{stdout}");
+    assert!(
+        stdout.contains("\"a_kind\": \"drop_essential_supertype\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"b_kind\": \"drop_type\""), "{stdout}");
+    assert!(stdout.contains("\"verdict\": \"certain\""), "{stdout}");
+    assert!(stdout.contains("\"order\": [2,1]"), "{stdout}");
+    assert!(stdout.contains("\"a_footprint\""), "{stdout}");
+    assert!(stdout.contains("\"b_footprint\""), "{stdout}");
+
+    // Inode-pinned: a refused merge writes NOTHING to either directory —
+    // same file set, same inodes, same byte lengths on both sides.
+    assert_eq!(dir_state(&alpha), alpha_before, "alpha untouched");
+    assert_eq!(dir_state(&beta), beta_before, "beta untouched");
+
+    // Both branches still answer time-travel reads at the fork point.
+    let seq = fork_seq.to_string();
+    let (code, at_a, _) = run(&["at", a, "--seq", &seq, "--json"]);
+    assert_eq!(code, 0);
+    let (code, at_b, _) = run(&["at", b, "--seq", &seq, "--json"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        field_str(&at_a, "fingerprint"),
+        field_str(&at_b, "fingerprint"),
+        "fork-point state is identical on both branches"
+    );
+
+    for d in [&root, &alpha, &beta] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    for f in [&base_s, &alpha_s, &beta_s] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn certified_merge_is_direction_independent_with_goldens() {
+    let sections = fixture_sections();
+    let base = &sections["base"];
+    // The PURE §5 pair: each branch drops one of C's two essential
+    // supertype edges. Both orders empty C's row and relink it under the
+    // root — the paper's own order-independence result — so the merge
+    // certifies in either direction and converges on one canonical state.
+    let alpha_ops = "edge drop C PA\n";
+    let beta_ops = "edge drop C PB\n";
+
+    let mut fingerprints = Vec::new();
+    for (tag, first) in [("fwd", "alpha"), ("rev", "beta")] {
+        let root = scratch(&format!("ok-{tag}-root"));
+        let alpha = scratch(&format!("ok-{tag}-alpha"));
+        let beta = scratch(&format!("ok-{tag}-beta"));
+        let base_s = write_script(&format!("ok-{tag}-s"), "base", &[base]);
+        let alpha_s = write_script(&format!("ok-{tag}-s"), "alpha", &[base, alpha_ops]);
+        let beta_s = write_script(&format!("ok-{tag}-s"), "beta", &[base, beta_ops]);
+        let (r, a, b) = (
+            root.to_str().unwrap(),
+            alpha.to_str().unwrap(),
+            beta.to_str().unwrap(),
+        );
+
+        let (code, stdout, _) = run(&["journal-init", r, base_s.to_str().unwrap()]);
+        assert_eq!(code, 0, "{stdout}");
+        assert!(stdout.contains("op(s) journaled"), "{stdout}");
+        let (code, stdout, _) = run(&["branch", r, a]);
+        assert_eq!(code, 0);
+        assert!(
+            stdout.contains(&format!("forked {r} at sequence")),
+            "{stdout}"
+        );
+        let (code, _, _) = run(&["branch", r, b]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["append", a, alpha_s.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["append", b, beta_s.to_str().unwrap()]);
+        assert_eq!(code, 0);
+
+        let (into, from) = if first == "alpha" { (a, b) } else { (b, a) };
+        let (code, stdout, stderr) = run(&["merge", into, from, "--json"]);
+        assert_eq!(code, 0, "pure §5 pair certifies: {stderr}");
+        assert!(stdout.contains("\"merged\": true"), "{stdout}");
+        assert_eq!(field_u64(&stdout, "cross_pairs"), 1, "{stdout}");
+        assert_eq!(field_u64(&stdout, "checked"), 1, "{stdout}");
+        fingerprints.push(field_str(&stdout, "canonical_fingerprint").to_string());
+
+        // Golden text shape for the success path.
+        let root2 = scratch(&format!("ok-{tag}-root2"));
+        let alpha2 = scratch(&format!("ok-{tag}-alpha2"));
+        let beta2 = scratch(&format!("ok-{tag}-beta2"));
+        let (r2, a2, b2) = (
+            root2.to_str().unwrap(),
+            alpha2.to_str().unwrap(),
+            beta2.to_str().unwrap(),
+        );
+        let (code, _, _) = run(&["journal-init", r2, base_s.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["branch", r2, a2]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["branch", r2, b2]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["append", a2, alpha_s.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        let (code, _, _) = run(&["append", b2, beta_s.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        let (code, stdout, _) = run(&["merge", a2, b2]);
+        assert_eq!(code, 0);
+        assert!(stdout.contains("1 op(s) adopted on top of 1"), "{stdout}");
+        assert!(
+            stdout.contains("1 cross pair(s) commute, re-verified independently"),
+            "{stdout}"
+        );
+        assert!(stdout.contains("canonical fingerprint"), "{stdout}");
+
+        for d in [&root, &alpha, &beta, &root2, &alpha2, &beta2] {
+            std::fs::remove_dir_all(d).ok();
+        }
+        for f in [&base_s, &alpha_s, &beta_s] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "merge direction does not change the canonical merged state"
+    );
+}

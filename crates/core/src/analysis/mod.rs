@@ -33,6 +33,7 @@
 pub mod commute;
 pub mod footprint;
 pub mod mc;
+pub mod merge;
 pub mod optimize;
 pub mod plan;
 
@@ -46,6 +47,7 @@ use crate::model::Schema;
 pub use commute::{CommuteReason, ConflictKind, PairReport, PairVerdict, Witness};
 pub use footprint::{Cell, Footprint, SymbolicState};
 pub use mc::{check_bounded, McAxiomRow, McCertificate};
+pub use merge::{ConflictVerdict, CrossPairProof, MergeCertificate, MergeCheck, MergeConflict};
 pub use optimize::{optimize_trace, OptimizedTrace, RewriteKind, TraceRewrite};
 pub use plan::{
     build_plan, EvolutionPlan, OrderEdge, OrderReason, PlanCertificate, PlanCheck, PlanClass, Slot,

@@ -17,6 +17,8 @@
 //! Rejected operations are never recorded, so a history is always a valid
 //! evolution path: every prefix satisfies the axioms.
 
+pub mod versioned;
+
 use crate::error::{Result, SchemaError};
 use crate::ids::{PropId, TypeId};
 use crate::model::Schema;

@@ -135,6 +135,33 @@ pub enum JournalError {
         /// The rejection.
         source: SchemaError,
     },
+    /// A time-travel read asked for a sequence number past the journal's
+    /// durable maximum. Naively replaying "as much as is there" would
+    /// silently serve the tip as if it were the requested state; the
+    /// request is refused instead.
+    SeqOutOfRange {
+        /// The sequence number asked for.
+        requested: u64,
+        /// The last durable sequence number actually reconstructible.
+        max: u64,
+    },
+    /// A time-travel read asked for a sequence number *before* the oldest
+    /// surviving checkpoint. Checkpoints prune the WAL prefix they cover,
+    /// so states older than the checkpoint base are no longer
+    /// reconstructible from this directory (fork a branch before
+    /// checkpointing to keep one).
+    SeqBeforeCheckpoint {
+        /// The sequence number asked for.
+        requested: u64,
+        /// Base sequence of the oldest checkpoint still on disk.
+        checkpoint_seq: u64,
+    },
+    /// The fork-metadata record (`fork.axbmeta`) is damaged: bad header,
+    /// checksum mismatch, or an unparseable snapshot body.
+    BadForkMeta {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -164,6 +191,25 @@ impl std::fmt::Display for JournalError {
             JournalError::Schema(e) => write!(f, "schema operation rejected: {e}"),
             JournalError::Replay { seq, source } => {
                 write!(f, "replay of op {seq} rejected: {source}")
+            }
+            JournalError::SeqOutOfRange { requested, max } => {
+                write!(
+                    f,
+                    "sequence {requested} is out of range: the journal's durable maximum is {max}"
+                )
+            }
+            JournalError::SeqBeforeCheckpoint {
+                requested,
+                checkpoint_seq,
+            } => {
+                write!(
+                    f,
+                    "sequence {requested} predates the oldest surviving checkpoint (base \
+                     {checkpoint_seq}); earlier states were pruned"
+                )
+            }
+            JournalError::BadForkMeta { detail } => {
+                write!(f, "bad fork metadata: {detail}")
             }
         }
     }
@@ -458,6 +504,111 @@ fn parse_checkpoint(file: &str, data: &[u8]) -> Result<(u64, Schema), JournalErr
     Ok((seq, schema))
 }
 
+/// Name of the fork-metadata record a branched journal carries.
+pub const FORK_META_FILE: &str = "fork.axbmeta";
+
+/// The fork-metadata record of a branched journal directory: where the
+/// branch came from, at which sequence it diverged, and the exact
+/// fork-point snapshot (so a merge can reconstruct the common base even
+/// after both branches have checkpointed past it).
+///
+/// On disk (`fork.axbmeta`), checksummed like a checkpoint:
+///
+/// ```text
+/// axbfork v1 seq <fork_seq> crc <crc32-of-everything-after-this-line>
+/// parent <parent-journal-path>
+/// <inputs-only snapshot of the fork-point schema>
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForkMeta {
+    /// The parent journal directory, as given at fork time.
+    pub parent: String,
+    /// Sequence number of the fork point: the branch's first checkpoint
+    /// has this base, and both branches share history up to (and
+    /// including) this sequence.
+    pub fork_seq: u64,
+    /// Inputs-only snapshot text of the schema at the fork point.
+    pub snapshot: String,
+}
+
+impl ForkMeta {
+    /// Parse the fork-point snapshot back into a [`Schema`].
+    pub fn base_schema(&self) -> Result<Schema, JournalError> {
+        Schema::from_snapshot(&self.snapshot).map_err(|e| JournalError::BadForkMeta {
+            detail: format!("bad fork-point snapshot: {e}"),
+        })
+    }
+}
+
+fn render_fork_meta(meta: &ForkMeta) -> Vec<u8> {
+    let body = format!("parent {}\n{}", meta.parent, meta.snapshot);
+    let crc = crc32(&[body.as_bytes()]);
+    let mut out = format!("axbfork v1 seq {} crc {crc:08x}\n", meta.fork_seq).into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+fn parse_fork_meta(data: &[u8]) -> Result<ForkMeta, JournalError> {
+    let bad = |detail: String| JournalError::BadForkMeta { detail };
+    let text = std::str::from_utf8(data).map_err(|e| bad(format!("not UTF-8: {e}")))?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| bad("missing header line".into()))?;
+    let words: Vec<&str> = header.split_whitespace().collect();
+    let (seq, crc_hex) = match words.as_slice() {
+        ["axbfork", "v1", "seq", seq, "crc", crc] => (*seq, *crc),
+        _ => return Err(bad(format!("bad header {header:?}"))),
+    };
+    let fork_seq: u64 = seq
+        .parse()
+        .map_err(|_| bad(format!("bad seq {seq:?} in header")))?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| bad(format!("bad crc {crc_hex:?}")))?;
+    let got = crc32(&[body.as_bytes()]);
+    if got != want {
+        return Err(bad(format!(
+            "checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+        )));
+    }
+    let (parent_line, snapshot) = body
+        .split_once('\n')
+        .ok_or_else(|| bad("missing parent line".into()))?;
+    let parent = parent_line
+        .strip_prefix("parent ")
+        .ok_or_else(|| bad(format!("bad parent line {parent_line:?}")))?;
+    Ok(ForkMeta {
+        parent: parent.to_string(),
+        fork_seq,
+        snapshot: snapshot.to_string(),
+    })
+}
+
+/// Durably write `meta` as the directory's fork record (atomic:
+/// tmp → fsync → rename → fsync dir). Checkpoint pruning never touches
+/// it, so the record survives for the branch's whole lifetime.
+pub fn write_fork_meta(
+    dir: &Path,
+    io: &dyn JournalIo,
+    meta: &ForkMeta,
+) -> Result<(), JournalError> {
+    Ok(atomic_write(
+        io,
+        &dir.join(FORK_META_FILE),
+        &render_fork_meta(meta),
+    )?)
+}
+
+/// Read the directory's fork record, if one exists. `Ok(None)` means the
+/// journal is a root (never forked); a present-but-damaged record is a
+/// typed [`JournalError::BadForkMeta`] error, never silently ignored.
+pub fn read_fork_meta(dir: &Path, io: &dyn JournalIo) -> Result<Option<ForkMeta>, JournalError> {
+    let names = io.list(dir)?;
+    if !names.iter().any(|n| n == FORK_META_FILE) {
+        return Ok(None);
+    }
+    let data = io.read(&dir.join(FORK_META_FILE))?;
+    parse_fork_meta(&data).map(Some)
+}
+
 /// One decoded WAL entry (used by [`Journal::inspect`] / the CLI `log`
 /// subcommand).
 #[derive(Debug, Clone, PartialEq)]
@@ -617,7 +768,21 @@ impl Journal {
         io: Arc<dyn JournalIo>,
         schema: &Schema,
     ) -> Result<Journal, JournalError> {
-        Self::create_impl(dir, io, schema, None)
+        Self::create_impl(dir, io, schema, 0, None)
+    }
+
+    /// Initialise a new journal in `dir` whose first checkpoint carries
+    /// sequence `base_seq` instead of 0. This is how a *branch* is
+    /// seeded: the fork-point schema is checkpointed at the fork
+    /// sequence, so sequence numbers stay globally comparable across the
+    /// parent and all of its branches.
+    pub fn create_at(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: &Schema,
+        base_seq: u64,
+    ) -> Result<Journal, JournalError> {
+        Self::create_impl(dir, io, schema, base_seq, None)
     }
 
     /// Like [`Journal::create`], but observed: `io` is wrapped so fsyncs
@@ -629,13 +794,14 @@ impl Journal {
         obs: Arc<EvolveObs>,
     ) -> Result<Journal, JournalError> {
         let io: Arc<dyn JournalIo> = Arc::new(ObservedIo::new(io, Arc::clone(&obs)));
-        Self::create_impl(dir, io, schema, Some(obs))
+        Self::create_impl(dir, io, schema, 0, Some(obs))
     }
 
     fn create_impl(
         dir: &Path,
         io: Arc<dyn JournalIo>,
         schema: &Schema,
+        base_seq: u64,
         obs: Option<Arc<EvolveObs>>,
     ) -> Result<Journal, JournalError> {
         io.create_dir_all(dir)?;
@@ -649,8 +815,8 @@ impl Journal {
         let mut j = Journal {
             dir: dir.to_path_buf(),
             io,
-            seq: 0,
-            wal_base: 0,
+            seq: base_seq,
+            wal_base: base_seq,
             wal_len: 0,
             wal_budget: None,
             obs,
@@ -1103,6 +1269,104 @@ impl Journal {
         })
     }
 
+    /// Time-travel read: reconstruct the schema exactly *as of* sequence
+    /// `seq` by loading the newest checkpoint and replaying the chained
+    /// WAL prefix up to (and including) `seq`. Strictly read-only — a
+    /// torn tail is never truncated, no WAL is created, nothing is
+    /// checkpointed.
+    ///
+    /// Typed failures instead of silent approximations:
+    /// - `seq` past the journal's durable maximum (including the case
+    ///   where it points into a torn/corrupt tail) is
+    ///   [`JournalError::SeqOutOfRange`] — *not* the tip state;
+    /// - `seq` before the oldest surviving checkpoint (pruned history)
+    ///   is [`JournalError::SeqBeforeCheckpoint`].
+    pub fn replay_at(dir: &Path, io: &dyn JournalIo, seq: u64) -> Result<Schema, JournalError> {
+        Self::replay_at_counted(dir, io, seq).map(|(schema, _)| schema)
+    }
+
+    /// [`Journal::replay_at`] plus the number of WAL ops replayed on top
+    /// of the checkpoint (for `timetravel.*` observability).
+    pub(crate) fn replay_at_counted(
+        dir: &Path,
+        io: &dyn JournalIo,
+        seq: u64,
+    ) -> Result<(Schema, u64), JournalError> {
+        // Single-pass scan, cost-matched to recovery: the newest valid
+        // checkpoint is parsed exactly once (the validation parse IS the
+        // starting schema), and each WAL frame is decoded exactly once —
+        // applied on the fly while wanted, merely chain-counted past
+        // `seq` to establish the durable maximum. The durable maximum is
+        // the longest chained prefix on top of the checkpoint, exactly as
+        // `diagnose` computes it; gapped records and torn/corrupt tails
+        // are not durable history.
+        let names = io.list(dir)?;
+        let mut checkpoints: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "checkpoint-", ".axb").map(|s| (s, n.clone())))
+            .collect();
+        checkpoints.sort();
+        let mut found: Option<(u64, Schema)> = None;
+        for (cseq, name) in checkpoints.iter().rev() {
+            let data = io.read(&dir.join(name))?;
+            if let Ok((hdr_seq, schema)) = parse_checkpoint(name, &data) {
+                if hdr_seq == *cseq {
+                    found = Some((*cseq, schema));
+                    break;
+                }
+            }
+        }
+        let (checkpoint_seq, mut schema) = found.ok_or(JournalError::NoCheckpoint)?;
+        if seq < checkpoint_seq {
+            return Err(JournalError::SeqBeforeCheckpoint {
+                requested: seq,
+                checkpoint_seq,
+            });
+        }
+
+        let mut wals: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "wal-", ".log").map(|s| (s, n.clone())))
+            .collect();
+        wals.sort();
+        let mut max = checkpoint_seq;
+        let mut replayed = 0u64;
+        'files: for (_base, name) in &wals {
+            let data = io.read(&dir.join(name))?;
+            if !data.starts_with(WAL_MAGIC) {
+                break 'files;
+            }
+            let mut off = WAL_MAGIC.len();
+            loop {
+                match read_frame(&data, off) {
+                    FrameResult::End => break,
+                    FrameResult::Record(f) => {
+                        if f.seq == max + 1 {
+                            max = f.seq;
+                            if f.seq <= seq {
+                                f.op.apply(&mut schema)
+                                    .map_err(|err| JournalError::Replay {
+                                        seq: f.seq,
+                                        source: err,
+                                    })?;
+                                replayed += 1;
+                            }
+                        }
+                        off = f.next;
+                    }
+                    FrameResult::TornTail { .. } | FrameResult::Corrupt { .. } => break 'files,
+                }
+            }
+        }
+        if seq > max {
+            return Err(JournalError::SeqOutOfRange {
+                requested: seq,
+                max,
+            });
+        }
+        Ok((schema, replayed))
+    }
+
     /// Read-only health diagnosis of `dir`: what state the journal is in
     /// and what to do about it, without modifying anything. Unlike
     /// [`Journal::open`], this never errors on a corrupt or wedged
@@ -1519,6 +1783,24 @@ impl JournaledSchema {
         })
     }
 
+    /// Initialise a fresh journal in `dir` whose first checkpoint carries
+    /// sequence `base_seq` instead of 0 — branch seeding (see
+    /// [`Journal::create_at`]).
+    pub fn create_at(
+        dir: &Path,
+        io: Arc<dyn JournalIo>,
+        schema: Schema,
+        base_seq: u64,
+        opts: JournalOptions,
+    ) -> Result<JournaledSchema, JournalError> {
+        let journal = Journal::create_at(dir, io, &schema, base_seq)?;
+        Ok(JournaledSchema {
+            shared: SharedSchema::new(schema),
+            cell: Mutex::new(JournalCell::new(journal, None, 0)),
+            opts,
+        })
+    }
+
     /// Like [`JournaledSchema::create`], but observed end-to-end: `obs` is
     /// attached to the schema (engine + copy-on-write metrics), adopted by
     /// the shared handle (snapshot/publish/reject metrics), and threaded
@@ -1722,6 +2004,11 @@ impl JournaledSchema {
         self.cell.lock().machine.report()
     }
 
+    /// The attached observer, if this handle was opened observed.
+    pub(crate) fn attached_obs(&self) -> Option<Arc<EvolveObs>> {
+        self.cell.lock().journal.obs().cloned()
+    }
+
     /// Swap the retry policy and clock driving the durability machine
     /// (state and counters are preserved). Tests inject a
     /// [`heal::ManualClock`] here so fault schedules run in virtual time.
@@ -1732,6 +2019,27 @@ impl JournaledSchema {
     /// Cap the active WAL at `bytes` (see [`Journal::set_wal_budget`]).
     pub fn set_wal_budget(&self, bytes: Option<u64>) {
         self.cell.lock().journal.set_wal_budget(bytes);
+    }
+
+    /// Time-travel read: reconstruct the schema exactly *as of* sequence
+    /// `seq` from the durable journal (newest checkpoint + chained WAL
+    /// prefix up to `seq`), without disturbing the live handle. Holding
+    /// the cell lock for the duration pins the on-disk layout — no
+    /// concurrent append or checkpoint can race the read.
+    ///
+    /// See [`Journal::replay_at`] for the typed out-of-range /
+    /// before-checkpoint failures.
+    pub fn open_at(&self, seq: u64) -> Result<Schema, JournalError> {
+        let cell = self.cell.lock();
+        let journal = &cell.journal;
+        let result = Journal::replay_at_counted(&journal.dir, journal.io.as_ref(), seq);
+        if let Some(o) = journal.obs() {
+            match &result {
+                Ok((_, replayed)) => o.on_timetravel_open(*replayed),
+                Err(_) => o.on_timetravel_rejected(),
+            }
+        }
+        result.map(|(schema, _)| schema)
     }
 
     /// Consume the handle, returning the final schema.
@@ -2234,6 +2542,124 @@ mod tests {
         // The WAL was recreated so appends work immediately.
         let names = io.list(&dir()).unwrap();
         assert!(names.contains(&wal_name(1)), "{names:?}");
+    }
+
+    #[test]
+    fn replay_at_reconstructs_every_prefix_and_rejects_past_the_tip() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        let mut wants = vec![js.snapshot().fingerprint()];
+        for i in 0..4 {
+            js.apply(&add(&format!("T_{i}"), vec![root])).unwrap();
+            wants.push(js.snapshot().fingerprint());
+        }
+        for (n, want) in wants.iter().enumerate() {
+            let schema = js.open_at(n as u64).unwrap();
+            assert_eq!(schema.fingerprint(), *want, "as of seq {n}");
+        }
+        // The bugfix: past the tip is a typed refusal, NOT the tip state.
+        // A naive prefix replay (`take while seq <= n`) would silently
+        // return the tip here.
+        assert_eq!(
+            js.open_at(5).unwrap_err(),
+            JournalError::SeqOutOfRange {
+                requested: 5,
+                max: 4
+            }
+        );
+        assert_eq!(
+            Journal::replay_at(&dir(), io.as_ref(), 99).unwrap_err(),
+            JournalError::SeqOutOfRange {
+                requested: 99,
+                max: 4
+            }
+        );
+    }
+
+    #[test]
+    fn replay_at_handles_checkpoint_boundaries_and_pruned_history() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        let at_ckpt = js.snapshot().fingerprint();
+        js.checkpoint().unwrap(); // checkpoint at seq 2, prunes seq 1-2 WAL
+        js.apply(&add("C", vec![root])).unwrap();
+        let after = js.snapshot().fingerprint();
+
+        // Exactly on the boundary, and just after it.
+        assert_eq!(js.open_at(2).unwrap().fingerprint(), at_ckpt);
+        assert_eq!(js.open_at(3).unwrap().fingerprint(), after);
+        // Just before the boundary: that history was pruned — typed.
+        assert_eq!(
+            js.open_at(1).unwrap_err(),
+            JournalError::SeqBeforeCheckpoint {
+                requested: 1,
+                checkpoint_seq: 2
+            }
+        );
+    }
+
+    #[test]
+    fn replay_at_refuses_seq_inside_a_torn_tail() {
+        let io = Arc::new(MemIo::new());
+        let js =
+            JournaledSchema::create(&dir(), io.clone(), base_schema(), JournalOptions::default())
+                .unwrap();
+        let root = js.snapshot().root().unwrap();
+        js.apply(&add("A", vec![root])).unwrap();
+        js.apply(&add("B", vec![root])).unwrap();
+        drop(js);
+        // Tear the last record: seq 2 is no longer durable.
+        let wal = dir().join(wal_name(0));
+        let mut bytes = io.read(&wal).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        io.write(&wal, &bytes).unwrap();
+        let got = Journal::replay_at(&dir(), io.as_ref(), 2).unwrap_err();
+        assert_eq!(
+            got,
+            JournalError::SeqOutOfRange {
+                requested: 2,
+                max: 1
+            }
+        );
+        // The surviving prefix is still addressable, read-only.
+        assert!(Journal::replay_at(&dir(), io.as_ref(), 1).is_ok());
+    }
+
+    #[test]
+    fn fork_meta_round_trips_and_rejects_damage() {
+        let io = MemIo::new();
+        let meta = ForkMeta {
+            parent: "/parent".into(),
+            fork_seq: 7,
+            snapshot: base_schema().to_snapshot(),
+        };
+        let d = PathBuf::from("/fork-meta");
+        io.create_dir_all(&d).unwrap();
+        assert_eq!(read_fork_meta(&d, &io).unwrap(), None);
+        write_fork_meta(&d, &io, &meta).unwrap();
+        assert_eq!(read_fork_meta(&d, &io).unwrap(), Some(meta.clone()));
+        assert_eq!(
+            meta.base_schema().unwrap().fingerprint(),
+            base_schema().fingerprint()
+        );
+        // Any flipped byte is a typed BadForkMeta, never a silent parse.
+        let path = d.join(FORK_META_FILE);
+        let mut bytes = io.read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0xFF;
+        io.write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_fork_meta(&d, &io),
+            Err(JournalError::BadForkMeta { .. })
+        ));
     }
 
     #[test]

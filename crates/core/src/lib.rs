@@ -85,6 +85,7 @@ pub mod parallel;
 pub mod project;
 pub mod snapshot;
 
+pub use analysis::merge::{MergeCertificate, MergeCheck, MergeConflict};
 pub use analysis::{
     analyze_trace, build_plan, check_bounded, EvolutionPlan, IndependenceClass, McCertificate,
     OptimizedTrace, PairVerdict, PlanCertificate, PlanCheck, TraceAnalysis,
@@ -97,9 +98,12 @@ pub use conflicts::{NameConflict, Resolution};
 pub use diff::{diff, DiffEntry, SchemaDiff};
 pub use engine::{EngineKind, EngineStats};
 pub use error::{Result, SchemaError};
+pub use history::versioned::{Branch, MergeError, MergeReport};
 pub use history::{traces_equivalent, History, HistoryError, RecordedOp};
 pub use ids::{PropId, TypeId};
-pub use journal::{JournalError, JournalOptions, JournaledSchema, RecoveryMode, RecoveryReport};
+pub use journal::{
+    ForkMeta, JournalError, JournalOptions, JournaledSchema, RecoveryMode, RecoveryReport,
+};
 pub use lint::{
     apply_fixes, canonicalize, lint_history, lint_schema, lint_trace, Diagnostic, FixEdit, FixIt,
     Lint, Location, Reference, Registry, RuleId, Severity,

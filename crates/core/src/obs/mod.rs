@@ -125,6 +125,22 @@ pub mod names {
     pub const PLAN_APPLIES: &str = "plan.applies";
     /// Operations applied through certified plans.
     pub const PLAN_OPS: &str = "plan.ops_applied";
+    /// Successful time-travel opens (`open_at` / `replay_at`).
+    pub const TIMETRAVEL_OPENS: &str = "timetravel.opens";
+    /// WAL operations replayed on top of checkpoints by time-travel opens.
+    pub const TIMETRAVEL_REPLAYED_OPS: &str = "timetravel.replayed_ops";
+    /// Time-travel opens rejected (out of range, pruned, or corrupt).
+    pub const TIMETRAVEL_REJECTED: &str = "timetravel.rejected";
+    /// Merge attempts (certified or not).
+    pub const MERGE_ATTEMPTS: &str = "merge.attempts";
+    /// Merges certified commuting and applied.
+    pub const MERGE_CERTIFIED: &str = "merge.certified";
+    /// Merges rejected with a witnessed cross-branch conflict.
+    pub const MERGE_CONFLICTS: &str = "merge.conflicts";
+    /// Cross-branch pairs examined across all merge attempts.
+    pub const MERGE_CROSS_PAIRS: &str = "merge.cross_pairs";
+    /// Operations adopted from the other branch by certified merges.
+    pub const MERGE_OPS_MERGED: &str = "merge.ops_merged";
 }
 
 /// The observer handle threaded through the evolution pipeline.
@@ -166,6 +182,14 @@ pub struct EvolveObs {
     durability_disk_full_gcs: Arc<Counter>,
     durability_panics_isolated: Arc<Counter>,
     durability_quarantined: Arc<Counter>,
+    timetravel_opens: Arc<Counter>,
+    timetravel_replayed_ops: Arc<Counter>,
+    timetravel_rejected: Arc<Counter>,
+    merge_attempts: Arc<Counter>,
+    merge_certified: Arc<Counter>,
+    merge_conflicts: Arc<Counter>,
+    merge_cross_pairs: Arc<Counter>,
+    merge_ops_merged: Arc<Counter>,
 }
 
 impl EvolveObs {
@@ -208,6 +232,14 @@ impl EvolveObs {
             durability_disk_full_gcs: registry.counter(names::DURABILITY_DISK_FULL_GCS),
             durability_panics_isolated: registry.counter(names::DURABILITY_PANICS_ISOLATED),
             durability_quarantined: registry.counter(names::DURABILITY_QUARANTINED),
+            timetravel_opens: registry.counter(names::TIMETRAVEL_OPENS),
+            timetravel_replayed_ops: registry.counter(names::TIMETRAVEL_REPLAYED_OPS),
+            timetravel_rejected: registry.counter(names::TIMETRAVEL_REJECTED),
+            merge_attempts: registry.counter(names::MERGE_ATTEMPTS),
+            merge_certified: registry.counter(names::MERGE_CERTIFIED),
+            merge_conflicts: registry.counter(names::MERGE_CONFLICTS),
+            merge_cross_pairs: registry.counter(names::MERGE_CROSS_PAIRS),
+            merge_ops_merged: registry.counter(names::MERGE_OPS_MERGED),
             registry,
             tracer,
         }
@@ -375,6 +407,36 @@ impl EvolveObs {
     #[inline]
     pub(crate) fn on_durability_quarantine(&self, segments: u64) {
         self.durability_quarantined.add(segments);
+    }
+
+    /// A time-travel open succeeded after replaying `replayed` WAL ops
+    /// on top of the checkpoint.
+    #[inline]
+    pub(crate) fn on_timetravel_open(&self, replayed: u64) {
+        self.timetravel_opens.inc();
+        self.timetravel_replayed_ops.add(replayed);
+    }
+
+    /// A time-travel open was rejected (out of range, pruned history,
+    /// or a corrupt journal).
+    #[inline]
+    pub(crate) fn on_timetravel_rejected(&self) {
+        self.timetravel_rejected.inc();
+    }
+
+    /// A merge attempt examined `cross_pairs` cross-branch pairs and
+    /// either certified (adopting `ops_merged` ops) or witnessed a
+    /// conflict.
+    #[inline]
+    pub(crate) fn on_merge(&self, cross_pairs: u64, certified: bool, ops_merged: u64) {
+        self.merge_attempts.inc();
+        self.merge_cross_pairs.add(cross_pairs);
+        if certified {
+            self.merge_certified.inc();
+            self.merge_ops_merged.add(ops_merged);
+        } else {
+            self.merge_conflicts.inc();
+        }
     }
 
     /// Fold a recovery report into the `recovery.*` counters.
