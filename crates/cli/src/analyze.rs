@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! axiombase analyze [--json] [--certify-order-independence] [--minimize]
-//!                   [--plan] [--tail N] [--mc-bound N] [TRACE|DIR]
+//!                   [--plan] [--impact] [--tail N] [--mc-bound N] [TRACE|DIR]
 //! ```
 //!
 //! `TRACE` is a command script (executed in a fresh [`Session`] to record
@@ -30,6 +30,11 @@
 //! into a certified parallel evolution plan (stages of slot-disjoint
 //! classes) and re-verifies its certificate with the independent checker
 //! `plan::check`; a certificate the checker refuses also exits 1.
+//! `--impact` classifies every op by its effect on stored instances
+//! (preserving / extending / refining / destructive), folds the verdicts
+//! into per-type conversion obligations and a propagation plan, and
+//! re-verifies the certificate with the independent `impact::check` —
+//! again without ever executing an op or opening an object store.
 //!
 //! When the trace contains two or more essential-supertype drops the
 //! report also re-derives the §5 contrast statically: the same drop list
@@ -51,6 +56,7 @@ struct Options {
     certify: bool,
     minimize: bool,
     plan: bool,
+    impact: bool,
     tail: Option<usize>,
     mc_bound: Option<usize>,
     input: Option<String>,
@@ -59,7 +65,7 @@ struct Options {
 fn usage() -> i32 {
     eprintln!(
         "usage: axiombase analyze [--json] [--certify-order-independence] [--minimize] \
-         [--plan] [--tail N] [--mc-bound N] [TRACE|DIR]"
+         [--plan] [--impact] [--tail N] [--mc-bound N] [TRACE|DIR]"
     );
     2
 }
@@ -70,6 +76,7 @@ fn parse_args(args: &[&str]) -> Result<Options, String> {
         certify: false,
         minimize: false,
         plan: false,
+        impact: false,
         tail: None,
         mc_bound: None,
         input: None,
@@ -81,6 +88,7 @@ fn parse_args(args: &[&str]) -> Result<Options, String> {
             "--certify-order-independence" => opts.certify = true,
             "--minimize" => opts.minimize = true,
             "--plan" => opts.plan = true,
+            "--impact" => opts.impact = true,
             "--tail" => match it.next() {
                 Some(&n) => {
                     opts.tail = Some(n.parse().map_err(|_| format!("bad --tail {n:?}"))?);
@@ -318,6 +326,47 @@ pub fn run(args: &[&str]) -> i32 {
             }
         }
 
+        if opts.impact {
+            let ia = analysis::impact::analyze(&initial, &ops);
+            match analysis::impact::check(&initial, &ops, &ia.certificate) {
+                Ok(verdict) => {
+                    if opts.json {
+                        json_parts.push(format!(
+                            "\"impact\":{{\"report\":{},\"check\":{{\"ok\":true,\"ops\":{},\
+                             \"obligations\":{},\"guarded\":{}}}}}",
+                            ia.to_json(),
+                            verdict.ops,
+                            verdict.obligations,
+                            verdict.guarded
+                        ));
+                    } else {
+                        print!("{}", ia.to_text());
+                        println!(
+                            "impact check: OK ({} op(s), {} obligation(s), {} guarded, \
+                             re-derived independently of the analyzer)",
+                            verdict.ops, verdict.obligations, verdict.guarded
+                        );
+                    }
+                }
+                Err(why) => {
+                    // The analyzer emitting a certificate its own checker
+                    // refuses is a bug worth failing loudly on.
+                    failed = true;
+                    if opts.json {
+                        json_parts.push(format!(
+                            "\"impact\":{{\"report\":{},\"check\":{{\"ok\":false,\
+                             \"error\":\"{}\"}}}}",
+                            ia.to_json(),
+                            why.replace('\\', "\\\\").replace('"', "\\\"")
+                        ));
+                    } else {
+                        print!("{}", ia.to_text());
+                        println!("impact check: FAILED — {why}");
+                    }
+                }
+            }
+        }
+
         if let Some((pre, drops)) = drop_context(&initial, &ops) {
             let report = axiombase_orion::contrast_drop_orders(&pre, &drops);
             if opts.json {
@@ -378,6 +427,8 @@ mod tests {
         assert_eq!(o.tail, Some(5));
         let o = parse_args(&["--plan", "t"]).unwrap();
         assert!(o.plan && !o.json);
+        let o = parse_args(&["--impact", "t"]).unwrap();
+        assert!(o.impact && !o.plan);
 
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["--mc-bound", "9", "t"]).is_err());

@@ -371,11 +371,11 @@ mod tests {
         assert_eq!(o.files, vec!["f"]);
 
         let o = parse_args(&["--deny", "all", "x", "y"]).unwrap();
-        assert_eq!(o.deny.len(), 9);
+        assert_eq!(o.deny.len(), 11);
         assert_eq!(o.files.len(), 2);
 
         assert!(parse_args(&[]).is_err());
-        assert!(parse_args(&["--deny", "L10", "f"]).is_err());
+        assert!(parse_args(&["--deny", "L12", "f"]).is_err());
         assert!(parse_args(&["--format", "xml", "f"]).is_err());
     }
 

@@ -7,8 +7,8 @@
 //! axiombase                # interactive REPL (reads stdin line by line)
 //! axiombase run SCRIPT     # execute a command script, then exit
 //! axiombase check SNAPSHOT # load a snapshot, run the nine axiom checks
-//! axiombase lint FILE...   # static analysis (L1-L9) of snapshots/scripts
-//! axiombase analyze [TRACE|DIR] [--plan] [--mc-bound N]  # trace certification + model check
+//! axiombase lint FILE...   # static analysis (L1-L11) of snapshots/scripts
+//! axiombase analyze [TRACE|DIR] [--plan] [--impact] [--mc-bound N]  # trace certification + model check
 //! axiombase apply [TRACE|DIR] [--parallel[=N]]  # execute a trace (batched or planned)
 //! axiombase journal-init DIR [SNAPSHOT|SCRIPT]  # create a crash-safe journal
 //! axiombase recover DIR [--salvage|--quarantine] [--json] [--trace-spans]  # replay + repair

@@ -1,0 +1,99 @@
+//! Regression tests for `axiombase analyze --impact` on the committed
+//! destructive fixture (`examples/scripts/impact_destructive.axb`).
+//!
+//! Pins three contracts:
+//!
+//! 1. the text report (op classification, obligations, plan, summary,
+//!    and the independent check verdict) is byte-stable against a golden
+//!    (regenerate with `AXB_REGEN_GOLDEN=1`);
+//! 2. the JSON report carries the same structure under `"impact"` with
+//!    `"check":{"ok":true}` and a zero exit;
+//! 3. impact analysis is read-only — the input script's inode must be
+//!    untouched, exactly like the other `analyze` modes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn snapshots_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/snapshots")
+}
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts/impact_destructive.axb")
+}
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_axiombase"))
+        .args(args)
+        .output()
+        .expect("run axiombase");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = snapshots_dir().join(name);
+    if std::env::var("AXB_REGEN_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden {name}; regenerate with AXB_REGEN_GOLDEN=1"));
+    assert_eq!(actual, want, "golden {name} drifted");
+}
+
+#[test]
+fn impact_text_report_matches_golden() {
+    use std::os::unix::fs::MetadataExt;
+    let script = fixture();
+    let ino_before = std::fs::metadata(&script).unwrap().ino();
+
+    let (code, stdout, stderr) = run_cli(&["analyze", "--impact", script.to_str().unwrap()]);
+    assert_eq!(code, 0, "impact check must pass: {stdout}\n{stderr}");
+
+    // The fixture reaches every level: a preserving rename, extending
+    // property adds, net-refining re-keys, and two destructive ops — one
+    // slot-level, one extent-level with a guarded eager plan step.
+    assert!(
+        stdout.contains("destructive affected {Device, Sensor, Imager}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Sensor: refining"), "{stdout}");
+    assert!(stdout.contains("[sequentially destructive]"), "{stdout}");
+    assert!(stdout.contains("extent lost"), "{stdout}");
+    assert!(stdout.contains("GUARD REQUIRED"), "{stdout}");
+    assert!(stdout.contains("Scratch: eager, guarded"), "{stdout}");
+    assert!(
+        stdout.contains("impact check: OK (16 op(s), 4 obligation(s), 1 guarded"),
+        "{stdout}"
+    );
+    check_golden("golden_impact_destructive.txt", &stdout);
+
+    // Analysis is read-only: same inode, same bytes.
+    assert_eq!(
+        std::fs::metadata(&script).unwrap().ino(),
+        ino_before,
+        "analyze --impact must never rewrite its input"
+    );
+}
+
+#[test]
+fn impact_json_report_matches_golden() {
+    let script = fixture();
+    let (code, stdout, stderr) =
+        run_cli(&["analyze", "--impact", "--json", script.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}\n{stderr}");
+    assert!(stdout.contains("\"impact\":{\"report\":"), "{stdout}");
+    assert!(stdout.contains("\"check\":{\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"guard_required\":true"), "{stdout}");
+    assert!(stdout.contains("\"extent_lost\":true"), "{stdout}");
+    assert!(
+        stdout.contains("\"summary\":{\"preserving\":10,\"extending\":4,\"refining\":0,\"destructive\":2,\"guarded\":1}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"failed\":false"), "{stdout}");
+    check_golden("golden_impact_destructive.json", &stdout);
+}

@@ -32,6 +32,7 @@
 
 pub mod commute;
 pub mod footprint;
+pub mod impact;
 pub mod mc;
 pub mod merge;
 pub mod optimize;
@@ -46,6 +47,10 @@ use crate::model::Schema;
 
 pub use commute::{CommuteReason, ConflictKind, PairReport, PairVerdict, Witness};
 pub use footprint::{Cell, Footprint, SymbolicState};
+pub use impact::{
+    ConversionObligation, ImpactAnalysis, ImpactCertificate, ImpactCheck, ImpactLevel, OpImpact,
+    PlanStep, PropagationPlan, Strategies, Strategy, TypeImpact,
+};
 pub use mc::{check_bounded, McAxiomRow, McCertificate};
 pub use merge::{ConflictVerdict, CrossPairProof, MergeCertificate, MergeCheck, MergeConflict};
 pub use optimize::{optimize_trace, OptimizedTrace, RewriteKind, TraceRewrite};

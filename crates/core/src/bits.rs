@@ -612,6 +612,12 @@ impl IdxSet {
         self.0.union_with(&other.0);
     }
 
+    /// Word-parallel `self −= other` (set difference).
+    #[inline]
+    pub fn subtract(&mut self, other: &IdxSet) {
+        self.0.subtract(&other.0);
+    }
+
     /// Word-parallel subset test.
     #[inline]
     pub fn is_subset(&self, other: &IdxSet) -> bool {
@@ -815,6 +821,27 @@ mod tests {
         assert_eq!(small.first_common(&f), Some(7));
         let far: IdxSet = [4096usize].into_iter().collect();
         assert!(far.is_disjoint(&f));
+    }
+
+    #[test]
+    fn idx_set_subtract_matches_set_difference() {
+        // Straddles a word boundary and subtracts a superset-span set.
+        let a: IdxSet = [1usize, 63, 64, 200].into_iter().collect();
+        let b: IdxSet = [63usize, 64, 4100].into_iter().collect();
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), [1, 200]);
+        // Subtracting a disjoint set is the identity; subtracting self empties.
+        let mut e = a.clone();
+        e.subtract(&IdxSet::new());
+        assert_eq!(e, a);
+        e.subtract(&a);
+        assert!(e.is_empty());
+        assert_eq!(
+            e,
+            IdxSet::new(),
+            "difference must re-trim to canonical empty"
+        );
     }
 
     #[test]

@@ -87,8 +87,9 @@ pub mod snapshot;
 
 pub use analysis::merge::{MergeCertificate, MergeCheck, MergeConflict};
 pub use analysis::{
-    analyze_trace, build_plan, check_bounded, EvolutionPlan, IndependenceClass, McCertificate,
-    OptimizedTrace, PairVerdict, PlanCertificate, PlanCheck, TraceAnalysis,
+    analyze_trace, build_plan, check_bounded, ConversionObligation, EvolutionPlan, ImpactAnalysis,
+    ImpactCertificate, ImpactCheck, ImpactLevel, IndependenceClass, McCertificate, OptimizedTrace,
+    PairVerdict, PlanCertificate, PlanCheck, PropagationPlan, TraceAnalysis,
 };
 pub use axioms::{Axiom, AxiomViolation};
 pub use bits::{IdxSet, PropSet, TypeSet};

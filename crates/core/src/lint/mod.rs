@@ -37,6 +37,8 @@
 //! | L7 | dead ops the trace optimizer proves removable | §5 |
 //! | L8 | redundant ordering constraints between certified-commuting drops | §5 |
 //! | L9 | unprofitable parallelism (plan is a serial chain of 1-op stages) | §5 |
+//! | L10 | destructive op with no preceding snapshot/branch guard | §3.3 |
+//! | L11 | destruction a trace rewrite downgrades to a convertible re-key | §5 |
 
 pub mod rules;
 pub mod semantic;
@@ -80,11 +82,20 @@ pub enum RuleId {
     /// one-op stages: planning pays full certification cost for zero
     /// parallelism; plain batched apply does the same work cheaper.
     UnprofitableParallelism,
+    /// L10 — an op the impact analyzer classifies destructive (slot or
+    /// extent lost) runs with no snapshot/branch point anywhere before it
+    /// in the trace: the lost data is unrecoverable.
+    DestructiveOpUnguarded,
+    /// L11 — a type's conversion obligation is sequentially destructive
+    /// but nets out to a re-key or better: a trace rewrite (reusing the
+    /// original property, or converting once from the pre-trace
+    /// representation) downgrades the loss to a convertible change.
+    ConvertibleAsExtending,
 }
 
 impl RuleId {
-    /// All nine built-in rules, in code order.
-    pub const ALL: [RuleId; 9] = [
+    /// All eleven built-in rules, in code order.
+    pub const ALL: [RuleId; 11] = [
         RuleId::RedundantEssentialSupertype,
         RuleId::ShadowedEssentialProperty,
         RuleId::NameConflictHazard,
@@ -94,9 +105,11 @@ impl RuleId {
         RuleId::DeadOp,
         RuleId::RedundantDropOrdering,
         RuleId::UnprofitableParallelism,
+        RuleId::DestructiveOpUnguarded,
+        RuleId::ConvertibleAsExtending,
     ];
 
-    /// The short code (`"L1"` … `"L9"`).
+    /// The short code (`"L1"` … `"L11"`).
     pub fn code(self) -> &'static str {
         match self {
             RuleId::RedundantEssentialSupertype => "L1",
@@ -108,6 +121,8 @@ impl RuleId {
             RuleId::DeadOp => "L7",
             RuleId::RedundantDropOrdering => "L8",
             RuleId::UnprofitableParallelism => "L9",
+            RuleId::DestructiveOpUnguarded => "L10",
+            RuleId::ConvertibleAsExtending => "L11",
         }
     }
 
@@ -123,6 +138,8 @@ impl RuleId {
             RuleId::DeadOp => "dead-op",
             RuleId::RedundantDropOrdering => "redundant-drop-ordering",
             RuleId::UnprofitableParallelism => "unprofitable-parallelism",
+            RuleId::DestructiveOpUnguarded => "destructive-op-unguarded",
+            RuleId::ConvertibleAsExtending => "convertible-as-extending",
         }
     }
 
@@ -135,6 +152,8 @@ impl RuleId {
                 | RuleId::DeadOp
                 | RuleId::RedundantDropOrdering
                 | RuleId::UnprofitableParallelism
+                | RuleId::DestructiveOpUnguarded
+                | RuleId::ConvertibleAsExtending
         )
     }
 
@@ -367,7 +386,7 @@ impl Registry {
         Registry { rules: Vec::new() }
     }
 
-    /// The nine built-in rules L1–L9.
+    /// The eleven built-in rules L1–L11.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register(Box::new(rules::RedundantEssentialSupertype));
@@ -379,6 +398,8 @@ impl Registry {
         r.register(Box::new(semantic::DeadOp));
         r.register(Box::new(semantic::RedundantDropOrdering));
         r.register(Box::new(semantic::UnprofitableParallelism));
+        r.register(Box::new(semantic::DestructiveOpUnguarded));
+        r.register(Box::new(semantic::ConvertibleAsExtending));
         r
     }
 
@@ -513,7 +534,7 @@ mod tests {
             assert_eq!(RuleId::parse(&r.code().to_lowercase()), Some(r));
             assert_eq!(RuleId::parse(r.name()), Some(r));
         }
-        assert_eq!(RuleId::parse("L10"), None);
+        assert_eq!(RuleId::parse("L12"), None);
         assert_eq!(RuleId::parse("nope"), None);
     }
 
@@ -531,7 +552,7 @@ mod tests {
     #[test]
     fn registry_retain_filters_rules() {
         let mut r = Registry::builtin();
-        assert_eq!(r.ids().len(), 9);
+        assert_eq!(r.ids().len(), 11);
         r.retain(|id| !id.is_trace_rule());
         assert_eq!(r.ids().len(), 4);
         assert!(r.ids().iter().all(|id| !id.is_trace_rule()));

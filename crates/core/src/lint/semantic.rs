@@ -1,10 +1,11 @@
-//! The built-in semantic trace rules L7–L9.
+//! The built-in semantic trace rules L7–L11.
 //!
 //! Unlike L5/L6 (which replay the trace), these rules consume facts from
 //! `core::analysis`: the trace optimizer's semantics-preserving rewrites
-//! (L7), the commutativity engine's pair certificates (L8), and the
-//! parallel planner's stage structure (L9). All are purely static — the
-//! trace is never executed.
+//! (L7), the commutativity engine's pair certificates (L8), the parallel
+//! planner's stage structure (L9), and the instance-impact analyzer's
+//! verdicts and obligations (L10/L11). All are purely static — the trace
+//! is never executed.
 
 use super::{Diagnostic, Lint, Location, Severity};
 use crate::analysis;
@@ -174,6 +175,166 @@ impl Lint for UnprofitableParallelism {
     }
 }
 
+/// L10 — a destructive schema change with no preceding guard.
+///
+/// Runs the instance-impact analyzer ([`analysis::impact::analyze`]) and
+/// fires once per op classified **destructive**: a slot or a whole extent
+/// is lost, and a plain op trace offers no snapshot/branch point that
+/// would keep the lost data reachable. The fix is procedural (traces
+/// cannot encode guards): split the trace before the destructive op and
+/// take a journal snapshot/branch there, then run the destructive suffix
+/// against the guarded copy.
+pub struct DestructiveOpUnguarded;
+
+impl Lint for DestructiveOpUnguarded {
+    fn id(&self) -> super::RuleId {
+        super::RuleId::DestructiveOpUnguarded
+    }
+
+    fn check_trace(&self, initial: &Schema, ops: &[RecordedOp], out: &mut Vec<Diagnostic>) {
+        let ia = analysis::impact::analyze(initial, ops);
+        for (i, op) in ia.certificate.ops.iter().enumerate() {
+            if op.level != analysis::ImpactLevel::Destructive {
+                continue;
+            }
+            let types: Vec<crate::ids::TypeId> = op
+                .affected
+                .iter()
+                .map(crate::ids::TypeId::from_index)
+                .collect();
+            let names: Vec<String> = op
+                .affected
+                .iter()
+                .map(|t| {
+                    ia.certificate
+                        .type_labels
+                        .get(t)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{t}"))
+                })
+                .collect();
+            let extent = op.deltas.iter().any(|d| d.extent_lost);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                location: Location::Op(i),
+                types,
+                props: Vec::new(),
+                reference: super::Reference::Claim(
+                    "§3.3: the objects managed by a dropped type (and the values stored \
+                     under a dropped property) are dropped with it",
+                ),
+                message: format!(
+                    "op {} ({}) is destructive for {{{}}} — {} is lost and no snapshot or \
+                     branch point precedes it in the trace",
+                    i + 1,
+                    ia.certificate.kinds[i],
+                    names.join(", "),
+                    if extent {
+                        "a whole extent"
+                    } else {
+                        "stored slot data"
+                    }
+                ),
+                fix: Some(super::FixIt {
+                    title: format!(
+                        "split the trace before op {} and take a journal snapshot/branch \
+                         there, so the destructive suffix runs against a guarded copy",
+                        i + 1
+                    ),
+                    edits: Vec::new(),
+                }),
+            });
+        }
+    }
+}
+
+/// L11 — destruction that a trace rewrite downgrades to a convertible
+/// change.
+///
+/// Fires on conversion obligations whose sequential join is destructive
+/// while the *net* birth→final delta is a re-key or better: the data loss
+/// is an artifact of the op sequencing (typically drop-property followed
+/// by re-adding a same-named replacement), not of the final schema.
+/// Rewriting the trace to reuse the original property — or converting
+/// instances once, from the pre-trace representation against the final
+/// schema — downgrades the change to refining/extending and makes a
+/// value-carrying conversion function admissible.
+pub struct ConvertibleAsExtending;
+
+impl Lint for ConvertibleAsExtending {
+    fn id(&self) -> super::RuleId {
+        super::RuleId::ConvertibleAsExtending
+    }
+
+    fn check_trace(&self, initial: &Schema, ops: &[RecordedOp], out: &mut Vec<Diagnostic>) {
+        let ia = analysis::impact::analyze(initial, ops);
+        for o in &ia.certificate.obligations {
+            if o.trace_level != analysis::ImpactLevel::Destructive
+                || o.level >= analysis::ImpactLevel::Destructive
+            {
+                continue;
+            }
+            let ty = crate::ids::TypeId::from_index(o.type_index);
+            let name = ia
+                .certificate
+                .type_labels
+                .get(o.type_index)
+                .cloned()
+                .unwrap_or_else(|| format!("#{}", o.type_index));
+            let rekeys: Vec<String> = o
+                .rekeyed
+                .iter()
+                .map(|&(p, q)| {
+                    let label = |i: usize| {
+                        ia.certificate
+                            .prop_labels
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| format!("#{i}"))
+                    };
+                    format!("{}#{p}→#{q}", label(q))
+                })
+                .collect();
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Info,
+                location: Location::Op(o.first_op),
+                types: vec![ty],
+                props: o
+                    .rekeyed
+                    .iter()
+                    .map(|&(p, _)| crate::ids::PropId::from_index(p))
+                    .collect(),
+                reference: super::Reference::Claim(
+                    "§5: behaviour-preserving rewrites — the net schema change, not the \
+                     op sequencing, determines what a conversion must destroy",
+                ),
+                message: format!(
+                    "type {name} is sequentially destructive (first at op {}) but its net \
+                     change is {} — a trace rewrite{} downgrades the loss to a convertible \
+                     change",
+                    o.first_op + 1,
+                    o.level.tag(),
+                    if rekeys.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (re-key {})", rekeys.join(", "))
+                    }
+                ),
+                fix: Some(super::FixIt {
+                    title: format!(
+                        "reuse the original property instead of dropping and re-adding a \
+                         same-named replacement, or convert {name} once from the pre-trace \
+                         representation against the final schema"
+                    ),
+                    edits: Vec::new(),
+                }),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +449,71 @@ mod tests {
         let single = vec![RecordedOp::AddEssentialProperty { t: c1, p: q }];
         out.clear();
         UnprofitableParallelism.check_trace(&s, &single, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn destructive_op_unguarded_fires_with_split_fixit() {
+        let mut s = base();
+        let a = s.add_type("a", [], []).unwrap();
+        let p = s.define_property_on(a, "x").unwrap();
+        let ops = vec![
+            RecordedOp::FreezeType { t: a },
+            RecordedOp::DropProperty { p },
+        ];
+        let mut out = Vec::new();
+        DestructiveOpUnguarded.check_trace(&s, &ops, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].location, Location::Op(1));
+        assert_eq!(out[0].types, vec![a]);
+        assert!(out[0].message.contains("destructive"), "{out:?}");
+        let fix = out[0].fix.as_ref().expect("L10 carries a fix-it");
+        assert!(fix.title.contains("before op 2"), "{fix:?}");
+        assert!(fix.edits.is_empty());
+    }
+
+    #[test]
+    fn destructive_op_unguarded_quiet_on_preserving_and_extending() {
+        let mut s = base();
+        let a = s.add_type("a", [], []).unwrap();
+        let p = s.add_property("x");
+        let ops = vec![
+            RecordedOp::AddEssentialProperty { t: a, p },
+            RecordedOp::RenameType {
+                t: a,
+                name: "b".into(),
+            },
+        ];
+        let mut out = Vec::new();
+        DestructiveOpUnguarded.check_trace(&s, &ops, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn convertible_as_extending_flags_drop_then_readd() {
+        let mut s = base();
+        let a = s.add_type("a", [], []).unwrap();
+        let p = s.define_property_on(a, "x").unwrap();
+        let minted = crate::ids::PropId::from_index(s.prop_count());
+        let ops = vec![
+            RecordedOp::DropProperty { p },
+            RecordedOp::AddProperty { name: "x".into() },
+            RecordedOp::AddEssentialProperty { t: a, p: minted },
+        ];
+        let mut out = Vec::new();
+        ConvertibleAsExtending.check_trace(&s, &ops, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Info);
+        assert_eq!(out[0].location, Location::Op(0));
+        assert!(out[0].message.contains("refining"), "{out:?}");
+        let fix = out[0].fix.as_ref().expect("L11 carries a fix-it");
+        assert!(fix.title.contains("reuse the original property"), "{fix:?}");
+
+        // A plain destructive drop nets out destructive too → L11 silent.
+        let plain = vec![RecordedOp::DropProperty { p }];
+        out.clear();
+        ConvertibleAsExtending.check_trace(&s, &plain, &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 }

@@ -1,4 +1,4 @@
-//! One smelly fixture per lint rule L1–L6, each asserting the *exact*
+//! One smelly fixture per lint rule L1–L6 and L10–L11, each asserting the *exact*
 //! diagnostic: rule id, severity, anchor location, axiom/claim reference,
 //! and fix-it presence. These are the regression contract for the lint
 //! subsystem — if a rule's anchor or reference drifts, a fixture here
@@ -149,4 +149,67 @@ fn l6_churn_no_op() {
     assert_eq!(d.location, Location::OpRange(added_at, added_at + 1));
     assert!(matches!(d.reference, Reference::Claim(c) if c.contains("§2")));
     assert!(d.fix.is_none());
+}
+
+#[test]
+fn l10_destructive_op_unguarded() {
+    // Dropping `serial` destroys stored values on every holder — Device
+    // and its subtype Sensor — with nothing guarding the instances.
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object").unwrap();
+    let device = h.add_type("Device", [root], []).unwrap();
+    let serial = h.define_property_on(device, "serial").unwrap();
+    let sensor = h.add_type("Sensor", [device], []).unwrap();
+    h.define_property_on(sensor, "range").unwrap();
+    h.drop_property(serial).unwrap();
+    let drop_at = h.ops().len() - 1;
+
+    let diags = lint_history(&h);
+    let d = the_one(&diags, RuleId::DestructiveOpUnguarded);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.location, Location::Op(drop_at));
+    assert_eq!(d.types, vec![device, sensor]);
+    assert!(matches!(d.reference, Reference::Claim(c) if c.contains("§3.3")));
+    let fix = d
+        .fix
+        .as_ref()
+        .expect("L10 offers the snapshot/branch guard");
+    assert!(fix.title.contains("snapshot"), "{fix:?}");
+    assert!(
+        fix.edits.is_empty(),
+        "the guard is operational, not a trace edit"
+    );
+}
+
+#[test]
+fn l11_convertible_as_extending() {
+    // `balance` is dropped and a same-named replacement re-added: the
+    // sequential verdict is destructive but the *net* schema change is a
+    // re-key a conversion function can honour.
+    let mut h = History::new(LatticeConfig::default());
+    let root = h.add_root_type("T_object").unwrap();
+    let bal = h.add_property("balance");
+    // `balance` is a *birth* essential: instances of Account are born
+    // with the slot, so the drop-then-readd nets out as a re-key.
+    let acct = h.add_type("Account", [root], [bal]).unwrap();
+    h.drop_property(bal).unwrap();
+    let first = h.ops().len() - 1;
+    let replacement = h.add_property("balance");
+    h.add_essential_property(acct, replacement).unwrap();
+
+    let diags = lint_history(&h);
+    let d = the_one(&diags, RuleId::ConvertibleAsExtending);
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.location, Location::Op(first));
+    assert_eq!(d.props, vec![bal]);
+    assert!(matches!(d.reference, Reference::Claim(c) if c.contains("§5")));
+    let fix = d
+        .fix
+        .as_ref()
+        .expect("L11 offers the reuse/convert rewrite");
+    assert!(fix.title.contains("reuse the original property"), "{fix:?}");
+
+    // The sequentially destructive drop still carries its own L10.
+    let guard = the_one(&diags, RuleId::DestructiveOpUnguarded);
+    assert_eq!(guard.location, Location::Op(first));
 }

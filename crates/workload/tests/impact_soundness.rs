@@ -1,0 +1,383 @@
+//! Differential soundness sweep for the static instance-impact analyzer:
+//! the verdicts `analysis::impact` derives *without* executing anything
+//! are checked against reality by executing every trace against a seeded
+//! object store.
+//!
+//! Two trace families × two engines × 250 seeds = 1000 traces. Per trace:
+//!
+//! 1. **Certificate soundness** — the certificate `impact::analyze`
+//!    emits must be re-verified by the independent checker
+//!    `impact::check` (which re-derives every verdict from the raw trace
+//!    and trusts nothing the analyzer claimed).
+//! 2. **Differential execution** — one instance of every live type is
+//!    materialized (every slot filled with a distinct integer), the
+//!    trace runs for real against the schema and an eager-policy store,
+//!    and after every op each object's *readable representation* (its
+//!    current interface read through the propagation policy) is compared
+//!    against the op's claimed per-type delta:
+//!    - a **preserving** claim (type absent from the op's affected set)
+//!      must leave the readable representation byte-identical — a false
+//!      preservation claim on either engine fails the sweep;
+//!    - an **extending** delta must add exactly the claimed `Null` slots
+//!      and keep every old value intact;
+//!    - a **destructive** delta must be witnessed by an actually lost
+//!      slot value or, for a dropped type, a non-empty dropped extent.
+//! 3. **Completeness** — any object whose readable representation
+//!    changed must belong to a type in that op's affected set.
+//! 4. **Tamper rejection** — certificates with edited levels, deltas,
+//!    obligations, or fingerprints are refused by the checker.
+//!
+//! Vacuousness guards assert the sweep really exercised extending and
+//! destructive verdicts and really dropped extents.
+
+use std::collections::BTreeMap;
+
+use axiombase_core::analysis::impact::{self, ImpactLevel, TypeImpact};
+use axiombase_core::{EngineKind, LatticeConfig, PropId, RecordedOp, Schema, TypeId};
+use axiombase_store::{ObjectStore, Oid, Policy, Value};
+use axiombase_workload::{generate_trace, LatticeGen, OpMix};
+
+/// Seeds per engine; 250 × 2 engines × 2 families = 1000 traces.
+const SEEDS: u64 = 250;
+
+/// Family "random": a recorded mix against a small random lattice.
+fn random_family(engine: EngineKind, seed: u64) -> (Schema, Vec<RecordedOp>) {
+    let gen = LatticeGen {
+        types: 8,
+        max_parents: 3,
+        props_per_type: 1.0,
+        redeclare_prob: 0.2,
+        seed,
+    };
+    let base = gen.generate(LatticeConfig::default(), engine).schema;
+    let mix = match seed % 3 {
+        0 => OpMix::BALANCED,
+        1 => OpMix::PROPERTY_CHURN,
+        _ => OpMix::LATTICE_CHURN,
+    };
+    let (ops, _) = generate_trace(&base, 20, mix, seed ^ 0x91a7);
+    (base, ops)
+}
+
+/// Family "churn": denser properties, heavier drop pressure.
+fn churn_family(engine: EngineKind, seed: u64) -> (Schema, Vec<RecordedOp>) {
+    let gen = LatticeGen {
+        types: 10,
+        max_parents: 4,
+        props_per_type: 2.0,
+        redeclare_prob: 0.0,
+        seed: seed ^ 0xd809,
+    };
+    let base = gen.generate(LatticeConfig::default(), engine).schema;
+    let (ops, _) = generate_trace(&base, 16, OpMix::PROPERTY_CHURN, seed ^ 0x55aa);
+    (base, ops)
+}
+
+/// The readable representation of one object: its type's *current*
+/// interface read through screening semantics (missing slot → `Null`).
+/// This is exactly what `ObjectStore::get` exposes, for every policy once
+/// conversion has run, and it is policy-independent to compute.
+fn readable(store: &ObjectStore, schema: &Schema, oid: Oid) -> BTreeMap<PropId, Value> {
+    let rec = store.record(oid).expect("live object");
+    schema
+        .interface(rec.ty)
+        .expect("live type")
+        .into_iter()
+        .map(|p| (p, rec.slots.get(&p).cloned().unwrap_or(Value::Null)))
+        .collect()
+}
+
+/// Create one instance for every live type that has none yet (the base
+/// type ⊥ excluded: it has no storable extent), and fill every `Null`
+/// slot everywhere with a fresh distinct integer so any later loss is
+/// visible as a lost *value*, not just a lost key.
+fn populate(
+    store: &mut ObjectStore,
+    schema: &Schema,
+    by_type: &mut BTreeMap<TypeId, Oid>,
+    next_val: &mut i64,
+) {
+    for ix in 0..schema.type_count() {
+        let t = TypeId::from_index(ix);
+        if schema.is_live(t) && Some(t) != schema.base() && !by_type.contains_key(&t) {
+            let oid = store.create(schema, t).expect("create instance");
+            by_type.insert(t, oid);
+        }
+    }
+    let oids: Vec<Oid> = store.iter_oids().collect();
+    for oid in oids {
+        for (p, v) in readable(store, schema, oid) {
+            if v.is_null() {
+                store
+                    .set(schema, oid, p, Value::Int(*next_val))
+                    .expect("slot is in the current interface");
+                *next_val += 1;
+            }
+        }
+    }
+}
+
+/// Counters the vacuousness guards aggregate over the sweep.
+#[derive(Default)]
+struct Tally {
+    extending: usize,
+    destructive: usize,
+    extents_dropped: usize,
+    changed_objects: usize,
+}
+
+/// Execute one trace for real and hold every static claim against it.
+fn one_trace(base: &Schema, ops: &[RecordedOp], seed: u64, tag: &str, tally: &mut Tally) {
+    let ia = impact::analyze(base, ops);
+    let verdict = impact::check(base, ops, &ia.certificate)
+        .unwrap_or_else(|e| panic!("seed {seed} {tag}: built certificate refused: {e}"));
+    assert_eq!(verdict.ops, ops.len(), "seed {seed} {tag}");
+
+    let mut schema = base.clone();
+    let mut store = ObjectStore::new(Policy::Eager);
+    let mut by_type: BTreeMap<TypeId, Oid> = BTreeMap::new();
+    let mut next_val = 1i64;
+    populate(&mut store, &schema, &mut by_type, &mut next_val);
+
+    for (i, op) in ops.iter().enumerate() {
+        let pre: BTreeMap<Oid, (TypeId, BTreeMap<PropId, Value>)> = store
+            .iter_oids()
+            .map(|oid| {
+                let ty = store.record(oid).expect("live").ty;
+                (oid, (ty, readable(&store, &schema, oid)))
+            })
+            .collect();
+
+        op.apply(&mut schema)
+            .unwrap_or_else(|e| panic!("seed {seed} {tag}: recorded trace must replay: {e}"));
+        let opi = &ia.certificate.ops[i];
+        let delta_for = |t: TypeId| -> Option<&TypeImpact> {
+            opi.deltas.iter().find(|d| d.type_index == t.index())
+        };
+
+        // Dropped types first: the claimed extent loss must be witnessed
+        // by a non-empty extent actually going away.
+        let dead: Vec<TypeId> = pre
+            .values()
+            .map(|(ty, _)| *ty)
+            .filter(|&ty| !schema.is_live(ty))
+            .collect();
+        for ty in dead {
+            let d = delta_for(ty).unwrap_or_else(|| {
+                panic!("seed {seed} {tag} op {i}: type {ty:?} died with no claimed delta")
+            });
+            assert!(
+                d.extent_lost && d.level == ImpactLevel::Destructive,
+                "seed {seed} {tag} op {i}: dead type {ty:?} claimed {:?}",
+                d.level
+            );
+            let dropped = store.drop_extent(ty);
+            assert!(
+                !dropped.is_empty(),
+                "seed {seed} {tag} op {i}: claimed extent loss with no extent"
+            );
+            by_type.remove(&ty);
+            tally.extents_dropped += 1;
+        }
+
+        // Propagate to the survivors exactly as a deployment would: the
+        // certificate's affected set is the notification list.
+        let affected: Vec<TypeId> = opi.affected.iter().map(TypeId::from_index).collect();
+        store.on_schema_change(&schema, &affected);
+
+        for (oid, (ty, old)) in &pre {
+            if !schema.is_live(*ty) {
+                continue; // dropped with its extent above
+            }
+            let new = readable(&store, &schema, *oid);
+            let delta = delta_for(*ty);
+            if new == *old {
+                assert!(
+                    delta.is_none(),
+                    "seed {seed} {tag} op {i}: claimed {:?} for {ty:?} but the readable \
+                     representation did not change",
+                    delta.map(|d| d.level)
+                );
+                continue;
+            }
+            tally.changed_objects += 1;
+            // Completeness: a changed object must have been declared.
+            let d = delta.unwrap_or_else(|| {
+                panic!(
+                    "seed {seed} {tag} op {i}: readable representation of {ty:?} changed \
+                     but the type is not in the affected set (false preservation claim)"
+                )
+            });
+            assert!(
+                opi.affected.contains(ty.index()),
+                "seed {seed} {tag} op {i}"
+            );
+
+            // The claimed slot delta must match reality exactly.
+            let departed: Vec<usize> = old
+                .keys()
+                .filter(|p| !new.contains_key(*p))
+                .map(|p| p.index())
+                .collect();
+            let arrived: Vec<usize> = new
+                .keys()
+                .filter(|p| !old.contains_key(*p))
+                .map(|p| p.index())
+                .collect();
+            let mut want_departed: Vec<usize> = d
+                .lost
+                .iter()
+                .copied()
+                .chain(d.rekeyed.iter().map(|&(p, _)| p))
+                .collect();
+            want_departed.sort_unstable();
+            let mut want_arrived: Vec<usize> = d
+                .added
+                .iter()
+                .copied()
+                .chain(d.rekeyed.iter().map(|&(_, q)| q))
+                .collect();
+            want_arrived.sort_unstable();
+            assert_eq!(
+                departed, want_departed,
+                "seed {seed} {tag} op {i}: {ty:?} lost different slots than claimed"
+            );
+            assert_eq!(
+                arrived, want_arrived,
+                "seed {seed} {tag} op {i}: {ty:?} gained different slots than claimed"
+            );
+
+            // Kept slots keep their values; fresh slots are Null.
+            for (p, v) in &new {
+                match old.get(p) {
+                    Some(before) => assert_eq!(
+                        v, before,
+                        "seed {seed} {tag} op {i}: kept slot changed value"
+                    ),
+                    None => assert!(v.is_null(), "seed {seed} {tag} op {i}: fresh slot not Null"),
+                }
+            }
+
+            match d.level {
+                ImpactLevel::Preserving => {
+                    panic!("seed {seed} {tag} op {i}: preserving delta changed an object")
+                }
+                ImpactLevel::Extending => {
+                    assert!(
+                        departed.is_empty(),
+                        "seed {seed} {tag} op {i}: extending claim lost a slot"
+                    );
+                    tally.extending += 1;
+                }
+                ImpactLevel::Refining => {
+                    assert!(d.lost.is_empty() && !d.rekeyed.is_empty());
+                }
+                ImpactLevel::Destructive => {
+                    // Witness: a claimed loss is a real value thrown away.
+                    assert!(!d.lost.is_empty(), "seed {seed} {tag} op {i}");
+                    for p in &d.lost {
+                        let was = old.get(&PropId::from_index(*p)).unwrap_or_else(|| {
+                            panic!("seed {seed} {tag} op {i}: claimed loss of an unreadable slot")
+                        });
+                        assert!(
+                            !was.is_null(),
+                            "seed {seed} {tag} op {i}: destructive verdict without a lost value"
+                        );
+                    }
+                    tally.destructive += 1;
+                }
+            }
+        }
+
+        // Keep the store saturated: instantiate newly-minted types and
+        // refill every fresh Null slot with a distinct value.
+        populate(&mut store, &schema, &mut by_type, &mut next_val);
+    }
+}
+
+fn sweep(engine: EngineKind) {
+    let mut tally = Tally::default();
+    for seed in 0..SEEDS {
+        for (tag, (base, ops)) in [
+            ("random", random_family(engine, seed)),
+            ("churn", churn_family(engine, seed)),
+        ] {
+            one_trace(&base, &ops, seed, tag, &mut tally);
+        }
+    }
+    // Vacuousness guards: the sweep must have exercised real extensions,
+    // real destructions, and real extent drops — not just preserving
+    // no-ops.
+    assert!(
+        tally.extending >= 200,
+        "({engine:?}) only {} extending deltas witnessed — sweep too narrow",
+        tally.extending
+    );
+    assert!(
+        tally.destructive >= 200,
+        "({engine:?}) only {} destructive deltas witnessed — sweep too narrow",
+        tally.destructive
+    );
+    assert!(
+        tally.extents_dropped >= 50,
+        "({engine:?}) only {} extents dropped — sweep too narrow",
+        tally.extents_dropped
+    );
+    assert!(tally.changed_objects >= 500, "({engine:?}) sweep too quiet");
+}
+
+#[test]
+fn impact_verdicts_hold_under_execution_naive_engine() {
+    sweep(EngineKind::Naive);
+}
+
+#[test]
+fn impact_verdicts_hold_under_execution_incremental_engine() {
+    sweep(EngineKind::Incremental);
+}
+
+#[test]
+fn tampered_certificates_are_refused() {
+    let (base, ops) = random_family(EngineKind::Incremental, 7);
+    let ia = impact::analyze(&base, &ops);
+    impact::check(&base, &ops, &ia.certificate).expect("honest certificate verifies");
+
+    // Unbind the fingerprint.
+    let mut bad = ia.certificate.clone();
+    bad.initial_fingerprint ^= 1;
+    assert!(impact::check(&base, &ops, &bad)
+        .unwrap_err()
+        .contains("fingerprint"));
+
+    // Launder a non-preserving op as preserving.
+    if let Some(ix) = ia
+        .certificate
+        .ops
+        .iter()
+        .position(|o| o.level != ImpactLevel::Preserving)
+    {
+        let mut bad = ia.certificate.clone();
+        bad.ops[ix].level = ImpactLevel::Preserving;
+        assert!(impact::check(&base, &ops, &bad).is_err());
+
+        let mut bad = ia.certificate.clone();
+        bad.ops[ix].deltas.clear();
+        assert!(impact::check(&base, &ops, &bad).is_err());
+    }
+
+    // Drop an obligation outright.
+    if !ia.certificate.obligations.is_empty() {
+        let mut bad = ia.certificate.clone();
+        bad.obligations.pop();
+        assert!(impact::check(&base, &ops, &bad).is_err());
+    }
+
+    // Shorten the op list.
+    let mut bad = ia.certificate.clone();
+    bad.ops.pop();
+    bad.op_count -= 1;
+    bad.kinds.pop();
+    assert!(impact::check(&base, &ops, &bad)
+        .unwrap_err()
+        .contains("op(s)"));
+}
